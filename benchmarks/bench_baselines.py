@@ -1,0 +1,61 @@
+"""Benches for the friction-limited baselines (Sections II-C, VII-B).
+
+Quantifies the paper's dismissals: hand-moving 29 PB of drives eclipses
+the optical network's energy and dollar cost, Snowmobile-class trucking
+is fill-rate-bound at weeks per 100 PB, and every friction carrier loses
+to the DHL on joules per byte.
+"""
+
+from conftest import record_comparison
+from repro.baselines.sneakernet import (
+    HUMAN_PORTER,
+    SNOWMOBILE_TRUCK,
+    plan_sneakernet,
+    snowmobile_reference_time,
+)
+from repro.core.model import plan_campaign
+from repro.core.params import DhlParams
+from repro.network.energy import fig2_energies
+from repro.storage.devices import SABRENT_ROCKET_4_PLUS_8TB
+from repro.units import DAY, PB
+
+
+def test_hand_movement_eclipses_network(benchmark):
+    plan = benchmark(
+        plan_sneakernet, 29 * PB, 500.0, HUMAN_PORTER, SABRENT_ROCKET_4_PLUS_8TB
+    )
+    a0_energy = fig2_energies()["A0"].energy_j
+    record_comparison(benchmark, "porter_vs_a0_energy", 1.0,
+                      plan.energy_j / a0_energy)
+    # Section II-C: "would likely eclipse that of optical networking".
+    assert plan.energy_j > a0_energy
+    assert plan.labour_cost_usd > 1000
+    record_comparison(benchmark, "porter_days", 5.0, plan.time_s / DAY)
+
+
+def test_snowmobile_weeks_per_100pb(benchmark):
+    seconds = benchmark(snowmobile_reference_time, 100 * PB)
+    weeks = seconds / (7 * DAY)
+    # AWS: "over 100 PB ... in only up to a few weeks' time".
+    record_comparison(benchmark, "snowmobile_weeks", 2.0, weeks)
+    assert 1 < weeks < 4
+
+
+def test_dhl_beats_all_friction_carriers(benchmark):
+    def efficiency_table():
+        dhl = plan_campaign(DhlParams())
+        rows = {"DHL": 29 * PB / dhl.energy_j}
+        for carrier in (HUMAN_PORTER, SNOWMOBILE_TRUCK):
+            plan = plan_sneakernet(
+                29 * PB, 500.0, carrier, SABRENT_ROCKET_4_PLUS_8TB
+            )
+            rows[carrier.name] = plan.efficiency_bytes_per_j
+        return rows
+
+    rows = benchmark(efficiency_table)
+    for name, efficiency in rows.items():
+        record_comparison(
+            benchmark, f"{name.replace(' ', '_')}_gb_per_j", 0, efficiency / 1e9
+        )
+    assert rows["DHL"] == max(rows.values())
+    assert rows["DHL"] > 10 * rows["Snowmobile-class truck"]

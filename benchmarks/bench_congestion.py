@@ -1,0 +1,58 @@
+"""Bench for the bulk-transfer congestion motivation (Sections I, II-D2).
+
+Quantifies "moving PB-scale datasets quickly creates bottlenecks,
+consuming a static portion of the data centre's total bandwidth": the
+fair-share model shows co-running services losing a quarter of their
+throughput while a bulk backup runs — traffic a DHL removes entirely.
+"""
+
+from conftest import record_comparison
+from repro.network.congestion import (
+    Flow,
+    SharedNetwork,
+    bulk_transfer_impact,
+    paper_backup_scenario,
+)
+
+
+def test_bulk_transfer_congestion(benchmark):
+    impact = benchmark(paper_backup_scenario)
+    record_comparison(
+        benchmark, "foreground_loss_fraction", 0.25, impact.foreground_loss
+    )
+    assert impact.foreground_loss > 0.2
+    # The DHL counterfactual restores the baseline entirely.
+    for name in impact.foreground_flows:
+        assert impact.baseline.rate(name) >= impact.contended.rate(name)
+
+
+def test_congestion_scales_with_parallel_bulk_links(benchmark):
+    """Parallelising the bulk transfer (the paper's only optical remedy)
+    makes the foreground dent worse, not better."""
+
+    def impact_with_n_bulk(n_bulk: int) -> float:
+        network = SharedNetwork()
+        tree = network.tree
+        storage = tree.server(0, 0, 0)
+        foreground = [
+            Flow("svc-a", storage, tree.server(0, 1, 1)),
+            Flow("svc-b", tree.server(0, 0, 2), tree.server(0, 2, 2)),
+        ]
+        bulks = [
+            Flow(f"bulk-{index}", tree.server(0, 0, 3 + index),
+                 tree.server(1, 0, index))
+            for index in range(n_bulk)
+        ]
+        baseline = network.allocate(foreground)
+        contended = network.allocate(foreground + bulks)
+        before = sum(baseline.rate(flow.name) for flow in foreground)
+        after = sum(contended.rate(flow.name) for flow in foreground)
+        return 1.0 - after / before
+
+    def sweep():
+        return {n: impact_with_n_bulk(n) for n in (1, 2, 4)}
+
+    losses = benchmark(sweep)
+    record_comparison(benchmark, "loss_with_4_bulk_links", 0.5, losses[4])
+    assert losses[1] <= losses[2] <= losses[4]
+    assert losses[4] > losses[1]

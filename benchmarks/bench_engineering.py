@@ -1,0 +1,58 @@
+"""Benches for the Section VI engineering feasibility arguments."""
+
+from conftest import record_comparison
+from repro.core.engineering import (
+    assess_cart_thermals,
+    assess_safety,
+    connector_wear,
+    maintenance_plan,
+    required_sink_resistance,
+)
+from repro.core.params import DhlParams, table_vi_design_points
+
+
+def test_heat_sink_feasibility(benchmark):
+    """'An M.2 SSD can consume up to 10W under load' — 320 W per cart,
+    solvable with ordinary finned sinks (<= 3.5 C/W per drive)."""
+    assessment = benchmark(assess_cart_thermals, DhlParams())
+    record_comparison(benchmark, "cart_power_w", 320, assessment.total_power_w)
+    record_comparison(
+        benchmark, "required_sink_c_per_w", 3.5, required_sink_resistance()
+    )
+    assert not assessment.throttles
+
+
+def test_connector_longevity(benchmark):
+    """USB-C's 10k-20k cycles vs M.2's hundreds: ~200x service life."""
+
+    def wear_pair():
+        usb = connector_wear(DhlParams(), transfers_per_day=10)
+        m2 = connector_wear(DhlParams(), transfers_per_day=10, connector="m.2")
+        return usb, m2
+
+    usb, m2 = benchmark(wear_pair)
+    record_comparison(benchmark, "usb_c_lifetime_days", 500, usb.lifetime_days)
+    record_comparison(benchmark, "m2_lifetime_days", 3, m2.lifetime_days)
+    assert usb.lifetime_days > 100 * m2.lifetime_days
+
+
+def test_safety_margins_across_design_space(benchmark):
+    """Sandbags suffice at every Table VI design point."""
+
+    def worst_margin():
+        return min(
+            assess_safety(params).sandbag_margin
+            for params in table_vi_design_points()
+        )
+
+    margin = benchmark(worst_margin)
+    record_comparison(benchmark, "worst_sandbag_margin", 2.0, margin)
+    assert margin > 1.0
+
+
+def test_maintenance_rollup(benchmark):
+    plan = benchmark(maintenance_plan, DhlParams(), 10.0)
+    assert plan.viable
+    record_comparison(
+        benchmark, "connector_life_years", 1.37, plan.connector.lifetime_years
+    )

@@ -1,0 +1,44 @@
+"""Bench for Figure 2: route energies moving 29 PB at 400 Gbit/s.
+
+The paper's five routes must reproduce exactly: 13.92 / 22.97 / 50.05 /
+174.75 / 299.45 MJ over the 580 000 s transfer.
+"""
+
+from conftest import assert_close, record_comparison
+from repro.network.energy import baseline_transfer_time, fig2_energies
+from repro.network.routes import derive_route, fig2_scenario_endpoints
+from repro.network.topology import FatTree
+
+PAPER_MJ = {"A0": 13.92, "A1": 22.97, "A2": 50.05, "B": 174.75, "C": 299.45}
+
+
+def test_fig2_route_energies(benchmark):
+    energies = benchmark(fig2_energies)
+    for name, paper_mj in PAPER_MJ.items():
+        measured = energies[name].energy_mj
+        record_comparison(benchmark, f"route_{name}_mj", paper_mj, measured)
+        assert_close(measured, paper_mj, rel=0.001, label=f"route {name}")
+
+
+def test_fig2_baseline_transfer_time(benchmark):
+    seconds = benchmark(baseline_transfer_time)
+    record_comparison(benchmark, "transfer_s", 580_000, seconds)
+    assert_close(seconds, 580_000, rel=1e-9, label="29PB@400G transfer")
+
+
+def test_fig2_routes_derived_from_topology(benchmark):
+    """The switched routes' powers re-derived by walking the fat tree."""
+
+    def derive_all():
+        tree = FatTree()
+        return {
+            name: derive_route(tree, src, dst, name=name)
+            for name, (src, dst) in fig2_scenario_endpoints(tree).items()
+        }
+
+    derived = benchmark(derive_all)
+    transfer = baseline_transfer_time()
+    for name in ("A2", "B", "C"):
+        measured_mj = derived[name].power_w * transfer / 1e6
+        record_comparison(benchmark, f"derived_{name}_mj", PAPER_MJ[name], measured_mj)
+        assert_close(measured_mj, PAPER_MJ[name], rel=0.001, label=f"derived {name}")

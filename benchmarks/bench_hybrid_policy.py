@@ -1,0 +1,55 @@
+"""Bench for the hybrid deployment study (Section III-E).
+
+"DHL cannot trivially offer the same flexibility ... Thus it is likely
+to replace only some uses of the data centre network."  The break-even
+routing policy realises that split; this bench shows it dominating both
+pure deployments on a mixed day of traffic.
+"""
+
+from conftest import record_comparison
+from repro.units import HOUR
+from repro.workloads import (
+    AllDhlPolicy,
+    AllNetworkPolicy,
+    BreakEvenPolicy,
+    WorkloadGenerator,
+    compare_policies,
+)
+
+
+def test_hybrid_policy_dominates(benchmark):
+    def run():
+        jobs = WorkloadGenerator(seed=42).generate(6 * HOUR)
+        return compare_policies(
+            jobs,
+            [AllNetworkPolicy(), AllDhlPolicy(), BreakEvenPolicy()],
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    network = reports["all-network"]
+    all_dhl = reports["all-dhl"]
+    hybrid = reports["break-even"]
+
+    record_comparison(
+        benchmark, "hybrid_vs_network_energy", 30.0,
+        network.total_energy_j / hybrid.total_energy_j,
+    )
+    record_comparison(
+        benchmark, "hybrid_vs_alldhl_energy", 3.0,
+        all_dhl.total_energy_j / hybrid.total_energy_j,
+    )
+    record_comparison(
+        benchmark, "hybrid_vs_network_makespan", 5.0,
+        network.makespan_s / hybrid.makespan_s,
+    )
+
+    # The hybrid saves energy against BOTH pure strategies...
+    assert hybrid.total_energy_j < network.total_energy_j
+    assert hybrid.total_energy_j < all_dhl.total_energy_j
+    # ...and finishes no later than the all-network deployment.
+    assert hybrid.makespan_s <= network.makespan_s
+    # Bulk bytes dominate the byte mix, so most bytes ride the DHL while
+    # most *jobs* stay on the network — exactly the paper's split.
+    assert hybrid.dhl_share > 0.9
+    dhl_jobs = sum(1 for o in hybrid.outcomes if o.transport == "dhl")
+    assert dhl_jobs < len(hybrid.outcomes) / 2

@@ -1,0 +1,50 @@
+"""Benches for the growth and topology motivations (Sections I, VII-C).
+
+* Growth: Meta's 4 PB/day already saturates a 400G link with one
+  replication copy; growth compounds the problem while a single DHL
+  track has decades of cadence headroom.
+* Topology: the flattest mainstream fabric (leaf-spine) trims the
+  worst-case route energy versus the fat tree, but both remain orders
+  above the DHL — topology tuning cannot close the gap.
+"""
+
+from conftest import record_comparison
+from repro.core.model import plan_campaign
+from repro.core.params import DhlParams
+from repro.network.leafspine import topology_energy_comparison
+from repro.storage.datasets import META_DAILY
+from repro.storage.growth import dhl_headroom_years, saturation_year
+from repro.units import TB
+
+
+def test_growth_saturation(benchmark):
+    def analyse():
+        link = saturation_year(META_DAILY, n_links=1.0)
+        budget16 = saturation_year(META_DAILY, n_links=16.0)
+        headroom = dhl_headroom_years(META_DAILY, 256 * TB, trip_time_s=8.6)
+        return link, budget16, headroom
+
+    link, budget16, headroom = benchmark(analyse)
+    record_comparison(
+        benchmark, "years_to_saturate_16_links", 7.0, budget16.years_to_saturation
+    )
+    record_comparison(benchmark, "dhl_headroom_years", 21.0, headroom)
+    assert link.already_saturated
+    assert 0 < budget16.years_to_saturation < 15
+    assert headroom > 15
+
+
+def test_topology_energy_comparison(benchmark):
+    comparison = benchmark(topology_energy_comparison)
+    dhl = plan_campaign(DhlParams()).energy_j
+    record_comparison(
+        benchmark, "leafspine_vs_fattree", 174.75 / 299.45,
+        comparison["leaf-spine-worst"] / comparison["fat-tree-worst"],
+    )
+    record_comparison(
+        benchmark, "leafspine_vs_dhl", 51.0,
+        comparison["leaf-spine-worst"] / dhl,
+    )
+    # Flatter helps the network, but not enough.
+    assert comparison["leaf-spine-worst"] < comparison["fat-tree-worst"]
+    assert comparison["leaf-spine-worst"] > 40 * dhl

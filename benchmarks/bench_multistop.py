@@ -1,0 +1,54 @@
+"""Bench for the Section VI multi-stop extension.
+
+The paper predicts that multi-stop DHLs "would motivate higher speeds
+to ameliorate potential contention"; this bench runs the seeded
+contention experiment at 100 vs 300 m/s and asserts the prediction.
+"""
+
+from conftest import record_comparison
+from repro.dhlsim.multistop import speed_contention_sweep
+from repro.units import TB
+
+
+def test_multistop_speed_vs_contention(benchmark):
+    def sweep():
+        return speed_contention_sweep(
+            speeds_m_s=(100.0, 200.0, 300.0),
+            n_racks=3,
+            n_requests=10,
+            seed=3,
+            mean_interarrival_s=2.0,
+            read_bytes=1 * TB,
+        )
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    latencies = {speed: report.mean_latency_s for speed, report in reports.items()}
+    record_comparison(
+        benchmark, "latency_gain_100_to_300", 1.3, latencies[100.0] / latencies[300.0]
+    )
+    # Monotone: faster carts, lower mean latency and makespan.
+    assert latencies[100.0] > latencies[200.0] > latencies[300.0]
+    makespans = [reports[speed].makespan_s for speed in (100.0, 200.0, 300.0)]
+    assert makespans == sorted(makespans, reverse=True)
+
+
+def test_multistop_throughput_scaling(benchmark):
+    """More racks sharing one tube: per-request latency grows with load."""
+
+    def compare_loads():
+        light = speed_contention_sweep(
+            speeds_m_s=(200.0,), n_requests=6, seed=5,
+            mean_interarrival_s=60.0, read_bytes=1 * TB,
+        )[200.0]
+        heavy = speed_contention_sweep(
+            speeds_m_s=(200.0,), n_requests=6, seed=5,
+            mean_interarrival_s=1.0, read_bytes=1 * TB,
+        )[200.0]
+        return light, heavy
+
+    light, heavy = benchmark.pedantic(compare_loads, rounds=1, iterations=1)
+    record_comparison(
+        benchmark, "load_latency_ratio", 2.0,
+        heavy.mean_latency_s / light.mean_latency_s,
+    )
+    assert heavy.mean_latency_s >= light.mean_latency_s

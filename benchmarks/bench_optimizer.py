@@ -1,0 +1,42 @@
+"""Bench for the prescriptive design optimiser.
+
+Turns Table VI's descriptive sweep into the deployer's question: the
+cheapest single-track design that ships 29 PB inside a deadline.
+"""
+
+from conftest import record_comparison
+from repro.core.optimizer import design_for_deadline
+from repro.storage.datasets import META_ML_LARGE
+from repro.units import HOUR, MINUTE
+
+
+def test_design_for_one_hour_deadline(benchmark):
+    rec = benchmark(design_for_deadline, META_ML_LARGE, 1 * HOUR)
+    record_comparison(benchmark, "capital_usd", 12_000, rec.capital_usd)
+    record_comparison(
+        benchmark, "recommended_speed", 25.0, rec.params.max_speed
+    )
+    assert rec.meets_deadline
+    # A loose deadline needs nowhere near the paper's 200 m/s.
+    assert rec.params.max_speed < 100
+    # Bigger carts dominate: fewer trips, same rail.
+    assert rec.params.ssds_per_cart == 64
+
+
+def test_deadline_cost_curve(benchmark):
+    """Tighter deadlines buy faster, pricier designs — monotonically."""
+
+    def sweep():
+        recommendations = {}
+        for minutes in (25, 60, 240):
+            recommendations[minutes] = design_for_deadline(
+                META_ML_LARGE, minutes * MINUTE
+            )
+        return recommendations
+
+    recs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speeds = [recs[m].params.max_speed for m in (240, 60, 25)]
+    costs = [recs[m].total_cost_usd for m in (240, 60, 25)]
+    record_comparison(benchmark, "speed_25min", 280.0, speeds[-1])
+    assert speeds == sorted(speeds)
+    assert costs == sorted(costs)

@@ -1,0 +1,44 @@
+"""Bench for the Section II-D3 recurring-savings argument.
+
+"New models ... are regularly being trained on the same, large
+datasets.  We see potential for ongoing savings repeatedly and over the
+long term."  This bench amortises the DHL's ~$14.6k materials cost
+against its per-training-run communication-energy savings.
+"""
+
+from conftest import record_comparison
+from repro.mlsim.epochs import reuse_study
+from repro.network.routes import ROUTE_B, ROUTE_C
+
+
+def test_reuse_amortisation(benchmark):
+    study = benchmark.pedantic(
+        reuse_study,
+        args=(ROUTE_B,),
+        kwargs={"iterations_per_model": 1000, "models_trained": 20},
+        rounds=1,
+        iterations=1,
+    )
+    record_comparison(
+        benchmark, "models_to_amortise_route_b", 5.0, study.models_to_amortise
+    )
+    assert study.pays_off
+    assert study.models_to_amortise < 10
+    record_comparison(
+        benchmark, "saving_20_models_usd", 75_000, study.total_saving_usd
+    )
+    assert study.total_saving_usd > study.dhl_capital_usd
+
+
+def test_reuse_worst_route_amortises_fastest(benchmark):
+    def both():
+        return (
+            reuse_study(ROUTE_B, iterations_per_model=1000, models_trained=5),
+            reuse_study(ROUTE_C, iterations_per_model=1000, models_trained=5),
+        )
+
+    route_b, route_c = benchmark.pedantic(both, rounds=1, iterations=1)
+    record_comparison(
+        benchmark, "route_c_models_to_amortise", 2.0, route_c.models_to_amortise
+    )
+    assert route_c.models_to_amortise < route_b.models_to_amortise

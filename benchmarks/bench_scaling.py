@@ -1,0 +1,48 @@
+"""Bench for the technology-scaling argument (Section II-A).
+
+"As storage density improves (we expect continued scaling for some
+time), DHLs will achieve higher embodied data transmission rates. In
+contrast to optical networking upgrades, we only need to upgrade the
+carts' SSDs and not the hyperloop itself."
+"""
+
+from conftest import record_comparison
+from repro.core.scaling import density_projection, upgrade_economics
+
+
+def test_density_scaling_projection(benchmark):
+    points = benchmark(density_projection)
+    base = points[0]
+    decade = points[-1]
+    record_comparison(
+        benchmark, "bw_gain_10y",
+        1.25**10, decade.metrics.bandwidth_bytes_per_s
+        / base.metrics.bandwidth_bytes_per_s,
+    )
+    record_comparison(
+        benchmark, "cart_tb_10y", 2384, decade.cart_tb
+    )
+    # Cart mass (hence launch energy) never changes; efficiency rides
+    # density alone.
+    assert decade.metrics.cart_mass_kg == base.metrics.cart_mass_kg
+    assert decade.metrics.energy_j == base.metrics.energy_j
+    assert (
+        decade.metrics.efficiency_bytes_per_j
+        > 9 * base.metrics.efficiency_bytes_per_j
+    )
+
+
+def test_upgrade_economics(benchmark):
+    economics = benchmark(upgrade_economics)
+    record_comparison(
+        benchmark, "dhl_decade_usd", 184_000, economics.dhl_total_usd
+    )
+    record_comparison(
+        benchmark, "network_decade_usd", 157_000, economics.network_total_usd
+    )
+    # The rail is a one-off: refreshes are flash-only, and the DHL's
+    # capability gain per refresh dollar stays competitive with optics
+    # even while its absolute capacity grows 7.5x.
+    assert economics.dhl_initial_usd < economics.network_initial_usd
+    assert economics.dhl_capacity_gain > 7
+    assert economics.network_rate_gain == 8

@@ -1,0 +1,56 @@
+"""Bench for the design-choice sensitivity analysis.
+
+Quantifies the Section V-A readings of Table VI as elasticities: dock
+time dominates trip time, speed trades time for (quadratic) energy, and
+LIM efficiency moves energy one-for-one.
+"""
+
+from conftest import assert_close, record_comparison
+from repro.core.params import DhlParams
+from repro.core.sensitivity import sensitivity_matrix, tornado
+
+
+def test_sensitivity_elasticities(benchmark):
+    matrix = benchmark(sensitivity_matrix)
+
+    energy_speed = matrix["launch_energy"]["max_speed"].value
+    record_comparison(benchmark, "energy_vs_speed", 2.0, energy_speed)
+    assert_close(energy_speed, 2.0, 0.01, "E ~ v^2")
+
+    energy_eta = matrix["launch_energy"]["lim_efficiency"].value
+    record_comparison(benchmark, "energy_vs_efficiency", -1.0, energy_eta)
+    assert_close(energy_eta, -1.0, 0.01, "E ~ 1/eta")
+
+    trip_dock = matrix["trip_time"]["dock_time"].value
+    record_comparison(benchmark, "trip_vs_dock", 6.0 / 8.6, trip_dock)
+    assert_close(trip_dock, 6.0 / 8.6, 0.02, "handling share of trip")
+
+
+def test_sensitivity_rankings(benchmark):
+    def rankings():
+        return {
+            metric: [entry.parameter for entry in tornado(metric)]
+            for metric in ("trip_time", "launch_energy", "bandwidth")
+        }
+
+    ranked = benchmark(rankings)
+    # Section V-A, quantified: handling dominates time and bandwidth;
+    # speed dominates energy.
+    assert ranked["trip_time"][0] == "dock_time"
+    assert ranked["bandwidth"][0] == "dock_time"
+    assert ranked["launch_energy"][0] == "max_speed"
+
+
+def test_sensitivity_shifts_with_design_point(benchmark):
+    """On a short track the handling share rises towards 0.9."""
+
+    def short_track_share():
+        from repro.core.sensitivity import elasticity
+
+        return elasticity(
+            DhlParams(track_length=100.0), "dock_time", "trip_time"
+        ).value
+
+    share = benchmark(short_track_share)
+    record_comparison(benchmark, "dock_share_100m", 6.0 / 6.6, share)
+    assert share > 0.85

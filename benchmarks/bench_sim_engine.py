@@ -1,0 +1,115 @@
+"""Microbenchmarks of the discrete-event engine.
+
+The engine underlies every simulation in the library; these benches
+guard its throughput so a regression in the hot path (heap scheduling,
+process resumption, resource hand-off) is caught by the harness rather
+than by mysteriously slow studies.
+"""
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_engine_timeout_throughput(benchmark):
+    """Schedule-and-fire rate for bare timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(2000):
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 2000.0
+
+
+def test_engine_process_chain(benchmark):
+    """Parent-child process chains: spawn, wait, return value."""
+
+    def run():
+        env = Environment()
+
+        def leaf(depth):
+            yield env.timeout(1.0)
+            return depth
+
+        def chain():
+            total = 0
+            for depth in range(300):
+                total += yield env.process(leaf(depth))
+            return total
+
+        proc = env.process(chain())
+        return env.run(until=proc)
+
+    assert benchmark(run) == sum(range(300))
+
+
+def test_engine_resource_contention(benchmark):
+    """Many processes contending for one resource (the tube pattern)."""
+
+    def run():
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        done = []
+
+        def worker():
+            with resource.request() as claim:
+                yield claim
+                yield env.timeout(1.0)
+            done.append(env.now)
+
+        for _ in range(500):
+            env.process(worker())
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 500
+
+
+def test_engine_store_pipeline(benchmark):
+    """Producer/consumer hand-off through a Store (the delivery pattern)."""
+
+    def run():
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for item in range(1000):
+                yield store.put(item)
+                yield env.timeout(0.001)
+
+        def consumer():
+            for _ in range(1000):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return len(received)
+
+    assert benchmark(run) == 1000
+
+
+def test_full_operational_campaign(benchmark):
+    """End-to-end: a 6-cart pipelined bulk transfer through dhlsim."""
+    from repro.dhlsim import DhlApi, DhlSystem
+    from repro.storage import synthetic_dataset
+    from repro.units import TB
+
+    def run():
+        env = Environment()
+        system = DhlSystem(env, stations_per_rack=2)
+        dataset = synthetic_dataset(6 * 256 * TB, name="bench")
+        system.load_dataset(dataset)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset))
+        return report.launches
+
+    assert benchmark(run) == 12

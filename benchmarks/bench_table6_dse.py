@@ -1,0 +1,78 @@
+"""Bench for Table VI: the 13-row design-space exploration.
+
+Checks every cell of the paper's table — single-launch energy, time,
+bandwidth, efficiency and peak power, plus the 29 PB time speedup and
+the five per-route energy reductions — against the printed values.
+"""
+
+from conftest import assert_close, record_comparison
+from repro.core.sweep import table_vi_sweep
+
+# The paper's 13 rows: (speed, length, cart TB) -> metrics.
+# (energy kJ, eff GB/J, time s, bw TB/s, peak kW, speedup,
+#  reductions A0/A1/A2/B/C)
+PAPER_ROWS = [
+    ((100, 500, 256), (3.7, 68, 11, 23, 38, 229.6, (16.3, 26.9, 58.7, 204.8, 350.9))),
+    ((200, 500, 256), (15, 17, 8.6, 30, 75, 295.1, (4.1, 6.7, 14.7, 51.2, 87.7))),
+    ((300, 500, 256), (34, 7.6, 7.8, 33, 113, 324.6, (1.8, 3.0, 6.5, 22.8, 39.0))),
+    ((200, 100, 256), (15, 17, 6.6, 39, 75, 384.5, (4.1, 6.7, 14.7, 51.2, 87.7))),
+    ((200, 500, 256), (15, 17, 8.6, 30, 75, 295.1, (4.1, 6.7, 14.7, 51.2, 87.7))),
+    ((200, 1000, 256), (15, 17, 11, 23, 75, 228.6, (4.1, 6.7, 14.7, 51.2, 87.7))),
+    ((200, 500, 128), (8.6, 15, 8.6, 15, 43, 147.5, (3.6, 5.9, 12.8, 44.8, 76.8))),
+    ((200, 500, 256), (15, 17, 8.6, 30, 75, 295.1, (4.1, 6.7, 14.7, 51.2, 87.7))),
+    ((200, 500, 512), (28, 18, 8.6, 60, 140, 587.5, (4.4, 7.2, 15.7, 54.9, 94.0))),
+    ((100, 500, 128), (2.1, 60, 11, 12, 22, 114.8, (14.3, 23.6, 51.4, 179.4, 307.3))),
+    ((100, 500, 512), (7, 73, 11, 46, 70, 457.3, (17.5, 28.8, 62.9, 219.5, 376.1))),
+    ((300, 500, 128), (19, 6.6, 7.8, 16, 64, 162.3, (1.6, 2.6, 5.7, 19.9, 34.1))),
+    ((300, 500, 512), (63, 8, 7.8, 66, 210, 646.4, (1.9, 3.2, 7.0, 24.4, 41.8))),
+]
+
+ROUTES = ("A0", "A1", "A2", "B", "C")
+
+
+def test_table6_design_space(benchmark):
+    result = benchmark(table_vi_sweep)
+    assert len(result.reports) == 13
+    for report, (config, paper) in zip(result.reports, PAPER_ROWS):
+        speed, length, cart_tb = config
+        params = report.metrics.params
+        assert (params.max_speed, params.track_length, params.storage_per_cart_tb) == (
+            speed,
+            length,
+            cart_tb,
+        )
+        label = f"{speed}-{length}-{cart_tb}"
+        energy, eff, time_s, bw, peak, speedup, reductions = paper
+        metrics = report.metrics
+        # The paper prints 2 significant figures: 5% tolerance.
+        assert_close(metrics.energy_kj, energy, 0.05, f"{label} energy")
+        assert_close(metrics.efficiency_gb_per_j, eff, 0.05, f"{label} efficiency")
+        assert_close(metrics.time_s, time_s, 0.05, f"{label} time")
+        assert_close(metrics.bandwidth_tb_per_s, bw, 0.05, f"{label} bandwidth")
+        assert_close(metrics.peak_power_kw, peak, 0.05, f"{label} peak power")
+        assert_close(report.time_speedup, speedup, 0.02, f"{label} speedup")
+        for route, paper_reduction in zip(ROUTES, reductions):
+            # 3% absorbs the paper's 2-significant-figure rounding.
+            measured = report.comparisons[route].energy_reduction
+            assert_close(measured, paper_reduction, 0.03, f"{label} vs {route}")
+
+    # Record the headline extremes on the benchmark.
+    record_comparison(benchmark, "min_speedup", 114.8, min(
+        report.time_speedup for report in result.reports))
+    record_comparison(benchmark, "max_speedup", 646.4, max(
+        report.time_speedup for report in result.reports))
+    record_comparison(benchmark, "max_energy_reduction", 376.1, max(
+        comparison.energy_reduction
+        for report in result.reports
+        for comparison in report.comparisons.values()))
+
+
+def test_table6_embodied_bandwidth_claims(benchmark):
+    """Section V-A: 15-60 TB/s, i.e. 300-1200x a 400 Gbit/s fibre."""
+    result = benchmark(table_vi_sweep)
+    bandwidths = [report.metrics.bandwidth_tb_per_s for report in result.reports]
+    record_comparison(benchmark, "min_bw_tbs", 15, min(bandwidths))
+    record_comparison(benchmark, "max_bw_tbs", 60, max(bandwidths))
+    fibre_tb_s = 0.05
+    assert min(bandwidths) / fibre_tb_s > 230
+    assert max(bandwidths) / fibre_tb_s > 1150

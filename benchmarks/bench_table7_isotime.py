@@ -1,0 +1,36 @@
+"""Bench for Table VII(b): communication power at a fixed iteration time.
+
+The paper holds the iteration at the single-DHL time (1350 s) and asks
+how much power each optical scheme needs to keep up: 11.2-237 kW, i.e.
+6.4x-135x the DHL's 1.75 kW.  Reproduced within ~12%.
+"""
+
+from conftest import assert_close, record_comparison
+from repro.mlsim.analysis import iso_time_comparison
+
+PAPER_POWER_KW = {"A0": 11.2, "A1": 18.3, "A2": 39.9, "B": 139.0, "C": 237.0}
+PAPER_RATIO = {"A0": 6.4, "A1": 10.5, "A2": 22.8, "B": 79.4, "C": 135.0}
+
+
+def test_table7b_iso_time(benchmark):
+    rows = benchmark(iso_time_comparison)
+    by_scheme = {row.scheme: row for row in rows}
+
+    target = by_scheme["DHL"].time_per_iter_s
+    assert_close(target, 1350, 0.02, "target iteration time")
+    record_comparison(benchmark, "target_time_s", 1350, target)
+
+    for scheme, paper_kw in PAPER_POWER_KW.items():
+        row = by_scheme[scheme]
+        # Every scheme must actually hit the target time.
+        assert_close(row.time_per_iter_s, target, 0.002, f"{scheme} time")
+        measured_kw = row.avg_power_w / 1e3
+        record_comparison(benchmark, f"{scheme}_power_kw", paper_kw, measured_kw)
+        assert_close(measured_kw, paper_kw, 0.12, f"{scheme} power")
+        record_comparison(
+            benchmark, f"{scheme}_ratio", PAPER_RATIO[scheme], row.ratio_vs_dhl
+        )
+        assert_close(row.ratio_vs_dhl, PAPER_RATIO[scheme], 0.12, f"{scheme} ratio")
+
+    ratios = [by_scheme[name].ratio_vs_dhl for name in ("A0", "A1", "A2", "B", "C")]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,46 @@
+"""Bench for Table VIII: the commodity cost model — exact dollar grid."""
+
+from conftest import assert_close, record_comparison
+from repro.core.cost import LimCost, RailCost, cost_matrix, cost_versus_switch
+from repro.core.params import DhlParams
+
+PAPER_RAIL_TOTAL = {100.0: 733, 500.0: 3665, 1000.0: 7330}
+PAPER_LIM_TOTAL = {100.0: 8792, 200.0: 10904, 300.0: 14512}
+PAPER_GRID = {
+    (100.0, 100.0): 9525, (100.0, 200.0): 11637, (100.0, 300.0): 15245,
+    (500.0, 100.0): 12457, (500.0, 200.0): 14569, (500.0, 300.0): 18177,
+    (1000.0, 100.0): 16122, (1000.0, 200.0): 18234, (1000.0, 300.0): 21842,
+}
+
+
+def test_table8_cost_grid(benchmark):
+    matrix = benchmark(cost_matrix)
+    for (distance, speed), paper_usd in PAPER_GRID.items():
+        measured = matrix[(distance, speed)]
+        record_comparison(
+            benchmark, f"total_{distance:g}m_{speed:g}ms", paper_usd, measured
+        )
+        assert_close(measured, paper_usd, 0.001, f"{distance} m / {speed} m/s")
+
+
+def test_table8_rail_and_lim_subtotals(benchmark):
+    def subtotals():
+        rails = {d: RailCost(d).total_usd for d in PAPER_RAIL_TOTAL}
+        lims = {s: LimCost(s).total_usd for s in PAPER_LIM_TOTAL}
+        return rails, lims
+
+    rails, lims = benchmark(subtotals)
+    for distance, paper_usd in PAPER_RAIL_TOTAL.items():
+        assert_close(rails[distance], paper_usd, 0.005, f"rail {distance} m")
+        record_comparison(benchmark, f"rail_{distance:g}m", paper_usd, rails[distance])
+    for speed, paper_usd in PAPER_LIM_TOTAL.items():
+        assert_close(lims[speed], paper_usd, 0.005, f"LIM {speed} m/s")
+        record_comparison(benchmark, f"lim_{speed:g}ms", paper_usd, lims[speed])
+
+
+def test_table8_switch_comparison(benchmark):
+    """Section V-D: 'DHL costs roughly twenty thousand dollars, a typical
+    price for a large 400gbps switch.'"""
+    ratio = benchmark(cost_versus_switch, DhlParams(track_length=1000.0))
+    record_comparison(benchmark, "cost_vs_switch_1km", 1.0, ratio)
+    assert 0.8 < ratio < 1.2

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact, asserts the reproduced
+values against the paper's printed numbers, times the generator with
+pytest-benchmark, and attaches a paper-vs-measured summary to the
+benchmark record via ``extra_info`` so the saved JSON doubles as the
+reproduction log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_comparison(benchmark, label: str, paper: float, measured: float) -> None:
+    """Attach one paper-vs-measured datapoint to the benchmark record."""
+    benchmark.extra_info[label] = {
+        "paper": paper,
+        "measured": round(float(measured), 4),
+        "ratio": round(float(measured) / paper, 4) if paper else None,
+    }
+
+
+def assert_close(measured: float, paper: float, rel: float, label: str) -> None:
+    """Assert a reproduced number is within ``rel`` of the paper's."""
+    assert measured == pytest.approx(paper, rel=rel), (
+        f"{label}: measured {measured:.4g} vs paper {paper:.4g} "
+        f"(tolerance {rel:.0%})"
+    )

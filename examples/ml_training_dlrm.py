@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's target use case: DLRM training over a 29 PB dataset.
+
+Runs the ASTRA-sim-substitute study end to end:
+
+1. one training iteration with a single DHL versus each network scheme
+   at the same 1.75 kW communication power (Table VII a),
+2. the power each network needs to match the DHL's iteration time
+   (Table VII b), and
+3. a miniature Figure 6 sweep rendered as ASCII.
+
+Run:  python examples/ml_training_dlrm.py
+"""
+
+from repro.analysis import figure6_ascii
+from repro.mlsim import (
+    DhlBackend,
+    TrainingIteration,
+    figure6_series,
+    iso_power_comparison,
+    iso_time_comparison,
+    simulate_iteration,
+)
+from repro.units import format_time
+
+
+def main() -> None:
+    iteration = TrainingIteration()
+    print(
+        f"Workload: one gradient-descent iteration of {iteration.model.name} "
+        f"over {iteration.dataset.size_bytes / 1e15:.0f} PB"
+    )
+    print(
+        f"Cluster: {iteration.cluster.n_nodes} accelerators, compute floor "
+        f"{format_time(iteration.compute_floor_s)}"
+    )
+    print()
+
+    single = simulate_iteration(iteration, DhlBackend())
+    print(
+        f"Single DHL: ingest done at {format_time(single.ingest_finish_s)}, "
+        f"iteration in {format_time(single.time_per_iter_s)} at "
+        f"{single.comm_power_w / 1e3:.2f} kW"
+    )
+    print()
+
+    print("Table VII(a) — fixed 1.75 kW communication power:")
+    print(f"  {'scheme':8s} {'time/iter':>12s} {'slowdown':>9s}")
+    for row in iso_power_comparison(iteration):
+        print(
+            f"  {row.scheme:8s} {format_time(row.time_per_iter_s):>12s} "
+            f"{row.ratio_vs_dhl:8.1f}x"
+        )
+    print()
+
+    print("Table VII(b) — fixed iteration time (the DHL's):")
+    print(f"  {'scheme':8s} {'avg power':>12s} {'vs DHL':>9s}")
+    for row in iso_time_comparison(iteration):
+        print(
+            f"  {row.scheme:8s} {row.avg_power_w / 1e3:9.2f} kW "
+            f"{row.ratio_vs_dhl:8.1f}x"
+        )
+    print()
+
+    print("Figure 6 (miniature) — time/iteration vs power budget:")
+    print(figure6_ascii(figure6_series(iteration, max_tracks=3, n_budgets=4)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Watch the DHL pipeline work: cart Gantt charts and design elasticities.
+
+Runs the same four-cart transfer twice — with one docking station per
+endpoint (serial) and with three (pipelined, Section V-B) — and renders
+both timelines as ASCII Gantt charts, making the overlap of transit and
+dock-reads visible.  Closes with the sensitivity matrix that quantifies
+the Section V-A design readings.
+
+Run:  python examples/pipeline_visualiser.py
+"""
+
+from repro.analysis import render_table
+from repro.core import sensitivity_table
+from repro.dhlsim import DhlApi, DhlSystem, TimelineRecorder, render_gantt
+from repro.sim import Environment
+from repro.storage import synthetic_dataset
+from repro.units import TB, format_time
+
+
+def run(stations: int):
+    env = Environment()
+    system = DhlSystem(env, stations_per_rack=stations)
+    recorder = TimelineRecorder(system)
+    dataset = synthetic_dataset(4 * 256 * TB, name=f"viz-{stations}")
+    system.load_dataset(dataset)
+    api = DhlApi(system)
+    report = env.run(until=api.bulk_transfer(dataset))
+    return report, recorder
+
+
+def main() -> None:
+    serial_report, serial_recorder = run(stations=1)
+    pipelined_report, pipelined_recorder = run(stations=3)
+
+    print("Serial (1 docking station):")
+    print(render_gantt(serial_recorder, width=66))
+    print(f"-> {format_time(serial_report.elapsed_s)}, peak docked "
+          f"concurrency {serial_recorder.concurrency('docked')}\n")
+
+    print("Pipelined (3 docking stations):")
+    print(render_gantt(pipelined_recorder, width=66))
+    print(f"-> {format_time(pipelined_report.elapsed_s)}, peak docked "
+          f"concurrency {pipelined_recorder.concurrency('docked')}")
+    speedup = serial_report.elapsed_s / pipelined_report.elapsed_s
+    print(f"-> pipelining speedup: {speedup:.2f}x "
+          "(Section V-B: 'while processing a cart, launch different ones')\n")
+
+    headers, rows = sensitivity_table()
+    print(render_table(
+        headers, rows,
+        title="Elasticities of launch metrics to design parameters "
+              "(d log metric / d log parameter)",
+    ))
+    print("\nReading: trip time is ~0.70 elastic in dock time (handling "
+          "dominates); launch energy is exactly quadratic in top speed "
+          "and inverse in LIM efficiency — Section V-A's observations, "
+          "quantified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a DHL design point and compare it to optical.
+
+Reproduces the paper's headline exercise in a dozen lines: take the
+default DHL (200 m/s, 500 m, 256 TB carts), move Meta's 29 PB ML
+dataset, and compare time and energy against the five Fig. 2 network
+routes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DhlParams, design_point_report, dhl_cost
+from repro.units import format_bytes, format_energy, format_power, format_time
+
+
+def main() -> None:
+    params = DhlParams()  # the paper's bolded main setup
+    report = design_point_report(params)
+    metrics = report.metrics
+    campaign = report.campaign
+
+    print(f"Design point: {params.label()}")
+    print(f"  cart mass          {metrics.cart_mass_kg * 1e3:.0f} g")
+    print(f"  launch energy      {format_energy(metrics.energy_j)}")
+    print(f"  one-way trip       {format_time(metrics.time_s)}")
+    print(f"  embodied bandwidth {format_bytes(metrics.bandwidth_bytes_per_s)}/s")
+    print(f"  efficiency         {metrics.efficiency_gb_per_j:.1f} GB/J")
+    print(f"  peak launch power  {format_power(metrics.peak_power_w)}")
+    print(f"  materials cost     ${dhl_cost(params).total_usd:,.0f}")
+    print()
+    print(f"Moving {format_bytes(campaign.dataset.size_bytes)} "
+          f"({campaign.dataset.name}):")
+    print(f"  {campaign.trips} loaded trips ({campaign.launches} launches "
+          f"with returns)")
+    print(f"  campaign time      {format_time(campaign.time_s)}")
+    print(f"  campaign energy    {format_energy(campaign.energy_j)}")
+    print()
+    print("Versus a single 400 Gbit/s optical link (Fig. 2 routes):")
+    for name, comparison in report.comparisons.items():
+        print(
+            f"  {name:3s} network {format_time(comparison.network_time_s):>10s} "
+            f"/ {format_energy(comparison.network_energy_j):>10s}   ->   "
+            f"DHL is {comparison.time_speedup:6.1f}x faster, "
+            f"{comparison.energy_reduction:5.1f}x less energy"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "The Case For Data Centre Hyperloops" (ISCA 2024).
+
+The library implements the paper's full evaluation stack:
+
+* :mod:`repro.core` — the DHL analytical models (physics, launch metrics,
+  campaigns, cost, break-even).
+* :mod:`repro.storage` — storage devices, SSD arrays, dataset/model
+  catalogues and library placement.
+* :mod:`repro.network` — the optical-network baseline (components,
+  fat-tree topology, Fig. 2 routes, transfer models).
+* :mod:`repro.sim` — a small discrete-event simulation engine.
+* :mod:`repro.dhlsim` — the operational DHL simulator (carts, track,
+  docking, scheduler, software API).
+* :mod:`repro.mlsim` — the distributed-ML training simulator standing in
+  for ASTRA-sim (Fig. 6, Table VII).
+* :mod:`repro.analysis` — generators for every paper table and figure.
+
+Quickstart::
+
+    from repro.core import DhlParams, design_point_report
+    report = design_point_report(DhlParams())
+    print(report.metrics.energy_kj, report.time_speedup)
+"""
+
+from . import units
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "units", "__version__"]

@@ -1,0 +1,63 @@
+"""Table and figure generators reproducing the paper's evaluation."""
+
+from .export import EXPORTABLE_TABLES, export_tables, write_table_csv
+from .extensions import (
+    engineering_table,
+    hybrid_policy_table,
+    multistop_table,
+    reuse_table,
+    sneakernet_table,
+)
+from .figures import dock_time_sensitivity, figure6, figure6_ascii
+from .validation import Check, ValidationSuite, run_validation, validation_table
+from .formatting import format_number, render_table
+from .tables import (
+    breakeven_summary,
+    fig2_table,
+    intro_example,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7a,
+    table7b,
+    table8a,
+    table8b,
+    table8c,
+)
+
+__all__ = [
+    "EXPORTABLE_TABLES",
+    "export_tables",
+    "write_table_csv",
+    "Check",
+    "ValidationSuite",
+    "breakeven_summary",
+    "run_validation",
+    "validation_table",
+    "dock_time_sensitivity",
+    "engineering_table",
+    "fig2_table",
+    "hybrid_policy_table",
+    "multistop_table",
+    "reuse_table",
+    "sneakernet_table",
+    "figure6",
+    "figure6_ascii",
+    "format_number",
+    "intro_example",
+    "render_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7a",
+    "table7b",
+    "table8a",
+    "table8b",
+    "table8c",
+]

@@ -1,0 +1,122 @@
+"""Export every reproduced artefact to CSV/JSON on disk.
+
+``dhl-repro export --out results/`` writes one CSV per table, the
+Fig. 6 series as JSON, and the validation record — the files a paper
+artifact-evaluation committee would want to diff.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable
+
+from ..errors import ConfigurationError
+from . import tables as table_generators
+from .extensions import (
+    engineering_table,
+    hybrid_policy_table,
+    reuse_table,
+    sneakernet_table,
+)
+from .validation import run_validation
+
+Rows = tuple[list[str], list[list[object]]]
+
+#: Everything exported by default: name -> generator.
+EXPORTABLE_TABLES: dict[str, Callable[[], Rows]] = {
+    "table1_datasets": table_generators.table1,
+    "table2_devices": table_generators.table2,
+    "table3_network_components": table_generators.table3,
+    "fig2_route_energies": table_generators.fig2_table,
+    "table4_ml_models": table_generators.table4,
+    "table5_parameters": table_generators.table5,
+    "table6_design_space": table_generators.table6,
+    "table8a_rail_cost": table_generators.table8a,
+    "table8b_lim_cost": table_generators.table8b,
+    "table8c_total_cost": table_generators.table8c,
+    "breakeven": table_generators.breakeven_summary,
+    "intro_example": table_generators.intro_example,
+    "ext_sneakernet": sneakernet_table,
+    "ext_engineering": engineering_table,
+    "ext_reuse": reuse_table,
+    "ext_hybrid_policy": hybrid_policy_table,
+}
+
+#: Slow artefacts (minutes of simulation), exported only on request.
+SLOW_TABLES: dict[str, Callable[[], Rows]] = {
+    "table7a_iso_power": table_generators.table7a,
+    "table7b_iso_time": table_generators.table7b,
+}
+
+
+def write_table_csv(path: Path, headers: list[str], rows: list[list[object]]) -> None:
+    """One table to one CSV file."""
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def export_tables(
+    out_dir: str | Path,
+    include_slow: bool = False,
+    include_fig6: bool = False,
+    include_validation: bool = True,
+) -> list[Path]:
+    """Write every artefact under ``out_dir``; returns the files written.
+
+    ``include_slow`` adds Table VII (minutes of event-driven simulation);
+    ``include_fig6`` adds the Figure 6 sweep as JSON.
+    """
+    out = Path(out_dir)
+    if out.exists() and not out.is_dir():
+        raise ConfigurationError(f"{out} exists and is not a directory")
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    generators = dict(EXPORTABLE_TABLES)
+    if include_slow:
+        generators.update(SLOW_TABLES)
+    for name, generator in generators.items():
+        headers, rows = generator()
+        path = out / f"{name}.csv"
+        write_table_csv(path, headers, rows)
+        written.append(path)
+
+    if include_fig6:
+        from ..mlsim.analysis import figure6_series
+
+        series = figure6_series(max_tracks=4, n_budgets=5)
+        payload = {
+            name: [
+                {"power_w": point.power_w, "time_per_iter_s": point.time_per_iter_s}
+                for point in curve
+            ]
+            for name, curve in series.items()
+        }
+        path = out / "fig6_power_sweep.json"
+        path.write_text(json.dumps(payload, indent=2))
+        written.append(path)
+
+    if include_validation:
+        suite = run_validation(include_simulation=include_slow)
+        payload = [
+            {
+                "section": check.section,
+                "name": check.name,
+                "paper": check.paper_value,
+                "measured": check.measured,
+                "deviation": check.deviation,
+                "tolerance": check.tolerance,
+                "passed": check.passed,
+            }
+            for check in suite.checks
+        ]
+        path = out / "validation.json"
+        path.write_text(json.dumps(payload, indent=2))
+        written.append(path)
+
+    return written

@@ -1,0 +1,92 @@
+"""Generators for the paper's figures as data series (no plotting deps).
+
+Figure 2's energy table lives in :mod:`repro.analysis.tables`; this
+module produces Figure 6's curves and an ASCII rendering of them, plus a
+sensitivity figure for the dock-time ablation discussed in Section V-A.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.params import DhlParams
+from ..core.physics import trip_time
+from ..errors import ConfigurationError
+from ..mlsim.analysis import SweepPoint, figure6_series
+from ..mlsim.workload import TrainingIteration
+from ..units import KW
+
+
+def figure6(
+    iteration: TrainingIteration | None = None,
+    max_tracks: int = 8,
+) -> dict[str, list[SweepPoint]]:
+    """Figure 6: time/iteration vs communication power budget, per scheme."""
+    return figure6_series(iteration=iteration, max_tracks=max_tracks)
+
+
+def figure6_ascii(series: dict[str, list[SweepPoint]] | None = None,
+                  width: int = 72, height: int = 20) -> str:
+    """A log-log scatter rendering of Figure 6 for terminal inspection."""
+    if series is None:
+        series = figure6()
+    if not series:
+        raise ConfigurationError("no series to plot")
+    points = [point for curve in series.values() for point in curve]
+    min_x = min(point.power_w for point in points)
+    max_x = max(point.power_w for point in points)
+    min_y = min(point.time_per_iter_s for point in points)
+    max_y = max(point.time_per_iter_s for point in points)
+
+    def x_cell(value: float) -> int:
+        if max_x == min_x:
+            return 0
+        frac = (math.log10(value) - math.log10(min_x)) / (
+            math.log10(max_x) - math.log10(min_x)
+        )
+        return min(width - 1, max(0, int(frac * (width - 1))))
+
+    def y_cell(value: float) -> int:
+        if max_y == min_y:
+            return 0
+        frac = (math.log10(value) - math.log10(min_y)) / (
+            math.log10(max_y) - math.log10(min_y)
+        )
+        return min(height - 1, max(0, int(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for index, (name, curve) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for point in curve:
+            row = height - 1 - y_cell(point.time_per_iter_s)
+            grid[row][x_cell(point.power_w)] = marker
+    lines = [
+        f"time/iter (s), {min_y:.0f}..{max_y:.0f} log-Y vs "
+        f"power (kW), {min_x / KW:.2f}..{max_x / KW:.1f} log-X"
+    ]
+    lines.extend("".join(row) for row in grid)
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def dock_time_sensitivity(
+    params: DhlParams | None = None,
+    dock_times_s: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 5.0, 10.0),
+) -> list[tuple[float, float, float]]:
+    """Trip time and embodied bandwidth vs dock/undock time.
+
+    Section V-A observes that dock handling dominates the trip; this
+    series quantifies that. Returns (dock_time, trip_time, bandwidth_tb_s).
+    """
+    params = params or DhlParams()
+    rows = []
+    for dock_time in dock_times_s:
+        if dock_time < 0:
+            raise ConfigurationError(f"dock time must be >= 0, got {dock_time}")
+        point = params.with_(dock_time=dock_time, undock_time=dock_time)
+        time = trip_time(point)
+        rows.append((dock_time, time, params.storage_per_cart / time / 1e12))
+    return rows

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the CLI and benches.
+
+Deliberately dependency-free: right-aligns numeric columns, left-aligns
+text, and renders a compact ASCII grid suitable for diffing against the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows into an aligned ASCII table."""
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}"
+            )
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells), 1)
+        if cells
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    numeric = [
+        all(_is_numeric(row[column]) for row in cells) if cells else False
+        for column in range(len(headers))
+    ]
+
+    def format_row(row: Sequence[str]) -> str:
+        parts = []
+        for column, value in enumerate(row):
+            if numeric[column]:
+                parts.append(value.rjust(widths[column]))
+            else:
+                parts.append(value.ljust(widths[column]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return format_number(value)
+    return str(value)
+
+
+def format_number(value: float, sig_figs: int = 4) -> str:
+    """Format a float compactly: trim trailing zeros, avoid exponents for
+    human-scale magnitudes."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e7 or magnitude < 1e-3:
+        return f"{value:.3g}"
+    text = f"{value:.{sig_figs}g}"
+    if "e" in text or "E" in text:
+        text = f"{value:.1f}"
+        if text.endswith(".0"):
+            text = text[:-2]
+    return text
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text.rstrip("x%"))
+    except ValueError:
+        return False
+    return True

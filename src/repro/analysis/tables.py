@@ -1,0 +1,311 @@
+"""Generators for every table in the paper, as structured rows.
+
+Each ``table*`` function returns ``(headers, rows)`` ready for
+:func:`repro.analysis.formatting.render_table`; benches assert on the
+rows and the CLI prints them.
+"""
+
+from __future__ import annotations
+
+from ..core.breakeven import paper_minimum_example
+from ..core.cost import LimCost, RailCost, cost_matrix, dhl_cost
+from ..core.model import DesignPointReport
+from ..core.params import (
+    LENGTH_CANDIDATES_M,
+    SPEED_CANDIDATES_M_S,
+    SSD_COUNT_CANDIDATES,
+    DhlParams,
+)
+from ..core.physics import cart_mass, lim
+from ..core.sweep import table_vi_sweep
+from ..mlsim.analysis import iso_power_comparison, iso_time_comparison
+from ..network.components import TABLE_III_COMPONENTS, Nic, Switch, Transceiver
+from ..network.energy import baseline_transfer_time, fig2_energies
+from ..storage.datasets import TABLE_I_DATASETS, TABLE_I_STREAMS
+from ..storage.devices import TABLE_II_DEVICES
+from ..storage.mlmodels import TABLE_IV_MODELS
+from ..units import DAY, GB, KJ, KW, MJ, PB, TB
+
+Rows = tuple[list[str], list[list[object]]]
+
+
+def table1() -> Rows:
+    """Table I: large emerging datasets and data creation rates."""
+    headers = ["Name", "Size / Rate", "Type"]
+    rows: list[list[object]] = []
+    for dataset in TABLE_I_DATASETS:
+        if dataset.size_bytes >= PB:
+            size = f"{dataset.size_bytes / PB:.3g} PB"
+        else:
+            size = f"{dataset.size_bytes / TB:.3g} TB"
+        rows.append([dataset.name, size, dataset.category])
+    for stream in TABLE_I_STREAMS:
+        if stream.rate_bytes_per_s >= TB:
+            rate = f"{stream.rate_bytes_per_s / TB:.3g} TB/s"
+        else:
+            rate = f"{stream.rate_bytes_per_s * DAY / PB:.3g} PB/day"
+        rows.append([stream.name, rate, stream.category])
+    return headers, rows
+
+
+def table2() -> Rows:
+    """Table II: currently available storage solutions, plus density."""
+    headers = ["Device", "Size (TB)", "Package", "Weight (g)",
+               "Rd/Wr (MB/s)", "GB per gram"]
+    rows: list[list[object]] = []
+    for device in TABLE_II_DEVICES:
+        rows.append([
+            device.name,
+            device.capacity_bytes / TB,
+            device.form_factor.name,
+            device.mass_kg * 1e3,
+            f"{device.read_bw / 1e6:.0f}/{device.write_bw / 1e6:.0f}",
+            device.density_bytes_per_gram / GB,
+        ])
+    return headers, rows
+
+
+def table3() -> Rows:
+    """Table III: networking component power."""
+    headers = ["Component", "Speed (Gbit/s)", "Ports", "Power (W)"]
+    rows: list[list[object]] = []
+    for component in TABLE_III_COMPONENTS:
+        if isinstance(component, Transceiver):
+            rows.append([component.name, 400, "N/A", f"{component.power_w:g}"])
+        elif isinstance(component, Nic):
+            speed = f"{component.ports}x{component.speed_bps / 1e9:.0f}" \
+                if component.ports > 1 else f"{component.speed_bps / 1e9:.0f}"
+            rows.append([
+                component.name, speed, "N/A",
+                f"{component.power.low_w:g}-{component.power.high_w:g}",
+            ])
+        elif isinstance(component, Switch):
+            rows.append([
+                component.name,
+                f"{component.port_speed_bps / 1e9:.0f} (per port)",
+                component.ports,
+                f"{component.power.low_w:g}-{component.power.high_w:g}",
+            ])
+    return headers, rows
+
+
+def fig2_table() -> Rows:
+    """Figure 2 (right): route energies for moving 29 PB."""
+    headers = ["Option", "Route", "Power (W)", "Energy (MJ)"]
+    rows: list[list[object]] = []
+    for name, entry in fig2_energies().items():
+        rows.append([
+            name,
+            entry.route.description,
+            entry.power_w,
+            entry.energy_j / MJ,
+        ])
+    return headers, rows
+
+
+def table4() -> Rows:
+    """Table IV: ML models with a significant storage footprint."""
+    headers = ["Name", "# Params", "Size (bytes)", "From", "Year"]
+    rows: list[list[object]] = []
+    for model in TABLE_IV_MODELS:
+        params = (
+            f"{model.n_params / 1e12:g}T" if model.n_params >= 1e12
+            else f"{model.n_params / 1e9:g}B"
+        )
+        size = (
+            f"{model.size_bytes / TB:g} TB" if model.size_bytes >= TB
+            else f"{model.size_bytes / GB:g} GB"
+        )
+        rows.append([model.name, params, size, model.origin, model.year])
+    return headers, rows
+
+
+def table5() -> Rows:
+    """Table V: the DHL parameter space (defaults marked)."""
+    default = DhlParams()
+    headers = ["Parameter", "Values", "Default"]
+    rows: list[list[object]] = [
+        ["Time to dock or undock", "3 s", f"{default.dock_time:g} s"],
+        [
+            "Mass of cart",
+            "161, 282, 524 g",
+            f"{cart_mass(default).total_grams:.0f} g",
+        ],
+        [
+            "Distance of DHL",
+            ", ".join(f"{value:g}" for value in LENGTH_CANDIDATES_M) + " m",
+            f"{default.track_length:g} m",
+        ],
+        ["Acceleration rate", "1000 m/s^2", f"{default.acceleration:g} m/s^2"],
+        [
+            "Maximum speed",
+            ", ".join(f"{value:g}" for value in SPEED_CANDIDATES_M_S) + " m/s",
+            f"{default.max_speed:g} m/s",
+        ],
+        ["LIM efficiency", "75%", f"{default.lim_efficiency:.0%}"],
+        [
+            "LIM length",
+            ", ".join(
+                f"{lim(default).length_for_speed(speed):g}"
+                for speed in SPEED_CANDIDATES_M_S
+            ) + " m",
+            f"{lim(default).length_for_speed(default.max_speed):g} m",
+        ],
+        [
+            "SSDs per cart",
+            ", ".join(str(count) for count in SSD_COUNT_CANDIDATES),
+            str(default.ssds_per_cart),
+        ],
+        [
+            "Storage per cart",
+            "128, 256, 512 TB",
+            f"{default.storage_per_cart_tb:g} TB",
+        ],
+    ]
+    return headers, rows
+
+
+def table6() -> Rows:
+    """Table VI: design-space exploration + 29 PB comparison (13 rows)."""
+    headers = [
+        "Speed (m/s)", "Length (m)", "Cart (TB)",
+        "Energy (kJ)", "Eff (GB/J)", "Time (s)", "BW (TB/s)", "Peak (kW)",
+        "Speedup", "A0", "A1", "A2", "B", "C",
+    ]
+    rows: list[list[object]] = []
+    for report in table_vi_sweep().reports:
+        rows.append(_table6_row(report))
+    return headers, rows
+
+
+def _table6_row(report: DesignPointReport) -> list[object]:
+    metrics = report.metrics
+    params = metrics.params
+    comparisons = report.comparisons
+    return [
+        params.max_speed,
+        params.track_length,
+        params.storage_per_cart_tb,
+        metrics.energy_j / KJ,
+        metrics.efficiency_gb_per_j,
+        metrics.time_s,
+        metrics.bandwidth_tb_per_s,
+        metrics.peak_power_w / KW,
+        f"{report.time_speedup:.1f}x",
+        f"{comparisons['A0'].energy_reduction:.1f}x",
+        f"{comparisons['A1'].energy_reduction:.1f}x",
+        f"{comparisons['A2'].energy_reduction:.1f}x",
+        f"{comparisons['B'].energy_reduction:.1f}x",
+        f"{comparisons['C'].energy_reduction:.1f}x",
+    ]
+
+
+def table7a() -> Rows:
+    """Table VII(a): time comparison with fixed average power."""
+    headers = ["Scheme", "Avg Power (kW)", "Time/Iter (s)", "Slowdown vs DHL"]
+    rows: list[list[object]] = []
+    for entry in iso_power_comparison():
+        rows.append([
+            entry.scheme,
+            entry.avg_power_w / KW,
+            entry.time_per_iter_s,
+            f"{entry.ratio_vs_dhl:.1f}x",
+        ])
+    return headers, rows
+
+
+def table7b() -> Rows:
+    """Table VII(b): communication power with fixed iteration time."""
+    headers = ["Scheme", "Avg Power (kW)", "Time/Iter (s)", "Power vs DHL"]
+    rows: list[list[object]] = []
+    for entry in iso_time_comparison():
+        rows.append([
+            entry.scheme,
+            entry.avg_power_w / KW,
+            entry.time_per_iter_s,
+            f"{entry.ratio_vs_dhl:.1f}x",
+        ])
+    return headers, rows
+
+
+def table8a() -> Rows:
+    """Table VIII(a): rail cost by distance."""
+    headers = ["Material", "USD/kg", "100 m", "500 m", "1000 m"]
+    costs = {distance: RailCost(distance) for distance in (100.0, 500.0, 1000.0)}
+    rows: list[list[object]] = [
+        ["Aluminium", 2.35] + [f"${costs[d].aluminium_usd:,.0f}" for d in costs],
+        ["PVC (rail)", 1.20] + [f"${costs[d].pvc_rail_usd:,.0f}" for d in costs],
+        ["PVC (vacuum tube)", 1.20] + [f"${costs[d].pvc_tube_usd:,.0f}" for d in costs],
+        ["Total", "-"] + [f"${costs[d].total_usd:,.0f}" for d in costs],
+    ]
+    return headers, rows
+
+
+def table8b() -> Rows:
+    """Table VIII(b): accelerator/decelerator cost by top speed."""
+    headers = ["Component", "USD/kg", "100 m/s", "200 m/s", "300 m/s"]
+    costs = {speed: LimCost(speed) for speed in (100.0, 200.0, 300.0)}
+    rows: list[list[object]] = [
+        ["Copper wire", 8.58] + [f"${costs[s].copper_usd:,.0f}" for s in costs],
+        ["VFD", "-"] + [f"${costs[s].vfd_usd:,.0f}" for s in costs],
+        ["Total", "-"] + [f"${costs[s].total_usd:,.0f}" for s in costs],
+    ]
+    return headers, rows
+
+
+def table8c() -> Rows:
+    """Table VIII(c): overall total cost grid."""
+    headers = ["Distance (m)", "100 m/s", "200 m/s", "300 m/s"]
+    matrix = cost_matrix()
+    rows: list[list[object]] = []
+    for distance in (100.0, 500.0, 1000.0):
+        rows.append(
+            [f"{distance:g}"]
+            + [f"${matrix[(distance, speed)]:,.0f}" for speed in (100.0, 200.0, 300.0)]
+        )
+    return headers, rows
+
+
+def breakeven_summary() -> Rows:
+    """Section V-E: the minimum-specification worked example."""
+    example = paper_minimum_example()
+    headers = ["Quantity", "Value"]
+    rows: list[list[object]] = [
+        ["DHL one-way trip time", f"{example.dhl_trip_time_s:.2f} s"],
+        ["DHL launch energy", f"{example.dhl_launch_energy_j:.1f} J"],
+        [
+            "Optical A0 time for the same payload",
+            f"{example.network_time(example.min_bytes_for_time):.2f} s",
+        ],
+        [
+            "Optical A0 energy for the same payload",
+            f"{example.network_energy(example.min_bytes_for_time):.1f} J",
+        ],
+        ["Minimum size for DHL time win", f"{example.min_bytes_for_time / 1e9:.0f} GB"],
+        ["Minimum size for DHL energy win", f"{example.min_bytes_for_energy / 1e9:.2f} GB"],
+    ]
+    return headers, rows
+
+
+def intro_example() -> Rows:
+    """Section I / II-C anchors: the 29 PB motivating numbers."""
+    from ..network.transfer import speedup_links_needed
+    from ..storage.devices import (
+        NIMBUS_EXADRIVE_100TB,
+        WD_GOLD_24TB,
+        drives_required,
+    )
+
+    transfer = baseline_transfer_time()
+    headers = ["Quantity", "Value"]
+    rows: list[list[object]] = [
+        ["29 PB at 400 Gbit/s", f"{transfer:.0f} s ({transfer / DAY:.2f} days)"],
+        [
+            "Speedup needed for a 1-hour transfer",
+            f"{speedup_links_needed(29 * PB, 3600.0):.0f}x",
+        ],
+        ["100 TB SSDs to hold 29 PB", drives_required(29 * PB, NIMBUS_EXADRIVE_100TB)],
+        ["24 TB HDDs to hold 29 PB", drives_required(29 * PB, WD_GOLD_24TB)],
+        ["Default DHL total cost", f"${dhl_cost(DhlParams()).total_usd:,.0f}"],
+    ]
+    return headers, rows

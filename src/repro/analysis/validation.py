@@ -1,0 +1,188 @@
+"""Programmatic paper-vs-measured validation (EXPERIMENTS.md as code).
+
+Every quantitative anchor in the paper is re-derived here and compared
+against the printed value, producing a machine-checkable reproduction
+record.  ``python -m repro validate`` renders it; the test suite asserts
+that every check passes at its declared tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.breakeven import paper_minimum_example
+from ..core.cost import cost_matrix
+from ..core.model import design_point_report
+from ..core.params import DhlParams
+from ..core.physics import average_trip_power, cart_mass, launch_energy, trip_time
+from ..mlsim.analysis import iso_power_comparison, iso_time_comparison
+from ..network.energy import baseline_transfer_time, fig2_energies
+from ..network.transfer import speedup_links_needed
+from ..storage.devices import NIMBUS_EXADRIVE_100TB, drives_required
+from ..units import GB, KJ, KW, PB
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper anchor: the printed value vs our measurement."""
+
+    section: str
+    name: str
+    paper_value: float
+    measured: float
+    tolerance: float
+    unit: str = ""
+
+    @property
+    def deviation(self) -> float:
+        return self.measured / self.paper_value - 1.0
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.deviation) <= self.tolerance
+
+
+@dataclass
+class ValidationSuite:
+    """Collects checks lazily so partial suites stay cheap."""
+
+    checks: list[Check] = field(default_factory=list)
+
+    def add(self, section: str, name: str, paper_value: float,
+            measured: float, tolerance: float, unit: str = "") -> None:
+        self.checks.append(
+            Check(
+                section=section,
+                name=name,
+                paper_value=paper_value,
+                measured=measured,
+                tolerance=tolerance,
+                unit=unit,
+            )
+        )
+
+    @property
+    def failures(self) -> list[Check]:
+        return [check for check in self.checks if not check.passed]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+    def rows(self) -> list[list[object]]:
+        """Rows for the CLI table renderer."""
+        rendered = []
+        for check in self.checks:
+            rendered.append([
+                check.section,
+                check.name,
+                f"{check.paper_value:g}{check.unit}",
+                f"{check.measured:.4g}{check.unit}",
+                f"{check.deviation:+.1%}",
+                "ok" if check.passed else "FAIL",
+            ])
+        return rendered
+
+
+def _motivation_checks(suite: ValidationSuite) -> None:
+    suite.add("I", "29 PB transfer at 400 Gbit/s", 580_000,
+              baseline_transfer_time(), 1e-9, " s")
+    suite.add("I", "speedup for a 1-hour transfer", 161,
+              speedup_links_needed(29 * PB, 3600.0), 0.002, "x")
+    suite.add("II-C", "100 TB SSDs for 29 PB", 290,
+              drives_required(29 * PB, NIMBUS_EXADRIVE_100TB), 0)
+
+
+def _fig2_checks(suite: ValidationSuite) -> None:
+    paper = {"A0": 13.92, "A1": 22.97, "A2": 50.05, "B": 174.75, "C": 299.45}
+    energies = fig2_energies()
+    for route, expected in paper.items():
+        suite.add("Fig. 2", f"route {route} energy", expected,
+                  energies[route].energy_mj, 0.001, " MJ")
+
+
+def _table_v_checks(suite: ValidationSuite) -> None:
+    for ssds, grams in ((16, 161), (32, 282), (64, 524)):
+        suite.add("Table V", f"cart mass ({ssds} SSDs)", grams,
+                  cart_mass(DhlParams(ssds_per_cart=ssds)).total_grams, 0.005,
+                  " g")
+
+
+def _table_vi_checks(suite: ValidationSuite) -> None:
+    default = DhlParams()
+    suite.add("Table VI", "default launch energy", 15,
+              launch_energy(default) / KJ, 0.01, " kJ")
+    suite.add("Table VI", "default trip time", 8.6, trip_time(default),
+              0.001, " s")
+    suite.add("Table VI", "default average power", 1.75,
+              average_trip_power(default) / KW, 0.01, " kW")
+    report = design_point_report(default)
+    suite.add("Table VI", "default 29 PB speedup", 295.1,
+              report.time_speedup, 0.01, "x")
+    suite.add("Table VI", "default reduction vs C", 87.7,
+              report.comparisons["C"].energy_reduction, 0.01, "x")
+    extremes = design_point_report(DhlParams(max_speed=100.0, ssds_per_cart=64))
+    suite.add("Abstract", "max energy reduction", 376.1,
+              extremes.comparisons["C"].energy_reduction, 0.01, "x")
+    fastest = design_point_report(DhlParams(max_speed=300.0, ssds_per_cart=64))
+    suite.add("Abstract", "max time speedup", 646.4,
+              fastest.time_speedup, 0.01, "x")
+
+
+def _table_vii_checks(suite: ValidationSuite) -> None:
+    iso_power = {row.scheme: row for row in iso_power_comparison()}
+    suite.add("Table VII(a)", "DHL time/iteration", 1350,
+              iso_power["DHL"].time_per_iter_s, 0.02, " s")
+    for scheme, expected in (("A0", 5.7), ("C", 118.0)):
+        suite.add("Table VII(a)", f"{scheme} slowdown", expected,
+                  iso_power[scheme].ratio_vs_dhl, 0.10, "x")
+    iso_time = {row.scheme: row for row in iso_time_comparison()}
+    for scheme, expected in (("A0", 6.4), ("C", 135.0)):
+        suite.add("Table VII(b)", f"{scheme} power ratio", expected,
+                  iso_time[scheme].ratio_vs_dhl, 0.12, "x")
+
+
+def _table_viii_checks(suite: ValidationSuite) -> None:
+    matrix = cost_matrix()
+    suite.add("Table VIII", "default total cost", 14_569,
+              matrix[(500.0, 200.0)], 0.001, " USD")
+    suite.add("Table VIII", "1 km / 300 m/s total cost", 21_842,
+              matrix[(1000.0, 300.0)], 0.001, " USD")
+
+
+def _breakeven_checks(suite: ValidationSuite) -> None:
+    example = paper_minimum_example()
+    suite.add("Sec. V-E", "minimum trip time", 7.2,
+              example.dhl_trip_time_s, 0.05, " s")
+    suite.add("Sec. V-E", "minimum dataset size", 360,
+              example.min_bytes_for_time / GB, 0.05, " GB")
+
+
+_SECTIONS: tuple[Callable[[ValidationSuite], None], ...] = (
+    _motivation_checks,
+    _fig2_checks,
+    _table_v_checks,
+    _table_vi_checks,
+    _table_vii_checks,
+    _table_viii_checks,
+    _breakeven_checks,
+)
+
+
+def run_validation(include_simulation: bool = True) -> ValidationSuite:
+    """Run every paper-anchor check; the ML-simulation checks (Table VII)
+    take a minute and can be skipped for a fast pass."""
+    suite = ValidationSuite()
+    for section in _SECTIONS:
+        if not include_simulation and section is _table_vii_checks:
+            continue
+        section(suite)
+    return suite
+
+
+def validation_table(include_simulation: bool = True) -> tuple[list[str], list[list[object]]]:
+    """Headers and rows for the CLI."""
+    suite = run_validation(include_simulation)
+    headers = ["Section", "Check", "Paper", "Measured", "Dev", "Status"]
+    return headers, suite.rows()

@@ -1,0 +1,28 @@
+"""Alternative data-movement baselines the paper argues against.
+
+Friction-limited embodied movement (hand-carried drives, Snowmobile-
+class trucking) from Sections II-C and VII-B, quantified so the DHL's
+frictionless-maglev advantage can be measured rather than asserted.
+"""
+
+from .sneakernet import (
+    FrictionCarrier,
+    HUMAN_PORTER,
+    SNOWMOBILE_TRUCK,
+    SneakernetPlan,
+    breakeven_against_carrier,
+    metabolic_equivalent_note,
+    plan_sneakernet,
+    snowmobile_reference_time,
+)
+
+__all__ = [
+    "FrictionCarrier",
+    "HUMAN_PORTER",
+    "SNOWMOBILE_TRUCK",
+    "SneakernetPlan",
+    "breakeven_against_carrier",
+    "metabolic_equivalent_note",
+    "plan_sneakernet",
+    "snowmobile_reference_time",
+]

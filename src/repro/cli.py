@@ -1,0 +1,147 @@
+"""Command-line interface: print any reproduced table or figure.
+
+Usage::
+
+    python -m repro table6
+    python -m repro fig6
+    python -m repro all
+    dhl-repro table7a          # via the console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .core.sensitivity import sensitivity_table
+from .analysis import (
+    breakeven_summary,
+    engineering_table,
+    fig2_table,
+    figure6_ascii,
+    hybrid_policy_table,
+    intro_example,
+    multistop_table,
+    render_table,
+    reuse_table,
+    sneakernet_table,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7a,
+    table7b,
+    table8a,
+    table8b,
+    table8c,
+)
+
+_TABLES: dict[str, tuple[str, Callable[[], tuple[list[str], list[list[object]]]]]] = {
+    "intro": ("Section I/II-C motivating numbers", intro_example),
+    "table1": ("Table I: large emerging datasets", table1),
+    "table2": ("Table II: storage solutions", table2),
+    "table3": ("Table III: networking power", table3),
+    "fig2": ("Figure 2: 29 PB route energies", fig2_table),
+    "table4": ("Table IV: large ML models", table4),
+    "table5": ("Table V: DHL parameters", table5),
+    "table6": ("Table VI: design-space exploration", table6),
+    "table7a": ("Table VII(a): iso-power comparison", table7a),
+    "table7b": ("Table VII(b): iso-time comparison", table7b),
+    "table8a": ("Table VIII(a): rail cost", table8a),
+    "table8b": ("Table VIII(b): LIM cost", table8b),
+    "table8c": ("Table VIII(c): total cost", table8c),
+    "breakeven": ("Section V-E: minimum specifications", breakeven_summary),
+    "sneakernet": ("Extension: friction-limited baselines", sneakernet_table),
+    "hybrid": ("Extension: hybrid routing policies", hybrid_policy_table),
+    "engineering": ("Extension: Section VI feasibility checks", engineering_table),
+    "multistop": ("Extension: multi-stop contention vs speed", multistop_table),
+    "reuse": ("Extension: dataset-reuse economics", reuse_table),
+    "sensitivity": ("Extension: parameter elasticities", sensitivity_table),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dhl-repro",
+        description=(
+            "Reproduce tables and figures from 'The Case For Data Centre "
+            "Hyperloops' (ISCA 2024)."
+        ),
+    )
+    choices = list(_TABLES) + ["fig6", "validate", "export", "all"]
+    parser.add_argument(
+        "artefact",
+        choices=choices,
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--max-tracks",
+        type=int,
+        default=4,
+        help="fig6: DHL tracks per curve (larger is slower)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="validate: skip the minute-long ML-simulation checks",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="export: output directory for CSV/JSON artefacts",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="export: include the slow Table VII and Fig. 6 artefacts",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: render the requested artefact(s) to stdout."""
+    args = build_parser().parse_args(argv)
+    if args.artefact == "fig6":
+        from .mlsim.analysis import figure6_series
+
+        print(figure6_ascii(figure6_series(max_tracks=args.max_tracks)))
+        return 0
+    if args.artefact == "export":
+        from .analysis.export import export_tables
+
+        written = export_tables(
+            args.out, include_slow=args.full, include_fig6=args.full
+        )
+        for path in written:
+            print(path)
+        print(f"wrote {len(written)} artefacts to {args.out}/")
+        return 0
+    if args.artefact == "validate":
+        from .analysis.validation import run_validation
+
+        suite = run_validation(include_simulation=not args.fast)
+        headers = ["Section", "Check", "Paper", "Measured", "Dev", "Status"]
+        print(render_table(headers, suite.rows(),
+                           title="Paper-vs-measured validation"))
+        if suite.all_passed:
+            print(f"\nAll {len(suite.checks)} checks passed.")
+            return 0
+        print(f"\n{len(suite.failures)} of {len(suite.checks)} checks FAILED.")
+        return 1
+    if args.artefact == "all":
+        for name, (title, generator) in _TABLES.items():
+            headers, rows = generator()
+            print(render_table(headers, rows, title=f"[{name}] {title}"))
+            print()
+        return 0
+    title, generator = _TABLES[args.artefact]
+    headers, rows = generator()
+    print(render_table(headers, rows, title=title))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Minimum specifications for DHL to outperform optical (paper Section V-E).
+
+The fixed ~6 s dock/undock overhead means DHL only wins above a minimum
+transfer size.  The paper's worked example: a DHL with 360 GB carts,
+10 m/s top speed and a 10 m track matches a single A0 optical link on
+time (7.2 s each way) while spending a minuscule amount of energy versus
+the link's ~144 J — so DHL is desirable from roughly 360 GB and 10 m up.
+
+This module computes those break-even points for arbitrary design points
+and routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.routes import ROUTE_A0, Route
+from ..network.transfer import DEFAULT_LINK_GBPS
+from ..units import assert_positive, gbps
+from .params import DhlParams
+from .physics import launch_energy, trip_time
+
+
+@dataclass(frozen=True)
+class BreakEven:
+    """Break-even summary of one DHL design point against one route."""
+
+    params: DhlParams
+    route: Route
+    link_rate_bytes_per_s: float
+    dhl_trip_time_s: float
+    dhl_launch_energy_j: float
+    min_bytes_for_time: float
+    min_bytes_for_energy: float
+
+    @property
+    def min_bytes(self) -> float:
+        """Transfer size above which DHL wins on *both* time and energy."""
+        return max(self.min_bytes_for_time, self.min_bytes_for_energy)
+
+    def network_time(self, n_bytes: float) -> float:
+        return n_bytes / self.link_rate_bytes_per_s
+
+    def network_energy(self, n_bytes: float) -> float:
+        return self.route.power_w * self.network_time(n_bytes)
+
+    def dhl_wins_time(self, n_bytes: float) -> bool:
+        """Does one DHL trip beat the single link for ``n_bytes``?
+
+        Only meaningful for transfers that fit one cart; larger moves
+        scale trips and link-time together, preserving the verdict.
+        """
+        return self.network_time(n_bytes) >= self.dhl_trip_time_s
+
+    def dhl_wins_energy(self, n_bytes: float) -> bool:
+        return self.network_energy(n_bytes) >= self.dhl_launch_energy_j
+
+
+def break_even(
+    params: DhlParams,
+    route: Route = ROUTE_A0,
+    link_gbps: float = DEFAULT_LINK_GBPS,
+    profile: str = "paper",
+) -> BreakEven:
+    """Break-even sizes for one design point against one route.
+
+    * Time: a single link moves ``rate x t_trip`` bytes during one DHL
+      trip; any larger (cart-sized) payload makes DHL faster.
+    * Energy: the link spends ``P_route x S / rate``; DHL spends one
+      launch energy, so DHL wins above ``E_launch x rate / P_route``.
+    """
+    rate = gbps(link_gbps)
+    t_trip = trip_time(params, profile)
+    e_launch = launch_energy(params)
+    return BreakEven(
+        params=params,
+        route=route,
+        link_rate_bytes_per_s=rate,
+        dhl_trip_time_s=t_trip,
+        dhl_launch_energy_j=e_launch,
+        min_bytes_for_time=rate * t_trip,
+        min_bytes_for_energy=e_launch * rate / route.power_w,
+    )
+
+
+def paper_minimum_example(
+    cart_bytes: float = 360e9,
+    speed: float = 10.0,
+    distance: float = 10.0,
+) -> BreakEven:
+    """The Section V-E worked example: 360 GB carts, 10 m/s, 10 m.
+
+    The 360 GB cart is modelled as a single-SSD cart whose device holds
+    360 GB; cart capacity only matters through the break-even verdicts,
+    not through the launch physics, which use the real mass model.
+    """
+    from ..storage.devices import FORM_FACTOR_M_2_2280, StorageDevice
+
+    device = StorageDevice(
+        name="360GB M.2",
+        capacity_bytes=cart_bytes,
+        form_factor=FORM_FACTOR_M_2_2280,
+        mass_kg=0.00567,
+        read_bw=7.1e9,
+        write_bw=6.0e9,
+    )
+    params = DhlParams(
+        max_speed=speed,
+        track_length=distance,
+        ssds_per_cart=1,
+        ssd_device=device,
+    )
+    return break_even(params)
+
+
+def min_distance_for_time_win(
+    params: DhlParams,
+    n_bytes: float,
+    link_gbps: float = DEFAULT_LINK_GBPS,
+    profile: str = "paper",
+    tolerance: float = 1e-6,
+) -> float | None:
+    """Longest track (metres) at which one DHL trip still beats the link.
+
+    Returns None when even a vanishing track loses (handling overhead
+    alone exceeds the network time).  Solved by bisection on track length
+    — trip time is monotonically increasing in track length.
+    """
+    assert_positive("n_bytes", n_bytes)
+    network_time = n_bytes / gbps(link_gbps)
+
+    def dhl_time(length: float) -> float:
+        return trip_time(params.with_(track_length=length), profile)
+
+    shortest = 1e-6
+    if dhl_time(shortest) > network_time:
+        return None
+    longest = max(params.track_length, 1.0)
+    while dhl_time(longest) <= network_time:
+        longest *= 2.0
+        if longest > 1e9:
+            return float("inf")
+    low, high = shortest, longest
+    while high - low > tolerance * max(1.0, high):
+        mid = (low + high) / 2.0
+        if dhl_time(mid) <= network_time:
+            low = mid
+        else:
+            high = mid
+    return low

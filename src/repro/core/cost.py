@@ -1,0 +1,148 @@
+"""DHL commodity-cost model (paper Table VIII, May 2023 prices).
+
+The bill of materials has two parts: components that scale with track
+*distance* (aluminium levitation rings, PVC rail, PVC vacuum tube) and the
+accelerator/decelerator system whose size scales with top *speed* (copper
+LIM windings plus a fixed variable-frequency drive).
+
+Per-metre material masses are calibrated from the paper's own cost rows
+(commodity price x mass = cost); the copper-winding mass is a quadratic
+fit through the paper's three speed points, reflecting a per-metre winding
+(~16 kg/m), fixed end windings, and slightly thicker conductors at higher
+drive currents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import assert_positive
+from .params import DhlParams
+from .physics import lim
+
+# Commodity prices, USD/kg (Table VIII).
+ALUMINIUM_USD_PER_KG: float = 2.35
+PVC_USD_PER_KG: float = 1.20
+COPPER_USD_PER_KG: float = 8.58
+VFD_COST_USD: float = 8000.0
+
+# Distance-scaling masses (kg per metre of track), calibrated so the
+# Table VIII(a) rows reproduce exactly.
+RING_MASS_KG: float = 0.00362
+RINGS_PER_METRE: float = 137.5
+ALUMINIUM_KG_PER_M: float = RING_MASS_KG * RINGS_PER_METRE  # ~0.498 kg/m
+PVC_RAIL_KG_PER_M: float = 116.0 / (100.0 * PVC_USD_PER_KG)  # ~0.967 kg/m
+PVC_TUBE_KG_PER_M: float = 500.0 / (100.0 * PVC_USD_PER_KG)  # ~4.17 kg/m
+
+# Copper winding mass as a function of LIM length (m), fitted through the
+# paper's three operating points (5 m -> 92.3 kg, 20 m -> 338.5 kg,
+# 45 m -> 759.0 kg).
+_COPPER_QUAD: float = 0.010264
+_COPPER_LINEAR: float = 16.1535
+_COPPER_FIXED: float = 11.2865
+
+
+def copper_mass_kg(lim_length_m: float) -> float:
+    """Copper winding mass for a LIM of the given active length."""
+    assert_positive("lim_length_m", lim_length_m)
+    return _COPPER_QUAD * lim_length_m**2 + _COPPER_LINEAR * lim_length_m + _COPPER_FIXED
+
+
+@dataclass(frozen=True)
+class RailCost:
+    """Table VIII(a): the distance-scaling bill of materials."""
+
+    distance_m: float
+    aluminium_usd: float = field(init=False)
+    pvc_rail_usd: float = field(init=False)
+    pvc_tube_usd: float = field(init=False)
+    total_usd: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        assert_positive("distance_m", self.distance_m)
+        aluminium = self.distance_m * ALUMINIUM_KG_PER_M * ALUMINIUM_USD_PER_KG
+        pvc_rail = self.distance_m * PVC_RAIL_KG_PER_M * PVC_USD_PER_KG
+        pvc_tube = self.distance_m * PVC_TUBE_KG_PER_M * PVC_USD_PER_KG
+        object.__setattr__(self, "aluminium_usd", aluminium)
+        object.__setattr__(self, "pvc_rail_usd", pvc_rail)
+        object.__setattr__(self, "pvc_tube_usd", pvc_tube)
+        object.__setattr__(self, "total_usd", aluminium + pvc_rail + pvc_tube)
+
+
+@dataclass(frozen=True)
+class LimCost:
+    """Table VIII(b): the accelerator/decelerator system for a top speed."""
+
+    top_speed_m_s: float
+    acceleration_m_s2: float = 1000.0
+    copper_usd: float = field(init=False)
+    vfd_usd: float = field(init=False)
+    total_usd: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        assert_positive("top_speed_m_s", self.top_speed_m_s)
+        assert_positive("acceleration_m_s2", self.acceleration_m_s2)
+        length = self.top_speed_m_s**2 / (2.0 * self.acceleration_m_s2)
+        copper = copper_mass_kg(length) * COPPER_USD_PER_KG
+        object.__setattr__(self, "copper_usd", copper)
+        object.__setattr__(self, "vfd_usd", VFD_COST_USD)
+        object.__setattr__(self, "total_usd", copper + VFD_COST_USD)
+
+
+@dataclass(frozen=True)
+class DhlCost:
+    """Table VIII(c): total commodity cost of one DHL design point."""
+
+    rail: RailCost
+    lim: LimCost
+
+    @property
+    def total_usd(self) -> float:
+        return self.rail.total_usd + self.lim.total_usd
+
+
+def dhl_cost(params: DhlParams) -> DhlCost:
+    """Total cost for a design point (rail by distance, LIM by speed)."""
+    return DhlCost(
+        rail=RailCost(distance_m=params.track_length),
+        lim=LimCost(
+            top_speed_m_s=params.max_speed,
+            acceleration_m_s2=params.acceleration,
+        ),
+    )
+
+
+def cost_matrix(
+    distances_m: tuple[float, ...] = (100.0, 500.0, 1000.0),
+    speeds_m_s: tuple[float, ...] = (100.0, 200.0, 300.0),
+) -> dict[tuple[float, float], float]:
+    """The Table VIII(c) grid: total USD keyed by (distance, speed)."""
+    matrix = {}
+    for distance in distances_m:
+        for speed in speeds_m_s:
+            cost = DhlCost(rail=RailCost(distance), lim=LimCost(speed))
+            matrix[(distance, speed)] = cost.total_usd
+    return matrix
+
+
+REFERENCE_400G_SWITCH_USD: float = 20000.0
+"""Typical price of a large 400 Gbit/s switch — the paper's cost anchor."""
+
+
+def cost_versus_switch(params: DhlParams) -> float:
+    """DHL cost as a fraction of one large 400G switch (~1.0 at default)."""
+    return dhl_cost(params).total_usd / REFERENCE_400G_SWITCH_USD
+
+
+def amortised_cost_per_pb(
+    params: DhlParams,
+    lifetime_transfers_pb: float,
+) -> float:
+    """Capital cost amortised per petabyte moved over the DHL's lifetime."""
+    assert_positive("lifetime_transfers_pb", lifetime_transfers_pb)
+    return dhl_cost(params).total_usd / lifetime_transfers_pb
+
+
+def lim_length_m(params: DhlParams) -> float:
+    """Convenience: the LIM length implied by a design point (5/20/45 m)."""
+    return lim(params).length_for_speed(params.max_speed)

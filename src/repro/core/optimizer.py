@@ -1,0 +1,160 @@
+"""Design optimisation: pick the cheapest DHL that meets a requirement.
+
+The paper explores the design space descriptively (Table VI); a
+deployer's question is prescriptive: *given* a dataset and a deadline,
+which speed and cart size should I buy?  Faster carts always help the
+deadline but cost quadratically more energy and more LIM copper, so the
+cost-optimal design runs exactly as fast as the deadline demands.
+
+No SciPy needed: campaign time is strictly decreasing in top speed, so
+bisection finds the minimum feasible speed; the remaining axes (cart
+size, dual rail) are small discrete sets enumerated outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..storage.datasets import Dataset
+from ..units import KWH, assert_positive
+from .cost import dhl_cost
+from .model import plan_campaign
+from .params import SSD_COUNT_CANDIDATES, DhlParams
+
+ELECTRICITY_USD_PER_KWH: float = 0.08
+
+MIN_SPEED_M_S: float = 1.0
+MAX_SPEED_M_S: float = 400.0
+"""Search bounds; 400 m/s is beyond the paper's design space and near
+the safety envelope, so infeasibility above it is reported, not chased."""
+
+
+def campaign_time(params: DhlParams, dataset: Dataset) -> float:
+    return plan_campaign(params, dataset).time_s
+
+
+def min_speed_for_deadline(
+    base: DhlParams,
+    dataset: Dataset,
+    deadline_s: float,
+    tolerance: float = 1e-3,
+) -> float | None:
+    """Smallest top speed whose campaign meets the deadline, or None.
+
+    Campaign time is monotone decreasing in speed (bisection); returns
+    None when even ``MAX_SPEED_M_S`` misses the deadline — the caller
+    should add tracks or bigger carts instead.
+    """
+    assert_positive("deadline_s", deadline_s)
+    slowest = base.with_(max_speed=MIN_SPEED_M_S)
+    if campaign_time(slowest, dataset) <= deadline_s:
+        return MIN_SPEED_M_S
+    fastest = base.with_(max_speed=MAX_SPEED_M_S)
+    if campaign_time(fastest, dataset) > deadline_s:
+        return None
+    low, high = MIN_SPEED_M_S, MAX_SPEED_M_S
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if campaign_time(base.with_(max_speed=mid), dataset) <= deadline_s:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass(frozen=True)
+class DesignRecommendation:
+    """A costed design meeting the stated requirement."""
+
+    params: DhlParams
+    dataset: Dataset
+    deadline_s: float
+    campaign_time_s: float
+    capital_usd: float
+    energy_usd_per_campaign: float
+    lifetime_campaigns: int
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.capital_usd + self.energy_usd_per_campaign * self.lifetime_campaigns
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.campaign_time_s <= self.deadline_s
+
+
+def design_for_deadline(
+    dataset: Dataset,
+    deadline_s: float,
+    base: DhlParams | None = None,
+    cart_options: tuple[int, ...] = SSD_COUNT_CANDIDATES,
+    allow_dual_rail: bool = True,
+    lifetime_campaigns: int = 1000,
+    electricity_usd_per_kwh: float = ELECTRICITY_USD_PER_KWH,
+) -> DesignRecommendation:
+    """The cheapest design (capital + lifetime energy) meeting a deadline.
+
+    Enumerates cart sizes and rail layouts; for each, bisects the
+    minimum feasible speed and costs the result.  Raises
+    :class:`ConfigurationError` when no candidate meets the deadline —
+    in that regime the deployer needs parallel tracks, which this
+    single-track optimiser deliberately does not hide.
+    """
+    assert_positive("deadline_s", deadline_s)
+    if lifetime_campaigns <= 0:
+        raise ConfigurationError("lifetime_campaigns must be >= 1")
+    if not cart_options:
+        raise ConfigurationError("at least one cart option is required")
+    base = base or DhlParams()
+
+    candidates: list[DesignRecommendation] = []
+    rail_layouts = (False, True) if allow_dual_rail else (False,)
+    for ssds in cart_options:
+        for dual_rail in rail_layouts:
+            layout = base.with_(ssds_per_cart=ssds, dual_rail=dual_rail)
+            speed = min_speed_for_deadline(layout, dataset, deadline_s)
+            if speed is None:
+                continue
+            params = layout.with_(max_speed=speed)
+            campaign = plan_campaign(params, dataset)
+            # Dual rail doubles the distance-scaled materials.
+            capital = dhl_cost(params).total_usd
+            if dual_rail:
+                capital += dhl_cost(params).rail.total_usd
+            energy_usd = campaign.energy_j / KWH * electricity_usd_per_kwh
+            candidates.append(
+                DesignRecommendation(
+                    params=params,
+                    dataset=dataset,
+                    deadline_s=deadline_s,
+                    campaign_time_s=campaign.time_s,
+                    capital_usd=capital,
+                    energy_usd_per_campaign=energy_usd,
+                    lifetime_campaigns=lifetime_campaigns,
+                )
+            )
+    if not candidates:
+        raise ConfigurationError(
+            f"no single-track design moves {dataset.name!r} within "
+            f"{deadline_s:.0f} s; add parallel tracks"
+        )
+    return min(candidates, key=lambda candidate: candidate.total_cost_usd)
+
+
+def max_dataset_within_deadline(
+    params: DhlParams,
+    deadline_s: float,
+) -> float:
+    """Largest dataset (bytes) one design moves inside a deadline.
+
+    Inverse of the campaign model: whole trips fit in the deadline, each
+    delivering one cart of data.
+    """
+    assert_positive("deadline_s", deadline_s)
+    from .physics import trip_time
+
+    per_trip = trip_time(params)
+    per_delivery = per_trip if params.dual_rail else 2.0 * per_trip
+    deliveries = int(deadline_s / per_delivery)
+    return deliveries * params.storage_per_cart

@@ -1,0 +1,159 @@
+"""DHL design parameters (paper Table V) and configuration dataclass.
+
+A :class:`DhlParams` instance captures one point in the design space.
+Derived quantities (cart mass, LIM length, storage per cart) come from the
+physics models in :mod:`repro.core.physics`; this module only holds the
+free parameters and the paper's candidate values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..errors import ConfigurationError
+from ..storage.devices import SABRENT_ROCKET_4_PLUS_8TB, StorageDevice
+from ..units import TB
+
+#: Candidate values explored in Table V / Table VI (defaults in the middle).
+SPEED_CANDIDATES_M_S = (100.0, 200.0, 300.0)
+LENGTH_CANDIDATES_M = (100.0, 500.0, 1000.0)
+SSD_COUNT_CANDIDATES = (16, 32, 64)
+
+DEFAULT_SPEED_M_S = 200.0
+DEFAULT_LENGTH_M = 500.0
+DEFAULT_SSD_COUNT = 32
+
+DEFAULT_ACCELERATION_M_S2 = 1000.0
+DEFAULT_LIM_EFFICIENCY = 0.75
+DEFAULT_DOCK_TIME_S = 3.0
+"""Pessimistic per-dock (or per-undock) handling time."""
+
+
+class BrakingMode:
+    """How the cart is decelerated at the end of a run.
+
+    * ``LIM`` — the paper's default: braking costs as much as acceleration.
+    * ``EDDY`` — passive eddy-current brake (Section VI): braking is free.
+    * ``REGENERATIVE`` — LIM braking that recovers a fraction of the
+      cart's kinetic energy (Section VI quotes 16-70 % recovery).
+    """
+
+    LIM = "lim"
+    EDDY = "eddy"
+    REGENERATIVE = "regenerative"
+
+    ALL = (LIM, EDDY, REGENERATIVE)
+
+
+@dataclass(frozen=True)
+class DhlParams:
+    """One DHL design point.
+
+    The defaults are the paper's bolded main setup: a 500 m track, 200 m/s
+    top speed, 32 SSDs of 8 TB per cart (256 TB), 1000 m/s^2 acceleration
+    through a 75 %-efficient LIM, and 3 s to dock or undock.
+    """
+
+    max_speed: float = DEFAULT_SPEED_M_S
+    track_length: float = DEFAULT_LENGTH_M
+    ssds_per_cart: int = DEFAULT_SSD_COUNT
+    ssd_device: StorageDevice = SABRENT_ROCKET_4_PLUS_8TB
+    acceleration: float = DEFAULT_ACCELERATION_M_S2
+    lim_efficiency: float = DEFAULT_LIM_EFFICIENCY
+    dock_time: float = DEFAULT_DOCK_TIME_S
+    undock_time: float = DEFAULT_DOCK_TIME_S
+    braking: str = BrakingMode.LIM
+    regen_recovery: float = 0.0
+    dual_rail: bool = False
+    """Two unidirectional rails: return trips do not serialise with outbound."""
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be > 0, got {self.max_speed}")
+        if self.track_length <= 0:
+            raise ConfigurationError(f"track_length must be > 0, got {self.track_length}")
+        if self.ssds_per_cart <= 0:
+            raise ConfigurationError(f"ssds_per_cart must be > 0, got {self.ssds_per_cart}")
+        if self.acceleration <= 0:
+            raise ConfigurationError(f"acceleration must be > 0, got {self.acceleration}")
+        if not 0 < self.lim_efficiency <= 1:
+            raise ConfigurationError(
+                f"lim_efficiency must be in (0, 1], got {self.lim_efficiency}"
+            )
+        if self.dock_time < 0 or self.undock_time < 0:
+            raise ConfigurationError("dock/undock times must be >= 0")
+        if self.braking not in BrakingMode.ALL:
+            raise ConfigurationError(
+                f"unknown braking mode {self.braking!r}; expected one of {BrakingMode.ALL}"
+            )
+        if not 0 <= self.regen_recovery <= 1:
+            raise ConfigurationError(
+                f"regen_recovery must be in [0, 1], got {self.regen_recovery}"
+            )
+        if self.regen_recovery > 0 and self.braking != BrakingMode.REGENERATIVE:
+            raise ConfigurationError(
+                "regen_recovery is only meaningful with braking='regenerative'"
+            )
+
+    @property
+    def storage_per_cart(self) -> float:
+        """Cart data capacity in bytes (SSD count x device capacity)."""
+        return self.ssds_per_cart * self.ssd_device.capacity_bytes
+
+    @property
+    def storage_per_cart_tb(self) -> float:
+        return self.storage_per_cart / TB
+
+    @property
+    def handling_time(self) -> float:
+        """Fixed per-trip overhead: one undock plus one dock."""
+        return self.dock_time + self.undock_time
+
+    def with_(self, **changes: object) -> "DhlParams":
+        """A modified copy (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """The paper's config naming: DHL-speed-length-capacityTB."""
+        return (
+            f"DHL-{self.max_speed:g}-{self.track_length:g}-"
+            f"{self.storage_per_cart_tb:g}"
+        )
+
+
+DEFAULT_PARAMS = DhlParams()
+
+
+def table_v_design_points() -> Iterator[DhlParams]:
+    """Every (speed, length, SSD-count) combination from Table V."""
+    for speed in SPEED_CANDIDATES_M_S:
+        for length in LENGTH_CANDIDATES_M:
+            for ssds in SSD_COUNT_CANDIDATES:
+                yield DhlParams(max_speed=speed, track_length=length, ssds_per_cart=ssds)
+
+
+def table_vi_design_points() -> list[DhlParams]:
+    """The 13 rows of Table VI, in paper order.
+
+    The table varies one axis at a time around the default, with the
+    default row repeated in each block, plus four speed-capacity corner
+    cases.
+    """
+    default = DEFAULT_PARAMS
+    rows = [
+        default.with_(max_speed=100.0),
+        default,
+        default.with_(max_speed=300.0),
+        default.with_(track_length=100.0),
+        default,
+        default.with_(track_length=1000.0),
+        default.with_(ssds_per_cart=16),
+        default,
+        default.with_(ssds_per_cart=64),
+        default.with_(max_speed=100.0, ssds_per_cart=16),
+        default.with_(max_speed=100.0, ssds_per_cart=64),
+        default.with_(max_speed=300.0, ssds_per_cart=16),
+        default.with_(max_speed=300.0, ssds_per_cart=64),
+    ]
+    return rows

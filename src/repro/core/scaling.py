@@ -1,0 +1,177 @@
+"""Technology-scaling projections (Sections II-A, V-A, and the upgrade
+argument of Section II-A's closing paragraph).
+
+Two claims are made quantitative here:
+
+* **Density scaling** — "as storage density improves ... DHLs will
+  achieve higher embodied data transmission rates": NAND keeps stacking
+  layers, so the same cart mass carries more bytes every year, raising
+  embodied bandwidth and efficiency with zero change to the rail.
+* **Upgrade economics** — "we only need to upgrade the carts' SSDs and
+  not the hyperloop itself", versus optical networking where each
+  generation replaces transceivers and switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..storage.devices import SABRENT_ROCKET_4_PLUS_8TB, StorageDevice
+from ..units import assert_positive
+from .cost import dhl_cost
+from .model import LaunchMetrics, launch_metrics
+from .params import DhlParams
+
+NAND_DENSITY_CAGR: float = 0.25
+"""Historical NAND bit-density compound annual growth (layers x cell
+bits), conservative versus the 2013-2023 record."""
+
+SSD_USD_PER_TB: float = 50.0
+"""Commodity flash price used for cart refresh costing."""
+
+NETWORK_GENERATION_YEARS: float = 3.0
+"""Optical generations (400G -> 800G -> 1.6T) arrive roughly triennially."""
+
+NETWORK_GENERATION_RATE_GAIN: float = 2.0
+
+
+def scaled_device(
+    base: StorageDevice = SABRENT_ROCKET_4_PLUS_8TB,
+    years: float = 0.0,
+    density_cagr: float = NAND_DENSITY_CAGR,
+) -> StorageDevice:
+    """The same M.2 package ``years`` later: more bytes, same mass.
+
+    Density scaling stacks more layers in the same footprint; mass and
+    sequential bandwidth per package are held constant (bandwidth is
+    interface-bound), which is conservative for the DHL.
+    """
+    if years < 0:
+        raise ConfigurationError(f"years must be >= 0, got {years}")
+    if density_cagr <= -1:
+        raise ConfigurationError("density CAGR must exceed -100%")
+    growth = (1.0 + density_cagr) ** years
+    return StorageDevice(
+        name=f"{base.name} (+{years:g}y)",
+        capacity_bytes=base.capacity_bytes * growth,
+        form_factor=base.form_factor,
+        mass_kg=base.mass_kg,
+        read_bw=base.read_bw,
+        write_bw=base.write_bw,
+        active_power_w=base.active_power_w,
+        idle_power_w=base.idle_power_w,
+        kind=base.kind,
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """DHL launch metrics with year-N SSDs on the unchanged rail."""
+
+    year: float
+    device: StorageDevice
+    metrics: LaunchMetrics
+
+    @property
+    def cart_tb(self) -> float:
+        return self.metrics.params.storage_per_cart / 1e12
+
+
+def density_projection(
+    params: DhlParams | None = None,
+    years: tuple[float, ...] = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0),
+    density_cagr: float = NAND_DENSITY_CAGR,
+) -> list[ScalingPoint]:
+    """Project embodied bandwidth/efficiency as SSD density scales.
+
+    The rail, LIM, speeds and dock times never change — only the device
+    capacity, exactly the upgrade path the paper highlights.
+    """
+    if not years:
+        raise ConfigurationError("at least one projection year is required")
+    params = params or DhlParams()
+    points = []
+    for year in sorted(years):
+        device = scaled_device(params.ssd_device, year, density_cagr)
+        point_params = params.with_(ssd_device=device)
+        points.append(
+            ScalingPoint(
+                year=year,
+                device=device,
+                metrics=launch_metrics(point_params),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class UpgradeCosts:
+    """A decade of capability upgrades: DHL refresh vs optical refresh."""
+
+    horizon_years: float
+    dhl_initial_usd: float
+    dhl_refresh_usd: float
+    network_initial_usd: float
+    network_refresh_usd: float
+    dhl_capacity_gain: float
+    network_rate_gain: float
+
+    @property
+    def dhl_total_usd(self) -> float:
+        return self.dhl_initial_usd + self.dhl_refresh_usd
+
+    @property
+    def network_total_usd(self) -> float:
+        return self.network_initial_usd + self.network_refresh_usd
+
+    @property
+    def dhl_gain_per_kusd(self) -> float:
+        return self.dhl_capacity_gain / (self.dhl_total_usd / 1e3)
+
+    @property
+    def network_gain_per_kusd(self) -> float:
+        return self.network_rate_gain / (self.network_total_usd / 1e3)
+
+
+def upgrade_economics(
+    params: DhlParams | None = None,
+    horizon_years: float = 9.0,
+    refresh_interval_years: float = 3.0,
+    density_cagr: float = NAND_DENSITY_CAGR,
+    switch_cost_usd: float = 20_000.0,
+    transceiver_cost_usd: float = 600.0,
+    ports_refreshed: int = 32,
+) -> UpgradeCosts:
+    """Cost a decade of keeping up with demand on both technologies.
+
+    * DHL: keep the rail; at each refresh buy new (denser) flash for the
+      cart fleet at commodity price.  Bandwidth gain = density gain.
+    * Optics: at each refresh buy a new-generation switch plus a
+      transceiver per port.  Rate gain = 2x per generation.
+    """
+    params = params or DhlParams()
+    assert_positive("horizon_years", horizon_years)
+    assert_positive("refresh_interval_years", refresh_interval_years)
+    refreshes = int(horizon_years / refresh_interval_years)
+
+    fleet_tb = params.storage_per_cart / 1e12
+    dhl_refresh = 0.0
+    for refresh in range(1, refreshes + 1):
+        year = refresh * refresh_interval_years
+        grown_tb = fleet_tb * (1.0 + density_cagr) ** year
+        dhl_refresh += grown_tb * SSD_USD_PER_TB
+
+    network_refresh = refreshes * (
+        switch_cost_usd + ports_refreshed * transceiver_cost_usd
+    )
+
+    return UpgradeCosts(
+        horizon_years=horizon_years,
+        dhl_initial_usd=dhl_cost(params).total_usd,
+        dhl_refresh_usd=dhl_refresh,
+        network_initial_usd=switch_cost_usd + ports_refreshed * transceiver_cost_usd,
+        network_refresh_usd=network_refresh,
+        dhl_capacity_gain=(1.0 + density_cagr) ** (refreshes * refresh_interval_years),
+        network_rate_gain=NETWORK_GENERATION_RATE_GAIN**refreshes,
+    )

@@ -1,0 +1,135 @@
+"""Parameter-sensitivity analysis of the DHL design space.
+
+Section V-A reads trends off Table VI informally ("maximum speed is the
+parameter that most reduces the time at the expense of energy"; "the
+docking/un-docking time has a huge impact").  This module quantifies
+those statements as normalised elasticities,
+
+    elasticity = (d metric / metric) / (d parameter / parameter)
+
+estimated by central differences around a design point, and ranks the
+parameters per metric — a tornado analysis for the DHL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..units import assert_positive
+from .model import launch_metrics
+from .params import DhlParams
+
+#: Parameters varied by the analysis, with accessors and update kwargs.
+_NUMERIC_PARAMETERS: dict[str, Callable[[DhlParams], float]] = {
+    "max_speed": lambda params: params.max_speed,
+    "track_length": lambda params: params.track_length,
+    "acceleration": lambda params: params.acceleration,
+    "lim_efficiency": lambda params: params.lim_efficiency,
+    "dock_time": lambda params: params.dock_time,
+}
+
+#: Metrics reported on, as metric-name -> extractor.
+METRICS: dict[str, Callable] = {
+    "launch_energy": lambda metrics: metrics.energy_j,
+    "trip_time": lambda metrics: metrics.time_s,
+    "bandwidth": lambda metrics: metrics.bandwidth_bytes_per_s,
+    "efficiency": lambda metrics: metrics.efficiency_bytes_per_j,
+    "peak_power": lambda metrics: metrics.peak_power_w,
+}
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """d(log metric) / d(log parameter) at one design point."""
+
+    parameter: str
+    metric: str
+    value: float
+
+    @property
+    def magnitude(self) -> float:
+        return abs(self.value)
+
+
+def _perturbed(params: DhlParams, name: str, factor: float) -> DhlParams:
+    current = _NUMERIC_PARAMETERS[name](params)
+    update = {name: current * factor}
+    if name == "dock_time":
+        update["undock_time"] = current * factor
+    return params.with_(**update)
+
+
+def elasticity(
+    params: DhlParams,
+    parameter: str,
+    metric: str,
+    step: float = 0.01,
+) -> Elasticity:
+    """Central-difference elasticity of one metric to one parameter."""
+    if parameter not in _NUMERIC_PARAMETERS:
+        raise ConfigurationError(
+            f"unknown parameter {parameter!r}; known: {sorted(_NUMERIC_PARAMETERS)}"
+        )
+    if metric not in METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; known: {sorted(METRICS)}"
+        )
+    assert_positive("step", step)
+    if step >= 0.5:
+        raise ConfigurationError("step must be a small relative perturbation")
+    extractor = METRICS[metric]
+    up = extractor(launch_metrics(_perturbed(params, parameter, 1.0 + step)))
+    down = extractor(launch_metrics(_perturbed(params, parameter, 1.0 - step)))
+    base = extractor(launch_metrics(params))
+    derivative = (up - down) / (2.0 * step)
+    return Elasticity(parameter=parameter, metric=metric, value=derivative / base)
+
+
+def sensitivity_matrix(
+    params: DhlParams | None = None,
+    step: float = 0.01,
+) -> dict[str, dict[str, Elasticity]]:
+    """All (metric, parameter) elasticities at a design point."""
+    params = params or DhlParams()
+    matrix: dict[str, dict[str, Elasticity]] = {}
+    for metric in METRICS:
+        matrix[metric] = {
+            parameter: elasticity(params, parameter, metric, step)
+            for parameter in _NUMERIC_PARAMETERS
+        }
+    return matrix
+
+
+def tornado(
+    metric: str,
+    params: DhlParams | None = None,
+    step: float = 0.01,
+) -> list[Elasticity]:
+    """Parameters ranked by influence on one metric (largest first)."""
+    params = params or DhlParams()
+    if metric not in METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; known: {sorted(METRICS)}"
+        )
+    entries = [
+        elasticity(params, parameter, metric, step)
+        for parameter in _NUMERIC_PARAMETERS
+    ]
+    return sorted(entries, key=lambda entry: entry.magnitude, reverse=True)
+
+
+def sensitivity_table(params: DhlParams | None = None) -> tuple[list[str], list[list[object]]]:
+    """Headers and rows for the CLI: the full elasticity matrix."""
+    params = params or DhlParams()
+    matrix = sensitivity_matrix(params)
+    parameters = sorted(_NUMERIC_PARAMETERS)
+    headers = ["Metric"] + parameters
+    rows: list[list[object]] = []
+    for metric in sorted(METRICS):
+        row: list[object] = [metric]
+        for parameter in parameters:
+            row.append(f"{matrix[metric][parameter].value:+.2f}")
+        rows.append(row)
+    return headers, rows

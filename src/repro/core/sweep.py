@@ -1,0 +1,108 @@
+"""Design-space exploration utilities (paper Section V-A, Table VI).
+
+Provides the exact 13-row Table VI sweep plus generic sweeps over any
+subset of DHL parameters, for ablation benches and the explorer example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError
+from ..storage.datasets import Dataset, META_ML_LARGE
+from .model import DesignPointReport, design_point_report
+from .params import DhlParams, table_vi_design_points
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All reports from a sweep, in input order."""
+
+    reports: tuple[DesignPointReport, ...]
+
+    def best_by(self, key: Callable[[DesignPointReport], float],
+                maximise: bool = True) -> DesignPointReport:
+        """The report optimising ``key`` (e.g. efficiency, speedup)."""
+        if not self.reports:
+            raise ConfigurationError("sweep produced no reports")
+        chooser = max if maximise else min
+        return chooser(self.reports, key=key)
+
+    def column(self, key: Callable[[DesignPointReport], float]) -> list[float]:
+        """Extract one metric across all rows."""
+        return [key(report) for report in self.reports]
+
+
+def run_sweep(
+    points: Iterable[DhlParams],
+    dataset: Dataset = META_ML_LARGE,
+    link_gbps: float = 400.0,
+) -> SweepResult:
+    """Evaluate a report for every design point."""
+    reports = tuple(
+        design_point_report(params, dataset=dataset, link_gbps=link_gbps)
+        for params in points
+    )
+    if not reports:
+        raise ConfigurationError("no design points supplied")
+    return SweepResult(reports=reports)
+
+
+def table_vi_sweep(dataset: Dataset = META_ML_LARGE) -> SweepResult:
+    """The paper's Table VI: 13 rows in publication order."""
+    return run_sweep(table_vi_design_points(), dataset=dataset)
+
+
+def grid_sweep(
+    base: DhlParams = DhlParams(),
+    dataset: Dataset = META_ML_LARGE,
+    **axes: Sequence[object],
+) -> SweepResult:
+    """Full-factorial sweep over named parameter axes.
+
+    >>> result = grid_sweep(max_speed=[100.0, 200.0], track_length=[500.0])
+    >>> len(result.reports)
+    2
+    """
+    if not axes:
+        raise ConfigurationError("grid_sweep needs at least one axis")
+    names = list(axes)
+    points = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        changes = dict(zip(names, values))
+        points.append(base.with_(**changes))
+    return run_sweep(points, dataset=dataset)
+
+
+def pareto_front(
+    result: SweepResult,
+    time_key: Callable[[DesignPointReport], float] | None = None,
+    energy_key: Callable[[DesignPointReport], float] | None = None,
+) -> list[DesignPointReport]:
+    """Non-dominated design points in the (time, energy) plane.
+
+    A point dominates another when it is no worse on both axes and
+    strictly better on one — the trade-off frontier the paper discusses
+    (speed buys time at the cost of energy).
+    """
+    if time_key is None:
+        time_key = lambda report: report.campaign.time_s  # noqa: E731
+    if energy_key is None:
+        energy_key = lambda report: report.campaign.energy_j  # noqa: E731
+    reports = list(result.reports)
+    front = []
+    for candidate in reports:
+        dominated = any(
+            time_key(other) <= time_key(candidate)
+            and energy_key(other) <= energy_key(candidate)
+            and (
+                time_key(other) < time_key(candidate)
+                or energy_key(other) < energy_key(candidate)
+            )
+            for other in reports
+        )
+        if not dominated:
+            front.append(candidate)
+    return front

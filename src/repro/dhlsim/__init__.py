@@ -1,0 +1,54 @@
+"""Operational DHL simulator: carts, track, docks, library, scheduler, API.
+
+Where :mod:`repro.core` predicts campaign time and energy in closed form,
+this package *simulates* the moving parts — tube occupancy, dock slots,
+pipelined launches, SSD failures — on the discrete-event engine, so the
+two can be cross-validated and schedule-level questions (pipelining,
+dual-rail, multi-stop contention) can be answered.
+"""
+
+from .api import DhlApi, TransferReport
+from .cart import Cart, CartState
+from .docking import DockingStation, RackEndpoint
+from .faults import FaultInjector, expected_failures_per_campaign
+from .library_node import LibraryNode
+from .metrics import EnergySample, Telemetry
+from .multistop import (
+    ContentionReport,
+    MultiStopExperiment,
+    RequestOutcome,
+    TransferRequest,
+    speed_contention_sweep,
+)
+from .scheduler import DhlSystem
+from .timeline import Span, TimelineEvent, TimelineRecorder, render_gantt
+from .track import Endpoint, Track, build_tracks, default_endpoints, pick_track
+
+__all__ = [
+    "Cart",
+    "CartState",
+    "ContentionReport",
+    "DhlApi",
+    "DhlSystem",
+    "DockingStation",
+    "Endpoint",
+    "EnergySample",
+    "FaultInjector",
+    "LibraryNode",
+    "MultiStopExperiment",
+    "RackEndpoint",
+    "RequestOutcome",
+    "Span",
+    "Telemetry",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "Track",
+    "render_gantt",
+    "TransferReport",
+    "TransferRequest",
+    "build_tracks",
+    "default_endpoints",
+    "expected_failures_per_campaign",
+    "pick_track",
+    "speed_contention_sweep",
+]

@@ -1,0 +1,215 @@
+"""The DHL software API (paper Section III-D).
+
+The paper specifies four commands, administered over the ordinary
+network:
+
+1. **Open** — the rack requests an SSD cart from the library; if present
+   it is shuttled over and docked.
+2. **Close** — the rack disconnects a cart; it shuttles back home.
+3. **Read** — read data from a docked cart at local PCIe bandwidth.
+4. **Write** — write data to a cart at a specific docking station.
+
+On top of those, :meth:`DhlApi.bulk_transfer` orchestrates a whole
+dataset move with pipelining: while one cart's data is being read, the
+next is already in flight — the optimisation Section V-B sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..sim import Environment, Event, Store
+from ..storage.datasets import Dataset
+from .cart import Cart
+from .docking import DockingStation
+from .scheduler import DhlSystem
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Outcome of a bulk transfer orchestrated through the API."""
+
+    dataset: Dataset
+    shards_moved: int
+    bytes_delivered: float
+    start_s: float
+    end_s: float
+    launches: int
+    launch_energy_j: float
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def effective_bandwidth(self) -> float:
+        if self.elapsed_s <= 0:
+            raise SchedulingError("transfer completed in zero time")
+        return self.bytes_delivered / self.elapsed_s
+
+
+@dataclass
+class DhlApi:
+    """The four-command API bound to one simulated DHL system."""
+
+    system: DhlSystem
+    env: Environment = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.env = self.system.env
+
+    # -- the four commands ----------------------------------------------------
+
+    def open(self, dataset: str, shard_index: int, endpoint_id: int) -> Event:
+        """Process: fetch the cart holding a shard; returns its station."""
+        return self.env.process(self._open(dataset, shard_index, endpoint_id))
+
+    def _open(self, dataset: str, shard_index: int, endpoint_id: int):
+        cart = self.system.library.cart_holding(dataset, shard_index)
+        station = yield self.system.dispatch_to_rack(cart.cart_id, endpoint_id)
+        return station
+
+    def close(self, cart: Cart, endpoint_id: int) -> Event:
+        """Process: disconnect a cart and shuttle it back to the library."""
+        return self.system.return_to_library(cart, endpoint_id)
+
+    def read(self, endpoint_id: int, dataset: str, shard_index: int,
+             n_bytes: float | None = None) -> Event:
+        """Process: read shard bytes from the docked cart holding it."""
+        return self.env.process(self._read(endpoint_id, dataset, shard_index, n_bytes))
+
+    def _read(self, endpoint_id: int, dataset: str, shard_index: int,
+              n_bytes: float | None):
+        station = self.system.station_for_shard(endpoint_id, dataset, shard_index)
+        cart = station.cart
+        assert cart is not None
+        cart.check_integrity()  # surfaces in-flight SSD failures at access time
+        shard = cart.shards[(dataset, shard_index)]
+        amount = shard.size_bytes if n_bytes is None else min(n_bytes, shard.size_bytes)
+        done = yield station.read(amount)
+        return done
+
+    def write(self, station: DockingStation, n_bytes: float) -> Event:
+        """Process: write bytes to the cart at a specific docking station."""
+        if station.cart is None:
+            raise SchedulingError(
+                f"write to empty dock {station.station_id}@{station.endpoint_id}"
+            )
+        return station.write(n_bytes)
+
+    # -- orchestration -----------------------------------------------------------
+
+    def bulk_transfer(self, dataset: Dataset, endpoint_id: int = 1,
+                      read_payload: bool = True) -> Event:
+        """Process: move a staged dataset to a rack, shard by shard.
+
+        Pipelined: up to ``stations_per_rack`` carts are in flight or
+        being read concurrently.  Each shard is Opened, optionally Read
+        in full, then Closed.  Returns a :class:`TransferReport`.
+        """
+        return self.env.process(self._bulk_transfer(dataset, endpoint_id, read_payload))
+
+    def _bulk_transfer(self, dataset: Dataset, endpoint_id: int, read_payload: bool):
+        system = self.system
+        shard_keys = sorted(
+            (shard_index for name, shard_index in self._library_shards(dataset.name)),
+        )
+        if not shard_keys:
+            raise SchedulingError(
+                f"dataset {dataset.name!r} is not staged in the library; "
+                "call DhlSystem.load_dataset first"
+            )
+        start = self.env.now
+        start_launches = system.total_launches
+        start_energy = system.total_launch_energy
+        delivered = Store(self.env)
+
+        def shard_worker(shard_index: int):
+            station = yield self.open(dataset.name, shard_index, endpoint_id)
+            cart = station.cart
+            if read_payload:
+                n_read = yield self.read(endpoint_id, dataset.name, shard_index)
+            else:
+                n_read = cart.shards[(dataset.name, shard_index)].size_bytes
+            yield self.close(cart, endpoint_id)
+            yield delivered.put(n_read)
+
+        for shard_index in shard_keys:
+            self.env.process(shard_worker(shard_index))
+
+        total_bytes = 0.0
+        for _ in shard_keys:
+            total_bytes += yield delivered.get()
+
+        return TransferReport(
+            dataset=dataset,
+            shards_moved=len(shard_keys),
+            bytes_delivered=total_bytes,
+            start_s=start,
+            end_s=self.env.now,
+            launches=system.total_launches - start_launches,
+            launch_energy_j=system.total_launch_energy - start_energy,
+        )
+
+    def bulk_writeback(self, dataset: Dataset, endpoint_id: int = 1) -> Event:
+        """Process: stream rack-resident data *into* the library.
+
+        The backup direction (Section II-D2): empty carts shuttle to the
+        rack, the rack Writes shard-sized chunks onto them at PCIe speed,
+        and loaded carts Close back into cold storage.  Pipelined across
+        the endpoint's docking stations like :meth:`bulk_transfer`.
+        Returns a :class:`TransferReport`.
+        """
+        return self.env.process(self._bulk_writeback(dataset, endpoint_id))
+
+    def _bulk_writeback(self, dataset: Dataset, endpoint_id: int):
+        from ..storage.library import Shard, plan_placement
+
+        system = self.system
+        plan = plan_placement(dataset, system.make_array())
+        empty_carts = sum(
+            1 for cart in system.library.carts.values() if not cart.shards
+        )
+        if empty_carts < plan.n_carts:
+            raise SchedulingError(
+                f"writeback of {dataset.name!r} needs {plan.n_carts} empty "
+                f"carts but the library holds {empty_carts}; stage more "
+                "with DhlSystem.add_empty_carts"
+            )
+        start = self.env.now
+        start_launches = system.total_launches
+        start_energy = system.total_launch_energy
+        delivered = Store(self.env)
+
+        def shard_worker(shard: Shard):
+            # Claim an empty cart and bring it to the rack.
+            cart = system.library.idle_cart()
+            cart.load_shard(shard)  # reserve content before dispatch
+            station = yield system.dispatch_to_rack(cart.cart_id, endpoint_id)
+            yield self.write(station, shard.size_bytes)
+            yield self.close(station.cart, endpoint_id)
+            yield delivered.put(shard.size_bytes)
+
+        for shard in plan:
+            self.env.process(shard_worker(shard))
+
+        total_bytes = 0.0
+        for _ in plan.shards:
+            total_bytes += yield delivered.get()
+
+        return TransferReport(
+            dataset=dataset,
+            shards_moved=plan.n_carts,
+            bytes_delivered=total_bytes,
+            start_s=start,
+            end_s=self.env.now,
+            launches=system.total_launches - start_launches,
+            launch_energy_j=system.total_launch_energy - start_energy,
+        )
+
+    def _library_shards(self, dataset: str):
+        for cart in self.system.library.carts.values():
+            for (name, index) in cart.shards:
+                if name == dataset:
+                    yield (name, index)

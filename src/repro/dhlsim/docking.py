@@ -1,0 +1,163 @@
+"""Docking stations: where carts couple to compute racks over PCIe.
+
+Each rack endpoint owns several docking stations (Section III-B5): a cart
+is lifted off the track into a station, its SSDs' PCIe connectors mate,
+and the rack's nodes then read/write at local bandwidth.  Multiple
+stations per endpoint enable pipelining — while one cart is being read,
+the next can be shuttled in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..sim import Environment, Event, Resource
+from ..storage.ssd_array import PCIE6_X64, PcieLink
+from .cart import Cart, CartState
+
+
+@dataclass
+class DockingStation:
+    """A single dock slot: holds at most one cart, connected over PCIe."""
+
+    env: Environment
+    station_id: int
+    endpoint_id: int
+    link: PcieLink = PCIE6_X64
+    cart: Cart | None = None
+    slot_claim: object | None = None
+    """The rack slot grant held while a dispatched cart occupies this dock."""
+    busy: Resource = field(init=False)
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        # One I/O stream at a time per dock; the PCIe link is the bottleneck.
+        self.busy = Resource(self.env, capacity=1)
+
+    @property
+    def occupied(self) -> bool:
+        return self.cart is not None
+
+    def attach(self, cart: Cart) -> None:
+        if self.cart is not None:
+            raise SchedulingError(
+                f"dock {self.station_id}@{self.endpoint_id} already holds "
+                f"cart {self.cart.cart_id}"
+            )
+        cart.transition(CartState.DOCKED)
+        cart.location = self.endpoint_id
+        self.cart = cart
+
+    def detach(self) -> Cart:
+        if self.cart is None:
+            raise SchedulingError(
+                f"dock {self.station_id}@{self.endpoint_id} is empty"
+            )
+        cart = self.cart
+        self.cart = None
+        cart.transition(CartState.READY)
+        return cart
+
+    # -- I/O processes ---------------------------------------------------------
+
+    def read(self, n_bytes: float) -> Event:
+        """Process: read ``n_bytes`` from the docked cart at PCIe/SSD speed."""
+        return self.env.process(self._read(n_bytes))
+
+    def _read(self, n_bytes: float):
+        cart = self._require_cart("read")
+        if n_bytes < 0:
+            raise SchedulingError(f"read size must be >= 0, got {n_bytes}")
+        with self.busy.request() as claim:
+            yield claim
+            array = cart.array
+            if cart.failed_drives:
+                bandwidth = min(
+                    array.surviving(cart.failed_drives).read_bw, self.link.bandwidth
+                )
+            else:
+                bandwidth = array.effective_read_bw(self.link)
+            yield self.env.timeout(n_bytes / bandwidth)
+            self.bytes_read += n_bytes
+        return n_bytes
+
+    def write(self, n_bytes: float) -> Event:
+        """Process: write ``n_bytes`` to the docked cart at PCIe/SSD speed."""
+        return self.env.process(self._write(n_bytes))
+
+    def _write(self, n_bytes: float):
+        cart = self._require_cart("write")
+        if n_bytes < 0:
+            raise SchedulingError(f"write size must be >= 0, got {n_bytes}")
+        if n_bytes > cart.array.usable_capacity_bytes:
+            raise SchedulingError(
+                f"write of {n_bytes:.3g} B exceeds cart capacity "
+                f"{cart.array.usable_capacity_bytes:.3g} B"
+            )
+        with self.busy.request() as claim:
+            yield claim
+            bandwidth = cart.array.effective_write_bw(self.link)
+            yield self.env.timeout(n_bytes / bandwidth)
+            self.bytes_written += n_bytes
+        return n_bytes
+
+    def _require_cart(self, operation: str) -> Cart:
+        if self.cart is None:
+            raise SchedulingError(
+                f"cannot {operation}: dock {self.station_id}@{self.endpoint_id} is empty"
+            )
+        return self.cart
+
+
+@dataclass
+class RackEndpoint:
+    """A rack endpoint with several docking stations and a free-slot pool."""
+
+    env: Environment
+    endpoint_id: int
+    n_stations: int = 2
+    stations: list[DockingStation] = field(init=False)
+    slots: Resource = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_stations <= 0:
+            raise SchedulingError(f"need >= 1 docking station, got {self.n_stations}")
+        self.stations = [
+            DockingStation(self.env, station_id=index, endpoint_id=self.endpoint_id)
+            for index in range(self.n_stations)
+        ]
+        self.slots = Resource(self.env, capacity=self.n_stations)
+
+    def free_station(self) -> DockingStation:
+        """An unoccupied station; callers must hold a slot grant first."""
+        for station in self.stations:
+            if not station.occupied:
+                return station
+        raise SchedulingError(
+            f"endpoint {self.endpoint_id}: slot accounting out of sync "
+            "(grant held but no free station)"
+        )
+
+    def station_holding(self, cart: Cart) -> DockingStation:
+        for station in self.stations:
+            if station.cart is cart:
+                return station
+        raise SchedulingError(
+            f"cart {cart.cart_id} is not docked at endpoint {self.endpoint_id}"
+        )
+
+    def find_docked(self, dataset: str, index: int) -> DockingStation:
+        """The station whose cart holds a given shard."""
+        for station in self.stations:
+            if station.cart is not None and station.cart.holds(dataset, index):
+                return station
+        raise SchedulingError(
+            f"no docked cart at endpoint {self.endpoint_id} holds "
+            f"shard ({dataset!r}, {index})"
+        )
+
+    @property
+    def docked_carts(self) -> list[Cart]:
+        return [station.cart for station in self.stations if station.cart is not None]

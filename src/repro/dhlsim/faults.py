@@ -1,0 +1,83 @@
+"""Fault injection: in-flight SSD failures and RAID recovery (Section III-D).
+
+The paper notes that "if an SSD fails in-flight, the endpoint's DHL API
+will report the error, and RAID and backups can ameliorate the issue".
+This module injects per-trip drive failures so tests and benches can
+measure the cost of that recovery path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, DataIntegrityError
+from .cart import Cart
+from .scheduler import DhlSystem
+
+
+@dataclass
+class FaultInjector:
+    """Bernoulli per-drive, per-trip failure injection.
+
+    ``per_drive_trip_failure_prob`` is the chance any single SSD fails
+    during one shuttle (vibration, connector wear, induced currents).
+    Deterministic under a fixed seed.
+    """
+
+    system: DhlSystem
+    per_drive_trip_failure_prob: float
+    seed: int = 0
+    injected_failures: int = 0
+    lost_carts: int = 0
+    _rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.per_drive_trip_failure_prob <= 1.0:
+            raise ConfigurationError(
+                "per_drive_trip_failure_prob must be in [0, 1], got "
+                f"{self.per_drive_trip_failure_prob}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self._wrap_shuttle()
+
+    def _wrap_shuttle(self) -> None:
+        original = self.system._shuttle
+
+        def shuttled(cart: Cart, dst: int):
+            self.inject(cart)
+            result = yield from original(cart, dst)
+            return result
+
+        self.system._shuttle = shuttled  # type: ignore[method-assign]
+
+    def inject(self, cart: Cart) -> int:
+        """Roll failures for one trip; returns drives failed this trip."""
+        n_drives = cart.array.count - cart.failed_drives
+        if n_drives <= 0:
+            return 0
+        failures = int(
+            self._rng.binomial(n_drives, self.per_drive_trip_failure_prob)
+        )
+        if failures:
+            cart.fail_drive(failures)
+            self.injected_failures += failures
+            try:
+                cart.check_integrity()
+            except DataIntegrityError:
+                self.lost_carts += 1
+        return failures
+
+
+def expected_failures_per_campaign(
+    n_drives_per_cart: int,
+    launches: int,
+    per_drive_trip_failure_prob: float,
+) -> float:
+    """Closed-form expectation to validate the injector against."""
+    if n_drives_per_cart <= 0 or launches < 0:
+        raise ConfigurationError("drive and launch counts must be positive")
+    if not 0.0 <= per_drive_trip_failure_prob <= 1.0:
+        raise ConfigurationError("failure probability must be in [0, 1]")
+    return n_drives_per_cart * launches * per_drive_trip_failure_prob

@@ -1,0 +1,116 @@
+"""The library endpoint: cold storage of SSD carts (Section III-B6).
+
+The library sits at one end of the DHL, storing carts in its own internal
+docking slots raised off the main track.  It is the origin of Open
+requests and the destination of Close returns, and the place where failed
+carts are repaired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..sim import Environment
+from ..storage.library import LibraryInventory, PlacementPlan, Shard
+from .cart import Cart, CartState
+
+
+@dataclass
+class LibraryNode:
+    """Cart cold storage with slot bookkeeping and shard lookup."""
+
+    env: Environment
+    endpoint_id: int = 0
+    capacity_slots: int = 256
+    carts: dict[int, Cart] = field(default_factory=dict)
+    inventory: LibraryInventory = field(init=False)
+    repairs_performed: int = 0
+
+    def __post_init__(self) -> None:
+        self.inventory = LibraryInventory(capacity_slots=self.capacity_slots)
+
+    # -- cart management -------------------------------------------------------
+
+    def admit(self, cart: Cart) -> None:
+        """Store a cart (it must be at the library and not in motion)."""
+        if cart.cart_id in self.carts:
+            raise SchedulingError(f"cart {cart.cart_id} is already in the library")
+        if len(self.carts) >= self.capacity_slots:
+            raise SchedulingError(
+                "library is full; extend the rail to add slots (Section III-B6)"
+            )
+        if cart.state != CartState.STORED:
+            cart.transition(CartState.STORED)
+        cart.location = self.endpoint_id
+        self.carts[cart.cart_id] = cart
+
+    def checkout(self, cart_id: int) -> Cart:
+        """Remove a cart from storage, ready to launch."""
+        try:
+            cart = self.carts.pop(cart_id)
+        except KeyError:
+            raise SchedulingError(f"cart {cart_id} is not in the library") from None
+        cart.transition(CartState.READY)
+        return cart
+
+    def cart_holding(self, dataset: str, index: int) -> Cart:
+        """The stored cart carrying a given shard."""
+        for cart in self.carts.values():
+            if cart.holds(dataset, index):
+                return cart
+        raise SchedulingError(
+            f"no library cart holds shard ({dataset!r}, {index}); "
+            "it may be out at an endpoint"
+        )
+
+    def idle_cart(self) -> Cart:
+        """Any stored cart with no payload (for Write/backup traffic)."""
+        for cart in self.carts.values():
+            if not cart.shards:
+                return cart
+        raise SchedulingError("no empty cart available in the library")
+
+    # -- dataset ingestion -------------------------------------------------------
+
+    def ingest_plan(self, plan: PlacementPlan, make_cart) -> list[Cart]:
+        """Materialise a placement plan: one loaded cart per shard.
+
+        ``make_cart`` is a factory returning a fresh :class:`Cart`; the
+        system wires it to the configured SSD array.
+        """
+        carts = []
+        for shard in plan:
+            cart = make_cart()
+            cart.load_shard(shard)
+            self.admit(cart)
+            self.inventory.store(
+                Shard(
+                    dataset=shard.dataset,
+                    index=shard.index,
+                    offset_bytes=shard.offset_bytes,
+                    size_bytes=shard.size_bytes,
+                )
+            )
+            carts.append(cart)
+        return carts
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def repair_cart(self, cart_id: int):
+        """Process: rebuild a degraded cart's failed drives in place."""
+        if cart_id not in self.carts:
+            raise SchedulingError(f"cart {cart_id} is not in the library")
+        cart = self.carts[cart_id]
+        return self.env.process(self._repair(cart))
+
+    def _repair(self, cart: Cart):
+        rebuild_seconds = cart.repair()
+        if rebuild_seconds > 0:
+            yield self.env.timeout(rebuild_seconds)
+            self.repairs_performed += 1
+        return rebuild_seconds
+
+    @property
+    def stored_count(self) -> int:
+        return len(self.carts)

@@ -1,0 +1,62 @@
+"""Telemetry for the operational simulator: energy, launches, utilisation.
+
+The analytical model predicts campaign energy and time in closed form;
+the simulator *measures* them.  This module accumulates those
+measurements so tests can cross-validate the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..sim import Environment
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One energy expenditure: when, what for, how much."""
+
+    time_s: float
+    category: str
+    joules: float
+
+
+@dataclass
+class Telemetry:
+    """Accumulates energy samples and operation counters during a run."""
+
+    env: Environment
+    samples: list[EnergySample] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def record_energy(self, category: str, joules: float) -> None:
+        if joules < 0:
+            raise SimulationError(f"energy must be >= 0, got {joules}")
+        self.samples.append(EnergySample(self.env.now, category, joules))
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + by
+
+    def total_energy(self, category: str | None = None) -> float:
+        """Total joules, optionally restricted to one category."""
+        return sum(
+            sample.joules
+            for sample in self.samples
+            if category is None or sample.category == category
+        )
+
+    def energy_by_category(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for sample in self.samples:
+            totals[sample.category] = totals.get(sample.category, 0.0) + sample.joules
+        return totals
+
+    def average_power(self) -> float:
+        """Mean power over the elapsed simulation time."""
+        if self.env.now <= 0:
+            raise SimulationError("no simulated time has elapsed")
+        return self.total_energy() / self.env.now
+
+    def count(self, counter: str) -> int:
+        return self.counters.get(counter, 0)

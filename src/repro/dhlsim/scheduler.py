@@ -1,0 +1,187 @@
+"""The DHL system and its cart scheduler.
+
+:class:`DhlSystem` wires the simulator together — tracks, library, rack
+endpoints, telemetry — and implements the shuttle primitive every API
+command builds on.  The scheduler enforces the constraints the paper
+calls out:
+
+* a cart can only be in one place at a time;
+* data on a cart is inaccessible during transit;
+* only one cart per tube (single rail), and a docking cart briefly
+  blocks the tube;
+* endpoints have limited docking capacity, so carts return to the
+  library when their data is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.params import DhlParams
+from ..errors import SchedulingError
+from ..sim import Environment, Event
+from ..storage.datasets import Dataset
+from ..storage.library import PlacementPlan, plan_placement
+from ..storage.ssd_array import SsdArray
+from .cart import Cart, CartState
+from .docking import DockingStation, RackEndpoint
+from .library_node import LibraryNode
+from .metrics import Telemetry
+from .track import Track, build_tracks, pick_track
+
+
+@dataclass
+class DhlSystem:
+    """A complete simulated DHL: rail(s), library, racks, telemetry."""
+
+    env: Environment
+    params: DhlParams = field(default_factory=DhlParams)
+    n_racks: int = 1
+    stations_per_rack: int = 2
+    library_slots: int = 512
+    parity_drives: int = 0
+    tracks: list[Track] = field(init=False)
+    library: LibraryNode = field(init=False)
+    racks: dict[int, RackEndpoint] = field(init=False)
+    telemetry: Telemetry = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.tracks = build_tracks(self.env, self.params, self.n_racks)
+        self.library = LibraryNode(
+            self.env, endpoint_id=0, capacity_slots=self.library_slots
+        )
+        self.racks = {}
+        for endpoint in self.tracks[0].endpoints:
+            if not endpoint.is_library:
+                self.racks[endpoint.endpoint_id] = RackEndpoint(
+                    self.env,
+                    endpoint_id=endpoint.endpoint_id,
+                    n_stations=self.stations_per_rack,
+                )
+        self.telemetry = Telemetry(self.env)
+
+    # -- factories ---------------------------------------------------------------
+
+    def make_array(self) -> SsdArray:
+        return SsdArray(
+            device=self.params.ssd_device,
+            count=self.params.ssds_per_cart,
+            parity_drives=self.parity_drives,
+        )
+
+    def make_cart(self) -> Cart:
+        return Cart(array=self.make_array(), location=self.library.endpoint_id)
+
+    def load_dataset(self, dataset: Dataset) -> PlacementPlan:
+        """Stage a dataset in the library, one loaded cart per shard."""
+        plan = plan_placement(dataset, self.make_array())
+        self.library.ingest_plan(plan, self.make_cart)
+        return plan
+
+    def add_empty_carts(self, count: int) -> list[Cart]:
+        """Stage empty carts in the library (for write-back traffic)."""
+        if count <= 0:
+            raise SchedulingError(f"cart count must be >= 1, got {count}")
+        carts = []
+        for _ in range(count):
+            cart = self.make_cart()
+            self.library.admit(cart)
+            carts.append(cart)
+        return carts
+
+    def rack(self, endpoint_id: int) -> RackEndpoint:
+        try:
+            return self.racks[endpoint_id]
+        except KeyError:
+            known = sorted(self.racks)
+            raise SchedulingError(
+                f"unknown rack endpoint {endpoint_id}; known racks: {known}"
+            ) from None
+
+    # -- the shuttle primitive ------------------------------------------------------
+
+    def shuttle(self, cart: Cart, dst: int) -> Event:
+        """Process: move a READY cart from its location to endpoint ``dst``.
+
+        Sequence: undock handling, exclusive tube traversal, dock
+        handling.  Launch energy is metered per hop.  The caller is
+        responsible for slot reservations at the destination.
+        """
+        return self.env.process(self._shuttle(cart, dst))
+
+    def _shuttle(self, cart: Cart, dst: int):
+        if cart.state != CartState.READY:
+            raise SchedulingError(
+                f"cart {cart.cart_id} must be READY to shuttle, is {cart.state}"
+            )
+        src = cart.location
+        if src == dst:
+            raise SchedulingError(f"cart {cart.cart_id} is already at endpoint {dst}")
+        track = pick_track(self.tracks, src, dst)
+        with track.tube.request() as tube_claim:
+            yield tube_claim
+            yield self.env.timeout(self.params.undock_time)
+            cart.transition(CartState.IN_TRANSIT)
+            cart.location = dst
+            yield self.env.timeout(track.travel_time(src, dst))
+            cart.transition(CartState.ARRIVED)
+            # Docking blocks the tube: hold the claim through the dock.
+            yield self.env.timeout(self.params.dock_time)
+        energy = track.hop_energy(src, dst)
+        self.telemetry.record_energy("launch", energy)
+        self.telemetry.increment("launches")
+        track.record_traversal(src, dst)
+        cart.trips_completed += 1
+        return cart
+
+    # -- high-level movements -----------------------------------------------------
+
+    def dispatch_to_rack(self, cart_id: int, endpoint_id: int) -> Event:
+        """Process: library -> rack, ending docked at a free station."""
+        return self.env.process(self._dispatch(cart_id, endpoint_id))
+
+    def _dispatch(self, cart_id: int, endpoint_id: int):
+        rack = self.rack(endpoint_id)
+        slot = rack.slots.request()
+        yield slot
+        cart = self.library.checkout(cart_id)
+        try:
+            yield self.env.process(self._shuttle(cart, endpoint_id))
+            station = rack.free_station()
+            station.attach(cart)
+        except BaseException:
+            slot.release()
+            raise
+        station.slot_claim = slot  # released on return
+        self.telemetry.increment("dispatches")
+        return station
+
+    def return_to_library(self, cart: Cart, endpoint_id: int) -> Event:
+        """Process: rack -> library, freeing the dock slot."""
+        return self.env.process(self._return(cart, endpoint_id))
+
+    def _return(self, cart: Cart, endpoint_id: int):
+        rack = self.rack(endpoint_id)
+        station = rack.station_holding(cart)
+        cart = station.detach()
+        slot_claim = getattr(station, "slot_claim", None)
+        if slot_claim is not None:
+            slot_claim.release()
+            station.slot_claim = None
+        yield self.env.process(self._shuttle(cart, self.library.endpoint_id))
+        self.library.admit(cart)
+        self.telemetry.increment("returns")
+        return cart
+
+    # -- accounting helpers ---------------------------------------------------------
+
+    @property
+    def total_launch_energy(self) -> float:
+        return self.telemetry.total_energy("launch")
+
+    @property
+    def total_launches(self) -> int:
+        return self.telemetry.count("launches")
+
+    def station_for_shard(self, endpoint_id: int, dataset: str, index: int) -> DockingStation:
+        return self.rack(endpoint_id).find_docked(dataset, index)

@@ -1,0 +1,162 @@
+"""Cart timelines: record and render what the operational simulator did.
+
+Attaching a :class:`TimelineRecorder` to a :class:`DhlSystem` logs every
+cart state transition with its timestamp.  The ASCII Gantt renderer then
+makes pipelining visible: overlapping transit and dock-read bars are the
+Section V-B optimisation at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, SimulationError
+from .cart import Cart, CartState
+from .scheduler import DhlSystem
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One cart state transition."""
+
+    time_s: float
+    cart_id: int
+    state: str
+
+
+@dataclass(frozen=True)
+class Span:
+    """A rendered interval of one cart's life in one state."""
+
+    cart_id: int
+    state: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class TimelineRecorder:
+    """Hooks cart transitions on a system and accumulates events."""
+
+    system: DhlSystem
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._original_transition = Cart.transition
+        recorder = self
+
+        def recording_transition(cart: Cart, new_state: str) -> None:
+            recorder._original_transition(cart, new_state)
+            recorder.events.append(
+                TimelineEvent(
+                    time_s=recorder.system.env.now,
+                    cart_id=cart.cart_id,
+                    state=new_state,
+                )
+            )
+
+        # Instance-level hook via the system's cart factory: wrap carts
+        # made after attachment.  (Patching the class would leak across
+        # systems.)
+        original_factory = self.system.make_cart
+
+        def make_recorded_cart() -> Cart:
+            cart = original_factory()
+            cart.transition = recording_transition.__get__(cart)  # type: ignore[method-assign]
+            return cart
+
+        self.system.make_cart = make_recorded_cart  # type: ignore[method-assign]
+
+    def spans(self) -> list[Span]:
+        """Consecutive event pairs per cart, as closed intervals."""
+        if not self.events:
+            raise SimulationError("no events recorded; run a transfer first")
+        by_cart: dict[int, list[TimelineEvent]] = {}
+        for event in self.events:
+            by_cart.setdefault(event.cart_id, []).append(event)
+        end_time = self.system.env.now
+        spans = []
+        for cart_id, events in by_cart.items():
+            for current, following in zip(events, events[1:]):
+                spans.append(
+                    Span(
+                        cart_id=cart_id,
+                        state=current.state,
+                        start_s=current.time_s,
+                        end_s=following.time_s,
+                    )
+                )
+            last = events[-1]
+            if end_time > last.time_s:
+                spans.append(
+                    Span(
+                        cart_id=cart_id,
+                        state=last.state,
+                        start_s=last.time_s,
+                        end_s=end_time,
+                    )
+                )
+        return sorted(spans, key=lambda span: (span.cart_id, span.start_s))
+
+    def concurrency(self, state: str) -> int:
+        """Peak number of carts simultaneously in ``state`` — the direct
+        measure of pipelining (docked concurrency > 1 means overlapped
+        reads)."""
+        if state not in CartState.ALL:
+            raise ConfigurationError(f"unknown cart state {state!r}")
+        boundaries = []
+        for span in self.spans():
+            if span.state == state and span.duration_s > 0:
+                boundaries.append((span.start_s, 1))
+                boundaries.append((span.end_s, -1))
+        peak = current = 0
+        for _, delta in sorted(boundaries, key=lambda item: (item[0], item[1])):
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+
+_STATE_GLYPHS = {
+    CartState.STORED: ".",
+    CartState.READY: "r",
+    CartState.IN_TRANSIT: ">",
+    CartState.ARRIVED: "a",
+    CartState.DOCKED: "#",
+}
+
+
+def render_gantt(recorder: TimelineRecorder, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per cart, glyphs by state.
+
+    Legend: '.' stored, 'r' ready, '>' in transit, 'a' arrived,
+    '#' docked (data accessible).
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    spans = recorder.spans()
+    end_time = max(span.end_s for span in spans)
+    if end_time <= 0:
+        raise SimulationError("timeline has no duration")
+    cart_ids = sorted({span.cart_id for span in spans})
+    scale = width / end_time
+
+    lines = [
+        f"cart timeline, 0..{end_time:.1f} s "
+        "('.' stored, 'r' ready, '>' transit, 'a' arrived, '#' docked)"
+    ]
+    for cart_id in cart_ids:
+        row = [" "] * width
+        for span in spans:
+            if span.cart_id != cart_id:
+                continue
+            start = min(width - 1, int(span.start_s * scale))
+            end = min(width, max(start + 1, int(span.end_s * scale)))
+            glyph = _STATE_GLYPHS[span.state]
+            for cell in range(start, end):
+                row[cell] = glyph
+        lines.append(f"cart {cart_id:>4d} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the DHL reproduction library.
+
+All library-specific failures derive from :class:`ReproError`, so callers
+can catch one base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or simulator was configured with inconsistent parameters."""
+
+
+class PhysicsError(ReproError, ValueError):
+    """A physics computation received parameters outside its valid regime."""
+
+
+class TopologyError(ReproError):
+    """A network topology query could not be satisfied (unknown node, no path)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine or a simulator detected an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """The DHL scheduler was asked to perform an impossible operation."""
+
+
+class CartStateError(SchedulingError):
+    """A cart was asked to transition to an invalid state (e.g. launch while docked)."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed (unknown device, capacity exceeded)."""
+
+
+class DataIntegrityError(StorageError):
+    """Data on an SSD was lost or corrupted beyond what RAID can recover."""

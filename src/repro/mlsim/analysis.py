@@ -1,0 +1,244 @@
+"""Iso-power and iso-time comparisons plus the Fig. 6 power sweep.
+
+Reproduces the paper's ASTRA-sim study:
+
+* Table VII(a): fix every scheme's communication power at the single
+  default DHL's average (~1.75 kW) and compare time per iteration.
+* Table VII(b): fix the iteration time at the DHL's and compare the
+  communication power each network scheme needs to keep up.
+* Figure 6: time per iteration as a function of communication power
+  budget, with discrete DHL counts and continuous link counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import DhlParams
+from ..errors import ConfigurationError
+from ..network.routes import FIG2_ROUTES, Route
+from ..units import assert_positive
+from .backends import DhlBackend, NetworkBackend
+from .trainer import IterationResult, TrainingIteration, simulate_iteration
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """One scheme's row in a Table VII-style comparison."""
+
+    scheme: str
+    avg_power_w: float
+    time_per_iter_s: float
+    ratio_vs_dhl: float
+
+
+def iso_power_comparison(
+    iteration: TrainingIteration | None = None,
+    params: DhlParams | None = None,
+    routes: tuple[Route, ...] = FIG2_ROUTES,
+    power_budget_w: float | None = None,
+) -> list[SchemeResult]:
+    """Table VII(a): time per iteration at a fixed communication power.
+
+    The budget defaults to the single-track DHL's average power, so the
+    DHL row is exactly one track (the paper's setup).
+    """
+    iteration = iteration or TrainingIteration()
+    params = params or DhlParams()
+    dhl = DhlBackend(params=params, n_tracks=1)
+    budget = power_budget_w if power_budget_w is not None else dhl.power_w
+    if budget < dhl.per_track_power_w:
+        raise ConfigurationError(
+            f"budget {budget:.1f} W cannot power a single DHL track "
+            f"({dhl.per_track_power_w:.1f} W)"
+        )
+    dhl_backend = DhlBackend.for_power(params, budget)
+    dhl_result = simulate_iteration(iteration, dhl_backend)
+
+    rows = [
+        SchemeResult(
+            scheme="DHL",
+            avg_power_w=dhl_backend.power_w,
+            time_per_iter_s=dhl_result.time_per_iter_s,
+            ratio_vs_dhl=1.0,
+        )
+    ]
+    for route in routes:
+        backend = NetworkBackend.for_power(route, budget)
+        result = simulate_iteration(iteration, backend)
+        rows.append(
+            SchemeResult(
+                scheme=route.name,
+                avg_power_w=backend.power_w,
+                time_per_iter_s=result.time_per_iter_s,
+                ratio_vs_dhl=result.time_per_iter_s / dhl_result.time_per_iter_s,
+            )
+        )
+    return rows
+
+
+def iso_time_comparison(
+    iteration: TrainingIteration | None = None,
+    params: DhlParams | None = None,
+    routes: tuple[Route, ...] = FIG2_ROUTES,
+    tolerance: float = 1e-4,
+) -> list[SchemeResult]:
+    """Table VII(b): power each network scheme needs to match DHL's time.
+
+    Solved by bisection on the (continuous) link count; iteration time is
+    monotone non-increasing in links, flattening at the compute floor —
+    which the DHL target always exceeds, so a solution exists.
+    """
+    iteration = iteration or TrainingIteration()
+    params = params or DhlParams()
+    dhl_backend = DhlBackend(params=params, n_tracks=1)
+    dhl_result = simulate_iteration(iteration, dhl_backend)
+    target = dhl_result.time_per_iter_s
+
+    rows = [
+        SchemeResult(
+            scheme="DHL",
+            avg_power_w=dhl_backend.power_w,
+            time_per_iter_s=dhl_result.time_per_iter_s,
+            ratio_vs_dhl=1.0,
+        )
+    ]
+    for route in routes:
+        n_links = _links_to_match(iteration, route, target, tolerance)
+        backend = NetworkBackend(route=route, n_links=n_links)
+        result = simulate_iteration(iteration, backend)
+        rows.append(
+            SchemeResult(
+                scheme=route.name,
+                avg_power_w=backend.power_w,
+                time_per_iter_s=result.time_per_iter_s,
+                ratio_vs_dhl=backend.power_w / dhl_backend.power_w,
+            )
+        )
+    return rows
+
+
+def _links_to_match(iteration: TrainingIteration, route: Route,
+                    target_s: float, tolerance: float) -> float:
+    assert_positive("target_s", target_s)
+
+    def time_with(n_links: float) -> float:
+        backend = NetworkBackend(route=route, n_links=n_links)
+        return simulate_iteration(iteration, backend).time_per_iter_s
+
+    low = 1e-3
+    high = 1.0
+    while time_with(high) > target_s:
+        high *= 2.0
+        if high > 1e9:
+            raise ConfigurationError(
+                f"route {route.name} cannot reach {target_s:.0f} s per iteration "
+                "(target below the compute floor?)"
+            )
+    # Keep `low` infeasible so bisection brackets the boundary.
+    while time_with(low) <= target_s:
+        low /= 2.0
+    while (high - low) / high > tolerance:
+        mid = (low + high) / 2.0
+        if time_with(mid) <= target_s:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One datapoint of a Fig. 6 curve."""
+
+    scheme: str
+    power_w: float
+    time_per_iter_s: float
+
+
+def dhl_power_curve(
+    params: DhlParams,
+    iteration: TrainingIteration | None = None,
+    max_tracks: int = 16,
+) -> list[SweepPoint]:
+    """A Fig. 6 DHL curve: one point per discrete track count."""
+    if max_tracks <= 0:
+        raise ConfigurationError(f"max_tracks must be >= 1, got {max_tracks}")
+    iteration = iteration or TrainingIteration()
+    points = []
+    for n_tracks in range(1, max_tracks + 1):
+        backend = DhlBackend(params=params, n_tracks=n_tracks)
+        result = simulate_iteration(iteration, backend)
+        points.append(
+            SweepPoint(
+                scheme=params.label(),
+                power_w=backend.power_w,
+                time_per_iter_s=result.time_per_iter_s,
+            )
+        )
+    return points
+
+
+def network_power_curve(
+    route: Route,
+    power_budgets_w: list[float],
+    iteration: TrainingIteration | None = None,
+) -> list[SweepPoint]:
+    """A Fig. 6 network curve: continuous links sized to each budget."""
+    if not power_budgets_w:
+        raise ConfigurationError("at least one power budget is required")
+    iteration = iteration or TrainingIteration()
+    points = []
+    for budget in power_budgets_w:
+        backend = NetworkBackend.for_power(route, budget)
+        result = simulate_iteration(iteration, backend)
+        points.append(
+            SweepPoint(
+                scheme=f"net-{route.name}",
+                power_w=budget,
+                time_per_iter_s=result.time_per_iter_s,
+            )
+        )
+    return points
+
+
+def figure6_series(
+    iteration: TrainingIteration | None = None,
+    dhl_configs: tuple[DhlParams, ...] | None = None,
+    routes: tuple[Route, ...] = FIG2_ROUTES,
+    max_tracks: int = 8,
+    n_budgets: int = 8,
+) -> dict[str, list[SweepPoint]]:
+    """All Fig. 6 curves: three DHL configs plus the network schemes.
+
+    The paper's DHL configs: DHL-100-500-128, DHL-200-500-256 (default)
+    and DHL-300-500-512.  Network budgets span the same power range as
+    the DHL curves.
+    """
+    iteration = iteration or TrainingIteration()
+    if dhl_configs is None:
+        dhl_configs = (
+            DhlParams(max_speed=100.0, ssds_per_cart=16),
+            DhlParams(),
+            DhlParams(max_speed=300.0, ssds_per_cart=64),
+        )
+    series: dict[str, list[SweepPoint]] = {}
+    min_power = float("inf")
+    max_power = 0.0
+    for config in dhl_configs:
+        curve = dhl_power_curve(config, iteration, max_tracks=max_tracks)
+        series[config.label()] = curve
+        min_power = min(min_power, curve[0].power_w)
+        max_power = max(max_power, curve[-1].power_w)
+    budgets = [
+        min_power * (max_power / min_power) ** (index / (n_budgets - 1))
+        for index in range(n_budgets)
+    ]
+    for route in routes:
+        series[f"net-{route.name}"] = network_power_curve(route, budgets, iteration)
+    return series
+
+
+def result_for(iteration: TrainingIteration, backend) -> IterationResult:
+    """Convenience passthrough used by benches and examples."""
+    return simulate_iteration(iteration, backend)

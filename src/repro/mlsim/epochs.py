@@ -1,0 +1,151 @@
+"""Multi-run training studies: dataset reuse and amortised savings.
+
+Section II-D3's economic argument: foundation models are retrained
+again and again on the *same* datasets, so the DHL's per-shipment
+savings recur.  This module composes the per-iteration simulator into
+multi-iteration / multi-model studies and amortises the DHL's capital
+cost against the recurring energy savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.cost import dhl_cost
+from ..core.params import DhlParams
+from ..errors import ConfigurationError
+from ..network.routes import Route
+from ..units import KWH, assert_positive
+from .backends import DhlBackend, NetworkBackend
+from .trainer import IterationResult, simulate_iteration
+from .workload import TrainingIteration
+
+US_INDUSTRIAL_USD_PER_KWH: float = 0.08
+"""Electricity price used to dollarise energy savings."""
+
+
+@dataclass(frozen=True)
+class TrainingRun:
+    """A whole training job: many iterations over the same dataset."""
+
+    iteration: TrainingIteration
+    n_iterations: int
+
+    def __post_init__(self) -> None:
+        if self.n_iterations <= 0:
+            raise ConfigurationError(
+                f"n_iterations must be >= 1, got {self.n_iterations}"
+            )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Aggregate communication cost of one training run."""
+
+    per_iteration: IterationResult
+    n_iterations: int
+    total_time_s: float = field(init=False)
+    total_comm_energy_j: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "total_time_s", self.per_iteration.time_per_iter_s * self.n_iterations
+        )
+        object.__setattr__(
+            self,
+            "total_comm_energy_j",
+            self.per_iteration.comm_energy_j * self.n_iterations,
+        )
+
+    @property
+    def total_comm_kwh(self) -> float:
+        return self.total_comm_energy_j / KWH
+
+    def electricity_cost_usd(self, usd_per_kwh: float = US_INDUSTRIAL_USD_PER_KWH) -> float:
+        assert_positive("usd_per_kwh", usd_per_kwh)
+        return self.total_comm_kwh * usd_per_kwh
+
+
+def simulate_run(run: TrainingRun, backend) -> RunResult:
+    """Cost a full training run; iterations are identical, so one
+    simulated iteration scales linearly (asserted by the paper and by
+    our tests)."""
+    result = simulate_iteration(run.iteration, backend)
+    return RunResult(per_iteration=result, n_iterations=run.n_iterations)
+
+
+@dataclass(frozen=True)
+class ReuseStudy:
+    """DHL vs one network route across repeated model trainings."""
+
+    params: DhlParams
+    route: Route
+    run: TrainingRun
+    models_trained: int
+    dhl: RunResult
+    network: RunResult
+    dhl_capital_usd: float
+
+    @property
+    def energy_saving_per_model_j(self) -> float:
+        return self.network.total_comm_energy_j - self.dhl.total_comm_energy_j
+
+    @property
+    def total_saving_usd(self) -> float:
+        per_model = (
+            self.network.electricity_cost_usd() - self.dhl.electricity_cost_usd()
+        )
+        return per_model * self.models_trained
+
+    @property
+    def models_to_amortise(self) -> float:
+        """How many model trainings pay off the DHL's materials cost.
+
+        Returns +inf when the DHL never pays off (it always does for the
+        paper's configurations — typically within a handful of runs).
+        """
+        per_model_usd = (
+            self.network.electricity_cost_usd() - self.dhl.electricity_cost_usd()
+        )
+        if per_model_usd <= 0:
+            return float("inf")
+        return self.dhl_capital_usd / per_model_usd
+
+    @property
+    def pays_off(self) -> bool:
+        return self.models_to_amortise <= self.models_trained
+
+
+def reuse_study(
+    route: Route,
+    params: DhlParams | None = None,
+    iteration: TrainingIteration | None = None,
+    iterations_per_model: int = 10,
+    models_trained: int = 20,
+    iso_power: bool = True,
+) -> ReuseStudy:
+    """The recurring-savings study for one route.
+
+    ``iso_power``: give the network the same communication power as the
+    single DHL (Table VII's framing), so savings come from time x power
+    differences; otherwise a single link is used.
+    """
+    params = params or DhlParams()
+    iteration = iteration or TrainingIteration()
+    if models_trained <= 0:
+        raise ConfigurationError(f"models_trained must be >= 1, got {models_trained}")
+    run = TrainingRun(iteration=iteration, n_iterations=iterations_per_model)
+    dhl_backend = DhlBackend(params=params)
+    if iso_power:
+        network_backend = NetworkBackend.for_power(route, dhl_backend.power_w)
+    else:
+        network_backend = NetworkBackend(route=route, n_links=1.0)
+    return ReuseStudy(
+        params=params,
+        route=route,
+        run=run,
+        models_trained=models_trained,
+        dhl=simulate_run(run, dhl_backend),
+        network=simulate_run(run, network_backend),
+        dhl_capital_usd=dhl_cost(params).total_usd,
+    )

@@ -1,0 +1,235 @@
+"""Parallelisation strategies for the DLRM study (ASTRA-sim's domain).
+
+ASTRA-sim's purpose is exploring how a training job's collectives change
+with the parallelisation strategy.  DLRM training uses *hybrid*
+parallelism: the huge embedding tables are model-parallel (each
+iteration exchanges lookups/gradients with an all-to-all), while the
+dense MLP towers are data-parallel (gradient all-reduce).  This module
+costs the per-iteration collective load of the standard strategies so
+the ingestion study can be composed with a communication-faithful
+compute phase.
+
+Strategies follow Mudigere et al. [72] (the paper's DLRM reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..units import assert_positive
+from .collectives import alltoall_time, best_allreduce_time
+from .workload import ClusterSpec, TrainingIteration
+
+
+@dataclass(frozen=True)
+class DlrmShape:
+    """Communication-relevant dimensions of a DLRM training step."""
+
+    dense_param_bytes: float
+    embedding_param_bytes: float
+    batch_size: int
+    embedding_vector_bytes: float = 512.0
+    lookups_per_sample: int = 100
+
+    def __post_init__(self) -> None:
+        assert_positive("dense_param_bytes", self.dense_param_bytes)
+        assert_positive("embedding_param_bytes", self.embedding_param_bytes)
+        if self.batch_size <= 0 or self.lookups_per_sample <= 0:
+            raise ConfigurationError("batch size and lookups must be >= 1")
+        assert_positive("embedding_vector_bytes", self.embedding_vector_bytes)
+
+    @property
+    def activation_exchange_bytes(self) -> float:
+        """Per-iteration all-to-all volume: each sample's lookups travel
+        to/from the embedding shards (forward + backward)."""
+        return (
+            2.0
+            * self.batch_size
+            * self.lookups_per_sample
+            * self.embedding_vector_bytes
+        )
+
+
+def dlrm_2022_shape(batch_size: int = 65_536) -> DlrmShape:
+    """Meta's 2022 DLRM: 48 TB of parameters, ~0.1% dense."""
+    from ..storage.mlmodels import DLRM_2022
+
+    total = DLRM_2022.size_bytes
+    dense = total * 1e-3
+    return DlrmShape(
+        dense_param_bytes=dense,
+        embedding_param_bytes=total - dense,
+        batch_size=batch_size,
+    )
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Per-iteration communication and compute-stretch of one strategy.
+
+    ``compute_stretch`` multiplies the compute phase: 1.0 for strategies
+    that keep every node busy (data-parallel, hybrid), >1 for pipeline
+    parallelism whose stage bubbles idle nodes.
+    """
+
+    name: str
+    allreduce_s: float
+    alltoall_s: float
+    feasible: bool
+    compute_stretch: float = 1.0
+    infeasibility: str = ""
+
+    @property
+    def total_s(self) -> float:
+        """Communication time only; compose with compute via
+        :class:`IterationWithStrategy` for the full picture."""
+        return self.allreduce_s + self.alltoall_s
+
+
+def data_parallel_cost(
+    shape: DlrmShape,
+    cluster: ClusterSpec | None = None,
+    per_node_memory_bytes: float = 2e12,
+) -> StrategyCost:
+    """Pure data parallelism: replicate everything, all-reduce everything.
+
+    Infeasible for DLRM-2022-class models — a 48 TB replica does not fit
+    any node — and ruinously expensive in all-reduce volume even if it
+    did.  Included as the baseline ASTRA-sim studies start from.
+    """
+    cluster = cluster or ClusterSpec()
+    assert_positive("per_node_memory_bytes", per_node_memory_bytes)
+    model_bytes = shape.dense_param_bytes + shape.embedding_param_bytes
+    fits = model_bytes <= per_node_memory_bytes
+    allreduce = best_allreduce_time(
+        n=cluster.n_nodes, size=model_bytes, bw=cluster.allreduce_link_bw
+    )
+    return StrategyCost(
+        name="data-parallel",
+        allreduce_s=allreduce,
+        alltoall_s=0.0,
+        feasible=fits,
+        infeasibility="" if fits else (
+            f"model replica of {model_bytes:.3g} B exceeds per-node memory "
+            f"{per_node_memory_bytes:.3g} B"
+        ),
+    )
+
+
+def model_parallel_cost(
+    shape: DlrmShape,
+    cluster: ClusterSpec | None = None,
+    microbatches: int = 32,
+) -> StrategyCost:
+    """Pure model parallelism: shard everything, exchange activations.
+
+    No gradient all-reduce, and the embedding all-to-all doubles (dense
+    activations cross shard boundaries too) — but the dense towers now
+    execute as a pipeline whose fill/drain bubbles stretch compute by
+    ``1 + (stages - 1)/microbatches`` (the standard GPipe bound).  That
+    stretch, not communication volume, is what rules this strategy out
+    at cluster scale.
+    """
+    cluster = cluster or ClusterSpec()
+    if microbatches <= 0:
+        raise ConfigurationError(f"microbatches must be >= 1, got {microbatches}")
+    alltoall = alltoall_time(
+        n=cluster.n_nodes,
+        size=shape.activation_exchange_bytes,
+        bw=cluster.allreduce_link_bw,
+    )
+    stretch = 1.0 + (cluster.n_nodes - 1) / microbatches
+    return StrategyCost(
+        name="model-parallel",
+        allreduce_s=0.0,
+        alltoall_s=2.0 * alltoall,
+        feasible=True,
+        compute_stretch=stretch,
+    )
+
+
+def hybrid_parallel_cost(
+    shape: DlrmShape,
+    cluster: ClusterSpec | None = None,
+) -> StrategyCost:
+    """DLRM's production strategy: model-parallel embeddings (one
+    all-to-all each way) + data-parallel dense towers (one all-reduce of
+    only the dense gradients)."""
+    cluster = cluster or ClusterSpec()
+    allreduce = best_allreduce_time(
+        n=cluster.n_nodes,
+        size=shape.dense_param_bytes,
+        bw=cluster.allreduce_link_bw,
+    )
+    alltoall = alltoall_time(
+        n=cluster.n_nodes,
+        size=shape.activation_exchange_bytes,
+        bw=cluster.allreduce_link_bw,
+    )
+    return StrategyCost(
+        name="hybrid",
+        allreduce_s=allreduce,
+        alltoall_s=alltoall,
+        feasible=True,
+    )
+
+
+def compare_strategies(
+    shape: DlrmShape | None = None,
+    cluster: ClusterSpec | None = None,
+) -> dict[str, StrategyCost]:
+    """All three strategies on one shape, keyed by name."""
+    shape = shape or dlrm_2022_shape()
+    cluster = cluster or ClusterSpec()
+    strategies = (
+        data_parallel_cost(shape, cluster),
+        model_parallel_cost(shape, cluster),
+        hybrid_parallel_cost(shape, cluster),
+    )
+    return {strategy.name: strategy for strategy in strategies}
+
+
+@dataclass(frozen=True)
+class IterationWithStrategy:
+    """A training iteration costed with an explicit collective phase."""
+
+    iteration: TrainingIteration
+    strategy: StrategyCost
+    ingest_and_compute_s: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "ingest_and_compute_s",
+            self.iteration.compute_floor_s * self.strategy.compute_stretch,
+        )
+
+    @property
+    def total_s(self) -> float:
+        return self.ingest_and_compute_s + self.strategy.total_s
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.strategy.total_s / self.total_s
+
+
+def best_feasible_strategy(
+    shape: DlrmShape | None = None,
+    cluster: ClusterSpec | None = None,
+    iteration: TrainingIteration | None = None,
+) -> StrategyCost:
+    """The feasible strategy minimising whole-iteration time (compute
+    stretch included) — hybrid, for any DLRM-2022-scale shape."""
+    iteration = iteration or TrainingIteration()
+    candidates = [
+        strategy
+        for strategy in compare_strategies(shape, cluster).values()
+        if strategy.feasible
+    ]
+    if not candidates:
+        raise ConfigurationError("no feasible parallelisation strategy")
+    return min(
+        candidates,
+        key=lambda strategy: IterationWithStrategy(iteration, strategy).total_s,
+    )

@@ -1,0 +1,153 @@
+"""Power models of modern networking components (paper Table III).
+
+Table III characterises transceivers, NICs and switches; the Fig. 2
+exercise combines them into per-route powers.  We keep each component's
+quoted power *range* and expose the operating points that make the paper's
+route energies come out exactly (see :mod:`repro.network.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import gbps
+
+
+@dataclass(frozen=True)
+class PowerRange:
+    """A min..max power envelope in watts, with interpolation helpers."""
+
+    low_w: float
+    high_w: float
+
+    def __post_init__(self) -> None:
+        if self.low_w < 0 or self.high_w < self.low_w:
+            raise ConfigurationError(
+                f"invalid power range [{self.low_w}, {self.high_w}]"
+            )
+
+    def at(self, fraction: float) -> float:
+        """Linear interpolation: 0 -> low, 1 -> high."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        return self.low_w + fraction * (self.high_w - self.low_w)
+
+    @property
+    def mid_w(self) -> float:
+        return self.at(0.5)
+
+    def contains(self, power_w: float) -> bool:
+        return self.low_w <= power_w <= self.high_w
+
+
+@dataclass(frozen=True)
+class Transceiver:
+    """An optical transceiver module (e.g. 400G QSFP-DD)."""
+
+    name: str
+    speed_bps: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.speed_bps <= 0 or self.power_w < 0:
+            raise ConfigurationError(f"invalid transceiver spec: {self}")
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A network interface card; power depends on cabling and load."""
+
+    name: str
+    speed_bps: float
+    power: PowerRange
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.speed_bps <= 0 or self.ports <= 0:
+            raise ConfigurationError(f"invalid NIC spec: {self}")
+
+    @property
+    def total_speed_bps(self) -> float:
+        return self.speed_bps * self.ports
+
+
+@dataclass(frozen=True)
+class Switch:
+    """A data centre switch with per-port power derived from the chassis.
+
+    Chassis power scales between ``power.low_w`` (all ports passive) and
+    ``power.high_w`` (all ports active optics), so per-port power is the
+    chassis figure divided by the port count.
+    """
+
+    name: str
+    port_speed_bps: float
+    ports: int
+    power: PowerRange
+
+    def __post_init__(self) -> None:
+        if self.port_speed_bps <= 0 or self.ports <= 0:
+            raise ConfigurationError(f"invalid switch spec: {self}")
+
+    @property
+    def passive_port_w(self) -> float:
+        """Per-port power with a passive (DAC) cable attached."""
+        return self.power.low_w / self.ports
+
+    @property
+    def active_port_w(self) -> float:
+        """Per-port power with active optics attached."""
+        return self.power.high_w / self.ports
+
+    def port_power(self, active: bool) -> float:
+        return self.active_port_w if active else self.passive_port_w
+
+
+# --------------------------------------------------------------------------
+# Table III catalogue
+# --------------------------------------------------------------------------
+
+TRANSCEIVER_400G = Transceiver("Broadcom AFCT-91DRDHZ", speed_bps=gbps(400) * 8, power_w=12.0)
+# NB: Transceiver.speed_bps is in bits/s; gbps() returns bytes/s, so we
+# multiply back by 8.  Kept explicit to avoid double-conversion bugs.
+
+NIC_100G = Nic("Intel E810-CQDA1 / Broadcom N1100G", speed_bps=100e9, power=PowerRange(15.8, 22.5))
+NIC_2X200G = Nic(
+    "Broadcom P2200G / NVIDIA ConnectX-6",
+    speed_bps=200e9,
+    power=PowerRange(17.0, 23.3),
+    ports=2,
+)
+
+SWITCH_QM9700 = Switch(
+    "NVIDIA QM9700", port_speed_bps=400e9, ports=32, power=PowerRange(747.0, 1720.0)
+)
+SWITCH_9364D_GX2A = Switch(
+    "Cisco Nexus 9364D-GX2A", port_speed_bps=400e9, ports=64, power=PowerRange(1324.0, 3000.0)
+)
+
+TABLE_III_COMPONENTS = (
+    TRANSCEIVER_400G,
+    NIC_100G,
+    NIC_2X200G,
+    SWITCH_QM9700,
+    SWITCH_9364D_GX2A,
+)
+
+# --------------------------------------------------------------------------
+# Operating points used by the paper's Fig. 2 energy exercise.
+#
+# These four constants exactly reproduce the five route energies in Fig. 2
+# (13.92 / 22.97 / 50.05 / 174.75 / 299.45 MJ for A0/A1/A2/B/C over the
+# 580 000 s transfer).  The endpoint NIC figure of 19.8 W sits inside the
+# bolded 2x200G NIC's 17-23.3 W envelope; the switch ports come straight
+# from the bolded QM9700 chassis range divided by its 32 ports.
+# --------------------------------------------------------------------------
+
+TRANSCEIVER_W: float = TRANSCEIVER_400G.power_w  # 12 W
+ENDPOINT_NIC_W: float = 19.8
+SWITCH_PORT_PASSIVE_W: float = SWITCH_QM9700.passive_port_w  # 747/32
+SWITCH_PORT_ACTIVE_W: float = SWITCH_QM9700.active_port_w  # 1720/32
+
+assert NIC_2X200G.power.contains(ENDPOINT_NIC_W)

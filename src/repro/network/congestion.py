@@ -1,0 +1,244 @@
+"""Shared-network congestion: what bulk transfers do to foreground flows.
+
+Sections I and II-D2 motivate the DHL with a congestion argument: a
+PB-scale transfer "consum[es] a static portion of the data centre's
+total bandwidth which could be used by other, more dynamic
+applications", and bulk backups "cause traffic spikes that lower the
+efficiency of networking".  This module makes the argument measurable:
+it routes a set of flows over the fat tree, allocates link bandwidth by
+max-min fairness (progressive filling), and reports how much foreground
+throughput a bulk transfer steals — traffic a DHL would take off the
+network entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, TopologyError
+from ..units import assert_positive, gbps
+from .topology import FatTree
+
+DEFAULT_LINK_CAPACITY: float = gbps(400)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One traffic demand between two servers."""
+
+    name: str
+    src: str
+    dst: str
+    demand_bytes_per_s: float = float("inf")
+    """Offered load; infinite means 'take whatever the network gives'."""
+
+    def __post_init__(self) -> None:
+        if self.demand_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"flow {self.name!r} demand must be positive"
+            )
+        if self.src == self.dst:
+            raise TopologyError(f"flow {self.name!r} has identical endpoints")
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Max-min fair rates for a set of flows on one topology."""
+
+    rates: dict[str, float]
+    paths: dict[str, tuple[str, ...]]
+
+    def rate(self, flow_name: str) -> float:
+        try:
+            return self.rates[flow_name]
+        except KeyError:
+            known = ", ".join(sorted(self.rates))
+            raise ConfigurationError(
+                f"unknown flow {flow_name!r}; allocated flows: {known}"
+            ) from None
+
+    @property
+    def total_rate(self) -> float:
+        return sum(self.rates.values())
+
+
+class SharedNetwork:
+    """A fat tree whose links are fairly shared among routed flows."""
+
+    def __init__(self, tree: FatTree | None = None,
+                 link_capacity: float = DEFAULT_LINK_CAPACITY):
+        assert_positive("link_capacity", link_capacity)
+        self.tree = tree or FatTree()
+        self.link_capacity = link_capacity
+
+    def _edges_of(self, path: list[str]) -> list[tuple[str, str]]:
+        return [
+            tuple(sorted((path[index], path[index + 1])))
+            for index in range(len(path) - 1)
+        ]
+
+    def _flow_edges(self, flow: Flow) -> tuple[list[str], dict[tuple[str, str], float]]:
+        """(representative path, edge -> load fraction) for one flow.
+
+        Single-path routing: every edge of the one shortest path carries
+        the flow's full rate (weight 1.0).
+        """
+        path = self.tree.shortest_path(flow.src, flow.dst)
+        return path, {edge: 1.0 for edge in self._edges_of(path)}
+
+    def allocate(self, flows: list[Flow]) -> Allocation:
+        """Progressive-filling max-min fairness with demand caps.
+
+        Repeatedly raise all unfrozen flows' rates equally until a link
+        saturates (freeze its flows) or a flow hits its demand (freeze
+        it); standard water-filling.  Edge loads are weighted so ECMP
+        subclasses can split a flow across several paths.
+        """
+        if not flows:
+            raise ConfigurationError("at least one flow is required")
+        names = [flow.name for flow in flows]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate flow names: {names}")
+
+        paths: dict[str, list[str]] = {}
+        weights: dict[str, dict[tuple[str, str], float]] = {}
+        for flow in flows:
+            path, edge_weights = self._flow_edges(flow)
+            paths[flow.name] = path
+            weights[flow.name] = edge_weights
+        all_edges = {edge for per_flow in weights.values() for edge in per_flow}
+
+        rates = {flow.name: 0.0 for flow in flows}
+        frozen: set[str] = set()
+        demands = {flow.name: flow.demand_bytes_per_s for flow in flows}
+
+        def edge_load(edge: tuple[str, str]) -> float:
+            return sum(
+                rates[name] * weights[name].get(edge, 0.0) for name in rates
+            )
+
+        while len(frozen) < len(flows):
+            active = [name for name in rates if name not in frozen]
+            increment = float("inf")
+            for edge in all_edges:
+                active_weight = sum(
+                    weights[name].get(edge, 0.0) for name in active
+                )
+                if active_weight <= 0:
+                    continue
+                headroom = self.link_capacity - edge_load(edge)
+                increment = min(increment, headroom / active_weight)
+            for name in active:
+                increment = min(increment, demands[name] - rates[name])
+            if increment == float("inf"):
+                raise ConfigurationError(
+                    "unbounded allocation: no shared link and no finite demand"
+                )
+            increment = max(increment, 0.0)
+            for name in active:
+                rates[name] += increment
+            for name in active:
+                if rates[name] >= demands[name] - 1e-9:
+                    frozen.add(name)
+            for edge in all_edges:
+                if edge_load(edge) >= self.link_capacity - 1e-6:
+                    for name in active:
+                        if weights[name].get(edge, 0.0) > 0:
+                            frozen.add(name)
+        return Allocation(
+            rates=rates,
+            paths={name: tuple(path) for name, path in paths.items()},
+        )
+
+
+class EcmpNetwork(SharedNetwork):
+    """Equal-cost multi-path routing: flows split evenly over all
+    shortest paths (static per-flow ECMP hashing in expectation).
+
+    A flow's rate is still a single scalar — the static split means its
+    throughput is capped by its most congested path, which is exactly
+    ECMP's known shortcoming and why the allocation freezes the whole
+    flow when any of its edges saturates.
+    """
+
+    def _flow_edges(self, flow: Flow) -> tuple[list[str], dict[tuple[str, str], float]]:
+        import networkx as nx
+
+        try:
+            all_paths = list(
+                nx.all_shortest_paths(self.tree.graph, flow.src, flow.dst)
+            )
+        except nx.NetworkXNoPath:
+            from ..errors import TopologyError
+
+            raise TopologyError(
+                f"no path between {flow.src!r} and {flow.dst!r}"
+            ) from None
+        share = 1.0 / len(all_paths)
+        edge_weights: dict[tuple[str, str], float] = {}
+        for path in all_paths:
+            for edge in self._edges_of(path):
+                edge_weights[edge] = edge_weights.get(edge, 0.0) + share
+        return all_paths[0], edge_weights
+
+
+@dataclass(frozen=True)
+class BulkImpact:
+    """Foreground throughput with and without a bulk transfer running."""
+
+    baseline: Allocation
+    contended: Allocation
+    bulk_flow: str
+    foreground_flows: tuple[str, ...] = field(default=())
+
+    @property
+    def foreground_loss(self) -> float:
+        """Fraction of foreground throughput lost to the bulk transfer."""
+        before = sum(self.baseline.rate(name) for name in self.foreground_flows)
+        after = sum(self.contended.rate(name) for name in self.foreground_flows)
+        if before <= 0:
+            raise ConfigurationError("no foreground throughput to compare")
+        return 1.0 - after / before
+
+    @property
+    def bulk_rate(self) -> float:
+        return self.contended.rate(self.bulk_flow)
+
+
+def bulk_transfer_impact(
+    network: SharedNetwork,
+    foreground: list[Flow],
+    bulk: Flow,
+) -> BulkImpact:
+    """Measure what a bulk transfer costs co-running foreground flows.
+
+    This is the traffic a DHL removes from the network: with the DHL,
+    the 'contended' column never happens.
+    """
+    if not foreground:
+        raise ConfigurationError("at least one foreground flow is required")
+    baseline = network.allocate(foreground)
+    contended = network.allocate(foreground + [bulk])
+    return BulkImpact(
+        baseline=baseline,
+        contended=contended,
+        bulk_flow=bulk.name,
+        foreground_flows=tuple(flow.name for flow in foreground),
+    )
+
+
+def paper_backup_scenario(link_gbps_capacity: float = 400.0) -> BulkImpact:
+    """The Section II-D2 spike: a cross-aisle bulk backup colliding with
+    rack-to-rack foreground traffic that shares the storage rack's
+    uplink and the aggregation layer."""
+    network = SharedNetwork(link_capacity=gbps(link_gbps_capacity))
+    tree = network.tree
+    storage = tree.server(0, 0, 0)
+    foreground = [
+        # Same-source services: share the storage node's access link and ToR.
+        Flow("svc-a", storage, tree.server(0, 1, 1)),
+        Flow("svc-b", storage, tree.server(0, 2, 2)),
+        Flow("svc-c", tree.server(0, 0, 3), tree.server(0, 1, 3)),
+    ]
+    bulk = Flow("bulk-backup", storage, tree.server(1, 0, 0))
+    return bulk_transfer_impact(network, foreground, bulk)

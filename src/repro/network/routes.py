@@ -1,0 +1,151 @@
+"""The five network routes of the paper's Fig. 2 energy exercise.
+
+Each route is a power decomposition over Table III components:
+
+* **A0** — direct minimal connection: only the two endpoint transceivers.
+* **A1** — direct passive connection with regular NICs (same rack).
+* **A2** — passive connection through one ToR switch (same rack).
+* **B**  — different rack, same aisle: ToR -> aggregation -> ToR.
+* **C**  — different aisle: ToR -> agg -> core -> agg -> ToR.
+
+Routes B and C can also be *derived* from the fat-tree topology via
+:func:`derive_route`, which must agree with the hand-written census —
+tests enforce this consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from .components import (
+    ENDPOINT_NIC_W,
+    SWITCH_PORT_ACTIVE_W,
+    SWITCH_PORT_PASSIVE_W,
+    TRANSCEIVER_W,
+)
+from .topology import FatTree, PortCount
+
+
+@dataclass(frozen=True)
+class Route:
+    """A named network path with a component census and derived power."""
+
+    name: str
+    description: str
+    transceivers: int = 0
+    nics: int = 0
+    passive_ports: int = 0
+    active_ports: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("transceivers", "nics", "passive_ports", "active_ports"):
+            if getattr(self, field_name) < 0:
+                raise TopologyError(f"{field_name} must be >= 0 on route {self.name!r}")
+
+    @property
+    def switches(self) -> int:
+        """Number of switches traversed (two ports each)."""
+        total_ports = self.passive_ports + self.active_ports
+        if total_ports % 2:
+            raise TopologyError(f"route {self.name!r} has an odd port count")
+        return total_ports // 2
+
+    @property
+    def power_w(self) -> float:
+        """Steady-state power drawn by this route during a transfer."""
+        return (
+            self.transceivers * TRANSCEIVER_W
+            + self.nics * ENDPOINT_NIC_W
+            + self.passive_ports * SWITCH_PORT_PASSIVE_W
+            + self.active_ports * SWITCH_PORT_ACTIVE_W
+        )
+
+    def with_ports(self, ports: PortCount) -> "Route":
+        """A copy of this route using a topology-derived port census."""
+        return Route(
+            name=self.name,
+            description=self.description,
+            transceivers=self.transceivers,
+            nics=self.nics,
+            passive_ports=ports.passive,
+            active_ports=ports.active,
+        )
+
+
+ROUTE_A0 = Route(
+    name="A0",
+    description="direct minimal connection (transceivers only)",
+    transceivers=2,
+)
+ROUTE_A1 = Route(
+    name="A1",
+    description="direct passive connection with regular NICs",
+    nics=2,
+)
+ROUTE_A2 = Route(
+    name="A2",
+    description="passive connection through a ToR switch",
+    nics=2,
+    passive_ports=2,
+)
+ROUTE_B = Route(
+    name="B",
+    description="different rack, same aisle (3 switches)",
+    nics=2,
+    passive_ports=2,
+    active_ports=4,
+)
+ROUTE_C = Route(
+    name="C",
+    description="different aisle via the core (5 switches)",
+    nics=2,
+    passive_ports=2,
+    active_ports=8,
+)
+
+FIG2_ROUTES = (ROUTE_A0, ROUTE_A1, ROUTE_A2, ROUTE_B, ROUTE_C)
+
+_ROUTES_BY_NAME = {route.name: route for route in FIG2_ROUTES}
+
+
+def route_by_name(name: str) -> Route:
+    """Look up one of the Fig. 2 routes ('A0', 'A1', 'A2', 'B', 'C')."""
+    try:
+        return _ROUTES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(route.name for route in FIG2_ROUTES)
+        raise TopologyError(f"unknown route {name!r}; known routes: {known}") from None
+
+
+def derive_route(tree: FatTree, src: str, dst: str, name: str = "derived") -> Route:
+    """Build a route by walking the fat tree between two servers.
+
+    The endpoint NIC pair is always present; port counts come from the
+    topology's passive/active cabling convention.  The same-rack case
+    yields route A2's census, cross-rack yields B's, cross-aisle yields
+    C's.
+    """
+    path = tree.shortest_path(src, dst)
+    ports = tree.classify_ports(path)
+    return Route(
+        name=name,
+        description=f"derived path {' -> '.join(path)}",
+        nics=2,
+        passive_ports=ports.passive,
+        active_ports=ports.active,
+    )
+
+
+def fig2_scenario_endpoints(tree: FatTree) -> dict[str, tuple[str, str]]:
+    """Concrete (storage, destination) server pairs realising A2, B and C.
+
+    A0/A1 are direct cables and do not traverse the tree, so only the
+    switched scenarios appear here.
+    """
+    storage = tree.server(aisle=0, rack=0, index=0)
+    return {
+        "A2": (storage, tree.server(aisle=0, rack=0, index=1)),
+        "B": (storage, tree.server(aisle=0, rack=1, index=0)),
+        "C": (storage, tree.server(aisle=1, rack=0, index=0)),
+    }

@@ -1,0 +1,355 @@
+"""A compact discrete-event simulation engine (simpy-like).
+
+The paper's operational questions — cart scheduling, dock contention,
+pipelined ingestion — need process-oriented discrete-event simulation.
+simpy is not available in this offline environment, so this module
+implements the same core abstractions:
+
+* :class:`Environment` — the event loop with virtual time.
+* :class:`Event` — a one-shot occurrence processes can wait on.
+* :class:`Timeout` — an event that fires after a delay.
+* :class:`Process` — a generator-based coroutine; ``yield event``
+  suspends until the event fires, and events propagate values and
+  exceptions exactly like simpy.
+* :class:`AllOf` / :class:`AnyOf` — condition events.
+
+Determinism: simultaneous events fire in scheduling order (FIFO within a
+timestamp), which the property tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import SimulationError
+
+PENDING = object()
+"""Sentinel for an event value that has not been decided yet."""
+
+
+class Event:
+    """A one-shot event that processes may wait on.
+
+    An event is *triggered* once, either with :meth:`succeed` (a value)
+    or :meth:`fail` (an exception).  Callbacks attached before or after
+    triggering run when the environment processes the event.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running process: drives a generator, firing when it returns.
+
+    The process itself is an event: other processes can ``yield proc`` to
+    wait for completion and receive its return value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off the process at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, priority=0)
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # e.g. an interrupt landing after the process finished
+        # Detach from the event that woke us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        try:
+            if trigger._ok:
+                next_event = self._generator.send(trigger._value)
+            else:
+                trigger._defused = True
+                next_event = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as error:
+            self._ok = False
+            self._value = error
+            self.env._schedule(self)
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}; processes must yield Events"
+            )
+        if next_event.env is not self.env:
+            raise SimulationError("cannot wait on an event from another environment")
+        if next_event.processed:
+            # Already fired: resume immediately (same timestamp).
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+            resume.callbacks.append(self._resume)
+            self.env._schedule(resume)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf: fires when enough child events have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need_all: bool):
+        super().__init__(env)
+        self._events = list(events)
+        self._need_all = need_all
+        self._remaining = len(self._events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        if not self._events:
+            self._ok = True
+            self._value = {}
+            env._schedule(self)
+            return
+        for event in self._events:
+            if event.processed:
+                self._count(event)
+            else:
+                event.callbacks.append(self._count)
+
+    def _count(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self._ok = False
+            self._value = event._value
+            self.env._schedule(self)
+            return
+        self._remaining -= 1
+        done = self._remaining == 0 if self._need_all else True
+        if done:
+            self._ok = True
+            self._value = {
+                child: child._value for child in self._events if child.triggered and child._ok
+            }
+            self.env._schedule(self)
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value maps event -> value."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need_all=True)
+
+
+class AnyOf(Condition):
+    """Fires when the first child event fires."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need_all=False)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Schedule an already-decided event at an absolute time."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
+        self._eid += 1
+        heapq.heappush(self._queue, (when, 1, self._eid, event))
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            value = event._value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"unhandled event failure: {value!r}")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue is empty but the awaited event never fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"deadline {deadline} is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            self._now = deadline
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._queue[0][0] if self._queue else float("inf")

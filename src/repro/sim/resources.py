@@ -1,0 +1,251 @@
+"""Shared-resource primitives for the discrete-event engine.
+
+Mirrors simpy's resource layer closely enough for the DHL simulators:
+
+* :class:`Resource` — capacity-limited, FIFO request queue, used for
+  track occupancy and dock slots.
+* :class:`PriorityResource` — requests carry a priority (lower first).
+* :class:`Store` — a FIFO buffer of Python objects (carts, messages).
+* :class:`Container` — a continuous level (bytes buffered at an endpoint).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from .engine import Environment, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted.
+
+    Usable as a context manager so ``with resource.request() as req:``
+    releases automatically.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of grants currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires once granted."""
+        request = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self.queue.append(request)
+        return request
+
+    def _release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            # Cancelled before being granted.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise SimulationError("release of a request this resource never saw") from None
+            return
+        while self.queue and len(self.users) < self.capacity:
+            waiter = self.queue.popleft()
+            self.users.append(waiter)
+            waiter.succeed(waiter)
+
+
+class PriorityRequest(Request):
+    """A resource request with a priority (lower value = served earlier)."""
+
+    def __init__(self, resource: "PriorityResource", priority: int):
+        self.priority = priority
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by request priority, then FIFO."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list[tuple[int, int, PriorityRequest]] = []
+        self._order = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        request = PriorityRequest(self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self._order += 1
+            heapq.heappush(self._heap, (priority, self._order, request))
+        return request
+
+    def _release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            self._heap = [entry for entry in self._heap if entry[2] is not request]
+            heapq.heapify(self._heap)
+            return
+        while self._heap and len(self.users) < self.capacity:
+            _, _, waiter = heapq.heappop(self._heap)
+            self.users.append(waiter)
+            waiter.succeed(waiter)
+
+
+class Store:
+    """A FIFO buffer of items with blocking put/get.
+
+    ``capacity`` bounds the number of buffered items (put blocks when
+    full); the default is unbounded.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; fires immediately unless the store is full."""
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; fires when one is available."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_matching(self, predicate: Callable[[Any], bool]) -> Event:
+        """Take the oldest item satisfying ``predicate`` if one is buffered.
+
+        Unlike :meth:`get`, this never blocks: the event fails with
+        :class:`SimulationError` when nothing matches right now.
+        """
+        event = Event(self.env)
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                event.succeed(item)
+                self._serve_putters()
+                return event
+        event.fail(SimulationError("no matching item in store"))
+        event.defuse()
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed()
+            self._serve_getters()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous quantity (e.g. bytes buffered) with blocking put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 initial: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError(f"container capacity must be positive, got {capacity}")
+        if not 0 <= initial <= capacity:
+            raise SimulationError(f"initial level {initial} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = initial
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise SimulationError(f"put of {amount} exceeds capacity {self.capacity}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.popleft()
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.popleft()
+                    event.succeed()
+                    progressed = True

@@ -1,0 +1,134 @@
+"""Catalogue of large emerging datasets and data-creation rates (Table I).
+
+These descriptors drive the workload generators: the paper's evaluation
+centres on Meta's 29 PB ML dataset, with experimental physics (LHC CMS)
+and bulk backups as the other motivating applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from ..units import GIB, HOUR, PB, TB, assert_positive
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named dataset with a total size in bytes."""
+
+    name: str
+    size_bytes: float
+    category: str
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        assert_positive("size_bytes", self.size_bytes)
+
+
+@dataclass(frozen=True)
+class DataStream:
+    """A continuous data source, characterised by its creation rate.
+
+    DHLs are unsuited to continuous streams (the paper is explicit about
+    this), but a stream accumulated over a window becomes a bulk transfer;
+    :meth:`accumulate` converts one into a :class:`Dataset`.
+    """
+
+    name: str
+    rate_bytes_per_s: float
+    category: str
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        assert_positive("rate_bytes_per_s", self.rate_bytes_per_s)
+
+    def accumulate(self, seconds: float) -> Dataset:
+        """The bulk dataset produced by this stream over ``seconds``."""
+        if seconds <= 0:
+            raise StorageError(f"accumulation window must be positive, got {seconds!r}")
+        return Dataset(
+            name=f"{self.name} ({seconds:.0f}s window)",
+            size_bytes=self.rate_bytes_per_s * seconds,
+            category=self.category,
+            source=self.source,
+        )
+
+
+_DAY = 86400.0
+
+# One hour of video ~ 1 GiB, the paper's own conversion (Table I footnote).
+_YOUTUBE_8M_BYTES = 350_000 * GIB
+
+LAION_5B = Dataset("LAION-5B", 250 * TB, "Images", source="[9]")
+YOUTUBE_8M = Dataset("YouTube-8M", _YOUTUBE_8M_BYTES, "Videos", source="[21], [25]")
+MASSIVE_TEXT = Dataset("MassiveText", 10.25 * TB, "NLP", source="[82]")
+COMMON_CRAWL = Dataset("Common Crawl", 9 * PB, "Web Crawl", source="[1], [19]")
+META_ML_SMALL = Dataset("Meta ML (small)", 3 * PB, "ML", source="[107]")
+META_ML_MEDIUM = Dataset("Meta ML (medium)", 13 * PB, "ML", source="[107]")
+META_ML_LARGE = Dataset("Meta ML (large)", 29 * PB, "ML", source="[107]")
+NIH_GENOMES = Dataset("NIH 100k Genomes / GSA", 17 * PB, "Genomics", source="[23], [32], [38]")
+
+LHC_CMS_DETECTOR = DataStream(
+    "LHC CMS Detector", rate_bytes_per_s=150 * TB, category="Physics", source="[47]"
+)
+META_DAILY = DataStream(
+    "Meta New Daily Data", rate_bytes_per_s=4 * PB / _DAY, category="BigData", source="[6]"
+)
+YOUTUBE_DAILY_LOW = DataStream(
+    "YouTube New Daily Videos (low)",
+    rate_bytes_per_s=0.7 * PB / _DAY,
+    category="Videos",
+    source="[22], [93]",
+)
+YOUTUBE_DAILY_HIGH = DataStream(
+    "YouTube New Daily Videos (high)",
+    rate_bytes_per_s=1.44 * PB / _DAY,
+    category="Videos",
+    source="[22], [93]",
+)
+
+TABLE_I_DATASETS = (
+    LAION_5B,
+    YOUTUBE_8M,
+    MASSIVE_TEXT,
+    COMMON_CRAWL,
+    META_ML_SMALL,
+    META_ML_MEDIUM,
+    META_ML_LARGE,
+    NIH_GENOMES,
+)
+
+TABLE_I_STREAMS = (
+    LHC_CMS_DETECTOR,
+    META_DAILY,
+    YOUTUBE_DAILY_LOW,
+    YOUTUBE_DAILY_HIGH,
+)
+
+_DATASETS_BY_NAME = {dataset.name: dataset for dataset in TABLE_I_DATASETS}
+
+
+def dataset_by_name(name: str) -> Dataset:
+    """Look up a Table I dataset by exact name."""
+    try:
+        return _DATASETS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_DATASETS_BY_NAME))
+        raise StorageError(f"unknown dataset {name!r}; known datasets: {known}") from None
+
+
+def synthetic_dataset(size_bytes: float, name: str = "synthetic") -> Dataset:
+    """A stand-in dataset of a given size (substitute for proprietary data).
+
+    Every model in the paper depends on a dataset only through its size,
+    so a synthetic descriptor is a faithful replacement for e.g. Meta's
+    production training data.
+    """
+    return Dataset(name=name, size_bytes=size_bytes, category="Synthetic")
+
+
+def lhc_hour() -> Dataset:
+    """One hour of unfiltered CMS detector output — an off-site processing
+    shipment for the experimental-physics use case (Section II-D1)."""
+    return LHC_CMS_DETECTOR.accumulate(HOUR)

@@ -1,0 +1,191 @@
+"""Storage-device models (paper Table II).
+
+The paper's core observation is that SSD *density* — bytes per gram and
+bytes per unit volume — has grown quietly but rapidly, and that the M.2
+form factor in particular packs data tightly enough to make embodied data
+movement practical.  This module models concrete devices with enough
+fidelity to derive those density arguments and to drive the dock-side
+read/write model of the operational simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+from ..units import MB, TB, assert_positive
+
+
+@dataclass(frozen=True)
+class FormFactor:
+    """A physical storage package: name plus bounding-box dimensions (mm)."""
+
+    name: str
+    length_mm: float
+    width_mm: float
+    height_mm: float
+
+    def __post_init__(self) -> None:
+        assert_positive("length_mm", self.length_mm)
+        assert_positive("width_mm", self.width_mm)
+        assert_positive("height_mm", self.height_mm)
+
+    @property
+    def volume_cm3(self) -> float:
+        """Bounding-box volume in cubic centimetres."""
+        return self.length_mm * self.width_mm * self.height_mm / 1e3
+
+
+# Common form factors.  The M.2 22110 bounding box uses a conservative
+# 10 mm height to account for a heat sink, matching the paper's packing
+# estimate of 32 SSDs in roughly 60 x 60 x 80 mm.
+FORM_FACTOR_3_5_INCH = FormFactor("3.5-inch", length_mm=147.0, width_mm=101.6, height_mm=26.1)
+FORM_FACTOR_U_2 = FormFactor("U.2", length_mm=100.0, width_mm=69.85, height_mm=15.0)
+FORM_FACTOR_M_2_2280 = FormFactor("M.2-2280", length_mm=80.0, width_mm=22.0, height_mm=10.0)
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """A storage device with capacity, mass, bandwidth and power.
+
+    Bandwidths are sequential rates in bytes/s; the paper (Table II)
+    quotes MB/s, converted by the :func:`from_table_ii` helpers below.
+    ``active_power_w`` is the sustained-I/O draw (the discussion section
+    cites up to 10 W per M.2 under load); ``idle_power_w`` covers a docked
+    but quiescent drive.
+    """
+
+    name: str
+    capacity_bytes: float
+    form_factor: FormFactor
+    mass_kg: float
+    read_bw: float
+    write_bw: float
+    active_power_w: float = 10.0
+    idle_power_w: float = 0.05
+    kind: str = "ssd"
+
+    def __post_init__(self) -> None:
+        assert_positive("capacity_bytes", self.capacity_bytes)
+        assert_positive("mass_kg", self.mass_kg)
+        assert_positive("read_bw", self.read_bw)
+        assert_positive("write_bw", self.write_bw)
+        if self.kind not in ("hdd", "ssd", "m2-ssd"):
+            raise StorageError(f"unknown device kind {self.kind!r}")
+
+    @property
+    def density_bytes_per_gram(self) -> float:
+        """Data density by mass — the paper's headline storage metric."""
+        return self.capacity_bytes / (self.mass_kg * 1e3)
+
+    @property
+    def density_bytes_per_cm3(self) -> float:
+        """Data density by bounding-box volume."""
+        return self.capacity_bytes / self.form_factor.volume_cm3
+
+    def read_time(self, n_bytes: float) -> float:
+        """Seconds to sequentially read ``n_bytes`` from this device."""
+        if n_bytes < 0:
+            raise StorageError(f"cannot read a negative amount: {n_bytes!r}")
+        return n_bytes / self.read_bw
+
+    def write_time(self, n_bytes: float) -> float:
+        """Seconds to sequentially write ``n_bytes`` to this device."""
+        if n_bytes < 0:
+            raise StorageError(f"cannot write a negative amount: {n_bytes!r}")
+        return n_bytes / self.write_bw
+
+
+# --------------------------------------------------------------------------
+# Table II devices
+# --------------------------------------------------------------------------
+
+WD_GOLD_24TB = StorageDevice(
+    name="WD Gold 24TB",
+    capacity_bytes=24 * TB,
+    form_factor=FORM_FACTOR_3_5_INCH,
+    mass_kg=0.670,
+    read_bw=291 * MB,
+    write_bw=291 * MB,
+    active_power_w=7.0,
+    kind="hdd",
+)
+
+NIMBUS_EXADRIVE_100TB = StorageDevice(
+    name="Nimbus ExaDrive 100TB",
+    capacity_bytes=100 * TB,
+    form_factor=FORM_FACTOR_3_5_INCH,
+    mass_kg=0.538,
+    read_bw=500 * MB,
+    write_bw=460 * MB,
+    active_power_w=14.0,
+    kind="ssd",
+)
+
+SABRENT_ROCKET_4_PLUS_8TB = StorageDevice(
+    name="Sabrent Rocket 4 Plus 8TB",
+    capacity_bytes=8 * TB,
+    form_factor=FORM_FACTOR_M_2_2280,
+    mass_kg=0.00567,
+    read_bw=7100 * MB,
+    write_bw=6000 * MB,
+    active_power_w=10.0,
+    kind="m2-ssd",
+)
+
+TABLE_II_DEVICES = (
+    WD_GOLD_24TB,
+    NIMBUS_EXADRIVE_100TB,
+    SABRENT_ROCKET_4_PLUS_8TB,
+)
+
+_DEVICES_BY_NAME = {device.name: device for device in TABLE_II_DEVICES}
+
+
+def device_by_name(name: str) -> StorageDevice:
+    """Look up one of the catalogued Table II devices by exact name."""
+    try:
+        return _DEVICES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES_BY_NAME))
+        raise StorageError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def drives_required(dataset_bytes: float, device: StorageDevice) -> int:
+    """How many copies of ``device`` are needed to hold ``dataset_bytes``.
+
+    Reproduces the paper's Section II-C aside: 29 PB requires 1319 of the
+    22 TB HDDs or 290 of the 100 TB SSDs.  (The paper's HDD count uses a
+    22 TB capacity even though Table II lists the 24 TB WD Gold.)
+    """
+    from ..units import ceil_div
+
+    return ceil_div(dataset_bytes, device.capacity_bytes)
+
+
+@dataclass(frozen=True)
+class DensityComparison:
+    """Relative density of two devices, as in the paper's Section II-A."""
+
+    lighter: StorageDevice
+    heavier: StorageDevice
+    mass_ratio: float = field(init=False)
+    capacity_ratio: float = field(init=False)
+    density_ratio: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mass_ratio", self.heavier.mass_kg / self.lighter.mass_kg)
+        object.__setattr__(
+            self, "capacity_ratio", self.heavier.capacity_bytes / self.lighter.capacity_bytes
+        )
+        object.__setattr__(
+            self,
+            "density_ratio",
+            self.lighter.density_bytes_per_gram / self.heavier.density_bytes_per_gram,
+        )
+
+
+def m2_versus_hdd() -> DensityComparison:
+    """The paper's comparison: the 8 TB M.2 is ~100x lighter than the 3.5"
+    HDD for only ~3x less capacity (Table II devices)."""
+    return DensityComparison(lighter=SABRENT_ROCKET_4_PLUS_8TB, heavier=WD_GOLD_24TB)

@@ -1,0 +1,134 @@
+"""Data-growth projections: when does copying stop keeping up?
+
+The introduction motivates DHLs with growth: "The increasing amount of
+data generated per user per day is a problem growing at an alarming
+rate, already reaching petabytes (PB) per day for data centres."  This
+module projects Table I's creation rates and dataset sizes forward and
+finds the crossover where a replication requirement outgrows a link
+budget — while the DHL side scales by adding carts to an unchanged
+rail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import DAY, assert_positive, gbps
+from .datasets import DataStream, Dataset
+
+DATA_GROWTH_CAGR: float = 0.35
+"""Compound annual growth of data creation; IDC-style estimates put
+global datasphere growth in the 25-40%/yr band."""
+
+
+def projected_rate(stream: DataStream, years: float,
+                   cagr: float = DATA_GROWTH_CAGR) -> DataStream:
+    """The stream ``years`` later at compound growth ``cagr``."""
+    if years < 0:
+        raise ConfigurationError(f"years must be >= 0, got {years}")
+    if cagr <= -1:
+        raise ConfigurationError("growth rate must exceed -100%")
+    return DataStream(
+        name=f"{stream.name} (+{years:g}y)",
+        rate_bytes_per_s=stream.rate_bytes_per_s * (1 + cagr) ** years,
+        category=stream.category,
+        source=stream.source,
+    )
+
+
+def projected_dataset(dataset: Dataset, years: float,
+                      cagr: float = DATA_GROWTH_CAGR) -> Dataset:
+    """A dataset grown forward (the paper notes ML sets are 'mainly
+    appended')."""
+    if years < 0:
+        raise ConfigurationError(f"years must be >= 0, got {years}")
+    if cagr <= -1:
+        raise ConfigurationError("growth rate must exceed -100%")
+    return Dataset(
+        name=f"{dataset.name} (+{years:g}y)",
+        size_bytes=dataset.size_bytes * (1 + cagr) ** years,
+        category=dataset.category,
+        source=dataset.source,
+    )
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """When a growing replication load saturates a fixed link budget."""
+
+    stream: DataStream
+    link_budget_bytes_per_s: float
+    replication_factor: float
+    years_to_saturation: float
+
+    @property
+    def already_saturated(self) -> bool:
+        return self.years_to_saturation <= 0
+
+
+def saturation_year(
+    stream: DataStream,
+    n_links: float = 1.0,
+    link_gbps: float = 400.0,
+    replication_factor: float = 2.0,
+    cagr: float = DATA_GROWTH_CAGR,
+) -> Crossover:
+    """Years until replicating a stream's output saturates ``n_links``.
+
+    ``replication_factor`` counts how many times each created byte must
+    cross the fabric (backup + one analytics copy = 2).  Solves
+    ``rate x replication x (1+g)^t = capacity`` for t; negative t means
+    the budget is already insufficient.
+    """
+    assert_positive("n_links", n_links)
+    assert_positive("link_gbps", link_gbps)
+    assert_positive("replication_factor", replication_factor)
+    if cagr <= 0:
+        raise ConfigurationError("saturation needs positive growth")
+    capacity = n_links * gbps(link_gbps)
+    demand = stream.rate_bytes_per_s * replication_factor
+    years = math.log(capacity / demand) / math.log(1 + cagr)
+    return Crossover(
+        stream=stream,
+        link_budget_bytes_per_s=capacity,
+        replication_factor=replication_factor,
+        years_to_saturation=years,
+    )
+
+
+def carts_per_day(
+    stream: DataStream,
+    cart_bytes: float,
+    years: float = 0.0,
+    cagr: float = DATA_GROWTH_CAGR,
+) -> float:
+    """DHL-side scaling: loaded carts per day to ship a (grown) stream.
+
+    The rail never changes; growth is absorbed by launch cadence (and,
+    per Section II-A, by denser SSDs shrinking this number again).
+    """
+    assert_positive("cart_bytes", cart_bytes)
+    grown = projected_rate(stream, years, cagr)
+    return grown.rate_bytes_per_s * DAY / cart_bytes
+
+
+def dhl_headroom_years(
+    stream: DataStream,
+    cart_bytes: float,
+    trip_time_s: float,
+    cagr: float = DATA_GROWTH_CAGR,
+) -> float:
+    """Years before one DHL track's launch cadence saturates.
+
+    A track delivers one cart per ``trip_time_s`` (pipelined returns);
+    saturation is ``carts/day == 86400 / trip_time``.
+    """
+    assert_positive("cart_bytes", cart_bytes)
+    assert_positive("trip_time_s", trip_time_s)
+    if cagr <= 0:
+        raise ConfigurationError("headroom needs positive growth")
+    capacity_carts_per_day = DAY / trip_time_s
+    today = carts_per_day(stream, cart_bytes)
+    return math.log(capacity_carts_per_day / today) / math.log(1 + cagr)

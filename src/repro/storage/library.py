@@ -1,0 +1,159 @@
+"""Cold-storage library inventory: mapping datasets onto cart-sized shards.
+
+The DHL library (Section III-B6) holds SSD carts as cold storage.  A
+PB-scale dataset is striped across many carts; this module plans that
+placement and answers "which shards must travel for this request?" for
+both the analytical campaign model and the operational simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import StorageError
+from ..units import ceil_div
+from .datasets import Dataset
+from .ssd_array import SsdArray
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous slice of a dataset assigned to one cart-load."""
+
+    dataset: str
+    index: int
+    offset_bytes: float
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise StorageError(f"shard index must be >= 0, got {self.index}")
+        if self.size_bytes <= 0:
+            raise StorageError(f"shard size must be positive, got {self.size_bytes!r}")
+        if self.offset_bytes < 0:
+            raise StorageError(f"shard offset must be >= 0, got {self.offset_bytes!r}")
+
+    @property
+    def end_bytes(self) -> float:
+        return self.offset_bytes + self.size_bytes
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """The shards of one dataset laid out over identical cart arrays."""
+
+    dataset: Dataset
+    array: SsdArray
+    shards: tuple[Shard, ...]
+
+    @property
+    def n_carts(self) -> int:
+        return len(self.shards)
+
+    @property
+    def last_shard_fill(self) -> float:
+        """Fraction of the final cart that actually holds data."""
+        return self.shards[-1].size_bytes / self.array.usable_capacity_bytes
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+
+def plan_placement(dataset: Dataset, array: SsdArray) -> PlacementPlan:
+    """Stripe ``dataset`` across the fewest cart-loads of ``array``.
+
+    For the paper's defaults (29 PB on 256 TB carts) this yields 114
+    shards, matching the trip counts of Table VI.
+    """
+    capacity = array.usable_capacity_bytes
+    n_carts = ceil_div(dataset.size_bytes, capacity)
+    shards = []
+    remaining = dataset.size_bytes
+    for index in range(n_carts):
+        size = min(capacity, remaining)
+        shards.append(
+            Shard(
+                dataset=dataset.name,
+                index=index,
+                offset_bytes=index * capacity,
+                size_bytes=size,
+            )
+        )
+        remaining -= size
+    return PlacementPlan(dataset=dataset, array=array, shards=tuple(shards))
+
+
+@dataclass
+class LibraryInventory:
+    """Mutable inventory of which shard sits on which library cart slot.
+
+    The operational simulator uses this to resolve Open requests ("fetch
+    shard k of dataset d") to concrete carts, and to record writes coming
+    back from endpoints.
+    """
+
+    capacity_slots: int
+    _slots: dict[int, Shard | None] = field(default_factory=dict)
+    _by_shard: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_slots <= 0:
+            raise StorageError(f"library must have >= 1 slot, got {self.capacity_slots}")
+        for slot in range(self.capacity_slots):
+            self._slots.setdefault(slot, None)
+
+    @property
+    def free_slots(self) -> list[int]:
+        return [slot for slot, shard in self._slots.items() if shard is None]
+
+    @property
+    def occupied_slots(self) -> list[int]:
+        return [slot for slot, shard in self._slots.items() if shard is not None]
+
+    def store(self, shard: Shard, slot: int | None = None) -> int:
+        """Place ``shard`` into a slot (first free one by default)."""
+        key = (shard.dataset, shard.index)
+        if key in self._by_shard:
+            raise StorageError(f"shard {key} is already stored in slot {self._by_shard[key]}")
+        if slot is None:
+            free = self.free_slots
+            if not free:
+                raise StorageError("library is full; extend the rail to add slots")
+            slot = free[0]
+        if slot not in self._slots:
+            raise StorageError(f"slot {slot} does not exist (capacity {self.capacity_slots})")
+        if self._slots[slot] is not None:
+            raise StorageError(f"slot {slot} is already occupied")
+        self._slots[slot] = shard
+        self._by_shard[key] = slot
+        return slot
+
+    def locate(self, dataset: str, index: int) -> int:
+        """Return the slot holding shard ``index`` of ``dataset``."""
+        try:
+            return self._by_shard[(dataset, index)]
+        except KeyError:
+            raise StorageError(f"shard ({dataset!r}, {index}) is not in the library") from None
+
+    def retrieve(self, dataset: str, index: int) -> Shard:
+        """Remove and return a shard (cart leaves the library)."""
+        slot = self.locate(dataset, index)
+        shard = self._slots[slot]
+        assert shard is not None
+        self._slots[slot] = None
+        del self._by_shard[(dataset, index)]
+        return shard
+
+    def store_plan(self, plan: PlacementPlan) -> list[int]:
+        """Store every shard of a placement plan; returns slots used."""
+        if len(plan.shards) > len(self.free_slots):
+            raise StorageError(
+                f"plan needs {len(plan.shards)} slots but only "
+                f"{len(self.free_slots)} are free"
+            )
+        return [self.store(shard) for shard in plan.shards]
+
+    def contents(self) -> dict[int, Shard]:
+        """Snapshot of occupied slots (slot -> shard)."""
+        return {slot: shard for slot, shard in self._slots.items() if shard is not None}

@@ -1,0 +1,69 @@
+"""Catalogue of large ML models with significant storage footprints (Table IV).
+
+The paper sizes each model by applying a common conversion of one
+parameter = 32 bits; :func:`parameter_bytes` implements that conversion so
+the table can be regenerated rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+from ..units import assert_positive
+
+BYTES_PER_PARAM_FP32: float = 4.0
+"""The paper's conversion: Param = 32 bits = 4 bytes."""
+
+
+def parameter_bytes(n_params: float, bytes_per_param: float = BYTES_PER_PARAM_FP32) -> float:
+    """Storage footprint of a model with ``n_params`` parameters."""
+    assert_positive("n_params", n_params)
+    assert_positive("bytes_per_param", bytes_per_param)
+    return n_params * bytes_per_param
+
+
+@dataclass(frozen=True)
+class MlModel:
+    """A named ML model sized by parameter count (Table IV rows)."""
+
+    name: str
+    n_params: float
+    origin: str
+    year: int
+    size_bytes: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        assert_positive("n_params", self.n_params)
+        object.__setattr__(self, "size_bytes", parameter_bytes(self.n_params))
+
+
+_B = 1e9
+_T = 1e12
+
+GPT_3 = MlModel("GPT-3", 175 * _B, "OpenAI", 2020)
+JURASSIC_1 = MlModel("Jurassic-1", 178 * _B, "A21 labs", 2021)
+GOPHER = MlModel("Gopher", 280 * _B, "Google", 2021)
+M6_10T = MlModel("M6-10T", 10 * _T, "Alibaba", 2021)
+MEGATRON_TURING_NLG = MlModel("Megatron-Turing NLG", 1 * _T, "MSFT&NVDA", 2022)
+DLRM_2022 = MlModel("DLRM 2022", 12 * _T, "Meta", 2022)
+
+TABLE_IV_MODELS = (
+    GPT_3,
+    JURASSIC_1,
+    GOPHER,
+    M6_10T,
+    MEGATRON_TURING_NLG,
+    DLRM_2022,
+)
+
+_MODELS_BY_NAME = {model.name: model for model in TABLE_IV_MODELS}
+
+
+def model_by_name(name: str) -> MlModel:
+    """Look up a Table IV model by exact name."""
+    try:
+        return _MODELS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS_BY_NAME))
+        raise StorageError(f"unknown model {name!r}; known models: {known}") from None

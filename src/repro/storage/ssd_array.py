@@ -1,0 +1,188 @@
+"""Arrays of SSDs as mounted on a DHL cart.
+
+A cart carries a fixed set of M.2 SSDs wired 1 PCIe lane per SSD.  This
+module models the aggregate capacity, mass, bandwidth and power of such an
+array, including optional RAID-style redundancy used by the fault-injection
+experiments, and the PCIe link that caps dock-side throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, DataIntegrityError
+from ..units import GBIT_PER_S, assert_positive
+from .devices import SABRENT_ROCKET_4_PLUS_8TB, StorageDevice
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A PCIe connection between a docking station and a cart.
+
+    The paper cites PCIe 6.0 at 3.8 Tbit/s for 64 lanes; per-lane rates
+    below follow the PCIe spec (bytes/s, post-encoding).
+    """
+
+    generation: int
+    lanes: int
+
+    _PER_LANE_GBIT = {3: 8.0, 4: 16.0, 5: 32.0, 6: 64.0}
+
+    def __post_init__(self) -> None:
+        if self.generation not in self._PER_LANE_GBIT:
+            raise ConfigurationError(
+                f"unsupported PCIe generation {self.generation}; "
+                f"supported: {sorted(self._PER_LANE_GBIT)}"
+            )
+        if self.lanes <= 0:
+            raise ConfigurationError(f"lane count must be positive, got {self.lanes}")
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate link bandwidth in bytes/s (lanes x per-lane rate)."""
+        # PCIe 6.0 moved to PAM4 + FLIT encoding with ~2% overhead; earlier
+        # generations use 128b/130b.  We fold both into a 2% factor, which
+        # lands 64 lanes of gen 6 at ~3.9 Tbit/s, matching the paper's cite.
+        raw = self._PER_LANE_GBIT[self.generation] * self.lanes * GBIT_PER_S
+        return raw * 0.98
+
+
+PCIE6_X64 = PcieLink(generation=6, lanes=64)
+
+
+@dataclass(frozen=True)
+class SsdArray:
+    """A fixed array of identical SSDs, optionally with parity redundancy.
+
+    ``parity_drives`` follows RAID-5/6 style erasure coding at array scope:
+    the array tolerates that many simultaneous drive failures, at the cost
+    of their capacity.
+    """
+
+    device: StorageDevice = SABRENT_ROCKET_4_PLUS_8TB
+    count: int = 32
+    parity_drives: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError(f"SSD count must be positive, got {self.count}")
+        if not 0 <= self.parity_drives < self.count:
+            raise ConfigurationError(
+                f"parity drives must lie in [0, count); got {self.parity_drives} of {self.count}"
+            )
+
+    @property
+    def raw_capacity_bytes(self) -> float:
+        """Total capacity across all drives, ignoring redundancy."""
+        return self.device.capacity_bytes * self.count
+
+    @property
+    def usable_capacity_bytes(self) -> float:
+        """Capacity available for data after parity overhead."""
+        return self.device.capacity_bytes * (self.count - self.parity_drives)
+
+    @property
+    def mass_kg(self) -> float:
+        """Total drive mass (the cart model adds frame/magnets/fin)."""
+        return self.device.mass_kg * self.count
+
+    @property
+    def read_bw(self) -> float:
+        """Aggregate sequential read bandwidth of all data drives, bytes/s."""
+        return self.device.read_bw * (self.count - self.parity_drives)
+
+    @property
+    def write_bw(self) -> float:
+        """Aggregate sequential write bandwidth of all data drives, bytes/s."""
+        return self.device.write_bw * (self.count - self.parity_drives)
+
+    @property
+    def active_power_w(self) -> float:
+        """Power with every drive under load (heat-sink sizing input)."""
+        return self.device.active_power_w * self.count
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.device.idle_power_w * self.count
+
+    def effective_read_bw(self, link: PcieLink = PCIE6_X64) -> float:
+        """Dock-side read bandwidth: min of drives and the PCIe link."""
+        return min(self.read_bw, link.bandwidth)
+
+    def effective_write_bw(self, link: PcieLink = PCIE6_X64) -> float:
+        """Dock-side write bandwidth: min of drives and the PCIe link."""
+        return min(self.write_bw, link.bandwidth)
+
+    def drain_time(self, n_bytes: float | None = None, link: PcieLink = PCIE6_X64) -> float:
+        """Seconds to read ``n_bytes`` (default: a full array) at the dock."""
+        if n_bytes is None:
+            n_bytes = self.usable_capacity_bytes
+        if n_bytes < 0:
+            raise ConfigurationError(f"cannot drain a negative amount: {n_bytes!r}")
+        return n_bytes / self.effective_read_bw(link)
+
+    def fill_time(self, n_bytes: float | None = None, link: PcieLink = PCIE6_X64) -> float:
+        """Seconds to write ``n_bytes`` (default: a full array) at the dock."""
+        if n_bytes is None:
+            n_bytes = self.usable_capacity_bytes
+        if n_bytes < 0:
+            raise ConfigurationError(f"cannot fill a negative amount: {n_bytes!r}")
+        return n_bytes / self.effective_write_bw(link)
+
+    def surviving(self, failed_drives: int) -> "DegradedArray":
+        """State of the array after ``failed_drives`` in-flight failures.
+
+        Raises :class:`DataIntegrityError` when failures exceed parity —
+        the paper's API would then report the error so backups can step in.
+        """
+        if failed_drives < 0:
+            raise ConfigurationError(f"failed drive count must be >= 0, got {failed_drives}")
+        if failed_drives > self.parity_drives:
+            raise DataIntegrityError(
+                f"{failed_drives} drives failed but the array only tolerates "
+                f"{self.parity_drives}; data lost, restore from backup"
+            )
+        return DegradedArray(array=self, failed_drives=failed_drives)
+
+
+@dataclass(frozen=True)
+class DegradedArray:
+    """An SSD array operating with some drives failed but data intact."""
+
+    array: SsdArray
+    failed_drives: int
+    rebuild_read_penalty: float = 1.15
+    """Reads touch parity during reconstruction; ~15% extra traffic."""
+
+    @property
+    def read_bw(self) -> float:
+        """Degraded read bandwidth: fewer drives, plus reconstruction cost."""
+        healthy = self.array.count - self.array.parity_drives - self.failed_drives
+        healthy = max(healthy, 1)
+        penalty = self.rebuild_read_penalty if self.failed_drives else 1.0
+        return self.array.device.read_bw * healthy / penalty
+
+    def rebuild_time(self, spare_write_bw: float | None = None) -> float:
+        """Seconds to reconstruct the failed drives onto spares.
+
+        Rebuild must rewrite each failed drive in full; the bottleneck is
+        the spare's write bandwidth (default: one device's write rate).
+        """
+        if self.failed_drives == 0:
+            return 0.0
+        if spare_write_bw is None:
+            spare_write_bw = self.array.device.write_bw
+        assert_positive("spare_write_bw", spare_write_bw)
+        return self.failed_drives * self.array.device.capacity_bytes / spare_write_bw
+
+
+def array_for_capacity(
+    capacity_bytes: float,
+    device: StorageDevice = SABRENT_ROCKET_4_PLUS_8TB,
+    parity_drives: int = 0,
+) -> SsdArray:
+    """Build the smallest array of ``device`` holding ``capacity_bytes``."""
+    from ..units import ceil_div
+
+    data_drives = ceil_div(capacity_bytes, device.capacity_bytes)
+    return SsdArray(device=device, count=data_drives + parity_drives, parity_drives=parity_drives)

@@ -1,0 +1,181 @@
+"""Physical units and conversion helpers used throughout the library.
+
+The paper mixes decimal storage units (TB, PB), network units (Gbit/s),
+mechanical units (m/s, m/s^2, grams) and energy units (J, kJ, MJ).  This
+module pins down one convention for the whole code base:
+
+* **Bytes** are the canonical data unit.  ``TB`` and ``PB`` are decimal
+  (1 TB = 1e12 bytes), matching the paper's arithmetic (29 PB over
+  400 Gbit/s = 580 000 s only holds with decimal units).
+* **Seconds**, **metres**, **kilograms**, **joules** and **watts** are the
+  canonical time/mechanics units.  Convenience constants convert from the
+  gram/kJ/kW values quoted in the paper.
+
+Everything here is a plain module-level constant or a small pure function
+so it can be used in hot loops without overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --------------------------------------------------------------------------
+# Data quantities (decimal, canonical unit: bytes)
+# --------------------------------------------------------------------------
+
+KB: float = 1e3
+MB: float = 1e6
+GB: float = 1e9
+TB: float = 1e12
+PB: float = 1e15
+
+# Binary variants, used only where a source quotes binary units.
+KIB: float = 2.0**10
+MIB: float = 2.0**20
+GIB: float = 2.0**30
+TIB: float = 2.0**40
+PIB: float = 2.0**50
+
+BITS_PER_BYTE: int = 8
+
+# --------------------------------------------------------------------------
+# Network rates (canonical unit: bytes per second)
+# --------------------------------------------------------------------------
+
+GBIT_PER_S: float = 1e9 / BITS_PER_BYTE
+"""One gigabit per second, expressed in bytes per second."""
+
+TBIT_PER_S: float = 1e12 / BITS_PER_BYTE
+
+
+def gbps(value: float) -> float:
+    """Convert a link rate in Gbit/s into bytes/s."""
+    return value * GBIT_PER_S
+
+
+# --------------------------------------------------------------------------
+# Mechanics
+# --------------------------------------------------------------------------
+
+GRAM: float = 1e-3
+"""One gram in kilograms (the paper quotes cart masses in grams)."""
+
+GRAVITY: float = 9.81
+"""Standard gravitational acceleration, m/s^2."""
+
+# --------------------------------------------------------------------------
+# Energy / power
+# --------------------------------------------------------------------------
+
+KJ: float = 1e3
+MJ: float = 1e6
+KW: float = 1e3
+MW: float = 1e6
+
+WH: float = 3600.0
+"""One watt-hour in joules."""
+
+KWH: float = 3.6e6
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+
+
+# --------------------------------------------------------------------------
+# Formatting helpers (used by the CLI / analysis pretty printers)
+# --------------------------------------------------------------------------
+
+_DATA_STEPS = ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "kB"))
+_ENERGY_STEPS = ((MJ, "MJ"), (KJ, "kJ"))
+_POWER_STEPS = ((MW, "MW"), (KW, "kW"))
+
+
+def format_bytes(value: float, precision: int = 2) -> str:
+    """Render a byte count with the most natural decimal unit.
+
+    >>> format_bytes(29e15)
+    '29 PB'
+    """
+    for scale, suffix in _DATA_STEPS:
+        if abs(value) >= scale:
+            return f"{_trim(value / scale, precision)} {suffix}"
+    return f"{_trim(value, precision)} B"
+
+
+def format_energy(value: float, precision: int = 2) -> str:
+    """Render joules as J/kJ/MJ, matching the paper's table units."""
+    for scale, suffix in _ENERGY_STEPS:
+        if abs(value) >= scale:
+            return f"{_trim(value / scale, precision)} {suffix}"
+    return f"{_trim(value, precision)} J"
+
+
+def format_power(value: float, precision: int = 2) -> str:
+    """Render watts as W/kW/MW."""
+    for scale, suffix in _POWER_STEPS:
+        if abs(value) >= scale:
+            return f"{_trim(value / scale, precision)} {suffix}"
+    return f"{_trim(value, precision)} W"
+
+
+def format_time(value: float, precision: int = 2) -> str:
+    """Render seconds, switching to minutes/hours/days for long spans."""
+    if abs(value) >= DAY:
+        return f"{_trim(value / DAY, precision)} days"
+    if abs(value) >= HOUR:
+        return f"{_trim(value / HOUR, precision)} h"
+    if abs(value) >= MINUTE:
+        return f"{_trim(value / MINUTE, precision)} min"
+    return f"{_trim(value, precision)} s"
+
+
+def _trim(value: float, precision: int) -> str:
+    """Format a float, trimming trailing zeros ('29' not '29.00')."""
+    text = f"{value:.{precision}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text
+
+
+# --------------------------------------------------------------------------
+# Small numeric helpers
+# --------------------------------------------------------------------------
+
+
+def ceil_div(numerator: float, denominator: float) -> int:
+    """Integer ceiling of a ratio of positive quantities.
+
+    Used for trip counts: a 29 PB dataset on 256 TB carts needs
+    ``ceil_div(29 * PB, 256 * TB) == 114`` trips.
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator!r}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator!r}")
+    return int(math.ceil(numerator / denominator - 1e-12))
+
+
+def assert_positive(name: str, value: float) -> float:
+    """Validate that a model parameter is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def assert_non_negative(name: str, value: float) -> float:
+    """Validate that a model parameter is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def assert_fraction(name: str, value: float) -> float:
+    """Validate that a parameter lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value

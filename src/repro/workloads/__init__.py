@@ -1,0 +1,60 @@
+"""Workload generation and hybrid DHL/network routing policies.
+
+Implements the system-level question of Section III-E — the DHL
+"replaces only some uses of the data centre network" — as seeded job
+streams, routing policies (all-network, all-DHL, size-threshold, and
+the Section V-E break-even policy), and a deterministic service
+scheduler that reports per-policy time, energy and latency.
+"""
+
+from .generator import (
+    DEFAULT_MIX,
+    TrafficClass,
+    TransferJob,
+    WorkloadGenerator,
+    jobs_by_kind,
+    total_offered_bytes,
+)
+from .policy import (
+    AllDhlPolicy,
+    AllNetworkPolicy,
+    BreakEvenPolicy,
+    DHL,
+    NETWORK,
+    RoutingPolicy,
+    SizeThresholdPolicy,
+    split_jobs,
+)
+from .replication import ReplicatedMetric, replicate, summarise
+from .service import (
+    JobOutcome,
+    PolicyReport,
+    ServiceConfig,
+    compare_policies,
+    evaluate_policy,
+)
+
+__all__ = [
+    "AllDhlPolicy",
+    "AllNetworkPolicy",
+    "BreakEvenPolicy",
+    "DEFAULT_MIX",
+    "DHL",
+    "JobOutcome",
+    "NETWORK",
+    "PolicyReport",
+    "ReplicatedMetric",
+    "replicate",
+    "summarise",
+    "RoutingPolicy",
+    "ServiceConfig",
+    "SizeThresholdPolicy",
+    "TrafficClass",
+    "TransferJob",
+    "WorkloadGenerator",
+    "compare_policies",
+    "evaluate_policy",
+    "jobs_by_kind",
+    "split_jobs",
+    "total_offered_bytes",
+]

@@ -1,0 +1,109 @@
+"""Routing policies: which transfers belong on the DHL?
+
+Section III-E is explicit that the DHL "is likely to replace only some
+uses of the data centre network" — small or latency-sensitive transfers
+should stay on optics, bulk shipments should ride carts.  A
+:class:`RoutingPolicy` encodes that decision; the break-even policy uses
+the Section V-E analysis directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.breakeven import BreakEven, break_even
+from ..core.params import DhlParams
+from ..errors import ConfigurationError
+from ..network.routes import ROUTE_B, Route
+from ..units import assert_positive
+from .generator import TransferJob
+
+DHL = "dhl"
+NETWORK = "network"
+
+
+class RoutingPolicy:
+    """Base policy: override :meth:`route` to classify one job."""
+
+    name = "abstract"
+
+    def route(self, job: TransferJob) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class AllNetworkPolicy(RoutingPolicy):
+    """The status quo: everything over optics."""
+
+    name: str = "all-network"
+
+    def route(self, job: TransferJob) -> str:
+        return NETWORK
+
+
+@dataclass
+class AllDhlPolicy(RoutingPolicy):
+    """The straw man: everything on carts, even tiny transfers."""
+
+    name: str = "all-dhl"
+
+    def route(self, job: TransferJob) -> str:
+        return DHL
+
+
+@dataclass
+class SizeThresholdPolicy(RoutingPolicy):
+    """Send jobs at or above a fixed size to the DHL."""
+
+    threshold_bytes: float
+    name: str = "size-threshold"
+
+    def __post_init__(self) -> None:
+        assert_positive("threshold_bytes", self.threshold_bytes)
+
+    def route(self, job: TransferJob) -> str:
+        return DHL if job.size_bytes >= self.threshold_bytes else NETWORK
+
+
+@dataclass
+class BreakEvenPolicy(RoutingPolicy):
+    """Route by the Section V-E break-even: DHL wherever it wins both
+    time and energy for the job's size, network otherwise."""
+
+    params: DhlParams = field(default_factory=DhlParams)
+    route_baseline: Route = ROUTE_B
+    name: str = "break-even"
+    _analysis: BreakEven = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._analysis = break_even(self.params, route=self.route_baseline)
+
+    @property
+    def threshold_bytes(self) -> float:
+        return self._analysis.min_bytes
+
+    def route(self, job: TransferJob) -> str:
+        return DHL if job.size_bytes >= self._analysis.min_bytes else NETWORK
+
+
+def split_jobs(
+    jobs: list[TransferJob],
+    policy: RoutingPolicy,
+) -> tuple[list[TransferJob], list[TransferJob]]:
+    """Partition jobs into (dhl_jobs, network_jobs) under a policy."""
+    if not jobs:
+        raise ConfigurationError("no jobs to route")
+    dhl_jobs: list[TransferJob] = []
+    network_jobs: list[TransferJob] = []
+    for job in jobs:
+        destination = policy.route(job)
+        if destination == DHL:
+            dhl_jobs.append(job)
+        elif destination == NETWORK:
+            network_jobs.append(job)
+        else:
+            raise ConfigurationError(
+                f"policy {policy.name!r} returned unknown destination "
+                f"{destination!r}"
+            )
+    return dhl_jobs, network_jobs

@@ -1,0 +1,147 @@
+"""Replication and confidence intervals for the stochastic studies.
+
+The multi-stop contention and hybrid-policy experiments are seeded and
+deterministic per seed; sound conclusions need replications across
+seeds.  This module runs a seed-parameterised experiment n times and
+summarises any scalar metric with a mean and a t-distribution
+confidence interval (numpy-only Student-t via the standard
+Hill approximation to the quantile, so the runtime dependency set stays
+numpy + networkx).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def _t_quantile(p: float, dof: int) -> float:
+    """Two-sided Student-t quantile via the Cornish-Fisher expansion.
+
+    Accurate to ~1e-3 for dof >= 3 — ample for experiment CIs — and
+    exact in the normal limit.
+    """
+    if not 0.5 < p < 1.0:
+        raise ConfigurationError(f"quantile level must be in (0.5, 1), got {p}")
+    if dof <= 0:
+        raise ConfigurationError(f"degrees of freedom must be >= 1, got {dof}")
+    # Normal quantile (Acklam-style rational approximation).
+    z = _normal_quantile(p)
+    if dof > 200:
+        return z
+    g1 = (z**3 + z) / 4.0
+    g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+    g3 = (3 * z**7 + 19 * z**5 + 17 * z**3 - 15 * z) / 384.0
+    g4 = (79 * z**9 + 776 * z**7 + 1482 * z**5 - 1920 * z**3 - 945 * z) / 92160.0
+    return z + g1 / dof + g2 / dof**2 + g3 / dof**3 + g4 / dof**4
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Mean and confidence interval of one metric over replications."""
+
+    name: str
+    samples: tuple[float, ...]
+    confidence: float
+    mean: float
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.mean == 0:
+            raise ConfigurationError("relative width undefined for zero mean")
+        return self.half_width / abs(self.mean)
+
+
+def summarise(name: str, samples: Sequence[float],
+              confidence: float = 0.95) -> ReplicatedMetric:
+    """Mean and t-interval for a sample of replicated measurements."""
+    if len(samples) < 2:
+        raise ConfigurationError("need at least 2 replications for an interval")
+    if not 0.5 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0.5, 1), got {confidence}")
+    data = np.asarray(samples, dtype=float)
+    mean = float(data.mean())
+    stderr = float(data.std(ddof=1)) / math.sqrt(len(data))
+    t = _t_quantile(0.5 + confidence / 2.0, dof=len(data) - 1)
+    return ReplicatedMetric(
+        name=name,
+        samples=tuple(float(sample) for sample in data),
+        confidence=confidence,
+        mean=mean,
+        half_width=t * stderr,
+    )
+
+
+def replicate(
+    run: Callable[[int], object],
+    metrics: dict[str, Callable[[object], float]],
+    seeds: Sequence[int] = tuple(range(10)),
+    confidence: float = 0.95,
+) -> dict[str, ReplicatedMetric]:
+    """Run ``run(seed)`` per seed and summarise each metric extractor.
+
+    >>> from repro.dhlsim.multistop import MultiStopExperiment
+    >>> results = replicate(
+    ...     lambda seed: MultiStopExperiment(seed=seed, n_requests=4,
+    ...                                      read_bytes=1e12).run(),
+    ...     {"latency": lambda report: report.mean_latency_s},
+    ...     seeds=range(3),
+    ... )  # doctest: +SKIP
+    """
+    if not metrics:
+        raise ConfigurationError("at least one metric extractor is required")
+    if len(seeds) < 2:
+        raise ConfigurationError("need at least 2 seeds")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(f"duplicate seeds: {list(seeds)}")
+    outcomes = [run(seed) for seed in seeds]
+    return {
+        name: summarise(name, [extract(outcome) for outcome in outcomes],
+                        confidence)
+        for name, extract in metrics.items()
+    }

@@ -1,0 +1,188 @@
+"""Service-level evaluation of routed workloads.
+
+Given a job stream and a routing policy, this module schedules the two
+job populations onto their transports — a farm of optical links and a
+set of DHL tracks — and reports per-policy time, energy and latency.
+Scheduling is deterministic FCFS list scheduling: each job runs on the
+first transport unit (link or track) to become free after its arrival.
+
+This answers the system-level question the paper poses but leaves open:
+how much does a *mixed* deployment save over all-network, and how badly
+does the all-DHL straw man lose on small transfers?
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..core.model import plan_campaign
+from ..core.params import DhlParams
+from ..errors import ConfigurationError
+from ..network.routes import ROUTE_B, Route
+from ..network.transfer import DEFAULT_LINK_GBPS
+from ..storage.datasets import synthetic_dataset
+from ..units import assert_positive, gbps
+from .generator import TransferJob
+from .policy import RoutingPolicy, split_jobs
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Measured service of one job on one transport."""
+
+    job: TransferJob
+    transport: str
+    started_s: float
+    completed_s: float
+    energy_j: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.completed_s - self.job.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.completed_s - self.started_s
+
+
+def _list_schedule(
+    jobs: list[TransferJob],
+    n_servers: int,
+    service_fn,
+    energy_fn,
+    transport: str,
+) -> list[JobOutcome]:
+    """FCFS list scheduling onto ``n_servers`` identical servers."""
+    if n_servers <= 0:
+        raise ConfigurationError(f"need >= 1 server, got {n_servers}")
+    free_at = [0.0] * n_servers
+    heapq.heapify(free_at)
+    outcomes = []
+    for job in sorted(jobs, key=lambda j: (j.arrival_s, j.job_id)):
+        earliest = heapq.heappop(free_at)
+        start = max(earliest, job.arrival_s)
+        service = service_fn(job)
+        completion = start + service
+        heapq.heappush(free_at, completion)
+        outcomes.append(
+            JobOutcome(
+                job=job,
+                transport=transport,
+                started_s=start,
+                completed_s=completion,
+                energy_j=energy_fn(job),
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Transport fleet sizes and models for a policy evaluation."""
+
+    params: DhlParams = DhlParams()
+    route: Route = ROUTE_B
+    n_links: int = 4
+    n_tracks: int = 1
+    link_gbps: float = DEFAULT_LINK_GBPS
+
+    def __post_init__(self) -> None:
+        if self.n_links <= 0 or self.n_tracks <= 0:
+            raise ConfigurationError("fleet sizes must be >= 1")
+        assert_positive("link_gbps", self.link_gbps)
+
+
+@dataclass(frozen=True)
+class PolicyReport:
+    """Aggregate outcome of one policy over one job stream."""
+
+    policy_name: str
+    outcomes: tuple[JobOutcome, ...]
+
+    def _subset(self, transport: str) -> list[JobOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.transport == transport]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(outcome.energy_j for outcome in self.outcomes)
+
+    @property
+    def makespan_s(self) -> float:
+        return max(outcome.completed_s for outcome in self.outcomes)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return sum(o.latency_s for o in self.outcomes) / len(self.outcomes)
+
+    def mean_latency_for(self, transport: str) -> float:
+        subset = self._subset(transport)
+        if not subset:
+            raise ConfigurationError(f"no jobs used transport {transport!r}")
+        return sum(outcome.latency_s for outcome in subset) / len(subset)
+
+    @property
+    def dhl_share(self) -> float:
+        """Fraction of bytes carried by the DHL."""
+        total = sum(outcome.job.size_bytes for outcome in self.outcomes)
+        dhl = sum(outcome.job.size_bytes for outcome in self._subset("dhl"))
+        return dhl / total
+
+
+def evaluate_policy(
+    jobs: list[TransferJob],
+    policy: RoutingPolicy,
+    config: ServiceConfig = ServiceConfig(),
+) -> PolicyReport:
+    """Schedule a routed job stream and collect aggregate metrics."""
+    dhl_jobs, network_jobs = split_jobs(jobs, policy)
+    rate = gbps(config.link_gbps)
+    route_power = config.route.power_w
+
+    def network_service(job: TransferJob) -> float:
+        return job.size_bytes / rate
+
+    def network_energy(job: TransferJob) -> float:
+        return route_power * network_service(job)
+
+    def dhl_campaign(job: TransferJob):
+        return plan_campaign(
+            config.params,
+            synthetic_dataset(job.size_bytes, name=f"job-{job.job_id}"),
+        )
+
+    def dhl_service(job: TransferJob) -> float:
+        return dhl_campaign(job).time_s
+
+    def dhl_energy(job: TransferJob) -> float:
+        return dhl_campaign(job).energy_j
+
+    outcomes: list[JobOutcome] = []
+    if network_jobs:
+        outcomes.extend(
+            _list_schedule(network_jobs, config.n_links, network_service,
+                           network_energy, "network")
+        )
+    if dhl_jobs:
+        outcomes.extend(
+            _list_schedule(dhl_jobs, config.n_tracks, dhl_service,
+                           dhl_energy, "dhl")
+        )
+    if not outcomes:
+        raise ConfigurationError("the job stream was empty")
+    outcomes.sort(key=lambda outcome: outcome.job.job_id)
+    return PolicyReport(policy_name=policy.name, outcomes=tuple(outcomes))
+
+
+def compare_policies(
+    jobs: list[TransferJob],
+    policies: list[RoutingPolicy],
+    config: ServiceConfig = ServiceConfig(),
+) -> dict[str, PolicyReport]:
+    """Evaluate several policies on the same stream, keyed by name."""
+    if not policies:
+        raise ConfigurationError("at least one policy is required")
+    reports = {}
+    for policy in policies:
+        reports[policy.name] = evaluate_policy(jobs, policy, config)
+    return reports

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_accepts_known_artefacts(self):
+        parser = build_parser()
+        for artefact in ("table6", "fig2", "table7a", "breakeven", "all", "fig6"):
+            assert parser.parse_args([artefact]).artefact == artefact
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_max_tracks_option(self):
+        args = build_parser().parse_args(["fig6", "--max-tracks", "2"])
+        assert args.max_tracks == 2
+
+
+class TestMain:
+    def test_table6_output(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VI" in out
+        assert "295.8x" in out
+
+    def test_fig2_output(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "13.92" in out
+        assert "A0" in out
+
+    def test_table8c_output(self, capsys):
+        assert main(["table8c"]) == 0
+        assert "$14,569" in capsys.readouterr().out
+
+    def test_breakeven_output(self, capsys):
+        assert main(["breakeven"]) == 0
+        assert "Minimum size" in capsys.readouterr().out
+
+    def test_intro_output(self, capsys):
+        assert main(["intro"]) == 0
+        assert "580000 s" in capsys.readouterr().out
+
+    def test_fig6_output(self, capsys):
+        assert main(["fig6", "--max-tracks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DHL-200-500-256" in out
+        assert "time/iter" in out

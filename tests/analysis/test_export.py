@@ -1,0 +1,70 @@
+"""Tests for the CSV/JSON artefact exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    EXPORTABLE_TABLES,
+    export_tables,
+    write_table_csv,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_table_csv(path, ["a", "b"], [[1, "x"], [2, "y"]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+
+class TestExportTables:
+    def test_default_export(self, tmp_path):
+        written = export_tables(tmp_path, include_validation=False)
+        assert len(written) == len(EXPORTABLE_TABLES)
+        names = {path.stem for path in written}
+        assert "table6_design_space" in names
+        assert "fig2_route_energies" in names
+
+    def test_table6_contents(self, tmp_path):
+        export_tables(tmp_path, include_validation=False)
+        with (tmp_path / "table6_design_space.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 14  # header + 13 design points
+        assert rows[2][8] == "295.8x"  # default row speedup
+
+    def test_validation_json(self, tmp_path):
+        export_tables(tmp_path)
+        payload = json.loads((tmp_path / "validation.json").read_text())
+        assert len(payload) >= 20
+        assert all(entry["passed"] for entry in payload)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "out"
+        written = export_tables(target, include_validation=False)
+        assert target.is_dir()
+        assert written
+
+    def test_rejects_file_target(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(ConfigurationError):
+            export_tables(target)
+
+    def test_idempotent_overwrite(self, tmp_path):
+        export_tables(tmp_path, include_validation=False)
+        written = export_tables(tmp_path, include_validation=False)
+        assert len(written) == len(EXPORTABLE_TABLES)
+
+
+class TestCliExport:
+    def test_cli_export(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "table6_design_space.csv").exists()

@@ -1,0 +1,66 @@
+"""Tests for the extension table generators and their CLI entries."""
+
+import pytest
+
+from repro.analysis.extensions import (
+    engineering_table,
+    multistop_table,
+    reuse_table,
+    sneakernet_table,
+)
+from repro.cli import main
+
+
+class TestSneakernetTable:
+    def test_three_movers(self):
+        headers, rows = sneakernet_table()
+        assert [row[0] for row in rows][0] == "DHL (default)"
+        assert len(rows) == 3
+
+    def test_dhl_has_best_efficiency(self):
+        _, rows = sneakernet_table()
+        efficiencies = [row[3] for row in rows]
+        assert efficiencies[0] == max(efficiencies)
+
+
+class TestEngineeringTable:
+    def test_four_checks(self):
+        headers, rows = engineering_table()
+        assert len(rows) == 4
+        verdicts = [row[2] for row in rows]
+        assert "no throttling" in verdicts
+
+    def test_duty_cycle_parameter(self):
+        _, light = engineering_table(transfers_per_day=1.0)
+        _, heavy = engineering_table(transfers_per_day=100.0)
+        assert light[1][1] != heavy[1][1]
+
+
+class TestMultistopTable:
+    def test_speeds_sorted_latency_falls(self):
+        headers, rows = multistop_table()
+        speeds = [float(row[0]) for row in rows]
+        latencies = [row[1] for row in rows]
+        assert speeds == sorted(speeds)
+        assert latencies == sorted(latencies, reverse=True)
+
+
+class TestReuseTable:
+    def test_amortisation_row_present(self):
+        _, rows = reuse_table(iterations_per_model=100, models_trained=5)
+        quantities = {row[0] for row in rows}
+        assert "Models to amortise capital" in quantities
+
+
+class TestCliExtensions:
+    @pytest.mark.parametrize(
+        "artefact, marker",
+        [
+            ("sneakernet", "human porter"),
+            ("engineering", "no throttling"),
+            ("reuse", "amortise"),
+        ],
+    )
+    def test_cli_renders(self, capsys, artefact, marker):
+        assert main([artefact]) == 0
+        assert marker in capsys.readouterr().out

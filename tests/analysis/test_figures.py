@@ -1,0 +1,59 @@
+"""Tests for figure generators (Fig. 6 series, dock-time sensitivity)."""
+
+import pytest
+
+from repro.analysis.figures import dock_time_sensitivity, figure6, figure6_ascii
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figure6(max_tracks=2)
+
+    def test_eight_curves(self, series):
+        assert len(series) == 8  # 3 DHL + 5 network
+
+    def test_ascii_rendering(self, series):
+        art = figure6_ascii(series, width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) >= 10
+        assert any("DHL-200-500-256" in line for line in lines)
+
+    def test_ascii_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            figure6_ascii({})
+
+
+class TestDockTimeSensitivity:
+    def test_series_shape(self):
+        rows = dock_time_sensitivity()
+        assert len(rows) == 6
+        dock_times = [row[0] for row in rows]
+        assert dock_times == sorted(dock_times)
+
+    def test_trip_time_monotone_in_dock_time(self):
+        rows = dock_time_sensitivity()
+        trips = [row[1] for row in rows]
+        assert trips == sorted(trips)
+
+    def test_bandwidth_anti_monotone(self):
+        rows = dock_time_sensitivity()
+        bandwidths = [row[2] for row in rows]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_paper_default_point(self):
+        rows = dock_time_sensitivity(DhlParams())
+        at_3s = next(row for row in rows if row[0] == 3.0)
+        assert at_3s[1] == pytest.approx(8.6)
+        assert at_3s[2] == pytest.approx(29.77, abs=0.05)
+
+    def test_zero_dock_time_bandwidth(self):
+        rows = dock_time_sensitivity(DhlParams(), dock_times_s=(0.0,))
+        # With no handling, 256 TB in 2.6 s of motion: ~98 TB/s.
+        assert rows[0][2] == pytest.approx(256 / 2.6, rel=0.01)
+
+    def test_negative_dock_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dock_time_sensitivity(DhlParams(), dock_times_s=(-1.0,))

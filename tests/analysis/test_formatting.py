@@ -1,0 +1,57 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.formatting import format_number, render_table
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        text = render_table(["A", "B"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| A" in lines[1] or "A" in lines[1]
+        assert text.count("+") >= 6
+
+    def test_title_prepended(self):
+        text = render_table(["A"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["N"], [[1], [100]])
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert rows[-1] == "|   1 |".replace("1", "1") or "  1 |" in rows[1]
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["A", "B"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+    def test_floats_formatted(self):
+        text = render_table(["X"], [[3.14159]])
+        assert "3.142" in text
+
+
+class TestFormatNumber:
+    def test_zero(self):
+        assert format_number(0) == "0"
+
+    def test_small_uses_exponent(self):
+        assert "e" in format_number(1.5e-7)
+
+    def test_huge_uses_exponent(self):
+        assert "e" in format_number(2.9e15)
+
+    def test_human_scale_plain(self):
+        assert format_number(580000.0) == "580000"
+
+    def test_sig_figs(self):
+        assert format_number(17.0345, sig_figs=3) == "17"

@@ -1,0 +1,129 @@
+"""Tests for the table generators: every paper table regenerates."""
+
+import pytest
+
+from repro.analysis.tables import (
+    breakeven_summary,
+    fig2_table,
+    intro_example,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7a,
+    table7b,
+    table8a,
+    table8b,
+    table8c,
+)
+
+
+def cell(rows, row, column):
+    return rows[row][column]
+
+
+class TestCatalogueTables:
+    def test_table1_rows(self):
+        headers, rows = table1()
+        assert len(rows) == 12  # 8 datasets + 4 streams
+        names = [row[0] for row in rows]
+        assert "LAION-5B" in names
+        assert "LHC CMS Detector" in names
+
+    def test_table1_lhc_rate_rendering(self):
+        _, rows = table1()
+        lhc = next(row for row in rows if row[0] == "LHC CMS Detector")
+        assert lhc[1] == "150 TB/s"
+
+    def test_table2_rows(self):
+        headers, rows = table2()
+        assert len(rows) == 3
+        assert "GB per gram" in headers
+        sabrent = next(row for row in rows if "Sabrent" in row[0])
+        assert sabrent[1] == 8.0
+
+    def test_table3_rows(self):
+        _, rows = table3()
+        assert len(rows) == 5
+        qm9700 = next(row for row in rows if "QM9700" in row[0])
+        assert qm9700[2] == 32
+        assert qm9700[3] == "747-1720"
+
+    def test_table4_rows(self):
+        _, rows = table4()
+        assert len(rows) == 6
+        gpt3 = next(row for row in rows if row[0] == "GPT-3")
+        assert gpt3[1] == "175B"
+        assert gpt3[2] == "700 GB"
+
+    def test_table5_defaults_column(self):
+        _, rows = table5()
+        defaults = {row[0]: row[2] for row in rows}
+        assert defaults["Maximum speed"] == "200 m/s"
+        assert defaults["Storage per cart"] == "256 TB"
+        assert defaults["LIM length"] == "20 m"
+        assert defaults["Mass of cart"] == "282 g"
+
+
+class TestEvaluationTables:
+    def test_fig2_energies(self):
+        _, rows = fig2_table()
+        energies = {row[0]: row[3] for row in rows}
+        assert energies["A0"] == pytest.approx(13.92)
+        assert energies["C"] == pytest.approx(299.45, abs=0.01)
+
+    def test_table6_thirteen_rows(self):
+        headers, rows = table6()
+        assert len(rows) == 13
+        assert len(headers) == 14
+
+    def test_table6_default_row(self):
+        _, rows = table6()
+        default = rows[1]
+        assert default[0] == 200.0
+        assert default[3] == pytest.approx(15.04, abs=0.01)  # kJ
+        assert default[8] == "295.8x"
+
+    def test_table7a_shape(self):
+        _, rows = table7a()
+        assert [row[0] for row in rows] == ["DHL", "A0", "A1", "A2", "B", "C"]
+        assert rows[0][3] == "1.0x"
+
+    def test_table7b_shape(self):
+        _, rows = table7b()
+        assert len(rows) == 6
+        # Every scheme hits the same iteration time.
+        times = {round(row[2]) for row in rows}
+        assert len(times) == 1
+
+    def test_table8a_totals(self):
+        _, rows = table8a()
+        total_row = next(row for row in rows if row[0] == "Total")
+        assert total_row[2] == "$733"
+        assert total_row[3] == "$3,665"
+        assert total_row[4] == "$7,330"
+
+    def test_table8b_totals(self):
+        _, rows = table8b()
+        total_row = next(row for row in rows if row[0] == "Total")
+        assert total_row[2] == "$8,792"
+        assert total_row[4] == "$14,512"
+
+    def test_table8c_grid(self):
+        _, rows = table8c()
+        default_cell = rows[1][2]  # 500 m, 200 m/s
+        assert default_cell == "$14,569"
+
+    def test_breakeven_rows(self):
+        _, rows = breakeven_summary()
+        quantities = {row[0] for row in rows}
+        assert "Minimum size for DHL time win" in quantities
+
+    def test_intro_example(self):
+        _, rows = intro_example()
+        values = {row[0]: row[1] for row in rows}
+        assert "580000 s" in values["29 PB at 400 Gbit/s"]
+        assert values["100 TB SSDs to hold 29 PB"] == 290
+        assert values["Speedup needed for a 1-hour transfer"] == "161x"

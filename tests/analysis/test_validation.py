@@ -1,0 +1,60 @@
+"""Tests for the programmatic paper-vs-measured validation suite."""
+
+import pytest
+
+from repro.analysis.validation import Check, run_validation, validation_table
+
+
+class TestCheck:
+    def test_deviation_and_pass(self):
+        check = Check("S", "x", paper_value=100.0, measured=101.0,
+                      tolerance=0.02)
+        assert check.deviation == pytest.approx(0.01)
+        assert check.passed
+
+    def test_fail_outside_tolerance(self):
+        check = Check("S", "x", paper_value=100.0, measured=110.0,
+                      tolerance=0.05)
+        assert not check.passed
+
+
+class TestFastSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return run_validation(include_simulation=False)
+
+    def test_all_fast_checks_pass(self, suite):
+        assert suite.all_passed, [
+            (check.section, check.name, check.deviation)
+            for check in suite.failures
+        ]
+
+    def test_covers_every_section(self, suite):
+        sections = {check.section for check in suite.checks}
+        assert {"I", "II-C", "Fig. 2", "Table V", "Table VI", "Table VIII",
+                "Sec. V-E", "Abstract"} <= sections
+
+    def test_at_least_twenty_anchors(self, suite):
+        assert len(suite.checks) >= 20
+
+    def test_rows_render(self, suite):
+        rows = suite.rows()
+        assert len(rows) == len(suite.checks)
+        assert all(row[-1] == "ok" for row in rows)
+
+    def test_table_helper(self):
+        headers, rows = validation_table(include_simulation=False)
+        assert headers[0] == "Section"
+        assert rows
+
+
+class TestFullSuite:
+    def test_simulation_checks_pass(self):
+        suite = run_validation(include_simulation=True)
+        assert suite.all_passed, [
+            (check.section, check.name, check.deviation)
+            for check in suite.failures
+        ]
+        sections = {check.section for check in suite.checks}
+        assert "Table VII(a)" in sections
+        assert "Table VII(b)" in sections

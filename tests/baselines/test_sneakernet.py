@@ -1,0 +1,144 @@
+"""Tests for the friction-limited movement baselines."""
+
+import pytest
+
+from repro.baselines.sneakernet import (
+    FrictionCarrier,
+    HUMAN_PORTER,
+    SNOWMOBILE_TRUCK,
+    breakeven_against_carrier,
+    metabolic_equivalent_note,
+    plan_sneakernet,
+    snowmobile_reference_time,
+)
+from repro.core.model import plan_campaign
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.network.energy import fig2_energies
+from repro.storage.devices import NIMBUS_EXADRIVE_100TB, SABRENT_ROCKET_4_PLUS_8TB
+from repro.units import DAY, PB
+
+
+class TestCarrier:
+    def test_trip_time_includes_handling(self):
+        assert HUMAN_PORTER.trip_time(500.0) == pytest.approx(500 / 1.4 + 300)
+
+    def test_trip_energy_friction_formula(self):
+        # mu * (payload + overhead) * g * x / efficiency
+        energy = HUMAN_PORTER.trip_energy(500.0, payload_kg=100.0)
+        expected = 0.05 * 210.0 * 9.81 * 500.0 / 0.25
+        assert energy == pytest.approx(expected)
+
+    def test_payload_limit_enforced(self):
+        with pytest.raises(ConfigurationError, match="at most"):
+            HUMAN_PORTER.trip_energy(500.0, payload_kg=500.0)
+
+    def test_empty_trip_still_costs(self):
+        assert HUMAN_PORTER.trip_energy(500.0, payload_kg=0.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrictionCarrier("bad", 1.0, 10.0, 0.0, rolling_resistance=0.0,
+                            efficiency=0.5)
+        with pytest.raises(ConfigurationError):
+            FrictionCarrier("bad", 1.0, 10.0, 0.0, rolling_resistance=0.1,
+                            efficiency=1.5)
+
+
+class TestSneakernetPlan:
+    def test_29pb_by_hand_drive_count(self):
+        plan = plan_sneakernet(29 * PB, 500.0, HUMAN_PORTER, NIMBUS_EXADRIVE_100TB)
+        # The paper's count: 290 100TB SSDs.
+        assert plan.drives == 290
+
+    def test_29pb_by_hand_takes_days(self):
+        # 3625 M.2 drives at ~60 s handling each end: ~5 days of labour.
+        plan = plan_sneakernet(29 * PB, 500.0, HUMAN_PORTER,
+                               SABRENT_ROCKET_4_PLUS_8TB)
+        assert plan.drives == 3625
+        assert plan.time_s > 4 * DAY
+
+    def test_paper_claim_hand_energy_eclipses_network(self):
+        """Section II-C: moving disks by hand 'would likely eclipse' the
+        optical network's energy and dollar cost.  Metabolic accounting
+        over per-drive handling does exactly that for both the M.2 and
+        HDD drive counts versus A0's 13.92 MJ."""
+        a0_energy = fig2_energies()["A0"].energy_j
+        m2_plan = plan_sneakernet(29 * PB, 500.0, HUMAN_PORTER,
+                                  SABRENT_ROCKET_4_PLUS_8TB)
+        assert m2_plan.energy_j > a0_energy
+        # Dollar cost: thousands in labour vs under a dollar of network
+        # electricity (13.92 MJ ~ 3.9 kWh).
+        assert m2_plan.labour_cost_usd > 1000
+        assert a0_energy / 3.6e6 * 0.1 < 1.0
+
+    def test_dhl_beats_porter_on_time_and_energy(self):
+        plan = plan_sneakernet(29 * PB, 500.0, HUMAN_PORTER,
+                               SABRENT_ROCKET_4_PLUS_8TB)
+        dhl = plan_campaign(DhlParams())
+        assert dhl.time_s < plan.time_s / 100
+        assert dhl.energy_j < plan.energy_j / 10
+        assert dhl.dataset.size_bytes / dhl.energy_j > plan.efficiency_bytes_per_j
+
+    def test_truck_carries_more_per_trip(self):
+        porter = plan_sneakernet(29 * PB, 5000.0, HUMAN_PORTER,
+                                 NIMBUS_EXADRIVE_100TB)
+        truck = plan_sneakernet(29 * PB, 5000.0, SNOWMOBILE_TRUCK,
+                                NIMBUS_EXADRIVE_100TB)
+        assert truck.trips <= porter.trips
+
+    def test_labour_cost_scales_with_time(self):
+        plan = plan_sneakernet(29 * PB, 500.0, HUMAN_PORTER,
+                               SABRENT_ROCKET_4_PLUS_8TB)
+        assert plan.labour_cost_usd == pytest.approx(
+            plan.time_s / 3600.0 * HUMAN_PORTER.labour_usd_per_hour
+        )
+
+    def test_metabolic_note(self):
+        plan = plan_sneakernet(1 * PB, 500.0, HUMAN_PORTER, NIMBUS_EXADRIVE_100TB)
+        note = metabolic_equivalent_note(plan)
+        assert "kcal" in note
+
+    def test_rejects_zero_dataset(self):
+        with pytest.raises(ValueError):
+            plan_sneakernet(0, 500.0)
+
+
+class TestSnowmobile:
+    def test_reference_time_is_weeks(self):
+        # AWS: 100 PB "in only up to a few weeks".
+        seconds = snowmobile_reference_time(100 * PB)
+        assert 1 * 7 * DAY < seconds < 4 * 7 * DAY
+
+    def test_fill_rate_dominates(self):
+        assert snowmobile_reference_time(100 * PB) == pytest.approx(
+            100 * PB / (1e12 / 8)
+        )
+
+
+class TestBreakeven:
+    def test_dhl_always_beats_friction_carriers(self):
+        from repro.core.physics import launch_energy
+
+        for carrier in (HUMAN_PORTER, SNOWMOBILE_TRUCK):
+            threshold = breakeven_against_carrier(
+                carrier,
+                NIMBUS_EXADRIVE_100TB,
+                distance_m=500.0,
+                dhl_energy_per_trip_j=launch_energy(DhlParams()),
+                dhl_bytes_per_trip=DhlParams().storage_per_cart,
+            )
+            assert threshold == 0.0
+
+
+class TestAgainstOpticalBaseline:
+    def test_friction_baselines_all_lose_to_dhl_per_byte(self):
+        """VII-B: 'all of these methods limit energy savings due to
+        friction-limited movement' — every carrier's J/byte is far above
+        the DHL's."""
+        dhl = plan_campaign(DhlParams())
+        dhl_j_per_byte = dhl.energy_j / (29 * PB)
+        for carrier in (HUMAN_PORTER, SNOWMOBILE_TRUCK):
+            plan = plan_sneakernet(29 * PB, 500.0, carrier,
+                                   SABRENT_ROCKET_4_PLUS_8TB)
+            assert plan.energy_j / (29 * PB) > 10 * dhl_j_per_byte

@@ -1,0 +1,109 @@
+"""Tests for the Section V-E minimum-specification analysis."""
+
+import pytest
+
+from repro.core.breakeven import (
+    break_even,
+    min_distance_for_time_win,
+    paper_minimum_example,
+)
+from repro.core.params import DhlParams
+from repro.network.routes import ROUTE_A0, ROUTE_C
+from repro.units import GB, PB, TB
+
+
+class TestPaperExample:
+    """360 GB carts, 10 m/s, 10 m versus a single A0 link."""
+
+    def test_trip_time_about_7s(self):
+        example = paper_minimum_example()
+        # Paper quotes 7.2 s; our trip model gives 7.0 s (the paper
+        # appears to round the motion phase up slightly).
+        assert example.dhl_trip_time_s == pytest.approx(7.0, abs=0.1)
+
+    def test_min_size_about_360gb(self):
+        example = paper_minimum_example()
+        assert example.min_bytes_for_time == pytest.approx(360 * GB, rel=0.05)
+
+    def test_launch_energy_minuscule(self):
+        # Paper: "a minuscule amount of energy" vs the link's ~144 J.
+        example = paper_minimum_example()
+        assert example.dhl_launch_energy_j < 20
+        link_energy = example.network_energy(example.min_bytes_for_time)
+        assert link_energy > 10 * example.dhl_launch_energy_j
+        assert link_energy == pytest.approx(168, abs=2)
+
+    def test_dhl_wins_both_at_min_size(self):
+        example = paper_minimum_example()
+        payload = example.min_bytes
+        assert example.dhl_wins_time(payload)
+        assert example.dhl_wins_energy(payload)
+
+    def test_dhl_loses_time_below_min(self):
+        example = paper_minimum_example()
+        assert not example.dhl_wins_time(example.min_bytes_for_time * 0.5)
+
+
+class TestBreakEvenGeneral:
+    def test_default_design_min_size(self):
+        # The default DHL's trip is 8.6 s; one 400G link moves 430 GB in
+        # that time, so DHL wins on time above ~430 GB.
+        result = break_even(DhlParams())
+        assert result.min_bytes_for_time == pytest.approx(8.6 * 50 * GB)
+
+    def test_energy_breakeven_scales_with_route_power(self):
+        cheap_route = break_even(DhlParams(), route=ROUTE_A0)
+        costly_route = break_even(DhlParams(), route=ROUTE_C)
+        # A pricier route makes DHL win on energy at smaller sizes.
+        assert costly_route.min_bytes_for_energy < cheap_route.min_bytes_for_energy
+        ratio = cheap_route.min_bytes_for_energy / costly_route.min_bytes_for_energy
+        assert ratio == pytest.approx(ROUTE_C.power_w / ROUTE_A0.power_w)
+
+    def test_min_bytes_is_max_of_both(self):
+        result = break_even(DhlParams())
+        assert result.min_bytes == max(
+            result.min_bytes_for_time, result.min_bytes_for_energy
+        )
+
+    def test_faster_link_raises_the_bar(self):
+        slow = break_even(DhlParams(), link_gbps=400)
+        fast = break_even(DhlParams(), link_gbps=1600)
+        assert fast.min_bytes_for_time == pytest.approx(4 * slow.min_bytes_for_time)
+
+    def test_win_predicates_consistent_with_thresholds(self):
+        result = break_even(DhlParams())
+        epsilon = 1.0
+        assert result.dhl_wins_time(result.min_bytes_for_time + epsilon)
+        assert not result.dhl_wins_time(result.min_bytes_for_time - 1e9)
+        assert result.dhl_wins_energy(result.min_bytes_for_energy + epsilon)
+        assert not result.dhl_wins_energy(result.min_bytes_for_energy * 0.5)
+
+
+class TestDistanceBreakEven:
+    def test_large_payload_allows_long_track(self):
+        distance = min_distance_for_time_win(DhlParams(), n_bytes=1 * PB)
+        # 1 PB at 50 GB/s is 20 000 s of network time; the DHL trip stays
+        # under that for kilometres of track.
+        assert distance is not None
+        assert distance > 100_000
+
+    def test_tiny_payload_unwinnable(self):
+        # 1 GB moves in 0.02 s on the link; dock handling alone is 6 s.
+        assert min_distance_for_time_win(DhlParams(), n_bytes=1 * GB) is None
+
+    def test_boundary_is_tight(self):
+        params = DhlParams()
+        payload = 430 * GB  # network time 8.6 s = trip at exactly 500 m? no:
+        distance = min_distance_for_time_win(params, n_bytes=payload)
+        assert distance is not None
+        from repro.core.physics import trip_time
+
+        at_boundary = trip_time(params.with_(track_length=distance))
+        network_time = payload / 50e9
+        assert at_boundary == pytest.approx(network_time, rel=1e-3)
+
+    def test_payload_of_one_cart(self):
+        # A full 256 TB cart buys over a hundred kilometres of slack.
+        distance = min_distance_for_time_win(DhlParams(), n_bytes=256 * TB)
+        assert distance is not None
+        assert distance > 500_000

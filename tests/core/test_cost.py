@@ -1,0 +1,113 @@
+"""Tests for the Table VIII commodity-cost model — exact dollar figures."""
+
+import pytest
+
+from repro.core.cost import (
+    DhlCost,
+    LimCost,
+    RailCost,
+    REFERENCE_400G_SWITCH_USD,
+    amortised_cost_per_pb,
+    copper_mass_kg,
+    cost_matrix,
+    cost_versus_switch,
+    dhl_cost,
+    lim_length_m,
+)
+from repro.core.params import DhlParams
+
+# Table VIII(a)
+PAPER_RAIL = {
+    100.0: (117, 116, 500, 733),
+    500.0: (585, 580, 2500, 3665),
+    1000.0: (1170, 1160, 5000, 7330),
+}
+# Table VIII(b)
+PAPER_LIM = {
+    100.0: (792, 8000, 8792),
+    200.0: (2904, 8000, 10904),
+    300.0: (6512, 8000, 14512),
+}
+# Table VIII(c)
+PAPER_TOTAL = {
+    (100.0, 100.0): 9525, (100.0, 200.0): 11637, (100.0, 300.0): 15245,
+    (500.0, 100.0): 12457, (500.0, 200.0): 14569, (500.0, 300.0): 18177,
+    (1000.0, 100.0): 16122, (1000.0, 200.0): 18234, (1000.0, 300.0): 21842,
+}
+
+
+class TestRailCost:
+    @pytest.mark.parametrize("distance", sorted(PAPER_RAIL))
+    def test_table_viii_a(self, distance):
+        aluminium, pvc_rail, pvc_tube, total = PAPER_RAIL[distance]
+        cost = RailCost(distance)
+        assert cost.aluminium_usd == pytest.approx(aluminium, abs=1.0)
+        assert cost.pvc_rail_usd == pytest.approx(pvc_rail, abs=1.0)
+        assert cost.pvc_tube_usd == pytest.approx(pvc_tube, abs=1.0)
+        assert cost.total_usd == pytest.approx(total, abs=2.0)
+
+    def test_linear_in_distance(self):
+        assert RailCost(1000.0).total_usd == pytest.approx(
+            2 * RailCost(500.0).total_usd
+        )
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            RailCost(0.0)
+
+
+class TestLimCost:
+    @pytest.mark.parametrize("speed", sorted(PAPER_LIM))
+    def test_table_viii_b(self, speed):
+        copper, vfd, total = PAPER_LIM[speed]
+        cost = LimCost(speed)
+        assert cost.copper_usd == pytest.approx(copper, abs=2.0)
+        assert cost.vfd_usd == vfd
+        assert cost.total_usd == pytest.approx(total, abs=2.0)
+
+    def test_copper_mass_at_paper_lengths(self):
+        assert copper_mass_kg(5.0) == pytest.approx(792 / 8.58, rel=1e-3)
+        assert copper_mass_kg(20.0) == pytest.approx(2904 / 8.58, rel=1e-3)
+        assert copper_mass_kg(45.0) == pytest.approx(6512 / 8.58, rel=1e-3)
+
+    def test_copper_monotone_in_length(self):
+        masses = [copper_mass_kg(length) for length in (1, 5, 10, 20, 45, 100)]
+        assert masses == sorted(masses)
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            LimCost(0.0)
+
+
+class TestTotals:
+    @pytest.mark.parametrize("key", sorted(PAPER_TOTAL))
+    def test_table_viii_c(self, key):
+        distance, speed = key
+        cost = DhlCost(rail=RailCost(distance), lim=LimCost(speed))
+        assert cost.total_usd == pytest.approx(PAPER_TOTAL[key], abs=3.0)
+
+    def test_cost_matrix_matches_cells(self):
+        matrix = cost_matrix()
+        assert len(matrix) == 9
+        for key, expected in PAPER_TOTAL.items():
+            assert matrix[key] == pytest.approx(expected, abs=3.0)
+
+    def test_dhl_cost_from_params(self):
+        assert dhl_cost(DhlParams()).total_usd == pytest.approx(14569, abs=3)
+
+    def test_comparable_to_400g_switch(self):
+        # Section V-D: DHL costs roughly the price of a large 400G switch.
+        ratio = cost_versus_switch(DhlParams())
+        assert 0.4 < ratio < 1.2
+        assert REFERENCE_400G_SWITCH_USD == 20000
+
+    def test_amortised_cost(self):
+        per_pb = amortised_cost_per_pb(DhlParams(), lifetime_transfers_pb=1000)
+        assert per_pb == pytest.approx(14.569, abs=0.01)
+
+    def test_amortised_rejects_zero(self):
+        with pytest.raises(ValueError):
+            amortised_cost_per_pb(DhlParams(), 0)
+
+    def test_lim_length_helper(self):
+        assert lim_length_m(DhlParams()) == pytest.approx(20.0)

@@ -1,0 +1,144 @@
+"""Tests for the Section VI engineering feasibility models."""
+
+import pytest
+
+from repro.core.engineering import (
+    FLASH_THROTTLE_C,
+    M2_CYCLES,
+    SANDBAG_ABSORPTION_J,
+    USB_C_CYCLES,
+    assess_cart_thermals,
+    assess_safety,
+    campaign_dock_cycles,
+    connector_wear,
+    maintenance_plan,
+    max_duty_cycle_for_lifetime,
+    max_safe_speed,
+    required_sink_resistance,
+)
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+
+
+class TestThermals:
+    def test_default_cart_dissipates_320w(self):
+        # Section VI: "An M.2 SSD can consume up to 10W under load."
+        assessment = assess_cart_thermals(DhlParams())
+        assert assessment.total_power_w == pytest.approx(320.0)
+
+    def test_default_sink_avoids_throttling(self):
+        assessment = assess_cart_thermals(DhlParams())
+        assert not assessment.throttles
+        assert assessment.junction_c < FLASH_THROTTLE_C
+        assert assessment.headroom_c > 0
+
+    def test_bad_sink_throttles(self):
+        assessment = assess_cart_thermals(DhlParams(), sink_resistance_c_per_w=5.0)
+        assert assessment.throttles
+
+    def test_hot_aisle_shrinks_headroom(self):
+        cool = assess_cart_thermals(DhlParams(), ambient_c=20.0)
+        hot = assess_cart_thermals(DhlParams(), ambient_c=45.0)
+        assert hot.headroom_c < cool.headroom_c
+
+    def test_required_resistance(self):
+        # 70 C limit, 5 C margin, 30 C ambient, 10 W -> 3.5 C/W.
+        assert required_sink_resistance() == pytest.approx(3.5)
+
+    def test_required_resistance_no_budget(self):
+        with pytest.raises(ConfigurationError, match="thermal budget"):
+            required_sink_resistance(ambient_c=70.0)
+
+    def test_implausible_ambient_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assess_cart_thermals(DhlParams(), ambient_c=80.0)
+
+    def test_junction_independent_of_ssd_count(self):
+        # Per-drive sinks are thermally parallel: more drives means more
+        # total heat, not hotter junctions.
+        small = assess_cart_thermals(DhlParams(ssds_per_cart=16))
+        large = assess_cart_thermals(DhlParams(ssds_per_cart=64))
+        assert small.junction_c == large.junction_c
+        assert large.total_power_w == 4 * small.total_power_w
+
+
+class TestConnectorWear:
+    def test_usb_c_vs_m2_lifetime_gap(self):
+        # Section VI: USB-C's 10k-20k cycles vs M.2's hundreds.
+        usb = connector_wear(DhlParams(), transfers_per_day=10)
+        m2 = connector_wear(DhlParams(), transfers_per_day=10, connector="m.2")
+        assert usb.lifetime_days / m2.lifetime_days == pytest.approx(
+            USB_C_CYCLES[0] / M2_CYCLES
+        )
+
+    def test_usb_c_survives_a_year_at_10_transfers(self):
+        wear = connector_wear(DhlParams(), transfers_per_day=10)
+        assert wear.lifetime_days > 365
+
+    def test_m2_dies_in_days(self):
+        wear = connector_wear(DhlParams(), transfers_per_day=10, connector="m.2")
+        assert wear.lifetime_days == pytest.approx(3.0)
+
+    def test_two_docks_per_transfer(self):
+        wear = connector_wear(DhlParams(), transfers_per_day=7)
+        assert wear.docks_per_day == 14
+
+    def test_custom_rating(self):
+        wear = connector_wear(DhlParams(), transfers_per_day=1,
+                              rated_cycles=730)
+        assert wear.lifetime_days == pytest.approx(365.0)
+
+    def test_unknown_connector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            connector_wear(DhlParams(), transfers_per_day=1, connector="sata")
+
+    def test_campaign_cycles(self):
+        # The 29 PB campaign: 228 launches = 456 matings across the fleet.
+        assert campaign_dock_cycles(228) == 456
+
+    def test_max_duty_cycle(self):
+        assert max_duty_cycle_for_lifetime(1.0) == pytest.approx(13.7, abs=0.1)
+        assert max_duty_cycle_for_lifetime(1.0, "m.2") < 0.1
+
+
+class TestSafety:
+    def test_default_cart_kinetic_energy(self):
+        # 0.5 x 0.282 kg x (200 m/s)^2 ~ 5.6 kJ.
+        assessment = assess_safety(DhlParams())
+        assert assessment.kinetic_energy_j == pytest.approx(5638, rel=0.01)
+
+    def test_sandbags_suffice(self):
+        # Section VI: "measures can be as simple and cheap as placing
+        # sandbags at rails' ends."
+        assessment = assess_safety(DhlParams())
+        assert assessment.contained
+        assert assessment.sandbag_margin > 5
+
+    def test_heaviest_fastest_cart_still_contained(self):
+        assessment = assess_safety(DhlParams(max_speed=300.0, ssds_per_cart=64))
+        assert assessment.kinetic_energy_j < SANDBAG_ABSORPTION_J
+        assert assessment.contained
+
+    def test_max_safe_speed_above_design_range(self):
+        # The design space tops out at 300 m/s, well under the arrestor
+        # budget's ~600 m/s for the default cart.
+        assert max_safe_speed(DhlParams()) > 500
+
+    def test_short_track_uses_reachable_speed(self):
+        # On a 10 m track the cart never reaches 200 m/s, so the risk
+        # assessment must use the reachable peak, not the nominal max.
+        slow = assess_safety(DhlParams(track_length=10.0))
+        fast = assess_safety(DhlParams())
+        assert slow.kinetic_energy_j < fast.kinetic_energy_j
+
+
+class TestMaintenancePlan:
+    def test_default_plan_viable(self):
+        plan = maintenance_plan(DhlParams(), transfers_per_day=10)
+        assert plan.viable
+
+    def test_extreme_duty_cycle_not_viable(self):
+        # Thousands of transfers a day wear out even USB-C within a year.
+        plan = maintenance_plan(DhlParams(), transfers_per_day=1000)
+        assert not plan.viable
+        assert plan.connector.lifetime_days < 365

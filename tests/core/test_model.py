@@ -1,0 +1,182 @@
+"""Tests for the Table VI analytical model: launches, campaigns, comparisons."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    compare_with_routes,
+    design_point_report,
+    launch_metrics,
+    plan_campaign,
+)
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.network.routes import ROUTE_A0
+from repro.storage.datasets import META_ML_LARGE, synthetic_dataset
+from repro.units import PB, TB
+
+# Table VI, transposed by (speed, ssds): paper's printed values.
+PAPER_TABLE_VI = {
+    # (speed, ssds): (energy kJ, eff GB/J, time s, bw TB/s, peak kW, speedup)
+    (100, 32): (3.7, 68, 11, 23, 38, 229.6),
+    (200, 32): (15, 17, 8.6, 30, 75, 295.1),
+    (300, 32): (34, 7.6, 7.8, 33, 113, 324.6),
+    (200, 16): (8.6, 15, 8.6, 15, 43, 147.5),
+    (200, 64): (28, 18, 8.6, 60, 140, 587.5),
+    (100, 16): (2.1, 60, 11, 12, 22, 114.8),
+    (100, 64): (7, 73, 11, 46, 70, 457.3),
+    (300, 16): (19, 6.6, 7.8, 16, 64, 162.3),
+    (300, 64): (63, 8, 7.8, 66, 210, 646.4),
+}
+
+PAPER_DEFAULT_REDUCTIONS = {"A0": 4.1, "A1": 6.7, "A2": 14.7, "B": 51.2, "C": 87.7}
+
+
+class TestLaunchMetrics:
+    @pytest.mark.parametrize("key, expected", sorted(PAPER_TABLE_VI.items()))
+    def test_table_vi_rows(self, key, expected):
+        speed, ssds = key
+        energy_kj, eff, time_s, bw, peak_kw, _ = expected
+        metrics = launch_metrics(DhlParams(max_speed=speed, ssds_per_cart=ssds))
+        assert metrics.energy_kj == pytest.approx(energy_kj, rel=0.05)
+        assert metrics.efficiency_gb_per_j == pytest.approx(eff, rel=0.05)
+        assert metrics.time_s == pytest.approx(time_s, rel=0.05)
+        assert metrics.bandwidth_tb_per_s == pytest.approx(bw, rel=0.05)
+        assert metrics.peak_power_kw == pytest.approx(peak_kw, rel=0.05)
+
+    def test_bandwidth_definition(self):
+        metrics = launch_metrics(DhlParams())
+        assert metrics.bandwidth_bytes_per_s == pytest.approx(
+            256 * TB / metrics.time_s
+        )
+
+    def test_efficiency_definition(self):
+        metrics = launch_metrics(DhlParams())
+        assert metrics.efficiency_bytes_per_j == pytest.approx(
+            256 * TB / metrics.energy_j
+        )
+
+    def test_average_power_default(self):
+        assert launch_metrics(DhlParams()).average_power_w == pytest.approx(
+            1748.3, abs=1
+        )
+
+    def test_embodied_bandwidth_exceeds_fibre_300x(self):
+        # Section V-A: 15-60 TB/s is 300-1200x faster than 400 Gbit/s.
+        fibre = 50e9
+        low = launch_metrics(DhlParams(ssds_per_cart=16))
+        high = launch_metrics(DhlParams(ssds_per_cart=64))
+        assert low.bandwidth_bytes_per_s / fibre == pytest.approx(298, rel=0.02)
+        assert high.bandwidth_bytes_per_s / fibre == pytest.approx(1191, rel=0.02)
+
+    def test_max_efficiency_about_73_gb_per_j(self):
+        # Section V-A: 100 m/s with 512 TB carts peaks around 73 GB/J.
+        best = launch_metrics(DhlParams(max_speed=100.0, ssds_per_cart=64))
+        assert best.efficiency_gb_per_j == pytest.approx(73.3, abs=0.5)
+
+
+class TestCampaign:
+    def test_default_campaign_trips(self):
+        campaign = plan_campaign(DhlParams())
+        assert campaign.trips == 114
+        assert campaign.launches == 228
+
+    @pytest.mark.parametrize("ssds, trips", [(16, 227), (32, 114), (64, 57)])
+    def test_paper_trip_counts(self, ssds, trips):
+        campaign = plan_campaign(DhlParams(ssds_per_cart=ssds))
+        assert campaign.trips == trips
+
+    def test_campaign_time_and_energy(self):
+        campaign = plan_campaign(DhlParams())
+        assert campaign.time_s == pytest.approx(228 * 8.6)
+        assert campaign.energy_j == pytest.approx(228 * 15_035.7, rel=1e-3)
+
+    def test_dual_rail_halves_time_not_energy(self):
+        single = plan_campaign(DhlParams())
+        dual = plan_campaign(DhlParams(dual_rail=True))
+        assert dual.time_s == pytest.approx(single.time_s / 2)
+        assert dual.energy_j == pytest.approx(single.energy_j)
+
+    def test_explicit_no_return_counting(self):
+        campaign = plan_campaign(DhlParams(), count_return_trips=False)
+        assert campaign.launches == 114
+        assert campaign.time_s == pytest.approx(114 * 8.6)
+
+    def test_average_power_matches_trip_power(self):
+        campaign = plan_campaign(DhlParams())
+        assert campaign.average_power_w == pytest.approx(1748.3, abs=1)
+
+    def test_small_dataset_single_trip(self):
+        campaign = plan_campaign(DhlParams(), dataset=synthetic_dataset(1 * TB))
+        assert campaign.trips == 1
+
+    @given(size_pb=st.floats(min_value=0.3, max_value=100))
+    def test_campaign_covers_dataset(self, size_pb):
+        dataset = synthetic_dataset(size_pb * PB)
+        campaign = plan_campaign(DhlParams(), dataset=dataset)
+        assert campaign.trips * 256 * TB >= dataset.size_bytes
+        assert (campaign.trips - 1) * 256 * TB < dataset.size_bytes
+
+
+class TestComparisons:
+    def test_default_energy_reductions(self):
+        report = design_point_report(DhlParams())
+        for route, expected in PAPER_DEFAULT_REDUCTIONS.items():
+            measured = report.comparisons[route].energy_reduction
+            assert measured == pytest.approx(expected, rel=0.02), route
+
+    def test_default_speedup(self):
+        report = design_point_report(DhlParams())
+        assert report.time_speedup == pytest.approx(295.1, rel=0.01)
+
+    @pytest.mark.parametrize("key, expected", sorted(PAPER_TABLE_VI.items()))
+    def test_table_vi_speedups(self, key, expected):
+        speed, ssds = key
+        report = design_point_report(DhlParams(max_speed=speed, ssds_per_cart=ssds))
+        assert report.time_speedup == pytest.approx(expected[5], rel=0.02)
+
+    def test_speedup_same_for_all_routes(self):
+        report = design_point_report(DhlParams())
+        speedups = {c.time_speedup for c in report.comparisons.values()}
+        assert len(speedups) == 1
+
+    def test_paper_extreme_energy_reductions(self):
+        # Abstract: energy reductions from 1.6x to 376.1x.
+        worst = design_point_report(DhlParams(max_speed=300.0, ssds_per_cart=16))
+        best = design_point_report(DhlParams(max_speed=100.0, ssds_per_cart=64))
+        assert worst.comparisons["A0"].energy_reduction == pytest.approx(1.6, abs=0.1)
+        assert best.comparisons["C"].energy_reduction == pytest.approx(376.1, rel=0.01)
+
+    def test_paper_extreme_speedups(self):
+        # Abstract: time speedups from 114.8x to 646.4x.
+        slowest = design_point_report(DhlParams(max_speed=100.0, ssds_per_cart=16))
+        fastest = design_point_report(DhlParams(max_speed=300.0, ssds_per_cart=64))
+        assert slowest.time_speedup == pytest.approx(114.8, rel=0.01)
+        assert fastest.time_speedup == pytest.approx(646.4, rel=0.01)
+
+    def test_dhl_beats_even_a0_everywhere(self):
+        # Section V-B: DHL outperforms even the transceiver-only scenario
+        # across all 13 configurations.
+        from repro.core.params import table_vi_design_points
+
+        for params in table_vi_design_points():
+            report = design_point_report(params)
+            assert report.comparisons["A0"].energy_reduction > 1.5
+
+    def test_empty_routes_rejected(self):
+        campaign = plan_campaign(DhlParams())
+        with pytest.raises(ConfigurationError):
+            compare_with_routes(campaign, routes=())
+
+    def test_custom_route_subset(self):
+        campaign = plan_campaign(DhlParams())
+        comparisons = compare_with_routes(campaign, routes=(ROUTE_A0,))
+        assert set(comparisons) == {"A0"}
+
+    def test_network_energy_consistent_with_fig2(self):
+        report = design_point_report(DhlParams(), dataset=META_ML_LARGE)
+        assert report.comparisons["A0"].network_energy_j == pytest.approx(13.92e6)
+        assert report.comparisons["C"].network_energy_j == pytest.approx(
+            299.45e6, abs=0.005e6
+        )

@@ -1,0 +1,128 @@
+"""Tests for the deadline-driven design optimiser."""
+
+import pytest
+
+from repro.core.model import plan_campaign
+from repro.core.optimizer import (
+    MAX_SPEED_M_S,
+    design_for_deadline,
+    max_dataset_within_deadline,
+    min_speed_for_deadline,
+)
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.storage.datasets import META_ML_LARGE, synthetic_dataset
+from repro.units import HOUR, MINUTE, PB, TB
+
+
+class TestMinSpeed:
+    def test_feasible_deadline_bisects(self):
+        speed = min_speed_for_deadline(DhlParams(), META_ML_LARGE, HOUR)
+        assert speed is not None
+        # The found speed meets the deadline...
+        at_speed = plan_campaign(DhlParams(max_speed=speed), META_ML_LARGE)
+        assert at_speed.time_s <= HOUR
+        # ...and is tight: 2% slower misses it.
+        slower = plan_campaign(
+            DhlParams(max_speed=speed * 0.98), META_ML_LARGE
+        )
+        assert slower.time_s > HOUR
+
+    def test_loose_deadline_returns_minimum(self):
+        speed = min_speed_for_deadline(
+            DhlParams(), synthetic_dataset(1 * TB), deadline_s=10 * HOUR
+        )
+        assert speed == 1.0
+
+    def test_impossible_deadline_returns_none(self):
+        # Handling alone (6 s x 228 launches) exceeds 20 minutes.
+        assert min_speed_for_deadline(DhlParams(), META_ML_LARGE, 20 * MINUTE) is None
+
+    def test_deadline_just_above_speed_cap_floor(self):
+        # The fastest searchable design (400 m/s) sets the floor; a
+        # deadline 2% above it is feasible only near the cap.
+        floor = plan_campaign(
+            DhlParams(max_speed=MAX_SPEED_M_S), META_ML_LARGE
+        ).time_s
+        speed = min_speed_for_deadline(DhlParams(), META_ML_LARGE, floor * 1.02)
+        assert speed is not None
+        assert speed > 0.8 * MAX_SPEED_M_S
+
+
+class TestDesignForDeadline:
+    def test_recommendation_meets_deadline(self):
+        rec = design_for_deadline(META_ML_LARGE, deadline_s=30 * MINUTE)
+        assert rec.meets_deadline
+        assert rec.campaign_time_s <= rec.deadline_s
+
+    def test_loose_deadline_prefers_cheap_slow_design(self):
+        tight = design_for_deadline(META_ML_LARGE, deadline_s=30 * MINUTE)
+        loose = design_for_deadline(META_ML_LARGE, deadline_s=6 * HOUR)
+        assert loose.params.max_speed <= tight.params.max_speed
+        assert loose.total_cost_usd <= tight.total_cost_usd
+
+    def test_big_carts_win_for_bulk(self):
+        # Fewer trips per campaign: 512 TB carts dominate at any deadline
+        # the single-track can meet.
+        rec = design_for_deadline(META_ML_LARGE, deadline_s=1 * HOUR)
+        assert rec.params.ssds_per_cart == 64
+
+    def test_impossible_deadline_raises(self):
+        with pytest.raises(ConfigurationError, match="parallel tracks"):
+            design_for_deadline(META_ML_LARGE, deadline_s=60.0)
+
+    def test_dual_rail_rescues_tight_deadlines(self):
+        # A deadline under the single-rail handling floor but above the
+        # dual-rail one forces the dual layout.
+        handling_floor_single = 2 * 57 * 6.0  # 512 TB carts, returns counted
+        deadline = handling_floor_single * 0.75
+        rec = design_for_deadline(META_ML_LARGE, deadline_s=deadline)
+        assert rec.params.dual_rail
+
+    def test_dual_rail_can_be_forbidden(self):
+        handling_floor_single = 2 * 57 * 6.0
+        deadline = handling_floor_single * 0.75
+        with pytest.raises(ConfigurationError):
+            design_for_deadline(
+                META_ML_LARGE, deadline_s=deadline, allow_dual_rail=False
+            )
+
+    def test_total_cost_accounting(self):
+        rec = design_for_deadline(
+            META_ML_LARGE, deadline_s=1 * HOUR, lifetime_campaigns=100
+        )
+        assert rec.total_cost_usd == pytest.approx(
+            rec.capital_usd + 100 * rec.energy_usd_per_campaign
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_for_deadline(META_ML_LARGE, deadline_s=0)
+        with pytest.raises(ConfigurationError):
+            design_for_deadline(META_ML_LARGE, deadline_s=HOUR, cart_options=())
+        with pytest.raises(ConfigurationError):
+            design_for_deadline(
+                META_ML_LARGE, deadline_s=HOUR, lifetime_campaigns=0
+            )
+
+
+class TestInverse:
+    def test_max_dataset_default_minute(self):
+        # 60 s / (2 x 8.6 s) = 3 deliveries of 256 TB.
+        assert max_dataset_within_deadline(DhlParams(), 60.0) == 3 * 256 * TB
+
+    def test_dual_rail_doubles_deliveries(self):
+        single = max_dataset_within_deadline(DhlParams(), 120.0)
+        dual = max_dataset_within_deadline(DhlParams(dual_rail=True), 120.0)
+        assert dual >= 2 * single - 256 * TB
+
+    def test_roundtrip_with_campaign_model(self):
+        params = DhlParams()
+        payload = max_dataset_within_deadline(params, 600.0)
+        campaign = plan_campaign(params, synthetic_dataset(payload))
+        assert campaign.time_s <= 600.0
+        over = plan_campaign(params, synthetic_dataset(payload + 256 * TB))
+        assert over.time_s > 600.0
+
+    def test_sub_trip_deadline_moves_nothing(self):
+        assert max_dataset_within_deadline(DhlParams(), 5.0) == 0.0

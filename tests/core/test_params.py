@@ -1,0 +1,115 @@
+"""Tests for DHL parameters (Table V)."""
+
+import pytest
+
+from repro.core.params import (
+    BrakingMode,
+    DEFAULT_PARAMS,
+    DhlParams,
+    table_v_design_points,
+    table_vi_design_points,
+)
+from repro.errors import ConfigurationError
+from repro.units import TB
+
+
+class TestDefaults:
+    """The bolded Table V main setup."""
+
+    def test_default_speed(self):
+        assert DEFAULT_PARAMS.max_speed == 200.0
+
+    def test_default_length(self):
+        assert DEFAULT_PARAMS.track_length == 500.0
+
+    def test_default_cart_storage(self):
+        assert DEFAULT_PARAMS.ssds_per_cart == 32
+        assert DEFAULT_PARAMS.storage_per_cart == 256 * TB
+        assert DEFAULT_PARAMS.storage_per_cart_tb == 256
+
+    def test_default_acceleration(self):
+        assert DEFAULT_PARAMS.acceleration == 1000.0
+
+    def test_default_lim_efficiency(self):
+        assert DEFAULT_PARAMS.lim_efficiency == 0.75
+
+    def test_default_handling(self):
+        assert DEFAULT_PARAMS.dock_time == 3.0
+        assert DEFAULT_PARAMS.undock_time == 3.0
+        assert DEFAULT_PARAMS.handling_time == 6.0
+
+    def test_default_braking_is_lim(self):
+        assert DEFAULT_PARAMS.braking == BrakingMode.LIM
+
+    def test_label(self):
+        assert DEFAULT_PARAMS.label() == "DHL-200-500-256"
+
+
+class TestValidation:
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(max_speed=0)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(track_length=-1)
+
+    def test_rejects_zero_ssds(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(ssds_per_cart=0)
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(lim_efficiency=1.1)
+
+    def test_rejects_negative_dock_time(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(dock_time=-0.1)
+
+    def test_rejects_unknown_braking(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(braking="parachute")
+
+    def test_rejects_regen_without_mode(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(regen_recovery=0.5)
+
+    def test_accepts_regen_with_mode(self):
+        params = DhlParams(braking=BrakingMode.REGENERATIVE, regen_recovery=0.5)
+        assert params.regen_recovery == 0.5
+
+    def test_rejects_regen_above_one(self):
+        with pytest.raises(ConfigurationError):
+            DhlParams(braking=BrakingMode.REGENERATIVE, regen_recovery=1.5)
+
+
+class TestWith:
+    def test_with_creates_modified_copy(self):
+        modified = DEFAULT_PARAMS.with_(max_speed=300.0)
+        assert modified.max_speed == 300.0
+        assert DEFAULT_PARAMS.max_speed == 200.0
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_PARAMS.with_(max_speed=-1)
+
+
+class TestDesignPoints:
+    def test_table_v_is_27_points(self):
+        assert len(list(table_v_design_points())) == 27
+
+    def test_table_vi_is_13_rows(self):
+        assert len(table_vi_design_points()) == 13
+
+    def test_table_vi_default_appears_three_times(self):
+        rows = table_vi_design_points()
+        defaults = [row for row in rows if row == DEFAULT_PARAMS]
+        assert len(defaults) == 3
+
+    def test_table_vi_row_order_matches_paper(self):
+        rows = table_vi_design_points()
+        assert [row.max_speed for row in rows[:3]] == [100.0, 200.0, 300.0]
+        assert [row.track_length for row in rows[3:6]] == [100.0, 500.0, 1000.0]
+        assert [row.ssds_per_cart for row in rows[6:9]] == [16, 32, 64]
+        corners = [(row.max_speed, row.ssds_per_cart) for row in rows[9:]]
+        assert corners == [(100.0, 16), (100.0, 64), (300.0, 16), (300.0, 64)]

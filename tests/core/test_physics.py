@@ -1,0 +1,306 @@
+"""Tests for the maglev physics models against Section IV's numbers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import BrakingMode, DhlParams
+from repro.core.physics import (
+    CartMass,
+    Lim,
+    air_drag_power,
+    average_trip_power,
+    cart_mass,
+    drag_fraction_of_launch,
+    drag_loss,
+    launch_energy,
+    lim,
+    motion_profile,
+    peak_launch_power,
+    trip_time,
+    vacuum_sustain_power,
+)
+from repro.errors import PhysicsError
+
+
+class TestCartMass:
+    """Table V: 161 / 282 / 524 g for 16 / 32 / 64 SSDs."""
+
+    @pytest.mark.parametrize(
+        "ssds, expected_g", [(16, 161), (32, 282), (64, 524)]
+    )
+    def test_paper_masses(self, ssds, expected_g):
+        mass = cart_mass(DhlParams(ssds_per_cart=ssds))
+        assert mass.total_grams == pytest.approx(expected_g, abs=1.0)
+
+    def test_breakdown_sums_to_total(self):
+        mass = cart_mass(DhlParams())
+        payload = mass.ssd_mass_kg + mass.frame_mass_kg
+        assert mass.magnets_kg + mass.fin_kg + payload == pytest.approx(mass.total_kg)
+
+    def test_magnet_fraction(self):
+        mass = cart_mass(DhlParams())
+        assert mass.magnets_kg / mass.total_kg == pytest.approx(0.10)
+
+    def test_fin_fraction(self):
+        mass = cart_mass(DhlParams())
+        assert mass.fin_kg / mass.total_kg == pytest.approx(0.15)
+
+    def test_magnet_volume_from_density(self):
+        mass = cart_mass(DhlParams())
+        assert mass.magnet_volume_cm3() == pytest.approx(
+            mass.magnets_kg * 1e3 / 7.5
+        )
+
+    def test_rejects_fractions_consuming_everything(self):
+        with pytest.raises(PhysicsError):
+            CartMass(ssd_mass_kg=0.1, magnet_fraction=0.5, fin_fraction=0.5)
+
+    @given(ssd_mass=st.floats(min_value=1e-3, max_value=10.0))
+    def test_mass_monotone_in_payload(self, ssd_mass):
+        lighter = CartMass(ssd_mass_kg=ssd_mass)
+        heavier = CartMass(ssd_mass_kg=ssd_mass * 1.5)
+        assert heavier.total_kg > lighter.total_kg
+
+
+class TestLim:
+    def test_paper_lim_lengths(self):
+        # Table V: 5 / 20 / 45 m for 100 / 200 / 300 m/s.
+        motor = lim(DhlParams())
+        assert motor.length_for_speed(100) == pytest.approx(5.0)
+        assert motor.length_for_speed(200) == pytest.approx(20.0)
+        assert motor.length_for_speed(300) == pytest.approx(45.0)
+
+    def test_length_speed_roundtrip(self):
+        motor = Lim(acceleration=1000, efficiency=0.75)
+        assert motor.top_speed_for_length(20.0) == pytest.approx(200.0)
+
+    def test_energy_to_accelerate(self):
+        motor = Lim(acceleration=1000, efficiency=0.75)
+        # 0.5 * 0.282 * 200^2 / 0.75 = 7520 J
+        assert motor.energy_to_accelerate(0.282, 200) == pytest.approx(7520)
+
+    def test_perfect_efficiency_is_kinetic_energy(self):
+        motor = Lim(acceleration=1000, efficiency=1.0)
+        assert motor.energy_to_accelerate(1.0, 10) == pytest.approx(50.0)
+
+    def test_peak_power(self):
+        motor = Lim(acceleration=1000, efficiency=0.75)
+        assert motor.peak_power(0.282, 200) == pytest.approx(75_200)
+
+    def test_ramp_time(self):
+        assert Lim(1000, 0.75).ramp_time(200) == pytest.approx(0.2)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(PhysicsError):
+            Lim(acceleration=1000, efficiency=0.0)
+
+
+class TestMotionProfile:
+    @pytest.mark.parametrize(
+        "speed, length, expected_motion",
+        [
+            (100.0, 500.0, 5.05),   # (500-5)/100 + 0.1
+            (200.0, 500.0, 2.6),    # (500-20)/200 + 0.2
+            (300.0, 500.0, 1.8167), # (500-45)/300 + 0.3
+            (200.0, 100.0, 0.6),
+            (200.0, 1000.0, 5.1),
+        ],
+    )
+    def test_paper_motion_times(self, speed, length, expected_motion):
+        params = DhlParams(max_speed=speed, track_length=length)
+        profile = motion_profile(params)
+        assert profile.motion_time == pytest.approx(expected_motion, abs=1e-3)
+
+    def test_paper_profile_reaches_top_speed(self):
+        profile = motion_profile(DhlParams())
+        assert profile.peak_speed == 200.0
+
+    def test_short_track_triangular(self):
+        # A 10 m track with a 20 m LIM ramp: cannot reach 200 m/s.
+        params = DhlParams(max_speed=200.0, track_length=10.0)
+        profile = motion_profile(params)
+        assert profile.peak_speed == pytest.approx((2 * 1000 * 10) ** 0.5)
+        assert profile.cruise_time == 0.0
+
+    def test_exact_profile_slower_than_paper(self):
+        params = DhlParams()
+        paper = motion_profile(params, "paper")
+        exact = motion_profile(params, "exact")
+        assert exact.motion_time > paper.motion_time
+        # The difference is one braking ramp minus the cruise credit.
+        assert exact.motion_time - paper.motion_time == pytest.approx(0.1, abs=1e-6)
+
+    def test_exact_profile_symmetric(self):
+        exact = motion_profile(DhlParams(), "exact")
+        assert exact.accel_time == exact.decel_time
+
+    def test_exact_short_track(self):
+        params = DhlParams(max_speed=200.0, track_length=10.0)
+        exact = motion_profile(params, "exact")
+        assert exact.peak_speed == pytest.approx((1000 * 10) ** 0.5)
+        assert exact.motion_time == pytest.approx(2 * exact.peak_speed / 1000)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(PhysicsError):
+            motion_profile(DhlParams(), "fantasy")
+
+    @given(
+        speed=st.floats(min_value=1.0, max_value=400.0),
+        length=st.floats(min_value=1.0, max_value=5000.0),
+    )
+    def test_paper_never_faster_than_light_bound(self, speed, length):
+        """Motion time is at least distance / top speed in both models."""
+        params = DhlParams(max_speed=speed, track_length=length)
+        for model in ("paper", "exact"):
+            profile = motion_profile(params, model)
+            assert profile.motion_time >= length / speed * (1 - 1e-9) - 0.2
+
+
+class TestTripTime:
+    @pytest.mark.parametrize(
+        "speed, length, expected",
+        [
+            (100.0, 500.0, 11.05),
+            (200.0, 500.0, 8.6),
+            (300.0, 500.0, 7.8167),
+            (200.0, 100.0, 6.6),
+            (200.0, 1000.0, 11.1),
+        ],
+    )
+    def test_table_vi_times(self, speed, length, expected):
+        params = DhlParams(max_speed=speed, track_length=length)
+        assert trip_time(params) == pytest.approx(expected, abs=1e-3)
+
+    def test_docking_dominates_short_trips(self):
+        # Section V-A: handling has a huge impact on total time.
+        params = DhlParams(track_length=100.0)
+        assert params.handling_time / trip_time(params) > 0.9
+
+    def test_time_independent_of_cart_size(self):
+        small = trip_time(DhlParams(ssds_per_cart=16))
+        large = trip_time(DhlParams(ssds_per_cart=64))
+        assert small == large
+
+
+class TestLaunchEnergy:
+    @pytest.mark.parametrize(
+        "speed, ssds, expected_kj",
+        [
+            (100, 32, 3.7),
+            (200, 32, 15.0),
+            (300, 32, 34.0),
+            (200, 16, 8.6),
+            (200, 64, 28.0),
+            (100, 16, 2.1),
+            (100, 64, 7.0),
+            (300, 16, 19.0),
+            (300, 64, 63.0),
+        ],
+    )
+    def test_table_vi_energies(self, speed, ssds, expected_kj):
+        # rel=0.03 absorbs the paper's 2-significant-figure rounding.
+        params = DhlParams(max_speed=speed, ssds_per_cart=ssds)
+        assert launch_energy(params) / 1e3 == pytest.approx(expected_kj, rel=0.03)
+
+    def test_energy_independent_of_track_length(self):
+        short = launch_energy(DhlParams(track_length=100.0))
+        long = launch_energy(DhlParams(track_length=1000.0))
+        assert short == long
+
+    def test_eddy_braking_halves_energy(self):
+        default = launch_energy(DhlParams())
+        eddy = launch_energy(DhlParams(braking=BrakingMode.EDDY))
+        assert eddy == pytest.approx(default / 2)
+
+    def test_regenerative_recovers_energy(self):
+        default = launch_energy(DhlParams())
+        regen = launch_energy(
+            DhlParams(braking=BrakingMode.REGENERATIVE, regen_recovery=0.70)
+        )
+        assert regen < default
+        # 70% of the kinetic energy comes back.
+        kinetic = 0.5 * cart_mass(DhlParams()).total_kg * 200**2
+        assert default - regen == pytest.approx(0.70 * kinetic)
+
+    def test_zero_recovery_equals_lim(self):
+        regen = launch_energy(
+            DhlParams(braking=BrakingMode.REGENERATIVE, regen_recovery=0.0)
+        )
+        assert regen == pytest.approx(launch_energy(DhlParams()))
+
+    def test_include_drag_adds_loss(self):
+        base = launch_energy(DhlParams())
+        with_drag = launch_energy(DhlParams(), include_drag=True)
+        assert with_drag > base
+
+    @given(speed=st.floats(min_value=10, max_value=300))
+    def test_energy_quadratic_in_speed(self, speed):
+        base = launch_energy(DhlParams(max_speed=speed))
+        doubled = launch_energy(DhlParams(max_speed=2 * speed))
+        assert doubled == pytest.approx(4 * base, rel=1e-9)
+
+
+class TestPeakPower:
+    @pytest.mark.parametrize(
+        "speed, ssds, expected_kw",
+        [
+            (100, 32, 38), (200, 32, 75), (300, 32, 113),
+            (200, 16, 43), (200, 64, 140),
+            (100, 16, 22), (100, 64, 70),
+            (300, 16, 64), (300, 64, 210),
+        ],
+    )
+    def test_table_vi_peak_powers(self, speed, ssds, expected_kw):
+        # rel=0.03 absorbs the paper's 2-significant-figure rounding.
+        params = DhlParams(max_speed=speed, ssds_per_cart=ssds)
+        assert peak_launch_power(params) / 1e3 == pytest.approx(expected_kw, rel=0.03)
+
+    def test_average_power_is_1_75kw(self):
+        # The Table VII power budget: the default DHL's average power.
+        assert average_trip_power(DhlParams()) == pytest.approx(1748.3, abs=1.0)
+
+
+class TestDrag:
+    def test_drag_formula(self):
+        # L_d = (g + 2 c2) M x / c1
+        assert drag_loss(0.282, 500.0, lift_to_drag=10.0) == pytest.approx(
+            9.81 * 0.282 * 500 / 10
+        )
+
+    def test_c2_term(self):
+        base = drag_loss(0.282, 500.0)
+        lifted = drag_loss(0.282, 500.0, downward_force_accel=9.81)
+        assert lifted == pytest.approx(3 * base)
+
+    def test_drag_negligible_at_paper_operating_points(self):
+        # Section IV-A2: negligible at 200 m/s over 500-1000 m.
+        for length in (500.0, 1000.0):
+            fraction = drag_fraction_of_launch(DhlParams(track_length=length))
+            assert fraction < 0.05
+
+    def test_drag_rejects_negative_c2(self):
+        with pytest.raises(PhysicsError):
+            drag_loss(0.282, 500.0, downward_force_accel=-1)
+
+
+class TestVacuumAndAir:
+    def test_sustain_power_small(self):
+        # ~1 kW for the default tube: tiny next to 75 kW launch peaks.
+        power = vacuum_sustain_power(500.0)
+        assert power == pytest.approx(1000.0)
+        assert power < peak_launch_power(DhlParams()) / 50
+
+    def test_sustain_scales_with_length(self):
+        assert vacuum_sustain_power(1000.0) == pytest.approx(
+            2 * vacuum_sustain_power(500.0)
+        )
+
+    def test_air_drag_negligible_at_rough_vacuum(self):
+        drag = air_drag_power(200.0)
+        assert drag < 100.0  # tens of watts
+
+    def test_air_drag_scales_with_pressure(self):
+        low = air_drag_power(200.0, pressure_pa=100.0)
+        sea = air_drag_power(200.0, pressure_pa=101325.0)
+        assert sea / low == pytest.approx(1013.25)

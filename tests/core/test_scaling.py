@@ -1,0 +1,109 @@
+"""Tests for technology-scaling projections and upgrade economics."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.core.physics import cart_mass
+from repro.core.scaling import (
+    NAND_DENSITY_CAGR,
+    density_projection,
+    scaled_device,
+    upgrade_economics,
+)
+from repro.errors import ConfigurationError
+from repro.storage.devices import SABRENT_ROCKET_4_PLUS_8TB
+from repro.units import TB
+
+
+class TestScaledDevice:
+    def test_year_zero_is_identity(self):
+        device = scaled_device(years=0.0)
+        assert device.capacity_bytes == SABRENT_ROCKET_4_PLUS_8TB.capacity_bytes
+
+    def test_compound_growth(self):
+        device = scaled_device(years=3.0, density_cagr=0.25)
+        assert device.capacity_bytes == pytest.approx(8 * TB * 1.25**3)
+
+    def test_mass_and_bandwidth_unchanged(self):
+        device = scaled_device(years=10.0)
+        assert device.mass_kg == SABRENT_ROCKET_4_PLUS_8TB.mass_kg
+        assert device.read_bw == SABRENT_ROCKET_4_PLUS_8TB.read_bw
+
+    def test_rejects_negative_years(self):
+        with pytest.raises(ConfigurationError):
+            scaled_device(years=-1.0)
+
+    def test_shrinking_density_allowed(self):
+        device = scaled_device(years=2.0, density_cagr=-0.1)
+        assert device.capacity_bytes < 8 * TB
+
+
+class TestDensityProjection:
+    def test_points_sorted_by_year(self):
+        points = density_projection()
+        years = [point.year for point in points]
+        assert years == sorted(years)
+
+    def test_cart_mass_constant_across_decade(self):
+        # The paper's key upgrade property: denser carts weigh the same.
+        points = density_projection()
+        masses = {round(point.metrics.cart_mass_kg, 6) for point in points}
+        assert len(masses) == 1
+        assert masses == {round(cart_mass(DhlParams()).total_kg, 6)}
+
+    def test_bandwidth_and_efficiency_grow_together(self):
+        points = density_projection()
+        bandwidths = [point.metrics.bandwidth_bytes_per_s for point in points]
+        efficiencies = [point.metrics.efficiency_bytes_per_j for point in points]
+        assert bandwidths == sorted(bandwidths)
+        assert efficiencies == sorted(efficiencies)
+
+    def test_trip_time_unchanged(self):
+        # Only the payload density changes; the rail never does.
+        points = density_projection()
+        times = {round(point.metrics.time_s, 9) for point in points}
+        assert len(times) == 1
+
+    def test_decade_capacity_order_of_magnitude(self):
+        points = density_projection(years=(0.0, 10.0))
+        gain = points[-1].cart_tb / points[0].cart_tb
+        assert gain == pytest.approx(1.25**10, rel=1e-6)
+        assert gain > 9
+
+    def test_requires_years(self):
+        with pytest.raises(ConfigurationError):
+            density_projection(years=())
+
+
+class TestUpgradeEconomics:
+    def test_initial_costs(self):
+        economics = upgrade_economics()
+        assert economics.dhl_initial_usd == pytest.approx(14_569, abs=3)
+        assert economics.network_initial_usd == pytest.approx(20_000 + 32 * 600)
+
+    def test_totals_are_initial_plus_refresh(self):
+        economics = upgrade_economics()
+        assert economics.dhl_total_usd == pytest.approx(
+            economics.dhl_initial_usd + economics.dhl_refresh_usd
+        )
+        assert economics.network_total_usd == pytest.approx(
+            economics.network_initial_usd + economics.network_refresh_usd
+        )
+
+    def test_gains_over_horizon(self):
+        economics = upgrade_economics(horizon_years=9.0, refresh_interval_years=3.0)
+        assert economics.dhl_capacity_gain == pytest.approx(
+            (1 + NAND_DENSITY_CAGR) ** 9
+        )
+        assert economics.network_rate_gain == 8.0
+
+    def test_rail_is_never_rebought(self):
+        # DHL refresh cost is flash only; doubling the horizon does not
+        # re-incur the rail capital.
+        short = upgrade_economics(horizon_years=3.0)
+        long = upgrade_economics(horizon_years=9.0)
+        assert short.dhl_initial_usd == long.dhl_initial_usd
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            upgrade_economics(horizon_years=0)

@@ -1,0 +1,98 @@
+"""Tests for the parameter-sensitivity (elasticity) analysis."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.core.sensitivity import (
+    elasticity,
+    sensitivity_matrix,
+    sensitivity_table,
+    tornado,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAnalyticalElasticities:
+    """Several elasticities are exact by dimensional analysis."""
+
+    def test_energy_quadratic_in_speed(self):
+        result = elasticity(DhlParams(), "max_speed", "launch_energy")
+        assert result.value == pytest.approx(2.0, abs=0.01)
+
+    def test_energy_inverse_in_efficiency(self):
+        result = elasticity(DhlParams(), "lim_efficiency", "launch_energy")
+        assert result.value == pytest.approx(-1.0, abs=0.01)
+
+    def test_peak_power_linear_in_acceleration(self):
+        result = elasticity(DhlParams(), "acceleration", "peak_power")
+        assert result.value == pytest.approx(1.0, abs=0.01)
+
+    def test_energy_independent_of_track_length(self):
+        result = elasticity(DhlParams(), "track_length", "launch_energy")
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_dock_time_share_of_trip(self):
+        # Elasticity of trip time to dock time equals handling's share of
+        # the trip: 6 / 8.6 ~ 0.70.
+        result = elasticity(DhlParams(), "dock_time", "trip_time")
+        assert result.value == pytest.approx(6.0 / 8.6, abs=0.01)
+
+    def test_bandwidth_mirrors_trip_time(self):
+        time_el = elasticity(DhlParams(), "dock_time", "trip_time")
+        bw_el = elasticity(DhlParams(), "dock_time", "bandwidth")
+        assert bw_el.value == pytest.approx(-time_el.value, abs=0.02)
+
+
+class TestPaperReadings:
+    """Section V-A's qualitative observations, quantified."""
+
+    def test_dock_time_dominates_trip_time(self):
+        ranking = tornado("trip_time")
+        assert ranking[0].parameter == "dock_time"
+
+    def test_speed_most_affects_energy(self):
+        ranking = tornado("launch_energy")
+        assert ranking[0].parameter == "max_speed"
+
+    def test_speed_trades_time_for_energy(self):
+        time_el = elasticity(DhlParams(), "max_speed", "trip_time")
+        energy_el = elasticity(DhlParams(), "max_speed", "launch_energy")
+        assert time_el.value < 0  # faster -> shorter trips
+        assert energy_el.value > 0  # faster -> more energy
+
+
+class TestApi:
+    def test_matrix_shape(self):
+        matrix = sensitivity_matrix()
+        assert set(matrix) == {
+            "launch_energy", "trip_time", "bandwidth", "efficiency", "peak_power",
+        }
+        for row in matrix.values():
+            assert set(row) == {
+                "max_speed", "track_length", "acceleration",
+                "lim_efficiency", "dock_time",
+            }
+
+    def test_table_renders(self):
+        headers, rows = sensitivity_table()
+        assert headers[0] == "Metric"
+        assert len(rows) == 5
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            elasticity(DhlParams(), "colour", "trip_time")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            elasticity(DhlParams(), "max_speed", "vibes")
+        with pytest.raises(ConfigurationError):
+            tornado("vibes")
+
+    def test_big_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            elasticity(DhlParams(), "max_speed", "trip_time", step=0.6)
+
+    def test_tornado_sorted_by_magnitude(self):
+        ranking = tornado("bandwidth")
+        magnitudes = [entry.magnitude for entry in ranking]
+        assert magnitudes == sorted(magnitudes, reverse=True)

@@ -1,0 +1,104 @@
+"""Tests for design-space sweeps and the Pareto frontier."""
+
+import pytest
+
+from repro.core.params import DhlParams, table_vi_design_points
+from repro.core.sweep import grid_sweep, pareto_front, run_sweep, table_vi_sweep
+from repro.errors import ConfigurationError
+from repro.storage.datasets import synthetic_dataset
+from repro.units import PB
+
+
+class TestRunSweep:
+    def test_report_per_point(self):
+        points = [DhlParams(), DhlParams(max_speed=100.0)]
+        result = run_sweep(points)
+        assert len(result.reports) == 2
+        assert result.reports[0].metrics.params == points[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([])
+
+    def test_custom_dataset(self):
+        result = run_sweep([DhlParams()], dataset=synthetic_dataset(1 * PB))
+        assert result.reports[0].campaign.trips == 4
+
+    def test_column_extraction(self):
+        result = table_vi_sweep()
+        energies = result.column(lambda report: report.metrics.energy_kj)
+        assert len(energies) == 13
+        assert min(energies) == pytest.approx(2.146, abs=0.01)
+        assert max(energies) == pytest.approx(62.86, abs=0.1)
+
+
+class TestTableViSweep:
+    def test_thirteen_rows(self):
+        assert len(table_vi_sweep().reports) == 13
+
+    def test_best_efficiency_is_100ms_512tb(self):
+        result = table_vi_sweep()
+        best = result.best_by(lambda report: report.metrics.efficiency_gb_per_j)
+        assert best.metrics.params.max_speed == 100.0
+        assert best.metrics.params.ssds_per_cart == 64
+
+    def test_best_speedup_is_300ms_512tb(self):
+        result = table_vi_sweep()
+        best = result.best_by(lambda report: report.time_speedup)
+        assert best.metrics.params.max_speed == 300.0
+        assert best.metrics.params.ssds_per_cart == 64
+
+    def test_lowest_energy_is_100ms_128tb(self):
+        result = table_vi_sweep()
+        frugal = result.best_by(
+            lambda report: report.metrics.energy_j, maximise=False
+        )
+        assert frugal.metrics.params.max_speed == 100.0
+        assert frugal.metrics.params.ssds_per_cart == 16
+
+
+class TestGridSweep:
+    def test_full_factorial(self):
+        result = grid_sweep(
+            max_speed=[100.0, 200.0, 300.0],
+            track_length=[100.0, 500.0],
+        )
+        assert len(result.reports) == 6
+
+    def test_requires_axes(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep()
+
+    def test_base_parameters_preserved(self):
+        base = DhlParams(ssds_per_cart=64)
+        result = grid_sweep(base=base, max_speed=[100.0])
+        assert result.reports[0].metrics.params.ssds_per_cart == 64
+
+
+class TestParetoFront:
+    def test_front_is_nonempty_subset(self):
+        result = table_vi_sweep()
+        front = pareto_front(result)
+        assert 0 < len(front) <= len(result.reports)
+
+    def test_front_members_not_dominated(self):
+        result = table_vi_sweep()
+        front = pareto_front(result)
+        for member in front:
+            for other in result.reports:
+                dominates = (
+                    other.campaign.time_s <= member.campaign.time_s
+                    and other.campaign.energy_j <= member.campaign.energy_j
+                    and (
+                        other.campaign.time_s < member.campaign.time_s
+                        or other.campaign.energy_j < member.campaign.energy_j
+                    )
+                )
+                assert not dominates
+
+    def test_speed_energy_tradeoff_present(self):
+        # Both a fast-and-hungry and a slow-and-frugal point survive:
+        # the paper's central trade-off.
+        front = pareto_front(run_sweep(table_vi_design_points()))
+        speeds = {report.metrics.params.max_speed for report in front}
+        assert len(speeds) >= 2

@@ -1,0 +1,152 @@
+"""Tests for the four-command DHL API and bulk-transfer orchestration."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.core.physics import launch_energy, trip_time
+from repro.dhlsim.api import DhlApi
+from repro.dhlsim.scheduler import DhlSystem
+from repro.errors import SchedulingError
+from repro.sim import Environment
+from repro.storage.datasets import synthetic_dataset
+from repro.units import TB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def staged_system(env, shards=2, stations=2, **kwargs):
+    system = DhlSystem(env, stations_per_rack=stations, **kwargs)
+    dataset = synthetic_dataset(shards * 256 * TB, name="bulk")
+    system.load_dataset(dataset)
+    return system, dataset
+
+
+class TestOpenClose:
+    def test_open_delivers_shard(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        station = env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        assert station.cart.holds(dataset.name, 0)
+        assert env.now == pytest.approx(trip_time(DhlParams()))
+
+    def test_open_missing_shard_rejected(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        with pytest.raises(SchedulingError):
+            env.run(until=api.open(dataset.name, 99, endpoint_id=1))
+
+    def test_close_returns_cart(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        station = env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        cart = station.cart
+        env.run(until=api.close(cart, endpoint_id=1))
+        assert system.library.stored_count == 2
+        assert env.now == pytest.approx(2 * trip_time(DhlParams()))
+
+    def test_reopen_after_close(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        station = env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        env.run(until=api.close(station.cart, endpoint_id=1))
+        station = env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        assert station.cart.holds(dataset.name, 0)
+
+
+class TestReadWrite:
+    def test_read_full_shard(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        start = env.now
+        n_read = env.run(until=api.read(1, dataset.name, 0))
+        assert n_read == pytest.approx(256 * TB)
+        assert env.now - start == pytest.approx(256e12 / (32 * 7.1e9))
+
+    def test_partial_read(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        n_read = env.run(until=api.read(1, dataset.name, 0, n_bytes=1 * TB))
+        assert n_read == pytest.approx(1 * TB)
+
+    def test_read_undelivered_shard_rejected(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        with pytest.raises(SchedulingError, match="no docked cart"):
+            env.run(until=api.read(1, dataset.name, 0))
+
+    def test_write_to_station(self, env):
+        system, dataset = staged_system(env)
+        api = DhlApi(system)
+        station = env.run(until=api.open(dataset.name, 0, endpoint_id=1))
+        start = env.now
+        env.run(until=api.write(station, 10 * TB))
+        assert env.now - start == pytest.approx(10e12 / (32 * 6.0e9))
+        assert station.bytes_written == 10 * TB
+
+    def test_write_empty_station_rejected(self, env):
+        system, _ = staged_system(env)
+        api = DhlApi(system)
+        empty = system.rack(1).stations[0]
+        with pytest.raises(SchedulingError, match="empty"):
+            api.write(empty, 1 * TB)
+
+
+class TestBulkTransfer:
+    def test_transfer_moves_every_byte(self, env):
+        system, dataset = staged_system(env, shards=4)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset))
+        assert report.shards_moved == 4
+        assert report.bytes_delivered == pytest.approx(dataset.size_bytes)
+        assert report.launches == 8  # out and back for each shard
+
+    def test_transfer_energy_matches_analytic(self, env):
+        system, dataset = staged_system(env, shards=4)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset))
+        assert report.launch_energy_j == pytest.approx(8 * launch_energy(DhlParams()))
+
+    def test_pipelining_beats_serial(self, env):
+        # With 2 stations, travel overlaps reads; total time must be less
+        # than the fully serial sum of trips and reads.
+        system, dataset = staged_system(env, shards=4, stations=2)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset))
+        read_time = 256e12 / (32 * 7.1e9)
+        serial = 4 * (2 * trip_time(DhlParams()) + read_time)
+        assert report.elapsed_s < serial
+
+    def test_transport_only_transfer(self, env):
+        system, dataset = staged_system(env, shards=2, stations=2)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset, read_payload=False))
+        # No SSD reads: pure shuttle time on a single shared tube.
+        assert report.elapsed_s == pytest.approx(4 * trip_time(DhlParams()))
+        assert report.bytes_delivered == pytest.approx(dataset.size_bytes)
+
+    def test_unstaged_dataset_rejected(self, env):
+        system, _ = staged_system(env)
+        api = DhlApi(system)
+        ghost = synthetic_dataset(1 * TB, name="ghost")
+        with pytest.raises(SchedulingError, match="not staged"):
+            env.run(until=api.bulk_transfer(ghost))
+
+    def test_effective_bandwidth_reported(self, env):
+        system, dataset = staged_system(env, shards=2)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset))
+        assert report.effective_bandwidth == pytest.approx(
+            dataset.size_bytes / report.elapsed_s
+        )
+
+    def test_final_state_all_carts_home(self, env):
+        system, dataset = staged_system(env, shards=3)
+        api = DhlApi(system)
+        env.run(until=api.bulk_transfer(dataset))
+        assert system.library.stored_count == 3
+        assert system.rack(1).docked_carts == []

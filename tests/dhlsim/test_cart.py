@@ -1,0 +1,130 @@
+"""Tests for the cart state machine and payload bookkeeping."""
+
+import pytest
+
+from repro.dhlsim.cart import Cart, CartState
+from repro.errors import CartStateError, DataIntegrityError, StorageError
+from repro.storage.library import Shard
+from repro.storage.ssd_array import SsdArray
+from repro.units import TB
+
+
+def make_cart(parity=0):
+    return Cart(array=SsdArray(count=32, parity_drives=parity))
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        assert make_cart().state == CartState.STORED
+
+    def test_full_round_trip(self):
+        cart = make_cart()
+        for state in (
+            CartState.READY,
+            CartState.IN_TRANSIT,
+            CartState.ARRIVED,
+            CartState.DOCKED,
+            CartState.READY,
+            CartState.IN_TRANSIT,
+            CartState.ARRIVED,
+            CartState.STORED,
+        ):
+            cart.transition(state)
+        assert cart.state == CartState.STORED
+
+    def test_cannot_launch_from_stored(self):
+        cart = make_cart()
+        with pytest.raises(CartStateError, match="illegal transition"):
+            cart.transition(CartState.IN_TRANSIT)
+
+    def test_cannot_dock_while_stored(self):
+        with pytest.raises(CartStateError):
+            make_cart().transition(CartState.DOCKED)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(CartStateError):
+            make_cart().transition("flying")
+
+    def test_accessible_only_when_docked(self):
+        cart = make_cart()
+        assert not cart.accessible
+        cart.transition(CartState.READY)
+        cart.transition(CartState.IN_TRANSIT)
+        assert cart.in_motion
+        cart.transition(CartState.ARRIVED)
+        cart.transition(CartState.DOCKED)
+        assert cart.accessible
+
+    def test_unique_ids(self):
+        assert make_cart().cart_id != make_cart().cart_id
+
+
+class TestPayload:
+    def test_load_and_hold(self):
+        cart = make_cart()
+        shard = Shard("ds", 0, 0, 100 * TB)
+        cart.load_shard(shard)
+        assert cart.holds("ds", 0)
+        assert cart.stored_bytes == 100 * TB
+        assert cart.free_bytes == pytest.approx(156 * TB)
+
+    def test_duplicate_shard_rejected(self):
+        cart = make_cart()
+        cart.load_shard(Shard("ds", 0, 0, 1 * TB))
+        with pytest.raises(StorageError, match="already holds"):
+            cart.load_shard(Shard("ds", 0, 0, 1 * TB))
+
+    def test_overflow_rejected(self):
+        cart = make_cart()
+        with pytest.raises(StorageError, match="does not fit"):
+            cart.load_shard(Shard("ds", 0, 0, 300 * TB))
+
+    def test_multiple_shards_fit(self):
+        cart = make_cart()
+        cart.load_shard(Shard("a", 0, 0, 100 * TB))
+        cart.load_shard(Shard("b", 0, 0, 100 * TB))
+        assert cart.stored_bytes == 200 * TB
+
+    def test_unload(self):
+        cart = make_cart()
+        cart.load_shard(Shard("ds", 3, 0, 10 * TB))
+        shard = cart.unload_shard("ds", 3)
+        assert shard.index == 3
+        assert not cart.holds("ds", 3)
+        assert cart.stored_bytes == 0
+
+    def test_unload_missing_rejected(self):
+        with pytest.raises(StorageError, match="does not hold"):
+            make_cart().unload_shard("ds", 0)
+
+
+class TestFaultsOnCart:
+    def test_fail_drive_accumulates(self):
+        cart = make_cart(parity=2)
+        cart.fail_drive()
+        cart.fail_drive()
+        assert cart.failed_drives == 2
+        cart.check_integrity()  # still recoverable
+
+    def test_integrity_violation(self):
+        cart = make_cart(parity=1)
+        cart.fail_drive(2)
+        with pytest.raises(DataIntegrityError):
+            cart.check_integrity()
+
+    def test_repair_resets_and_reports_time(self):
+        cart = make_cart(parity=2)
+        cart.fail_drive(2)
+        rebuild = cart.repair()
+        assert rebuild > 0
+        assert cart.failed_drives == 0
+
+    def test_repair_clean_cart_is_free(self):
+        assert make_cart().repair() == 0.0
+
+    def test_fail_zero_rejected(self):
+        with pytest.raises(StorageError):
+            make_cart().fail_drive(0)
+
+    def test_repr_mentions_state(self):
+        assert "stored" in repr(make_cart())

@@ -1,0 +1,169 @@
+"""Tests for docking stations and rack endpoints."""
+
+import pytest
+
+from repro.dhlsim.cart import Cart, CartState
+from repro.dhlsim.docking import DockingStation, RackEndpoint
+from repro.errors import SchedulingError
+from repro.sim import Environment
+from repro.storage.library import Shard
+from repro.storage.ssd_array import PcieLink, SsdArray
+from repro.units import TB
+
+
+def arrived_cart(parity=0):
+    cart = Cart(array=SsdArray(count=32, parity_drives=parity))
+    cart.transition(CartState.READY)
+    cart.transition(CartState.IN_TRANSIT)
+    cart.transition(CartState.ARRIVED)
+    return cart
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestAttachDetach:
+    def test_attach_docks_cart(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        cart = arrived_cart()
+        station.attach(cart)
+        assert station.occupied
+        assert cart.state == CartState.DOCKED
+        assert cart.location == 1
+
+    def test_attach_occupied_rejected(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        station.attach(arrived_cart())
+        with pytest.raises(SchedulingError, match="already holds"):
+            station.attach(arrived_cart())
+
+    def test_detach_returns_ready_cart(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        cart = arrived_cart()
+        station.attach(cart)
+        detached = station.detach()
+        assert detached is cart
+        assert cart.state == CartState.READY
+        assert not station.occupied
+
+    def test_detach_empty_rejected(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        with pytest.raises(SchedulingError, match="empty"):
+            station.detach()
+
+
+class TestIo:
+    def test_read_takes_bandwidth_time(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        cart = arrived_cart()
+        station.attach(cart)
+        done = station.read(256 * TB)
+        env.run(until=done)
+        # 32 x 7.1 GB/s = 227.2 GB/s (below the PCIe6 x64 cap).
+        assert env.now == pytest.approx(256e12 / (32 * 7.1e9))
+        assert station.bytes_read == 256 * TB
+
+    def test_write_slower_than_read(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        station.attach(arrived_cart())
+        env.run(until=station.write(100 * TB))
+        write_time = env.now
+        env2 = Environment()
+        station2 = DockingStation(env2, station_id=0, endpoint_id=1)
+        station2.attach(arrived_cart())
+        env2.run(until=station2.read(100 * TB))
+        assert write_time > env2.now
+
+    def test_narrow_link_caps_read(self, env):
+        narrow = PcieLink(generation=3, lanes=4)
+        station = DockingStation(env, station_id=0, endpoint_id=1, link=narrow)
+        station.attach(arrived_cart())
+        env.run(until=station.read(1 * TB))
+        assert env.now == pytest.approx(1e12 / narrow.bandwidth)
+
+    def test_degraded_cart_reads_slower(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        cart = arrived_cart(parity=2)
+        cart.fail_drive(1)
+        station.attach(cart)
+        env.run(until=station.read(10 * TB))
+        degraded_time = env.now
+
+        env2 = Environment()
+        station2 = DockingStation(env2, station_id=0, endpoint_id=1)
+        station2.attach(arrived_cart(parity=2))
+        env2.run(until=station2.read(10 * TB))
+        assert degraded_time > env2.now
+
+    def test_io_serialised_per_dock(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        station.attach(arrived_cart())
+        first = station.read(10 * TB)
+        second = station.read(10 * TB)
+        env.run()
+        single = 10e12 / (32 * 7.1e9)
+        assert env.now == pytest.approx(2 * single)
+        assert first.ok and second.ok
+
+    def test_read_empty_dock_rejected(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        with pytest.raises(SchedulingError, match="empty"):
+            env.run(until=station.read(1 * TB))
+
+    def test_oversized_write_rejected(self, env):
+        station = DockingStation(env, station_id=0, endpoint_id=1)
+        station.attach(arrived_cart())
+        with pytest.raises(SchedulingError, match="exceeds cart capacity"):
+            env.run(until=station.write(300 * TB))
+
+
+class TestRackEndpoint:
+    def test_station_count(self, env):
+        rack = RackEndpoint(env, endpoint_id=1, n_stations=3)
+        assert len(rack.stations) == 3
+        assert rack.slots.capacity == 3
+
+    def test_free_station(self, env):
+        rack = RackEndpoint(env, endpoint_id=1, n_stations=2)
+        station = rack.free_station()
+        station.attach(arrived_cart())
+        other = rack.free_station()
+        assert other is not station
+
+    def test_station_holding(self, env):
+        rack = RackEndpoint(env, endpoint_id=1, n_stations=2)
+        cart = arrived_cart()
+        rack.stations[1].attach(cart)
+        assert rack.station_holding(cart) is rack.stations[1]
+
+    def test_station_holding_unknown_rejected(self, env):
+        rack = RackEndpoint(env, endpoint_id=1)
+        with pytest.raises(SchedulingError, match="not docked"):
+            rack.station_holding(arrived_cart())
+
+    def test_find_docked_by_shard(self, env):
+        rack = RackEndpoint(env, endpoint_id=1, n_stations=2)
+        cart = Cart(array=SsdArray())
+        cart.load_shard(Shard("ds", 7, 0, 1 * TB))
+        cart.transition(CartState.READY)
+        cart.transition(CartState.IN_TRANSIT)
+        cart.transition(CartState.ARRIVED)
+        rack.stations[0].attach(cart)
+        assert rack.find_docked("ds", 7) is rack.stations[0]
+
+    def test_find_docked_missing_rejected(self, env):
+        rack = RackEndpoint(env, endpoint_id=1)
+        with pytest.raises(SchedulingError, match="no docked cart"):
+            rack.find_docked("ds", 0)
+
+    def test_docked_carts_listing(self, env):
+        rack = RackEndpoint(env, endpoint_id=1, n_stations=2)
+        assert rack.docked_carts == []
+        rack.stations[0].attach(arrived_cart())
+        assert len(rack.docked_carts) == 1
+
+    def test_rejects_zero_stations(self, env):
+        with pytest.raises(SchedulingError):
+            RackEndpoint(env, endpoint_id=1, n_stations=0)

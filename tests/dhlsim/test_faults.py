@@ -1,0 +1,93 @@
+"""Tests for SSD fault injection and RAID recovery behaviour."""
+
+import pytest
+
+from repro.dhlsim.api import DhlApi
+from repro.dhlsim.faults import FaultInjector, expected_failures_per_campaign
+from repro.dhlsim.scheduler import DhlSystem
+from repro.errors import ConfigurationError, DataIntegrityError
+from repro.sim import Environment
+from repro.storage.datasets import synthetic_dataset
+from repro.units import TB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def staged(env, parity=0, shards=2):
+    system = DhlSystem(env, parity_drives=parity)
+    dataset = synthetic_dataset(shards * 200 * TB, name="faulty")
+    system.load_dataset(dataset)
+    return system, dataset
+
+
+class TestInjector:
+    def test_zero_probability_never_fails(self, env):
+        system, dataset = staged(env)
+        injector = FaultInjector(system, per_drive_trip_failure_prob=0.0, seed=1)
+        api = DhlApi(system)
+        env.run(until=api.bulk_transfer(dataset))
+        assert injector.injected_failures == 0
+
+    def test_certain_failure_fails_everything(self, env):
+        system, dataset = staged(env, parity=0, shards=1)
+        injector = FaultInjector(system, per_drive_trip_failure_prob=1.0, seed=1)
+        api = DhlApi(system)
+        # Reading a cart whose drives all failed must surface the loss.
+        with pytest.raises(DataIntegrityError):
+            env.run(until=api.bulk_transfer(dataset))
+        assert injector.lost_carts >= 1
+
+    def test_parity_absorbs_rare_failures(self, env):
+        system, dataset = staged(env, parity=4, shards=2)
+        FaultInjector(system, per_drive_trip_failure_prob=0.002, seed=7)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset))
+        assert report.bytes_delivered == pytest.approx(dataset.size_bytes)
+
+    def test_deterministic_under_seed(self, env):
+        results = []
+        for _ in range(2):
+            env_run = Environment()
+            system = DhlSystem(env_run, parity_drives=8)
+            dataset = synthetic_dataset(3 * 190 * TB, name="seeded")
+            system.load_dataset(dataset)
+            injector = FaultInjector(system, per_drive_trip_failure_prob=0.01, seed=42)
+            api = DhlApi(system)
+            env_run.run(until=api.bulk_transfer(dataset))
+            results.append(injector.injected_failures)
+        assert results[0] == results[1]
+
+    def test_rejects_bad_probability(self, env):
+        system, _ = staged(env)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(system, per_drive_trip_failure_prob=1.5)
+
+    def test_injection_count_near_expectation(self):
+        env = Environment()
+        system = DhlSystem(env, parity_drives=16)
+        dataset = synthetic_dataset(20 * 120 * TB, name="stats")
+        system.load_dataset(dataset)
+        injector = FaultInjector(system, per_drive_trip_failure_prob=0.02, seed=3)
+        api = DhlApi(system)
+        env.run(until=api.bulk_transfer(dataset, read_payload=False))
+        launches = system.total_launches
+        expected = expected_failures_per_campaign(32, launches, 0.02)
+        # Binomial concentration: within 4 sigma.
+        sigma = (launches * 32 * 0.02 * 0.98) ** 0.5
+        assert abs(injector.injected_failures - expected) < 4 * sigma + 1
+
+
+class TestExpectation:
+    def test_closed_form(self):
+        assert expected_failures_per_campaign(32, 228, 0.001) == pytest.approx(7.296)
+
+    def test_rejects_negative_launches(self):
+        with pytest.raises(ConfigurationError):
+            expected_failures_per_campaign(32, -1, 0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            expected_failures_per_campaign(32, 10, 2.0)

@@ -1,0 +1,131 @@
+"""Tests for the library endpoint: storage, checkout, repair."""
+
+import pytest
+
+from repro.dhlsim.cart import Cart, CartState
+from repro.dhlsim.library_node import LibraryNode
+from repro.errors import SchedulingError
+from repro.sim import Environment
+from repro.storage.datasets import synthetic_dataset
+from repro.storage.library import Shard, plan_placement
+from repro.storage.ssd_array import SsdArray
+from repro.units import TB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def library(env):
+    return LibraryNode(env, capacity_slots=16)
+
+
+def fresh_cart(parity=0):
+    return Cart(array=SsdArray(count=32, parity_drives=parity))
+
+
+class TestAdmitCheckout:
+    def test_admit_fresh_cart(self, library):
+        cart = fresh_cart()
+        library.admit(cart)
+        assert library.stored_count == 1
+        assert cart.state == CartState.STORED
+
+    def test_admit_arrived_cart(self, library):
+        cart = fresh_cart()
+        cart.transition(CartState.READY)
+        cart.transition(CartState.IN_TRANSIT)
+        cart.transition(CartState.ARRIVED)
+        library.admit(cart)
+        assert cart.state == CartState.STORED
+
+    def test_admit_duplicate_rejected(self, library):
+        cart = fresh_cart()
+        library.admit(cart)
+        with pytest.raises(SchedulingError, match="already"):
+            library.admit(cart)
+
+    def test_capacity_enforced(self, env):
+        library = LibraryNode(env, capacity_slots=1)
+        library.admit(fresh_cart())
+        with pytest.raises(SchedulingError, match="full"):
+            library.admit(fresh_cart())
+
+    def test_checkout_makes_ready(self, library):
+        cart = fresh_cart()
+        library.admit(cart)
+        out = library.checkout(cart.cart_id)
+        assert out is cart
+        assert cart.state == CartState.READY
+        assert library.stored_count == 0
+
+    def test_checkout_unknown_rejected(self, library):
+        with pytest.raises(SchedulingError, match="not in the library"):
+            library.checkout(99999)
+
+
+class TestShardLookup:
+    def test_cart_holding(self, library):
+        cart = fresh_cart()
+        cart.load_shard(Shard("ds", 2, 0, 1 * TB))
+        library.admit(cart)
+        assert library.cart_holding("ds", 2) is cart
+
+    def test_cart_holding_missing(self, library):
+        with pytest.raises(SchedulingError, match="no library cart holds"):
+            library.cart_holding("ds", 0)
+
+    def test_idle_cart(self, library):
+        loaded = fresh_cart()
+        loaded.load_shard(Shard("ds", 0, 0, 1 * TB))
+        empty = fresh_cart()
+        library.admit(loaded)
+        library.admit(empty)
+        assert library.idle_cart() is empty
+
+    def test_idle_cart_none(self, library):
+        loaded = fresh_cart()
+        loaded.load_shard(Shard("ds", 0, 0, 1 * TB))
+        library.admit(loaded)
+        with pytest.raises(SchedulingError, match="no empty cart"):
+            library.idle_cart()
+
+
+class TestIngestPlan:
+    def test_one_cart_per_shard(self, library):
+        plan = plan_placement(synthetic_dataset(5 * 256 * TB), SsdArray())
+        carts = library.ingest_plan(plan, fresh_cart)
+        assert len(carts) == 5
+        assert library.stored_count == 5
+        for index, cart in enumerate(carts):
+            assert cart.holds(plan.dataset.name, index)
+
+    def test_inventory_mirrors_carts(self, library):
+        plan = plan_placement(synthetic_dataset(2 * 256 * TB), SsdArray())
+        library.ingest_plan(plan, fresh_cart)
+        assert len(library.inventory.occupied_slots) == 2
+
+
+class TestRepair:
+    def test_repair_degraded_cart(self, env, library):
+        cart = fresh_cart(parity=2)
+        cart.fail_drive(1)
+        library.admit(cart)
+        rebuild = env.run(until=library.repair_cart(cart.cart_id))
+        assert rebuild > 0
+        assert env.now == pytest.approx(rebuild)
+        assert cart.failed_drives == 0
+        assert library.repairs_performed == 1
+
+    def test_repair_clean_cart_instant(self, env, library):
+        cart = fresh_cart()
+        library.admit(cart)
+        rebuild = env.run(until=library.repair_cart(cart.cart_id))
+        assert rebuild == 0.0
+        assert library.repairs_performed == 0
+
+    def test_repair_unknown_rejected(self, library):
+        with pytest.raises(SchedulingError):
+            library.repair_cart(424242)

@@ -1,0 +1,70 @@
+"""Tests for operational telemetry accumulation."""
+
+import pytest
+
+from repro.dhlsim.metrics import Telemetry
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry(Environment())
+
+
+class TestEnergy:
+    def test_total_energy(self, telemetry):
+        telemetry.record_energy("launch", 100.0)
+        telemetry.record_energy("launch", 50.0)
+        telemetry.record_energy("vacuum", 10.0)
+        assert telemetry.total_energy() == pytest.approx(160.0)
+        assert telemetry.total_energy("launch") == pytest.approx(150.0)
+        assert telemetry.total_energy("vacuum") == pytest.approx(10.0)
+
+    def test_energy_by_category(self, telemetry):
+        telemetry.record_energy("a", 1.0)
+        telemetry.record_energy("b", 2.0)
+        telemetry.record_energy("a", 3.0)
+        assert telemetry.energy_by_category() == {"a": 4.0, "b": 2.0}
+
+    def test_samples_carry_timestamps(self):
+        env = Environment()
+        telemetry = Telemetry(env)
+
+        def worker():
+            yield env.timeout(5)
+            telemetry.record_energy("launch", 7.0)
+
+        env.process(worker())
+        env.run()
+        assert telemetry.samples[0].time_s == 5.0
+
+    def test_negative_energy_rejected(self, telemetry):
+        with pytest.raises(SimulationError):
+            telemetry.record_energy("launch", -1.0)
+
+    def test_average_power(self):
+        env = Environment()
+        telemetry = Telemetry(env)
+
+        def worker():
+            yield env.timeout(10)
+            telemetry.record_energy("launch", 100.0)
+
+        env.process(worker())
+        env.run()
+        assert telemetry.average_power() == pytest.approx(10.0)
+
+    def test_average_power_needs_elapsed_time(self, telemetry):
+        with pytest.raises(SimulationError):
+            telemetry.average_power()
+
+
+class TestCounters:
+    def test_increment(self, telemetry):
+        telemetry.increment("launches")
+        telemetry.increment("launches", by=2)
+        assert telemetry.count("launches") == 3
+
+    def test_unknown_counter_is_zero(self, telemetry):
+        assert telemetry.count("nothing") == 0

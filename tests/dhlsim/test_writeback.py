@@ -1,0 +1,108 @@
+"""Tests for the bulk write-back (backup) orchestration."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.core.physics import trip_time
+from repro.dhlsim.api import DhlApi
+from repro.dhlsim.scheduler import DhlSystem
+from repro.errors import SchedulingError
+from repro.sim import Environment
+from repro.storage.datasets import synthetic_dataset
+from repro.units import TB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def system_with_empties(env, n_carts=4, stations=2):
+    system = DhlSystem(env, stations_per_rack=stations)
+    system.add_empty_carts(n_carts)
+    return system
+
+
+class TestAddEmptyCarts:
+    def test_staged_in_library(self, env):
+        system = system_with_empties(env, n_carts=3)
+        assert system.library.stored_count == 3
+        assert all(not cart.shards for cart in system.library.carts.values())
+
+    def test_rejects_zero(self, env):
+        with pytest.raises(SchedulingError):
+            DhlSystem(env).add_empty_carts(0)
+
+
+class TestBulkWriteback:
+    def test_backup_lands_in_library(self, env):
+        system = system_with_empties(env, n_carts=3)
+        api = DhlApi(system)
+        backup = synthetic_dataset(3 * 256 * TB, name="backup")
+        report = env.run(until=api.bulk_writeback(backup))
+        assert report.shards_moved == 3
+        assert report.bytes_delivered == pytest.approx(backup.size_bytes)
+        # All carts back home, now loaded with the backup shards.
+        assert system.library.stored_count == 3
+        for index in range(3):
+            assert system.library.cart_holding("backup", index) is not None
+
+    def test_write_time_dominates(self, env):
+        # Writing 256 TB at 32 x 6 GB/s takes ~22 min per cart; trips are
+        # seconds.  The report must reflect write-bound elapsed time.
+        system = system_with_empties(env, n_carts=1, stations=1)
+        api = DhlApi(system)
+        backup = synthetic_dataset(256 * TB, name="wb")
+        report = env.run(until=api.bulk_writeback(backup))
+        write_time = 256e12 / (32 * 6e9)
+        assert report.elapsed_s == pytest.approx(
+            write_time + 2 * trip_time(DhlParams()), rel=0.01
+        )
+
+    def test_pipelines_across_stations(self, env):
+        serial_env = Environment()
+        serial = system_with_empties(serial_env, n_carts=4, stations=1)
+        serial_report = serial_env.run(
+            until=DhlApi(serial).bulk_writeback(
+                synthetic_dataset(4 * 256 * TB, name="wb-serial")
+            )
+        )
+        parallel_env = Environment()
+        parallel = system_with_empties(parallel_env, n_carts=4, stations=4)
+        parallel_report = parallel_env.run(
+            until=DhlApi(parallel).bulk_writeback(
+                synthetic_dataset(4 * 256 * TB, name="wb-par")
+            )
+        )
+        assert parallel_report.elapsed_s < serial_report.elapsed_s / 2
+
+    def test_insufficient_carts_rejected(self, env):
+        system = system_with_empties(env, n_carts=1)
+        api = DhlApi(system)
+        with pytest.raises(SchedulingError, match="needs 2 empty carts"):
+            env.run(until=api.bulk_writeback(
+                synthetic_dataset(2 * 256 * TB, name="too-big")
+            ))
+
+    def test_energy_accounting(self, env):
+        from repro.core.physics import launch_energy
+
+        system = system_with_empties(env, n_carts=2)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_writeback(
+            synthetic_dataset(2 * 256 * TB, name="wb-e")
+        ))
+        assert report.launches == 4
+        assert report.launch_energy_j == pytest.approx(
+            4 * launch_energy(DhlParams())
+        )
+
+    def test_roundtrip_backup_then_restore(self, env):
+        """Write a backup out, then Open/Read it back — full cycle."""
+        system = system_with_empties(env, n_carts=2)
+        api = DhlApi(system)
+        backup = synthetic_dataset(2 * 256 * TB, name="cycle")
+        env.run(until=api.bulk_writeback(backup))
+        restore = env.run(until=api.bulk_transfer(backup, read_payload=True))
+        assert restore.bytes_delivered == pytest.approx(backup.size_bytes)
+        assert system.library.stored_count == 2

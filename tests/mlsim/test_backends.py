@@ -1,0 +1,123 @@
+"""Tests for the optical and DHL ingestion backends."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.mlsim.backends import DhlBackend, NetworkBackend
+from repro.network.routes import ROUTE_A0, ROUTE_B
+from repro.units import PB, TB
+
+
+class TestNetworkBackend:
+    def test_power_scales_with_links(self):
+        backend = NetworkBackend(route=ROUTE_A0, n_links=10)
+        assert backend.power_w == pytest.approx(240.0)
+
+    def test_rate_scales_with_links(self):
+        backend = NetworkBackend(route=ROUTE_A0, n_links=2.5)
+        assert backend.rate == pytest.approx(125e9)
+
+    def test_deliveries_cover_total(self):
+        backend = NetworkBackend(route=ROUTE_A0, n_links=1, chunks=100)
+        deliveries = list(backend.deliveries(1 * PB))
+        assert len(deliveries) == 100
+        assert sum(d.n_bytes for d in deliveries) == pytest.approx(1 * PB)
+
+    def test_last_delivery_at_finish_time(self):
+        backend = NetworkBackend(route=ROUTE_A0, n_links=1, chunks=10)
+        deliveries = list(backend.deliveries(1 * PB))
+        assert deliveries[-1].time_s == pytest.approx(
+            backend.ingest_finish_time(1 * PB)
+        )
+
+    def test_deliveries_monotone(self):
+        backend = NetworkBackend(route=ROUTE_A0, n_links=3.3, chunks=50)
+        times = [d.time_s for d in backend.deliveries(2 * PB)]
+        assert times == sorted(times)
+
+    def test_for_power(self):
+        backend = NetworkBackend.for_power(ROUTE_B, power_budget_w=ROUTE_B.power_w * 7)
+        assert backend.n_links == pytest.approx(7.0)
+
+    def test_fractional_links_allowed(self):
+        backend = NetworkBackend.for_power(ROUTE_A0, power_budget_w=36.0)
+        assert backend.n_links == pytest.approx(1.5)
+
+    def test_rejects_zero_links(self):
+        with pytest.raises(ValueError):
+            NetworkBackend(route=ROUTE_A0, n_links=0)
+
+    def test_name_mentions_route(self):
+        assert "A0" in NetworkBackend(route=ROUTE_A0).name
+
+
+class TestDhlBackend:
+    def test_single_track_power_is_1_75kw(self):
+        backend = DhlBackend()
+        assert backend.per_track_power_w == pytest.approx(1748.3, abs=1)
+        assert backend.power_w == backend.per_track_power_w
+
+    def test_delivery_period_default(self):
+        assert DhlBackend().delivery_period_s == pytest.approx(8.6)
+
+    def test_charged_returns_double_period_same_power(self):
+        free = DhlBackend(charge_returns=False)
+        charged = DhlBackend(charge_returns=True)
+        assert charged.delivery_period_s == pytest.approx(2 * free.delivery_period_s)
+        assert charged.per_track_power_w == pytest.approx(free.per_track_power_w)
+
+    def test_deliveries_cart_quantised(self):
+        backend = DhlBackend()
+        deliveries = list(backend.deliveries(29_000 * TB))
+        assert len(deliveries) == 114
+        assert deliveries[0].n_bytes == 256 * TB
+        assert sum(d.n_bytes for d in deliveries) == pytest.approx(29 * PB)
+
+    def test_first_cart_after_one_trip(self):
+        deliveries = list(DhlBackend().deliveries(1 * TB))
+        assert len(deliveries) == 1
+        assert deliveries[0].time_s == pytest.approx(8.6)
+
+    def test_parallel_tracks_batch_arrivals(self):
+        backend = DhlBackend(n_tracks=4)
+        deliveries = list(backend.deliveries(8 * 256 * TB))
+        waves = sorted({round(d.time_s, 6) for d in deliveries})
+        assert waves == [pytest.approx(8.6), pytest.approx(17.2)]
+
+    def test_finish_time_closed_form(self):
+        backend = DhlBackend(n_tracks=4)
+        assert backend.ingest_finish_time(8 * 256 * TB) == pytest.approx(17.2)
+        assert backend.ingest_finish_time(29 * PB) == pytest.approx(
+            -(-114 // 4) * 8.6
+        )
+
+    def test_for_power_discrete(self):
+        backend = DhlBackend.for_power(DhlParams(), power_budget_w=5000.0)
+        assert backend.n_tracks == 2  # 5000 / 1748.3 = 2.86 -> 2
+
+    def test_for_power_below_single_track_rejected(self):
+        with pytest.raises(ConfigurationError, match="below a single track"):
+            DhlBackend.for_power(DhlParams(), power_budget_w=1000.0)
+
+    def test_rejects_zero_tracks(self):
+        with pytest.raises(ConfigurationError):
+            DhlBackend(n_tracks=0)
+
+    def test_name_is_paper_convention(self):
+        assert DhlBackend().name == "DHL-200-500-256-x1"
+
+    @given(
+        size_pb=st.floats(min_value=0.1, max_value=50),
+        n_tracks=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30)
+    def test_deliveries_match_closed_form(self, size_pb, n_tracks):
+        backend = DhlBackend(n_tracks=n_tracks)
+        deliveries = list(backend.deliveries(size_pb * PB))
+        assert deliveries[-1].time_s == pytest.approx(
+            backend.ingest_finish_time(size_pb * PB)
+        )
+        assert sum(d.n_bytes for d in deliveries) == pytest.approx(size_pb * PB)

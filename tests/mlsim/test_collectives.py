@@ -1,0 +1,115 @@
+"""Tests for collective-communication cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mlsim.collectives import (
+    allgather_time,
+    alltoall_time,
+    best_allreduce_time,
+    broadcast_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+
+GB = 1e9
+BW = 100e9
+
+
+class TestRingAllreduce:
+    def test_zero_latency_asymptote(self):
+        # 2(n-1)/n x size / bw with alpha = 0.
+        time = ring_allreduce_time(n=4, size=8 * GB, bw=BW, alpha=0.0)
+        assert time == pytest.approx(2 * 3 / 4 * 8 * GB / BW)
+
+    def test_single_rank_is_free(self):
+        assert ring_allreduce_time(1, GB, BW) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert ring_allreduce_time(8, 0.0, BW) == 0.0
+
+    def test_latency_term_scales_with_ranks(self):
+        fast = ring_allreduce_time(4, 1.0, BW, alpha=1e-3)
+        slow = ring_allreduce_time(64, 1.0, BW, alpha=1e-3)
+        assert slow > fast
+
+    def test_bandwidth_term_saturates_with_ranks(self):
+        # The 2(n-1)/n factor approaches 2: large-n all-reduce moves ~2x
+        # the message per rank regardless of scale.
+        small = ring_allreduce_time(2, 10 * GB, BW, alpha=0.0)
+        large = ring_allreduce_time(1024, 10 * GB, BW, alpha=0.0)
+        assert small == pytest.approx(10 * GB / BW)
+        assert large == pytest.approx(2 * 10 * GB / BW, rel=0.01)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_time(0, GB, BW)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_time(4, -1.0, BW)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_time(4, GB, 0.0)
+
+
+class TestTreeAndBest:
+    def test_tree_depth_log2(self):
+        time = tree_allreduce_time(8, GB, BW, alpha=0.0)
+        assert time == pytest.approx(2 * 3 * GB / BW)
+
+    def test_tree_wins_for_tiny_messages(self):
+        n, size = 256, 1024.0
+        assert tree_allreduce_time(n, size, BW) < ring_allreduce_time(n, size, BW)
+
+    def test_ring_wins_for_huge_messages(self):
+        n, size = 256, 100 * GB
+        assert ring_allreduce_time(n, size, BW) < tree_allreduce_time(n, size, BW)
+
+    def test_best_picks_minimum(self):
+        for n, size in ((256, 1024.0), (256, 100 * GB)):
+            assert best_allreduce_time(n, size, BW) == min(
+                ring_allreduce_time(n, size, BW), tree_allreduce_time(n, size, BW)
+            )
+
+    @given(
+        n=st.integers(min_value=1, max_value=1024),
+        size_gb=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_best_never_worse_than_either(self, n, size_gb):
+        size = size_gb * GB
+        best = best_allreduce_time(n, size, BW)
+        assert best <= ring_allreduce_time(n, size, BW) + 1e-12
+        assert best <= tree_allreduce_time(n, size, BW) + 1e-12
+
+
+class TestOtherCollectives:
+    def test_allgather_single_step_per_peer(self):
+        time = allgather_time(4, 4 * GB, BW, alpha=0.0)
+        assert time == pytest.approx(3 * GB / BW)
+
+    def test_reduce_scatter_matches_allgather(self):
+        assert reduce_scatter_time(8, GB, BW) == allgather_time(8, GB, BW)
+
+    def test_allreduce_is_reduce_scatter_plus_allgather(self):
+        n, size = 16, 5 * GB
+        assert ring_allreduce_time(n, size, BW, alpha=0.0) == pytest.approx(
+            reduce_scatter_time(n, size, BW, alpha=0.0)
+            + allgather_time(n, size, BW, alpha=0.0)
+        )
+
+    def test_alltoall(self):
+        time = alltoall_time(8, 8 * GB, BW, alpha=0.0)
+        assert time == pytest.approx(7 * GB / BW)
+
+    def test_broadcast_log_depth(self):
+        time = broadcast_time(16, GB, BW, alpha=0.0)
+        assert time == pytest.approx(4 * GB / BW)
+
+    def test_all_free_with_one_rank(self):
+        for fn in (allgather_time, alltoall_time, broadcast_time):
+            assert fn(1, GB, BW) == 0.0

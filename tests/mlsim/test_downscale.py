@@ -1,0 +1,69 @@
+"""Tests for the Section IV-E downscaling methodology reproduction."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.mlsim.backends import DhlBackend
+from repro.mlsim.downscale import (
+    PAPER_DOWNSCALE_FACTOR,
+    ScaledBackend,
+    downscaled_dhl_study,
+    downscaled_network_study,
+)
+
+
+class TestScaledBackend:
+    def test_schedule_shrinks_linearly(self):
+        inner = DhlBackend()
+        scaled = ScaledBackend(inner=inner, factor=10.0)
+        from repro.units import TB
+
+        original = list(inner.deliveries(10 * 256 * TB))
+        shrunk = list(scaled.deliveries(256 * TB))  # = original / 10
+        assert len(shrunk) == len(original)
+        for small, big in zip(shrunk, original):
+            assert small.time_s == pytest.approx(big.time_s / 10)
+            assert small.n_bytes == pytest.approx(big.n_bytes / 10)
+
+    def test_power_unchanged(self):
+        inner = DhlBackend()
+        assert ScaledBackend(inner, 1e7).power_w == inner.power_w
+
+    def test_finish_time_scales(self):
+        from repro.units import PB
+
+        inner = DhlBackend()
+        scaled = ScaledBackend(inner, 100.0)
+        assert scaled.ingest_finish_time(29 * PB / 100) == pytest.approx(
+            inner.ingest_finish_time(29 * PB) / 100
+        )
+
+
+class TestPaperMethodology:
+    def test_dhl_downscaling_is_exact(self):
+        """The paper's 1e7 trick introduces no error in our simulator:
+        time per iteration is linear in dataset size, as they verified."""
+        result = downscaled_dhl_study()
+        assert result.factor == PAPER_DOWNSCALE_FACTOR
+        assert abs(result.relative_error) < 1e-9
+
+    def test_network_downscaling_is_exact(self):
+        result = downscaled_network_study()
+        assert abs(result.relative_error) < 1e-9
+
+    def test_multiple_tracks(self):
+        result = downscaled_dhl_study(n_tracks=4, factor=1e5)
+        assert abs(result.relative_error) < 1e-9
+
+    def test_custom_config(self):
+        result = downscaled_dhl_study(
+            params=DhlParams(max_speed=300.0, ssds_per_cart=64), factor=1e4
+        )
+        assert abs(result.relative_error) < 1e-9
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ConfigurationError):
+            downscaled_dhl_study(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            downscaled_network_study(factor=0.5)

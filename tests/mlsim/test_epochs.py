@@ -1,0 +1,103 @@
+"""Tests for multi-run training studies and cost amortisation."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.mlsim.backends import DhlBackend
+from repro.mlsim.epochs import (
+    ReuseStudy,
+    TrainingRun,
+    reuse_study,
+    simulate_run,
+)
+from repro.mlsim.workload import TrainingIteration
+from repro.network.routes import ROUTE_A0, ROUTE_B, ROUTE_C
+
+
+class TestTrainingRun:
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            TrainingRun(iteration=TrainingIteration(), n_iterations=0)
+
+    def test_run_scales_linearly(self):
+        run = TrainingRun(iteration=TrainingIteration(), n_iterations=10)
+        result = simulate_run(run, DhlBackend())
+        assert result.total_time_s == pytest.approx(
+            10 * result.per_iteration.time_per_iter_s
+        )
+        assert result.total_comm_energy_j == pytest.approx(
+            10 * result.per_iteration.comm_energy_j
+        )
+
+    def test_electricity_cost(self):
+        run = TrainingRun(iteration=TrainingIteration(), n_iterations=1)
+        result = simulate_run(run, DhlBackend())
+        assert result.electricity_cost_usd(usd_per_kwh=1.0) == pytest.approx(
+            result.total_comm_kwh
+        )
+
+    def test_cost_rejects_zero_price(self):
+        run = TrainingRun(iteration=TrainingIteration(), n_iterations=1)
+        result = simulate_run(run, DhlBackend())
+        with pytest.raises(ValueError):
+            result.electricity_cost_usd(usd_per_kwh=0.0)
+
+
+class TestReuseStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return reuse_study(ROUTE_B, iterations_per_model=1000, models_trained=20)
+
+    def test_dhl_saves_energy_per_model(self, study):
+        assert study.energy_saving_per_model_j > 0
+
+    def test_iso_power_means_time_ratio_is_energy_ratio(self, study):
+        # Same power, so energy ratio == time ratio.
+        assert (
+            study.network.total_comm_energy_j / study.dhl.total_comm_energy_j
+        ) == pytest.approx(
+            study.network.total_time_s / study.dhl.total_time_s
+        )
+
+    def test_capital_amortises_within_a_few_models(self, study):
+        # At ~1000 iterations/model the DHL pays for itself quickly —
+        # the Section II-D3 recurring-savings argument.
+        assert study.models_to_amortise < 10
+        assert study.pays_off
+
+    def test_total_saving_positive(self, study):
+        assert study.total_saving_usd > 0
+
+    def test_costlier_route_amortises_faster(self):
+        cheap = reuse_study(ROUTE_A0, iterations_per_model=1000, models_trained=5)
+        costly = reuse_study(ROUTE_C, iterations_per_model=1000, models_trained=5)
+        assert costly.models_to_amortise < cheap.models_to_amortise
+
+    def test_single_link_mode(self):
+        study = reuse_study(
+            ROUTE_A0, iterations_per_model=10, models_trained=2, iso_power=False
+        )
+        # A single link draws less power but runs vastly longer.
+        assert study.network.per_iteration.comm_power_w == pytest.approx(24.0)
+        assert study.network.total_time_s > study.dhl.total_time_s * 100
+
+    def test_rejects_zero_models(self):
+        with pytest.raises(ConfigurationError):
+            reuse_study(ROUTE_A0, models_trained=0)
+
+    def test_custom_params_flow_through(self):
+        study = reuse_study(
+            ROUTE_A0,
+            params=DhlParams(ssds_per_cart=64),
+            iterations_per_model=10,
+            models_trained=2,
+        )
+        assert isinstance(study, ReuseStudy)
+        assert study.params.ssds_per_cart == 64
+        # Bigger carts: the library needs fewer trips, cutting ingest time.
+        default = reuse_study(ROUTE_A0, iterations_per_model=10, models_trained=2)
+        assert (
+            study.dhl.per_iteration.ingest_finish_s
+            < default.dhl.per_iteration.ingest_finish_s
+        )

@@ -1,0 +1,111 @@
+"""Tests for the event-driven training-iteration simulator."""
+
+import pytest
+
+from repro.mlsim.backends import DhlBackend, NetworkBackend
+from repro.mlsim.trainer import iteration_time_closed_form, simulate_iteration
+from repro.mlsim.workload import ClusterSpec, TrainingIteration, dlrm_iteration
+from repro.network.routes import ROUTE_A0
+from repro.units import PB, TB
+
+
+class TestDhlIteration:
+    def test_single_dhl_near_paper_1350s(self):
+        result = simulate_iteration(TrainingIteration(), DhlBackend())
+        # Paper Table VII: 1350 s.  Our compute-floor model lands within 1%.
+        assert result.time_per_iter_s == pytest.approx(1350, rel=0.02)
+
+    def test_ingest_finishes_before_compute(self):
+        result = simulate_iteration(TrainingIteration(), DhlBackend())
+        # A single DHL delivers 29 PB in ~980 s, under the ~1350 s floor.
+        assert result.ingest_finish_s == pytest.approx(114 * 8.6, rel=0.01)
+        assert result.compute_finish_s > result.ingest_finish_s
+
+    def test_many_tracks_hit_compute_floor(self):
+        iteration = TrainingIteration()
+        result = simulate_iteration(iteration, DhlBackend(n_tracks=16))
+        assert result.compute_finish_s == pytest.approx(
+            iteration.compute_floor_s, rel=0.02
+        )
+
+    def test_energy_is_power_times_time(self):
+        result = simulate_iteration(TrainingIteration(), DhlBackend())
+        assert result.comm_energy_j == pytest.approx(
+            result.comm_power_w * result.time_per_iter_s
+        )
+
+
+class TestNetworkIteration:
+    def test_single_link_ingest_bound(self):
+        iteration = TrainingIteration()
+        result = simulate_iteration(iteration, NetworkBackend(route=ROUTE_A0))
+        # One 400G link: 580 000 s of ingest dominates.
+        assert result.time_per_iter_s == pytest.approx(580_000, rel=0.01)
+
+    def test_overprovisioned_network_hits_floor(self):
+        iteration = TrainingIteration()
+        fat = NetworkBackend(route=ROUTE_A0, n_links=10_000)
+        result = simulate_iteration(iteration, fat)
+        assert result.time_per_iter_s == pytest.approx(
+            iteration.compute_floor_s, rel=0.02
+        )
+
+    def test_more_links_strictly_faster_until_floor(self):
+        iteration = TrainingIteration()
+        times = [
+            simulate_iteration(
+                iteration, NetworkBackend(route=ROUTE_A0, n_links=n)
+            ).time_per_iter_s
+            for n in (10, 50, 100)
+        ]
+        assert times[0] > times[1] > times[2]
+
+
+class TestClosedFormAgreement:
+    @pytest.mark.parametrize("n_tracks", [1, 2, 4])
+    def test_dhl_sim_close_to_fluid(self, n_tracks):
+        iteration = TrainingIteration()
+        backend = DhlBackend(n_tracks=n_tracks)
+        simulated = simulate_iteration(iteration, backend).time_per_iter_s
+        fluid = iteration_time_closed_form(iteration, backend)
+        # The event-driven sim adds at most one cart's compute tail.
+        cart_tail = 256 * TB / iteration.cluster.aggregate_consume_bw
+        assert fluid <= simulated <= fluid + cart_tail + 1.0
+
+    @pytest.mark.parametrize("n_links", [5.0, 72.9, 500.0])
+    def test_network_sim_close_to_fluid(self, n_links):
+        iteration = TrainingIteration()
+        backend = NetworkBackend(route=ROUTE_A0, n_links=n_links)
+        simulated = simulate_iteration(iteration, backend).time_per_iter_s
+        fluid = iteration_time_closed_form(iteration, backend)
+        assert simulated == pytest.approx(fluid, rel=0.01)
+
+
+class TestScaling:
+    def test_paper_linearity_claim(self):
+        # Section IV-E: time per GD iteration is linear in dataset size
+        # (the justification for the paper's 1e7 downscaling trick).  The
+        # fluid model is exactly linear; the event-driven sim deviates by
+        # at most the fixed per-cart quantisation tail.
+        backend = DhlBackend()
+        small_fluid = iteration_time_closed_form(dlrm_iteration(2.9 * PB), backend)
+        large_fluid = iteration_time_closed_form(dlrm_iteration(29 * PB), backend)
+        assert large_fluid == pytest.approx(10 * small_fluid, rel=0.01)
+
+        small = simulate_iteration(dlrm_iteration(2.9 * PB), DhlBackend())
+        large = simulate_iteration(dlrm_iteration(29 * PB), DhlBackend())
+        assert large.time_per_iter_s == pytest.approx(
+            10 * small.time_per_iter_s, rel=0.07
+        )
+
+    def test_allreduce_small_but_positive(self):
+        result = simulate_iteration(TrainingIteration(), DhlBackend())
+        assert 0 < result.allreduce_s < 5.0
+
+    def test_slow_cluster_becomes_bottleneck(self):
+        slow_cluster = ClusterSpec(n_nodes=16)
+        iteration = TrainingIteration(cluster=slow_cluster)
+        result = simulate_iteration(iteration, DhlBackend(n_tracks=8))
+        assert result.compute_finish_s == pytest.approx(
+            iteration.compute_floor_s, rel=0.01
+        )

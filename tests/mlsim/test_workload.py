@@ -1,0 +1,64 @@
+"""Tests for the DLRM workload and cluster calibration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mlsim.workload import ClusterSpec, TrainingIteration, dlrm_iteration
+from repro.units import PB, TB
+
+
+class TestClusterSpec:
+    def test_aggregate_throughput(self):
+        cluster = ClusterSpec(n_nodes=10, per_node_consume_bw=1e9)
+        assert cluster.aggregate_consume_bw == 1e10
+
+    def test_default_calibration(self):
+        # Aggregate ~21.5 TB/s so 29 PB bottoms out near the paper's 1350 s.
+        cluster = ClusterSpec()
+        assert cluster.aggregate_consume_bw == pytest.approx(21.48e12, rel=0.01)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_nodes=0)
+
+    def test_rejects_zero_bandwidths(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(per_node_consume_bw=0)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(allreduce_link_bw=0)
+
+
+class TestTrainingIteration:
+    def test_default_dataset_is_29pb(self):
+        iteration = TrainingIteration()
+        assert iteration.dataset.size_bytes == 29 * PB
+
+    def test_compute_floor_near_1350s(self):
+        iteration = TrainingIteration()
+        assert iteration.compute_floor_s == pytest.approx(1350, rel=0.01)
+
+    def test_dense_gradient_fraction(self):
+        iteration = TrainingIteration()
+        assert iteration.dense_gradient_bytes == pytest.approx(
+            iteration.model.size_bytes * 1e-3
+        )
+
+    def test_rejects_bad_dense_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TrainingIteration(dense_fraction=0.0)
+
+    def test_compute_floor_scales_with_dataset(self):
+        small = dlrm_iteration(dataset_bytes=2.9 * PB)
+        big = dlrm_iteration(dataset_bytes=29 * PB)
+        assert big.compute_floor_s == pytest.approx(10 * small.compute_floor_s)
+
+
+class TestDlrmFactory:
+    def test_default_size_uses_catalogue_dataset(self):
+        iteration = dlrm_iteration()
+        assert iteration.dataset.name == "Meta ML (large)"
+
+    def test_custom_size_makes_synthetic(self):
+        iteration = dlrm_iteration(dataset_bytes=100 * TB)
+        assert iteration.dataset.size_bytes == 100 * TB
+        assert iteration.dataset.category == "Synthetic"

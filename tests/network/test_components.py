@@ -1,0 +1,88 @@
+"""Tests for Table III component power models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.components import (
+    ENDPOINT_NIC_W,
+    NIC_100G,
+    NIC_2X200G,
+    PowerRange,
+    SWITCH_9364D_GX2A,
+    SWITCH_PORT_ACTIVE_W,
+    SWITCH_PORT_PASSIVE_W,
+    SWITCH_QM9700,
+    TABLE_III_COMPONENTS,
+    TRANSCEIVER_400G,
+    TRANSCEIVER_W,
+)
+
+
+class TestPowerRange:
+    def test_interpolation(self):
+        power = PowerRange(10, 20)
+        assert power.at(0.0) == 10
+        assert power.at(1.0) == 20
+        assert power.at(0.5) == 15
+        assert power.mid_w == 15
+
+    def test_contains(self):
+        power = PowerRange(17, 23.3)
+        assert power.contains(19.8)
+        assert not power.contains(25)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            PowerRange(20, 10)
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PowerRange(10, 20).at(1.5)
+
+
+class TestTableIii:
+    def test_transceiver_12w(self):
+        assert TRANSCEIVER_400G.power_w == 12.0
+
+    def test_nic_100g_range(self):
+        assert NIC_100G.power.low_w == 15.8
+        assert NIC_100G.power.high_w == 22.5
+
+    def test_nic_2x200g_bolded_row(self):
+        assert NIC_2X200G.power.low_w == 17.0
+        assert NIC_2X200G.power.high_w == 23.3
+        assert NIC_2X200G.ports == 2
+        assert NIC_2X200G.total_speed_bps == 400e9
+
+    def test_qm9700_bolded_row(self):
+        assert SWITCH_QM9700.ports == 32
+        assert SWITCH_QM9700.power.low_w == 747
+        assert SWITCH_QM9700.power.high_w == 1720
+
+    def test_cisco_row(self):
+        assert SWITCH_9364D_GX2A.ports == 64
+        assert SWITCH_9364D_GX2A.power.low_w == 1324
+        assert SWITCH_9364D_GX2A.power.high_w == 3000
+
+    def test_catalogue_has_five_rows(self):
+        assert len(TABLE_III_COMPONENTS) == 5
+
+
+class TestOperatingPoints:
+    def test_transceiver_constant(self):
+        assert TRANSCEIVER_W == 12.0
+
+    def test_endpoint_nic_within_envelope(self):
+        assert NIC_2X200G.power.contains(ENDPOINT_NIC_W)
+
+    def test_switch_port_powers_from_chassis(self):
+        assert SWITCH_PORT_PASSIVE_W == pytest.approx(747 / 32)
+        assert SWITCH_PORT_ACTIVE_W == pytest.approx(1720 / 32)
+
+    def test_port_power_helper(self):
+        assert SWITCH_QM9700.port_power(active=False) == SWITCH_PORT_PASSIVE_W
+        assert SWITCH_QM9700.port_power(active=True) == SWITCH_PORT_ACTIVE_W
+
+    def test_active_costs_more_than_passive(self):
+        assert SWITCH_PORT_ACTIVE_W > SWITCH_PORT_PASSIVE_W
+        assert SWITCH_9364D_GX2A.active_port_w > SWITCH_9364D_GX2A.passive_port_w

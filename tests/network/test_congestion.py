@@ -1,0 +1,202 @@
+"""Tests for max-min fair sharing and the bulk-transfer impact study."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.congestion import (
+    Flow,
+    SharedNetwork,
+    bulk_transfer_impact,
+    paper_backup_scenario,
+)
+from repro.network.topology import FatTree
+from repro.units import gbps
+
+
+@pytest.fixture
+def network():
+    return SharedNetwork()
+
+
+def servers(network):
+    tree = network.tree
+    return tree
+
+
+class TestFlowValidation:
+    def test_rejects_zero_demand(self):
+        with pytest.raises(ConfigurationError):
+            Flow("f", "a", "b", demand_bytes_per_s=0)
+
+    def test_rejects_self_flow(self):
+        with pytest.raises(TopologyError):
+            Flow("f", "a", "a")
+
+
+class TestMaxMinFairness:
+    def test_single_flow_gets_full_link(self, network):
+        tree = network.tree
+        flow = Flow("solo", tree.server(0, 0, 0), tree.server(0, 0, 1))
+        allocation = network.allocate([flow])
+        assert allocation.rate("solo") == pytest.approx(gbps(400))
+
+    def test_two_flows_share_common_link_equally(self, network):
+        tree = network.tree
+        src = tree.server(0, 0, 0)
+        flows = [
+            Flow("a", src, tree.server(0, 0, 1)),
+            Flow("b", src, tree.server(0, 0, 2)),
+        ]
+        allocation = network.allocate(flows)
+        assert allocation.rate("a") == pytest.approx(gbps(200))
+        assert allocation.rate("b") == pytest.approx(gbps(200))
+
+    def test_disjoint_flows_do_not_interfere(self, network):
+        tree = network.tree
+        flows = [
+            Flow("a", tree.server(0, 0, 0), tree.server(0, 0, 1)),
+            Flow("b", tree.server(0, 3, 0), tree.server(0, 3, 1)),
+        ]
+        allocation = network.allocate(flows)
+        assert allocation.rate("a") == pytest.approx(gbps(400))
+        assert allocation.rate("b") == pytest.approx(gbps(400))
+
+    def test_demand_cap_respected(self, network):
+        tree = network.tree
+        src = tree.server(0, 0, 0)
+        flows = [
+            Flow("small", src, tree.server(0, 0, 1), demand_bytes_per_s=gbps(40)),
+            Flow("big", src, tree.server(0, 0, 2)),
+        ]
+        allocation = network.allocate(flows)
+        assert allocation.rate("small") == pytest.approx(gbps(40))
+        # Max-min: the leftover goes to the elastic flow.
+        assert allocation.rate("big") == pytest.approx(gbps(360))
+
+    def test_no_link_exceeds_capacity(self, network):
+        tree = network.tree
+        src = tree.server(0, 0, 0)
+        flows = [
+            Flow(f"f{i}", src, tree.server(0, 1, i)) for i in range(5)
+        ]
+        allocation = network.allocate(flows)
+        # All five share the source access link.
+        assert allocation.total_rate <= gbps(400) * 1.001
+        for rate in allocation.rates.values():
+            assert rate == pytest.approx(gbps(80))
+
+    def test_duplicate_names_rejected(self, network):
+        tree = network.tree
+        flow = Flow("dup", tree.server(0, 0, 0), tree.server(0, 0, 1))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            network.allocate([flow, flow])
+
+    def test_empty_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            network.allocate([])
+
+    def test_custom_capacity(self):
+        network = SharedNetwork(link_capacity=gbps(100))
+        tree = network.tree
+        flow = Flow("solo", tree.server(0, 0, 0), tree.server(1, 0, 0))
+        assert network.allocate([flow]).rate("solo") == pytest.approx(gbps(100))
+
+    def test_custom_tree(self):
+        from repro.network.topology import FatTreeSpec
+
+        network = SharedNetwork(tree=FatTree(FatTreeSpec(aisles=3)))
+        tree = network.tree
+        flow = Flow("solo", tree.server(0, 0, 0), tree.server(2, 0, 0))
+        assert network.allocate([flow]).rate("solo") == pytest.approx(gbps(400))
+
+
+class TestBulkImpact:
+    def test_paper_backup_scenario_steals_bandwidth(self):
+        impact = paper_backup_scenario()
+        # Sections I/II-D2: the bulk transfer claims a static share,
+        # visibly denting co-running services.
+        assert impact.foreground_loss > 0.2
+        assert impact.bulk_rate > 0
+
+    def test_no_impact_when_paths_disjoint(self):
+        network = SharedNetwork()
+        tree = network.tree
+        foreground = [Flow("fg", tree.server(0, 3, 0), tree.server(0, 3, 1))]
+        bulk = Flow("bulk", tree.server(0, 0, 0), tree.server(0, 0, 1))
+        impact = bulk_transfer_impact(network, foreground, bulk)
+        assert impact.foreground_loss == pytest.approx(0.0)
+
+    def test_impact_needs_foreground(self):
+        network = SharedNetwork()
+        tree = network.tree
+        bulk = Flow("bulk", tree.server(0, 0, 0), tree.server(0, 0, 1))
+        with pytest.raises(ConfigurationError):
+            bulk_transfer_impact(network, [], bulk)
+
+    def test_dhl_counterfactual(self):
+        """With the bulk moved by DHL, foreground rates are the baseline:
+        the allocation difference *is* the DHL's congestion benefit."""
+        impact = paper_backup_scenario()
+        for name in impact.foreground_flows:
+            assert impact.baseline.rate(name) >= impact.contended.rate(name)
+
+
+class TestEcmp:
+    def test_colliding_flows_split_across_aggs(self):
+        """Two cross-rack flows that collide on one aggregation uplink
+        under single-path routing each get their full access-link rate
+        once ECMP spreads them over both aggregation switches."""
+        from repro.network.congestion import EcmpNetwork
+
+        single = SharedNetwork()
+        ecmp = EcmpNetwork()
+        tree = single.tree
+        flows = [
+            Flow("a", tree.server(0, 0, 0), tree.server(0, 1, 0)),
+            Flow("b", tree.server(0, 0, 1), tree.server(0, 1, 1)),
+        ]
+        single_alloc = single.allocate(flows)
+        ecmp_alloc = ecmp.allocate([Flow(f.name, f.src, f.dst) for f in flows])
+        for name in ("a", "b"):
+            assert ecmp_alloc.rate(name) >= single_alloc.rate(name)
+        assert ecmp_alloc.rate("a") == pytest.approx(gbps(400))
+
+    def test_ecmp_never_worse_on_paper_scenario(self):
+        from repro.network.congestion import EcmpNetwork
+
+        tree = FatTree()
+        storage = tree.server(0, 0, 0)
+        foreground = [
+            Flow("svc-a", storage, tree.server(0, 1, 1)),
+            Flow("svc-b", storage, tree.server(0, 2, 2)),
+        ]
+        single = SharedNetwork(tree=tree).allocate(foreground)
+        ecmp = EcmpNetwork(tree=tree).allocate(
+            [Flow(f.name, f.src, f.dst) for f in foreground]
+        )
+        for flow in foreground:
+            assert ecmp.rate(flow.name) >= single.rate(flow.name) - 1e-6
+
+    def test_ecmp_still_capped_by_access_link(self):
+        from repro.network.congestion import EcmpNetwork
+
+        ecmp = EcmpNetwork()
+        tree = ecmp.tree
+        src = tree.server(0, 0, 0)
+        flows = [
+            Flow("a", src, tree.server(0, 1, 0)),
+            Flow("b", src, tree.server(0, 2, 0)),
+        ]
+        allocation = ecmp.allocate(flows)
+        # Both flows share the single server access link regardless of
+        # how many core paths exist.
+        assert allocation.total_rate <= gbps(400) * 1.001
+
+    def test_ecmp_single_path_pair_unchanged(self):
+        """Same-rack flows have one shortest path; ECMP == single-path."""
+        from repro.network.congestion import EcmpNetwork
+
+        ecmp = EcmpNetwork()
+        tree = ecmp.tree
+        flow = Flow("solo", tree.server(0, 0, 0), tree.server(0, 0, 1))
+        assert ecmp.allocate([flow]).rate("solo") == pytest.approx(gbps(400))

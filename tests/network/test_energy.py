@@ -1,0 +1,56 @@
+"""Tests for Fig. 2 route energies — the paper's exact MJ column."""
+
+import pytest
+
+from repro.network.energy import baseline_transfer_time, fig2_energies, route_energy
+from repro.network.routes import FIG2_ROUTES, ROUTE_B
+from repro.storage.datasets import synthetic_dataset
+from repro.units import DAY, PB
+
+PAPER_FIG2_MJ = {
+    "A0": 13.92,
+    "A1": 22.97,
+    "A2": 50.05,
+    "B": 174.75,
+    "C": 299.45,
+}
+
+
+class TestFig2Exact:
+    def test_all_route_energies_match_paper(self):
+        energies = fig2_energies()
+        for name, expected_mj in PAPER_FIG2_MJ.items():
+            assert energies[name].energy_mj == pytest.approx(expected_mj, abs=0.005), name
+
+    def test_baseline_time(self):
+        assert baseline_transfer_time() == pytest.approx(580_000)
+        assert baseline_transfer_time() / DAY == pytest.approx(6.71, abs=0.01)
+
+    def test_energy_equals_power_times_time(self):
+        for entry in fig2_energies().values():
+            assert entry.energy_j == pytest.approx(
+                entry.power_w * entry.transfer_time_s
+            )
+
+    def test_all_five_routes_present(self):
+        assert set(fig2_energies()) == {route.name for route in FIG2_ROUTES}
+
+
+class TestScaling:
+    def test_energy_linear_in_dataset_size(self):
+        small = route_energy(ROUTE_B, dataset=synthetic_dataset(1 * PB))
+        large = route_energy(ROUTE_B, dataset=synthetic_dataset(29 * PB))
+        assert large.energy_j == pytest.approx(29 * small.energy_j)
+
+    def test_faster_link_reduces_time_not_energy_rate(self):
+        slow = route_energy(ROUTE_B, link_gbps=400)
+        fast = route_energy(ROUTE_B, link_gbps=800)
+        assert fast.transfer_time_s == pytest.approx(slow.transfer_time_s / 2)
+        # Same route power; half the time means half the energy.
+        assert fast.energy_j == pytest.approx(slow.energy_j / 2)
+
+    def test_route_ordering_preserved_for_any_dataset(self):
+        dataset = synthetic_dataset(3 * PB)
+        energies = fig2_energies(dataset=dataset)
+        values = [energies[name].energy_j for name in ("A0", "A1", "A2", "B", "C")]
+        assert values == sorted(values)

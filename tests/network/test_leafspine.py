@@ -1,0 +1,91 @@
+"""Tests for the leaf-spine topology alternative."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.congestion import EcmpNetwork, Flow, SharedNetwork
+from repro.network.leafspine import (
+    LeafSpine,
+    LeafSpineSpec,
+    leaf_spine_routes,
+    topology_energy_comparison,
+)
+from repro.network.routes import ROUTE_A2, ROUTE_B, ROUTE_C
+from repro.units import gbps
+
+
+class TestConstruction:
+    def test_default_shape(self):
+        fabric = LeafSpine()
+        assert len(fabric.servers()) == 64
+        assert len(fabric.switches("tor")) == 8
+        assert len(fabric.switches("agg")) == 4
+
+    def test_full_mesh_leaf_to_spine(self):
+        fabric = LeafSpine(LeafSpineSpec(leaves=3, spines=2, servers_per_leaf=1))
+        for leaf in range(3):
+            for spine in range(2):
+                assert fabric.graph.has_edge(f"leaf-{leaf}", f"spine-{spine}")
+
+    def test_rejects_degenerate_spec(self):
+        with pytest.raises(TopologyError):
+            LeafSpineSpec(leaves=0)
+
+    def test_server_lookup_compatible(self):
+        fabric = LeafSpine()
+        assert fabric.server(0, 2, 3) == "srv-a0-r2-n3"
+
+
+class TestRoutes:
+    def test_same_leaf_matches_a2(self):
+        routes = leaf_spine_routes()
+        assert routes["same-leaf"].power_w == pytest.approx(ROUTE_A2.power_w)
+
+    def test_cross_leaf_is_three_switches(self):
+        routes = leaf_spine_routes()
+        assert routes["cross-leaf"].switches == 3
+        assert routes["cross-leaf"].power_w == pytest.approx(ROUTE_B.power_w)
+
+    def test_no_route_reaches_fat_tree_worst_case(self):
+        # Leaf-spine has no third tier: worst case is 3 switches, so
+        # route C's 5-switch power is unreachable.
+        routes = leaf_spine_routes()
+        assert max(route.power_w for route in routes.values()) < ROUTE_C.power_w
+
+
+class TestEnergyComparison:
+    def test_flatter_fabric_cheaper_worst_case(self):
+        comparison = topology_energy_comparison()
+        assert comparison["leaf-spine-worst"] < comparison["fat-tree-worst"]
+        # 3 vs 5 switches: 174.75 vs 299.45 MJ for 29 PB.
+        assert comparison["leaf-spine-worst"] / 1e6 == pytest.approx(174.75, abs=0.01)
+        assert comparison["fat-tree-worst"] / 1e6 == pytest.approx(299.45, abs=0.01)
+
+    def test_both_lose_to_dhl(self):
+        from repro.core.model import plan_campaign
+        from repro.core.params import DhlParams
+
+        dhl = plan_campaign(DhlParams()).energy_j
+        comparison = topology_energy_comparison()
+        assert all(energy > 10 * dhl for energy in comparison.values())
+
+
+class TestCongestionOnLeafSpine:
+    def test_shared_network_runs_on_leaf_spine(self):
+        fabric = LeafSpine()
+        network = SharedNetwork(tree=fabric)
+        flow = Flow("solo", fabric.server(0, 0, 0), fabric.server(0, 1, 0))
+        assert network.allocate([flow]).rate("solo") == pytest.approx(gbps(400))
+
+    def test_ecmp_uses_all_spines(self):
+        fabric = LeafSpine(LeafSpineSpec(leaves=2, spines=4, servers_per_leaf=4))
+        ecmp = EcmpNetwork(tree=fabric)
+        flows = [
+            Flow(f"f{i}", fabric.server(0, 0, i), fabric.server(0, 1, i))
+            for i in range(4)
+        ]
+        allocation = ecmp.allocate(flows)
+        # Four flows, four spine paths each: leaf uplink capacity is
+        # 4 x 400G, so every flow keeps its full access rate.
+        for index in range(4):
+            assert allocation.rate(f"f{index}") == pytest.approx(gbps(400))

@@ -1,0 +1,95 @@
+"""Tests for the five Fig. 2 routes and topology-derived equivalents."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.routes import (
+    FIG2_ROUTES,
+    ROUTE_A0,
+    ROUTE_A1,
+    ROUTE_A2,
+    ROUTE_B,
+    ROUTE_C,
+    Route,
+    derive_route,
+    fig2_scenario_endpoints,
+    route_by_name,
+)
+from repro.network.topology import FatTree
+
+
+class TestRoutePowers:
+    """The operating points must reproduce the Fig. 2 powers exactly."""
+
+    def test_a0_power(self):
+        assert ROUTE_A0.power_w == pytest.approx(24.0)
+
+    def test_a1_power(self):
+        assert ROUTE_A1.power_w == pytest.approx(39.6)
+
+    def test_a2_power(self):
+        assert ROUTE_A2.power_w == pytest.approx(39.6 + 2 * 747 / 32)
+
+    def test_b_power(self):
+        assert ROUTE_B.power_w == pytest.approx(39.6 + 2 * 747 / 32 + 4 * 1720 / 32)
+
+    def test_c_power(self):
+        assert ROUTE_C.power_w == pytest.approx(39.6 + 2 * 747 / 32 + 8 * 1720 / 32)
+
+    def test_power_strictly_increasing(self):
+        powers = [route.power_w for route in FIG2_ROUTES]
+        assert powers == sorted(powers)
+        assert len(set(powers)) == len(powers)
+
+
+class TestRouteStructure:
+    def test_switch_counts(self):
+        assert ROUTE_A0.switches == 0
+        assert ROUTE_A1.switches == 0
+        assert ROUTE_A2.switches == 1
+        assert ROUTE_B.switches == 3
+        assert ROUTE_C.switches == 5
+
+    def test_odd_port_count_rejected(self):
+        route = Route(name="bad", description="", passive_ports=1)
+        with pytest.raises(TopologyError):
+            _ = route.switches
+
+    def test_negative_census_rejected(self):
+        with pytest.raises(TopologyError):
+            Route(name="bad", description="", nics=-1)
+
+    def test_lookup(self):
+        assert route_by_name("B") is ROUTE_B
+
+    def test_lookup_unknown(self):
+        with pytest.raises(TopologyError):
+            route_by_name("D")
+
+
+class TestDerivedRoutes:
+    """Hand-written censuses must agree with the fat-tree derivation."""
+
+    @pytest.fixture
+    def tree(self):
+        return FatTree()
+
+    def test_derived_matches_handwritten(self, tree):
+        endpoints = fig2_scenario_endpoints(tree)
+        for name, (src, dst) in endpoints.items():
+            derived = derive_route(tree, src, dst, name=f"derived-{name}")
+            reference = route_by_name(name)
+            assert derived.passive_ports == reference.passive_ports, name
+            assert derived.active_ports == reference.active_ports, name
+            assert derived.power_w == pytest.approx(reference.power_w), name
+
+    def test_derived_has_nic_pair(self, tree):
+        src, dst = fig2_scenario_endpoints(tree)["B"]
+        assert derive_route(tree, src, dst).nics == 2
+
+    def test_with_ports_override(self, tree):
+        src, dst = fig2_scenario_endpoints(tree)["C"]
+        path = tree.shortest_path(src, dst)
+        ports = tree.classify_ports(path)
+        overridden = ROUTE_A2.with_ports(ports)
+        assert overridden.power_w == pytest.approx(ROUTE_C.power_w)

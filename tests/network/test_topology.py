@@ -1,0 +1,129 @@
+"""Tests for the fat-tree topology builder and port classification."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import (
+    FatTree,
+    FatTreeSpec,
+    PortCount,
+    TIER_AGG,
+    TIER_CORE,
+    TIER_SERVER,
+    TIER_TOR,
+)
+
+
+@pytest.fixture
+def tree():
+    return FatTree()
+
+
+class TestConstruction:
+    def test_default_spec_counts(self, tree):
+        spec = tree.spec
+        assert len(tree.servers()) == spec.aisles * spec.racks_per_aisle * spec.servers_per_rack
+        assert len(tree.switches(TIER_TOR)) == spec.aisles * spec.racks_per_aisle
+        assert len(tree.switches(TIER_AGG)) == spec.aisles * spec.agg_per_aisle
+        assert len(tree.switches(TIER_CORE)) == spec.core_switches
+
+    def test_custom_spec(self):
+        tree = FatTree(FatTreeSpec(aisles=3, racks_per_aisle=2, servers_per_rack=4))
+        assert len(tree.servers()) == 24
+
+    def test_rejects_degenerate_spec(self):
+        with pytest.raises(TopologyError):
+            FatTreeSpec(aisles=0)
+
+    def test_server_lookup(self, tree):
+        assert tree.server(0, 0, 0) == "srv-a0-r0-n0"
+
+    def test_server_lookup_out_of_range(self, tree):
+        with pytest.raises(TopologyError):
+            tree.server(9, 0, 0)
+
+    def test_tier_query(self, tree):
+        assert tree.tier("srv-a0-r0-n0") == TIER_SERVER
+        assert tree.tier("tor-a0-r0") == TIER_TOR
+        assert tree.tier("core-0") == TIER_CORE
+
+    def test_tier_unknown_node(self, tree):
+        with pytest.raises(TopologyError):
+            tree.tier("nonexistent")
+
+    def test_switches_unknown_tier(self, tree):
+        with pytest.raises(TopologyError):
+            tree.switches("spine")
+
+
+class TestCabling:
+    def test_server_links_are_passive(self, tree):
+        assert tree.graph.edges["srv-a0-r0-n0", "tor-a0-r0"]["passive"] is True
+
+    def test_switch_links_are_active(self, tree):
+        assert tree.graph.edges["tor-a0-r0", "agg-a0-0"]["passive"] is False
+        assert tree.graph.edges["agg-a0-0", "core-0"]["passive"] is False
+
+
+class TestPaths:
+    def test_same_rack_path(self, tree):
+        path = tree.shortest_path(tree.server(0, 0, 0), tree.server(0, 0, 1))
+        assert len(path) == 3  # srv, tor, srv
+        assert tree.path_switches(path) == ["tor-a0-r0"]
+
+    def test_cross_rack_path(self, tree):
+        path = tree.shortest_path(tree.server(0, 0, 0), tree.server(0, 1, 0))
+        assert len(tree.path_switches(path)) == 3  # tor, agg, tor
+
+    def test_cross_aisle_path(self, tree):
+        path = tree.shortest_path(tree.server(0, 0, 0), tree.server(1, 0, 0))
+        assert len(tree.path_switches(path)) == 5  # tor, agg, core, agg, tor
+
+    def test_unknown_endpoint(self, tree):
+        with pytest.raises(TopologyError):
+            tree.shortest_path("nope", "srv-a0-r0-n0")
+
+
+class TestPortClassification:
+    def test_same_rack_ports(self, tree):
+        # Route A2's census: one switch, both ports facing servers.
+        path = tree.shortest_path(tree.server(0, 0, 0), tree.server(0, 0, 1))
+        ports = tree.classify_ports(path)
+        assert ports == PortCount(passive=2, active=0, switches=1)
+
+    def test_cross_rack_ports(self, tree):
+        # Route B's census: 3 switches, 2 passive + 4 active ports.
+        path = tree.shortest_path(tree.server(0, 0, 0), tree.server(0, 1, 0))
+        ports = tree.classify_ports(path)
+        assert ports.passive == 2
+        assert ports.active == 4
+        assert ports.switches == 3
+
+    def test_cross_aisle_ports(self, tree):
+        # Route C's census: 5 switches, 2 passive + 8 active ports.
+        path = tree.shortest_path(tree.server(0, 0, 0), tree.server(1, 0, 0))
+        ports = tree.classify_ports(path)
+        assert ports.passive == 2
+        assert ports.active == 8
+        assert ports.switches == 5
+
+    def test_rejects_short_path(self, tree):
+        with pytest.raises(TopologyError):
+            tree.classify_ports(["srv-a0-r0-n0"])
+
+    def test_rejects_switch_endpoint(self, tree):
+        with pytest.raises(TopologyError):
+            tree.classify_ports(["tor-a0-r0", "srv-a0-r0-n0"])
+
+    def test_port_count_consistency_enforced(self):
+        with pytest.raises(TopologyError):
+            PortCount(passive=1, active=2, switches=2)  # 3 ports != 4
+
+    def test_every_server_pair_has_even_ports(self, tree):
+        servers = tree.servers()[:6]
+        for src in servers:
+            for dst in servers:
+                if src == dst:
+                    continue
+                ports = tree.classify_ports(tree.shortest_path(src, dst))
+                assert ports.total == 2 * ports.switches

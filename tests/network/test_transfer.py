@@ -1,0 +1,109 @@
+"""Tests for optical transfer timing and parallel-link scaling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.routes import ROUTE_A0, ROUTE_C
+from repro.network.transfer import (
+    OpticalLink,
+    ParallelLinks,
+    links_for_power,
+    links_for_time,
+    speedup_links_needed,
+)
+from repro.units import HOUR, PB, gbps
+
+
+class TestOpticalLink:
+    def test_29pb_takes_580000s(self):
+        link = OpticalLink(route=ROUTE_A0)
+        assert link.transfer_time(29 * PB) == pytest.approx(580_000)
+
+    def test_transfer_energy_a0(self):
+        link = OpticalLink(route=ROUTE_A0)
+        assert link.transfer_energy(29 * PB) == pytest.approx(13.92e6)
+
+    def test_zero_bytes_free(self):
+        link = OpticalLink(route=ROUTE_A0)
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_energy(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpticalLink(route=ROUTE_A0).transfer_time(-1)
+
+    def test_efficiency(self):
+        link = OpticalLink(route=ROUTE_A0)
+        # 50 GB/s over 24 W ~ 2.08 GB/J.
+        assert link.efficiency_bytes_per_joule() == pytest.approx(50e9 / 24)
+
+    def test_custom_rate(self):
+        link = OpticalLink(route=ROUTE_A0, rate_bytes_per_s=gbps(800))
+        assert link.transfer_time(29 * PB) == pytest.approx(290_000)
+
+
+class TestParallelLinks:
+    def test_time_divides_by_n(self):
+        single = OpticalLink(route=ROUTE_A0)
+        parallel = ParallelLinks(link=single, n=10)
+        assert parallel.transfer_time(29 * PB) == pytest.approx(58_000)
+
+    def test_power_multiplies_by_n(self):
+        parallel = ParallelLinks(link=OpticalLink(route=ROUTE_C), n=4)
+        assert parallel.power_w == pytest.approx(4 * ROUTE_C.power_w)
+
+    def test_energy_invariant_in_n(self):
+        single = OpticalLink(route=ROUTE_C)
+        for n in (1, 2, 7.5, 100):
+            parallel = ParallelLinks(link=single, n=n)
+            assert parallel.transfer_energy(29 * PB) == pytest.approx(
+                single.transfer_energy(29 * PB)
+            )
+
+    def test_fractional_n_allowed(self):
+        parallel = ParallelLinks(link=OpticalLink(route=ROUTE_A0), n=2.5)
+        assert parallel.rate_bytes_per_s == pytest.approx(125e9)
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ValueError):
+            ParallelLinks(link=OpticalLink(route=ROUTE_A0), n=0)
+
+
+class TestBudgetedLinks:
+    def test_links_for_power(self):
+        parallel = links_for_power(ROUTE_A0, power_budget_w=240.0)
+        assert parallel.n == pytest.approx(10.0)
+        assert parallel.power_w == pytest.approx(240.0)
+
+    def test_links_for_time(self):
+        parallel = links_for_time(ROUTE_A0, n_bytes=29 * PB, deadline_s=58_000)
+        assert parallel.n == pytest.approx(10.0)
+        assert parallel.transfer_time(29 * PB) == pytest.approx(58_000)
+
+    @given(budget=st.floats(min_value=30.0, max_value=1e6))
+    def test_power_roundtrip(self, budget):
+        parallel = links_for_power(ROUTE_A0, budget)
+        assert parallel.power_w == pytest.approx(budget)
+
+    @given(deadline=st.floats(min_value=10.0, max_value=1e6))
+    def test_time_roundtrip(self, deadline):
+        parallel = links_for_time(ROUTE_A0, 29 * PB, deadline)
+        assert parallel.transfer_time(29 * PB) == pytest.approx(deadline)
+
+
+class TestIntroExample:
+    def test_161x_speedup_for_one_hour(self):
+        # Section I: a 1-hour 29 PB transfer needs ~161x network speedup.
+        speedup = speedup_links_needed(29 * PB, HOUR)
+        assert speedup == pytest.approx(161.1, abs=0.1)
+
+    def test_aggregate_exceeds_64_tbps(self):
+        speedup = speedup_links_needed(29 * PB, HOUR)
+        aggregate_tbps = speedup * 400 / 1000
+        assert aggregate_tbps > 64
+
+    def test_rejects_zero_deadline(self):
+        with pytest.raises(ValueError):
+            speedup_links_needed(29 * PB, 0)

@@ -1,0 +1,477 @@
+"""Tests for the discrete-event engine: events, processes, conditions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, Interrupt
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        results = []
+
+        def waiter():
+            value = yield event
+            results.append(value)
+
+        env.process(waiter())
+        event.succeed("payload")
+        env.run()
+        assert results == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_raises_in_waiter(self):
+        env = Environment()
+        event = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        env.process(waiter())
+        event.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_propagates(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("quiet"))
+        event.defuse()
+        env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+
+class TestTimeouts:
+    def test_advances_clock(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(5.5)
+            return env.now
+
+        proc = env.process(sleeper())
+        assert env.run(until=proc) == 5.5
+
+    def test_zero_delay_fires_now(self):
+        env = Environment()
+
+        def instant():
+            yield env.timeout(0)
+            return env.now
+
+        assert env.run(until=env.process(instant())) == 0.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_timeout_value_passthrough(self):
+        env = Environment()
+
+        def sleeper():
+            value = yield env.timeout(1, value="tick")
+            return value
+
+        assert env.run(until=env.process(sleeper())) == "tick"
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def walker():
+            for _ in range(4):
+                yield env.timeout(2.5)
+            return env.now
+
+        assert env.run(until=env.process(walker())) == 10.0
+
+
+class TestProcesses:
+    def test_return_value(self):
+        env = Environment()
+
+        def producer():
+            yield env.timeout(1)
+            return 42
+
+        assert env.run(until=env.process(producer())) == 42
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3)
+            return "child-done"
+
+        def parent():
+            result = yield env.process(child())
+            return (result, env.now)
+
+        assert env.run(until=env.process(parent())) == ("child-done", 3.0)
+
+    def test_exception_propagates_to_parent(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as error:
+                return f"caught {error}"
+
+        assert env.run(until=env.process(parent())) == "caught child failed"
+
+    def test_uncaught_child_exception_crashes_run(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            raise ValueError("nobody caught me")
+
+        env.process(child())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_yielding_non_event_rejected(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            env.run()
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("early")
+
+        def late_waiter():
+            yield env.timeout(5)
+            value = yield event
+            return (value, env.now)
+
+        assert env.run(until=env.process(late_waiter())) == ("early", 5.0)
+
+    def test_cross_environment_event_rejected(self):
+        env_a = Environment()
+        env_b = Environment()
+        foreign = env_b.event()
+
+        def confused():
+            yield foreign
+
+        env_a.process(confused())
+        with pytest.raises(SimulationError, match="another environment"):
+            env_a.run()
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self):
+        env = Environment()
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return (interrupt.cause, env.now)
+
+        def interrupter(target):
+            yield env.timeout(7)
+            target.interrupt("wake up")
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        assert env.run(until=target) == ("wake up", 7.0)
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def fragile():
+            yield env.timeout(100)
+
+        def interrupter(target):
+            yield env.timeout(1)
+            target.interrupt("boom")
+
+        target = env.process(fragile())
+        env.process(interrupter(target))
+        with pytest.raises(Interrupt):
+            env.run(until=target)
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def resilient():
+            total_naps = 0
+            while total_naps < 2:
+                try:
+                    yield env.timeout(50)
+                    total_naps += 1
+                except Interrupt:
+                    total_naps += 1
+            return env.now
+
+        def interrupter(target):
+            yield env.timeout(10)
+            target.interrupt()
+
+        target = env.process(resilient())
+        env.process(interrupter(target))
+        # Interrupted at 10, then sleeps 50 more.
+        assert env.run(until=target) == 60.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_everyone(self):
+        env = Environment()
+
+        def waiter():
+            timeouts = [env.timeout(t, value=t) for t in (3, 1, 2)]
+            yield env.all_of(timeouts)
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 3.0
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def waiter():
+            timeouts = [env.timeout(t) for t in (3, 1, 2)]
+            yield env.any_of(timeouts)
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 1.0
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+
+        def waiter():
+            yield env.all_of([])
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 0.0
+
+    def test_all_of_collects_values(self):
+        env = Environment()
+
+        def waiter():
+            timeouts = [env.timeout(1, value="a"), env.timeout(2, value="b")]
+            results = yield env.all_of(timeouts)
+            return sorted(results.values())
+
+        assert env.run(until=env.process(waiter())) == ["a", "b"]
+
+
+class TestRunModes:
+    def test_run_until_time(self):
+        env = Environment()
+        ticks = []
+
+        def ticker():
+            while True:
+                yield env.timeout(1)
+                ticks.append(env.now)
+
+        env.process(ticker())
+        env.run(until=10.5)
+        assert env.now == 10.5
+        assert ticks == [float(t) for t in range(1, 11)]
+
+    def test_run_until_past_deadline_rejected(self):
+        env = Environment()
+        env.run(until=5)
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_run_drains_queue(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(42)
+
+        env.process(worker())
+        env.run()
+        assert env.now == 42
+
+    def test_run_until_never_firing_event(self):
+        env = Environment()
+        orphan = env.event()
+        with pytest.raises(SimulationError, match="never fired"):
+            env.run(until=orphan)
+
+    def test_step_on_empty_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(9)
+        assert env.peek() == 9
+
+
+class TestDeterminism:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+    def test_events_fire_in_time_order(self, delays):
+        env = Environment()
+        fired = []
+
+        def waiter(delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        for delay in delays:
+            env.process(waiter(delay))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0, max_value=10), min_size=2, max_size=10
+        )
+    )
+    def test_fifo_within_timestamp(self, delays):
+        """Processes scheduled for the same instant run in creation order."""
+        env = Environment()
+        order = []
+
+        def waiter(index, delay):
+            yield env.timeout(delay)
+            order.append(index)
+
+        same_delay = delays[0]
+        for index in range(len(delays)):
+            env.process(waiter(index, same_delay))
+        env.run()
+        assert order == list(range(len(delays)))
+
+    def test_clock_never_goes_backwards(self):
+        env = Environment()
+        stamps = []
+
+        def noisy(delay):
+            yield env.timeout(delay)
+            stamps.append(env.now)
+            yield env.timeout(0)
+            stamps.append(env.now)
+
+        for delay in (5, 1, 3, 1, 5):
+            env.process(noisy(delay))
+        env.run()
+        assert stamps == sorted(stamps)
+
+
+class TestScheduleAt:
+    def test_absolute_scheduling(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        event = env.event()
+        event._ok = True
+        event._value = "late"
+        env.schedule_at(event, when=42.0)
+        fired = []
+        event.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [42.0]
+
+    def test_rejects_past(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        env.run(until=10)
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env.schedule_at(event, when=5.0)
+
+    def test_initial_time_offset(self):
+        from repro.sim import Environment
+
+        env = Environment(initial_time=100.0)
+        assert env.now == 100.0
+
+        def sleeper():
+            yield env.timeout(5)
+            return env.now
+
+        assert env.run(until=env.process(sleeper())) == 105.0
+
+
+class TestConditionFailures:
+    def test_all_of_propagates_failure(self):
+        from repro.sim import Environment
+
+        env = Environment()
+
+        def failing_child():
+            yield env.timeout(1)
+            raise ValueError("child exploded")
+
+        def parent():
+            try:
+                yield env.all_of([env.process(failing_child()), env.timeout(5)])
+            except ValueError as error:
+                return f"caught {error}"
+
+        assert env.run(until=env.process(parent())) == "caught child exploded"
+
+    def test_any_of_with_pre_fired_event(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        early = env.event()
+        early.succeed("already")
+
+        def waiter():
+            yield env.timeout(1)
+            yield env.any_of([early, env.timeout(50)])
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 1.0

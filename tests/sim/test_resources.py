@@ -1,0 +1,326 @@
+"""Tests for Resource, PriorityResource, Store and Container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Container,
+    Environment,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def worker(name):
+            with resource.request() as claim:
+                yield claim
+                log.append((env.now, name, "start"))
+                yield env.timeout(10)
+            log.append((env.now, name, "end"))
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == [
+            (0.0, "a", "start"),
+            (10.0, "a", "end"),
+            (10.0, "b", "start"),
+            (20.0, "b", "end"),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        finish = []
+
+        def worker():
+            with resource.request() as claim:
+                yield claim
+                yield env.timeout(10)
+            finish.append(env.now)
+
+        for _ in range(2):
+            env.process(worker())
+        env.run()
+        assert finish == [10.0, 10.0]
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        grants = []
+
+        def worker(name, arrival):
+            yield env.timeout(arrival)
+            with resource.request() as claim:
+                yield claim
+                grants.append(name)
+                yield env.timeout(100)
+
+        for index, name in enumerate("abcd"):
+            env.process(worker(name, index * 0.1))
+        env.run(until=1000)
+        assert grants == ["a", "b", "c", "d"]
+
+    def test_count_tracks_users(self):
+        env = Environment()
+        resource = Resource(env, capacity=3)
+        requests = [resource.request() for _ in range(5)]
+        env.run()
+        assert resource.count == 3
+        requests[0].release()
+        assert resource.count == 3  # a queued request was promoted
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        queued = resource.request()
+        queued.release()  # cancel before grant
+        first.release()
+        assert resource.count == 0
+        assert not resource.queue
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_first(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        grants = []
+
+        def worker(name, priority):
+            claim = resource.request(priority=priority)
+            yield claim
+            grants.append(name)
+            yield env.timeout(1)
+            claim.release()
+
+        def spawner():
+            # Occupy the resource, then enqueue b (low prio) before a (high).
+            hold = resource.request(priority=0)
+            yield hold
+            env.process(worker("low", 5))
+            env.process(worker("high", 1))
+            yield env.timeout(1)
+            hold.release()
+
+        env.process(spawner())
+        env.run()
+        assert grants == ["high", "low"]
+
+    def test_fifo_within_priority(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        grants = []
+
+        def worker(name):
+            claim = resource.request(priority=1)
+            yield claim
+            grants.append(name)
+            claim.release()
+
+        def spawner():
+            hold = resource.request()
+            yield hold
+            for name in "abc":
+                env.process(worker(name))
+            yield env.timeout(1)
+            hold.release()
+
+        env.process(spawner())
+        env.run()
+        assert grants == ["a", "b", "c"]
+
+    def test_cancel_queued_priority_request(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        hold = resource.request()
+        queued = resource.request(priority=3)
+        queued.release()
+        hold.release()
+        assert resource.count == 0
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        def producer():
+            for item in "xyz":
+                yield store.put(item)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        times = []
+
+        def consumer():
+            yield store.get()
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(5)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [5.0]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")  # blocks until the consumer drains one
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(7)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [7.0]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_get_matching(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        store.put(3)
+        event = store.get_matching(lambda item: item % 2 == 0)
+        env.run()
+        assert event.value == 2
+        assert list(store.items) == [1, 3]
+
+    def test_get_matching_nothing(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        event = store.get_matching(lambda item: item > 10)
+        env.run()
+        assert not event.ok
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=50))
+    def test_fifo_property(self, items):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+                yield env.timeout(0)
+
+        def consumer():
+            for _ in items:
+                value = yield store.get()
+                received.append(value)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == items
+
+
+class TestContainer:
+    def test_level_tracking(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=10)
+        container.put(20)
+        env.run()
+        assert container.level == 30
+
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        container = Container(env)
+        times = []
+
+        def consumer():
+            yield container.get(50)
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(3)
+            yield container.put(30)
+            yield env.timeout(3)
+            yield container.put(30)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [6.0]
+        assert container.level == pytest.approx(10)
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=10, initial=10)
+        times = []
+
+        def producer():
+            yield container.put(5)
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(4)
+            yield container.get(5)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [4.0]
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(SimulationError):
+            Container(Environment(), capacity=5, initial=6)
+
+    def test_rejects_non_positive_amounts(self):
+        container = Container(Environment())
+        with pytest.raises(SimulationError):
+            container.put(0)
+        with pytest.raises(SimulationError):
+            container.get(-1)
+
+    def test_oversized_put_rejected(self):
+        container = Container(Environment(), capacity=5)
+        with pytest.raises(SimulationError):
+            container.put(6)

@@ -1,0 +1,84 @@
+"""Tests for the Table I dataset/stream catalogue."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.datasets import (
+    COMMON_CRAWL,
+    LAION_5B,
+    LHC_CMS_DETECTOR,
+    META_DAILY,
+    META_ML_LARGE,
+    TABLE_I_DATASETS,
+    TABLE_I_STREAMS,
+    YOUTUBE_8M,
+    dataset_by_name,
+    lhc_hour,
+    synthetic_dataset,
+)
+from repro.units import GIB, HOUR, PB, TB
+
+
+class TestCatalogue:
+    def test_catalogue_sizes(self):
+        assert len(TABLE_I_DATASETS) == 8
+        assert len(TABLE_I_STREAMS) == 4
+
+    def test_laion(self):
+        assert LAION_5B.size_bytes == 250 * TB
+        assert LAION_5B.category == "Images"
+
+    def test_meta_ml_large_is_29pb(self):
+        assert META_ML_LARGE.size_bytes == 29 * PB
+
+    def test_common_crawl_exceeds_9pb(self):
+        assert COMMON_CRAWL.size_bytes >= 9 * PB
+
+    def test_youtube8m_conversion(self):
+        # 350k hours at the paper's 1 GiB/hour conversion.
+        assert YOUTUBE_8M.size_bytes == pytest.approx(350_000 * GIB)
+
+    def test_lookup(self):
+        assert dataset_by_name("Meta ML (large)") is META_ML_LARGE
+
+    def test_lookup_unknown(self):
+        with pytest.raises(StorageError, match="unknown dataset"):
+            dataset_by_name("nope")
+
+    def test_all_sizes_positive(self):
+        for dataset in TABLE_I_DATASETS:
+            assert dataset.size_bytes > 0
+        for stream in TABLE_I_STREAMS:
+            assert stream.rate_bytes_per_s > 0
+
+
+class TestStreams:
+    def test_lhc_rate(self):
+        assert LHC_CMS_DETECTOR.rate_bytes_per_s == 150 * TB
+
+    def test_meta_daily_rate(self):
+        assert META_DAILY.rate_bytes_per_s * 86400 == pytest.approx(4 * PB)
+
+    def test_accumulate_hour_of_lhc(self):
+        hour = lhc_hour()
+        assert hour.size_bytes == pytest.approx(150 * TB * HOUR)
+        assert hour.size_bytes == pytest.approx(540 * PB)
+
+    def test_accumulate_rejects_non_positive_window(self):
+        with pytest.raises(StorageError):
+            LHC_CMS_DETECTOR.accumulate(0)
+
+    def test_accumulated_dataset_keeps_category(self):
+        assert LHC_CMS_DETECTOR.accumulate(10).category == "Physics"
+
+
+class TestSynthetic:
+    def test_synthetic_size(self):
+        dataset = synthetic_dataset(5 * PB, name="fake")
+        assert dataset.size_bytes == 5 * PB
+        assert dataset.name == "fake"
+        assert dataset.category == "Synthetic"
+
+    def test_synthetic_rejects_zero(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset(0)

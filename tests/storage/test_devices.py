@@ -1,0 +1,176 @@
+"""Tests for storage-device models (paper Table II)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.devices import (
+    FORM_FACTOR_3_5_INCH,
+    FORM_FACTOR_M_2_2280,
+    FormFactor,
+    NIMBUS_EXADRIVE_100TB,
+    SABRENT_ROCKET_4_PLUS_8TB,
+    StorageDevice,
+    TABLE_II_DEVICES,
+    WD_GOLD_24TB,
+    device_by_name,
+    drives_required,
+    m2_versus_hdd,
+)
+from repro.units import MB, PB, TB
+
+
+class TestFormFactor:
+    def test_m2_volume(self):
+        assert FORM_FACTOR_M_2_2280.volume_cm3 == pytest.approx(17.6)
+
+    def test_3_5_inch_is_much_larger_than_m2(self):
+        assert FORM_FACTOR_3_5_INCH.volume_cm3 > 20 * FORM_FACTOR_M_2_2280.volume_cm3
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            FormFactor("bad", length_mm=0, width_mm=1, height_mm=1)
+
+
+class TestTableIiCatalogue:
+    def test_three_devices(self):
+        assert len(TABLE_II_DEVICES) == 3
+
+    def test_wd_gold_row(self):
+        assert WD_GOLD_24TB.capacity_bytes == 24 * TB
+        assert WD_GOLD_24TB.mass_kg == pytest.approx(0.670)
+        assert WD_GOLD_24TB.read_bw == 291 * MB
+        assert WD_GOLD_24TB.kind == "hdd"
+
+    def test_exadrive_row(self):
+        assert NIMBUS_EXADRIVE_100TB.capacity_bytes == 100 * TB
+        assert NIMBUS_EXADRIVE_100TB.mass_kg == pytest.approx(0.538)
+        assert NIMBUS_EXADRIVE_100TB.read_bw == 500 * MB
+        assert NIMBUS_EXADRIVE_100TB.write_bw == 460 * MB
+
+    def test_sabrent_row(self):
+        assert SABRENT_ROCKET_4_PLUS_8TB.capacity_bytes == 8 * TB
+        assert SABRENT_ROCKET_4_PLUS_8TB.mass_kg == pytest.approx(0.00567)
+        assert SABRENT_ROCKET_4_PLUS_8TB.read_bw == 7100 * MB
+        assert SABRENT_ROCKET_4_PLUS_8TB.write_bw == 6000 * MB
+
+    def test_exadrive_beats_hdd_capacity_5x(self):
+        # Section II-A: "100TB SSDs ... beat the largest regular HDD in
+        # capacity by 5x" (against a 20 TB-class HDD).
+        ratio = NIMBUS_EXADRIVE_100TB.capacity_bytes / (20 * TB)
+        assert ratio == pytest.approx(5.0)
+
+    def test_lookup_by_name(self):
+        assert device_by_name("WD Gold 24TB") is WD_GOLD_24TB
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(StorageError, match="unknown device"):
+            device_by_name("Floppy")
+
+
+class TestDensity:
+    def test_m2_density_dominates(self):
+        densities = sorted(TABLE_II_DEVICES, key=lambda d: d.density_bytes_per_gram)
+        assert densities[-1] is SABRENT_ROCKET_4_PLUS_8TB
+        assert densities[0] is WD_GOLD_24TB
+
+    def test_m2_density_value(self):
+        # 8 TB / 5.67 g ~ 1.41 TB per gram.
+        assert SABRENT_ROCKET_4_PLUS_8TB.density_bytes_per_gram == pytest.approx(
+            8 * TB / 5.67, rel=1e-9
+        )
+
+    def test_paper_comparison_100x_lighter(self):
+        # Section II-A: the M.2 is "almost 100x lighter" than the 3.5" HDD.
+        comparison = m2_versus_hdd()
+        assert comparison.mass_ratio == pytest.approx(118, rel=0.02)
+        assert comparison.mass_ratio > 90
+
+    def test_paper_comparison_capacity_ratio(self):
+        comparison = m2_versus_hdd()
+        assert comparison.capacity_ratio == pytest.approx(3.0)
+
+    def test_density_ratio_consistent(self):
+        comparison = m2_versus_hdd()
+        assert comparison.density_ratio == pytest.approx(
+            comparison.mass_ratio / comparison.capacity_ratio
+        )
+
+    def test_volume_density_m2_wins(self):
+        assert (
+            SABRENT_ROCKET_4_PLUS_8TB.density_bytes_per_cm3
+            > NIMBUS_EXADRIVE_100TB.density_bytes_per_cm3
+        )
+
+
+class TestIoTiming:
+    def test_read_time(self):
+        assert SABRENT_ROCKET_4_PLUS_8TB.read_time(7100 * MB) == pytest.approx(1.0)
+
+    def test_write_time(self):
+        assert SABRENT_ROCKET_4_PLUS_8TB.write_time(6000 * MB) == pytest.approx(1.0)
+
+    def test_full_drive_drain(self):
+        seconds = SABRENT_ROCKET_4_PLUS_8TB.read_time(8 * TB)
+        assert seconds == pytest.approx(8e12 / 7.1e9)
+
+    def test_zero_read_is_free(self):
+        assert WD_GOLD_24TB.read_time(0) == 0.0
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(StorageError):
+            WD_GOLD_24TB.read_time(-1)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(StorageError):
+            WD_GOLD_24TB.write_time(-1)
+
+
+class TestDrivesRequired:
+    def test_paper_290_ssds(self):
+        # Section II-C: 29 PB requires 290 100TB SSDs.
+        assert drives_required(29 * PB, NIMBUS_EXADRIVE_100TB) == 290
+
+    def test_paper_hdd_count_with_22tb(self):
+        # The paper quotes 1319 drives for 22 TB HDDs.
+        hdd_22 = StorageDevice(
+            name="22TB HDD",
+            capacity_bytes=22 * TB,
+            form_factor=FORM_FACTOR_3_5_INCH,
+            mass_kg=0.670,
+            read_bw=291 * MB,
+            write_bw=291 * MB,
+            kind="hdd",
+        )
+        assert drives_required(29 * PB, hdd_22) == 1319
+
+    def test_single_drive_suffices(self):
+        assert drives_required(1 * TB, SABRENT_ROCKET_4_PLUS_8TB) == 1
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(StorageError):
+            StorageDevice(
+                name="x",
+                capacity_bytes=1 * TB,
+                form_factor=FORM_FACTOR_M_2_2280,
+                mass_kg=0.01,
+                read_bw=1e9,
+                write_bw=1e9,
+                kind="tape",
+            )
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            StorageDevice(
+                name="x",
+                capacity_bytes=0,
+                form_factor=FORM_FACTOR_M_2_2280,
+                mass_kg=0.01,
+                read_bw=1e9,
+                write_bw=1e9,
+            )
+
+    def test_devices_are_frozen(self):
+        with pytest.raises(AttributeError):
+            WD_GOLD_24TB.mass_kg = 1.0

@@ -1,0 +1,104 @@
+"""Tests for data-growth projections and saturation analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.datasets import META_DAILY, META_ML_LARGE
+from repro.storage.growth import (
+    Crossover,
+    carts_per_day,
+    dhl_headroom_years,
+    projected_dataset,
+    projected_rate,
+    saturation_year,
+)
+from repro.units import DAY, PB, TB, gbps
+
+
+class TestProjection:
+    def test_zero_years_identity(self):
+        grown = projected_rate(META_DAILY, 0.0)
+        assert grown.rate_bytes_per_s == META_DAILY.rate_bytes_per_s
+
+    def test_compound_growth(self):
+        grown = projected_rate(META_DAILY, 2.0, cagr=0.5)
+        assert grown.rate_bytes_per_s == pytest.approx(
+            META_DAILY.rate_bytes_per_s * 2.25
+        )
+
+    def test_dataset_projection(self):
+        grown = projected_dataset(META_ML_LARGE, 3.0, cagr=0.35)
+        assert grown.size_bytes == pytest.approx(29 * PB * 1.35**3)
+
+    def test_rejects_negative_years(self):
+        with pytest.raises(ConfigurationError):
+            projected_rate(META_DAILY, -1.0)
+
+    def test_rejects_impossible_cagr(self):
+        with pytest.raises(ConfigurationError):
+            projected_dataset(META_ML_LARGE, 1.0, cagr=-1.5)
+
+
+class TestSaturation:
+    def test_meta_daily_saturates_one_link_soon(self):
+        # 4 PB/day x2 replication = 92.6 GB/s demand vs a 50 GB/s link:
+        # already saturated today.
+        crossover = saturation_year(META_DAILY, n_links=1.0)
+        assert crossover.already_saturated
+
+    def test_more_links_buy_years(self):
+        few = saturation_year(META_DAILY, n_links=4.0)
+        many = saturation_year(META_DAILY, n_links=16.0)
+        assert many.years_to_saturation > few.years_to_saturation
+        # 4x the links buys log(4)/log(1.35) ~ 4.6 years.
+        assert many.years_to_saturation - few.years_to_saturation == pytest.approx(
+            4.62, abs=0.05
+        )
+
+    def test_exact_crossover_algebra(self):
+        crossover = saturation_year(
+            META_DAILY, n_links=10.0, replication_factor=1.0, cagr=0.35
+        )
+        demand_at_crossover = (
+            META_DAILY.rate_bytes_per_s * 1.35**crossover.years_to_saturation
+        )
+        assert demand_at_crossover == pytest.approx(10 * gbps(400), rel=1e-9)
+
+    def test_rejects_non_positive_growth(self):
+        with pytest.raises(ConfigurationError):
+            saturation_year(META_DAILY, cagr=0.0)
+
+    def test_crossover_dataclass(self):
+        crossover = Crossover(
+            stream=META_DAILY,
+            link_budget_bytes_per_s=1.0,
+            replication_factor=1.0,
+            years_to_saturation=3.0,
+        )
+        assert not crossover.already_saturated
+
+
+class TestDhlScaling:
+    def test_carts_per_day_today(self):
+        # 4 PB/day on 256 TB carts: ~15.6 launches/day.
+        launches = carts_per_day(META_DAILY, cart_bytes=256 * TB)
+        assert launches == pytest.approx(4 * PB / (256 * TB), rel=1e-9)
+
+    def test_growth_raises_cadence(self):
+        now = carts_per_day(META_DAILY, 256 * TB, years=0.0)
+        later = carts_per_day(META_DAILY, 256 * TB, years=5.0)
+        assert later > 4 * now
+
+    def test_dhl_headroom_is_decades(self):
+        # One track launches every 8.6 s: ~10k carts/day of capacity
+        # against ~16 needed today — decades of growth headroom.
+        years = dhl_headroom_years(META_DAILY, 256 * TB, trip_time_s=8.6)
+        assert years > 15
+        capacity = DAY / 8.6
+        demand_then = carts_per_day(META_DAILY, 256 * TB, years=years)
+        assert demand_then == pytest.approx(capacity, rel=1e-6)
+
+    def test_denser_carts_extend_headroom(self):
+        small = dhl_headroom_years(META_DAILY, 256 * TB, 8.6)
+        large = dhl_headroom_years(META_DAILY, 512 * TB, 8.6)
+        assert large > small

@@ -1,0 +1,143 @@
+"""Tests for shard placement planning and the library inventory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.datasets import META_ML_LARGE, synthetic_dataset
+from repro.storage.library import LibraryInventory, Shard, plan_placement
+from repro.storage.ssd_array import SsdArray
+from repro.units import PB, TB
+
+
+class TestShard:
+    def test_end_bytes(self):
+        shard = Shard("d", 0, offset_bytes=10, size_bytes=5)
+        assert shard.end_bytes == 15
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(StorageError):
+            Shard("d", -1, 0, 1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(StorageError):
+            Shard("d", 0, 0, 0)
+
+
+class TestPlacement:
+    def test_29pb_on_default_carts_is_114_shards(self):
+        plan = plan_placement(META_ML_LARGE, SsdArray())
+        assert plan.n_carts == 114
+
+    def test_paper_shard_counts(self):
+        for count, expected in ((16, 227), (32, 114), (64, 57)):
+            plan = plan_placement(META_ML_LARGE, SsdArray(count=count))
+            assert plan.n_carts == expected
+
+    def test_shards_tile_the_dataset(self):
+        plan = plan_placement(META_ML_LARGE, SsdArray())
+        total = sum(shard.size_bytes for shard in plan)
+        assert total == pytest.approx(29 * PB)
+        for previous, current in zip(plan.shards, plan.shards[1:]):
+            assert current.offset_bytes == pytest.approx(previous.end_bytes)
+
+    def test_last_shard_fill(self):
+        plan = plan_placement(META_ML_LARGE, SsdArray())
+        # 29 PB / 256 TB = 113.28... so the last cart is ~28% full.
+        assert plan.last_shard_fill == pytest.approx((29 * PB % (256 * TB)) / (256 * TB))
+        assert 0 < plan.last_shard_fill <= 1
+
+    def test_exact_multiple_fills_last_cart(self):
+        dataset = synthetic_dataset(512 * TB)
+        plan = plan_placement(dataset, SsdArray())
+        assert plan.n_carts == 2
+        assert plan.last_shard_fill == pytest.approx(1.0)
+
+    @given(size_pb=st.floats(min_value=0.01, max_value=100))
+    def test_placement_invariants(self, size_pb):
+        dataset = synthetic_dataset(size_pb * PB)
+        array = SsdArray()
+        plan = plan_placement(dataset, array)
+        assert sum(s.size_bytes for s in plan) == pytest.approx(dataset.size_bytes)
+        assert all(s.size_bytes <= array.usable_capacity_bytes + 1e-6 for s in plan)
+        indexes = [s.index for s in plan]
+        assert indexes == list(range(len(indexes)))
+
+
+class TestInventory:
+    def make(self, slots=8):
+        return LibraryInventory(capacity_slots=slots)
+
+    def test_initially_empty(self):
+        inventory = self.make()
+        assert len(inventory.free_slots) == 8
+        assert inventory.occupied_slots == []
+
+    def test_store_and_locate(self):
+        inventory = self.make()
+        shard = Shard("d", 0, 0, 1 * TB)
+        slot = inventory.store(shard)
+        assert inventory.locate("d", 0) == slot
+
+    def test_store_duplicate_rejected(self):
+        inventory = self.make()
+        inventory.store(Shard("d", 0, 0, 1 * TB))
+        with pytest.raises(StorageError, match="already stored"):
+            inventory.store(Shard("d", 0, 0, 1 * TB))
+
+    def test_store_specific_slot(self):
+        inventory = self.make()
+        assert inventory.store(Shard("d", 0, 0, 1), slot=5) == 5
+
+    def test_store_occupied_slot_rejected(self):
+        inventory = self.make()
+        inventory.store(Shard("d", 0, 0, 1), slot=5)
+        with pytest.raises(StorageError, match="occupied"):
+            inventory.store(Shard("d", 1, 0, 1), slot=5)
+
+    def test_store_bad_slot_rejected(self):
+        inventory = self.make()
+        with pytest.raises(StorageError, match="does not exist"):
+            inventory.store(Shard("d", 0, 0, 1), slot=99)
+
+    def test_full_library_rejects(self):
+        inventory = self.make(slots=1)
+        inventory.store(Shard("d", 0, 0, 1))
+        with pytest.raises(StorageError, match="full"):
+            inventory.store(Shard("d", 1, 0, 1))
+
+    def test_retrieve_frees_slot(self):
+        inventory = self.make()
+        inventory.store(Shard("d", 0, 0, 1))
+        shard = inventory.retrieve("d", 0)
+        assert shard.index == 0
+        assert len(inventory.free_slots) == 8
+        with pytest.raises(StorageError):
+            inventory.locate("d", 0)
+
+    def test_retrieve_missing_rejected(self):
+        with pytest.raises(StorageError, match="not in the library"):
+            self.make().retrieve("d", 0)
+
+    def test_store_plan(self):
+        inventory = self.make(slots=200)
+        plan = plan_placement(META_ML_LARGE, SsdArray())
+        slots = inventory.store_plan(plan)
+        assert len(slots) == 114
+        assert len(set(slots)) == 114
+
+    def test_store_plan_overflow_rejected(self):
+        inventory = self.make(slots=3)
+        plan = plan_placement(META_ML_LARGE, SsdArray())
+        with pytest.raises(StorageError, match="slots"):
+            inventory.store_plan(plan)
+
+    def test_contents_snapshot(self):
+        inventory = self.make()
+        inventory.store(Shard("d", 0, 0, 1))
+        contents = inventory.contents()
+        assert list(contents.values())[0].dataset == "d"
+        # The snapshot is detached from internal state.
+        contents.clear()
+        assert inventory.occupied_slots

@@ -1,0 +1,161 @@
+"""Tests for cart-mounted SSD arrays, PCIe links and RAID degradation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DataIntegrityError
+from repro.storage.devices import SABRENT_ROCKET_4_PLUS_8TB
+from repro.storage.ssd_array import (
+    PCIE6_X64,
+    PcieLink,
+    SsdArray,
+    array_for_capacity,
+)
+from repro.units import TB
+
+
+class TestPcieLink:
+    def test_paper_pcie6_x64_bandwidth(self):
+        # Section III-B5 cites ~3.8 Tbit/s for 64 lanes of PCIe 6.
+        tbits = PCIE6_X64.bandwidth * 8 / 1e12
+        assert tbits == pytest.approx(4.0, rel=0.06)
+        assert tbits >= 3.8
+
+    def test_generation_scaling(self):
+        gen5 = PcieLink(generation=5, lanes=64)
+        assert PCIE6_X64.bandwidth == pytest.approx(2 * gen5.bandwidth)
+
+    def test_lane_scaling(self):
+        x32 = PcieLink(generation=6, lanes=32)
+        assert PCIE6_X64.bandwidth == pytest.approx(2 * x32.bandwidth)
+
+    def test_rejects_unknown_generation(self):
+        with pytest.raises(ConfigurationError):
+            PcieLink(generation=7, lanes=16)
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ConfigurationError):
+            PcieLink(generation=6, lanes=0)
+
+
+class TestSsdArrayCapacity:
+    def test_default_cart_array_is_256tb(self):
+        array = SsdArray()
+        assert array.raw_capacity_bytes == 256 * TB
+        assert array.usable_capacity_bytes == 256 * TB
+
+    def test_paper_cart_capacities(self):
+        for count, expected_tb in ((16, 128), (32, 256), (64, 512)):
+            array = SsdArray(count=count)
+            assert array.usable_capacity_bytes == expected_tb * TB
+
+    def test_parity_reduces_usable(self):
+        array = SsdArray(count=32, parity_drives=2)
+        assert array.usable_capacity_bytes == 30 * 8 * TB
+        assert array.raw_capacity_bytes == 256 * TB
+
+    def test_mass_matches_paper_ssd_masses(self):
+        # Section IV-A: 16/32/64 SSDs mass 91/180/363 g (rounded).
+        assert SsdArray(count=16).mass_kg * 1e3 == pytest.approx(90.7, abs=0.5)
+        assert SsdArray(count=32).mass_kg * 1e3 == pytest.approx(181.4, abs=0.5)
+        assert SsdArray(count=64).mass_kg * 1e3 == pytest.approx(362.9, abs=0.5)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            SsdArray(count=0)
+
+    def test_rejects_parity_not_less_than_count(self):
+        with pytest.raises(ConfigurationError):
+            SsdArray(count=4, parity_drives=4)
+
+
+class TestSsdArrayBandwidth:
+    def test_aggregate_read_bw(self):
+        array = SsdArray(count=32)
+        assert array.read_bw == pytest.approx(32 * 7.1e9)
+
+    def test_effective_read_capped_by_pcie(self):
+        big = SsdArray(count=64)
+        # 64 x 7.1 GB/s = 454 GB/s < PCIe6 x64 ~490 GB/s: drives limit.
+        assert big.effective_read_bw() == pytest.approx(big.read_bw)
+        narrow = PcieLink(generation=4, lanes=32)
+        assert big.effective_read_bw(narrow) == pytest.approx(narrow.bandwidth)
+
+    def test_drain_time_default_full_array(self):
+        array = SsdArray(count=32)
+        expected = 256 * TB / (32 * 7.1e9)
+        assert array.drain_time() == pytest.approx(expected)
+
+    def test_fill_time_slower_than_drain(self):
+        array = SsdArray(count=32)
+        assert array.fill_time() > array.drain_time()
+
+    def test_drain_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SsdArray().drain_time(-1)
+
+    def test_power_budget(self):
+        # Section VI heat-sink discussion: up to 10 W per M.2 under load.
+        array = SsdArray(count=32)
+        assert array.active_power_w == pytest.approx(320.0)
+        assert array.idle_power_w < array.active_power_w
+
+
+class TestDegradation:
+    def test_no_failures_is_identity(self):
+        array = SsdArray(count=32, parity_drives=2)
+        degraded = array.surviving(0)
+        assert degraded.read_bw == pytest.approx(30 * 7.1e9)
+        assert degraded.rebuild_time() == 0.0
+
+    def test_tolerated_failure_degrades_bandwidth(self):
+        array = SsdArray(count=32, parity_drives=2)
+        degraded = array.surviving(1)
+        assert degraded.read_bw < array.read_bw
+
+    def test_failure_beyond_parity_loses_data(self):
+        array = SsdArray(count=32, parity_drives=1)
+        with pytest.raises(DataIntegrityError):
+            array.surviving(2)
+
+    def test_no_parity_no_tolerance(self):
+        with pytest.raises(DataIntegrityError):
+            SsdArray(count=32).surviving(1)
+
+    def test_rebuild_time_scales_with_failures(self):
+        array = SsdArray(count=32, parity_drives=2)
+        one = array.surviving(1).rebuild_time()
+        two = array.surviving(2).rebuild_time()
+        assert two == pytest.approx(2 * one)
+        # One 8 TB drive at 6 GB/s write.
+        assert one == pytest.approx(8 * TB / 6e9)
+
+    def test_negative_failures_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SsdArray(count=4, parity_drives=1).surviving(-1)
+
+
+class TestArrayForCapacity:
+    def test_exact_fit(self):
+        array = array_for_capacity(256 * TB)
+        assert array.count == 32
+
+    def test_rounds_up(self):
+        array = array_for_capacity(257 * TB)
+        assert array.count == 33
+
+    def test_parity_added_on_top(self):
+        array = array_for_capacity(256 * TB, parity_drives=2)
+        assert array.count == 34
+        assert array.usable_capacity_bytes >= 256 * TB
+
+    @given(capacity_tb=st.floats(min_value=0.1, max_value=2000))
+    def test_always_covers_requested_capacity(self, capacity_tb):
+        array = array_for_capacity(capacity_tb * TB)
+        assert array.usable_capacity_bytes >= capacity_tb * TB - 1e-3
+        smaller = SsdArray(
+            device=SABRENT_ROCKET_4_PLUS_8TB, count=max(array.count - 1, 1)
+        )
+        if array.count > 1:
+            assert smaller.usable_capacity_bytes < capacity_tb * TB

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs to completion via its main().
+
+Examples are part of the public deliverable; they must keep working as
+the API evolves.  Each is imported by path and its main() executed with
+stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "design_space_explorer.py",
+    "network_relief_and_scaling.py",
+    "pipeline_visualiser.py",
+]
+
+SLOW_EXAMPLES = [
+    "datacentre_backup.py",
+    "physics_experiment_lhc.py",
+    "ml_training_dlrm.py",
+]
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        del sys.modules[spec.name]
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name, capsys):
+    output = run_example(name, capsys)
+    assert len(output) > 100
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_examples_run(name, capsys):
+    output = run_example(name, capsys)
+    assert len(output) > 100
+
+
+class TestExampleContent:
+    def test_quickstart_reports_paper_numbers(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "15.04 kJ" in output
+        assert "295.8x" in output
+        assert "$14,569" in output
+
+    def test_explorer_reports_pareto_front(self, capsys):
+        output = run_example("design_space_explorer.py", capsys)
+        assert "Pareto frontier" in output
+
+    def test_visualiser_shows_pipelining(self, capsys):
+        output = run_example("pipeline_visualiser.py", capsys)
+        assert "pipelining speedup: 2.0" in output
+
+    def test_every_example_is_covered(self):
+        on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

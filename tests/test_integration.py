@@ -1,0 +1,157 @@
+"""Cross-validation between the analytical models and the simulators.
+
+The analytical model (repro.core) and the operational simulator
+(repro.dhlsim) are independent implementations of the same system; these
+tests require them to agree.  Likewise the fluid closed form and the
+event-driven ML simulator.
+"""
+
+import pytest
+
+from repro.core.model import plan_campaign
+from repro.core.params import DhlParams
+from repro.core.physics import launch_energy, trip_time
+from repro.dhlsim.api import DhlApi
+from repro.dhlsim.scheduler import DhlSystem
+from repro.mlsim.analysis import iso_power_comparison
+from repro.mlsim.backends import DhlBackend, NetworkBackend
+from repro.mlsim.trainer import simulate_iteration
+from repro.mlsim.workload import TrainingIteration
+from repro.network.energy import fig2_energies
+from repro.network.routes import ROUTE_A0
+from repro.sim import Environment
+from repro.storage.datasets import synthetic_dataset
+from repro.units import PB, TB
+
+
+class TestAnalyticVsOperational:
+    """plan_campaign's closed form vs the discrete-event DHL simulator."""
+
+    @pytest.mark.parametrize("shards", [1, 3, 7])
+    def test_transport_time_matches(self, shards):
+        params = DhlParams()
+        dataset = synthetic_dataset(shards * 256 * TB, name="xval")
+        campaign = plan_campaign(params, dataset)
+
+        env = Environment()
+        system = DhlSystem(env, params=params, stations_per_rack=1)
+        system.load_dataset(dataset)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset, read_payload=False))
+
+        # One station and no reads: the simulator serialises out-and-back
+        # trips exactly as the analytical campaign assumes.
+        assert report.elapsed_s == pytest.approx(campaign.time_s)
+        assert report.launches == campaign.launches
+
+    @pytest.mark.parametrize("shards", [1, 3, 7])
+    def test_transport_energy_matches(self, shards):
+        params = DhlParams()
+        dataset = synthetic_dataset(shards * 256 * TB, name="xval-e")
+        campaign = plan_campaign(params, dataset)
+
+        env = Environment()
+        system = DhlSystem(env, params=params, stations_per_rack=1)
+        system.load_dataset(dataset)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset, read_payload=False))
+
+        assert report.launch_energy_j == pytest.approx(campaign.energy_j)
+
+    def test_pipelined_sim_beats_analytic_with_reads(self):
+        """With multiple docks the simulator exploits the pipelining the
+        paper describes, beating the serial sum of trips and reads."""
+        params = DhlParams()
+        dataset = synthetic_dataset(4 * 256 * TB, name="pipel")
+        read_time = 256e12 / (32 * 7.1e9)
+        serial_estimate = 4 * (2 * trip_time(params) + read_time)
+
+        env = Environment()
+        system = DhlSystem(env, params=params, stations_per_rack=3)
+        system.load_dataset(dataset)
+        api = DhlApi(system)
+        report = env.run(until=api.bulk_transfer(dataset, read_payload=True))
+        assert report.elapsed_s < serial_estimate * 0.8
+
+    def test_per_trip_quantities_agree(self):
+        params = DhlParams()
+        env = Environment()
+        system = DhlSystem(env, params=params)
+        cart = system.make_cart()
+        system.library.admit(cart)
+        out = system.library.checkout(cart.cart_id)
+        env.run(until=system.shuttle(out, dst=1))
+        assert env.now == pytest.approx(trip_time(params))
+        assert system.total_launch_energy == pytest.approx(launch_energy(params))
+
+
+class TestAnalyticVsMlSim:
+    """Consistency between Table VI quantities and the ML study."""
+
+    def test_iso_power_slowdown_tracks_energy_reduction(self):
+        # At a fixed power budget, network iteration time is proportional
+        # to watts-per-byte, so the iso-power slowdown equals the no-return
+        # energy-reduction ratio scaled by how much of the DHL iteration is
+        # ingest (the rest is the compute floor the networks never reach
+        # at this budget).
+        rows = {row.scheme: row for row in iso_power_comparison()}
+        dhl_result = simulate_iteration(TrainingIteration(), DhlBackend())
+        ingest_share = dhl_result.ingest_finish_s / dhl_result.time_per_iter_s
+        campaign = plan_campaign(DhlParams(), count_return_trips=False)
+        fig2 = fig2_energies()
+        for route in ("A0", "B", "C"):
+            energy_reduction = fig2[route].energy_j / campaign.energy_j
+            assert rows[route].ratio_vs_dhl * ingest_share == pytest.approx(
+                energy_reduction, rel=0.06
+            )
+
+    def test_network_iteration_time_consistent_with_transfer_time(self):
+        iteration = TrainingIteration()
+        backend = NetworkBackend(route=ROUTE_A0, n_links=1)
+        result = simulate_iteration(iteration, backend)
+        assert result.ingest_finish_s == pytest.approx(580_000, rel=1e-3)
+
+    def test_dhl_iteration_time_consistent_with_campaign(self):
+        iteration = TrainingIteration()
+        result = simulate_iteration(iteration, DhlBackend())
+        campaign = plan_campaign(DhlParams(), count_return_trips=False)
+        assert result.ingest_finish_s == pytest.approx(campaign.time_s, rel=1e-3)
+
+
+class TestEndToEndScenarios:
+    def test_lhc_shipment_feasible(self):
+        """Section II-D1: ship an hour of (filtered 1%) CMS data off-site."""
+        from repro.storage.datasets import LHC_CMS_DETECTOR
+
+        hour = LHC_CMS_DETECTOR.accumulate(3600.0)
+        filtered = synthetic_dataset(hour.size_bytes * 0.01, name="cms-filtered")
+        campaign = plan_campaign(DhlParams(ssds_per_cart=64), filtered)
+        # 5.4 PB filtered: deliverable well inside the next hour's window.
+        assert campaign.time_s < 3600
+
+    def test_backup_cheaper_than_network(self):
+        """Section II-D2: a 5 PB bulk backup wins on time and energy."""
+        backup = synthetic_dataset(5 * PB, name="backup")
+        campaign = plan_campaign(DhlParams(), backup)
+        fig2 = fig2_energies(dataset=backup)
+        assert campaign.time_s < 5 * PB / 50e9
+        assert campaign.energy_j < fig2["A0"].energy_j
+
+    def test_29pb_headline_numbers(self):
+        """The abstract's headline: 1.6-376x energy, 114.8-646.4x time."""
+        from repro.core.model import design_point_report
+        from repro.core.params import table_vi_design_points
+
+        reductions = []
+        speedups = []
+        for params in table_vi_design_points():
+            report = design_point_report(params)
+            speedups.append(report.time_speedup)
+            reductions.extend(
+                comparison.energy_reduction
+                for comparison in report.comparisons.values()
+            )
+        assert min(reductions) == pytest.approx(1.6, abs=0.1)
+        assert max(reductions) == pytest.approx(376.1, rel=0.01)
+        assert min(speedups) == pytest.approx(114.8, rel=0.01)
+        assert max(speedups) == pytest.approx(646.4, rel=0.01)

@@ -1,0 +1,206 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+System-level invariants that must hold for *any* valid configuration,
+not just the paper's operating points: conservation laws, monotonicity,
+scale invariance and agreement between independent implementations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import design_point_report, launch_metrics, plan_campaign
+from repro.core.params import DhlParams
+from repro.core.physics import launch_energy, motion_profile, peak_launch_power, trip_time
+from repro.network.congestion import Flow, SharedNetwork
+from repro.network.routes import FIG2_ROUTES
+from repro.storage.datasets import synthetic_dataset
+from repro.units import PB, TB, gbps
+
+valid_speeds = st.floats(min_value=5.0, max_value=400.0)
+valid_lengths = st.floats(min_value=5.0, max_value=5000.0)
+valid_ssds = st.integers(min_value=1, max_value=128)
+valid_sizes_pb = st.floats(min_value=0.01, max_value=200.0)
+
+
+def params_from(speed, length, ssds):
+    return DhlParams(max_speed=speed, track_length=length, ssds_per_cart=ssds)
+
+
+class TestPhysicsProperties:
+    @given(speed=valid_speeds, length=valid_lengths, ssds=valid_ssds)
+    @settings(max_examples=60)
+    def test_energy_conservation_bound(self, speed, length, ssds):
+        """Electrical input never falls below twice the kinetic energy
+        (accelerate + brake) at any efficiency <= 1."""
+        params = params_from(speed, length, ssds)
+        profile = motion_profile(params)
+        from repro.core.physics import cart_mass
+
+        kinetic = 0.5 * cart_mass(params).total_kg * profile.peak_speed**2
+        assert launch_energy(params) >= 2 * kinetic - 1e-9
+
+    @given(speed=valid_speeds, length=valid_lengths, ssds=valid_ssds)
+    @settings(max_examples=60)
+    def test_exact_profile_never_faster(self, speed, length, ssds):
+        params = params_from(speed, length, ssds)
+        assert (
+            motion_profile(params, "exact").motion_time
+            >= motion_profile(params, "paper").motion_time - 1e-9
+        )
+
+    @given(speed=valid_speeds, length=valid_lengths)
+    @settings(max_examples=60)
+    def test_peak_speed_never_exceeds_nominal(self, speed, length):
+        params = DhlParams(max_speed=speed, track_length=length)
+        for model in ("paper", "exact"):
+            assert motion_profile(params, model).peak_speed <= speed + 1e-9
+
+    @given(
+        speed=valid_speeds,
+        first=st.floats(min_value=5.0, max_value=2000.0),
+        extra=st.floats(min_value=0.1, max_value=2000.0),
+    )
+    @settings(max_examples=60)
+    def test_trip_time_monotone_in_length(self, speed, first, extra):
+        shorter = DhlParams(max_speed=speed, track_length=first)
+        longer = DhlParams(max_speed=speed, track_length=first + extra)
+        assert trip_time(longer) >= trip_time(shorter) - 1e-9
+
+    @given(speed=valid_speeds, ssds=valid_ssds)
+    @settings(max_examples=60)
+    def test_peak_power_scales_with_mass(self, speed, ssds):
+        light = DhlParams(max_speed=speed, ssds_per_cart=ssds)
+        heavy = DhlParams(max_speed=speed, ssds_per_cart=2 * ssds)
+        assert peak_launch_power(heavy) > peak_launch_power(light)
+
+
+class TestModelProperties:
+    @given(size_pb=valid_sizes_pb, ssds=valid_ssds)
+    @settings(max_examples=40)
+    def test_campaign_energy_proportional_to_launches(self, size_pb, ssds):
+        params = DhlParams(ssds_per_cart=ssds)
+        campaign = plan_campaign(params, synthetic_dataset(size_pb * PB))
+        assert campaign.energy_j == pytest.approx(
+            campaign.launches * launch_energy(params)
+        )
+
+    @given(size_pb=valid_sizes_pb)
+    @settings(max_examples=40)
+    def test_speedup_invariant_under_dataset_scale(self, size_pb):
+        """Both DHL and network scale linearly in dataset size, so the
+        speedup depends only on the design point — up to trip-count
+        rounding on small datasets."""
+        small = design_point_report(
+            DhlParams(), dataset=synthetic_dataset(size_pb * PB)
+        )
+        double = design_point_report(
+            DhlParams(), dataset=synthetic_dataset(2 * size_pb * PB)
+        )
+        rounding = 1.0 / small.campaign.trips
+        assert double.time_speedup == pytest.approx(
+            small.time_speedup, rel=rounding + 0.01
+        )
+
+    @given(size_pb=valid_sizes_pb, ssds=valid_ssds)
+    @settings(max_examples=40)
+    def test_reductions_ordered_like_route_powers(self, size_pb, ssds):
+        report = design_point_report(
+            DhlParams(ssds_per_cart=ssds),
+            dataset=synthetic_dataset(size_pb * PB),
+        )
+        reductions = [
+            report.comparisons[route.name].energy_reduction
+            for route in FIG2_ROUTES
+        ]
+        assert reductions == sorted(reductions)
+
+    @given(speed=valid_speeds, ssds=valid_ssds)
+    @settings(max_examples=40)
+    def test_efficiency_times_energy_is_capacity(self, speed, ssds):
+        metrics = launch_metrics(DhlParams(max_speed=speed, ssds_per_cart=ssds))
+        assert metrics.efficiency_bytes_per_j * metrics.energy_j == pytest.approx(
+            metrics.params.storage_per_cart
+        )
+
+
+class TestFairnessProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n_flows=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_allocation_feasible_and_saturating(self, seed, n_flows):
+        """For random flow sets: no link over capacity, and every flow is
+        either demand-satisfied or crosses a saturated link."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        network = SharedNetwork()
+        tree = network.tree
+        servers = tree.servers()
+        flows = []
+        for index in range(n_flows):
+            src, dst = rng.choice(len(servers), size=2, replace=False)
+            flows.append(
+                Flow(
+                    f"flow-{index}",
+                    servers[src],
+                    servers[dst],
+                    demand_bytes_per_s=float(rng.uniform(1e9, 2e11)),
+                )
+            )
+        allocation = network.allocate(flows)
+
+        # Link feasibility.
+        link_load: dict = {}
+        for flow in flows:
+            path = allocation.paths[flow.name]
+            for a, b in zip(path, path[1:]):
+                edge = tuple(sorted((a, b)))
+                link_load[edge] = link_load.get(edge, 0.0) + allocation.rates[flow.name]
+        for load in link_load.values():
+            assert load <= network.link_capacity * (1 + 1e-6)
+
+        # Pareto efficiency: every flow is capped by demand or a full link.
+        for flow in flows:
+            rate = allocation.rates[flow.name]
+            if rate >= flow.demand_bytes_per_s - 1e-3:
+                continue
+            path = allocation.paths[flow.name]
+            on_saturated = any(
+                link_load[tuple(sorted((a, b)))]
+                >= network.link_capacity * (1 - 1e-6)
+                for a, b in zip(path, path[1:])
+            )
+            assert on_saturated, f"{flow.name} is throttled by nothing"
+
+
+class TestSchedulerProperties:
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=5000.0), min_size=1, max_size=12
+        ),
+        n_links=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_list_schedule_work_conservation(self, sizes, n_links):
+        """Makespan is bounded below by both the critical job and the
+        total work divided by server count (classic list-scheduling)."""
+        from repro.workloads.generator import TransferJob
+        from repro.workloads.policy import AllNetworkPolicy
+        from repro.workloads.service import ServiceConfig, evaluate_policy
+
+        jobs = [
+            TransferJob(index, 0.0, size * TB, "x")
+            for index, size in enumerate(sizes)
+        ]
+        report = evaluate_policy(
+            jobs, AllNetworkPolicy(), ServiceConfig(n_links=n_links)
+        )
+        rate = gbps(400)
+        services = [size * TB / rate for size in sizes]
+        assert report.makespan_s >= max(services) - 1e-6
+        assert report.makespan_s >= sum(services) / n_links - 1e-6
+        # And above by the greedy 2-approximation bound.
+        assert report.makespan_s <= sum(services) / n_links + max(services) + 1e-6

@@ -1,0 +1,139 @@
+"""Tests for unit constants, conversions and formatting helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestDataUnits:
+    def test_decimal_ladder(self):
+        assert units.KB == 1e3
+        assert units.MB == 1e6
+        assert units.GB == 1e9
+        assert units.TB == 1e12
+        assert units.PB == 1e15
+
+    def test_binary_ladder(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+        assert units.TIB == 1024**4
+        assert units.PIB == 1024**5
+
+    def test_binary_exceeds_decimal(self):
+        assert units.KIB > units.KB
+        assert units.PIB > units.PB
+
+
+class TestNetworkRates:
+    def test_gbps_converts_bits_to_bytes(self):
+        assert units.gbps(400) == 400e9 / 8
+
+    def test_paper_baseline_29pb_at_400gbps(self):
+        # The anchor of the whole evaluation: 580 000 s (~6.71 days).
+        seconds = 29 * units.PB / units.gbps(400)
+        assert seconds == pytest.approx(580_000)
+        assert seconds / units.DAY == pytest.approx(6.71, abs=0.01)
+
+    def test_tbit_is_thousand_gbit(self):
+        assert units.TBIT_PER_S == pytest.approx(1000 * units.GBIT_PER_S)
+
+
+class TestFormatting:
+    def test_format_bytes_pb(self):
+        assert units.format_bytes(29e15) == "29 PB"
+
+    def test_format_bytes_tb(self):
+        assert units.format_bytes(256e12) == "256 TB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(512.0) == "512 B"
+
+    def test_format_energy_mj(self):
+        assert units.format_energy(13.92e6) == "13.92 MJ"
+
+    def test_format_energy_kj(self):
+        assert units.format_energy(15_040, precision=1) == "15 kJ"
+
+    def test_format_power_kw(self):
+        assert units.format_power(75_200, precision=1) == "75.2 kW"
+
+    def test_format_time_days(self):
+        assert units.format_time(580_000) == "6.71 days"
+
+    def test_format_time_seconds(self):
+        assert units.format_time(8.6) == "8.6 s"
+
+    def test_format_time_minutes(self):
+        assert units.format_time(90) == "1.5 min"
+
+    def test_trailing_zeros_trimmed(self):
+        assert units.format_bytes(1e12) == "1 TB"
+
+
+class TestCeilDiv:
+    def test_paper_trip_counts(self):
+        # Table VI: 29 PB needs 227/114/57 carts of 128/256/512 TB.
+        assert units.ceil_div(29 * units.PB, 128 * units.TB) == 227
+        assert units.ceil_div(29 * units.PB, 256 * units.TB) == 114
+        assert units.ceil_div(29 * units.PB, 512 * units.TB) == 57
+
+    def test_exact_division(self):
+        assert units.ceil_div(10, 5) == 2
+
+    def test_zero_numerator(self):
+        assert units.ceil_div(0, 5) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(-1, 5)
+
+    @given(
+        numerator=st.integers(min_value=0, max_value=10**9),
+        denominator=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_matches_integer_ceiling(self, numerator, denominator):
+        assert units.ceil_div(numerator, denominator) == math.ceil(
+            numerator / denominator
+        ) or units.ceil_div(numerator, denominator) == -(-numerator // denominator)
+
+    @given(
+        numerator=st.integers(min_value=1, max_value=10**9),
+        denominator=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_covers_numerator(self, numerator, denominator):
+        trips = units.ceil_div(numerator, denominator)
+        assert trips * denominator >= numerator
+        assert (trips - 1) * denominator < numerator
+
+
+class TestValidators:
+    def test_assert_positive_accepts(self):
+        assert units.assert_positive("x", 1.5) == 1.5
+
+    def test_assert_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            units.assert_positive("x", 0.0)
+
+    def test_assert_non_negative_accepts_zero(self):
+        assert units.assert_non_negative("x", 0.0) == 0.0
+
+    def test_assert_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            units.assert_non_negative("x", -1e-9)
+
+    def test_assert_fraction_bounds(self):
+        assert units.assert_fraction("f", 0.0) == 0.0
+        assert units.assert_fraction("f", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            units.assert_fraction("f", 1.0001)
+        with pytest.raises(ValueError):
+            units.assert_fraction("f", -0.0001)

@@ -1,0 +1,98 @@
+"""Tests for the routing policies."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.network.routes import ROUTE_A0, ROUTE_C
+from repro.units import GB, TB
+from repro.workloads.generator import TransferJob
+from repro.workloads.policy import (
+    AllDhlPolicy,
+    AllNetworkPolicy,
+    BreakEvenPolicy,
+    DHL,
+    NETWORK,
+    SizeThresholdPolicy,
+    split_jobs,
+)
+
+
+def job(size_bytes, job_id=0):
+    return TransferJob(job_id=job_id, arrival_s=0.0, size_bytes=size_bytes, kind="x")
+
+
+class TestTrivialPolicies:
+    def test_all_network(self):
+        assert AllNetworkPolicy().route(job(100 * TB)) == NETWORK
+
+    def test_all_dhl(self):
+        assert AllDhlPolicy().route(job(1 * GB)) == DHL
+
+
+class TestSizeThreshold:
+    def test_threshold_boundary(self):
+        policy = SizeThresholdPolicy(threshold_bytes=1 * TB)
+        assert policy.route(job(1 * TB)) == DHL
+        assert policy.route(job(1 * TB - 1)) == NETWORK
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValueError):
+            SizeThresholdPolicy(threshold_bytes=0)
+
+
+class TestBreakEvenPolicy:
+    def test_threshold_from_analysis(self):
+        policy = BreakEvenPolicy()
+        # The time break-even for the default DHL is 430 GB; the energy
+        # one against route B is higher, and the policy takes the max.
+        assert policy.threshold_bytes >= 430 * GB
+
+    def test_small_jobs_stay_on_network(self):
+        policy = BreakEvenPolicy()
+        assert policy.route(job(10 * GB)) == NETWORK
+
+    def test_bulk_jobs_ride_the_dhl(self):
+        policy = BreakEvenPolicy()
+        assert policy.route(job(1000 * TB)) == DHL
+
+    def test_costlier_route_lowers_threshold(self):
+        cheap = BreakEvenPolicy(route_baseline=ROUTE_A0)
+        costly = BreakEvenPolicy(route_baseline=ROUTE_C)
+        assert costly.threshold_bytes <= cheap.threshold_bytes
+
+    def test_faster_dhl_raises_energy_threshold(self):
+        # The combined threshold is energy-dominated against route B, and
+        # launch energy grows quadratically with speed — so faster carts
+        # need *larger* transfers to pay for themselves.
+        slow = BreakEvenPolicy(params=DhlParams(max_speed=100.0))
+        fast = BreakEvenPolicy(params=DhlParams(max_speed=300.0))
+        assert fast.threshold_bytes > slow.threshold_bytes
+        # But the *time* break-even moves the other way.
+        assert (
+            fast._analysis.min_bytes_for_time
+            < slow._analysis.min_bytes_for_time
+        )
+
+
+class TestSplitJobs:
+    def test_partition_is_complete_and_disjoint(self):
+        jobs = [job(size, job_id=i) for i, size in enumerate(
+            (1 * GB, 10 * TB, 500 * GB, 5000 * TB))]
+        dhl_jobs, network_jobs = split_jobs(jobs, BreakEvenPolicy())
+        assert len(dhl_jobs) + len(network_jobs) == len(jobs)
+        assert set(j.job_id for j in dhl_jobs).isdisjoint(
+            j.job_id for j in network_jobs
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_jobs([], AllDhlPolicy())
+
+    def test_bad_policy_destination(self):
+        class Broken(AllDhlPolicy):
+            def route(self, job):
+                return "pigeon"
+
+        with pytest.raises(ConfigurationError, match="unknown destination"):
+            split_jobs([job(1 * GB)], Broken())

@@ -1,0 +1,152 @@
+"""Tests for replication statistics and confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.replication import (
+    ReplicatedMetric,
+    _normal_quantile,
+    _t_quantile,
+    replicate,
+    summarise,
+)
+
+
+class TestQuantiles:
+    @pytest.mark.parametrize(
+        "p, expected",
+        [(0.975, 1.959964), (0.95, 1.644854), (0.995, 2.575829), (0.9, 1.281552)],
+    )
+    def test_normal_quantile_reference_values(self, p, expected):
+        assert _normal_quantile(p) == pytest.approx(expected, abs=2e-4)
+
+    @pytest.mark.parametrize(
+        "p, dof, expected",
+        [
+            (0.975, 9, 2.262157),
+            (0.975, 4, 2.776445),
+            (0.95, 9, 1.833113),
+            (0.975, 30, 2.042272),
+        ],
+    )
+    def test_t_quantile_reference_values(self, p, dof, expected):
+        # Reference values from standard t tables.
+        assert _t_quantile(p, dof) == pytest.approx(expected, abs=5e-3)
+
+    def test_t_approaches_normal(self):
+        assert _t_quantile(0.975, 1000) == pytest.approx(1.96, abs=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _t_quantile(0.4, 10)
+        with pytest.raises(ConfigurationError):
+            _t_quantile(0.975, 0)
+
+
+class TestSummarise:
+    def test_mean_and_interval(self):
+        metric = summarise("x", [10.0, 12.0, 11.0, 9.0, 13.0])
+        assert metric.mean == pytest.approx(11.0)
+        stderr = np.std([10, 12, 11, 9, 13], ddof=1) / math.sqrt(5)
+        assert metric.half_width == pytest.approx(
+            _t_quantile(0.975, 4) * stderr, rel=1e-6
+        )
+        assert metric.contains(11.0)
+        assert metric.low < 11.0 < metric.high
+
+    def test_tight_samples_tight_interval(self):
+        loose = summarise("x", [10.0, 20.0, 15.0])
+        tight = summarise("x", [14.9, 15.0, 15.1])
+        assert tight.half_width < loose.half_width
+
+    def test_higher_confidence_wider(self):
+        samples = [10.0, 12.0, 11.0, 9.0]
+        narrow = summarise("x", samples, confidence=0.90)
+        wide = summarise("x", samples, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_relative_half_width(self):
+        metric = summarise("x", [10.0, 10.0, 10.0, 10.2])
+        assert metric.relative_half_width == pytest.approx(
+            metric.half_width / metric.mean
+        )
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            summarise("x", [1.0])
+
+    def test_coverage_property(self):
+        """~95% of intervals from normal samples cover the true mean."""
+        rng = np.random.default_rng(7)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            samples = rng.normal(loc=50.0, scale=5.0, size=8)
+            metric = summarise("x", samples.tolist())
+            covered += metric.contains(50.0)
+        # Binomial(400, 0.95): 4-sigma band.
+        assert 0.95 * trials - 4 * math.sqrt(trials * 0.05 * 0.95) < covered
+
+
+class TestReplicate:
+    def test_multistop_replication(self):
+        from repro.dhlsim.multistop import MultiStopExperiment
+        from repro.units import TB
+
+        results = replicate(
+            lambda seed: MultiStopExperiment(
+                seed=seed, n_requests=5, read_bytes=1 * TB
+            ).run(),
+            {
+                "mean_latency": lambda report: report.mean_latency_s,
+                "utilisation": lambda report: report.tube_utilisation,
+            },
+            seeds=range(4),
+        )
+        assert set(results) == {"mean_latency", "utilisation"}
+        assert results["mean_latency"].mean > 0
+        assert len(results["mean_latency"].samples) == 4
+
+    def test_speed_effect_significant_across_seeds(self):
+        """The Section VI contention claim holds with CIs, not just one
+        seed: 300 m/s latency CI sits below the 100 m/s CI."""
+        from repro.dhlsim.multistop import MultiStopExperiment
+        from repro.units import TB
+
+        def study(speed):
+            from repro.core.params import DhlParams
+
+            return replicate(
+                lambda seed: MultiStopExperiment(
+                    params=DhlParams(max_speed=speed),
+                    seed=seed,
+                    n_requests=6,
+                    mean_interarrival_s=2.0,
+                    read_bytes=1 * TB,
+                ).run(),
+                {"latency": lambda report: report.mean_latency_s},
+                seeds=range(5),
+            )["latency"]
+
+        slow = study(100.0)
+        fast = study(300.0)
+        assert fast.high < slow.low
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            replicate(lambda seed: seed, {}, seeds=range(3))
+        with pytest.raises(ConfigurationError):
+            replicate(lambda seed: seed, {"x": float}, seeds=[1])
+        with pytest.raises(ConfigurationError):
+            replicate(lambda seed: seed, {"x": float}, seeds=[1, 1])
+
+    def test_metric_dataclass(self):
+        metric = ReplicatedMetric(
+            name="m", samples=(1.0, 2.0), confidence=0.95, mean=1.5,
+            half_width=0.5,
+        )
+        assert metric.low == 1.0
+        assert metric.high == 2.0

@@ -1,0 +1,145 @@
+"""Tests for the service scheduler and policy comparison."""
+
+import pytest
+
+from repro.core.model import plan_campaign
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.storage.datasets import synthetic_dataset
+from repro.units import GB, HOUR, PB, TB
+from repro.workloads.generator import TransferJob, WorkloadGenerator
+from repro.workloads.policy import (
+    AllDhlPolicy,
+    AllNetworkPolicy,
+    BreakEvenPolicy,
+)
+from repro.workloads.service import (
+    PolicyReport,
+    ServiceConfig,
+    compare_policies,
+    evaluate_policy,
+)
+
+
+def job(size_bytes, arrival=0.0, job_id=0):
+    return TransferJob(job_id=job_id, arrival_s=arrival, size_bytes=size_bytes,
+                       kind="x")
+
+
+class TestScheduling:
+    def test_single_network_job_timing(self):
+        report = evaluate_policy([job(500 * GB)], AllNetworkPolicy())
+        outcome = report.outcomes[0]
+        assert outcome.transport == "network"
+        assert outcome.service_s == pytest.approx(500e9 / 50e9)
+
+    def test_single_dhl_job_matches_campaign(self):
+        report = evaluate_policy([job(2 * PB)], AllDhlPolicy())
+        outcome = report.outcomes[0]
+        campaign = plan_campaign(DhlParams(), synthetic_dataset(2 * PB))
+        assert outcome.service_s == pytest.approx(campaign.time_s)
+        assert outcome.energy_j == pytest.approx(campaign.energy_j)
+
+    def test_jobs_queue_on_busy_links(self):
+        config = ServiceConfig(n_links=1)
+        jobs = [job(500 * GB, arrival=0.0, job_id=0),
+                job(500 * GB, arrival=0.0, job_id=1)]
+        report = evaluate_policy(jobs, AllNetworkPolicy(), config)
+        first, second = report.outcomes
+        assert second.started_s == pytest.approx(first.completed_s)
+
+    def test_parallel_links_overlap(self):
+        config = ServiceConfig(n_links=2)
+        jobs = [job(500 * GB, job_id=0), job(500 * GB, job_id=1)]
+        report = evaluate_policy(jobs, AllNetworkPolicy(), config)
+        assert report.makespan_s == pytest.approx(10.0)
+
+    def test_arrival_respected(self):
+        jobs = [job(500 * GB, arrival=100.0)]
+        report = evaluate_policy(jobs, AllNetworkPolicy())
+        assert report.outcomes[0].started_s == 100.0
+
+    def test_latency_includes_queueing(self):
+        config = ServiceConfig(n_links=1)
+        jobs = [job(5000 * GB, arrival=0.0, job_id=0),
+                job(1 * GB, arrival=0.0, job_id=1)]
+        report = evaluate_policy(jobs, AllNetworkPolicy(), config)
+        small = report.outcomes[1]
+        assert small.latency_s > small.service_s
+
+    def test_outcomes_in_job_order(self):
+        jobs = [job(1 * GB, arrival=5.0, job_id=0), job(1 * GB, arrival=0.0, job_id=1)]
+        report = evaluate_policy(jobs, AllNetworkPolicy())
+        assert [outcome.job.job_id for outcome in report.outcomes] == [0, 1]
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        jobs = WorkloadGenerator(seed=42).generate(6 * HOUR)
+        return compare_policies(
+            jobs,
+            [AllNetworkPolicy(), AllDhlPolicy(), BreakEvenPolicy()],
+        )
+
+    def test_all_policies_present(self, reports):
+        assert set(reports) == {"all-network", "all-dhl", "break-even"}
+
+    def test_break_even_saves_most_energy(self, reports):
+        best = min(reports.values(), key=lambda report: report.total_energy_j)
+        assert best.policy_name == "break-even"
+
+    def test_break_even_beats_all_network_on_time(self, reports):
+        assert (
+            reports["break-even"].makespan_s < reports["all-network"].makespan_s
+        )
+
+    def test_all_dhl_wastes_energy_on_small_jobs(self, reports):
+        # The straw man: tiny transfers each pay two cart launches.
+        assert (
+            reports["all-dhl"].total_energy_j
+            > reports["break-even"].total_energy_j
+        )
+
+    def test_dhl_share_monotone_across_policies(self, reports):
+        assert reports["all-network"].dhl_share == 0.0
+        assert reports["all-dhl"].dhl_share == 1.0
+        assert 0.0 < reports["break-even"].dhl_share <= 1.0
+
+    def test_per_transport_latency_query(self, reports):
+        report = reports["break-even"]
+        assert report.mean_latency_for("dhl") > 0
+        assert report.mean_latency_for("network") > 0
+
+    def test_unknown_transport_query_rejected(self, reports):
+        with pytest.raises(ConfigurationError):
+            reports["all-network"].mean_latency_for("dhl")
+
+
+class TestValidation:
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_policy([], AllNetworkPolicy())
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_policies([job(1 * GB)], [])
+
+    def test_bad_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(n_links=0)
+
+
+class TestEnergyAccounting:
+    def test_network_energy_scales_with_size(self):
+        small = evaluate_policy([job(1 * TB)], AllNetworkPolicy())
+        large = evaluate_policy([job(10 * TB)], AllNetworkPolicy())
+        assert large.total_energy_j == pytest.approx(10 * small.total_energy_j)
+
+    def test_dhl_energy_quantised_by_carts(self):
+        # Crossing a cart boundary costs a whole extra round trip.
+        one_cart = evaluate_policy([job(256 * TB)], AllDhlPolicy())
+        two_carts = evaluate_policy([job(257 * TB)], AllDhlPolicy())
+        assert two_carts.total_energy_j == pytest.approx(
+            2 * one_cart.total_energy_j
+        )
