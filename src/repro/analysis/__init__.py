@@ -5,6 +5,7 @@ from .extensions import (
     engineering_table,
     hybrid_policy_table,
     multistop_table,
+    reliability_table,
     reuse_table,
     sneakernet_table,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "fig2_table",
     "hybrid_policy_table",
     "multistop_table",
+    "reliability_table",
     "reuse_table",
     "sneakernet_table",
     "figure6",

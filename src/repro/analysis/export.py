@@ -17,6 +17,7 @@ from . import tables as table_generators
 from .extensions import (
     engineering_table,
     hybrid_policy_table,
+    reliability_table,
     reuse_table,
     sneakernet_table,
 )
@@ -42,6 +43,7 @@ EXPORTABLE_TABLES: dict[str, Callable[[], Rows]] = {
     "ext_engineering": engineering_table,
     "ext_reuse": reuse_table,
     "ext_hybrid_policy": hybrid_policy_table,
+    "ext_reliability": reliability_table,
 }
 
 #: Slow artefacts (minutes of simulation), exported only on request.

@@ -23,6 +23,7 @@ from .analysis import (
     hybrid_policy_table,
     intro_example,
     multistop_table,
+    reliability_table,
     render_table,
     reuse_table,
     sneakernet_table,
@@ -58,6 +59,7 @@ _TABLES: dict[str, tuple[str, Callable[[], tuple[list[str], list[list[object]]]]
     "hybrid": ("Extension: hybrid routing policies", hybrid_policy_table),
     "engineering": ("Extension: Section VI feasibility checks", engineering_table),
     "multistop": ("Extension: multi-stop contention vs speed", multistop_table),
+    "reliability": ("Extension: fault tolerance vs availability model", reliability_table),
     "reuse": ("Extension: dataset-reuse economics", reuse_table),
     "sensitivity": ("Extension: parameter elasticities", sensitivity_table),
 }

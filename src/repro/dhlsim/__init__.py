@@ -20,35 +20,60 @@ from .multistop import (
     TransferRequest,
     speed_contention_sweep,
 )
-from .scheduler import DhlSystem
+from .policy import DEFAULT_RETRY, NO_RETRY, FailoverPolicy, ShuttlePolicy
+from .reliability import (
+    CartStallInjector,
+    ChaosInjectors,
+    ChaosSpec,
+    DockOutageInjector,
+    LimDegradationInjector,
+    RepairableInjector,
+    TrackOutageInjector,
+    install_chaos,
+)
+from .scheduler import DhlSystem, ShuttleAttempt
 from .timeline import Span, TimelineEvent, TimelineRecorder, render_gantt
-from .track import Endpoint, Track, build_tracks, default_endpoints, pick_track
+from .track import Endpoint, Track, TrackHealth, build_tracks, default_endpoints, pick_track
 
 __all__ = [
     "Cart",
     "CartState",
+    "CartStallInjector",
+    "ChaosInjectors",
+    "ChaosSpec",
     "ContentionReport",
+    "DEFAULT_RETRY",
     "DhlApi",
     "DhlSystem",
+    "DockOutageInjector",
     "DockingStation",
     "Endpoint",
     "EnergySample",
+    "FailoverPolicy",
     "FaultInjector",
     "LibraryNode",
+    "LimDegradationInjector",
     "MultiStopExperiment",
+    "NO_RETRY",
     "RackEndpoint",
+    "RepairableInjector",
     "RequestOutcome",
+    "ShuttleAttempt",
+    "ShuttlePolicy",
     "Span",
     "Telemetry",
     "TimelineEvent",
     "TimelineRecorder",
     "Track",
+    "TrackHealth",
+    "TrackOutageInjector",
     "render_gantt",
     "TransferReport",
     "TransferRequest",
     "build_tracks",
     "default_endpoints",
     "expected_failures_per_campaign",
+    "install_chaos",
     "pick_track",
     "speed_contention_sweep",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SchedulingError
+from ..errors import DegradedServiceError, SchedulingError
 from ..sim import Environment, Event, Store
 from ..storage.datasets import Dataset
 from .cart import Cart
@@ -126,13 +126,33 @@ class DhlApi:
         delivered = Store(self.env)
 
         def shard_worker(shard_index: int):
-            station = yield self.open(dataset.name, shard_index, endpoint_id)
+            while True:
+                try:
+                    station = yield self.open(dataset.name, shard_index, endpoint_id)
+                    break
+                except DegradedServiceError:
+                    # Graceful degradation: the DHL gave up on this
+                    # shard (outage past the policy threshold or retries
+                    # exhausted).  With a failover policy the bytes
+                    # re-route over the optical network, charging its
+                    # time and route energy; without one the shard waits
+                    # for the repair crew and tries again.
+                    if system.failover is not None:
+                        n_sent = yield self.env.process(
+                            self._failover_transfer(dataset.name, shard_index)
+                        )
+                        yield delivered.put(n_sent)
+                        return
+                    system.telemetry.increment("open_deferrals")
+                    yield self.env.timeout(
+                        max(system.shuttle_policy.max_backoff_s, 1.0)
+                    )
             cart = station.cart
             if read_payload:
                 n_read = yield self.read(endpoint_id, dataset.name, shard_index)
             else:
                 n_read = cart.shards[(dataset.name, shard_index)].size_bytes
-            yield self.close(cart, endpoint_id)
+            yield self.env.process(self._persistent_close(cart, endpoint_id))
             yield delivered.put(n_read)
 
         for shard_index in shard_keys:
@@ -186,9 +206,32 @@ class DhlApi:
             # Claim an empty cart and bring it to the rack.
             cart = system.library.idle_cart()
             cart.load_shard(shard)  # reserve content before dispatch
-            station = yield system.dispatch_to_rack(cart.cart_id, endpoint_id)
+            while True:
+                try:
+                    station = yield system.dispatch_to_rack(cart.cart_id, endpoint_id)
+                    break
+                except DegradedServiceError:
+                    if system.failover is not None:
+                        # The cart was recovered into the library with
+                        # the shard still reserved on it; undo that and
+                        # ship the bytes over the optical network.
+                        cart.unload_shard(shard.dataset, shard.index)
+                        yield self.env.timeout(
+                            system.failover.transfer_time(shard.size_bytes)
+                        )
+                        system.telemetry.increment("failovers")
+                        system.telemetry.record_energy(
+                            "network_failover",
+                            system.failover.transfer_energy(shard.size_bytes),
+                        )
+                        yield delivered.put(shard.size_bytes)
+                        return
+                    system.telemetry.increment("open_deferrals")
+                    yield self.env.timeout(
+                        max(system.shuttle_policy.max_backoff_s, 1.0)
+                    )
             yield self.write(station, shard.size_bytes)
-            yield self.close(station.cart, endpoint_id)
+            yield self.env.process(self._persistent_close(station.cart, endpoint_id))
             yield delivered.put(shard.size_bytes)
 
         for shard in plan:
@@ -207,6 +250,46 @@ class DhlApi:
             launches=system.total_launches - start_launches,
             launch_energy_j=system.total_launch_energy - start_energy,
         )
+
+    def _persistent_close(self, cart: Cart, endpoint_id: int):
+        """Process: Close a cart, waiting out track outages.
+
+        Unlike Open — whose payload can fail over to the optical network
+        — a Close moves the physical cart, which has exactly one way
+        home.  When the retry policy gives up (outage past threshold or
+        attempts exhausted) the cart stays parked at the rack and we try
+        again after a beat, so campaigns drain cleanly once the track is
+        repaired instead of stranding hardware.
+        """
+        while True:
+            try:
+                result = yield self.close(cart, endpoint_id)
+                return result
+            except DegradedServiceError:
+                self.system.telemetry.increment("return_deferrals")
+                yield self.env.timeout(
+                    max(self.system.shuttle_policy.max_backoff_s, 1.0)
+                )
+
+    def _failover_transfer(self, dataset: str, shard_index: int):
+        """Process: push one library-resident shard over the optical network.
+
+        Used when the DHL degrades: the shard's cart stays in the
+        library and the bytes go over ``system.failover.link``, with the
+        transfer time simulated and the route energy recorded under the
+        ``network_failover`` category.
+        """
+        policy = self.system.failover
+        if policy is None:
+            raise SchedulingError("no failover policy configured on this system")
+        cart = self.system.library.cart_holding(dataset, shard_index)
+        size = cart.shards[(dataset, shard_index)].size_bytes
+        yield self.env.timeout(policy.transfer_time(size))
+        self.system.telemetry.increment("failovers")
+        self.system.telemetry.record_energy(
+            "network_failover", policy.transfer_energy(size)
+        )
+        return size
 
     def _library_shards(self, dataset: str):
         for cart in self.system.library.carts.values():

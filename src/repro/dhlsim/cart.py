@@ -39,7 +39,9 @@ class CartState:
 
 _TRANSITIONS: dict[str, tuple[str, ...]] = {
     CartState.STORED: (CartState.READY,),
-    CartState.READY: (CartState.IN_TRANSIT, CartState.STORED),
+    # READY -> DOCKED covers re-docking a cart whose return shuttle was
+    # aborted by a track fault: it parks back in the station it left.
+    CartState.READY: (CartState.IN_TRANSIT, CartState.STORED, CartState.DOCKED),
     CartState.IN_TRANSIT: (CartState.ARRIVED,),
     CartState.ARRIVED: (CartState.DOCKED, CartState.STORED, CartState.READY),
     CartState.DOCKED: (CartState.READY,),
@@ -125,6 +127,25 @@ class Cart:
 
     def holds(self, dataset: str, index: int) -> bool:
         return (dataset, index) in self.shards
+
+    def abort_transit(self, origin: int) -> None:
+        """Recover from a failed shuttle attempt: back to READY at ``origin``.
+
+        A breach, stall extraction or deadline interrupt can strike while
+        the cart is IN_TRANSIT (location already points at the
+        destination) or ARRIVED (not yet docked).  Recovery parks the
+        cart READY at the endpoint it launched from so the retry layer
+        can relaunch or re-store it.
+        """
+        if self.state == CartState.IN_TRANSIT:
+            self.transition(CartState.ARRIVED)
+        if self.state == CartState.ARRIVED:
+            self.transition(CartState.READY)
+        if self.state != CartState.READY:
+            raise CartStateError(
+                f"cart {self.cart_id}: cannot abort transit from state {self.state}"
+            )
+        self.location = origin
 
     # -- faults ---------------------------------------------------------------
 

@@ -28,6 +28,8 @@ class DockingStation:
     cart: Cart | None = None
     slot_claim: object | None = None
     """The rack slot grant held while a dispatched cart occupies this dock."""
+    out_of_service: bool = False
+    """Set by dock fault injectors; an OOS station accepts no carts."""
     busy: Resource = field(init=False)
     bytes_read: float = 0.0
     bytes_written: float = 0.0
@@ -120,6 +122,7 @@ class RackEndpoint:
     n_stations: int = 2
     stations: list[DockingStation] = field(init=False)
     slots: Resource = field(init=False)
+    stranded: list[Cart] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.n_stations <= 0:
@@ -129,16 +132,31 @@ class RackEndpoint:
             for index in range(self.n_stations)
         ]
         self.slots = Resource(self.env, capacity=self.n_stations)
+        self.stranded = []
 
     def free_station(self) -> DockingStation:
-        """An unoccupied station; callers must hold a slot grant first."""
+        """An unoccupied, in-service station; callers must hold a slot grant."""
         for station in self.stations:
-            if not station.occupied:
+            if not station.occupied and not station.out_of_service:
                 return station
         raise SchedulingError(
             f"endpoint {self.endpoint_id}: slot accounting out of sync "
             "(grant held but no free station)"
         )
+
+    def strand(self, cart: Cart) -> None:
+        """Park a cart in the recovery bay when no dock slot is free.
+
+        A returning cart whose shuttle failed after its slot was handed
+        to the next dispatch waits here for an operator (or a later
+        recovery process) instead of being silently lost.
+        """
+        if cart in self.stranded:
+            raise SchedulingError(
+                f"cart {cart.cart_id} is already stranded at endpoint "
+                f"{self.endpoint_id}"
+            )
+        self.stranded.append(cart)
 
     def station_holding(self, cart: Cart) -> DockingStation:
         for station in self.stations:

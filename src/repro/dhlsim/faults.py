@@ -4,6 +4,13 @@ The paper notes that "if an SSD fails in-flight, the endpoint's DHL API
 will report the error, and RAID and backups can ameliorate the issue".
 This module injects per-trip drive failures so tests and benches can
 measure the cost of that recovery path.
+
+The injector registers on :attr:`DhlSystem.pre_shuttle_hooks` rather
+than monkey-patching ``_shuttle``: multiple injectors compose cleanly
+(each rolls its own RNG) and :meth:`FaultInjector.detach` removes one
+without disturbing the others — the old wrapping approach silently
+double-wrapped the shuttle and could never be undone.  Track, dock and
+cart-stall faults live in :mod:`repro.dhlsim.reliability`.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, DataIntegrityError
 from .cart import Cart
-from .scheduler import DhlSystem
+from .scheduler import DhlSystem, ShuttleAttempt
 
 
 @dataclass
@@ -32,6 +39,7 @@ class FaultInjector:
     injected_failures: int = 0
     lost_carts: int = 0
     _rng: np.random.Generator = field(init=False)
+    _attached: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.per_drive_trip_failure_prob <= 1.0:
@@ -40,17 +48,21 @@ class FaultInjector:
                 f"{self.per_drive_trip_failure_prob}"
             )
         self._rng = np.random.default_rng(self.seed)
-        self._wrap_shuttle()
+        self.system.pre_shuttle_hooks.append(self._on_shuttle)
+        self._attached = True
 
-    def _wrap_shuttle(self) -> None:
-        original = self.system._shuttle
+    def detach(self) -> None:
+        """Stop injecting; idempotent, leaves other hooks untouched."""
+        if self._attached:
+            self.system.pre_shuttle_hooks.remove(self._on_shuttle)
+            self._attached = False
 
-        def shuttled(cart: Cart, dst: int):
-            self.inject(cart)
-            result = yield from original(cart, dst)
-            return result
+    @property
+    def attached(self) -> bool:
+        return self._attached
 
-        self.system._shuttle = shuttled  # type: ignore[method-assign]
+    def _on_shuttle(self, attempt: ShuttleAttempt) -> None:
+        self.inject(attempt.cart)
 
     def inject(self, cart: Cart) -> int:
         """Roll failures for one trip; returns drives failed this trip."""

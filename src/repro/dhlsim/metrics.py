@@ -29,6 +29,7 @@ class Telemetry:
     env: Environment
     samples: list[EnergySample] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
+    durations: dict[str, float] = field(default_factory=dict)
 
     def record_energy(self, category: str, joules: float) -> None:
         if joules < 0:
@@ -37,6 +38,15 @@ class Telemetry:
 
     def increment(self, counter: str, by: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + by
+
+    def record_duration(self, category: str, seconds: float) -> None:
+        """Accumulate elapsed seconds against a category (e.g. downtime)."""
+        if seconds < 0:
+            raise SimulationError(f"duration must be >= 0, got {seconds}")
+        self.durations[category] = self.durations.get(category, 0.0) + seconds
+
+    def total_duration(self, category: str) -> float:
+        return self.durations.get(category, 0.0)
 
     def total_energy(self, category: str | None = None) -> float:
         """Total joules, optionally restricted to one category."""

@@ -1,0 +1,127 @@
+"""Shuttle retry/timeout policy and optical-network failover policy.
+
+A production DHL cannot treat a breached tube or a stalled cart as
+fatal: shuttles retry with exponential backoff, every operation carries
+a deadline, and transfers stuck behind a long outage degrade gracefully
+onto the optical network the DHL was built to relieve.  This module
+holds the two policy dataclasses; :mod:`repro.dhlsim.scheduler`
+executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..network.transfer import OpticalLink, ParallelLinks
+
+
+@dataclass(frozen=True)
+class ShuttlePolicy:
+    """Retry/timeout behaviour for one shuttle operation.
+
+    ``max_attempts`` bounds physical launch attempts; between failed
+    attempts the scheduler sleeps ``base_backoff_s * backoff_factor**n``
+    (capped at ``max_backoff_s``) plus deterministic jitter drawn from
+    the system's seeded RNG, so two runs with the same seed produce
+    identical schedules.  ``deadline_s``, when set, races the whole
+    operation against a timeout (an ``AnyOf`` in the DES); losing the
+    race raises :class:`~repro.errors.ShuttleTimeoutError`.
+    ``give_up_outage_s``, when set, abandons retrying as soon as the
+    track's current outage is at least that old, raising
+    :class:`~repro.errors.DegradedServiceError` so callers can fail
+    over.  The default policy (one attempt, no deadline) reproduces the
+    pre-reliability scheduler exactly.
+    """
+
+    max_attempts: int = 1
+    base_backoff_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 60.0
+    jitter_frac: float = 0.0
+    deadline_s: float | None = None
+    give_up_outage_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0:
+            raise ConfigurationError(
+                f"base_backoff_s must be >= 0, got {self.base_backoff_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_backoff_s < 0:
+            raise ConfigurationError(
+                f"max_backoff_s must be >= 0, got {self.max_backoff_s}"
+            )
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigurationError(
+                f"jitter_frac must be in [0, 1), got {self.jitter_frac}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.give_up_outage_s is not None and self.give_up_outage_s < 0:
+            raise ConfigurationError(
+                f"give_up_outage_s must be >= 0, got {self.give_up_outage_s}"
+            )
+
+    def backoff_delay(self, failed_attempts: int, rng: np.random.Generator) -> float:
+        """Backoff before the next attempt after ``failed_attempts`` failures.
+
+        Jitter is a symmetric fraction of the base delay drawn from
+        ``rng``; with a seeded generator the whole retry schedule is
+        deterministic.
+        """
+        if failed_attempts < 1:
+            raise ConfigurationError(
+                f"failed_attempts must be >= 1, got {failed_attempts}"
+            )
+        delay = min(
+            self.base_backoff_s * self.backoff_factor ** (failed_attempts - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter_frac > 0.0:
+            delay *= 1.0 + self.jitter_frac * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+#: One attempt, no deadline: the original fail-fast scheduler behaviour.
+NO_RETRY = ShuttlePolicy()
+
+#: A sensible production default: a few patient attempts under a deadline.
+DEFAULT_RETRY = ShuttlePolicy(
+    max_attempts=8,
+    base_backoff_s=1.0,
+    backoff_factor=2.0,
+    max_backoff_s=30.0,
+    jitter_frac=0.25,
+)
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Fall back to the optical network when the DHL is degraded.
+
+    ``link`` is the optical path (single or parallel links) carrying the
+    re-routed bytes; its transfer time and route energy are charged to
+    the campaign and recorded under the ``network_failover`` telemetry
+    energy category, making the penalty of losing the hyperloop
+    first-class data.
+    """
+
+    link: OpticalLink | ParallelLinks
+
+    def transfer_time(self, n_bytes: float) -> float:
+        return self.link.transfer_time(n_bytes)
+
+    def transfer_energy(self, n_bytes: float) -> float:
+        return self.link.transfer_energy(n_bytes)

@@ -1,0 +1,403 @@
+"""Track, dock and cart fault models with repair crews (DES processes).
+
+The paper's reliability story stops at in-flight SSD failures
+(:mod:`repro.dhlsim.faults`).  A production DHL must also survive:
+
+* **vacuum breaches** — the tube is unavailable until a repair crew
+  restores it (MTTF/MTTR model, :class:`TrackOutageInjector`);
+* **LIM failures** — launches degrade to a slower profile until fixed
+  (:class:`LimDegradationInjector`);
+* **dock-station failures** — a station goes out of service, shrinking
+  the endpoint's effective docking capacity
+  (:class:`DockOutageInjector`);
+* **in-tube cart stalls** — a cart loses levitation mid-tube and either
+  limps on after a delay or is extracted, aborting the shuttle
+  (:class:`CartStallInjector`).
+
+All injectors are seeded and deterministic; repair crews are DES
+processes sampling MTTF/MTTR from configurable distributions.
+:func:`install_chaos` wires a full fault cocktail onto one system and
+:meth:`ChaosInjectors.availability_model` returns the matching
+closed-form prediction (:mod:`repro.core.availability`) so the DES can
+be validated against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.availability import AvailabilityModel, RepairableComponent, stall_overhead
+from ..errors import ConfigurationError
+from ..sim import Interrupt
+from .docking import RackEndpoint
+from .scheduler import DhlSystem, ShuttleAttempt
+from .track import Track
+
+DISTRIBUTIONS = ("exponential", "fixed")
+
+
+def _sample(rng: np.random.Generator, mean: float, distribution: str) -> float:
+    if distribution == "exponential":
+        return float(rng.exponential(mean))
+    return mean  # "fixed"
+
+
+@dataclass
+class RepairableInjector:
+    """Base MTTF/MTTR fault loop: fail, wait for the crew, repair, repeat.
+
+    Subclasses define what "fail" and "repair" do.  Time-to-failure and
+    time-to-repair are sampled from ``distribution`` (exponential by
+    default, matching the steady-state availability model; ``"fixed"``
+    gives strictly periodic faults for reproducible scenario tests).
+    """
+
+    system: DhlSystem
+    mttf_s: float
+    mttr_s: float
+    seed: int = 0
+    distribution: str = "exponential"
+    outages: int = 0
+    downtime_s: float = 0.0
+
+    #: Telemetry duration category charged per repair (subclass class attr).
+    _telemetry_category = None
+
+    def __post_init__(self) -> None:
+        if self.mttf_s <= 0:
+            raise ConfigurationError(f"mttf_s must be > 0, got {self.mttf_s}")
+        if self.mttr_s < 0:
+            raise ConfigurationError(f"mttr_s must be >= 0, got {self.mttr_s}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}; "
+                f"expected one of {DISTRIBUTIONS}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self.process = self.system.env.process(self._run())
+
+    def stop(self) -> None:
+        """Halt the fault loop, repairing any outstanding fault first."""
+        if self.process.is_alive:
+            self.process.interrupt("stop")
+
+    def component(self, name: str) -> RepairableComponent:
+        """The closed-form component this injector realises."""
+        return RepairableComponent(name=name, mttf_s=self.mttf_s, mttr_s=self.mttr_s)
+
+    # -- the fault loop -----------------------------------------------------
+
+    def _run(self):
+        env = self.system.env
+        faulted = False
+        try:
+            while True:
+                yield env.timeout(_sample(self._rng, self.mttf_s, self.distribution))
+                if not self._can_fail():
+                    continue  # another injector holds this component down
+                self._fail()
+                faulted = True
+                self.outages += 1
+                repair = _sample(self._rng, self.mttr_s, self.distribution)
+                yield env.timeout(repair)
+                self._repair()
+                faulted = False
+                self.downtime_s += repair
+                if self._telemetry_category is not None:
+                    self.system.telemetry.record_duration(
+                        self._telemetry_category, repair
+                    )
+        except Interrupt:
+            if faulted:
+                self._repair()
+
+    # -- subclass surface ---------------------------------------------------
+
+    def _can_fail(self) -> bool:
+        return True
+
+    def _fail(self) -> None:
+        raise NotImplementedError
+
+    def _repair(self) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class TrackOutageInjector(RepairableInjector):
+    """Vacuum breach: the tube rejects new entries until repaired.
+
+    Carts already in the tube complete their traversal (they are past
+    the breach by construction); queued and new shuttles fail with
+    :class:`~repro.errors.TrackFaultError` and are retried under the
+    system's :class:`~repro.dhlsim.policy.ShuttlePolicy`.
+    """
+
+    track: Track | None = None
+
+    _telemetry_category = "track_downtime"
+
+    def __post_init__(self) -> None:
+        if self.track is None:
+            self.track = self.system.tracks[0]
+        super().__post_init__()
+
+    def _can_fail(self) -> bool:
+        return self.track.health.tube_available
+
+    def _fail(self) -> None:
+        self.track.health.mark_down(self.system.env.now)
+        self.system.telemetry.increment("track_outages")
+
+    def _repair(self) -> None:
+        self.track.health.mark_up(self.system.env.now)
+
+
+@dataclass
+class LimDegradationInjector(RepairableInjector):
+    """LIM failure: launches still happen, but ``slowdown`` times slower."""
+
+    track: Track | None = None
+    slowdown: float = 2.0
+
+    _telemetry_category = "lim_degraded"
+
+    def __post_init__(self) -> None:
+        if self.track is None:
+            self.track = self.system.tracks[0]
+        if self.slowdown < 1.0:
+            raise ConfigurationError(f"slowdown must be >= 1, got {self.slowdown}")
+        super().__post_init__()
+
+    def _can_fail(self) -> bool:
+        return self.track.health.lim_slowdown == 1.0
+
+    def _fail(self) -> None:
+        self.track.health.degrade_lim(self.slowdown)
+        self.system.telemetry.increment("lim_outages")
+
+    def _repair(self) -> None:
+        self.track.health.restore_lim()
+
+
+@dataclass
+class DockOutageInjector(RepairableInjector):
+    """Dock-station failure: one station per outage goes out of service.
+
+    The crew claims a dock slot (waiting its turn behind live traffic,
+    like a real maintenance window), marks a free station out of
+    service, and releases both at repair time.  Effective docking
+    capacity shrinks by one for the repair duration.
+    """
+
+    rack: RackEndpoint | None = None
+
+    def __post_init__(self) -> None:
+        if self.rack is None:
+            self.rack = next(iter(self.system.racks.values()))
+        super().__post_init__()
+
+    def _run(self):
+        env = self.system.env
+        claim = None
+        station = None
+        try:
+            while True:
+                yield env.timeout(_sample(self._rng, self.mttf_s, self.distribution))
+                claim = self.rack.slots.request()
+                yield claim
+                station = next(
+                    (
+                        candidate
+                        for candidate in self.rack.stations
+                        if not candidate.occupied and not candidate.out_of_service
+                    ),
+                    None,
+                )
+                if station is None:  # defensive: nothing sensible to break
+                    claim.release()
+                    claim = None
+                    continue
+                station.out_of_service = True
+                self.outages += 1
+                self.system.telemetry.increment("dock_outages")
+                repair = _sample(self._rng, self.mttr_s, self.distribution)
+                yield env.timeout(repair)
+                station.out_of_service = False
+                claim.release()
+                claim = None
+                station = None
+                self.downtime_s += repair
+                self.system.telemetry.record_duration("dock_downtime", repair)
+        except Interrupt:
+            if station is not None:
+                station.out_of_service = False
+            if claim is not None:
+                claim.release()
+
+
+@dataclass
+class CartStallInjector:
+    """In-tube stall: with probability ``stall_prob`` per shuttle the cart
+    loses levitation mid-tube and sits for ``stall_time_s`` (holding the
+    tube); with probability ``abort_prob`` the stall ends in extraction
+    and the attempt fails.  Registered as a pre-shuttle hook.
+    """
+
+    system: DhlSystem
+    stall_prob: float
+    stall_time_s: float
+    abort_prob: float = 0.0
+    seed: int = 0
+    stalls: int = 0
+    aborts: int = 0
+    _attached: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        for name, probability in (
+            ("stall_prob", self.stall_prob),
+            ("abort_prob", self.abort_prob),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {probability}"
+                )
+        if self.stall_time_s < 0:
+            raise ConfigurationError(
+                f"stall_time_s must be >= 0, got {self.stall_time_s}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self.system.pre_shuttle_hooks.append(self._on_shuttle)
+        self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.system.pre_shuttle_hooks.remove(self._on_shuttle)
+            self._attached = False
+
+    def _on_shuttle(self, attempt: ShuttleAttempt) -> None:
+        if float(self._rng.random()) < self.stall_prob:
+            attempt.stall_s += self.stall_time_s
+            self.stalls += 1
+            if float(self._rng.random()) < self.abort_prob:
+                attempt.abort_in_tube = True
+                attempt.abort_reason = "levitation stall"
+                self.aborts += 1
+
+
+# -- chaos orchestration ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One seeded fault cocktail: which faults to inject, how hard.
+
+    Set an MTTF to ``None`` to skip that fault class.  A single ``seed``
+    derives per-injector seeds so one integer reproduces the whole run.
+    """
+
+    track_mttf_s: float | None = None
+    track_mttr_s: float = 60.0
+    lim_mttf_s: float | None = None
+    lim_mttr_s: float = 60.0
+    lim_slowdown: float = 2.0
+    dock_mttf_s: float | None = None
+    dock_mttr_s: float = 60.0
+    stall_prob: float = 0.0
+    stall_time_s: float = 0.0
+    stall_abort_prob: float = 0.0
+    drive_failure_prob: float = 0.0
+    distribution: str = "exponential"
+    seed: int = 0
+
+
+@dataclass
+class ChaosInjectors:
+    """Handles for one installed fault cocktail."""
+
+    spec: ChaosSpec
+    system: DhlSystem
+    track: TrackOutageInjector | None = None
+    lim: LimDegradationInjector | None = None
+    dock: DockOutageInjector | None = None
+    stall: CartStallInjector | None = None
+    drives: object | None = None  # FaultInjector; typed loosely to avoid a cycle
+
+    def stop(self) -> None:
+        """Halt every fault process and detach every hook."""
+        for injector in (self.track, self.lim, self.dock):
+            if injector is not None:
+                injector.stop()
+        for hooked in (self.stall, self.drives):
+            if hooked is not None:
+                hooked.detach()
+
+    def availability_model(self, per_shuttle_s: float) -> AvailabilityModel:
+        """The closed-form prediction matching this cocktail.
+
+        ``per_shuttle_s`` is the fault-free tube occupancy of one
+        shuttle (undock + travel + dock); it scales the stall overhead.
+        Only track outages and stalls enter the model: LIM degradation
+        and dock outages reduce headroom, not the serialised-tube
+        bottleneck, so for a tube-bound campaign they are second-order.
+        """
+        components = []
+        if self.track is not None:
+            components.append(self.track.component("track"))
+        if not components:
+            components.append(RepairableComponent("ideal", mttf_s=1.0, mttr_s=0.0))
+        overhead = 0.0
+        if self.stall is not None and self.spec.stall_prob > 0:
+            overhead = stall_overhead(
+                self.spec.stall_prob, self.spec.stall_time_s, per_shuttle_s
+            )
+        return AvailabilityModel(components=tuple(components), overhead=overhead)
+
+
+def install_chaos(system: DhlSystem, spec: ChaosSpec) -> ChaosInjectors:
+    """Install a full fault cocktail on ``system``; returns the handles."""
+    from .faults import FaultInjector
+
+    handles = ChaosInjectors(spec=spec, system=system)
+    if spec.track_mttf_s is not None:
+        handles.track = TrackOutageInjector(
+            system,
+            mttf_s=spec.track_mttf_s,
+            mttr_s=spec.track_mttr_s,
+            seed=spec.seed,
+            distribution=spec.distribution,
+        )
+    if spec.lim_mttf_s is not None:
+        handles.lim = LimDegradationInjector(
+            system,
+            mttf_s=spec.lim_mttf_s,
+            mttr_s=spec.lim_mttr_s,
+            seed=spec.seed + 1,
+            distribution=spec.distribution,
+            slowdown=spec.lim_slowdown,
+        )
+    if spec.dock_mttf_s is not None:
+        handles.dock = DockOutageInjector(
+            system,
+            mttf_s=spec.dock_mttf_s,
+            mttr_s=spec.dock_mttr_s,
+            seed=spec.seed + 2,
+            distribution=spec.distribution,
+        )
+    if spec.stall_prob > 0.0:
+        handles.stall = CartStallInjector(
+            system,
+            stall_prob=spec.stall_prob,
+            stall_time_s=spec.stall_time_s,
+            abort_prob=spec.stall_abort_prob,
+            seed=spec.seed + 3,
+        )
+    if spec.drive_failure_prob > 0.0:
+        handles.drives = FaultInjector(
+            system,
+            per_drive_trip_failure_prob=spec.drive_failure_prob,
+            seed=spec.seed + 4,
+        )
+    return handles

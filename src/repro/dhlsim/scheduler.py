@@ -11,15 +11,30 @@ calls out:
   blocks the tube;
 * endpoints have limited docking capacity, so carts return to the
   library when their data is consumed.
+
+Reliability: every shuttle operation runs under the system's
+:class:`~repro.dhlsim.policy.ShuttlePolicy` — failed attempts (track
+breach, in-tube stall) are retried with exponential backoff and the
+whole operation can race a deadline.  Fault models observe and steer
+attempts through the ``pre_shuttle_hooks`` / ``post_shuttle_hooks``
+lists instead of monkey-patching ``_shuttle``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
 
 from ..core.params import DhlParams
-from ..errors import SchedulingError
-from ..sim import Environment, Event
+from ..errors import (
+    DegradedServiceError,
+    SchedulingError,
+    ShuttleTimeoutError,
+    TrackFaultError,
+)
+from ..sim import Environment, Event, Interrupt
 from ..storage.datasets import Dataset
 from ..storage.library import PlacementPlan, plan_placement
 from ..storage.ssd_array import SsdArray
@@ -27,7 +42,32 @@ from .cart import Cart, CartState
 from .docking import DockingStation, RackEndpoint
 from .library_node import LibraryNode
 from .metrics import Telemetry
+from .policy import NO_RETRY, FailoverPolicy, ShuttlePolicy
 from .track import Track, build_tracks, pick_track
+
+
+@dataclass
+class ShuttleAttempt:
+    """One physical launch attempt, visible to shuttle hooks.
+
+    Pre-shuttle hooks run once the attempt is committed to launch (tube
+    claimed, track up) and may mutate the fault directives: set
+    ``stall_s`` to stall the cart mid-tube for that long, and
+    ``abort_in_tube`` to have the stall end in extraction (the attempt
+    fails with :class:`~repro.errors.TrackFaultError`).  Post-shuttle
+    hooks observe completed attempts.
+    """
+
+    cart: Cart
+    src: int
+    dst: int
+    number: int = 1
+    stall_s: float = 0.0
+    abort_in_tube: bool = False
+    abort_reason: str | None = None
+
+
+ShuttleHook = Callable[[ShuttleAttempt], None]
 
 
 @dataclass
@@ -40,10 +80,15 @@ class DhlSystem:
     stations_per_rack: int = 2
     library_slots: int = 512
     parity_drives: int = 0
+    shuttle_policy: ShuttlePolicy = NO_RETRY
+    failover: FailoverPolicy | None = None
+    retry_seed: int = 0
     tracks: list[Track] = field(init=False)
     library: LibraryNode = field(init=False)
     racks: dict[int, RackEndpoint] = field(init=False)
     telemetry: Telemetry = field(init=False)
+    pre_shuttle_hooks: list[ShuttleHook] = field(init=False)
+    post_shuttle_hooks: list[ShuttleHook] = field(init=False)
 
     def __post_init__(self) -> None:
         self.tracks = build_tracks(self.env, self.params, self.n_racks)
@@ -59,6 +104,9 @@ class DhlSystem:
                     n_stations=self.stations_per_rack,
                 )
         self.telemetry = Telemetry(self.env)
+        self.pre_shuttle_hooks = []
+        self.post_shuttle_hooks = []
+        self._retry_rng = np.random.default_rng(self.retry_seed)
 
     # -- factories ---------------------------------------------------------------
 
@@ -104,12 +152,20 @@ class DhlSystem:
         """Process: move a READY cart from its location to endpoint ``dst``.
 
         Sequence: undock handling, exclusive tube traversal, dock
-        handling.  Launch energy is metered per hop.  The caller is
-        responsible for slot reservations at the destination.
+        handling — wrapped in the system's retry/deadline policy.
+        Launch energy is metered per hop.  The caller is responsible for
+        slot reservations at the destination.
         """
         return self.env.process(self._shuttle(cart, dst))
 
     def _shuttle(self, cart: Cart, dst: int):
+        """Retry wrapper: run attempts under the shuttle policy.
+
+        Raises :class:`ShuttleTimeoutError` when the per-operation
+        deadline races ahead of the attempt, and
+        :class:`DegradedServiceError` when attempts are exhausted or the
+        track outage has outlasted ``give_up_outage_s``.
+        """
         if cart.state != CartState.READY:
             raise SchedulingError(
                 f"cart {cart.cart_id} must be READY to shuttle, is {cart.state}"
@@ -117,21 +173,128 @@ class DhlSystem:
         src = cart.location
         if src == dst:
             raise SchedulingError(f"cart {cart.cart_id} is already at endpoint {dst}")
+        policy = self.shuttle_policy
+        deadline_at = (
+            None if policy.deadline_s is None else self.env.now + policy.deadline_s
+        )
         track = pick_track(self.tracks, src, dst)
-        with track.tube.request() as tube_claim:
-            yield tube_claim
-            yield self.env.timeout(self.params.undock_time)
-            cart.transition(CartState.IN_TRANSIT)
-            cart.location = dst
-            yield self.env.timeout(track.travel_time(src, dst))
-            cart.transition(CartState.ARRIVED)
-            # Docking blocks the tube: hold the claim through the dock.
-            yield self.env.timeout(self.params.dock_time)
+        last_fault: TrackFaultError | None = None
+        for attempt_number in range(1, policy.max_attempts + 1):
+            attempt = ShuttleAttempt(cart=cart, src=src, dst=dst, number=attempt_number)
+            proc = self.env.process(self._shuttle_once(attempt, track))
+            try:
+                if deadline_at is None:
+                    return (yield proc)
+                remaining = deadline_at - self.env.now
+                if remaining <= 0:
+                    raise ShuttleTimeoutError(
+                        f"cart {cart.cart_id} {src}->{dst}: deadline "
+                        f"{policy.deadline_s:.3g}s exhausted before attempt "
+                        f"{attempt_number}"
+                    )
+                # The paper-prescribed deadline: race the attempt against
+                # a timeout; whichever fires first decides the outcome.
+                race = self.env.any_of([proc, self.env.timeout(remaining)])
+                yield race
+                if proc.triggered:
+                    if proc.ok:
+                        return proc.value
+                    raise proc.value
+                proc.interrupt("shuttle deadline exceeded")
+                try:
+                    yield proc  # wait for the attempt to unwind cleanly
+                except (Interrupt, TrackFaultError):
+                    pass
+                self.telemetry.increment("shuttle_timeouts")
+                raise ShuttleTimeoutError(
+                    f"cart {cart.cart_id} {src}->{dst} exceeded its "
+                    f"{policy.deadline_s:.3g}s deadline on attempt {attempt_number}"
+                )
+            except TrackFaultError as fault:
+                last_fault = fault
+                self.telemetry.increment("shuttle_faults")
+            if (
+                policy.give_up_outage_s is not None
+                and track.health.outage_age(self.env.now) >= policy.give_up_outage_s
+            ):
+                raise DegradedServiceError(
+                    f"track {track.name} has been down "
+                    f"{track.health.outage_age(self.env.now):.3g}s "
+                    f"(threshold {policy.give_up_outage_s:.3g}s); degrading"
+                ) from last_fault
+            if attempt_number == policy.max_attempts:
+                break
+            self.telemetry.increment("shuttle_retries")
+            yield self.env.timeout(
+                policy.backoff_delay(attempt_number, self._retry_rng)
+            )
+        if policy.max_attempts == 1 and last_fault is not None:
+            raise last_fault  # fail-fast policy: surface the root cause directly
+        raise DegradedServiceError(
+            f"cart {cart.cart_id} {src}->{dst} failed after "
+            f"{policy.max_attempts} attempts"
+        ) from last_fault
+
+    def _shuttle_once(self, attempt: ShuttleAttempt, track: Track):
+        """One physical launch attempt; normalises cart state on failure."""
+        cart, src, dst = attempt.cart, attempt.src, attempt.dst
+        try:
+            if not track.health.tube_available:
+                raise TrackFaultError(
+                    f"tube {track.name} is unavailable (breach under repair)",
+                    track=track.name,
+                    cause="breach",
+                )
+            with track.tube.request() as tube_claim:
+                yield tube_claim
+                # Re-check: the breach may have struck while we queued.
+                if not track.health.tube_available:
+                    raise TrackFaultError(
+                        f"tube {track.name} went down while cart "
+                        f"{cart.cart_id} queued for it",
+                        track=track.name,
+                        cause="breach",
+                    )
+                for hook in list(self.pre_shuttle_hooks):
+                    hook(attempt)
+                yield self.env.timeout(self.params.undock_time)
+                cart.transition(CartState.IN_TRANSIT)
+                cart.location = dst
+                # A degraded LIM launches slower but still launches.
+                travel = track.travel_time(src, dst) * track.health.lim_slowdown
+                if attempt.stall_s > 0.0 or attempt.abort_in_tube:
+                    yield self.env.timeout(travel / 2.0)
+                    self.telemetry.increment("cart_stalls")
+                    if attempt.stall_s > 0.0:
+                        self.telemetry.record_duration("stall", attempt.stall_s)
+                        yield self.env.timeout(attempt.stall_s)
+                    if attempt.abort_in_tube:
+                        raise TrackFaultError(
+                            f"cart {cart.cart_id} stalled in {track.name} "
+                            "and was extracted",
+                            track=track.name,
+                            cause=attempt.abort_reason or "stall",
+                        )
+                    yield self.env.timeout(travel / 2.0)
+                else:
+                    yield self.env.timeout(travel)
+                cart.transition(CartState.ARRIVED)
+                # Docking blocks the tube: hold the claim through the dock.
+                yield self.env.timeout(self.params.dock_time)
+        except BaseException:
+            # Breach, extraction or deadline interrupt: the tube claim is
+            # released by the context manager; park the cart READY at its
+            # origin so the retry layer can relaunch or re-store it.
+            if cart.state in (CartState.IN_TRANSIT, CartState.ARRIVED):
+                cart.abort_transit(src)
+            raise
         energy = track.hop_energy(src, dst)
         self.telemetry.record_energy("launch", energy)
         self.telemetry.increment("launches")
         track.record_traversal(src, dst)
         cart.trips_completed += 1
+        for hook in list(self.post_shuttle_hooks):
+            hook(attempt)
         return cart
 
     # -- high-level movements -----------------------------------------------------
@@ -151,6 +314,13 @@ class DhlSystem:
             station.attach(cart)
         except BaseException:
             slot.release()
+            # A failed attempt parks the cart READY at its origin (the
+            # library); re-admit it so the cart is never leaked.
+            if (
+                cart.state == CartState.READY
+                and cart.location == self.library.endpoint_id
+            ):
+                self.library.admit(cart)
             raise
         station.slot_claim = slot  # released on return
         self.telemetry.increment("dispatches")
@@ -162,13 +332,44 @@ class DhlSystem:
 
     def _return(self, cart: Cart, endpoint_id: int):
         rack = self.rack(endpoint_id)
-        station = rack.station_holding(cart)
-        cart = station.detach()
-        slot_claim = getattr(station, "slot_claim", None)
-        if slot_claim is not None:
-            slot_claim.release()
-            station.slot_claim = None
-        yield self.env.process(self._shuttle(cart, self.library.endpoint_id))
+        if cart in rack.stranded:
+            # A previous return attempt failed and parked the cart in
+            # the recovery bay; it is READY at the rack, not docked.
+            rack.stranded.remove(cart)
+        else:
+            station = rack.station_holding(cart)
+            cart = station.detach()
+            slot_claim = getattr(station, "slot_claim", None)
+            if slot_claim is not None:
+                slot_claim.release()
+                station.slot_claim = None
+        try:
+            yield self.env.process(self._shuttle(cart, self.library.endpoint_id))
+        except BaseException:
+            # The cart is parked READY back at the rack.  Without this
+            # handler a mid-shuttle fault stranded it detached with its
+            # dock slot already released.  Re-dock it if a slot and a
+            # station are still free, otherwise park it in the rack's
+            # recovery bay for a later return attempt.
+            recovery = rack.slots.request()
+            station = None
+            if recovery.triggered:
+                station = next(
+                    (
+                        candidate
+                        for candidate in rack.stations
+                        if not candidate.occupied and not candidate.out_of_service
+                    ),
+                    None,
+                )
+            if station is not None:
+                station.attach(cart)
+                station.slot_claim = recovery
+            else:
+                recovery.release()
+                rack.strand(cart)
+                self.telemetry.increment("stranded_carts")
+            raise
         self.library.admit(cart)
         self.telemetry.increment("returns")
         return cart
@@ -185,3 +386,22 @@ class DhlSystem:
 
     def station_for_shard(self, endpoint_id: int, dataset: str, index: int) -> DockingStation:
         return self.rack(endpoint_id).find_docked(dataset, index)
+
+    def leaked_resources(self) -> dict[str, int]:
+        """Claims still held across tubes and racks (chaos-test invariant).
+
+        A quiescent system — no transfer in flight — must report zero
+        everywhere: failed shuttles release tube claims, failed
+        dispatches release dock slots.
+        """
+        leaks = {}
+        for track in self.tracks:
+            leaks[f"tube:{track.name}"] = track.tube.count
+        for endpoint_id, rack in self.racks.items():
+            held = rack.slots.count
+            docked = len(rack.docked_carts)
+            out_of_service = sum(
+                1 for station in rack.stations if station.out_of_service
+            )
+            leaks[f"slots:{endpoint_id}"] = held - docked - out_of_service
+        return leaks

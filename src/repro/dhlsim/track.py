@@ -53,6 +53,48 @@ def default_endpoints(params: DhlParams, n_racks: int = 1) -> tuple[Endpoint, ..
 
 
 @dataclass
+class TrackHealth:
+    """Mutable fault state of one track: tube availability, LIM health.
+
+    Fault injectors (``repro.dhlsim.reliability``) flip these flags; the
+    scheduler consults them before and after claiming the tube.  A
+    breach makes the tube unavailable until repair; a degraded LIM
+    leaves the tube open but stretches travel time by ``lim_slowdown``.
+    """
+
+    tube_available: bool = True
+    down_since: float = 0.0
+    lim_slowdown: float = 1.0
+    outages: int = 0
+    downtime_s: float = 0.0
+
+    def mark_down(self, now: float) -> None:
+        if not self.tube_available:
+            raise SchedulingError("track is already down")
+        self.tube_available = False
+        self.down_since = now
+        self.outages += 1
+
+    def mark_up(self, now: float) -> None:
+        if self.tube_available:
+            raise SchedulingError("track is not down")
+        self.tube_available = True
+        self.downtime_s += now - self.down_since
+
+    def outage_age(self, now: float) -> float:
+        """Seconds the current outage has lasted (0 when the track is up)."""
+        return 0.0 if self.tube_available else now - self.down_since
+
+    def degrade_lim(self, slowdown: float) -> None:
+        if slowdown < 1.0:
+            raise SchedulingError(f"lim slowdown must be >= 1, got {slowdown}")
+        self.lim_slowdown = slowdown
+
+    def restore_lim(self) -> None:
+        self.lim_slowdown = 1.0
+
+
+@dataclass
 class Track:
     """A single vacuum tube connecting all endpoints, with occupancy control."""
 
@@ -61,6 +103,7 @@ class Track:
     endpoints: tuple[Endpoint, ...]
     name: str = "rail-0"
     tube: Resource = field(init=False)
+    health: TrackHealth = field(init=False)
     traversals: int = 0
     metres_travelled: float = 0.0
 
@@ -71,6 +114,7 @@ class Track:
         if len(set(ids)) != len(ids):
             raise SchedulingError(f"duplicate endpoint ids on track {self.name}: {ids}")
         self.tube = Resource(self.env, capacity=1)
+        self.health = TrackHealth()
         self._by_id = {endpoint.endpoint_id: endpoint for endpoint in self.endpoints}
 
     def endpoint(self, endpoint_id: int) -> Endpoint:

@@ -35,6 +35,41 @@ class CartStateError(SchedulingError):
     """A cart was asked to transition to an invalid state (e.g. launch while docked)."""
 
 
+class TrackFaultError(SchedulingError):
+    """A shuttle attempt failed because the track is faulted.
+
+    Raised when the tube is breached (unavailable), a cart stalls
+    in-tube and has to be extracted, or the attempt cannot physically
+    proceed.  Retryable: :class:`~repro.dhlsim.policy.ShuttlePolicy`
+    catches it and backs off.
+    """
+
+    def __init__(self, message: str, *, track: str | None = None,
+                 cause: str | None = None):
+        super().__init__(message)
+        self.track = track
+        self.cause = cause
+
+
+class ShuttleTimeoutError(SchedulingError):
+    """A shuttle operation exceeded its per-operation deadline.
+
+    Raised by the retry wrapper when the deadline race (``AnyOf`` of the
+    attempt process and a ``Timeout``) is won by the timeout.  Not
+    retried: the deadline bounds the whole operation, not one attempt.
+    """
+
+
+class DegradedServiceError(SchedulingError):
+    """The DHL cannot serve a request within its fault policy.
+
+    Raised when retries are exhausted or a track outage has lasted past
+    the failover threshold.  Callers holding a
+    :class:`~repro.dhlsim.policy.FailoverPolicy` respond by re-routing
+    the transfer over the optical network.
+    """
+
+
 class StorageError(ReproError):
     """A storage-layer operation failed (unknown device, capacity exceeded)."""
 

@@ -227,10 +227,14 @@ class Condition(Event):
                 event.callbacks.append(self._count)
 
     def _count(self, event: Event) -> None:
+        if not event._ok:
+            # Defuse even after the condition resolved: a loser of an
+            # AnyOf race that fails later is the condition's to absorb,
+            # not a crash (simpy semantics).
+            event._defused = True
         if self.triggered:
             return
         if not event._ok:
-            event._defused = True
             self._ok = False
             self._value = event._value
             self.env._schedule(self)

@@ -1,0 +1,97 @@
+"""Tests for the closed-form availability / fault-tolerance model."""
+
+import pytest
+
+from repro.core.availability import (
+    AvailabilityModel,
+    RepairableComponent,
+    series_availability,
+    stall_overhead,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRepairableComponent:
+    def test_availability_is_mttf_fraction(self):
+        track = RepairableComponent("track", mttf_s=900.0, mttr_s=100.0)
+        assert track.availability == pytest.approx(0.9)
+
+    def test_failure_rate_is_inverse_mttf(self):
+        track = RepairableComponent("track", mttf_s=400.0, mttr_s=60.0)
+        assert track.failure_rate_per_s == pytest.approx(1 / 400.0)
+
+    def test_expected_outages_per_renewal_cycle(self):
+        track = RepairableComponent("track", mttf_s=400.0, mttr_s=60.0)
+        # One failure per (MTTF + MTTR) renewal cycle on average.
+        assert track.expected_outages(4600.0) == pytest.approx(10.0)
+
+    def test_expected_downtime(self):
+        track = RepairableComponent("track", mttf_s=400.0, mttr_s=60.0)
+        assert track.expected_downtime(4600.0) == pytest.approx(600.0)
+
+    def test_rejects_nonpositive_mttf(self):
+        with pytest.raises(ConfigurationError):
+            RepairableComponent("bad", mttf_s=0.0, mttr_s=60.0)
+
+    def test_rejects_negative_mttr(self):
+        with pytest.raises(ConfigurationError):
+            RepairableComponent("bad", mttf_s=100.0, mttr_s=-1.0)
+
+    def test_zero_mttr_is_perfectly_available(self):
+        instant = RepairableComponent("instant", mttf_s=100.0, mttr_s=0.0)
+        assert instant.availability == 1.0
+
+
+class TestSeriesAvailability:
+    def test_multiplies(self):
+        a = RepairableComponent("a", mttf_s=900.0, mttr_s=100.0)
+        b = RepairableComponent("b", mttf_s=400.0, mttr_s=100.0)
+        assert series_availability(a, b) == pytest.approx(0.9 * 0.8)
+
+    def test_empty_series_is_available(self):
+        assert series_availability() == 1.0
+
+
+class TestStallOverhead:
+    def test_scales_with_probability_and_duration(self):
+        # 5% of shuttles stall 5 s on a 10 s trip: +2.5% time.
+        assert stall_overhead(0.05, 5.0, 10.0) == pytest.approx(0.025)
+
+    def test_zero_probability_is_free(self):
+        assert stall_overhead(0.0, 30.0, 10.0) == 0.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            stall_overhead(1.5, 5.0, 10.0)
+
+    def test_rejects_nonpositive_shuttle_time(self):
+        with pytest.raises(ConfigurationError):
+            stall_overhead(0.1, 5.0, 0.0)
+
+
+class TestAvailabilityModel:
+    def model(self):
+        track = RepairableComponent("track", mttf_s=400.0, mttr_s=100.0)
+        return AvailabilityModel(components=(track,), overhead=0.025)
+
+    def test_slowdown_combines_downtime_and_stalls(self):
+        model = self.model()
+        assert model.availability == pytest.approx(0.8)
+        assert model.slowdown == pytest.approx(1.025 / 0.8)
+
+    def test_effective_time_stretches(self):
+        model = self.model()
+        assert model.effective_time(800.0) == pytest.approx(800.0 * 1.025 / 0.8)
+
+    def test_effective_bandwidth_shrinks(self):
+        model = self.model()
+        assert model.effective_bandwidth(100.0) == pytest.approx(100.0 * 0.8 / 1.025)
+
+    def test_expected_downtime_over_duration(self):
+        model = self.model()
+        assert model.expected_downtime(5000.0) == pytest.approx(1000.0)
+
+    def test_fault_free_model_is_identity(self):
+        model = AvailabilityModel(components=(), overhead=0.0)
+        assert model.slowdown == 1.0
+        assert model.effective_bandwidth(42.0) == 42.0

@@ -80,6 +80,90 @@ class TestInjector:
         assert abs(injector.injected_failures - expected) < 4 * sigma + 1
 
 
+class TestHookRegistration:
+    def test_attach_registers_one_hook(self, env):
+        system, _ = staged(env)
+        injector = FaultInjector(system, per_drive_trip_failure_prob=0.01)
+        assert injector.attached
+        assert system.pre_shuttle_hooks == [injector._on_shuttle]
+
+    def test_two_injectors_compose_without_stacking(self, env):
+        # Regression: the old _wrap_shuttle approach double-wrapped
+        # _shuttle, so a second injector re-applied the first one's
+        # faults.  With hooks, each shuttle rolls each injector exactly
+        # once.
+        system, dataset = staged(env, parity=16, shards=2)
+        first = FaultInjector(system, per_drive_trip_failure_prob=0.0, seed=1)
+        second = FaultInjector(system, per_drive_trip_failure_prob=0.0, seed=2)
+        calls = []
+        first.inject, second.inject = (
+            lambda cart: calls.append("first") or 0,
+            lambda cart: calls.append("second") or 0,
+        )
+        api = DhlApi(system)
+        env.run(until=api.bulk_transfer(dataset, read_payload=False))
+        launches = system.total_launches
+        assert calls.count("first") == launches
+        assert calls.count("second") == launches
+
+    def test_detach_stops_injection_and_is_idempotent(self, env):
+        system, dataset = staged(env, parity=4)
+        injector = FaultInjector(system, per_drive_trip_failure_prob=1.0, seed=1)
+        injector.detach()
+        injector.detach()  # second call is a no-op, not an error
+        assert not injector.attached
+        assert system.pre_shuttle_hooks == []
+        api = DhlApi(system)
+        env.run(until=api.bulk_transfer(dataset))
+        assert injector.injected_failures == 0
+
+    def test_detach_leaves_other_injectors_alone(self, env):
+        system, _ = staged(env)
+        keep = FaultInjector(system, per_drive_trip_failure_prob=0.01, seed=1)
+        drop = FaultInjector(system, per_drive_trip_failure_prob=0.01, seed=2)
+        drop.detach()
+        assert system.pre_shuttle_hooks == [keep._on_shuttle]
+
+
+@pytest.mark.slow
+class TestInjectionStatistics:
+    """Property test: measured failures track the closed-form expectation."""
+
+    PROB = 0.01
+    SEEDS = (3, 7, 11, 19, 42)
+
+    def campaign_failures(self, seed):
+        env = Environment()
+        system = DhlSystem(env, parity_drives=16)
+        dataset = synthetic_dataset(25 * 120 * TB, name="stats")
+        system.load_dataset(dataset)
+        injector = FaultInjector(
+            system, per_drive_trip_failure_prob=self.PROB, seed=seed
+        )
+        api = DhlApi(system)
+        env.run(until=api.bulk_transfer(dataset, read_payload=False))
+        return injector.injected_failures, system.total_launches
+
+    def test_expectation_holds_across_seeds(self):
+        n_drives = 32
+        for seed in self.SEEDS:
+            failures, launches = self.campaign_failures(seed)
+            expected = expected_failures_per_campaign(n_drives, launches, self.PROB)
+            sigma = (launches * n_drives * self.PROB * (1 - self.PROB)) ** 0.5
+            assert abs(failures - expected) < 4 * sigma + 1, (
+                f"seed {seed}: {failures} failures vs expectation {expected:.1f}"
+            )
+
+    def test_aggregate_mean_is_tight(self):
+        # Pooling seeds shrinks the tolerance to ~2 sigma of the mean.
+        totals = [self.campaign_failures(seed) for seed in self.SEEDS]
+        failures = sum(f for f, _ in totals)
+        launches = sum(l for _, l in totals)
+        expected = expected_failures_per_campaign(32, launches, self.PROB)
+        sigma = (launches * 32 * self.PROB * (1 - self.PROB)) ** 0.5
+        assert abs(failures - expected) < 2.5 * sigma + 1
+
+
 class TestExpectation:
     def test_closed_form(self):
         assert expected_failures_per_campaign(32, 228, 0.001) == pytest.approx(7.296)

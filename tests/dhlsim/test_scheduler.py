@@ -176,3 +176,81 @@ class TestLoadDataset:
         system = make_system(env, library_slots=200)
         plan = system.load_dataset(synthetic_dataset(29_000 * TB))
         assert plan.n_carts == 114
+
+
+class TestFailureRecovery:
+    """Failed shuttles must never leak claims, carts or dock slots."""
+
+    def breach(self, system):
+        system.tracks[0].health.mark_down(system.env.now)
+
+    def repair(self, system):
+        system.tracks[0].health.mark_up(system.env.now)
+
+    def test_failed_dispatch_releases_slot_and_readmits_cart(self, env):
+        from repro.errors import TrackFaultError
+
+        system = make_system(env)
+        dataset = synthetic_dataset(256 * TB)
+        system.load_dataset(dataset)
+        cart = system.library.cart_holding(dataset.name, 0)
+        self.breach(system)
+        with pytest.raises(TrackFaultError):
+            env.run(until=system.dispatch_to_rack(cart.cart_id, 1))
+        assert system.rack(1).slots.count == 0
+        assert cart.state == CartState.STORED
+        assert system.library.stored_count == 1  # cart re-admitted, not lost
+
+    def test_failed_return_redocks_the_cart(self, env):
+        # Regression: _return detached the cart and released its slot
+        # before the shuttle; a mid-shuttle fault left the cart detached
+        # in limbo.  It must re-attach to a free station instead.
+        from repro.errors import TrackFaultError
+
+        system = make_system(env)
+        dataset = synthetic_dataset(256 * TB)
+        system.load_dataset(dataset)
+        cart = system.library.cart_holding(dataset.name, 0)
+        station = env.run(until=system.dispatch_to_rack(cart.cart_id, 1))
+        self.breach(system)
+        with pytest.raises(TrackFaultError):
+            env.run(until=system.return_to_library(cart, 1))
+        assert cart.state == CartState.DOCKED
+        assert system.rack(1).station_holding(cart) is not None
+        assert system.rack(1).slots.count == 1
+        assert all(v == 0 for v in system.leaked_resources().values())
+
+    def test_failed_return_with_full_rack_strands_into_recovery_bay(self, env):
+        from repro.errors import TrackFaultError
+
+        system = make_system(env, stations_per_rack=2)
+        dataset = synthetic_dataset(2 * 256 * TB)
+        system.load_dataset(dataset)
+        first = system.library.cart_holding(dataset.name, 0)
+        second = system.library.cart_holding(dataset.name, 1)
+        env.run(until=system.dispatch_to_rack(first.cart_id, 1))
+        env.run(until=system.dispatch_to_rack(second.cart_id, 1))
+
+        def run():
+            # Occupy the slot the return just released so re-docking is
+            # impossible when the shuttle fails.
+            blocker = system.rack(1).slots.request()
+            failed = system.return_to_library(first, 1)
+            self.breach(system)
+            try:
+                yield failed
+            except TrackFaultError:
+                pass
+            blocker.release()
+
+        env.run(until=env.process(run()))
+        rack = system.rack(1)
+        assert first in rack.stranded
+        assert system.telemetry.count("stranded_carts") == 1
+
+        # A later return attempt picks the cart up from the recovery bay.
+        self.repair(system)
+        env.run(until=system.return_to_library(first, 1))
+        assert first.state == CartState.STORED
+        assert first not in rack.stranded
+        assert all(v == 0 for v in system.leaked_resources().values())

@@ -475,3 +475,33 @@ class TestConditionFailures:
             return env.now
 
         assert env.run(until=env.process(waiter())) == 1.0
+
+
+class TestQueueDrainEdgeCases:
+    def test_run_until_event_queue_drains_mid_simulation(self):
+        # The queue is non-empty at first but drains before the awaited
+        # event fires: run() must diagnose the deadlock, not hang or
+        # return silently.
+        env = Environment()
+        orphan = env.event()
+
+        def busywork():
+            yield env.timeout(5)
+            yield env.timeout(5)
+
+        env.process(busywork())
+        with pytest.raises(SimulationError, match="never fired"):
+            env.run(until=orphan)
+        assert env.now == 10  # all scheduled work ran before the diagnosis
+
+    def test_run_until_event_fired_by_last_process(self):
+        # Boundary: the awaited event fires on the very last queue entry.
+        env = Environment()
+        finish = env.event()
+
+        def worker():
+            yield env.timeout(3)
+            finish.succeed("done")
+
+        env.process(worker())
+        assert env.run(until=finish) == "done"

@@ -8,6 +8,7 @@ from repro.errors import SimulationError
 from repro.sim import (
     Container,
     Environment,
+    Interrupt,
     PriorityResource,
     Resource,
     Store,
@@ -324,3 +325,95 @@ class TestContainer:
         container = Container(Environment(), capacity=5)
         with pytest.raises(SimulationError):
             container.put(6)
+
+
+class TestInterruptDuringClaim:
+    def test_interrupt_while_holding_releases_via_context_manager(self):
+        # A process interrupted while *holding* a Resource must release
+        # the claim through the context manager so waiters proceed.
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            with resource.request() as claim:
+                yield claim
+                order.append("acquired")
+                try:
+                    yield env.timeout(100)
+                except Interrupt:
+                    order.append("interrupted")
+                    return
+
+        def waiter():
+            with resource.request() as claim:
+                yield claim
+                order.append(("waiter-in", env.now))
+
+        victim = env.process(holder())
+        env.process(waiter())
+
+        def interrupter():
+            yield env.timeout(10)
+            victim.interrupt("maintenance")
+
+        env.process(interrupter())
+        env.run()
+        assert order == ["acquired", "interrupted", ("waiter-in", 10)]
+        assert resource.count == 0
+
+    def test_interrupt_while_queued_abandons_the_claim(self):
+        # Interrupted while still *waiting*: the pending request must be
+        # cancelled so the resource never counts a ghost claim.
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+
+        def queued():
+            with resource.request() as claim:
+                try:
+                    yield claim
+                except Interrupt:
+                    return "abandoned"
+
+        victim = env.process(queued())
+
+        def interrupter():
+            yield env.timeout(1)
+            victim.interrupt()
+
+        env.process(interrupter())
+        env.run()
+        assert victim.value == "abandoned"
+        first.release()
+        assert resource.count == 0
+
+
+class TestGetMatchingEdgeCases:
+    def test_miss_leaves_store_intact(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        miss = store.get_matching(lambda item: item == "z")
+        miss.defuse()
+        env.run()
+        assert not miss.ok
+        assert list(store.items) == ["a"]  # nothing consumed on a miss
+
+    def test_miss_raises_in_waiting_process(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        outcomes = []
+
+        def getter():
+            try:
+                yield store.get_matching(lambda item: item > 10)
+            except SimulationError:
+                outcomes.append("miss")
+            item = yield store.get_matching(lambda item: item == 1)
+            outcomes.append(item)
+
+        env.process(getter())
+        env.run()
+        assert outcomes == ["miss", 1]
