@@ -180,23 +180,33 @@ class DhlSystem:
         track = pick_track(self.tracks, src, dst)
         last_fault: TrackFaultError | None = None
         for attempt_number in range(1, policy.max_attempts + 1):
-            attempt = ShuttleAttempt(cart=cart, src=src, dst=dst, number=attempt_number)
-            proc = self.env.process(self._shuttle_once(attempt, track))
-            try:
-                if deadline_at is None:
-                    return (yield proc)
+            # Exhaustion check must precede spawning the attempt: a
+            # process launched here with no one left to yield it would
+            # fail undefused and crash the whole run.
+            remaining = None
+            if deadline_at is not None:
                 remaining = deadline_at - self.env.now
                 if remaining <= 0:
+                    self.telemetry.increment("shuttle_timeouts")
                     raise ShuttleTimeoutError(
                         f"cart {cart.cart_id} {src}->{dst}: deadline "
                         f"{policy.deadline_s:.3g}s exhausted before attempt "
                         f"{attempt_number}"
                     )
+            attempt = ShuttleAttempt(cart=cart, src=src, dst=dst, number=attempt_number)
+            proc = self.env.process(self._shuttle_once(attempt, track))
+            try:
+                if remaining is None:
+                    return (yield proc)
                 # The paper-prescribed deadline: race the attempt against
                 # a timeout; whichever fires first decides the outcome.
-                race = self.env.any_of([proc, self.env.timeout(remaining)])
+                deadline_event = self.env.timeout(remaining)
+                race = self.env.any_of([proc, deadline_event])
                 yield race
                 if proc.triggered:
+                    # Drop the losing timeout so a draining run() does
+                    # not spin virtual time out to the full deadline.
+                    deadline_event.cancel()
                     if proc.ok:
                         return proc.value
                     raise proc.value
@@ -225,9 +235,12 @@ class DhlSystem:
             if attempt_number == policy.max_attempts:
                 break
             self.telemetry.increment("shuttle_retries")
-            yield self.env.timeout(
-                policy.backoff_delay(attempt_number, self._retry_rng)
-            )
+            backoff = policy.backoff_delay(attempt_number, self._retry_rng)
+            if deadline_at is not None:
+                # Never sleep past the deadline: wake exactly at it so
+                # the exhaustion check above fires on time.
+                backoff = min(backoff, max(deadline_at - self.env.now, 0.0))
+            yield self.env.timeout(backoff)
         if policy.max_attempts == 1 and last_fault is not None:
             raise last_fault  # fail-fast policy: surface the root cause directly
         raise DegradedServiceError(

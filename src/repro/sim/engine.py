@@ -42,6 +42,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool | None = None
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -88,6 +89,18 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so it does not crash the run."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Discard a scheduled event: the queue drops it without advancing
+        time or running its callbacks.  A no-op once the event has been
+        processed, so the loser of a resolved race can always be
+        cancelled unconditionally.  Processes still waiting on a
+        cancelled event never resume — cancel only events whose waiters
+        have already been satisfied some other way.
+        """
+        if self.processed:
+            return
+        self._cancelled = True
 
     def __repr__(self) -> str:
         state = "triggered" if self.triggered else "pending"
@@ -307,8 +320,14 @@ class Environment:
 
     # -- execution -----------------------------------------------------------
 
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled events from the head of the queue (lazy delete)."""
+        while self._queue and self._queue[0][3]._cancelled:
+            heapq.heappop(self._queue)
+
     def step(self) -> None:
         """Process the next event in the queue."""
+        self._purge_cancelled()
         if not self._queue:
             raise SimulationError("no more events to process")
         when, _priority, _eid, event = heapq.heappop(self._queue)
@@ -334,6 +353,7 @@ class Environment:
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
+                self._purge_cancelled()
                 if not self._queue:
                     raise SimulationError(
                         "event queue is empty but the awaited event never fired"
@@ -346,14 +366,21 @@ class Environment:
             deadline = float(until)
             if deadline < self._now:
                 raise SimulationError(f"deadline {deadline} is in the past (now={self._now})")
-            while self._queue and self._queue[0][0] <= deadline:
+            while True:
+                self._purge_cancelled()
+                if not (self._queue and self._queue[0][0] <= deadline):
+                    break
                 self.step()
             self._now = deadline
             return None
-        while self._queue:
+        while True:
+            self._purge_cancelled()
+            if not self._queue:
+                break
             self.step()
         return None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
+        self._purge_cancelled()
         return self._queue[0][0] if self._queue else float("inf")

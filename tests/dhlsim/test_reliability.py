@@ -233,6 +233,38 @@ class TestDeadline:
         assert env.now == pytest.approx(trip_time(DhlParams()))
         assert cart.location == 1
 
+    def test_backoff_past_deadline_surfaces_timeout_not_crash(self, env):
+        # Regression: the attempt process used to be spawned before the
+        # exhaustion check, so a backoff that slept past the deadline
+        # left an orphaned attempt whose TrackFaultError crashed the
+        # whole run instead of surfacing ShuttleTimeoutError.
+        policy = ShuttlePolicy(max_attempts=3, base_backoff_s=50.0, deadline_s=10.0)
+        system = DhlSystem(env, shuttle_policy=policy)
+        system.tracks[0].health.mark_down(env.now)  # every attempt faults
+        cart = ready_cart(system)
+        with pytest.raises(ShuttleTimeoutError, match="exhausted"):
+            env.run(until=system.shuttle(cart, dst=1))
+        # Backoff is capped at the deadline, so the timeout fires at
+        # t=10, not after the full 50 s sleep.
+        assert env.now == pytest.approx(10.0)
+        assert cart.state == CartState.READY
+        assert system.tracks[0].tube.count == 0
+        assert system.telemetry.count("shuttle_timeouts") == 1
+        env.run()  # no orphaned attempt left behind to crash the drain
+
+    def test_won_race_leaves_no_deadline_event_queued(self, env):
+        # Regression: the losing deadline timeout stayed queued after a
+        # successful shuttle, so a draining run() spun virtual time out
+        # to the full deadline.
+        policy = ShuttlePolicy(max_attempts=1, deadline_s=100_000.0)
+        system = DhlSystem(env, shuttle_policy=policy)
+        cart = ready_cart(system)
+        env.run(until=system.shuttle(cart, dst=1))
+        finished_at = env.now
+        env.run()  # drain
+        assert env.now == pytest.approx(finished_at)
+        assert env.peek() == float("inf")
+
 
 class TestGiveUp:
     def test_long_outage_degrades_instead_of_retrying_forever(self, env):

@@ -356,6 +356,62 @@ class TestRunModes:
         assert env.peek() == 9
 
 
+class TestCancel:
+    def test_cancelled_timeout_never_fires_or_advances_time(self):
+        env = Environment()
+        fired = []
+        timeout = env.timeout(100)
+        timeout.callbacks.append(lambda event: fired.append(env.now))
+        timeout.cancel()
+        env.run()
+        assert fired == []
+        assert env.now == 0.0
+
+    def test_cancelled_event_is_invisible_to_peek(self):
+        env = Environment()
+        early = env.timeout(1)
+        env.timeout(5)
+        early.cancel()
+        assert env.peek() == 5
+
+    def test_cancel_does_not_swallow_later_events(self):
+        env = Environment()
+        ticks = []
+
+        def worker():
+            yield env.timeout(3)
+            ticks.append(env.now)
+
+        env.process(worker())
+        env.timeout(1).cancel()
+        env.run()
+        assert ticks == [3.0]
+
+    def test_cancel_after_processed_is_a_noop(self):
+        env = Environment()
+        timeout = env.timeout(2)
+        env.run()
+        assert env.now == 2.0
+        timeout.cancel()  # must not raise
+        assert not timeout._cancelled
+
+    def test_run_until_time_skips_cancelled_head(self):
+        env = Environment()
+        ticks = []
+
+        def worker():
+            yield env.timeout(4)
+            ticks.append(env.now)
+
+        env.process(worker())
+        env.timeout(1).cancel()
+        env.run(until=2.0)
+        assert ticks == []  # the live event at t=4 stays beyond the deadline
+        assert env.now == 2.0
+        env.run()
+        assert ticks == [4.0]
+
+
 class TestDeterminism:
     @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
     def test_events_fire_in_time_order(self, delays):
