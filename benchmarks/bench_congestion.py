@@ -10,7 +10,6 @@ from conftest import record_comparison
 from repro.network.congestion import (
     Flow,
     SharedNetwork,
-    bulk_transfer_impact,
     paper_backup_scenario,
 )
 

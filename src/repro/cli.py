@@ -73,11 +73,38 @@ def build_parser() -> argparse.ArgumentParser:
             "Hyperloops' (ISCA 2024)."
         ),
     )
-    choices = list(_TABLES) + ["fig6", "validate", "export", "all"]
+    choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
         help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="bulk-faults",
+        help="trace: named scenario to run (bulk, bulk-faults, bulk-failover)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="trace: dataset shards (one cart each) in the campaign",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="trace: seed for the scenario's fault cocktail and retries",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="trace: output path for the Perfetto/Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        help="trace: also write a structured JSONL event log here",
     )
     parser.add_argument(
         "--max-tracks",
@@ -133,6 +160,35 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         print(f"\n{len(suite.failures)} of {len(suite.checks)} checks FAILED.")
         return 1
+    if args.artefact == "trace":
+        import json
+
+        # Lazy: scenarios import the whole simulator stack.
+        from .obs.export import event_log, to_chrome_trace, validate_chrome_trace
+        from .obs.scenarios import run_scenario
+
+        result = run_scenario(args.scenario, shards=args.shards, seed=args.seed)
+        payload = to_chrome_trace(result.tracer)
+        validate_chrome_trace(payload)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        print(f"scenario {result.name}: {result.report.shards_moved} shards, "
+              f"makespan {result.makespan_s:.1f} s, "
+              f"{result.report.launches} launches")
+        print(f"wrote {len(payload['traceEvents'])} trace events to "
+              f"{args.trace_out} (load in https://ui.perfetto.dev)")
+        if args.events_out:
+            events = event_log(result.tracer)
+            with open(args.events_out, "w", encoding="utf-8") as handle:
+                for entry in events:
+                    handle.write(json.dumps(entry))
+                    handle.write("\n")
+            print(f"wrote {len(events)} log records to {args.events_out}")
+        snapshot = result.system.metrics.snapshot()
+        for name in sorted(snapshot):
+            if name.startswith("count."):
+                print(f"  {name} = {snapshot[name]['value']:g}")
+        return 0
     if args.artefact == "all":
         for name, (title, generator) in _TABLES.items():
             headers, rows = generator()

@@ -32,10 +32,18 @@ from .reliability import (
     install_chaos,
 )
 from .scheduler import DhlSystem, ShuttleAttempt
-from .timeline import Span, TimelineEvent, TimelineRecorder, render_gantt
+from .timeline import (
+    CART_STATE_EVENT,
+    Span,
+    TimelineEvent,
+    TimelineRecorder,
+    render_gantt,
+    timeline_events,
+)
 from .track import Endpoint, Track, TrackHealth, build_tracks, default_endpoints, pick_track
 
 __all__ = [
+    "CART_STATE_EVENT",
     "Cart",
     "CartState",
     "CartStallInjector",
@@ -76,4 +84,5 @@ __all__ = [
     "install_chaos",
     "pick_track",
     "speed_contention_sweep",
+    "timeline_events",
 ]

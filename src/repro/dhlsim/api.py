@@ -112,6 +112,7 @@ class DhlApi:
 
     def _bulk_transfer(self, dataset: Dataset, endpoint_id: int, read_payload: bool):
         system = self.system
+        tracer = system.tracer
         shard_keys = sorted(
             (shard_index for name, shard_index in self._library_shards(dataset.name)),
         )
@@ -126,11 +127,15 @@ class DhlApi:
         delivered = Store(self.env)
 
         def shard_worker(shard_index: int):
+            shard_track = f"shard-{shard_index}"
             while True:
+                open_span = tracer.span("open", track=shard_track, shard=shard_index)
                 try:
                     station = yield self.open(dataset.name, shard_index, endpoint_id)
+                    open_span.end()
                     break
                 except DegradedServiceError:
+                    open_span.end(failed=True)
                     # Graceful degradation: the DHL gave up on this
                     # shard (outage past the policy threshold or retries
                     # exhausted).  With a failover policy the bytes
@@ -138,29 +143,37 @@ class DhlApi:
                     # time and route energy; without one the shard waits
                     # for the repair crew and tries again.
                     if system.failover is not None:
-                        n_sent = yield self.env.process(
-                            self._failover_transfer(dataset.name, shard_index)
-                        )
+                        with tracer.span("failover", track=shard_track,
+                                         shard=shard_index):
+                            n_sent = yield self.env.process(
+                                self._failover_transfer(dataset.name, shard_index)
+                            )
                         yield delivered.put(n_sent)
                         return
+                    tracer.instant("open.deferred", track=shard_track,
+                                   shard=shard_index)
                     system.telemetry.increment("open_deferrals")
                     yield self.env.timeout(
                         max(system.shuttle_policy.max_backoff_s, 1.0)
                     )
             cart = station.cart
             if read_payload:
-                n_read = yield self.read(endpoint_id, dataset.name, shard_index)
+                with tracer.span("read", track=shard_track, shard=shard_index):
+                    n_read = yield self.read(endpoint_id, dataset.name, shard_index)
             else:
                 n_read = cart.shards[(dataset.name, shard_index)].size_bytes
-            yield self.env.process(self._persistent_close(cart, endpoint_id))
+            with tracer.span("close", track=shard_track, shard=shard_index):
+                yield self.env.process(self._persistent_close(cart, endpoint_id))
             yield delivered.put(n_read)
 
-        for shard_index in shard_keys:
-            self.env.process(shard_worker(shard_index))
+        with tracer.span("bulk_transfer", track="api", dataset=dataset.name,
+                         shards=len(shard_keys)):
+            for shard_index in shard_keys:
+                self.env.process(shard_worker(shard_index))
 
-        total_bytes = 0.0
-        for _ in shard_keys:
-            total_bytes += yield delivered.get()
+            total_bytes = 0.0
+            for _ in shard_keys:
+                total_bytes += yield delivered.get()
 
         return TransferReport(
             dataset=dataset,
@@ -187,6 +200,7 @@ class DhlApi:
         from ..storage.library import Shard, plan_placement
 
         system = self.system
+        tracer = system.tracer
         plan = plan_placement(dataset, system.make_array())
         empty_carts = sum(
             1 for cart in system.library.carts.values() if not cart.shards
@@ -203,22 +217,29 @@ class DhlApi:
         delivered = Store(self.env)
 
         def shard_worker(shard: Shard):
+            shard_track = f"shard-{shard.index}"
             # Claim an empty cart and bring it to the rack.
             cart = system.library.idle_cart()
             cart.load_shard(shard)  # reserve content before dispatch
             while True:
+                open_span = tracer.span("open", track=shard_track,
+                                        shard=shard.index)
                 try:
                     station = yield system.dispatch_to_rack(cart.cart_id, endpoint_id)
+                    open_span.end()
                     break
                 except DegradedServiceError:
+                    open_span.end(failed=True)
                     if system.failover is not None:
                         # The cart was recovered into the library with
                         # the shard still reserved on it; undo that and
                         # ship the bytes over the optical network.
                         cart.unload_shard(shard.dataset, shard.index)
-                        yield self.env.timeout(
-                            system.failover.transfer_time(shard.size_bytes)
-                        )
+                        with tracer.span("failover", track=shard_track,
+                                         shard=shard.index):
+                            yield self.env.timeout(
+                                system.failover.transfer_time(shard.size_bytes)
+                            )
                         system.telemetry.increment("failovers")
                         system.telemetry.record_energy(
                             "network_failover",
@@ -226,20 +247,28 @@ class DhlApi:
                         )
                         yield delivered.put(shard.size_bytes)
                         return
+                    tracer.instant("open.deferred", track=shard_track,
+                                   shard=shard.index)
                     system.telemetry.increment("open_deferrals")
                     yield self.env.timeout(
                         max(system.shuttle_policy.max_backoff_s, 1.0)
                     )
-            yield self.write(station, shard.size_bytes)
-            yield self.env.process(self._persistent_close(station.cart, endpoint_id))
+            with tracer.span("write", track=shard_track, shard=shard.index):
+                yield self.write(station, shard.size_bytes)
+            with tracer.span("close", track=shard_track, shard=shard.index):
+                yield self.env.process(
+                    self._persistent_close(station.cart, endpoint_id)
+                )
             yield delivered.put(shard.size_bytes)
 
-        for shard in plan:
-            self.env.process(shard_worker(shard))
+        with tracer.span("bulk_writeback", track="api", dataset=dataset.name,
+                         shards=plan.n_carts):
+            for shard in plan:
+                self.env.process(shard_worker(shard))
 
-        total_bytes = 0.0
-        for _ in plan.shards:
-            total_bytes += yield delivered.get()
+            total_bytes = 0.0
+            for _ in plan.shards:
+                total_bytes += yield delivered.get()
 
         return TransferReport(
             dataset=dataset,
@@ -266,6 +295,11 @@ class DhlApi:
                 result = yield self.close(cart, endpoint_id)
                 return result
             except DegradedServiceError:
+                self.system.tracer.instant(
+                    "return.deferred",
+                    track=f"cart-{cart.cart_id}",
+                    cart=cart.cart_id,
+                )
                 self.system.telemetry.increment("return_deferrals")
                 yield self.env.timeout(
                     max(self.system.shuttle_policy.max_backoff_s, 1.0)
@@ -284,7 +318,16 @@ class DhlApi:
             raise SchedulingError("no failover policy configured on this system")
         cart = self.system.library.cart_holding(dataset, shard_index)
         size = cart.shards[(dataset, shard_index)].size_bytes
-        yield self.env.timeout(policy.transfer_time(size))
+        # Optical-link occupancy: how many failover streams share the
+        # fallback path at once (a gauge sampled into the trace).
+        active = self.system.metrics.gauge("occupancy.optical_failover")
+        active.add(1)
+        self.system.tracer.counter("occupancy.optical_failover", active.value)
+        try:
+            yield self.env.timeout(policy.transfer_time(size))
+        finally:
+            active.add(-1)
+            self.system.tracer.counter("occupancy.optical_failover", active.value)
         self.system.telemetry.increment("failovers")
         self.system.telemetry.record_energy(
             "network_failover", policy.transfer_energy(size)

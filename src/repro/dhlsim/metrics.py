@@ -1,4 +1,14 @@
-"""Telemetry for the operational simulator: energy, launches, utilisation.
+"""Operational telemetry — a compatibility facade over the metrics registry.
+
+.. deprecated::
+    :class:`Telemetry` predates the observability subsystem and is kept
+    as a thin shim so the scheduler's call sites and downstream tests
+    keep working unchanged.  Every sample now lands in a
+    :class:`repro.obs.MetricsRegistry` (energy under ``energy_j.*``,
+    counters under ``count.*``, durations under ``duration_s.*``), which
+    is the one metrics path shared with tracing, probes and the CLI's
+    trace artefacts.  New code should talk to the registry directly via
+    :attr:`Telemetry.registry` or :attr:`DhlSystem.metrics`.
 
 The analytical model predicts campaign energy and time in closed form;
 the simulator *measures* them.  This module accumulates those
@@ -10,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
+from ..obs.metrics import MetricsRegistry
 from ..sim import Environment
+
+ENERGY_PREFIX = "energy_j."
+COUNT_PREFIX = "count."
+DURATION_PREFIX = "duration_s."
 
 
 @dataclass(frozen=True)
@@ -24,43 +39,46 @@ class EnergySample:
 
 @dataclass
 class Telemetry:
-    """Accumulates energy samples and operation counters during a run."""
+    """Accumulates energy samples and operation counters during a run.
+
+    A per-sample log (:attr:`samples`) is retained for tests that need
+    individual timestamps; the aggregates live in :attr:`registry`.
+    """
 
     env: Environment
+    registry: MetricsRegistry | None = None
     samples: list[EnergySample] = field(default_factory=list)
-    counters: dict[str, int] = field(default_factory=dict)
-    durations: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry(self.env)
 
     def record_energy(self, category: str, joules: float) -> None:
         if joules < 0:
             raise SimulationError(f"energy must be >= 0, got {joules}")
         self.samples.append(EnergySample(self.env.now, category, joules))
+        self.registry.counter(ENERGY_PREFIX + category).inc(joules)
 
     def increment(self, counter: str, by: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + by
+        self.registry.counter(COUNT_PREFIX + counter).inc(by)
 
     def record_duration(self, category: str, seconds: float) -> None:
         """Accumulate elapsed seconds against a category (e.g. downtime)."""
         if seconds < 0:
             raise SimulationError(f"duration must be >= 0, got {seconds}")
-        self.durations[category] = self.durations.get(category, 0.0) + seconds
+        self.registry.counter(DURATION_PREFIX + category).inc(seconds)
 
     def total_duration(self, category: str) -> float:
-        return self.durations.get(category, 0.0)
+        return self.registry.value(DURATION_PREFIX + category)
 
     def total_energy(self, category: str | None = None) -> float:
         """Total joules, optionally restricted to one category."""
-        return sum(
-            sample.joules
-            for sample in self.samples
-            if category is None or sample.category == category
-        )
+        if category is not None:
+            return self.registry.value(ENERGY_PREFIX + category)
+        return sum(self.energy_by_category().values())
 
     def energy_by_category(self) -> dict[str, float]:
-        totals: dict[str, float] = {}
-        for sample in self.samples:
-            totals[sample.category] = totals.get(sample.category, 0.0) + sample.joules
-        return totals
+        return self.registry.counters_with_prefix(ENERGY_PREFIX)
 
     def average_power(self) -> float:
         """Mean power over the elapsed simulation time."""
@@ -69,4 +87,19 @@ class Telemetry:
         return self.total_energy() / self.env.now
 
     def count(self, counter: str) -> int:
-        return self.counters.get(counter, 0)
+        return int(self.registry.value(COUNT_PREFIX + counter))
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Operation counters as a plain dict (compatibility view)."""
+        return {
+            name: int(value)
+            for name, value in self.registry.counters_with_prefix(
+                COUNT_PREFIX
+            ).items()
+        }
+
+    @property
+    def durations(self) -> dict[str, float]:
+        """Accumulated durations by category (compatibility view)."""
+        return self.registry.counters_with_prefix(DURATION_PREFIX)

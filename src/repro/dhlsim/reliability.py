@@ -65,6 +65,9 @@ class RepairableInjector:
     #: Telemetry duration category charged per repair (subclass class attr).
     _telemetry_category = None
 
+    #: Span name for one fault-to-repair window in the trace.
+    _fault_span = "fault"
+
     def __post_init__(self) -> None:
         if self.mttf_s <= 0:
             raise ConfigurationError(f"mttf_s must be > 0, got {self.mttf_s}")
@@ -87,31 +90,38 @@ class RepairableInjector:
         """The closed-form component this injector realises."""
         return RepairableComponent(name=name, mttf_s=self.mttf_s, mttr_s=self.mttr_s)
 
+    def _fault_track(self) -> str:
+        """Trace track for this injector's fault windows."""
+        return f"fault:{type(self).__name__}"
+
     # -- the fault loop -----------------------------------------------------
 
     def _run(self):
         env = self.system.env
-        faulted = False
+        tracer = self.system.tracer
+        window = None
         try:
             while True:
                 yield env.timeout(_sample(self._rng, self.mttf_s, self.distribution))
                 if not self._can_fail():
                     continue  # another injector holds this component down
                 self._fail()
-                faulted = True
+                window = tracer.span(self._fault_span, track=self._fault_track())
                 self.outages += 1
                 repair = _sample(self._rng, self.mttr_s, self.distribution)
                 yield env.timeout(repair)
                 self._repair()
-                faulted = False
+                window.end()
+                window = None
                 self.downtime_s += repair
                 if self._telemetry_category is not None:
                     self.system.telemetry.record_duration(
                         self._telemetry_category, repair
                     )
         except Interrupt:
-            if faulted:
+            if window is not None:
                 self._repair()
+                window.end(interrupted=True)
 
     # -- subclass surface ---------------------------------------------------
 
@@ -138,11 +148,15 @@ class TrackOutageInjector(RepairableInjector):
     track: Track | None = None
 
     _telemetry_category = "track_downtime"
+    _fault_span = "fault.track"
 
     def __post_init__(self) -> None:
         if self.track is None:
             self.track = self.system.tracks[0]
         super().__post_init__()
+
+    def _fault_track(self) -> str:
+        return f"fault:track:{self.track.name}"
 
     def _can_fail(self) -> bool:
         return self.track.health.tube_available
@@ -163,6 +177,10 @@ class LimDegradationInjector(RepairableInjector):
     slowdown: float = 2.0
 
     _telemetry_category = "lim_degraded"
+    _fault_span = "fault.lim"
+
+    def _fault_track(self) -> str:
+        return f"fault:lim:{self.track.name}"
 
     def __post_init__(self) -> None:
         if self.track is None:
@@ -194,15 +212,22 @@ class DockOutageInjector(RepairableInjector):
 
     rack: RackEndpoint | None = None
 
+    _fault_span = "fault.dock"
+
     def __post_init__(self) -> None:
         if self.rack is None:
             self.rack = next(iter(self.system.racks.values()))
         super().__post_init__()
 
+    def _fault_track(self) -> str:
+        return f"fault:dock:{self.rack.endpoint_id}"
+
     def _run(self):
         env = self.system.env
+        tracer = self.system.tracer
         claim = None
         station = None
+        window = None
         try:
             while True:
                 yield env.timeout(_sample(self._rng, self.mttf_s, self.distribution))
@@ -221,14 +246,21 @@ class DockOutageInjector(RepairableInjector):
                     claim = None
                     continue
                 station.out_of_service = True
+                window = tracer.span(
+                    self._fault_span,
+                    track=self._fault_track(),
+                    station=station.station_id,
+                )
                 self.outages += 1
                 self.system.telemetry.increment("dock_outages")
                 repair = _sample(self._rng, self.mttr_s, self.distribution)
                 yield env.timeout(repair)
                 station.out_of_service = False
                 claim.release()
+                window.end()
                 claim = None
                 station = None
+                window = None
                 self.downtime_s += repair
                 self.system.telemetry.record_duration("dock_downtime", repair)
         except Interrupt:
@@ -236,6 +268,8 @@ class DockOutageInjector(RepairableInjector):
                 station.out_of_service = False
             if claim is not None:
                 claim.release()
+            if window is not None:
+                window.end(interrupted=True)
 
 
 @dataclass

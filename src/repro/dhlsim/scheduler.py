@@ -34,6 +34,9 @@ from ..errors import (
     ShuttleTimeoutError,
     TrackFaultError,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.probe import ResourceProbe
+from ..obs.tracer import NULL_SPAN, TraceLevel, Tracer
 from ..sim import Environment, Event, Interrupt
 from ..storage.datasets import Dataset
 from ..storage.library import PlacementPlan, plan_placement
@@ -83,14 +86,21 @@ class DhlSystem:
     shuttle_policy: ShuttlePolicy = NO_RETRY
     failover: FailoverPolicy | None = None
     retry_seed: int = 0
+    tracer: Tracer | None = None
     tracks: list[Track] = field(init=False)
     library: LibraryNode = field(init=False)
     racks: dict[int, RackEndpoint] = field(init=False)
+    metrics: MetricsRegistry = field(init=False)
     telemetry: Telemetry = field(init=False)
+    probes: list[ResourceProbe] = field(init=False)
     pre_shuttle_hooks: list[ShuttleHook] = field(init=False)
     post_shuttle_hooks: list[ShuttleHook] = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.tracer is None:
+            self.tracer = Tracer(self.env, level=TraceLevel.OFF)
+        else:
+            self.tracer.attach_clock(self.env)
         self.tracks = build_tracks(self.env, self.params, self.n_racks)
         self.library = LibraryNode(
             self.env, endpoint_id=0, capacity_slots=self.library_slots
@@ -103,7 +113,23 @@ class DhlSystem:
                     endpoint_id=endpoint.endpoint_id,
                     n_stations=self.stations_per_rack,
                 )
-        self.telemetry = Telemetry(self.env)
+        self.metrics = MetricsRegistry(self.env)
+        self.telemetry = Telemetry(self.env, registry=self.metrics)
+        # Claim/release probes keyed to match leaked_resources(), so the
+        # trace-derived leak audit lines up with the scheduler's own.
+        # Only an enabled tracer pays the wrapping cost.
+        self.probes = []
+        if self.tracer.enabled:
+            for track in self.tracks:
+                self.probes.append(
+                    ResourceProbe(track.tube, self.tracer,
+                                  f"tube:{track.name}", metrics=self.metrics)
+                )
+            for endpoint_id, rack in self.racks.items():
+                self.probes.append(
+                    ResourceProbe(rack.slots, self.tracer,
+                                  f"slots:{endpoint_id}", metrics=self.metrics)
+                )
         self.pre_shuttle_hooks = []
         self.post_shuttle_hooks = []
         self._retry_rng = np.random.default_rng(self.retry_seed)
@@ -118,7 +144,23 @@ class DhlSystem:
         )
 
     def make_cart(self) -> Cart:
-        return Cart(array=self.make_array(), location=self.library.endpoint_id)
+        cart = Cart(array=self.make_array(), location=self.library.endpoint_id)
+        # Every state transition lands in the trace as a `cart.state`
+        # instant; the timeline renderer is built entirely from these.
+        tracer = self.tracer
+
+        def traced_transition(cart_self: Cart, new_state: str,
+                              _original=Cart.transition) -> None:
+            _original(cart_self, new_state)
+            tracer.instant(
+                "cart.state",
+                track=f"cart-{cart_self.cart_id}",
+                cart=cart_self.cart_id,
+                state=new_state,
+            )
+
+        cart.transition = traced_transition.__get__(cart)  # type: ignore[method-assign]
+        return cart
 
     def load_dataset(self, dataset: Dataset) -> PlacementPlan:
         """Stage a dataset in the library, one loaded cart per shard."""
@@ -178,6 +220,17 @@ class DhlSystem:
             None if policy.deadline_s is None else self.env.now + policy.deadline_s
         )
         track = pick_track(self.tracks, src, dst)
+        cart_track = f"cart-{cart.cart_id}"
+        with self.tracer.span("shuttle", track=cart_track,
+                              cart=cart.cart_id, src=src, dst=dst):
+            result = yield from self._shuttle_with_retries(
+                cart, src, dst, track, policy, deadline_at, cart_track
+            )
+        return result
+
+    def _shuttle_with_retries(self, cart: Cart, src: int, dst: int, track: Track,
+                              policy: ShuttlePolicy, deadline_at: float | None,
+                              cart_track: str):
         last_fault: TrackFaultError | None = None
         for attempt_number in range(1, policy.max_attempts + 1):
             # Exhaustion check must precede spawning the attempt: a
@@ -188,6 +241,8 @@ class DhlSystem:
                 remaining = deadline_at - self.env.now
                 if remaining <= 0:
                     self.telemetry.increment("shuttle_timeouts")
+                    self.tracer.instant("shuttle.timeout", track=cart_track,
+                                        attempt=attempt_number)
                     raise ShuttleTimeoutError(
                         f"cart {cart.cart_id} {src}->{dst}: deadline "
                         f"{policy.deadline_s:.3g}s exhausted before attempt "
@@ -216,6 +271,8 @@ class DhlSystem:
                 except (Interrupt, TrackFaultError):
                     pass
                 self.telemetry.increment("shuttle_timeouts")
+                self.tracer.instant("shuttle.timeout", track=cart_track,
+                                    attempt=attempt_number)
                 raise ShuttleTimeoutError(
                     f"cart {cart.cart_id} {src}->{dst} exceeded its "
                     f"{policy.deadline_s:.3g}s deadline on attempt {attempt_number}"
@@ -223,6 +280,8 @@ class DhlSystem:
             except TrackFaultError as fault:
                 last_fault = fault
                 self.telemetry.increment("shuttle_faults")
+                self.tracer.instant("shuttle.fault", track=cart_track,
+                                    attempt=attempt_number, cause=fault.cause)
             if (
                 policy.give_up_outage_s is not None
                 and track.health.outage_age(self.env.now) >= policy.give_up_outage_s
@@ -235,6 +294,8 @@ class DhlSystem:
             if attempt_number == policy.max_attempts:
                 break
             self.telemetry.increment("shuttle_retries")
+            self.tracer.instant("shuttle.retry", track=cart_track,
+                                attempt=attempt_number)
             backoff = policy.backoff_delay(attempt_number, self._retry_rng)
             if deadline_at is not None:
                 # Never sleep past the deadline: wake exactly at it so
@@ -251,6 +312,15 @@ class DhlSystem:
     def _shuttle_once(self, attempt: ShuttleAttempt, track: Track):
         """One physical launch attempt; normalises cart state on failure."""
         cart, src, dst = attempt.cart, attempt.src, attempt.dst
+        tracer = self.tracer
+        cart_track = f"cart-{cart.cart_id}"
+        # The attempt span and its phase children (tube.wait, undock,
+        # transit[/stall], dock) partition the attempt exactly: the
+        # trace-invariant tests hold their durations to sum to the
+        # attempt's, even when an interrupt unwinds mid-phase.
+        attempt_span = tracer.span("attempt", track=cart_track,
+                                   number=attempt.number, src=src, dst=dst)
+        wait_span = NULL_SPAN
         try:
             if not track.health.tube_available:
                 raise TrackFaultError(
@@ -258,8 +328,10 @@ class DhlSystem:
                     track=track.name,
                     cause="breach",
                 )
+            wait_span = tracer.span("tube.wait", track=cart_track)
             with track.tube.request() as tube_claim:
                 yield tube_claim
+                wait_span.end()
                 # Re-check: the breach may have struck while we queued.
                 if not track.health.tube_available:
                     raise TrackFaultError(
@@ -270,37 +342,44 @@ class DhlSystem:
                     )
                 for hook in list(self.pre_shuttle_hooks):
                     hook(attempt)
-                yield self.env.timeout(self.params.undock_time)
+                with tracer.span("undock", track=cart_track):
+                    yield self.env.timeout(self.params.undock_time)
                 cart.transition(CartState.IN_TRANSIT)
                 cart.location = dst
                 # A degraded LIM launches slower but still launches.
                 travel = track.travel_time(src, dst) * track.health.lim_slowdown
-                if attempt.stall_s > 0.0 or attempt.abort_in_tube:
-                    yield self.env.timeout(travel / 2.0)
-                    self.telemetry.increment("cart_stalls")
-                    if attempt.stall_s > 0.0:
-                        self.telemetry.record_duration("stall", attempt.stall_s)
-                        yield self.env.timeout(attempt.stall_s)
-                    if attempt.abort_in_tube:
-                        raise TrackFaultError(
-                            f"cart {cart.cart_id} stalled in {track.name} "
-                            "and was extracted",
-                            track=track.name,
-                            cause=attempt.abort_reason or "stall",
-                        )
-                    yield self.env.timeout(travel / 2.0)
-                else:
-                    yield self.env.timeout(travel)
+                with tracer.span("transit", track=cart_track):
+                    if attempt.stall_s > 0.0 or attempt.abort_in_tube:
+                        yield self.env.timeout(travel / 2.0)
+                        self.telemetry.increment("cart_stalls")
+                        if attempt.stall_s > 0.0:
+                            self.telemetry.record_duration("stall", attempt.stall_s)
+                            with tracer.span("stall", track=cart_track):
+                                yield self.env.timeout(attempt.stall_s)
+                        if attempt.abort_in_tube:
+                            raise TrackFaultError(
+                                f"cart {cart.cart_id} stalled in {track.name} "
+                                "and was extracted",
+                                track=track.name,
+                                cause=attempt.abort_reason or "stall",
+                            )
+                        yield self.env.timeout(travel / 2.0)
+                    else:
+                        yield self.env.timeout(travel)
                 cart.transition(CartState.ARRIVED)
                 # Docking blocks the tube: hold the claim through the dock.
-                yield self.env.timeout(self.params.dock_time)
+                with tracer.span("dock", track=cart_track):
+                    yield self.env.timeout(self.params.dock_time)
         except BaseException:
             # Breach, extraction or deadline interrupt: the tube claim is
             # released by the context manager; park the cart READY at its
             # origin so the retry layer can relaunch or re-store it.
+            wait_span.end()
+            attempt_span.end(failed=True)
             if cart.state in (CartState.IN_TRANSIT, CartState.ARRIVED):
                 cart.abort_transit(src)
             raise
+        attempt_span.end()
         energy = track.hop_energy(src, dst)
         self.telemetry.record_energy("launch", energy)
         self.telemetry.increment("launches")
@@ -318,25 +397,29 @@ class DhlSystem:
 
     def _dispatch(self, cart_id: int, endpoint_id: int):
         rack = self.rack(endpoint_id)
-        slot = rack.slots.request()
-        yield slot
-        cart = self.library.checkout(cart_id)
-        try:
-            yield self.env.process(self._shuttle(cart, endpoint_id))
-            station = rack.free_station()
-            station.attach(cart)
-        except BaseException:
-            slot.release()
-            # A failed attempt parks the cart READY at its origin (the
-            # library); re-admit it so the cart is never leaked.
-            if (
-                cart.state == CartState.READY
-                and cart.location == self.library.endpoint_id
-            ):
-                self.library.admit(cart)
-            raise
-        station.slot_claim = slot  # released on return
-        self.telemetry.increment("dispatches")
+        cart_track = f"cart-{cart_id}"
+        with self.tracer.span("dispatch", track=cart_track,
+                              cart=cart_id, endpoint=endpoint_id):
+            with self.tracer.span("slot.wait", track=cart_track):
+                slot = rack.slots.request()
+                yield slot
+            cart = self.library.checkout(cart_id)
+            try:
+                yield self.env.process(self._shuttle(cart, endpoint_id))
+                station = rack.free_station()
+                station.attach(cart)
+            except BaseException:
+                slot.release()
+                # A failed attempt parks the cart READY at its origin (the
+                # library); re-admit it so the cart is never leaked.
+                if (
+                    cart.state == CartState.READY
+                    and cart.location == self.library.endpoint_id
+                ):
+                    self.library.admit(cart)
+                raise
+            station.slot_claim = slot  # released on return
+            self.telemetry.increment("dispatches")
         return station
 
     def return_to_library(self, cart: Cart, endpoint_id: int) -> Event:
@@ -344,6 +427,12 @@ class DhlSystem:
         return self.env.process(self._return(cart, endpoint_id))
 
     def _return(self, cart: Cart, endpoint_id: int):
+        with self.tracer.span("return", track=f"cart-{cart.cart_id}",
+                              cart=cart.cart_id, endpoint=endpoint_id):
+            result = yield from self._return_inner(cart, endpoint_id)
+        return result
+
+    def _return_inner(self, cart: Cart, endpoint_id: int):
         rack = self.rack(endpoint_id)
         if cart in rack.stranded:
             # A previous return attempt failed and parked the cart in
@@ -382,6 +471,8 @@ class DhlSystem:
                 recovery.release()
                 rack.strand(cart)
                 self.telemetry.increment("stranded_carts")
+                self.tracer.instant("cart.stranded", track=f"cart-{cart.cart_id}",
+                                    endpoint=endpoint_id)
             raise
         self.library.admit(cart)
         self.telemetry.increment("returns")

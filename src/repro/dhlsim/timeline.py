@@ -1,9 +1,12 @@
-"""Cart timelines: record and render what the operational simulator did.
+"""Cart timelines: render what the operational simulator did.
 
-Attaching a :class:`TimelineRecorder` to a :class:`DhlSystem` logs every
-cart state transition with its timestamp.  The ASCII Gantt renderer then
-makes pipelining visible: overlapping transit and dock-read bars are the
-Section V-B optimisation at work.
+The timeline is a *view over the trace*: :class:`DhlSystem` emits a
+``cart.state`` instant into its tracer on every cart transition, and
+:class:`TimelineRecorder` re-derives per-cart state intervals from that
+log — there is no parallel record-keeping.  Attaching a recorder simply
+makes sure the system's tracer is capturing instants.  The ASCII Gantt
+renderer then makes pipelining visible: overlapping transit and
+dock-read bars are the Section V-B optimisation at work.
 """
 
 from __future__ import annotations
@@ -11,8 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError, SimulationError
-from .cart import Cart, CartState
+from ..obs.tracer import TraceLevel, Tracer
+from .cart import CartState
 from .scheduler import DhlSystem
+
+CART_STATE_EVENT = "cart.state"
+"""Trace instant name carrying cart transitions (args: cart, state)."""
 
 
 @dataclass(frozen=True)
@@ -38,50 +45,56 @@ class Span:
         return self.end_s - self.start_s
 
 
+def timeline_events(tracer: Tracer) -> list[TimelineEvent]:
+    """Cart transitions extracted from a tracer's instant log."""
+    events = []
+    for instant in tracer.instants:
+        if instant.name != CART_STATE_EVENT:
+            continue
+        args = dict(instant.args)
+        events.append(
+            TimelineEvent(
+                time_s=instant.time_s,
+                cart_id=args["cart"],
+                state=args["state"],
+            )
+        )
+    return events
+
+
 @dataclass
 class TimelineRecorder:
-    """Hooks cart transitions on a system and accumulates events."""
+    """A cart-timeline view over one system's trace.
+
+    Attaching ensures the system's tracer captures instants (raising a
+    disabled tracer to ``METRICS`` level); everything else is derived
+    on demand from the trace log.
+    """
 
     system: DhlSystem
-    events: list[TimelineEvent] = field(default_factory=list)
+    tracer: Tracer = field(init=False)
 
     def __post_init__(self) -> None:
-        self._original_transition = Cart.transition
-        recorder = self
+        self.tracer = self.system.tracer
+        self.tracer.enable(TraceLevel.METRICS)
 
-        def recording_transition(cart: Cart, new_state: str) -> None:
-            recorder._original_transition(cart, new_state)
-            recorder.events.append(
-                TimelineEvent(
-                    time_s=recorder.system.env.now,
-                    cart_id=cart.cart_id,
-                    state=new_state,
-                )
-            )
-
-        # Instance-level hook via the system's cart factory: wrap carts
-        # made after attachment.  (Patching the class would leak across
-        # systems.)
-        original_factory = self.system.make_cart
-
-        def make_recorded_cart() -> Cart:
-            cart = original_factory()
-            cart.transition = recording_transition.__get__(cart)  # type: ignore[method-assign]
-            return cart
-
-        self.system.make_cart = make_recorded_cart  # type: ignore[method-assign]
+    @property
+    def events(self) -> list[TimelineEvent]:
+        """Every recorded cart transition, in time order."""
+        return timeline_events(self.tracer)
 
     def spans(self) -> list[Span]:
         """Consecutive event pairs per cart, as closed intervals."""
-        if not self.events:
+        events = self.events
+        if not events:
             raise SimulationError("no events recorded; run a transfer first")
         by_cart: dict[int, list[TimelineEvent]] = {}
-        for event in self.events:
+        for event in events:
             by_cart.setdefault(event.cart_id, []).append(event)
         end_time = self.system.env.now
         spans = []
-        for cart_id, events in by_cart.items():
-            for current, following in zip(events, events[1:]):
+        for cart_id, cart_events in by_cart.items():
+            for current, following in zip(cart_events, cart_events[1:]):
                 spans.append(
                     Span(
                         cart_id=cart_id,
@@ -90,7 +103,7 @@ class TimelineRecorder:
                         end_s=following.time_s,
                     )
                 )
-            last = events[-1]
+            last = cart_events[-1]
             if end_time > last.time_s:
                 spans.append(
                     Span(

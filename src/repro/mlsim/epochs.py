@@ -66,11 +66,33 @@ class RunResult:
         return self.total_comm_kwh * usd_per_kwh
 
 
-def simulate_run(run: TrainingRun, backend) -> RunResult:
+def simulate_run(run: TrainingRun, backend, tracer=None) -> RunResult:
     """Cost a full training run; iterations are identical, so one
     simulated iteration scales linearly (asserted by the paper and by
-    our tests)."""
-    result = simulate_iteration(run.iteration, backend)
+    our tests).
+
+    With a ``tracer``, the representative iteration is traced in detail
+    (ingest/compute/allreduce spans) and the scaled-out run is stamped
+    as a single clockless summary span per epoch boundary.
+    """
+    result = simulate_iteration(run.iteration, backend, tracer=tracer)
+    if tracer is not None:
+        track = f"mlsim:{backend.name}"
+        for index in range(run.n_iterations):
+            start = index * result.time_per_iter_s
+            tracer.span_at(
+                "iteration",
+                start_s=start,
+                end_s=start + result.time_per_iter_s,
+                track=f"{track}:run",
+                iteration=index,
+            )
+        tracer.instant(
+            "run.complete",
+            track=f"{track}:run",
+            time_s=run.n_iterations * result.time_per_iter_s,
+            iterations=run.n_iterations,
+        )
     return RunResult(per_iteration=result, n_iterations=run.n_iterations)
 
 

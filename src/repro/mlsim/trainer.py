@@ -39,6 +39,7 @@ class IterationResult:
 def simulate_iteration(
     iteration: TrainingIteration,
     backend: IngestionBackend,
+    tracer=None,
 ) -> IterationResult:
     """Run one gradient-descent step with the given ingestion backend.
 
@@ -46,14 +47,27 @@ def simulate_iteration(
     data quanta on the backend's schedule, the compute process drains
     whatever has arrived at the cluster's aggregate rate, and the
     all-reduce fires once every byte is consumed.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) captures the iteration as
+    ingest/compute/allreduce spans on a per-backend track; the tracer's
+    clock is re-bound to this iteration's private environment.
     """
     env = Environment()
+    if tracer is not None:
+        env.set_tracer(tracer)
     total = iteration.dataset.size_bytes
     consume_bw = iteration.cluster.aggregate_consume_bw
+    track = f"mlsim:{backend.name}"
 
     state = {"arrived": 0.0, "ingest_finish": 0.0}
 
+    def traced_span(name, **args):
+        if tracer is None:
+            return None
+        return tracer.span_async(name, track=track, **args)
+
     def delivery_process():
+        span = traced_span("ingest", bytes=total)
         now = 0.0
         for delivery in backend.deliveries(total):
             if delivery.time_s < now - 1e-9:
@@ -64,7 +78,11 @@ def simulate_iteration(
                 yield env.timeout(delivery.time_s - now)
                 now = delivery.time_s
             state["arrived"] += delivery.n_bytes
+            if tracer is not None:
+                tracer.counter(f"ingest_bytes.{backend.name}", state["arrived"])
         state["ingest_finish"] = env.now
+        if span is not None:
+            span.end()
         if state["arrived"] < total * (1 - 1e-9):
             raise SimulationError(
                 f"backend {backend.name} delivered {state['arrived']:.3g} of "
@@ -72,6 +90,7 @@ def simulate_iteration(
             )
 
     def compute_process():
+        span = traced_span("compute", bytes=total)
         consumed = 0.0
         while consumed < total * (1 - 1e-12):
             available = state["arrived"] - consumed
@@ -86,6 +105,8 @@ def simulate_iteration(
                 continue
             yield env.timeout(available / consume_bw)
             consumed += available
+        if span is not None:
+            span.end()
         return env.now
 
     env.process(delivery_process())
@@ -97,6 +118,17 @@ def simulate_iteration(
         size=iteration.dense_gradient_bytes,
         bw=iteration.cluster.allreduce_link_bw,
     )
+    if tracer is not None:
+        # The collective is closed-form, not simulated: stamp it as a
+        # clockless span covering the tail after compute.
+        tracer.span_at(
+            "allreduce",
+            start_s=compute_finish,
+            end_s=compute_finish + allreduce,
+            track=track,
+            asynchronous=True,
+            nodes=iteration.cluster.n_nodes,
+        )
     time_per_iter = compute_finish + allreduce
     return IterationResult(
         backend_name=backend.name,

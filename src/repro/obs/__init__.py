@@ -1,0 +1,76 @@
+"""Observability for the simulators: virtual-time tracing and metrics.
+
+The subsystem has three pieces:
+
+* :mod:`repro.obs.tracer` — span/instant/counter recording stamped with
+  the discrete-event clock; zero-cost when disabled.
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` and its
+  primitives (``Counter``, ``Gauge``, ``Histogram``,
+  ``TimeWeightedValue``), the one metrics path every simulator feeds.
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  structured event-log export.
+
+:mod:`repro.obs.scenarios` (imported lazily by the CLI to avoid
+circular imports) runs named, fault-injected scenarios under full
+tracing for the ``repro trace`` command.
+"""
+
+from .export import (
+    event_log,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_event_log,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeightedValue,
+    UtilisationMonitor,
+    merge_snapshots,
+)
+from .probe import (
+    CLAIM_SPAN,
+    ResourceProbe,
+    open_claim_counts,
+    trace_leaked_resources,
+)
+from .tracer import (
+    CounterSample,
+    Instant,
+    NULL_SPAN,
+    Span,
+    TraceLevel,
+    Tracer,
+    span_nesting_violations,
+)
+
+__all__ = [
+    "CLAIM_SPAN",
+    "Counter",
+    "CounterSample",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ResourceProbe",
+    "Span",
+    "TimeWeightedValue",
+    "TraceLevel",
+    "Tracer",
+    "UtilisationMonitor",
+    "event_log",
+    "merge_snapshots",
+    "open_claim_counts",
+    "span_nesting_violations",
+    "to_chrome_trace",
+    "trace_leaked_resources",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_event_log",
+]

@@ -1,0 +1,191 @@
+"""Trace export: Chrome/Perfetto ``trace_event`` JSON and structured logs.
+
+The Chrome trace-event format (loadable at https://ui.perfetto.dev or
+``chrome://tracing``) wants microsecond timestamps and integer
+process/thread ids.  Virtual seconds scale by 1e6; tracks map to
+synthetic thread ids labelled through ``M``etadata events, so a DHL
+campaign renders with one lane per cart, tube, dock, shard and fault
+domain.
+
+Also provided: a flat, time-ordered structured event log (list of
+dicts / JSONL) for programmatic consumers that do not want to parse
+Chrome JSON, and helpers to write either to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import SimulationError
+from .tracer import Tracer
+
+_US = 1e6  # seconds -> microseconds
+
+TRACE_PROCESS_NAME = "repro"
+
+
+def _track_ids(tracer: Tracer) -> dict[str, int]:
+    """Stable track -> tid mapping (first-use order, 1-based)."""
+    return {track: tid for tid, track in enumerate(tracer.tracks(), start=1)}
+
+
+def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """The tracer's records as a Chrome ``trace_event`` JSON object.
+
+    Closed synchronous spans export as complete (``X``) events, async
+    spans as ``b``/``e`` pairs, instants as ``i``, counter series as
+    ``C``.  Spans still open at export time emit a lone begin event so
+    leaked claims are visible in the viewer rather than dropped.
+    """
+    tids = _track_ids(tracer)
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+            "args": {"name": TRACE_PROCESS_NAME},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.spans:
+        tid = tids[span.track]
+        args = dict(span.args)
+        if span.async_id is not None:
+            base = {
+                "name": span.name, "cat": "async", "pid": 1, "tid": tid,
+                "id": span.async_id,
+            }
+            events.append({**base, "ph": "b", "ts": span.start_s * _US,
+                           "args": args})
+            if not span.open:
+                events.append({**base, "ph": "e", "ts": span.end_s * _US})
+        elif span.open:
+            events.append(
+                {
+                    "name": span.name, "cat": "span", "ph": "B", "pid": 1,
+                    "tid": tid, "ts": span.start_s * _US,
+                    "args": {**args, "open": True},
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name, "cat": "span", "ph": "X", "pid": 1,
+                    "tid": tid, "ts": span.start_s * _US,
+                    "dur": span.duration_s * _US, "args": args,
+                }
+            )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name, "cat": "instant", "ph": "i", "pid": 1,
+                "tid": tids[instant.track], "ts": instant.time_s * _US,
+                "s": "t", "args": dict(instant.args),
+            }
+        )
+    for sample in tracer.counters:
+        events.append(
+            {
+                "name": sample.name, "cat": "counter", "ph": "C", "pid": 1,
+                "tid": 0, "ts": sample.time_s * _US,
+                "args": {"value": sample.value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "engine_counters": dict(tracer.engine_counters),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Serialise :func:`to_chrome_trace` to ``path``; returns the path."""
+    payload = to_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def event_log(tracer: Tracer) -> list[dict[str, Any]]:
+    """A flat, time-ordered structured log of everything recorded.
+
+    Span entries carry ``kind="span"`` with start/end/duration (end and
+    duration ``None`` while open); instants and counter samples carry
+    their own kinds.  Sorted by timestamp, ties broken by kind then
+    name, so the log is deterministic.
+    """
+    entries: list[dict[str, Any]] = []
+    for span in tracer.spans:
+        entries.append(
+            {
+                "kind": "span",
+                "name": span.name,
+                "track": span.track,
+                "t_s": span.start_s,
+                "end_s": span.end_s,
+                "duration_s": None if span.open else span.duration_s,
+                "args": dict(span.args),
+            }
+        )
+    for instant in tracer.instants:
+        entries.append(
+            {
+                "kind": "instant",
+                "name": instant.name,
+                "track": instant.track,
+                "t_s": instant.time_s,
+                "args": dict(instant.args),
+            }
+        )
+    for sample in tracer.counters:
+        entries.append(
+            {
+                "kind": "counter",
+                "name": sample.name,
+                "track": None,
+                "t_s": sample.time_s,
+                "args": {"value": sample.value},
+            }
+        )
+    entries.sort(key=lambda e: (e["t_s"], e["kind"], e["name"]))
+    return entries
+
+
+def write_event_log(tracer: Tracer, path: str) -> str:
+    """Write :func:`event_log` as JSONL (one event per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in event_log(tracer):
+            handle.write(json.dumps(entry))
+            handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> None:
+    """Cheap structural check that a payload is Perfetto-loadable.
+
+    Verifies the envelope, required per-phase fields and numeric
+    timestamps.  Raises :class:`SimulationError` on the first problem.
+    """
+    if "traceEvents" not in payload:
+        raise SimulationError("trace payload is missing 'traceEvents'")
+    required = {"ph", "pid", "name"}
+    for event in payload["traceEvents"]:
+        missing = required - event.keys()
+        if missing:
+            raise SimulationError(f"trace event {event!r} missing {sorted(missing)}")
+        phase = event["ph"]
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise SimulationError(f"trace event {event!r} has bad ts {ts!r}")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise SimulationError(f"complete event {event!r} has no duration")
+        if phase in ("b", "e") and "id" not in event:
+            raise SimulationError(f"async event {event!r} has no id")

@@ -1,0 +1,126 @@
+"""Named, seeded scenarios for the ``repro trace`` CLI artefact.
+
+Each scenario builds a :class:`~repro.dhlsim.scheduler.DhlSystem` with a
+fully-enabled :class:`~repro.obs.tracer.Tracer`, runs a bulk transfer
+campaign, and hands back everything the CLI (and the tests) need: the
+system, the tracer, the :class:`~repro.dhlsim.api.TransferReport` and
+the scheduler-reported makespan.  Scenarios are deterministic — fault
+cocktails use the ``"fixed"`` distribution so one seed reproduces one
+trace byte-for-byte.
+
+This module imports the simulator stack, so it is *not* re-exported
+from :mod:`repro.obs` (which the simulator itself imports); the CLI
+pulls it in lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..dhlsim.api import DhlApi, TransferReport
+from ..dhlsim.policy import DEFAULT_RETRY, FailoverPolicy
+from ..dhlsim.reliability import ChaosInjectors, ChaosSpec, install_chaos
+from ..dhlsim.scheduler import DhlSystem
+from ..errors import ConfigurationError
+from ..network.routes import ROUTE_B
+from ..network.transfer import OpticalLink
+from ..sim import Environment
+from ..storage.datasets import synthetic_dataset
+from ..units import TB
+from .tracer import TraceLevel, Tracer
+
+#: Fixed-distribution fault cocktail used by the fault-injected scenarios:
+#: strictly periodic track breaches plus frequent in-tube stalls, some of
+#: which abort mid-tube — so the trace reliably shows fault windows, failed
+#: attempts and retries.
+FAULT_SPEC = ChaosSpec(
+    track_mttf_s=400.0,
+    track_mttr_s=120.0,
+    stall_prob=0.5,
+    stall_time_s=30.0,
+    stall_abort_prob=0.6,
+    distribution="fixed",
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one traced scenario run produced."""
+
+    name: str
+    system: DhlSystem
+    tracer: Tracer
+    report: TransferReport
+    chaos: ChaosInjectors | None = None
+
+    @property
+    def makespan_s(self) -> float:
+        """The scheduler's reported campaign elapsed time."""
+        return self.report.elapsed_s
+
+
+def _build_system(name: str, shards: int, seed: int,
+                  with_faults: bool, with_failover: bool) -> ScenarioResult:
+    env = Environment()
+    tracer = Tracer(level=TraceLevel.FULL, engine_events=True)
+    failover = (
+        FailoverPolicy(link=OpticalLink(route=ROUTE_B)) if with_failover else None
+    )
+    system = DhlSystem(
+        env,
+        stations_per_rack=2,
+        shuttle_policy=DEFAULT_RETRY,
+        retry_seed=seed,
+        failover=failover,
+        tracer=tracer,
+    )
+    env.set_tracer(tracer)
+    chaos = None
+    if with_faults:
+        chaos = install_chaos(system, replace(FAULT_SPEC, seed=seed))
+    dataset = synthetic_dataset(shards * 256 * TB, name=f"trace-{name}")
+    system.load_dataset(dataset)
+    api = DhlApi(system)
+    report = env.run(until=api.bulk_transfer(dataset))
+    if chaos is not None:
+        chaos.stop()
+        env.run()  # drain repair crews so no fault window is left open
+    return ScenarioResult(
+        name=name, system=system, tracer=tracer, report=report, chaos=chaos
+    )
+
+
+def _bulk(shards: int, seed: int) -> ScenarioResult:
+    return _build_system("bulk", shards, seed,
+                         with_faults=False, with_failover=False)
+
+
+def _bulk_faults(shards: int, seed: int) -> ScenarioResult:
+    return _build_system("bulk-faults", shards, seed,
+                         with_faults=True, with_failover=False)
+
+
+def _bulk_failover(shards: int, seed: int) -> ScenarioResult:
+    return _build_system("bulk-failover", shards, seed,
+                         with_faults=True, with_failover=True)
+
+
+SCENARIOS = {
+    "bulk": _bulk,
+    "bulk-faults": _bulk_faults,
+    "bulk-failover": _bulk_failover,
+}
+
+
+def run_scenario(name: str, shards: int = 4, seed: int = 0) -> ScenarioResult:
+    """Run one named scenario with full tracing enabled."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(
+            f"unknown trace scenario {name!r}; known scenarios: {known}"
+        ) from None
+    if shards <= 0:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    return scenario(shards, seed)

@@ -181,6 +181,8 @@ class Process(Event):
             except ValueError:
                 pass
         self._target = None
+        if self.env._tracer is not None:
+            self.env._tracer._engine_resume()
         try:
             if trigger._ok:
                 next_event = self._generator.send(trigger._value)
@@ -279,14 +281,30 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer: Any = None):
         self._now = initial_time
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
+        self._tracer: Any = None
+        if tracer is not None:
+            self.set_tracer(tracer)
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def tracer(self) -> Any:
+        return self._tracer
+
+    def set_tracer(self, tracer: Any) -> None:
+        """Attach a :class:`repro.obs.Tracer`: binds its clock to this
+        environment and turns on the engine's spawn/resume/fire/cancel
+        accounting.  Detach by passing ``None`` — the hot paths then pay
+        only a single attribute check per event."""
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.attach_clock(self)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -310,7 +328,10 @@ class Environment:
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
-        return Process(self, generator)
+        proc = Process(self, generator)
+        if self._tracer is not None:
+            self._tracer._engine_spawn()
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -324,6 +345,8 @@ class Environment:
         """Drop cancelled events from the head of the queue (lazy delete)."""
         while self._queue and self._queue[0][3]._cancelled:
             heapq.heappop(self._queue)
+            if self._tracer is not None:
+                self._tracer._engine_cancel()
 
     def step(self) -> None:
         """Process the next event in the queue."""
@@ -334,6 +357,8 @@ class Environment:
         if when < self._now:
             raise SimulationError("event queue went backwards in time")
         self._now = when
+        if self._tracer is not None:
+            self._tracer._engine_fire(event)
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:

@@ -1,100 +1,17 @@
-"""Time-weighted statistics for discrete-event simulations.
+"""Time-weighted statistics — compatibility shim over :mod:`repro.obs`.
 
-Utilisation questions ("how busy was the tube?", "how many docks were
-occupied on average?") need time-weighted averages, not sample means.
-:class:`TimeWeightedValue` tracks a piecewise-constant signal against
-the simulation clock; :class:`UtilisationMonitor` wraps a Resource to
-record its occupancy automatically.
+.. deprecated::
+    The canonical implementations of :class:`TimeWeightedValue` and
+    :class:`UtilisationMonitor` moved to :mod:`repro.obs.metrics` when
+    the observability subsystem unified the repo's telemetry paths.
+    This module re-exports them unchanged so existing imports keep
+    working; new code should import from :mod:`repro.obs` and register
+    signals on a :class:`repro.obs.MetricsRegistry` so they appear in
+    snapshots and CSV exports alongside everything else.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..obs.metrics import TimeWeightedValue, UtilisationMonitor
 
-from ..errors import SimulationError
-from .engine import Environment
-from .resources import Request, Resource
-
-
-@dataclass
-class TimeWeightedValue:
-    """A piecewise-constant signal integrated over simulated time."""
-
-    env: Environment
-    value: float = 0.0
-    _last_change_s: float = field(init=False)
-    _integral: float = field(default=0.0, init=False)
-    _peak: float = field(init=False)
-
-    def __post_init__(self) -> None:
-        self._last_change_s = self.env.now
-        self._peak = self.value
-
-    def set(self, new_value: float) -> None:
-        """Record a level change at the current simulation time."""
-        self._accumulate()
-        self.value = new_value
-        self._peak = max(self._peak, new_value)
-
-    def add(self, delta: float) -> None:
-        self.set(self.value + delta)
-
-    def _accumulate(self) -> None:
-        now = self.env.now
-        if now < self._last_change_s:
-            raise SimulationError("simulation clock went backwards")
-        self._integral += self.value * (now - self._last_change_s)
-        self._last_change_s = now
-
-    def time_average(self) -> float:
-        """Mean level from creation until now."""
-        self._accumulate()
-        elapsed = self.env.now
-        if elapsed <= 0:
-            raise SimulationError("no simulated time has elapsed")
-        return self._integral / elapsed
-
-    @property
-    def peak(self) -> float:
-        return self._peak
-
-
-@dataclass
-class UtilisationMonitor:
-    """Tracks a Resource's busy fraction by wrapping request/release."""
-
-    resource: Resource
-    _level: TimeWeightedValue = field(init=False)
-
-    def __post_init__(self) -> None:
-        self._level = TimeWeightedValue(self.resource.env, value=self.resource.count)
-        original_request = self.resource.request
-        original_release = self.resource._release
-        monitor = self
-
-        def tracked_request(*args, **kwargs):
-            request = original_request(*args, **kwargs)
-
-            def on_grant(_event):
-                monitor._level.set(monitor.resource.count)
-
-            if request.triggered:
-                monitor._level.set(monitor.resource.count)
-            else:
-                request.callbacks.append(on_grant)
-            return request
-
-        def tracked_release(request: Request) -> None:
-            original_release(request)
-            monitor._level.set(monitor.resource.count)
-
-        self.resource.request = tracked_request  # type: ignore[method-assign]
-        self.resource._release = tracked_release  # type: ignore[method-assign]
-
-    def utilisation(self) -> float:
-        """Time-averaged occupancy as a fraction of capacity."""
-        return self._level.time_average() / self.resource.capacity
-
-    @property
-    def peak_in_use(self) -> float:
-        return self._level.peak
+__all__ = ["TimeWeightedValue", "UtilisationMonitor"]

@@ -133,8 +133,17 @@ def evaluate_policy(
     jobs: list[TransferJob],
     policy: RoutingPolicy,
     config: ServiceConfig = ServiceConfig(),
+    tracer=None,
+    metrics=None,
 ) -> PolicyReport:
-    """Schedule a routed job stream and collect aggregate metrics."""
+    """Schedule a routed job stream and collect aggregate metrics.
+
+    With a ``tracer`` (:class:`repro.obs.Tracer`), each job is stamped
+    as a clockless async span on its transport's track — queueing shows
+    up as the gap between a job's arrival instant and its span.  With a
+    ``metrics`` registry, queue-wait seconds land in a
+    ``queue_wait_s.<policy>`` histogram.
+    """
     dhl_jobs, network_jobs = split_jobs(jobs, policy)
     rate = gbps(config.link_gbps)
     route_power = config.route.power_w
@@ -171,7 +180,41 @@ def evaluate_policy(
     if not outcomes:
         raise ConfigurationError("the job stream was empty")
     outcomes.sort(key=lambda outcome: outcome.job.job_id)
+    if tracer is not None or metrics is not None:
+        _record_outcomes(policy.name, outcomes, tracer, metrics)
     return PolicyReport(policy_name=policy.name, outcomes=tuple(outcomes))
+
+
+def _record_outcomes(policy_name, outcomes, tracer, metrics) -> None:
+    """Stamp scheduled outcomes into the observability layer."""
+    histogram = (
+        metrics.histogram(f"queue_wait_s.{policy_name}")
+        if metrics is not None
+        else None
+    )
+    for outcome in outcomes:
+        wait_s = outcome.started_s - outcome.job.arrival_s
+        if histogram is not None:
+            histogram.observe(wait_s)
+        if tracer is None:
+            continue
+        track = f"svc:{policy_name}:{outcome.transport}"
+        tracer.instant(
+            "job.arrival",
+            track=track,
+            time_s=outcome.job.arrival_s,
+            job=outcome.job.job_id,
+        )
+        tracer.span_at(
+            "job",
+            start_s=outcome.started_s,
+            end_s=outcome.completed_s,
+            track=track,
+            asynchronous=True,
+            job=outcome.job.job_id,
+            transport=outcome.transport,
+            queue_wait_s=wait_s,
+        )
 
 
 def compare_policies(

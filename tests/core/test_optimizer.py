@@ -12,7 +12,7 @@ from repro.core.optimizer import (
 from repro.core.params import DhlParams
 from repro.errors import ConfigurationError
 from repro.storage.datasets import META_ML_LARGE, synthetic_dataset
-from repro.units import HOUR, MINUTE, PB, TB
+from repro.units import HOUR, MINUTE, TB
 
 
 class TestMinSpeed:

@@ -5,7 +5,6 @@ import pytest
 from repro.core.params import DhlParams
 from repro.dhlsim.multistop import (
     MultiStopExperiment,
-    TransferRequest,
     speed_contention_sweep,
 )
 from repro.errors import ConfigurationError

@@ -6,7 +6,7 @@ from repro.core.params import DhlParams
 from repro.core.physics import trip_time
 from repro.dhlsim.api import DhlApi
 from repro.dhlsim.cart import CartState
-from repro.dhlsim.policy import NO_RETRY, FailoverPolicy, ShuttlePolicy
+from repro.dhlsim.policy import FailoverPolicy, ShuttlePolicy
 from repro.dhlsim.reliability import (
     CartStallInjector,
     ChaosSpec,

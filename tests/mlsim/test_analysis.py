@@ -11,7 +11,7 @@ from repro.mlsim.analysis import (
     iso_time_comparison,
     network_power_curve,
 )
-from repro.network.routes import ROUTE_A0, ROUTE_C
+from repro.network.routes import ROUTE_A0
 
 # Paper Table VII(a): slowdown vs DHL at a fixed 1.75 kW budget.
 PAPER_ISO_POWER = {"A0": 5.7, "A1": 9.3, "A2": 19.9, "B": 69.1, "C": 118.0}

@@ -1,0 +1,145 @@
+"""Tests for Chrome/Perfetto trace export and the structured event log."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.export import (
+    event_log,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_event_log,
+)
+from repro.obs.tracer import Tracer
+from repro.sim import Environment
+
+
+def build_tracer():
+    """A small trace exercising every record kind."""
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc():
+        with tracer.span("outer", track="work", item=1):
+            yield env.timeout(2.0)
+            with tracer.span("inner", track="work"):
+                yield env.timeout(3.0)
+        tracer.instant("done", track="work", item=1)
+        tracer.counter("level", 4.0)
+        claim = tracer.span_async("claim", track="resource")
+        yield env.timeout(1.0)
+        claim.end()
+
+    env.process(proc())
+    env.run()
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure_validates(self):
+        payload = to_chrome_trace(build_tracer())
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["engine_counters"] == {
+            "processes_spawned": 0,
+            "process_resumes": 0,
+            "events_fired": 0,
+            "events_cancelled": 0,
+        }
+
+    def test_metadata_names_every_track(self):
+        payload = to_chrome_trace(build_tracer())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"repro", "work", "resource"} <= names
+
+    def test_sync_spans_are_complete_events_in_microseconds(self):
+        payload = to_chrome_trace(build_tracer())
+        outer = next(
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "outer"
+        )
+        assert outer["ts"] == pytest.approx(0.0)
+        assert outer["dur"] == pytest.approx(5.0e6)
+        assert outer["args"] == {"item": 1}
+
+    def test_async_spans_are_begin_end_pairs(self):
+        payload = to_chrome_trace(build_tracer())
+        pair = [e for e in payload["traceEvents"] if e["name"] == "claim"]
+        assert [e["ph"] for e in pair] == ["b", "e"]
+        assert pair[0]["id"] == pair[1]["id"]
+
+    def test_open_span_exports_lone_begin(self):
+        tracer = Tracer(Environment())
+        tracer.span("leak", track="t")
+        payload = to_chrome_trace(tracer)
+        leak = next(e for e in payload["traceEvents"] if e["name"] == "leak")
+        assert leak["ph"] == "B"
+        assert leak["args"]["open"] is True
+
+    def test_instants_and_counters(self):
+        payload = to_chrome_trace(build_tracer())
+        phases = {e["name"]: e["ph"] for e in payload["traceEvents"]}
+        assert phases["done"] == "i"
+        assert phases["level"] == "C"
+
+    def test_json_serialisable_roundtrip(self, tmp_path):
+        tracer = build_tracer()
+        path = write_chrome_trace(tracer, str(tmp_path / "trace.json"))
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        validate_chrome_trace(loaded)
+        assert loaded == to_chrome_trace(tracer)
+
+
+class TestValidation:
+    def test_missing_envelope(self):
+        with pytest.raises(SimulationError):
+            validate_chrome_trace({})
+
+    def test_missing_fields(self):
+        with pytest.raises(SimulationError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+
+    def test_bad_timestamp(self):
+        event = {"ph": "i", "pid": 1, "name": "x", "ts": "soon"}
+        with pytest.raises(SimulationError):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_complete_event_needs_duration(self):
+        event = {"ph": "X", "pid": 1, "name": "x", "ts": 0.0}
+        with pytest.raises(SimulationError):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_async_event_needs_id(self):
+        event = {"ph": "b", "pid": 1, "name": "x", "ts": 0.0}
+        with pytest.raises(SimulationError):
+            validate_chrome_trace({"traceEvents": [event]})
+
+
+class TestEventLog:
+    def test_time_ordered(self):
+        log = event_log(build_tracer())
+        times = [entry["t_s"] for entry in log]
+        assert times == sorted(times)
+
+    def test_span_entries_carry_duration(self):
+        log = event_log(build_tracer())
+        inner = next(e for e in log if e["name"] == "inner")
+        assert inner["kind"] == "span"
+        assert inner["duration_s"] == pytest.approx(3.0)
+
+    def test_open_span_has_none_duration(self):
+        tracer = Tracer(Environment())
+        tracer.span("leak")
+        (entry,) = event_log(tracer)
+        assert entry["end_s"] is None
+        assert entry["duration_s"] is None
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = build_tracer()
+        path = write_event_log(tracer, str(tmp_path / "events.jsonl"))
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines == event_log(tracer)

@@ -1,0 +1,205 @@
+"""Tests for the virtual-time tracer core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.tracer import (
+    NULL_SPAN,
+    TraceLevel,
+    Tracer,
+    span_nesting_violations,
+)
+from repro.sim import Environment
+
+
+class TestLevels:
+    def test_off_tracer_hands_out_null_span(self):
+        tracer = Tracer(Environment(), level=TraceLevel.OFF)
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span_async("anything") is NULL_SPAN
+        assert not tracer.enabled
+
+    def test_metrics_level_records_instants_but_not_spans(self):
+        tracer = Tracer(Environment(), level=TraceLevel.METRICS)
+        tracer.instant("tick")
+        tracer.counter("level", 3.0)
+        assert tracer.span("work") is NULL_SPAN
+        assert len(tracer.instants) == 1
+        assert len(tracer.counters) == 1
+
+    def test_off_level_drops_instants_and_counters(self):
+        tracer = Tracer(Environment(), level=TraceLevel.OFF)
+        tracer.instant("tick")
+        tracer.counter("level", 3.0)
+        assert tracer.instants == []
+        assert tracer.counters == []
+
+    def test_enable_never_lowers(self):
+        tracer = Tracer(Environment(), level=TraceLevel.FULL)
+        tracer.enable(TraceLevel.METRICS)
+        assert tracer.level == TraceLevel.FULL
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(SimulationError):
+            Tracer(Environment(), level=7)
+        tracer = Tracer(Environment())
+        with pytest.raises(SimulationError):
+            tracer.enable(7)
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.end(ignored=True)
+        assert span.duration_s == 0.0
+        assert not span.open
+
+
+class TestSpans:
+    def test_span_measures_virtual_time(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with tracer.span("work"):
+                yield env.timeout(5.0)
+
+        env.process(proc())
+        env.run()
+        (span,) = tracer.closed_spans("work")
+        assert span.duration_s == pytest.approx(5.0)
+
+    def test_end_is_idempotent(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.span("once")
+
+        def proc():
+            yield env.timeout(2.0)
+            span.end()
+            yield env.timeout(2.0)
+            span.end()  # second close must not move end_s
+
+        env.process(proc())
+        env.run()
+        assert span.end_s == pytest.approx(2.0)
+
+    def test_end_merges_args(self):
+        tracer = Tracer(Environment())
+        span = tracer.span("attempt", number=1)
+        span.end(failed=True)
+        assert span.args == {"number": 1, "failed": True}
+
+    def test_open_span_has_no_duration(self):
+        tracer = Tracer(Environment())
+        span = tracer.span("open")
+        assert span.open
+        with pytest.raises(SimulationError):
+            _ = span.duration_s
+
+    def test_span_at_needs_no_clock(self):
+        tracer = Tracer()  # clockless
+        span = tracer.span_at("job", start_s=10.0, end_s=25.0, track="svc")
+        assert span.duration_s == pytest.approx(15.0)
+        with pytest.raises(SimulationError):
+            tracer.span_at("bad", start_s=5.0, end_s=1.0)
+
+    def test_clockless_live_span_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(SimulationError):
+            tracer.span("needs-clock")
+
+    def test_async_spans_get_distinct_ids(self):
+        tracer = Tracer(Environment())
+        first = tracer.span_async("claim")
+        second = tracer.span_async("claim")
+        assert first.async_id != second.async_id
+        assert tracer.span("sync").async_id is None
+
+    def test_tracks_in_first_use_order(self):
+        tracer = Tracer(Environment())
+        tracer.span("a", track="beta")
+        tracer.instant("b", track="alpha")
+        tracer.span("c", track="beta")
+        assert tracer.tracks() == ["beta", "alpha"]
+
+
+class TestEngineHooks:
+    def test_engine_counters_accumulate(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        counters = tracer.engine_counters
+        assert counters["processes_spawned"] == 1
+        assert counters["process_resumes"] >= 2
+        assert counters["events_fired"] >= 3
+
+    def test_cancelled_events_counted(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+        timeout = env.timeout(5.0)
+        timeout.cancel()
+        env.run()
+        assert tracer.engine_counters["events_cancelled"] == 1
+
+    def test_engine_events_emit_instants(self):
+        tracer = Tracer(engine_events=True)
+        env = Environment(tracer=tracer)
+
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        names = {instant.name for instant in tracer.instants}
+        assert "process.spawn" in names
+        assert "event.fire" in names
+
+    def test_detached_tracer_stops_accounting(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+        env.timeout(1.0)
+        env.run()
+        fired = tracer.engine_counters["events_fired"]
+        env.set_tracer(None)
+        env.timeout(1.0)
+        env.run()
+        assert tracer.engine_counters["events_fired"] == fired
+
+
+class TestNesting:
+    def test_properly_nested_spans_pass(self):
+        tracer = Tracer()
+        tracer.span_at("outer", 0.0, 10.0, track="t")
+        tracer.span_at("inner", 2.0, 8.0, track="t")
+        tracer.span_at("leaf", 3.0, 4.0, track="t")
+        assert span_nesting_violations(tracer.spans) == []
+
+    def test_partial_overlap_detected(self):
+        tracer = Tracer()
+        tracer.span_at("first", 0.0, 6.0, track="t")
+        tracer.span_at("second", 3.0, 9.0, track="t")
+        violations = span_nesting_violations(tracer.spans)
+        assert len(violations) == 1
+
+    def test_async_spans_exempt(self):
+        tracer = Tracer()
+        tracer.span_at("first", 0.0, 6.0, track="t", asynchronous=True)
+        tracer.span_at("second", 3.0, 9.0, track="t", asynchronous=True)
+        assert span_nesting_violations(tracer.spans) == []
+
+    def test_overlap_across_tracks_allowed(self):
+        tracer = Tracer()
+        tracer.span_at("first", 0.0, 6.0, track="a")
+        tracer.span_at("second", 3.0, 9.0, track="b")
+        assert span_nesting_violations(tracer.spans) == []
+
+    def test_back_to_back_spans_allowed(self):
+        tracer = Tracer()
+        tracer.span_at("first", 0.0, 5.0, track="t")
+        tracer.span_at("second", 5.0, 9.0, track="t")
+        assert span_nesting_violations(tracer.spans) == []

@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
-from repro.sim import Environment, Event, Interrupt
+from repro.sim import Environment, Interrupt
 
 
 class TestEvents:

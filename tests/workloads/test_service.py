@@ -14,7 +14,6 @@ from repro.workloads.policy import (
     BreakEvenPolicy,
 )
 from repro.workloads.service import (
-    PolicyReport,
     ServiceConfig,
     compare_policies,
     evaluate_policy,
