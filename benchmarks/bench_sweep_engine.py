@@ -1,0 +1,64 @@
+"""Benchmarks of the sweep evaluation engines.
+
+The acceptance bar for the perf layer: the vectorised engine must beat
+the scalar reference by a wide margin on a Table-VI-sized grid while
+producing bit-identical reports.  These benches time each engine with
+pytest-benchmark and record the measured speedup in ``extra_info`` so
+the saved JSON doubles as the perf log; ``repro bench`` writes the
+committed ``BENCH_sweep.json`` baseline from the same machinery.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.perf import bench_points
+from repro.core.sweep import clear_report_cache, evaluate_reports
+
+GRID = bench_points(600)
+
+
+def _evaluate(engine, workers=None):
+    clear_report_cache()
+    return evaluate_reports(GRID, engine=engine, workers=workers, cache=False)
+
+
+def _best_of(engine, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        _evaluate(engine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("engine", ["serial", "vector"])
+def test_engine_throughput(benchmark, engine):
+    """Raw per-engine sweep time over the 600-point bench grid."""
+    reports = benchmark(_evaluate, engine)
+    assert len(reports) == len(GRID)
+
+
+def test_vector_matches_serial_and_is_faster(benchmark):
+    """The headline claim: identical results, several times faster."""
+    serial = _evaluate("serial")
+    vector = benchmark(_evaluate, "vector")
+    assert vector == serial, "vector engine diverged from the scalar reference"
+
+    serial_s = _best_of("serial")
+    vector_s = _best_of("vector")
+    benchmark.extra_info["speedup_vs_serial"] = round(serial_s / vector_s, 2)
+    assert vector_s < serial_s, (
+        f"vector engine ({vector_s:.4f} s) not faster than scalar "
+        f"({serial_s:.4f} s)"
+    )
+
+
+@pytest.mark.slow
+def test_process_engine_matches_serial(benchmark):
+    """The process pool returns the same reports in the same order."""
+    serial = _evaluate("serial")
+    reports = benchmark.pedantic(
+        _evaluate, args=("process",), kwargs={"workers": 2}, rounds=1
+    )
+    assert reports == serial

@@ -73,7 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Hyperloops' (ISCA 2024)."
         ),
     )
-    choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "all"]
+    choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -121,6 +121,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="results",
         help="export: output directory for CSV/JSON artefacts",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="bench: minimum number of design points in the sweep grid",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="bench: timing repeats per engine (best run is reported)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bench: worker processes for the 'process' engine",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_sweep.json",
+        help="bench: output path for the perf baseline JSON",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="bench: compare against a committed baseline and fail on regression",
     )
     parser.add_argument(
         "--full",
@@ -188,6 +217,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in sorted(snapshot):
             if name.startswith("count."):
                 print(f"  {name} = {snapshot[name]['value']:g}")
+        return 0
+    if args.artefact == "bench":
+        # Lazy: the bench sweeps hundreds of design points.
+        from .analysis import perf
+
+        report = perf.run_bench(
+            n_points=args.points or perf.DEFAULT_POINTS,
+            repeats=args.repeats or perf.DEFAULT_REPEATS,
+            workers=args.workers,
+        )
+        headers, rows = perf.bench_table(report)
+        print(render_table(headers, rows,
+                           title=f"Sweep-engine bench ({report.n_points} points)"))
+        path = perf.write_report(report, args.bench_out)
+        print(f"\nwrote perf baseline to {path}")
+        if not report.identical_results:
+            print("FAIL: engines disagree on sweep results")
+            return 1
+        if args.check:
+            problems = perf.compare_to_baseline(
+                perf.report_payload(report), perf.load_baseline(args.check)
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
         return 0
     if args.artefact == "all":
         for name, (title, generator) in _TABLES.items():

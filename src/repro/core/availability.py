@@ -45,6 +45,7 @@ class RepairableComponent:
 
     @property
     def failure_rate_per_s(self) -> float:
+        """Failures per second: the inverse of the MTTF."""
         return 1.0 / self.mttf_s
 
     def expected_outages(self, duration_s: float) -> float:
@@ -111,6 +112,7 @@ class AvailabilityModel:
 
     @property
     def availability(self) -> float:
+        """Availability of the whole series chain of components."""
         return series_availability(*self.components)
 
     @property

@@ -13,12 +13,14 @@ and routes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..network.routes import ROUTE_A0, Route
 from ..network.transfer import DEFAULT_LINK_GBPS
 from ..units import assert_positive, gbps
+from .model import launch_metrics_batch
 from .params import DhlParams
-from .physics import launch_energy, trip_time
+from .physics import trip_time
 
 
 @dataclass(frozen=True)
@@ -39,9 +41,11 @@ class BreakEven:
         return max(self.min_bytes_for_time, self.min_bytes_for_energy)
 
     def network_time(self, n_bytes: float) -> float:
+        """Seconds the single link needs for ``n_bytes``."""
         return n_bytes / self.link_rate_bytes_per_s
 
     def network_energy(self, n_bytes: float) -> float:
+        """Joules the route spends moving ``n_bytes``."""
         return self.route.power_w * self.network_time(n_bytes)
 
     def dhl_wins_time(self, n_bytes: float) -> bool:
@@ -53,6 +57,7 @@ class BreakEven:
         return self.network_time(n_bytes) >= self.dhl_trip_time_s
 
     def dhl_wins_energy(self, n_bytes: float) -> bool:
+        """Does one DHL launch beat the link's energy for ``n_bytes``?"""
         return self.network_energy(n_bytes) >= self.dhl_launch_energy_j
 
 
@@ -69,17 +74,38 @@ def break_even(
     * Energy: the link spends ``P_route x S / rate``; DHL spends one
       launch energy, so DHL wins above ``E_launch x rate / P_route``.
     """
+    return break_even_batch([params], route, link_gbps, profile)[0]
+
+
+def break_even_batch(
+    points: Iterable[DhlParams],
+    route: Route = ROUTE_A0,
+    link_gbps: float = DEFAULT_LINK_GBPS,
+    profile: str = "paper",
+) -> tuple[BreakEven, ...]:
+    """Break-even summaries for many design points in one vectorised pass.
+
+    Trip times and launch energies come from
+    :func:`~repro.core.model.launch_metrics_batch`, so the whole batch
+    costs one kernel evaluation; each row matches :func:`break_even`
+    exactly.
+    """
+    points = tuple(points)
+    if not points:
+        return ()
     rate = gbps(link_gbps)
-    t_trip = trip_time(params, profile)
-    e_launch = launch_energy(params)
-    return BreakEven(
-        params=params,
-        route=route,
-        link_rate_bytes_per_s=rate,
-        dhl_trip_time_s=t_trip,
-        dhl_launch_energy_j=e_launch,
-        min_bytes_for_time=rate * t_trip,
-        min_bytes_for_energy=e_launch * rate / route.power_w,
+    rows = launch_metrics_batch(points, profile=profile).rows()
+    return tuple(
+        BreakEven(
+            params=params,
+            route=route,
+            link_rate_bytes_per_s=rate,
+            dhl_trip_time_s=metrics.time_s,
+            dhl_launch_energy_j=metrics.energy_j,
+            min_bytes_for_time=rate * metrics.time_s,
+            min_bytes_for_energy=metrics.energy_j * rate / route.power_w,
+        )
+        for params, metrics in zip(points, rows)
     )
 
 
@@ -130,6 +156,7 @@ def min_distance_for_time_win(
     network_time = n_bytes / gbps(link_gbps)
 
     def dhl_time(length: float) -> float:
+        """One DHL trip time at a candidate track length."""
         return trip_time(params.with_(track_length=length), profile)
 
     shortest = 1e-6

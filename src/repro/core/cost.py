@@ -98,6 +98,7 @@ class DhlCost:
 
     @property
     def total_usd(self) -> float:
+        """Total build cost: rail plus LIM."""
         return self.rail.total_usd + self.lim.total_usd
 
 

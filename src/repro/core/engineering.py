@@ -47,6 +47,7 @@ class ThermalAssessment:
 
     @property
     def headroom_c(self) -> float:
+        """Margin (degrees C) below the flash-throttling junction limit."""
         return FLASH_THROTTLE_C - self.junction_c
 
 
@@ -119,6 +120,7 @@ class ConnectorWear:
 
     @property
     def lifetime_years(self) -> float:
+        """Connector lifetime expressed in years."""
         return self.lifetime_days / 365.0
 
 
@@ -183,6 +185,7 @@ class SafetyAssessment:
 
     @property
     def contained(self) -> bool:
+        """Whether a sandbag berm absorbs the worst-case impact."""
         return self.sandbag_margin > 1.0
 
 
@@ -229,6 +232,7 @@ class MaintenancePlan:
 
     @property
     def viable(self) -> bool:
+        """Do connectors, thermals and containment all clear their bars?"""
         return (
             self.connector.lifetime_days >= 365.0
             and not self.thermal.throttles

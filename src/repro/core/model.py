@@ -8,6 +8,9 @@ comparison against the optical-network routes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..network.energy import baseline_transfer_time, fig2_energies
@@ -16,9 +19,14 @@ from ..storage.datasets import Dataset, META_ML_LARGE
 from ..units import GB, KJ, KW, TB, ceil_div
 from .params import DhlParams
 from .physics import (
+    brake_codes,
     cart_mass,
+    cart_total_mass_kernel,
     launch_energy,
+    launch_energy_kernel,
+    motion_kernel,
     peak_launch_power,
+    peak_power_kernel,
     trip_time,
 )
 
@@ -41,18 +49,22 @@ class LaunchMetrics:
 
     @property
     def energy_kj(self) -> float:
+        """Launch energy in kilojoules (Table VI's unit)."""
         return self.energy_j / KJ
 
     @property
     def bandwidth_tb_per_s(self) -> float:
+        """Embodied bandwidth in TB/s (Table VI's unit)."""
         return self.bandwidth_bytes_per_s / TB
 
     @property
     def efficiency_gb_per_j(self) -> float:
+        """Energy efficiency in GB/J (Table VI's unit)."""
         return self.efficiency_bytes_per_j / GB
 
     @property
     def peak_power_kw(self) -> float:
+        """Peak launch power in kilowatts (Table VI's unit)."""
         return self.peak_power_w / KW
 
     @property
@@ -96,6 +108,7 @@ class Campaign:
 
     @property
     def average_power_w(self) -> float:
+        """Mean electrical power over the campaign's wall-clock time."""
         return self.energy_j / self.time_s
 
     @property
@@ -194,16 +207,61 @@ def compare_with_routes(
 
 @dataclass(frozen=True)
 class DesignPointReport:
-    """One full Table VI row: launch metrics plus the 29 PB comparison."""
+    """One full Table VI row: launch metrics plus the 29 PB comparison.
+
+    The report stores the *basis* of the route comparison — the shared
+    single-link transfer time and each route's energy for the dataset —
+    and materialises :class:`NetworkComparison` objects on first access
+    to :attr:`comparisons`.  Sweeps that only read metrics or campaign
+    columns (Pareto fronts, the optimiser) never pay for building them.
+    """
 
     metrics: LaunchMetrics
     campaign: Campaign
-    comparisons: dict[str, NetworkComparison]
+    network_time_s: float
+    route_energies: tuple[tuple[Route, float], ...]
+
+    @property
+    def comparisons(self) -> dict[str, NetworkComparison]:
+        """Per-route speedup/energy-reduction records, built lazily."""
+        cached = self.__dict__.get("_comparisons")
+        if cached is None:
+            cached = {
+                route.name: NetworkComparison(
+                    route=route,
+                    network_time_s=self.network_time_s,
+                    network_energy_j=network_energy_j,
+                    dhl_time_s=self.campaign.time_s,
+                    dhl_energy_j=self.campaign.energy_j,
+                )
+                for route, network_energy_j in self.route_energies
+            }
+            object.__setattr__(self, "_comparisons", cached)
+        return cached
 
     @property
     def time_speedup(self) -> float:
         """Speedup vs the single-link transfer (route-independent)."""
-        return next(iter(self.comparisons.values())).time_speedup
+        return self.network_time_s / self.campaign.time_s
+
+
+def _route_energy_basis(
+    dataset: Dataset,
+    link_gbps: float,
+    network_time: float,
+    routes: tuple[Route, ...] = FIG2_ROUTES,
+) -> tuple[tuple[Route, float], ...]:
+    """(route, network energy) pairs for one dataset/link operating point."""
+    energies = fig2_energies(dataset, link_gbps=link_gbps)
+    return tuple(
+        (
+            route,
+            energies[route.name].energy_j
+            if route.name in energies
+            else route.power_w * network_time,
+        )
+        for route in routes
+    )
 
 
 def design_point_report(
@@ -213,8 +271,243 @@ def design_point_report(
 ) -> DesignPointReport:
     """Evaluate a design point end to end, as one Table VI row."""
     campaign = plan_campaign(params, dataset)
+    network_time = baseline_transfer_time(dataset, link_gbps=link_gbps)
     return DesignPointReport(
         metrics=launch_metrics(params),
         campaign=campaign,
-        comparisons=compare_with_routes(campaign, link_gbps=link_gbps),
+        network_time_s=network_time,
+        route_energies=_route_energy_basis(dataset, link_gbps, network_time),
     )
+
+
+# --------------------------------------------------------------------------
+# Vectorised batch evaluation
+# --------------------------------------------------------------------------
+#
+# Struct-of-arrays twins of the scalar model, built on the kernels in
+# :mod:`repro.core.physics`.  Each batch evaluates every design point in
+# a handful of numpy operations instead of one Python call chain per
+# point, and reproduces the scalar path bit-for-bit (asserted by
+# ``tests/core/test_vector.py``); ``repro.core.sweep`` uses them as its
+# default evaluation engine.
+
+
+@dataclass(frozen=True)
+class _ParamArrays:
+    """Column-major view of a sequence of design points."""
+
+    points: tuple[DhlParams, ...]
+    max_speed: np.ndarray
+    track_length: np.ndarray
+    acceleration: np.ndarray
+    lim_efficiency: np.ndarray
+    handling_time: np.ndarray
+    ssd_mass_kg: np.ndarray
+    storage_bytes: np.ndarray
+    brake_code: np.ndarray
+    regen_recovery: np.ndarray
+    dual_rail: np.ndarray
+
+
+def _param_arrays(points: Sequence[DhlParams]) -> _ParamArrays:
+    points = tuple(points)
+    if not points:
+        raise ConfigurationError("at least one design point is required")
+    return _ParamArrays(
+        points=points,
+        max_speed=np.asarray([p.max_speed for p in points], dtype=np.float64),
+        track_length=np.asarray([p.track_length for p in points], dtype=np.float64),
+        acceleration=np.asarray([p.acceleration for p in points], dtype=np.float64),
+        lim_efficiency=np.asarray([p.lim_efficiency for p in points], dtype=np.float64),
+        handling_time=np.asarray([p.handling_time for p in points], dtype=np.float64),
+        # The per-point products stay in Python floats so they round
+        # exactly as CartMass / storage_per_cart do.
+        ssd_mass_kg=np.asarray(
+            [p.ssds_per_cart * p.ssd_device.mass_kg for p in points], dtype=np.float64
+        ),
+        storage_bytes=np.asarray([p.storage_per_cart for p in points], dtype=np.float64),
+        brake_code=brake_codes([p.braking for p in points]),
+        regen_recovery=np.asarray([p.regen_recovery for p in points], dtype=np.float64),
+        dual_rail=np.asarray([p.dual_rail for p in points], dtype=bool),
+    )
+
+
+@dataclass(frozen=True)
+class MetricsBatch:
+    """All Table VI single-launch metrics for a batch of design points.
+
+    Columns are float64 arrays indexed like ``points``; :meth:`rows`
+    materialises the equivalent :class:`LaunchMetrics` objects.
+    """
+
+    points: tuple[DhlParams, ...]
+    energy_j: np.ndarray
+    time_s: np.ndarray
+    bandwidth_bytes_per_s: np.ndarray
+    efficiency_bytes_per_j: np.ndarray
+    peak_power_w: np.ndarray
+    cart_mass_kg: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def rows(self) -> tuple[LaunchMetrics, ...]:
+        """The batch as scalar :class:`LaunchMetrics`, in input order."""
+        # Construct through __dict__ rather than the frozen-dataclass
+        # __init__: object.__setattr__ per field dominates batch assembly
+        # otherwise.  Fields live in the instance __dict__ either way, so
+        # equality, hashing and pickling are unaffected.
+        energy = self.energy_j.tolist()
+        time_s = self.time_s.tolist()
+        bandwidth = self.bandwidth_bytes_per_s.tolist()
+        efficiency = self.efficiency_bytes_per_j.tolist()
+        peak_power = self.peak_power_w.tolist()
+        mass = self.cart_mass_kg.tolist()
+        rows = []
+        for i, params in enumerate(self.points):
+            launch = object.__new__(LaunchMetrics)
+            launch.__dict__.update(
+                params=params,
+                energy_j=energy[i],
+                time_s=time_s[i],
+                bandwidth_bytes_per_s=bandwidth[i],
+                efficiency_bytes_per_j=efficiency[i],
+                peak_power_w=peak_power[i],
+                cart_mass_kg=mass[i],
+            )
+            rows.append(launch)
+        return tuple(rows)
+
+
+def launch_metrics_batch(
+    points: Sequence[DhlParams], profile: str = "paper"
+) -> MetricsBatch:
+    """Vectorised twin of :func:`launch_metrics` over many design points."""
+    cols = _param_arrays(points)
+    mass = cart_total_mass_kernel(cols.ssd_mass_kg)
+    # Trip time follows the requested profile; energy and peak power are
+    # always priced at the paper-profile peak, exactly as the scalar
+    # launch_energy / peak_launch_power do.
+    paper_peak, accel_time, cruise_time, decel_time = motion_kernel(
+        cols.max_speed, cols.track_length, cols.acceleration, "paper"
+    )
+    if profile != "paper":
+        _, accel_time, cruise_time, decel_time = motion_kernel(
+            cols.max_speed, cols.track_length, cols.acceleration, profile
+        )
+    energy = launch_energy_kernel(
+        mass, paper_peak, cols.lim_efficiency, cols.brake_code, cols.regen_recovery
+    )
+    time_s = cols.handling_time + (accel_time + cruise_time + decel_time)
+    return MetricsBatch(
+        points=cols.points,
+        energy_j=energy,
+        time_s=time_s,
+        bandwidth_bytes_per_s=cols.storage_bytes / time_s,
+        efficiency_bytes_per_j=cols.storage_bytes / energy,
+        peak_power_w=peak_power_kernel(
+            mass, cols.acceleration, paper_peak, cols.lim_efficiency
+        ),
+        cart_mass_kg=mass,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignBatch:
+    """Bulk-transfer plans for a batch of design points over one dataset."""
+
+    points: tuple[DhlParams, ...]
+    dataset: Dataset
+    trips: np.ndarray
+    launches: np.ndarray
+    time_s: np.ndarray
+    energy_j: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def rows(self) -> tuple[Campaign, ...]:
+        """The batch as scalar :class:`Campaign` plans, in input order."""
+        # Same __dict__ construction as MetricsBatch.rows — see there.
+        trips = self.trips.tolist()
+        launches = self.launches.tolist()
+        time_s = self.time_s.tolist()
+        energy = self.energy_j.tolist()
+        rows = []
+        for i, params in enumerate(self.points):
+            campaign = object.__new__(Campaign)
+            campaign.__dict__.update(
+                params=params,
+                dataset=self.dataset,
+                trips=trips[i],
+                launches=launches[i],
+                time_s=time_s[i],
+                energy_j=energy[i],
+            )
+            rows.append(campaign)
+        return tuple(rows)
+
+
+def plan_campaign_batch(
+    points: Sequence[DhlParams],
+    dataset: Dataset = META_ML_LARGE,
+    count_return_trips: bool | None = None,
+    profile: str = "paper",
+) -> CampaignBatch:
+    """Vectorised twin of :func:`plan_campaign` over many design points."""
+    cols = _param_arrays(points)
+    metrics = launch_metrics_batch(cols.points, profile=profile)
+    if count_return_trips is None:
+        count_return = ~cols.dual_rail
+    else:
+        count_return = np.full(len(cols.points), bool(count_return_trips), dtype=bool)
+    # Mirror units.ceil_div, including its epsilon guard.
+    trips = np.ceil(dataset.size_bytes / cols.storage_bytes - 1e-12).astype(np.int64)
+    launches = np.where(count_return, 2 * trips, trips)
+    per_trip_time = metrics.time_s
+    per_launch_energy = metrics.energy_j
+    time_s = np.where(
+        count_return, launches * per_trip_time, trips * per_trip_time
+    )
+    energy_j = np.where(
+        count_return,
+        launches * per_launch_energy,
+        (2 * trips) * per_launch_energy,
+    )
+    return CampaignBatch(
+        points=cols.points,
+        dataset=dataset,
+        trips=trips,
+        launches=launches,
+        time_s=time_s,
+        energy_j=energy_j,
+    )
+
+
+def design_point_reports(
+    points: Sequence[DhlParams],
+    dataset: Dataset = META_ML_LARGE,
+    link_gbps: float = 400.0,
+) -> tuple[DesignPointReport, ...]:
+    """Vectorised twin of :func:`design_point_report` over many points.
+
+    The route baseline (network time and Fig. 2 energies) is evaluated
+    once for the whole batch — it does not depend on the design point —
+    and every report is assembled from the batched kernels.  Output is
+    bit-identical to mapping :func:`design_point_report` over ``points``.
+    """
+    metrics = launch_metrics_batch(points)
+    campaigns = plan_campaign_batch(metrics.points, dataset)
+    network_time = baseline_transfer_time(dataset, link_gbps=link_gbps)
+    basis = _route_energy_basis(dataset, link_gbps, network_time)
+    reports = []
+    for launch, campaign in zip(metrics.rows(), campaigns.rows()):
+        report = object.__new__(DesignPointReport)
+        report.__dict__.update(
+            metrics=launch,
+            campaign=campaign,
+            network_time_s=network_time,
+            route_energies=basis,
+        )
+        reports.append(report)
+    return tuple(reports)

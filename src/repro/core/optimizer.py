@@ -8,18 +8,23 @@ cost-optimal design runs exactly as fast as the deadline demands.
 
 No SciPy needed: campaign time is strictly decreasing in top speed, so
 bisection finds the minimum feasible speed; the remaining axes (cart
-size, dual rail) are small discrete sets enumerated outright.
+size, dual rail) are small discrete sets enumerated outright.  All
+layouts bisect in lockstep through the vectorised campaign kernels
+(:func:`min_speeds_for_deadline`), one batched evaluation per iteration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..storage.datasets import Dataset
 from ..units import KWH, assert_positive
 from .cost import dhl_cost
-from .model import plan_campaign
+from .model import plan_campaign, plan_campaign_batch
 from .params import SSD_COUNT_CANDIDATES, DhlParams
 
 ELECTRICITY_USD_PER_KWH: float = 0.08
@@ -31,7 +36,64 @@ the safety envelope, so infeasibility above it is reported, not chased."""
 
 
 def campaign_time(params: DhlParams, dataset: Dataset) -> float:
+    """Wall-clock seconds for one full campaign at this design point."""
     return plan_campaign(params, dataset).time_s
+
+
+def _campaign_times_at(
+    layouts: Sequence[DhlParams], speeds: Sequence[float], dataset: Dataset
+) -> np.ndarray:
+    """Campaign times for each layout pinned at its paired top speed."""
+    points = [
+        layout.with_(max_speed=float(speed))
+        for layout, speed in zip(layouts, speeds)
+    ]
+    return plan_campaign_batch(points, dataset).time_s
+
+
+def min_speeds_for_deadline(
+    layouts: Sequence[DhlParams],
+    dataset: Dataset,
+    deadline_s: float,
+    tolerance: float = 1e-3,
+) -> list[float | None]:
+    """Minimum feasible top speed for each layout, bisected in lockstep.
+
+    The vectorised heart of the optimiser: every layout's bisection
+    advances simultaneously, with one batched campaign evaluation per
+    iteration instead of one per (layout, iteration).  Each lane follows
+    exactly the sequence the scalar bisection would, so results match
+    :func:`min_speed_for_deadline` bit for bit.
+    """
+    assert_positive("deadline_s", deadline_s)
+    layouts = list(layouts)
+    if not layouts:
+        return []
+    n = len(layouts)
+    results: list[float | None] = [None] * n
+    slow_times = _campaign_times_at(layouts, [MIN_SPEED_M_S] * n, dataset)
+    fast_times = _campaign_times_at(layouts, [MAX_SPEED_M_S] * n, dataset)
+    low = np.full(n, MIN_SPEED_M_S)
+    high = np.full(n, MAX_SPEED_M_S)
+    at_minimum = slow_times <= deadline_s
+    infeasible = fast_times > deadline_s
+    active = ~(at_minimum | infeasible)
+    for lane in np.flatnonzero(at_minimum):
+        results[lane] = MIN_SPEED_M_S
+    while True:
+        # Lanes stop updating once converged, exactly like the scalar loop.
+        updating = active & (high - low > tolerance)
+        if not np.any(updating):
+            break
+        lanes = np.flatnonzero(updating)
+        mid = (low[lanes] + high[lanes]) / 2.0
+        times = _campaign_times_at([layouts[i] for i in lanes], mid, dataset)
+        meets = times <= deadline_s
+        high[lanes[meets]] = mid[meets]
+        low[lanes[~meets]] = mid[~meets]
+    for lane in np.flatnonzero(active):
+        results[lane] = float(high[lane])
+    return results
 
 
 def min_speed_for_deadline(
@@ -46,21 +108,7 @@ def min_speed_for_deadline(
     None when even ``MAX_SPEED_M_S`` misses the deadline — the caller
     should add tracks or bigger carts instead.
     """
-    assert_positive("deadline_s", deadline_s)
-    slowest = base.with_(max_speed=MIN_SPEED_M_S)
-    if campaign_time(slowest, dataset) <= deadline_s:
-        return MIN_SPEED_M_S
-    fastest = base.with_(max_speed=MAX_SPEED_M_S)
-    if campaign_time(fastest, dataset) > deadline_s:
-        return None
-    low, high = MIN_SPEED_M_S, MAX_SPEED_M_S
-    while high - low > tolerance:
-        mid = (low + high) / 2.0
-        if campaign_time(base.with_(max_speed=mid), dataset) <= deadline_s:
-            high = mid
-        else:
-            low = mid
-    return high
+    return min_speeds_for_deadline([base], dataset, deadline_s, tolerance)[0]
 
 
 @dataclass(frozen=True)
@@ -77,10 +125,12 @@ class DesignRecommendation:
 
     @property
     def total_cost_usd(self) -> float:
+        """Capital plus lifetime energy spend, the optimiser's objective."""
         return self.capital_usd + self.energy_usd_per_campaign * self.lifetime_campaigns
 
     @property
     def meets_deadline(self) -> bool:
+        """Whether the recommended design actually makes the deadline."""
         return self.campaign_time_s <= self.deadline_s
 
 
@@ -108,19 +158,27 @@ def design_for_deadline(
         raise ConfigurationError("at least one cart option is required")
     base = base or DhlParams()
 
-    candidates: list[DesignRecommendation] = []
     rail_layouts = (False, True) if allow_dual_rail else (False,)
-    for ssds in cart_options:
-        for dual_rail in rail_layouts:
-            layout = base.with_(ssds_per_cart=ssds, dual_rail=dual_rail)
-            speed = min_speed_for_deadline(layout, dataset, deadline_s)
-            if speed is None:
-                continue
-            params = layout.with_(max_speed=speed)
-            campaign = plan_campaign(params, dataset)
+    layouts = [
+        base.with_(ssds_per_cart=ssds, dual_rail=dual_rail)
+        for ssds in cart_options
+        for dual_rail in rail_layouts
+    ]
+    # One lockstep bisection for every layout, then one batched campaign
+    # evaluation for the feasible ones.
+    speeds = min_speeds_for_deadline(layouts, dataset, deadline_s)
+    feasible = [
+        layout.with_(max_speed=speed)
+        for layout, speed in zip(layouts, speeds)
+        if speed is not None
+    ]
+    candidates: list[DesignRecommendation] = []
+    if feasible:
+        campaigns = plan_campaign_batch(feasible, dataset).rows()
+        for params, campaign in zip(feasible, campaigns):
             # Dual rail doubles the distance-scaled materials.
             capital = dhl_cost(params).total_usd
-            if dual_rail:
+            if params.dual_rail:
                 capital += dhl_cost(params).rail.total_usd
             energy_usd = campaign.energy_j / KWH * electricity_usd_per_kwh
             candidates.append(

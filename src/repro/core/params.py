@@ -103,6 +103,7 @@ class DhlParams:
 
     @property
     def storage_per_cart_tb(self) -> float:
+        """Cart capacity in decimal terabytes (Table V's unit)."""
         return self.storage_per_cart / TB
 
     @property

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import PhysicsError
 from ..units import GRAVITY, assert_fraction, assert_positive
 from .params import BrakingMode, DhlParams
@@ -71,6 +73,7 @@ class CartMass:
 
     @property
     def total_grams(self) -> float:
+        """Total cart mass in grams (Table V's unit)."""
         return self.total_kg * 1e3
 
     def magnet_volume_cm3(self) -> float:
@@ -103,7 +106,10 @@ class Lim:
     def length_for_speed(self, speed: float) -> float:
         """LIM length to reach ``speed``: v^2 / 2a (5/20/45 m at Table V speeds)."""
         assert_positive("speed", speed)
-        return speed**2 / (2.0 * self.acceleration)
+        # speed * speed (not speed**2): numpy squares arrays this way, and
+        # libm pow() can differ by 1 ulp, which would break the guarantee
+        # that the vectorised kernels reproduce this path bit-for-bit.
+        return speed * speed / (2.0 * self.acceleration)
 
     def top_speed_for_length(self, length: float) -> float:
         """The speed reachable within a LIM of a given length."""
@@ -115,7 +121,7 @@ class Lim:
         assert_positive("mass_kg", mass_kg)
         if speed < 0:
             raise PhysicsError(f"speed must be >= 0, got {speed}")
-        return 0.5 * mass_kg * speed**2 / self.efficiency
+        return 0.5 * mass_kg * (speed * speed) / self.efficiency
 
     def peak_power(self, mass_kg: float, speed: float) -> float:
         """Peak electrical power, drawn at the end of the ramp: M a v / eta."""
@@ -233,7 +239,7 @@ def launch_energy(params: DhlParams, include_drag: bool = False) -> float:
     motor = lim(params)
     peak = motion_profile(params).peak_speed
     accel_energy = motor.energy_to_accelerate(mass, peak)
-    kinetic = 0.5 * mass * peak**2
+    kinetic = 0.5 * mass * (peak * peak)
 
     if params.braking == BrakingMode.LIM:
         brake_energy = accel_energy
@@ -329,3 +335,137 @@ def air_drag_power(speed: float, pressure_pa: float = ROUGH_VACUUM_PRESSURE_PA,
     density = 1.225 * pressure_pa / 101325.0
     drag_force = 0.5 * density * speed**2 * frontal_area_m2 * drag_coefficient
     return drag_force * speed
+
+
+# --------------------------------------------------------------------------
+# Vectorised kernels
+# --------------------------------------------------------------------------
+#
+# Array twins of the scalar models above, used by the sweep engine and
+# the batched analysis layers (``repro.core.model`` batch builders,
+# ``repro.core.sensitivity``, ``repro.core.breakeven``,
+# ``repro.core.optimizer``).  Every kernel performs the *same* floating-
+# point operations in the *same* order as its scalar twin, so results
+# are bit-identical element for element — a property the test suite
+# asserts, and the reason the sweep engine may transparently substitute
+# the vectorised path for the scalar one.
+#
+# All kernels accept scalars or broadcastable numpy arrays and return
+# ``numpy.ndarray`` (float64).
+
+_BRAKE_CODES: dict[str, int] = {
+    BrakingMode.LIM: 0,
+    BrakingMode.EDDY: 1,
+    BrakingMode.REGENERATIVE: 2,
+}
+"""Integer encoding of :class:`BrakingMode` for array-valued kernels."""
+
+
+def brake_codes(modes) -> np.ndarray:
+    """Encode a sequence of braking-mode strings for the energy kernel."""
+    try:
+        return np.asarray([_BRAKE_CODES[mode] for mode in modes], dtype=np.int64)
+    except KeyError as exc:  # pragma: no cover - guarded upstream by DhlParams
+        raise PhysicsError(f"unknown braking mode {exc.args[0]!r}") from exc
+
+
+def cart_total_mass_kernel(
+    ssd_mass_kg,
+    frame_mass_kg: float = FRAME_MASS_KG,
+    magnet_fraction: float = MAGNET_MASS_FRACTION,
+    fin_fraction: float = FIN_MASS_FRACTION,
+) -> np.ndarray:
+    """Array twin of :class:`CartMass`: total cart mass from SSD payload mass."""
+    ssd_mass_kg = np.asarray(ssd_mass_kg, dtype=np.float64)
+    payload_fraction = 1.0 - magnet_fraction - fin_fraction
+    if payload_fraction <= 0:
+        raise PhysicsError(
+            "magnet and fin fractions leave no mass budget for the payload"
+        )
+    return (ssd_mass_kg + frame_mass_kg) / payload_fraction
+
+
+def motion_kernel(max_speed, track_length, acceleration, profile: str = "paper"):
+    """Array twin of :func:`motion_profile`.
+
+    Returns ``(peak_speed, accel_time, cruise_time, decel_time)`` arrays.
+    Short tracks degrade to triangular profiles exactly as in the scalar
+    model, resolved with ``np.where`` over both branches.
+    """
+    if profile not in ("paper", "exact"):
+        raise PhysicsError(f"unknown profile {profile!r}; expected 'paper' or 'exact'")
+    v = np.asarray(max_speed, dtype=np.float64)
+    x = np.asarray(track_length, dtype=np.float64)
+    a = np.asarray(acceleration, dtype=np.float64)
+    ramp_len = v * v / (2.0 * a)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if profile == "paper":
+            reaches_top = x >= ramp_len
+            short_peak = np.sqrt(2.0 * a * x)
+            peak = np.where(reaches_top, v, short_peak)
+            accel_time = np.where(reaches_top, v / a, short_peak / a)
+            cruise_time = np.where(reaches_top, (x - ramp_len) / v, 0.0)
+            decel_time = np.zeros_like(peak)
+        else:
+            reaches_top = x >= 2.0 * ramp_len
+            short_peak = np.sqrt(2.0 * a * (x / 2.0))
+            peak = np.where(reaches_top, v, short_peak)
+            accel_time = np.where(reaches_top, v / a, short_peak / a)
+            cruise_time = np.where(reaches_top, (x - 2.0 * ramp_len) / v, 0.0)
+            decel_time = accel_time
+    return peak, accel_time, cruise_time, decel_time
+
+
+def trip_time_kernel(
+    max_speed, track_length, acceleration, handling_time, profile: str = "paper"
+) -> np.ndarray:
+    """Array twin of :func:`trip_time`: undock + motion + dock, per element."""
+    _, accel_time, cruise_time, decel_time = motion_kernel(
+        max_speed, track_length, acceleration, profile
+    )
+    return np.asarray(handling_time, dtype=np.float64) + (
+        accel_time + cruise_time + decel_time
+    )
+
+
+def launch_energy_kernel(
+    mass_kg,
+    peak_speed,
+    efficiency,
+    brake_code=_BRAKE_CODES[BrakingMode.LIM],
+    regen_recovery=0.0,
+) -> np.ndarray:
+    """Array twin of :func:`launch_energy` (drag excluded, as in Table VI).
+
+    ``brake_code`` follows :func:`brake_codes`; ``regen_recovery`` is only
+    read where the code selects regenerative braking.
+    """
+    mass_kg = np.asarray(mass_kg, dtype=np.float64)
+    peak = np.asarray(peak_speed, dtype=np.float64)
+    efficiency = np.asarray(efficiency, dtype=np.float64)
+    code = np.asarray(brake_code, dtype=np.int64)
+    regen = np.asarray(regen_recovery, dtype=np.float64)
+    accel_energy = 0.5 * mass_kg * (peak * peak) / efficiency
+    kinetic = 0.5 * mass_kg * (peak * peak)
+    brake_energy = np.where(
+        code == _BRAKE_CODES[BrakingMode.LIM],
+        accel_energy,
+        np.where(
+            code == _BRAKE_CODES[BrakingMode.EDDY],
+            0.0,
+            accel_energy - regen * kinetic,
+        ),
+    )
+    return accel_energy + brake_energy
+
+
+def peak_power_kernel(mass_kg, acceleration, peak_speed, efficiency) -> np.ndarray:
+    """Array twin of :func:`peak_launch_power`: M a v / eta at ramp end."""
+    mass_kg = np.asarray(mass_kg, dtype=np.float64)
+    return (
+        mass_kg
+        * np.asarray(acceleration, dtype=np.float64)
+        * np.asarray(peak_speed, dtype=np.float64)
+        / np.asarray(efficiency, dtype=np.float64)
+    )

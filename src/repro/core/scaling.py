@@ -75,6 +75,7 @@ class ScalingPoint:
 
     @property
     def cart_tb(self) -> float:
+        """Projected cart capacity in decimal terabytes."""
         return self.metrics.params.storage_per_cart / 1e12
 
 
@@ -119,18 +120,22 @@ class UpgradeCosts:
 
     @property
     def dhl_total_usd(self) -> float:
+        """DHL spend over the horizon: initial build plus SSD refreshes."""
         return self.dhl_initial_usd + self.dhl_refresh_usd
 
     @property
     def network_total_usd(self) -> float:
+        """Network spend over the horizon: initial links plus upgrades."""
         return self.network_initial_usd + self.network_refresh_usd
 
     @property
     def dhl_gain_per_kusd(self) -> float:
+        """Capacity gained (TB) per thousand dollars of DHL spend."""
         return self.dhl_capacity_gain / (self.dhl_total_usd / 1e3)
 
     @property
     def network_gain_per_kusd(self) -> float:
+        """Rate gained (Gbit/s) per thousand dollars of network spend."""
         return self.network_rate_gain / (self.network_total_usd / 1e3)
 
 

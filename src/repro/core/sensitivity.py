@@ -9,6 +9,11 @@ those statements as normalised elasticities,
 
 estimated by central differences around a design point, and ranks the
 parameters per metric — a tornado analysis for the DHL.
+
+All perturbed points are evaluated through the vectorised
+:func:`~repro.core.model.launch_metrics_batch` kernels: the full
+sensitivity matrix costs one batch of ``2 x parameters + 1`` design
+points rather than one model call per (metric, parameter, side).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from typing import Callable
 
 from ..errors import ConfigurationError
 from ..units import assert_positive
-from .model import launch_metrics
+from .model import LaunchMetrics, launch_metrics_batch
 from .params import DhlParams
 
 #: Parameters varied by the analysis, with accessors and update kwargs.
@@ -50,6 +55,7 @@ class Elasticity:
 
     @property
     def magnitude(self) -> float:
+        """Absolute elasticity, for ranking parameters."""
         return abs(self.value)
 
 
@@ -59,6 +65,35 @@ def _perturbed(params: DhlParams, name: str, factor: float) -> DhlParams:
     if name == "dock_time":
         update["undock_time"] = current * factor
     return params.with_(**update)
+
+
+def _check_step(step: float) -> None:
+    assert_positive("step", step)
+    if step >= 0.5:
+        raise ConfigurationError("step must be a small relative perturbation")
+
+
+def _check_metric(metric: str) -> None:
+    if metric not in METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; known: {sorted(METRICS)}"
+        )
+
+
+def _elasticity_from_rows(
+    parameter: str,
+    metric: str,
+    step: float,
+    up_row: LaunchMetrics,
+    down_row: LaunchMetrics,
+    base_row: LaunchMetrics,
+) -> Elasticity:
+    extractor = METRICS[metric]
+    up = extractor(up_row)
+    down = extractor(down_row)
+    base = extractor(base_row)
+    derivative = (up - down) / (2.0 * step)
+    return Elasticity(parameter=parameter, metric=metric, value=derivative / base)
 
 
 def elasticity(
@@ -72,32 +107,42 @@ def elasticity(
         raise ConfigurationError(
             f"unknown parameter {parameter!r}; known: {sorted(_NUMERIC_PARAMETERS)}"
         )
-    if metric not in METRICS:
-        raise ConfigurationError(
-            f"unknown metric {metric!r}; known: {sorted(METRICS)}"
-        )
-    assert_positive("step", step)
-    if step >= 0.5:
-        raise ConfigurationError("step must be a small relative perturbation")
-    extractor = METRICS[metric]
-    up = extractor(launch_metrics(_perturbed(params, parameter, 1.0 + step)))
-    down = extractor(launch_metrics(_perturbed(params, parameter, 1.0 - step)))
-    base = extractor(launch_metrics(params))
-    derivative = (up - down) / (2.0 * step)
-    return Elasticity(parameter=parameter, metric=metric, value=derivative / base)
+    _check_metric(metric)
+    _check_step(step)
+    up_row, down_row, base_row = launch_metrics_batch([
+        _perturbed(params, parameter, 1.0 + step),
+        _perturbed(params, parameter, 1.0 - step),
+        params,
+    ]).rows()
+    return _elasticity_from_rows(parameter, metric, step, up_row, down_row, base_row)
 
 
 def sensitivity_matrix(
     params: DhlParams | None = None,
     step: float = 0.01,
 ) -> dict[str, dict[str, Elasticity]]:
-    """All (metric, parameter) elasticities at a design point."""
+    """All (metric, parameter) elasticities at a design point.
+
+    One vectorised batch evaluates the base point plus both perturbed
+    sides of every parameter; each metric then reads off the same rows.
+    """
     params = params or DhlParams()
+    _check_step(step)
+    parameters = list(_NUMERIC_PARAMETERS)
+    points = [params]
+    for parameter in parameters:
+        points.append(_perturbed(params, parameter, 1.0 + step))
+        points.append(_perturbed(params, parameter, 1.0 - step))
+    rows = launch_metrics_batch(points).rows()
+    base_row = rows[0]
     matrix: dict[str, dict[str, Elasticity]] = {}
     for metric in METRICS:
         matrix[metric] = {
-            parameter: elasticity(params, parameter, metric, step)
-            for parameter in _NUMERIC_PARAMETERS
+            parameter: _elasticity_from_rows(
+                parameter, metric, step,
+                rows[1 + 2 * index], rows[2 + 2 * index], base_row,
+            )
+            for index, parameter in enumerate(parameters)
         }
     return matrix
 
@@ -109,14 +154,8 @@ def tornado(
 ) -> list[Elasticity]:
     """Parameters ranked by influence on one metric (largest first)."""
     params = params or DhlParams()
-    if metric not in METRICS:
-        raise ConfigurationError(
-            f"unknown metric {metric!r}; known: {sorted(METRICS)}"
-        )
-    entries = [
-        elasticity(params, parameter, metric, step)
-        for parameter in _NUMERIC_PARAMETERS
-    ]
+    _check_metric(metric)
+    entries = list(sensitivity_matrix(params, step)[metric].values())
     return sorted(entries, key=lambda entry: entry.magnitude, reverse=True)
 
 

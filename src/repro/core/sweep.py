@@ -1,19 +1,192 @@
-"""Design-space exploration utilities (paper Section V-A, Table VI).
+"""Design-space exploration: the sweep engine (paper Section V-A, Table VI).
 
 Provides the exact 13-row Table VI sweep plus generic sweeps over any
 subset of DHL parameters, for ablation benches and the explorer example.
+
+Every sweep routes through :func:`evaluate_reports`, which offers four
+interchangeable evaluation engines (all produce bit-identical
+:class:`~repro.core.model.DesignPointReport` tuples, in input order):
+
+* ``"serial"`` — one scalar :func:`~repro.core.model.design_point_report`
+  call per point; the reference path.
+* ``"vector"`` — the numpy batch kernels
+  (:func:`~repro.core.model.design_point_reports`); the fast default for
+  more than a handful of points.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  fan-out over chunks of points, each chunk evaluated with the vector
+  kernels inside its worker.  Worth it for very large sweeps on
+  multi-core hosts; ``workers``/``chunk_size`` tune it.
+* ``"auto"`` — ``"vector"`` above a small size threshold, ``"serial"``
+  below it; picks ``"process"`` only when ``workers`` is explicitly set
+  above 1.
+
+Results are memoised in a bounded cache keyed on the frozen
+``(DhlParams, Dataset, link_gbps)`` triple, so optimiser loops and
+repeated benches never re-evaluate a design point.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..storage.datasets import Dataset, META_ML_LARGE
-from .model import DesignPointReport, design_point_report
+from .model import DesignPointReport, design_point_report, design_point_reports
 from .params import DhlParams, table_vi_design_points
+
+ENGINES: tuple[str, ...] = ("auto", "serial", "vector", "process")
+"""Recognised values for the ``engine`` argument of every sweep entry point."""
+
+VECTOR_THRESHOLD: int = 8
+"""``engine="auto"`` switches from scalar to vector at this batch size."""
+
+REPORT_CACHE_SIZE: int = 4096
+"""Bound on memoised reports; least-recently-inserted entries evict first."""
+
+_report_cache: OrderedDict[tuple, DesignPointReport] = OrderedDict()
+_cache_hits: int = 0
+_cache_misses: int = 0
+
+
+def clear_report_cache() -> None:
+    """Drop all memoised design-point reports and reset the hit counters."""
+    global _cache_hits, _cache_misses
+    _report_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def report_cache_stats() -> dict[str, int]:
+    """Cache occupancy and hit/miss counters (for benches and tests)."""
+    return {
+        "size": len(_report_cache),
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+    }
+
+
+def _evaluate_chunk(
+    chunk: tuple[DhlParams, ...], dataset: Dataset, link_gbps: float
+) -> tuple[DesignPointReport, ...]:
+    """Process-pool worker: evaluate one chunk with the vector kernels."""
+    return design_point_reports(chunk, dataset=dataset, link_gbps=link_gbps)
+
+
+def _resolve_engine(engine: str, n_points: int, workers: int | None) -> str:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine != "auto":
+        return engine
+    if workers is not None and workers > 1:
+        return "process"
+    return "vector" if n_points >= VECTOR_THRESHOLD else "serial"
+
+
+def _evaluate_unique(
+    unique: tuple[DhlParams, ...],
+    dataset: Dataset,
+    link_gbps: float,
+    engine: str,
+    workers: int | None,
+    chunk_size: int | None,
+) -> tuple[DesignPointReport, ...]:
+    if engine == "serial":
+        return tuple(
+            design_point_report(params, dataset=dataset, link_gbps=link_gbps)
+            for params in unique
+        )
+    if engine == "vector":
+        return design_point_reports(unique, dataset=dataset, link_gbps=link_gbps)
+    # process
+    n_workers = workers or os.cpu_count() or 1
+    n_workers = max(1, min(n_workers, len(unique)))
+    if chunk_size is None:
+        # ~4 chunks per worker keeps the pool busy without tiny tasks.
+        chunk_size = max(1, -(-len(unique) // (4 * n_workers)))
+    chunks = [
+        unique[start:start + chunk_size]
+        for start in range(0, len(unique), chunk_size)
+    ]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        # Executor.map preserves submission order, so concatenating the
+        # chunk results reproduces input order deterministically no
+        # matter which worker finished first.
+        results = pool.map(
+            _evaluate_chunk, chunks, itertools.repeat(dataset), itertools.repeat(link_gbps)
+        )
+        return tuple(itertools.chain.from_iterable(results))
+
+
+def evaluate_reports(
+    points: Iterable[DhlParams],
+    dataset: Dataset = META_ML_LARGE,
+    link_gbps: float = 400.0,
+    engine: str = "auto",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    cache: bool = True,
+) -> tuple[DesignPointReport, ...]:
+    """Evaluate a report for every design point, in input order.
+
+    The shared entry point behind :func:`run_sweep`, the optimiser, the
+    sensitivity analysis and the benches.  Duplicate points (Table VI
+    repeats its default row three times) are evaluated once; with
+    ``cache=True`` results also persist across calls in a bounded
+    memo keyed on ``(params, dataset, link_gbps)``.
+    """
+    global _cache_hits, _cache_misses
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    point_list = tuple(points)
+    if not point_list:
+        raise ConfigurationError("no design points supplied")
+
+    resolved: dict[tuple, DesignPointReport] = {}
+    keys = [(params, dataset, link_gbps) for params in point_list]
+    if cache:
+        for key in keys:
+            if key in resolved:
+                continue
+            hit = _report_cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+                _cache_hits += 1
+            else:
+                _cache_misses += 1
+
+    missing: list[DhlParams] = []
+    seen: set[tuple] = set()
+    for key in keys:
+        if key not in resolved and key not in seen:
+            seen.add(key)
+            missing.append(key[0])
+
+    if missing:
+        unique = tuple(missing)
+        chosen = _resolve_engine(engine, len(unique), workers)
+        fresh = _evaluate_unique(
+            unique, dataset, link_gbps, chosen, workers, chunk_size
+        )
+        for params, report in zip(unique, fresh):
+            key = (params, dataset, link_gbps)
+            resolved[key] = report
+            if cache:
+                _report_cache[key] = report
+                while len(_report_cache) > REPORT_CACHE_SIZE:
+                    _report_cache.popitem(last=False)
+
+    return tuple(resolved[key] for key in keys)
 
 
 @dataclass(frozen=True)
@@ -24,11 +197,23 @@ class SweepResult:
 
     def best_by(self, key: Callable[[DesignPointReport], float],
                 maximise: bool = True) -> DesignPointReport:
-        """The report optimising ``key`` (e.g. efficiency, speedup)."""
+        """The report optimising ``key`` (e.g. efficiency, speedup).
+
+        Ties break deterministically: the first report in input order
+        wins, regardless of which engine evaluated the sweep — parallel
+        and serial sweeps therefore agree on the winner even when several
+        design points share the optimal value.
+        """
         if not self.reports:
             raise ConfigurationError("sweep produced no reports")
-        chooser = max if maximise else min
-        return chooser(self.reports, key=key)
+        best = self.reports[0]
+        best_value = key(best)
+        for report in self.reports[1:]:
+            value = key(report)
+            if (value > best_value) if maximise else (value < best_value):
+                best = report
+                best_value = value
+        return best
 
     def column(self, key: Callable[[DesignPointReport], float]) -> list[float]:
         """Extract one metric across all rows."""
@@ -39,15 +224,13 @@ def run_sweep(
     points: Iterable[DhlParams],
     dataset: Dataset = META_ML_LARGE,
     link_gbps: float = 400.0,
+    engine: str = "auto",
+    workers: int | None = None,
 ) -> SweepResult:
     """Evaluate a report for every design point."""
-    reports = tuple(
-        design_point_report(params, dataset=dataset, link_gbps=link_gbps)
-        for params in points
-    )
-    if not reports:
-        raise ConfigurationError("no design points supplied")
-    return SweepResult(reports=reports)
+    return SweepResult(reports=evaluate_reports(
+        points, dataset=dataset, link_gbps=link_gbps, engine=engine, workers=workers
+    ))
 
 
 def table_vi_sweep(dataset: Dataset = META_ML_LARGE) -> SweepResult:
@@ -58,6 +241,8 @@ def table_vi_sweep(dataset: Dataset = META_ML_LARGE) -> SweepResult:
 def grid_sweep(
     base: DhlParams = DhlParams(),
     dataset: Dataset = META_ML_LARGE,
+    engine: str = "auto",
+    workers: int | None = None,
     **axes: Sequence[object],
 ) -> SweepResult:
     """Full-factorial sweep over named parameter axes.
@@ -73,7 +258,7 @@ def grid_sweep(
     for values in itertools.product(*(axes[name] for name in names)):
         changes = dict(zip(names, values))
         points.append(base.with_(**changes))
-    return run_sweep(points, dataset=dataset)
+    return run_sweep(points, dataset=dataset, engine=engine, workers=workers)
 
 
 def pareto_front(
@@ -85,24 +270,25 @@ def pareto_front(
 
     A point dominates another when it is no worse on both axes and
     strictly better on one — the trade-off frontier the paper discusses
-    (speed buys time at the cost of energy).
+    (speed buys time at the cost of energy).  The dominance test is
+    vectorised over the whole sweep.
     """
     if time_key is None:
         time_key = lambda report: report.campaign.time_s  # noqa: E731
     if energy_key is None:
         energy_key = lambda report: report.campaign.energy_j  # noqa: E731
     reports = list(result.reports)
-    front = []
-    for candidate in reports:
-        dominated = any(
-            time_key(other) <= time_key(candidate)
-            and energy_key(other) <= energy_key(candidate)
-            and (
-                time_key(other) < time_key(candidate)
-                or energy_key(other) < energy_key(candidate)
-            )
-            for other in reports
-        )
-        if not dominated:
-            front.append(candidate)
-    return front
+    times = np.asarray([time_key(report) for report in reports], dtype=np.float64)
+    energies = np.asarray([energy_key(report) for report in reports], dtype=np.float64)
+    # dominated[i] = exists j: t_j <= t_i, e_j <= e_i, strict on one axis.
+    # Row-blocked to bound the n^2 comparison matrix for huge sweeps.
+    dominated = np.zeros(len(reports), dtype=bool)
+    block = 1024
+    for start in range(0, len(reports), block):
+        stop = min(start + block, len(reports))
+        t_block = times[start:stop, None]
+        e_block = energies[start:stop, None]
+        no_worse = (times[None, :] <= t_block) & (energies[None, :] <= e_block)
+        strictly_better = (times[None, :] < t_block) | (energies[None, :] < e_block)
+        dominated[start:stop] = np.any(no_worse & strictly_better, axis=1)
+    return [report for report, is_dom in zip(reports, dominated) if not is_dom]

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..units import assert_positive, gbps
 from .routes import Route
@@ -71,6 +73,34 @@ class ParallelLinks:
     def transfer_energy(self, n_bytes: float) -> float:
         """Energy is invariant in n: n links run for 1/n the time."""
         return self.power_w * self.transfer_time(n_bytes)
+
+
+# --------------------------------------------------------------------------
+# Vectorised kernels
+# --------------------------------------------------------------------------
+
+
+def transfer_time_kernel(n_bytes, rate_bytes_per_s) -> np.ndarray:
+    """Array twin of :meth:`OpticalLink.transfer_time`.
+
+    Broadcasts transfer sizes against link rates, so one call prices a
+    whole sweep of payloads, a whole catalogue of links, or both.
+    """
+    n_bytes = np.asarray(n_bytes, dtype=np.float64)
+    rate = np.asarray(rate_bytes_per_s, dtype=np.float64)
+    if np.any(n_bytes < 0):
+        raise ConfigurationError("transfer sizes must be >= 0")
+    if np.any(rate <= 0):
+        raise ConfigurationError("link rates must be > 0")
+    return n_bytes / rate
+
+
+def transfer_energy_kernel(n_bytes, power_w, rate_bytes_per_s) -> np.ndarray:
+    """Array twin of :meth:`OpticalLink.transfer_energy`: P x S / rate."""
+    power = np.asarray(power_w, dtype=np.float64)
+    if np.any(power <= 0):
+        raise ConfigurationError("route powers must be > 0")
+    return power * transfer_time_kernel(n_bytes, rate_bytes_per_s)
 
 
 def traced_transfer(link, n_bytes: float, tracer, start_s: float = 0.0,

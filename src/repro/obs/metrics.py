@@ -36,11 +36,13 @@ class Counter:
     value: float = 0.0
 
     def inc(self, by: float = 1.0) -> None:
+        """Increase the counter; counters are monotonic by contract."""
         if by < 0:
             raise SimulationError(f"counter {self.name!r} cannot decrease (by={by})")
         self.value += by
 
     def snapshot(self) -> dict[str, float]:
+        """The counter's exportable state."""
         return {"value": self.value}
 
 
@@ -56,14 +58,17 @@ class Gauge:
         self.peak = self.value
 
     def set(self, value: float) -> None:
+        """Set the gauge, tracking the high-water mark."""
         self.value = value
         if value > self.peak:
             self.peak = value
 
     def add(self, delta: float) -> None:
+        """Adjust the gauge by a signed delta."""
         self.set(self.value + delta)
 
     def snapshot(self) -> dict[str, float]:
+        """The gauge's exportable state (value and peak)."""
         return {"value": self.value, "peak": self.peak}
 
 
@@ -98,6 +103,7 @@ class Histogram:
         self.counts = [0] * len(bounds)
 
     def observe(self, value: float) -> None:
+        """Record one observation into the running stats and buckets."""
         self.n += 1
         self.total += value
         self.min_value = min(self.min_value, value)
@@ -109,6 +115,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observations; raises if none were recorded."""
         if self.n == 0:
             raise SimulationError(f"histogram {self.name!r} has no observations")
         return self.total / self.n
@@ -133,6 +140,7 @@ class Histogram:
         return self.max_value
 
     def snapshot(self) -> dict[str, Any]:
+        """The histogram's exportable state (count/sum/extrema/buckets)."""
         return {
             "count": self.n,
             "sum": self.total,
@@ -172,6 +180,7 @@ class TimeWeightedValue:
         self._peak = max(self._peak, new_value)
 
     def add(self, delta: float) -> None:
+        """Adjust the value by a signed delta at the current clock time."""
         self.set(self.value + delta)
 
     def _accumulate(self) -> None:
@@ -191,9 +200,11 @@ class TimeWeightedValue:
 
     @property
     def peak(self) -> float:
+        """Highest value the monitored level has reached."""
         return self._peak
 
     def snapshot(self) -> dict[str, float | None]:
+        """The time-weighted value's exportable state."""
         elapsed = self.env.now - self._start_s
         return {
             "value": self.value,
@@ -220,9 +231,11 @@ class UtilisationMonitor:
         monitor = self
 
         def tracked_request(*args, **kwargs):
+            """Wrapped ``request`` that samples the level on grant."""
             request = original_request(*args, **kwargs)
 
             def on_grant(_event):
+                """Sample the level once the pending claim is granted."""
                 monitor._level.set(monitor.resource.count)
 
             if request.triggered:
@@ -232,6 +245,7 @@ class UtilisationMonitor:
             return request
 
         def tracked_release(request) -> None:
+            """Wrapped ``release`` that samples the level afterwards."""
             original_release(request)
             monitor._level.set(monitor.resource.count)
 
@@ -244,6 +258,7 @@ class UtilisationMonitor:
 
     @property
     def peak_in_use(self) -> float:
+        """Most slots ever simultaneously claimed."""
         return self._level.peak
 
 
@@ -261,6 +276,7 @@ class MetricsRegistry:
         self._metrics: dict[str, Any] = {}
 
     def attach_clock(self, clock: Any) -> None:
+        """Attach the virtual clock time-weighted metrics sample against."""
         self._clock = clock
 
     def _get(self, name: str, kind: type, factory) -> Any:
@@ -277,16 +293,20 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
+        """Get or create the named monotonic counter."""
         return self._get(name, Counter, lambda: Counter(name))
 
     def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
         return self._get(name, Gauge, lambda: Gauge(name))
 
     def histogram(self, name: str,
                   bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the named histogram."""
         return self._get(name, Histogram, lambda: Histogram(name, bounds))
 
     def time_weighted(self, name: str, initial: float = 0.0) -> TimeWeightedValue:
+        """Get or create the named time-weighted value (needs a clock)."""
         if self._clock is None:
             raise SimulationError(
                 f"registry has no clock; cannot create time-weighted {name!r}"
@@ -302,6 +322,7 @@ class MetricsRegistry:
         return name in self._metrics
 
     def names(self, prefix: str = "") -> list[str]:
+        """Registered metric names, optionally filtered by dotted prefix."""
         return sorted(name for name in self._metrics if name.startswith(prefix))
 
     def counters_with_prefix(self, prefix: str) -> dict[str, float]:
@@ -343,6 +364,7 @@ class MetricsRegistry:
         return rows
 
     def to_csv(self) -> str:
+        """All metrics as one flat CSV document."""
         lines = ["metric,type,field,value"]
         for row in self.to_csv_rows():
             lines.append(",".join(str(cell) for cell in row))

@@ -45,6 +45,7 @@ class ResourceProbe:
         probe = self
 
         def probed_request(*args, **kwargs):
+            """Wrapped ``request`` that records claim spans."""
             request = original_request(*args, **kwargs)
             if request.triggered:
                 probe._granted(request)
@@ -53,6 +54,7 @@ class ResourceProbe:
             return request
 
         def probed_release(request) -> None:
+            """Wrapped ``release`` that closes the matching claim span."""
             original_release(request)
             probe._released(request)
 

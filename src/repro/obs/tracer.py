@@ -64,10 +64,12 @@ class Span:
 
     @property
     def open(self) -> bool:
+        """Whether the span is still unclosed."""
         return self.end_s is None
 
     @property
     def duration_s(self) -> float:
+        """Span length in virtual seconds; raises while still open."""
         if self.end_s is None:
             raise SimulationError(f"span {self.name!r} is still open")
         return self.end_s - self.start_s
@@ -106,6 +108,7 @@ class _NullSpan:
     duration_s = 0.0
 
     def end(self, **args: Any) -> None:
+        """No-op close, mirroring :meth:`Span.end`."""
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -169,6 +172,7 @@ class Tracer:
 
     @property
     def enabled(self) -> bool:
+        """Whether any recording happens at this level."""
         return self.level > TraceLevel.OFF
 
     def enable(self, level: int = TraceLevel.FULL) -> None:
@@ -183,6 +187,7 @@ class Tracer:
 
     @property
     def now(self) -> float:
+        """Current virtual time from the attached clock."""
         if self._clock is None:
             raise SimulationError(
                 "tracer has no clock; attach an Environment or use span_at"
@@ -265,15 +270,18 @@ class Tracer:
     # -- queries -------------------------------------------------------------
 
     def open_spans(self) -> list[Span]:
+        """Spans not yet ended, oldest first."""
         return [span for span in self.spans if span.open]
 
     def closed_spans(self, name: str | None = None) -> list[Span]:
+        """Ended spans, optionally filtered by name."""
         return [
             span for span in self.spans
             if not span.open and (name is None or span.name == name)
         ]
 
     def find_spans(self, name: str, track: str | None = None) -> list[Span]:
+        """All spans matching a name (and optionally a track)."""
         return [
             span for span in self.spans
             if span.name == name and (track is None or span.track == track)

@@ -1,9 +1,18 @@
-"""Tests for design-space sweeps and the Pareto frontier."""
+"""Tests for design-space sweeps, the evaluation engines and Pareto."""
 
 import pytest
 
 from repro.core.params import DhlParams, table_vi_design_points
-from repro.core.sweep import grid_sweep, pareto_front, run_sweep, table_vi_sweep
+from repro.core.sweep import (
+    SweepResult,
+    clear_report_cache,
+    evaluate_reports,
+    grid_sweep,
+    pareto_front,
+    report_cache_stats,
+    run_sweep,
+    table_vi_sweep,
+)
 from repro.errors import ConfigurationError
 from repro.storage.datasets import synthetic_dataset
 from repro.units import PB
@@ -55,6 +64,92 @@ class TestTableViSweep:
         )
         assert frugal.metrics.params.max_speed == 100.0
         assert frugal.metrics.params.ssds_per_cart == 16
+
+
+def small_grid():
+    return [
+        DhlParams(max_speed=speed, track_length=length, ssds_per_cart=ssds)
+        for speed in (50.0, 150.0, 250.0)
+        for length in (100.0, 1000.0)
+        for ssds in (16, 64)
+    ]
+
+
+class TestEvaluationEngines:
+    def test_all_engines_agree_exactly(self):
+        """Serial, vector and process sweeps are byte-identical.
+
+        Process-pool results come back through pickle, so equality here
+        covers ordering, values and round-tripping in one assertion.
+        """
+        points = small_grid()
+        serial = evaluate_reports(points, engine="serial", cache=False)
+        vector = evaluate_reports(points, engine="vector", cache=False)
+        process = evaluate_reports(
+            points, engine="process", workers=2, cache=False
+        )
+        assert serial == vector
+        assert serial == process
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_reports([DhlParams()], engine="gpu")
+
+    def test_duplicates_evaluated_once_and_shared(self):
+        points = [DhlParams(), DhlParams(max_speed=100.0), DhlParams()]
+        reports = evaluate_reports(points, cache=False)
+        assert len(reports) == 3
+        assert reports[0] is reports[2]
+
+    def test_cache_hits_across_calls(self):
+        clear_report_cache()
+        points = small_grid()
+        evaluate_reports(points)
+        before = report_cache_stats()
+        evaluate_reports(points)
+        after = report_cache_stats()
+        assert after["hits"] == before["hits"] + len(points)
+        assert after["misses"] == before["misses"]
+        clear_report_cache()
+        assert report_cache_stats() == {"size": 0, "hits": 0, "misses": 0}
+
+    def test_cache_disabled_recomputes(self):
+        clear_report_cache()
+        evaluate_reports([DhlParams()], cache=False)
+        assert report_cache_stats()["size"] == 0
+
+
+class TestBestByTieBreaking:
+    def test_first_in_input_order_wins_on_ties(self):
+        """Regression: ties must resolve to the first report in input
+        order, so parallel and serial sweeps pick the same winner."""
+        points = [
+            DhlParams(max_speed=100.0),
+            DhlParams(max_speed=100.0, dual_rail=True),
+            DhlParams(max_speed=100.0, acceleration=50.1),
+        ]
+        result = run_sweep(points, engine="serial")
+        # All three share identical launch energy (same mass and peak
+        # speed; acceleration does not enter the energy model).
+        energies = result.column(lambda report: report.metrics.energy_j)
+        assert energies[0] == energies[1] == energies[2]
+        best = result.best_by(
+            lambda report: report.metrics.energy_j, maximise=False
+        )
+        assert best is result.reports[0]
+        worst = result.best_by(lambda report: report.metrics.energy_j)
+        assert worst is result.reports[0]
+
+    def test_tie_break_independent_of_engine(self):
+        points = [DhlParams(ssds_per_cart=n) for n in (32, 32, 16, 32)]
+        for engine in ("serial", "vector", "process"):
+            result = run_sweep(points, engine=engine, workers=2)
+            best = result.best_by(lambda report: report.metrics.energy_j)
+            assert best is result.reports[0]
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult(reports=()).best_by(lambda report: 0.0)
 
 
 class TestGridSweep:

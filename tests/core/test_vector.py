@@ -1,0 +1,287 @@
+"""Scalar-vs-vectorised equivalence of the model kernels.
+
+The vectorised kernels in :mod:`repro.core.physics`,
+:mod:`repro.core.model` and :mod:`repro.network.transfer` promise
+*bit-identical* agreement with the scalar reference implementations:
+they apply the same float64 primitives in the same order.  The
+property tests here assert agreement to within 1e-9 relative tolerance
+(the documented contract) across randomly drawn design points, and the
+fixed-grid tests pin the stronger exact-equality behaviour the sweep
+engines rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakeven import break_even, break_even_batch
+from repro.core.model import (
+    design_point_report,
+    design_point_reports,
+    launch_metrics,
+    launch_metrics_batch,
+    plan_campaign,
+    plan_campaign_batch,
+)
+from repro.core.optimizer import min_speed_for_deadline, min_speeds_for_deadline
+from repro.core.params import BrakingMode, DhlParams
+from repro.core.physics import (
+    brake_codes,
+    cart_mass,
+    cart_total_mass_kernel,
+    launch_energy,
+    launch_energy_kernel,
+    motion_kernel,
+    motion_profile,
+    peak_launch_power,
+    peak_power_kernel,
+    trip_time,
+    trip_time_kernel,
+)
+from repro.core.sensitivity import elasticity, sensitivity_matrix
+from repro.network.routes import ROUTE_B
+from repro.network.transfer import (
+    OpticalLink,
+    transfer_energy_kernel,
+    transfer_time_kernel,
+)
+from repro.storage.datasets import META_ML_LARGE
+from repro.units import HOUR, gbps
+
+#: The documented scalar-vs-vector agreement contract.
+RTOL = 1e-9
+
+valid_speeds = st.floats(min_value=5.0, max_value=400.0)
+valid_lengths = st.floats(min_value=5.0, max_value=5000.0)
+valid_accels = st.floats(min_value=0.5, max_value=50.0)
+valid_efficiencies = st.floats(min_value=0.3, max_value=1.0)
+valid_docks = st.floats(min_value=0.5, max_value=30.0)
+valid_ssds = st.integers(min_value=1, max_value=128)
+valid_regens = st.floats(min_value=0.0, max_value=0.7)
+brakings = st.sampled_from(
+    [BrakingMode.LIM, BrakingMode.EDDY, BrakingMode.REGENERATIVE]
+)
+
+
+@st.composite
+def design_points(draw):
+    braking = draw(brakings)
+    regen = (
+        draw(valid_regens) if braking == BrakingMode.REGENERATIVE else 0.0
+    )
+    return DhlParams(
+        max_speed=draw(valid_speeds),
+        track_length=draw(valid_lengths),
+        acceleration=draw(valid_accels),
+        lim_efficiency=draw(valid_efficiencies),
+        dock_time=draw(valid_docks),
+        ssds_per_cart=draw(valid_ssds),
+        braking=braking,
+        regen_recovery=regen,
+        dual_rail=draw(st.booleans()),
+    )
+
+
+def close(measured, reference):
+    """The 1e-9 relative contract, scale-aware for large magnitudes."""
+    return measured == pytest.approx(reference, rel=RTOL, abs=RTOL)
+
+
+#: A small deterministic grid exercising triangular and trapezoidal
+#: profiles, every braking mode and both rail layouts.
+FIXED_GRID = tuple(
+    DhlParams(
+        max_speed=speed,
+        track_length=length,
+        ssds_per_cart=ssds,
+        braking=braking,
+        regen_recovery=0.4 if braking == BrakingMode.REGENERATIVE else 0.0,
+        dual_rail=dual_rail,
+    )
+    for speed in (10.0, 100.0, 340.0)
+    for length in (10.0, 1000.0)
+    for ssds in (16, 64)
+    for braking in (BrakingMode.LIM, BrakingMode.EDDY, BrakingMode.REGENERATIVE)
+    for dual_rail in (False, True)
+)
+
+
+class TestPhysicsKernels:
+    @given(point=design_points())
+    @settings(max_examples=80)
+    def test_motion_kernel_matches_scalar(self, point):
+        for profile in ("paper", "exact"):
+            scalar = motion_profile(point, profile)
+            peak, accel, cruise, decel = motion_kernel(
+                [point.max_speed], [point.track_length],
+                [point.acceleration], profile,
+            )
+            assert close(peak[0], scalar.peak_speed)
+            assert close(accel[0], scalar.accel_time)
+            assert close(cruise[0], scalar.cruise_time)
+            assert close(decel[0], scalar.decel_time)
+
+    @given(point=design_points())
+    @settings(max_examples=80)
+    def test_trip_time_kernel_matches_scalar(self, point):
+        for profile in ("paper", "exact"):
+            kernel = trip_time_kernel(
+                [point.max_speed], [point.track_length],
+                [point.acceleration], [point.handling_time], profile,
+            )
+            assert close(kernel[0], trip_time(point, profile))
+
+    @given(point=design_points())
+    @settings(max_examples=80)
+    def test_mass_and_energy_kernels_match_scalar(self, point):
+        ssd_mass = point.ssds_per_cart * point.ssd_device.mass_kg
+        mass = cart_total_mass_kernel([ssd_mass])
+        assert close(mass[0], cart_mass(point).total_kg)
+
+        peak, _, _, _ = motion_kernel(
+            [point.max_speed], [point.track_length], [point.acceleration]
+        )
+        energy = launch_energy_kernel(
+            mass, peak, [point.lim_efficiency],
+            brake_codes([point.braking]), [point.regen_recovery],
+        )
+        assert close(energy[0], launch_energy(point))
+
+        power = peak_power_kernel(
+            mass, [point.acceleration], peak, [point.lim_efficiency]
+        )
+        assert close(power[0], peak_launch_power(point))
+
+
+class TestTransferKernels:
+    @given(
+        size=st.floats(min_value=0.0, max_value=1e18),
+        rate_gbps=st.floats(min_value=1.0, max_value=64000.0),
+    )
+    @settings(max_examples=60)
+    def test_transfer_kernels_match_link(self, size, rate_gbps):
+        link = OpticalLink(route=ROUTE_B, rate_bytes_per_s=gbps(rate_gbps))
+        times = transfer_time_kernel([size], [link.rate_bytes_per_s])
+        energies = transfer_energy_kernel(
+            [size], [ROUTE_B.power_w], [link.rate_bytes_per_s]
+        )
+        assert close(times[0], link.transfer_time(size))
+        assert close(energies[0], link.transfer_energy(size))
+
+    def test_transfer_kernels_reject_bad_inputs(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            transfer_time_kernel([-1.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            transfer_time_kernel([1.0], [0.0])
+        with pytest.raises(ConfigurationError):
+            transfer_energy_kernel([1.0], [0.0], [1.0])
+
+
+class TestModelBatches:
+    @given(point=design_points())
+    @settings(max_examples=60)
+    def test_launch_metrics_batch_matches_scalar(self, point):
+        for profile in ("paper", "exact"):
+            row = launch_metrics_batch([point], profile=profile).rows()[0]
+            scalar = launch_metrics(point, profile=profile)
+            assert close(row.energy_j, scalar.energy_j)
+            assert close(row.time_s, scalar.time_s)
+            assert close(row.bandwidth_bytes_per_s, scalar.bandwidth_bytes_per_s)
+            assert close(row.efficiency_bytes_per_j, scalar.efficiency_bytes_per_j)
+            assert close(row.peak_power_w, scalar.peak_power_w)
+
+    @given(point=design_points())
+    @settings(max_examples=60)
+    def test_plan_campaign_batch_matches_scalar(self, point):
+        row = plan_campaign_batch([point], META_ML_LARGE).rows()[0]
+        scalar = plan_campaign(point, META_ML_LARGE)
+        assert row.trips == scalar.trips
+        assert row.launches == scalar.launches
+        assert close(row.time_s, scalar.time_s)
+        assert close(row.energy_j, scalar.energy_j)
+
+    def test_fixed_grid_is_bit_identical(self):
+        """The stronger contract the sweep engines rely on: same bits.
+
+        Scalar and kernel paths share every float64 primitive in the
+        same order, so on a fixed grid covering both motion-profile
+        branches, all braking modes and both rail layouts, equality is
+        exact — not merely within tolerance.
+        """
+        batch = launch_metrics_batch(FIXED_GRID).rows()
+        campaigns = plan_campaign_batch(FIXED_GRID).rows()
+        for point, row, campaign in zip(FIXED_GRID, batch, campaigns):
+            assert row == launch_metrics(point)
+            assert campaign == plan_campaign(point)
+
+    def test_design_point_reports_bit_identical_with_comparisons(self):
+        reports = design_point_reports(FIXED_GRID)
+        for point, report in zip(FIXED_GRID, reports):
+            scalar = design_point_report(point)
+            assert report == scalar
+            assert report.comparisons.keys() == scalar.comparisons.keys()
+            for name in report.comparisons:
+                assert report.comparisons[name] == scalar.comparisons[name]
+
+    def test_report_survives_pickle(self):
+        import pickle
+
+        report = design_point_reports(FIXED_GRID[:1])[0]
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+        assert clone.comparisons == report.comparisons
+
+
+class TestBatchedAnalyses:
+    def test_break_even_batch_matches_scalar(self):
+        batch = break_even_batch(FIXED_GRID)
+        for point, entry in zip(FIXED_GRID, batch):
+            assert entry == break_even(point)
+
+    def test_sensitivity_matrix_matches_single_elasticities(self):
+        params = DhlParams()
+        matrix = sensitivity_matrix(params)
+        for metric, row in matrix.items():
+            for parameter, entry in row.items():
+                assert entry == elasticity(params, parameter, metric)
+
+    def test_lockstep_bisection_matches_scalar_bisection(self):
+        layouts = [
+            DhlParams(ssds_per_cart=ssds, dual_rail=dual)
+            for ssds in (16, 32, 64)
+            for dual in (False, True)
+        ]
+        batched = min_speeds_for_deadline(layouts, META_ML_LARGE, 24 * HOUR)
+        singles = [
+            min_speed_for_deadline(layout, META_ML_LARGE, 24 * HOUR)
+            for layout in layouts
+        ]
+        assert batched == singles
+
+    def test_lockstep_bisection_reports_infeasible_lanes(self):
+        tiny_deadline = 1.0
+        speeds = min_speeds_for_deadline(
+            [DhlParams(), DhlParams(ssds_per_cart=64)],
+            META_ML_LARGE,
+            tiny_deadline,
+        )
+        assert speeds == [None, None]
+
+
+class TestKernelBroadcasting:
+    def test_kernels_accept_whole_arrays(self):
+        speeds = np.asarray([50.0, 150.0, 300.0])
+        lengths = np.asarray([100.0, 1000.0, 3000.0])
+        accels = np.full(3, 10.0)
+        peak, accel, cruise, decel = motion_kernel(speeds, lengths, accels)
+        assert peak.shape == (3,)
+        assert np.all(accel + cruise + decel > 0)
+
+    def test_empty_batch_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            launch_metrics_batch([])

@@ -1,0 +1,113 @@
+"""Documentation health: examples must run, prose must not go stale.
+
+Three gates over every markdown document in the repo:
+
+* every fenced ``python`` block must at least compile — a renamed
+  symbol or syntax rot fails the build, not a reader;
+* every fenced ``pycon`` block (and any python block containing
+  ``>>>``) runs under doctest with its printed output checked;
+* references to retired modules must be labelled as such — a line
+  mentioning ``sim.stats`` has to say it is a compatibility shim.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [
+        *(REPO_ROOT / "docs").glob("*.md"),
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+    ]
+)
+
+_FENCE = re.compile(
+    r"^```(?P<tag>[A-Za-z0-9_+-]*)\s*\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def fenced_blocks(path: Path) -> list[tuple[str, str, int]]:
+    """All fenced code blocks in a file as (tag, body, line_number)."""
+    text = path.read_text(encoding="utf-8")
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        blocks.append((match.group("tag").lower(), match.group("body"), line))
+    return blocks
+
+
+def doc_ids(path: Path) -> str:
+    return str(path.relative_to(REPO_ROOT))
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=doc_ids)
+def test_python_examples_compile(path):
+    """Every ``python`` fence is valid syntax."""
+    checked = 0
+    for tag, body, line in fenced_blocks(path):
+        if tag != "python" or ">>>" in body:
+            continue
+        try:
+            compile(body, f"{path.name}:{line}", "exec")
+        except SyntaxError as exc:  # pragma: no cover - failure path
+            pytest.fail(
+                f"{path.name} line {line}: python example does not "
+                f"compile: {exc}"
+            )
+        checked += 1
+    if path.name in ("usage.md", "performance.md", "README.md"):
+        assert checked > 0, f"{path.name} lost all its python examples"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=doc_ids)
+def test_doctest_examples_pass(path):
+    """Every ``pycon`` fence (>>> examples) runs with matching output."""
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False)
+    for tag, body, line in fenced_blocks(path):
+        is_doctest = tag == "pycon" or (tag == "python" and ">>>" in body)
+        if not is_doctest:
+            continue
+        test = parser.get_doctest(
+            body, {}, f"{path.name}:{line}", path.name, line
+        )
+        runner.run(test)
+    results = runner.summarize(verbose=False)
+    assert results.failed == 0, (
+        f"{path.name}: {results.failed} doctest example(s) failed"
+    )
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=doc_ids)
+def test_no_stale_sim_stats_references(path):
+    """``repro.sim.stats`` is a compatibility shim; docs must say so.
+
+    Any line that mentions it without the shim/compatibility context is
+    presenting a retired module as current API.
+    """
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if "sim.stats" not in line:
+            continue
+        lowered = line.lower()
+        assert "shim" in lowered or "compat" in lowered, (
+            f"{path.name} line {number} references sim.stats without "
+            f"noting it is a compatibility shim: {line.strip()}"
+        )
+
+
+def test_committed_grid_sweep_docstring_doctest():
+    """The in-code doctest the docs point at stays runnable."""
+    import repro.core.sweep as sweep
+
+    results = doctest.testmod(sweep, verbose=False)
+    assert results.failed == 0
