@@ -1,0 +1,72 @@
+"""Benchmarks of the fleet control plane.
+
+Times the headline policy/cache combos over the seeded one-hour
+scenario and asserts the PR's acceptance invariants: cache-enabled EDF
+beats cache-less FCFS on both p99 latency and launch energy, and the
+capacity planner returns the same minimal fleet under the serial and
+process sweep engines.  The measured KPI deltas land in ``extra_info``
+so the saved JSON doubles as the fleet reproduction log; ``repro
+fleet`` writes the committed ``BENCH_fleet.json`` baseline from the
+same machinery.
+"""
+
+import pytest
+
+from repro.fleet.bench import run_fleet_bench
+from repro.fleet.capacity import SlaRequirement, plan_capacity
+from repro.fleet.controlplane import default_scenario, run_fleet
+
+HORIZON_S = 3600.0
+
+
+def _run(policy, cache):
+    return run_fleet(
+        default_scenario(policy=policy, cache=cache, seed=0,
+                         horizon_s=HORIZON_S)
+    )
+
+
+@pytest.mark.parametrize(
+    "policy,cache",
+    [("fcfs", None), ("fcfs", "lru"), ("edf", None), ("edf", "lru")],
+)
+def test_fleet_combo_throughput(benchmark, policy, cache):
+    """Simulation wall time per (policy, cache) combo."""
+    report = benchmark(_run, policy, cache)
+    assert report.n_jobs > 0
+    assert report.failed == 0
+
+
+def test_cached_edf_beats_uncached_fcfs(benchmark):
+    """The headline invariant, measured through the bench harness."""
+    bench = benchmark(run_fleet_bench, seed=0, horizon_s=HORIZON_S)
+    cached = bench.report("edf+lru")
+    baseline = bench.report("fcfs+none")
+    benchmark.extra_info["p99_s"] = {
+        "fcfs+none": round(baseline.p99_s, 2),
+        "edf+lru": round(cached.p99_s, 2),
+    }
+    benchmark.extra_info["launch_energy_mj"] = {
+        "fcfs+none": round(baseline.launch_energy_j / 1e6, 3),
+        "edf+lru": round(cached.launch_energy_j / 1e6, 3),
+    }
+    benchmark.extra_info["cache_hit_rate"] = round(cached.hit_rate, 4)
+    assert cached.p99_s < baseline.p99_s
+    assert cached.launch_energy_j < baseline.launch_energy_j
+
+
+@pytest.mark.slow
+def test_capacity_planner_engine_parity(benchmark):
+    """Serial and process sweeps agree on the minimal feasible fleet."""
+    requirement = SlaRequirement(max_p99_s=300.0, max_miss_rate=0.05)
+    base = default_scenario(policy="fcfs", cache="lru", seed=0,
+                            horizon_s=1800.0)
+    serial = benchmark(plan_capacity, requirement, base, engine="serial")
+    process = plan_capacity(requirement, base, engine="process", workers=2)
+    assert serial == process
+    assert serial.best is not None
+    benchmark.extra_info["plan"] = {
+        "n_tracks": serial.best.n_tracks,
+        "cart_pool": serial.best.cart_pool,
+        "policy": serial.best.policy,
+    }

@@ -10,6 +10,7 @@ from .extensions import (
     sneakernet_table,
 )
 from .figures import dock_time_sensitivity, figure6, figure6_ascii
+from .fleetview import capacity_table, fleet_policy_table, fleet_sla_table
 from .validation import Check, ValidationSuite, run_validation, validation_table
 from .formatting import format_number, render_table
 from .tables import (
@@ -36,6 +37,9 @@ __all__ = [
     "Check",
     "ValidationSuite",
     "breakeven_summary",
+    "capacity_table",
+    "fleet_policy_table",
+    "fleet_sla_table",
     "run_validation",
     "validation_table",
     "dock_time_sensitivity",

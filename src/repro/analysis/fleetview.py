@@ -1,0 +1,102 @@
+"""CLI tables for fleet runs: policy comparison and per-class SLA.
+
+Rendered through the same :func:`repro.analysis.formatting.render_table`
+pipeline as the paper tables, so ``repro fleet`` output sits next to
+``repro table6`` output with identical formatting conventions.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..fleet.bench import FleetBenchReport
+from ..fleet.capacity import CapacityPlan
+from ..fleet.controlplane import FleetReport
+
+
+def fleet_policy_table(
+    bench: FleetBenchReport,
+) -> tuple[list[str], list[list[object]]]:
+    """One row per (policy, cache) combo: the headline comparison."""
+    headers = [
+        "Policy",
+        "Cache",
+        "Jobs",
+        "p50 (s)",
+        "p99 (s)",
+        "Miss rate",
+        "Hit rate",
+        "Launches",
+        "Launch MJ",
+        "Goodput (GB/s)",
+    ]
+    rows: list[list[object]] = []
+    for label, report in bench.reports:
+        policy, cache = label.split("+", 1)
+        rows.append([
+            policy,
+            cache,
+            report.n_jobs,
+            f"{report.sla.overall.p50_s:.1f}",
+            f"{report.p99_s:.1f}",
+            f"{report.deadline_miss_rate:.1%}",
+            f"{report.hit_rate:.1%}" if cache != "none" else "-",
+            report.launches,
+            f"{report.launch_energy_j / 1e6:.2f}",
+            f"{report.goodput_bytes_per_s / 1e9:.1f}",
+        ])
+    return headers, rows
+
+
+def fleet_sla_table(report: FleetReport) -> tuple[list[str], list[list[object]]]:
+    """Per-traffic-class SLA attainment of one fleet run."""
+    headers = [
+        "Class",
+        "Jobs",
+        "p50 (s)",
+        "p95 (s)",
+        "p99 (s)",
+        "Miss rate",
+        "Goodput (GB/s)",
+    ]
+    rows: list[list[object]] = []
+    for class_sla in (*report.sla.classes, report.sla.overall):
+        rows.append([
+            class_sla.kind,
+            class_sla.n_jobs,
+            f"{class_sla.p50_s:.1f}",
+            f"{class_sla.p95_s:.1f}",
+            f"{class_sla.p99_s:.1f}",
+            f"{class_sla.deadline_miss_rate:.1%}",
+            f"{class_sla.goodput_bytes_per_s / 1e9:.1f}",
+        ])
+    return headers, rows
+
+
+def capacity_table(plan: CapacityPlan) -> tuple[list[str], list[list[object]]]:
+    """Every evaluated candidate, cheapest first, winner marked."""
+    if not plan.evaluations:
+        raise ConfigurationError("the capacity plan evaluated no candidates")
+    headers = [
+        "Tracks",
+        "Carts",
+        "Policy",
+        "Cache",
+        "p99 (s)",
+        "Miss rate",
+        "Launch MJ",
+        "Feasible",
+    ]
+    rows: list[list[object]] = []
+    for evaluation in plan.evaluations:
+        marker = " <- plan" if evaluation == plan.best else ""
+        rows.append([
+            evaluation.n_tracks,
+            evaluation.cart_pool,
+            evaluation.policy,
+            evaluation.cache_policy,
+            f"{evaluation.p99_s:.1f}",
+            f"{evaluation.deadline_miss_rate:.1%}",
+            f"{evaluation.launch_energy_j / 1e6:.2f}",
+            ("yes" if evaluation.feasible else "no") + marker,
+        ])
+    return headers, rows

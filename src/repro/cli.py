@@ -73,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Hyperloops' (ISCA 2024)."
         ),
     )
-    choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench", "all"]
+    choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench",
+                               "fleet", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -155,6 +156,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="export: include the slow Table VII and Fig. 6 artefacts",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=3600.0,
+        help="fleet: workload horizon in simulated seconds",
+    )
+    parser.add_argument(
+        "--fleet-out",
+        default="BENCH_fleet.json",
+        help="fleet: output path for the fleet KPI baseline JSON",
+    )
+    parser.add_argument(
+        "--capacity",
+        action="store_true",
+        help="fleet: also run the capacity planner over the candidate grid",
     )
     return parser
 
@@ -238,6 +255,62 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             problems = perf.compare_to_baseline(
                 perf.report_payload(report), perf.load_baseline(args.check)
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "fleet":
+        # Lazy: the fleet scenarios drive the full simulator stack.
+        from .analysis.fleetview import (
+            capacity_table,
+            fleet_policy_table,
+            fleet_sla_table,
+        )
+        from .fleet import bench as fleet_bench
+
+        bench = fleet_bench.run_fleet_bench(
+            seed=args.seed, horizon_s=args.horizon
+        )
+        headers, rows = fleet_policy_table(bench)
+        print(render_table(
+            headers, rows,
+            title=f"Fleet policy comparison (seed {bench.seed}, "
+                  f"{bench.horizon_s:.0f} s horizon)",
+        ))
+        print()
+        headers, rows = fleet_sla_table(bench.report("edf+lru"))
+        print(render_table(headers, rows, title="Per-class SLA (edf+lru)"))
+        path = fleet_bench.write_report(bench, args.fleet_out)
+        print(f"\nwrote fleet KPI baseline to {path}")
+        p99_wins, energy_wins = bench.cache_beats_baseline
+        if not (p99_wins and energy_wins):
+            print("FAIL: edf+lru no longer beats fcfs+none "
+                  f"(p99 win: {p99_wins}, launch-energy win: {energy_wins})")
+            return 1
+        if args.capacity:
+            from .fleet.capacity import SlaRequirement, plan_capacity
+            from .fleet.controlplane import default_scenario
+
+            plan = plan_capacity(
+                SlaRequirement(max_p99_s=300.0, max_miss_rate=0.05),
+                default_scenario(policy="fcfs", cache="lru", seed=args.seed,
+                                 horizon_s=min(args.horizon, 1800.0)),
+                engine="process" if args.workers else "serial",
+                workers=args.workers,
+            )
+            headers, rows = capacity_table(plan)
+            print()
+            print(render_table(headers, rows, title="Capacity plan"))
+            if plan.best is None:
+                print("FAIL: no candidate met the SLA requirement")
+                return 1
+        if args.check:
+            problems = fleet_bench.compare_to_baseline(
+                fleet_bench.report_payload(bench),
+                fleet_bench.load_baseline(args.check),
             )
             if problems:
                 for problem in problems:

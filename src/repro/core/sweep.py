@@ -27,6 +27,7 @@ repeated benches never re-evaluate a design point.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import os
 from collections import OrderedDict
@@ -79,6 +80,59 @@ def _evaluate_chunk(
     return design_point_reports(chunk, dataset=dataset, link_gbps=link_gbps)
 
 
+def map_chunks(
+    chunk_fn: Callable[[tuple], Sequence],
+    items: Iterable,
+    engine: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> tuple:
+    """Map ``chunk_fn`` over ``items`` in chunks, preserving input order.
+
+    The generic engine-dispatch core shared by :func:`evaluate_reports`
+    and the fleet capacity planner: ``chunk_fn`` receives a tuple of
+    items and must return one result per item, in order.  ``"serial"``
+    calls it once in-process over the whole tuple; ``"process"`` fans
+    chunks out to a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (``chunk_fn`` and the items must be picklable — use a module-level
+    function or :func:`functools.partial` over one); ``"auto"`` picks
+    ``"process"`` only when ``workers`` is explicitly above 1.  Both
+    paths concatenate chunk results in submission order, so the output
+    is identical whichever engine ran it.
+    """
+    item_list = tuple(items)
+    if not item_list:
+        return ()
+    if engine == "auto":
+        engine = "process" if (workers is not None and workers > 1) else "serial"
+    if engine not in ("serial", "process"):
+        raise ConfigurationError(
+            f"map_chunks supports engines ('auto', 'serial', 'process'), got {engine!r}"
+        )
+    if engine == "serial":
+        results = tuple(chunk_fn(item_list))
+    else:
+        n_workers = workers or os.cpu_count() or 1
+        n_workers = max(1, min(n_workers, len(item_list)))
+        if chunk_size is None:
+            # ~4 chunks per worker keeps the pool busy without tiny tasks.
+            chunk_size = max(1, -(-len(item_list) // (4 * n_workers)))
+        chunks = [
+            item_list[start:start + chunk_size]
+            for start in range(0, len(item_list), chunk_size)
+        ]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            # Executor.map preserves submission order, so concatenating
+            # the chunk results reproduces input order deterministically
+            # no matter which worker finished first.
+            results = tuple(itertools.chain.from_iterable(pool.map(chunk_fn, chunks)))
+    if len(results) != len(item_list):
+        raise ConfigurationError(
+            f"chunk_fn returned {len(results)} results for {len(item_list)} items"
+        )
+    return results
+
+
 def _resolve_engine(engine: str, n_points: int, workers: int | None) -> str:
     if engine not in ENGINES:
         raise ConfigurationError(
@@ -106,24 +160,14 @@ def _evaluate_unique(
         )
     if engine == "vector":
         return design_point_reports(unique, dataset=dataset, link_gbps=link_gbps)
-    # process
-    n_workers = workers or os.cpu_count() or 1
-    n_workers = max(1, min(n_workers, len(unique)))
-    if chunk_size is None:
-        # ~4 chunks per worker keeps the pool busy without tiny tasks.
-        chunk_size = max(1, -(-len(unique) // (4 * n_workers)))
-    chunks = [
-        unique[start:start + chunk_size]
-        for start in range(0, len(unique), chunk_size)
-    ]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        # Executor.map preserves submission order, so concatenating the
-        # chunk results reproduces input order deterministically no
-        # matter which worker finished first.
-        results = pool.map(
-            _evaluate_chunk, chunks, itertools.repeat(dataset), itertools.repeat(link_gbps)
-        )
-        return tuple(itertools.chain.from_iterable(results))
+    # process: fan chunks out via the shared order-preserving dispatcher.
+    return map_chunks(
+        functools.partial(_evaluate_chunk, dataset=dataset, link_gbps=link_gbps),
+        unique,
+        engine="process",
+        workers=workers,
+        chunk_size=chunk_size,
+    )
 
 
 def evaluate_reports(

@@ -12,7 +12,7 @@ from .cart import Cart, CartState
 from .docking import DockingStation, RackEndpoint
 from .faults import FaultInjector, expected_failures_per_campaign
 from .library_node import LibraryNode
-from .metrics import EnergySample, Telemetry
+from .metrics import EnergySample, Telemetry, telemetry_view
 from .multistop import (
     ContentionReport,
     MultiStopExperiment,
@@ -84,5 +84,6 @@ __all__ = [
     "install_chaos",
     "pick_track",
     "speed_contention_sweep",
+    "telemetry_view",
     "timeline_events",
 ]

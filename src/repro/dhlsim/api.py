@@ -23,6 +23,7 @@ from ..sim import Environment, Event, Store
 from ..storage.datasets import Dataset
 from .cart import Cart
 from .docking import DockingStation
+from .metrics import COUNT_PREFIX, ENERGY_PREFIX
 from .scheduler import DhlSystem
 
 
@@ -152,7 +153,7 @@ class DhlApi:
                         return
                     tracer.instant("open.deferred", track=shard_track,
                                    shard=shard_index)
-                    system.telemetry.increment("open_deferrals")
+                    system.metrics.counter(COUNT_PREFIX + "open_deferrals").inc()
                     yield self.env.timeout(
                         max(system.shuttle_policy.max_backoff_s, 1.0)
                     )
@@ -240,16 +241,15 @@ class DhlApi:
                             yield self.env.timeout(
                                 system.failover.transfer_time(shard.size_bytes)
                             )
-                        system.telemetry.increment("failovers")
-                        system.telemetry.record_energy(
-                            "network_failover",
-                            system.failover.transfer_energy(shard.size_bytes),
-                        )
+                        system.metrics.counter(COUNT_PREFIX + "failovers").inc()
+                        system.metrics.counter(
+                            ENERGY_PREFIX + "network_failover"
+                        ).inc(system.failover.transfer_energy(shard.size_bytes))
                         yield delivered.put(shard.size_bytes)
                         return
                     tracer.instant("open.deferred", track=shard_track,
                                    shard=shard.index)
-                    system.telemetry.increment("open_deferrals")
+                    system.metrics.counter(COUNT_PREFIX + "open_deferrals").inc()
                     yield self.env.timeout(
                         max(system.shuttle_policy.max_backoff_s, 1.0)
                     )
@@ -300,7 +300,9 @@ class DhlApi:
                     track=f"cart-{cart.cart_id}",
                     cart=cart.cart_id,
                 )
-                self.system.telemetry.increment("return_deferrals")
+                self.system.metrics.counter(
+                    COUNT_PREFIX + "return_deferrals"
+                ).inc()
                 yield self.env.timeout(
                     max(self.system.shuttle_policy.max_backoff_s, 1.0)
                 )
@@ -328,10 +330,10 @@ class DhlApi:
         finally:
             active.add(-1)
             self.system.tracer.counter("occupancy.optical_failover", active.value)
-        self.system.telemetry.increment("failovers")
-        self.system.telemetry.record_energy(
-            "network_failover", policy.transfer_energy(size)
-        )
+        self.system.metrics.counter(COUNT_PREFIX + "failovers").inc()
+        self.system.metrics.counter(
+            ENERGY_PREFIX + "network_failover"
+        ).inc(policy.transfer_energy(size))
         return size
 
     def _library_shards(self, dataset: str):

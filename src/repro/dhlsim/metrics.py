@@ -103,3 +103,16 @@ class Telemetry:
     def durations(self) -> dict[str, float]:
         """Accumulated durations by category (compatibility view)."""
         return self.registry.counters_with_prefix(DURATION_PREFIX)
+
+
+def telemetry_view(env: Environment, registry: MetricsRegistry) -> Telemetry:
+    """A deprecated-API view over an existing registry.
+
+    The scheduler and fault models now write to the
+    :class:`~repro.obs.metrics.MetricsRegistry` directly; this factory
+    exists so :attr:`DhlSystem.telemetry` can keep serving the old query
+    API (``count``/``total_energy``/``total_duration``/``counters``) to
+    analysis tables and downstream tests without any ``dhlsim`` module
+    other than this one naming the facade class.
+    """
+    return Telemetry(env, registry=registry)

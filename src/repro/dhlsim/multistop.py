@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.params import DhlParams
+from ..core.percentiles import percentile
 from ..errors import ConfigurationError
 from ..sim import Environment, Store
 from ..storage.datasets import synthetic_dataset
@@ -65,7 +66,9 @@ class ContentionReport:
 
     @property
     def p95_latency_s(self) -> float:
-        return float(np.percentile([o.latency_s for o in self.outcomes], 95))
+        # The shared rule equals np.percentile's default linear method,
+        # so historical values are unchanged.
+        return percentile([o.latency_s for o in self.outcomes], 95)
 
     @property
     def mean_queueing_s(self) -> float:

@@ -32,6 +32,7 @@ from ..core.availability import AvailabilityModel, RepairableComponent, stall_ov
 from ..errors import ConfigurationError
 from ..sim import Interrupt
 from .docking import RackEndpoint
+from .metrics import COUNT_PREFIX, DURATION_PREFIX
 from .scheduler import DhlSystem, ShuttleAttempt
 from .track import Track
 
@@ -62,8 +63,8 @@ class RepairableInjector:
     outages: int = 0
     downtime_s: float = 0.0
 
-    #: Telemetry duration category charged per repair (subclass class attr).
-    _telemetry_category = None
+    #: Metrics duration category charged per repair (subclass class attr).
+    _duration_category = None
 
     #: Span name for one fault-to-repair window in the trace.
     _fault_span = "fault"
@@ -114,10 +115,10 @@ class RepairableInjector:
                 window.end()
                 window = None
                 self.downtime_s += repair
-                if self._telemetry_category is not None:
-                    self.system.telemetry.record_duration(
-                        self._telemetry_category, repair
-                    )
+                if self._duration_category is not None:
+                    self.system.metrics.counter(
+                        DURATION_PREFIX + self._duration_category
+                    ).inc(repair)
         except Interrupt:
             if window is not None:
                 self._repair()
@@ -147,7 +148,7 @@ class TrackOutageInjector(RepairableInjector):
 
     track: Track | None = None
 
-    _telemetry_category = "track_downtime"
+    _duration_category = "track_downtime"
     _fault_span = "fault.track"
 
     def __post_init__(self) -> None:
@@ -163,7 +164,7 @@ class TrackOutageInjector(RepairableInjector):
 
     def _fail(self) -> None:
         self.track.health.mark_down(self.system.env.now)
-        self.system.telemetry.increment("track_outages")
+        self.system.metrics.counter(COUNT_PREFIX + "track_outages").inc()
 
     def _repair(self) -> None:
         self.track.health.mark_up(self.system.env.now)
@@ -176,7 +177,7 @@ class LimDegradationInjector(RepairableInjector):
     track: Track | None = None
     slowdown: float = 2.0
 
-    _telemetry_category = "lim_degraded"
+    _duration_category = "lim_degraded"
     _fault_span = "fault.lim"
 
     def _fault_track(self) -> str:
@@ -194,7 +195,7 @@ class LimDegradationInjector(RepairableInjector):
 
     def _fail(self) -> None:
         self.track.health.degrade_lim(self.slowdown)
-        self.system.telemetry.increment("lim_outages")
+        self.system.metrics.counter(COUNT_PREFIX + "lim_outages").inc()
 
     def _repair(self) -> None:
         self.track.health.restore_lim()
@@ -252,7 +253,7 @@ class DockOutageInjector(RepairableInjector):
                     station=station.station_id,
                 )
                 self.outages += 1
-                self.system.telemetry.increment("dock_outages")
+                self.system.metrics.counter(COUNT_PREFIX + "dock_outages").inc()
                 repair = _sample(self._rng, self.mttr_s, self.distribution)
                 yield env.timeout(repair)
                 station.out_of_service = False
@@ -262,7 +263,9 @@ class DockOutageInjector(RepairableInjector):
                 station = None
                 window = None
                 self.downtime_s += repair
-                self.system.telemetry.record_duration("dock_downtime", repair)
+                self.system.metrics.counter(
+                    DURATION_PREFIX + "dock_downtime"
+                ).inc(repair)
         except Interrupt:
             if station is not None:
                 station.out_of_service = False

@@ -44,7 +44,12 @@ from ..storage.ssd_array import SsdArray
 from .cart import Cart, CartState
 from .docking import DockingStation, RackEndpoint
 from .library_node import LibraryNode
-from .metrics import Telemetry
+from .metrics import (
+    COUNT_PREFIX,
+    DURATION_PREFIX,
+    ENERGY_PREFIX,
+    telemetry_view,
+)
 from .policy import NO_RETRY, FailoverPolicy, ShuttlePolicy
 from .track import Track, build_tracks, pick_track
 
@@ -91,7 +96,6 @@ class DhlSystem:
     library: LibraryNode = field(init=False)
     racks: dict[int, RackEndpoint] = field(init=False)
     metrics: MetricsRegistry = field(init=False)
-    telemetry: Telemetry = field(init=False)
     probes: list[ResourceProbe] = field(init=False)
     pre_shuttle_hooks: list[ShuttleHook] = field(init=False)
     post_shuttle_hooks: list[ShuttleHook] = field(init=False)
@@ -114,7 +118,6 @@ class DhlSystem:
                     n_stations=self.stations_per_rack,
                 )
         self.metrics = MetricsRegistry(self.env)
-        self.telemetry = Telemetry(self.env, registry=self.metrics)
         # Claim/release probes keyed to match leaked_resources(), so the
         # trace-derived leak audit lines up with the scheduler's own.
         # Only an enabled tracer pays the wrapping cost.
@@ -240,7 +243,7 @@ class DhlSystem:
             if deadline_at is not None:
                 remaining = deadline_at - self.env.now
                 if remaining <= 0:
-                    self.telemetry.increment("shuttle_timeouts")
+                    self.metrics.counter(COUNT_PREFIX + "shuttle_timeouts").inc()
                     self.tracer.instant("shuttle.timeout", track=cart_track,
                                         attempt=attempt_number)
                     raise ShuttleTimeoutError(
@@ -270,7 +273,7 @@ class DhlSystem:
                     yield proc  # wait for the attempt to unwind cleanly
                 except (Interrupt, TrackFaultError):
                     pass
-                self.telemetry.increment("shuttle_timeouts")
+                self.metrics.counter(COUNT_PREFIX + "shuttle_timeouts").inc()
                 self.tracer.instant("shuttle.timeout", track=cart_track,
                                     attempt=attempt_number)
                 raise ShuttleTimeoutError(
@@ -279,7 +282,7 @@ class DhlSystem:
                 )
             except TrackFaultError as fault:
                 last_fault = fault
-                self.telemetry.increment("shuttle_faults")
+                self.metrics.counter(COUNT_PREFIX + "shuttle_faults").inc()
                 self.tracer.instant("shuttle.fault", track=cart_track,
                                     attempt=attempt_number, cause=fault.cause)
             if (
@@ -293,7 +296,7 @@ class DhlSystem:
                 ) from last_fault
             if attempt_number == policy.max_attempts:
                 break
-            self.telemetry.increment("shuttle_retries")
+            self.metrics.counter(COUNT_PREFIX + "shuttle_retries").inc()
             self.tracer.instant("shuttle.retry", track=cart_track,
                                 attempt=attempt_number)
             backoff = policy.backoff_delay(attempt_number, self._retry_rng)
@@ -351,9 +354,11 @@ class DhlSystem:
                 with tracer.span("transit", track=cart_track):
                     if attempt.stall_s > 0.0 or attempt.abort_in_tube:
                         yield self.env.timeout(travel / 2.0)
-                        self.telemetry.increment("cart_stalls")
+                        self.metrics.counter(COUNT_PREFIX + "cart_stalls").inc()
                         if attempt.stall_s > 0.0:
-                            self.telemetry.record_duration("stall", attempt.stall_s)
+                            self.metrics.counter(
+                                DURATION_PREFIX + "stall"
+                            ).inc(attempt.stall_s)
                             with tracer.span("stall", track=cart_track):
                                 yield self.env.timeout(attempt.stall_s)
                         if attempt.abort_in_tube:
@@ -381,8 +386,8 @@ class DhlSystem:
             raise
         attempt_span.end()
         energy = track.hop_energy(src, dst)
-        self.telemetry.record_energy("launch", energy)
-        self.telemetry.increment("launches")
+        self.metrics.counter(ENERGY_PREFIX + "launch").inc(energy)
+        self.metrics.counter(COUNT_PREFIX + "launches").inc()
         track.record_traversal(src, dst)
         cart.trips_completed += 1
         for hook in list(self.post_shuttle_hooks):
@@ -419,7 +424,7 @@ class DhlSystem:
                     self.library.admit(cart)
                 raise
             station.slot_claim = slot  # released on return
-            self.telemetry.increment("dispatches")
+            self.metrics.counter(COUNT_PREFIX + "dispatches").inc()
         return station
 
     def return_to_library(self, cart: Cart, endpoint_id: int) -> Event:
@@ -470,23 +475,33 @@ class DhlSystem:
             else:
                 recovery.release()
                 rack.strand(cart)
-                self.telemetry.increment("stranded_carts")
+                self.metrics.counter(COUNT_PREFIX + "stranded_carts").inc()
                 self.tracer.instant("cart.stranded", track=f"cart-{cart.cart_id}",
                                     endpoint=endpoint_id)
             raise
         self.library.admit(cart)
-        self.telemetry.increment("returns")
+        self.metrics.counter(COUNT_PREFIX + "returns").inc()
         return cart
 
     # -- accounting helpers ---------------------------------------------------------
 
     @property
+    def telemetry(self):
+        """Deprecated query view over :attr:`metrics`.
+
+        Kept so analysis tables and older tests can keep reading
+        ``count``/``total_energy``/``total_duration``/``counters``; the
+        scheduler itself writes to the registry directly.
+        """
+        return telemetry_view(self.env, self.metrics)
+
+    @property
     def total_launch_energy(self) -> float:
-        return self.telemetry.total_energy("launch")
+        return self.metrics.value(ENERGY_PREFIX + "launch")
 
     @property
     def total_launches(self) -> int:
-        return self.telemetry.count("launches")
+        return int(self.metrics.value(COUNT_PREFIX + "launches"))
 
     def station_for_shard(self, endpoint_id: int, dataset: str, index: int) -> DockingStation:
         return self.rack(endpoint_id).find_docked(dataset, index)

@@ -1,0 +1,74 @@
+"""Datacentre-scale DHL fleet control plane.
+
+Where :mod:`repro.dhlsim` simulates *one* library-to-rack hyperloop,
+this package operates a *deployment*: several tracks fanning out from a
+shared library, a bounded pool of SSD carts, an admission + dispatch
+control plane consuming a :mod:`repro.workloads` job stream under
+pluggable scheduling policies, rack-side cart-residency caching so hot
+datasets skip the launch entirely, per-traffic-class SLA tracking, and
+a capacity planner that sweeps fleet shapes through the
+:mod:`repro.core.sweep` engines to find the minimal deployment meeting
+an SLA.
+
+The layer the ROADMAP's production-scale north star calls for: the
+paper evaluates one rail (Sections III-V) and sketches multi-stop
+contention (Section VI); a fleet operator must decide how many rails,
+how many carts and which scheduling policy serve a tenant mix within
+tail-latency targets.
+"""
+
+from .cache import CacheConfig, CacheEntry, EVICTION_POLICIES, RackCache
+from .capacity import (
+    CandidateEvaluation,
+    CapacityPlan,
+    SlaRequirement,
+    plan_capacity,
+)
+from .controlplane import (
+    FLEET_MIX,
+    FLEET_TARGETS,
+    POLICIES,
+    AdmissionControl,
+    FleetReport,
+    FleetScenario,
+    default_scenario,
+    run_fleet,
+)
+from .sla import (
+    DEFAULT_TARGET,
+    ClassSla,
+    ClassTarget,
+    JobRecord,
+    SlaReport,
+    SlaTracker,
+)
+from .topology import DatasetCatalog, DatasetHome, FleetSpec, FleetTopology
+
+__all__ = [
+    "AdmissionControl",
+    "CacheConfig",
+    "CacheEntry",
+    "CandidateEvaluation",
+    "CapacityPlan",
+    "ClassSla",
+    "ClassTarget",
+    "DEFAULT_TARGET",
+    "DatasetCatalog",
+    "DatasetHome",
+    "EVICTION_POLICIES",
+    "FLEET_MIX",
+    "FLEET_TARGETS",
+    "FleetReport",
+    "FleetScenario",
+    "FleetSpec",
+    "FleetTopology",
+    "JobRecord",
+    "POLICIES",
+    "RackCache",
+    "SlaReport",
+    "SlaRequirement",
+    "SlaTracker",
+    "default_scenario",
+    "plan_capacity",
+    "run_fleet",
+]

@@ -1,0 +1,599 @@
+"""Fleet admission and dispatch.
+
+The control plane consumes a seeded :class:`~repro.workloads.generator.
+WorkloadGenerator` job stream, assigns each job a dataset (hot-skewed
+per the catalog), admits or sheds it, queues it at its dataset's home
+lane, and serves it with a per-station worker pool under a pluggable
+scheduling policy:
+
+``fcfs``
+    arrival order — the baseline every queueing comparison needs;
+``sjf``
+    shortest read first — minimises mean latency, starves big jobs;
+``edf``
+    earliest deadline first with class priority — interactive traffic
+    preempts (in queue order, not mid-service) bulk traffic.
+
+Admission control bounds each lane's queue.  A saturated lane either
+**sheds** the job (a recorded deadline miss) or **fails it over** to
+the optical network via :class:`repro.dhlsim.policy.FailoverPolicy` —
+slower and energy-hungry for bulk sizes, but bounded, exactly the
+DHL-vs-network trade the paper's Fig. 6 quantifies.
+
+Everything is driven by virtual time on one deterministic
+:class:`~repro.sim.Environment`: the same scenario always produces the
+same report, bit for bit, which is what lets the capacity planner fan
+scenarios out across processes and still merge comparable results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, DegradedServiceError, SchedulingError
+from ..network.routes import ROUTE_B
+from ..network.transfer import DEFAULT_LINK_GBPS, OpticalLink
+from ..obs import MetricsRegistry, Tracer
+from ..sim import Environment, Event
+from ..sim.resources import Resource
+from ..units import TB, gbps
+from ..dhlsim.policy import FailoverPolicy
+from ..workloads.generator import TrafficClass, TransferJob, WorkloadGenerator
+from .cache import CacheConfig, FETCHING, RackCache, RESIDENT
+from .sla import (
+    DEFAULT_TARGET,
+    FAILED,
+    FAILOVER,
+    ClassTarget,
+    JobRecord,
+    SERVED,
+    SHED,
+    SlaReport,
+    SlaTracker,
+)
+from .topology import DatasetCatalog, FleetSpec, FleetTopology
+
+POLICIES = ("fcfs", "sjf", "edf")
+
+#: Rack-to-rack traffic mix for fleet studies: latency-sensitive
+#: interactive reads, scheduled batch pulls, and archive restores.
+#: Sizes are per-read slices of cart-resident datasets, so the knee
+#: sits where tube round-trips, not SSD drain, dominate.
+FLEET_MIX = (
+    TrafficClass("interactive", rate_per_hour=170.0, median_bytes=2 * TB, sigma=0.5),
+    TrafficClass("batch", rate_per_hour=50.0, median_bytes=6 * TB, sigma=0.6),
+    TrafficClass("archive", rate_per_hour=12.0, median_bytes=16 * TB, sigma=0.5),
+)
+
+#: SLA contracts for :data:`FLEET_MIX`, tightest class first.
+FLEET_TARGETS = (
+    ("interactive", ClassTarget(deadline_s=120.0, priority=0)),
+    ("batch", ClassTarget(deadline_s=600.0, priority=1)),
+    ("archive", ClassTarget(deadline_s=1800.0, priority=2)),
+)
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Queue-depth admission: shed or fail over past ``max_queue_depth``."""
+
+    max_queue_depth: int = 200
+    failover_links: int = 2
+    """Optical links reserved for overflow; 0 sheds instead."""
+    link_gbps: float = DEFAULT_LINK_GBPS
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        if self.failover_links < 0:
+            raise ConfigurationError("failover_links must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A complete, picklable description of one fleet run."""
+
+    spec: FleetSpec = field(default_factory=FleetSpec)
+    catalog: DatasetCatalog = field(default_factory=DatasetCatalog)
+    classes: tuple[TrafficClass, ...] = FLEET_MIX
+    targets: tuple[tuple[str, ClassTarget], ...] = FLEET_TARGETS
+    policy: str = "fcfs"
+    cache: CacheConfig | None = None
+    admission: AdmissionControl = field(default_factory=AdmissionControl)
+    seed: int = 0
+    horizon_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if self.horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+
+    @property
+    def cache_label(self) -> str:
+        return self.cache.policy if self.cache is not None else "none"
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}+{self.cache_label}"
+
+
+def default_scenario(
+    policy: str = "edf",
+    cache: str | CacheConfig | None = "lru",
+    seed: int = 0,
+    horizon_s: float = 3600.0,
+    spec: FleetSpec | None = None,
+    catalog: DatasetCatalog | None = None,
+    admission: AdmissionControl | None = None,
+) -> FleetScenario:
+    """The headline fleet scenario with a few common knobs exposed."""
+    cache_config = CacheConfig(policy=cache) if isinstance(cache, str) else cache
+    return FleetScenario(
+        spec=spec if spec is not None else FleetSpec(),
+        catalog=catalog if catalog is not None else DatasetCatalog(),
+        policy=policy,
+        cache=cache_config,
+        admission=admission if admission is not None else AdmissionControl(),
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+
+
+@dataclass(frozen=True)
+class _FleetJob:
+    """A workload job bound to a dataset and an SLA."""
+
+    job: TransferJob
+    dataset: str
+    read_bytes: float
+    deadline_at: float
+    priority: int
+
+
+def _policy_key(policy: str):
+    if policy == "fcfs":
+        return lambda f: (f.job.arrival_s, f.job.job_id)
+    if policy == "sjf":
+        return lambda f: (f.read_bytes, f.job.arrival_s, f.job.job_id)
+    # edf: class priority first, then the closest absolute deadline.
+    return lambda f: (f.priority, f.deadline_at, f.job.job_id)
+
+
+class _LaneQueue:
+    """Policy-ordered job queue with blocking get for lane workers."""
+
+    def __init__(self, env: Environment, key):
+        self.env = env
+        self.key = key
+        self.pending: list[_FleetJob] = []
+        self.waiters: deque[Event] = deque()
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def push(self, fjob: _FleetJob) -> None:
+        self.pending.append(fjob)
+        if self.waiters:
+            self.waiters.popleft().succeed(None)
+
+    def get(self):
+        """Process helper: next job under the policy (blocks when empty)."""
+        while not self.pending:
+            waiter = Event(self.env)
+            self.waiters.append(waiter)
+            yield waiter
+        best = min(self.pending, key=self.key)
+        self.pending.remove(best)
+        return best
+
+
+class _Lane:
+    """One (track, rack) service point: queue, workers, optional cache."""
+
+    def __init__(self, env, track_index, endpoint_id, api, stations, key,
+                 cache_config):
+        self.track_index = track_index
+        self.endpoint_id = endpoint_id
+        self.api = api
+        self.stations = stations
+        self.queue = _LaneQueue(env, key)
+        self.cache = (
+            RackCache(env, cache_config) if cache_config is not None else None
+        )
+        self.name = f"t{track_index}:r{endpoint_id}"
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Everything a fleet run measured."""
+
+    scenario: FleetScenario
+    sla: SlaReport
+    records: tuple[JobRecord, ...]
+    n_jobs: int
+    served: int
+    shed: int
+    failovers: int
+    failed: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    launches: int
+    launch_energy_j: float
+    failover_energy_j: float
+    makespan_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def p99_s(self) -> float:
+        return self.sla.overall.p99_s
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return self.sla.overall.deadline_miss_rate
+
+    @property
+    def goodput_bytes_per_s(self) -> float:
+        return self.sla.overall.goodput_bytes_per_s
+
+
+class ControlPlane:
+    """Admission, dispatch and caching over a :class:`FleetTopology`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: FleetTopology,
+        scenario: FleetScenario,
+        tracer: Tracer | None = None,
+    ):
+        self.env = env
+        self.topology = topology
+        self.scenario = scenario
+        self.tracer = tracer
+        self.registry = MetricsRegistry(env)
+        self.targets = dict(scenario.targets)
+        self.sla = SlaTracker(self.registry, self.targets)
+        key = _policy_key(scenario.policy)
+        self.lanes: dict[tuple[int, int], _Lane] = {}
+        for track_index, endpoint_id in topology.lanes:
+            self.lanes[(track_index, endpoint_id)] = _Lane(
+                env,
+                track_index,
+                endpoint_id,
+                topology.apis[track_index],
+                scenario.spec.stations_per_rack,
+                key,
+                scenario.cache,
+            )
+        # One lock per dataset serialises fetch / evict / exclusive use,
+        # so two jobs can never launch the same cart twice.
+        self._locks = {
+            name: Resource(env, capacity=1) for name in topology.homes
+        }
+        admission = scenario.admission
+        if admission.failover_links > 0:
+            link = OpticalLink(route=ROUTE_B,
+                               rate_bytes_per_s=gbps(admission.link_gbps))
+            self._failover_policy = FailoverPolicy(link=link)
+            self._failover_streams = Resource(
+                env, capacity=admission.failover_links
+            )
+        else:
+            self._failover_policy = None
+            self._failover_streams = None
+        self._outcomes: list[JobRecord] = []
+        self._done = Event(env)
+        self._expected = 0
+        self._evictions_in_flight = 0
+        self.failover_energy_j = 0.0
+
+    # -- lane lookup -------------------------------------------------------------
+
+    def lane_for(self, dataset: str) -> _Lane:
+        home = self.topology.home(dataset)
+        return self.lanes[(home.track_index, home.endpoint_id)]
+
+    # -- job intake --------------------------------------------------------------
+
+    def _arrivals(self, fjobs: list[_FleetJob]):
+        admission = self.scenario.admission
+        for fjob in fjobs:
+            if fjob.job.arrival_s > self.env.now:
+                yield self.env.timeout(fjob.job.arrival_s - self.env.now)
+            lane = self.lane_for(fjob.dataset)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "job.admit",
+                    track=f"fleet:{lane.name}",
+                    job=fjob.job.job_id,
+                    kind=fjob.job.kind,
+                    dataset=fjob.dataset,
+                )
+            if lane.queue.depth >= admission.max_queue_depth:
+                self.registry.counter("count.fleet.admission_rejections").inc()
+                if self._failover_streams is not None:
+                    self.env.process(self._failover_job(fjob))
+                else:
+                    self._finish(self._record(fjob, SHED, completed_s=None))
+            else:
+                lane.queue.push(fjob)
+
+    def _failover_job(self, fjob: _FleetJob):
+        stream = self._failover_streams.request()
+        yield stream
+        try:
+            energy = self._failover_policy.transfer_energy(fjob.read_bytes)
+            self.failover_energy_j += energy
+            self.registry.counter("energy_j.fleet.network_failover").inc(energy)
+            yield self.env.timeout(
+                self._failover_policy.transfer_time(fjob.read_bytes)
+            )
+        finally:
+            stream.release()
+        self._finish(self._record(fjob, FAILOVER, completed_s=self.env.now))
+
+    # -- lane workers ------------------------------------------------------------
+
+    def _worker(self, lane: _Lane):
+        while True:
+            fjob = yield from lane.queue.get()
+            started = self.env.now
+            if lane.cache is not None:
+                ok = yield from self._serve_cached(lane, fjob)
+            else:
+                ok = yield from self._serve_plain(lane, fjob)
+            completed = self.env.now
+            if self.tracer is not None and ok:
+                self.tracer.span_at(
+                    "fleet.job",
+                    start_s=started,
+                    end_s=completed,
+                    track=f"fleet:{lane.name}",
+                    asynchronous=True,
+                    job=fjob.job.job_id,
+                    kind=fjob.job.kind,
+                    dataset=fjob.dataset,
+                    queue_wait_s=started - fjob.job.arrival_s,
+                )
+            self._finish(
+                self._record(
+                    fjob,
+                    SERVED if ok else FAILED,
+                    completed_s=completed if ok else None,
+                )
+            )
+
+    def _serve_plain(self, lane: _Lane, fjob: _FleetJob):
+        """No cache: lock, borrow a cart, launch, read, return, repay."""
+        lock = self._locks[fjob.dataset].request()
+        yield lock
+        token = self.topology.cart_pool.request()
+        yield token
+        try:
+            try:
+                station = yield lane.api.open(fjob.dataset, 0, lane.endpoint_id)
+            except (SchedulingError, DegradedServiceError):
+                return False
+            yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
+                                n_bytes=fjob.read_bytes)
+            yield lane.api.close(station.cart, lane.endpoint_id)
+            return True
+        finally:
+            token.release()
+            lock.release()
+
+    def _serve_cached(self, lane: _Lane, fjob: _FleetJob):
+        """Cache path: hit reads in place; miss fetches (and may evict).
+
+        Bounded retries cover fetch failures observed by coalesced
+        waiters; in a fault-free fleet the first pass always lands.
+        """
+        cache = lane.cache
+        for _ in range(3):
+            entry = cache.lookup(fjob.dataset)
+            if entry is not None:
+                cache.record_hit(entry)
+                if entry.state == FETCHING:
+                    yield entry.ready
+                    entry = cache.lookup(fjob.dataset)
+                    if entry is None or entry.state != RESIDENT:
+                        continue  # the fetch failed under us; retry
+                cache.acquire(entry)
+                try:
+                    yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
+                                        n_bytes=fjob.read_bytes)
+                finally:
+                    cache.release(entry)
+                    self._balance_pool()
+                return True
+            cache.record_miss()
+            entry = cache.begin_fetch(fjob.dataset)
+            if cache.residency > lane.stations:
+                # Worker-per-station guarantees an idle victim exists
+                # whenever residency exceeds the stations (at most one
+                # entry per worker can be busy, and this worker's is
+                # the new one).
+                victim = cache.evictable()
+                if victim is not None:
+                    self._start_eviction(lane, victim)
+            lock = self._locks[fjob.dataset].request()
+            yield lock
+            token = self.topology.cart_pool.request()
+            if not token.triggered:
+                self._balance_pool()
+            yield token
+            try:
+                station = yield lane.api.open(fjob.dataset, 0, lane.endpoint_id)
+            except (SchedulingError, DegradedServiceError):
+                cache.fail_fetch(entry)
+                token.release()
+                lock.release()
+                continue
+            cache.finish_fetch(entry, station, token, lock)
+            cache.acquire(entry)
+            try:
+                yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
+                                    n_bytes=fjob.read_bytes)
+            finally:
+                cache.release(entry)
+                self._balance_pool()
+            return True
+        return False
+
+    # -- cart-pool balancing -----------------------------------------------------
+
+    def _start_eviction(self, lane: _Lane, entry) -> None:
+        lane.cache.evict(entry)
+        self._evictions_in_flight += 1
+        self.env.process(self._evict(lane, entry))
+
+    def _evict(self, lane: _Lane, entry):
+        try:
+            yield lane.api.close(entry.station.cart, lane.endpoint_id)
+        finally:
+            self._evictions_in_flight -= 1
+            entry.token.release()
+            entry.lock.release()
+            self._balance_pool()
+
+    def _balance_pool(self) -> None:
+        """Evict idle residents while cart requests outnumber evictions
+        already in flight — the event-driven loop that keeps a bounded
+        pool from deadlocking under cache residency."""
+        if self.scenario.cache is None:
+            return
+        pool = self.topology.cart_pool
+        while len(pool.queue) > self._evictions_in_flight:
+            best = None
+            best_lane = None
+            for lane in self.lanes.values():
+                candidate = lane.cache.evictable()
+                if candidate is not None and (
+                    best is None or candidate.last_access_s < best.last_access_s
+                ):
+                    best = candidate
+                    best_lane = lane
+            if best is None:
+                return
+            self._start_eviction(best_lane, best)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _record(self, fjob: _FleetJob, outcome: str,
+                completed_s: float | None) -> JobRecord:
+        return JobRecord(
+            job_id=fjob.job.job_id,
+            kind=fjob.job.kind,
+            dataset=fjob.dataset,
+            arrival_s=fjob.job.arrival_s,
+            deadline_s=fjob.deadline_at,
+            read_bytes=fjob.read_bytes,
+            outcome=outcome,
+            completed_s=completed_s,
+        )
+
+    def _finish(self, record: JobRecord) -> None:
+        self.sla.observe(record)
+        self._outcomes.append(record)
+        if len(self._outcomes) >= self._expected and not self._done.triggered:
+            self._done.succeed(None)
+
+    # -- orchestration -----------------------------------------------------------
+
+    def run(self, fjobs: list[_FleetJob]) -> FleetReport:
+        if not fjobs:
+            raise ConfigurationError("no jobs arrived within the horizon")
+        self._expected = len(fjobs)
+        for lane in self.lanes.values():
+            for _ in range(lane.stations):
+                self.env.process(self._worker(lane))
+        self.env.process(self._arrivals(fjobs))
+        self.env.run(until=self._done)
+        return self._build_report()
+
+    def _build_report(self) -> FleetReport:
+        records = tuple(sorted(self._outcomes, key=lambda r: r.job_id))
+        caches = [
+            lane.cache for lane in self.lanes.values() if lane.cache is not None
+        ]
+        completed = [r.completed_s for r in records if r.completed_s is not None]
+        return FleetReport(
+            scenario=self.scenario,
+            sla=self.sla.report(self.scenario.horizon_s),
+            records=records,
+            n_jobs=len(records),
+            served=sum(1 for r in records if r.outcome == SERVED),
+            shed=sum(1 for r in records if r.outcome == SHED),
+            failovers=sum(1 for r in records if r.outcome == FAILOVER),
+            failed=sum(1 for r in records if r.outcome == FAILED),
+            cache_hits=sum(cache.hits for cache in caches),
+            cache_misses=sum(cache.misses for cache in caches),
+            cache_evictions=sum(cache.evictions for cache in caches),
+            launches=self.topology.total_launches,
+            launch_energy_j=self.topology.total_launch_energy_j,
+            failover_energy_j=self.failover_energy_j,
+            makespan_s=max(completed) if completed else 0.0,
+        )
+
+
+def _bind_jobs(scenario: FleetScenario,
+               topology: FleetTopology) -> list[_FleetJob]:
+    """Generate the seeded stream and bind datasets + SLAs to each job.
+
+    Dataset draws use their own substream (``seed + 1``) so adding a
+    traffic class never reshuffles which datasets existing jobs touch.
+    """
+    generator = WorkloadGenerator(classes=scenario.classes, seed=scenario.seed)
+    jobs = generator.generate(scenario.horizon_s)
+    rng = np.random.default_rng(scenario.seed + 1)
+    catalog = scenario.catalog
+    hot = catalog.hot_names
+    cold = catalog.cold_names
+    targets = dict(scenario.targets)
+    fjobs = []
+    for job in jobs:
+        if hot and (not cold or float(rng.random()) < catalog.hot_fraction):
+            dataset = hot[int(rng.integers(len(hot)))]
+        else:
+            dataset = cold[int(rng.integers(len(cold)))]
+        target = targets.get(job.kind, DEFAULT_TARGET)
+        home = topology.home(dataset)
+        fjobs.append(
+            _FleetJob(
+                job=job,
+                dataset=dataset,
+                read_bytes=min(job.size_bytes, home.size_bytes),
+                deadline_at=job.arrival_s + target.deadline_s,
+                priority=target.priority,
+            )
+        )
+    return fjobs
+
+
+def run_fleet(scenario: FleetScenario,
+              tracer: Tracer | None = None) -> FleetReport:
+    """Simulate one fleet scenario end to end.
+
+    Module-level and driven entirely by the scenario value, so it is
+    picklable into :func:`repro.core.sweep.map_chunks` process workers
+    and returns bit-identical reports under any engine.
+    """
+    env = Environment()
+    if tracer is not None:
+        tracer.attach_clock(env)
+    topology = FleetTopology(env, scenario.spec, scenario.catalog,
+                             tracer=tracer)
+    plane = ControlPlane(env, topology, scenario, tracer=tracer)
+    return plane.run(_bind_jobs(scenario, topology))

@@ -1,0 +1,177 @@
+"""Per-traffic-class SLA tracking for fleet runs.
+
+Each completed (or shed) job becomes a :class:`JobRecord`; the
+:class:`SlaTracker` streams records into the fleet's
+:class:`~repro.obs.metrics.MetricsRegistry` — latency histograms per
+class, outcome counters — while retaining the raw samples so the final
+report can quote exact percentiles.
+
+Percentiles come from :mod:`repro.core.percentiles`, the same
+linear-interpolation rule the service study uses, so "p95" means one
+thing across the whole repo.  The registry histograms remain available
+for live/streaming views at bucket resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.percentiles import percentiles
+from ..errors import ConfigurationError
+from ..obs import MetricsRegistry
+from ..units import assert_positive
+
+#: Outcomes a job can end with.
+SERVED = "served"
+FAILOVER = "failover"
+SHED = "shed"
+FAILED = "failed"
+
+#: Histogram bounds for per-class latency (seconds).
+LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                   200.0, 500.0, 1000.0, 2000.0, 5000.0)
+
+
+@dataclass(frozen=True)
+class ClassTarget:
+    """SLA contract for one traffic class."""
+
+    deadline_s: float
+    priority: int = 0
+    """EDF tie-breaking rank: lower values are scheduled first."""
+
+    def __post_init__(self) -> None:
+        assert_positive("deadline_s", self.deadline_s)
+
+
+#: Fallback contract for classes without an explicit target.
+DEFAULT_TARGET = ClassTarget(deadline_s=3600.0, priority=9)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Final accounting for one admitted job."""
+
+    job_id: int
+    kind: str
+    dataset: str
+    arrival_s: float
+    deadline_s: float
+    """Absolute virtual time by which the job should have completed."""
+    read_bytes: float
+    outcome: str
+    completed_s: float | None = None
+
+    @property
+    def latency_s(self) -> float:
+        if self.completed_s is None:
+            raise ConfigurationError(
+                f"job {self.job_id} ({self.outcome}) never completed"
+            )
+        return self.completed_s - self.arrival_s
+
+    @property
+    def met_deadline(self) -> bool:
+        return (
+            self.outcome in (SERVED, FAILOVER)
+            and self.completed_s is not None
+            and self.completed_s <= self.deadline_s
+        )
+
+
+@dataclass(frozen=True)
+class ClassSla:
+    """Measured service of one traffic class (or the whole fleet)."""
+
+    kind: str
+    n_jobs: int
+    n_completed: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    deadline_miss_rate: float
+    """Fraction of jobs missing their deadline — sheds and failures
+    count as misses, so load shedding cannot launder the tail."""
+    goodput_bytes_per_s: float
+    """Bytes delivered within deadline, per second of horizon."""
+
+
+@dataclass(frozen=True)
+class SlaReport:
+    """Per-class and overall SLA outcome of one fleet run."""
+
+    horizon_s: float
+    classes: tuple[ClassSla, ...]
+    overall: ClassSla
+
+    def for_kind(self, kind: str) -> ClassSla:
+        for class_sla in self.classes:
+            if class_sla.kind == kind:
+                return class_sla
+        raise ConfigurationError(f"no SLA data for class {kind!r}")
+
+
+class SlaTracker:
+    """Streams job records into metrics and builds the final report."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        targets: Mapping[str, ClassTarget],
+        default: ClassTarget = DEFAULT_TARGET,
+    ):
+        self.registry = registry
+        self.targets = dict(targets)
+        self.default = default
+        self.records: list[JobRecord] = []
+
+    def target_for(self, kind: str) -> ClassTarget:
+        return self.targets.get(kind, self.default)
+
+    def observe(self, record: JobRecord) -> None:
+        self.records.append(record)
+        self.registry.counter(f"count.fleet.{record.outcome}").inc()
+        if record.completed_s is not None:
+            self.registry.histogram(
+                f"fleet.latency_s.{record.kind}", LATENCY_BUCKETS
+            ).observe(record.latency_s)
+        if not record.met_deadline:
+            self.registry.counter("count.fleet.deadline_missed").inc()
+
+    # -- reporting ---------------------------------------------------------------
+
+    @staticmethod
+    def _summarise(kind: str, records: list[JobRecord], horizon_s: float) -> ClassSla:
+        completed = [r.latency_s for r in records if r.completed_s is not None]
+        if completed:
+            points = percentiles(completed)
+            p50, p95, p99 = points[50.0], points[95.0], points[99.0]
+        else:
+            # No completions: the tail is unbounded, which reads as
+            # infeasible to the capacity planner.
+            p50 = p95 = p99 = float("inf")
+        misses = sum(1 for r in records if not r.met_deadline)
+        good_bytes = sum(r.read_bytes for r in records if r.met_deadline)
+        return ClassSla(
+            kind=kind,
+            n_jobs=len(records),
+            n_completed=len(completed),
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
+            deadline_miss_rate=misses / len(records) if records else 0.0,
+            goodput_bytes_per_s=good_bytes / horizon_s,
+        )
+
+    def report(self, horizon_s: float) -> SlaReport:
+        assert_positive("horizon_s", horizon_s)
+        by_kind: dict[str, list[JobRecord]] = {}
+        for record in self.records:
+            by_kind.setdefault(record.kind, []).append(record)
+        classes = tuple(
+            self._summarise(kind, records, horizon_s)
+            for kind, records in sorted(by_kind.items())
+        )
+        overall = self._summarise("overall", list(self.records), horizon_s)
+        return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)

@@ -1,0 +1,211 @@
+"""Fleet topology: one library, several tracks, a bounded cart pool.
+
+A deployment is one library building with ``n_tracks`` hyperloop rails
+fanning out to rack rows.  Each rail is modelled by its own
+:class:`~repro.dhlsim.scheduler.DhlSystem` (the per-rail simulator
+already captures tube exclusivity, docking and launch energy); the
+fleet layer adds what no single rail sees:
+
+* a **shared cart pool** — carts and their SSD arrays dominate fleet
+  cost, so a deployment buys fewer carts than (racks x stations) and
+  arbitrates them through one bounded :class:`repro.sim.Resource`;
+* a **dataset catalog** homed across rails, so the control plane can
+  route a job for dataset *d* to the rail and rack where *d*'s cart
+  docks.
+
+All systems share one :class:`~repro.sim.Environment`, so fleet-wide
+ordering is a single deterministic virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.params import DhlParams
+from ..errors import ConfigurationError
+from ..obs import Tracer
+from ..sim import Environment
+from ..sim.resources import Resource
+from ..storage.datasets import synthetic_dataset
+from ..units import TB, assert_positive
+from ..dhlsim.api import DhlApi
+from ..dhlsim.scheduler import DhlSystem
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Shape of one DHL deployment."""
+
+    n_tracks: int = 2
+    racks_per_track: int = 1
+    stations_per_rack: int = 2
+    cart_pool: int = 6
+    """Carts the deployment owns, shared across all tracks.  Must cover
+    at least one in-flight cart per track or the fleet cannot make
+    progress on every rail at once."""
+    library_slots: int = 128
+    params: DhlParams = field(default_factory=DhlParams)
+
+    def __post_init__(self) -> None:
+        if self.n_tracks <= 0 or self.racks_per_track <= 0:
+            raise ConfigurationError("fleet needs >= 1 track and >= 1 rack per track")
+        if self.stations_per_rack <= 0:
+            raise ConfigurationError("racks need >= 1 docking station")
+        if self.cart_pool < self.n_tracks:
+            raise ConfigurationError(
+                f"cart_pool ({self.cart_pool}) must be >= n_tracks "
+                f"({self.n_tracks}) so every rail can hold a cart"
+            )
+
+    @property
+    def n_racks(self) -> int:
+        return self.n_tracks * self.racks_per_track
+
+    @property
+    def total_stations(self) -> int:
+        return self.n_racks * self.stations_per_rack
+
+
+@dataclass(frozen=True)
+class DatasetCatalog:
+    """The datasets a deployment serves and how skewed access to them is.
+
+    ``hot_count`` datasets receive ``hot_fraction`` of all requests —
+    the Zipf-like reuse that makes rack-side cart residency pay off.
+    Each dataset fits one cart (``dataset_bytes`` must not exceed the
+    cart's array capacity), which is the paper's own staging unit.
+    """
+
+    n_datasets: int = 12
+    dataset_bytes: float = 24 * TB
+    hot_count: int = 2
+    hot_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_datasets <= 0:
+            raise ConfigurationError("catalog needs >= 1 dataset")
+        assert_positive("dataset_bytes", self.dataset_bytes)
+        if not 0 <= self.hot_count <= self.n_datasets:
+            raise ConfigurationError(
+                f"hot_count must be within [0, {self.n_datasets}], "
+                f"got {self.hot_count}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction must be within [0, 1], got {self.hot_fraction}"
+            )
+
+    def name(self, index: int) -> str:
+        return f"ds-{index:03d}"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.name(index) for index in range(self.n_datasets))
+
+    @property
+    def hot_names(self) -> tuple[str, ...]:
+        return tuple(self.name(index) for index in range(self.hot_count))
+
+    @property
+    def cold_names(self) -> tuple[str, ...]:
+        return tuple(
+            self.name(index) for index in range(self.hot_count, self.n_datasets)
+        )
+
+
+@dataclass(frozen=True)
+class DatasetHome:
+    """Where one dataset lives: which rail serves it, which rack reads it."""
+
+    dataset: str
+    track_index: int
+    endpoint_id: int
+    size_bytes: float
+
+
+class FleetTopology:
+    """Runtime deployment: N per-rail simulators plus shared fleet state.
+
+    Datasets are homed round-robin over (track, rack) pairs — hot
+    datasets land on distinct rails first, spreading the hottest traffic
+    across tubes.  Every dataset is staged in the library of its home
+    rail via :meth:`DhlSystem.load_dataset`, one loaded cart per
+    dataset, exactly as the paper stages shards.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: FleetSpec,
+        catalog: DatasetCatalog,
+        tracer: Tracer | None = None,
+    ):
+        if spec.params.storage_per_cart < catalog.dataset_bytes:
+            raise ConfigurationError(
+                f"dataset_bytes ({catalog.dataset_bytes:.3g}) exceeds cart "
+                f"capacity ({spec.params.storage_per_cart:.3g}); fleet "
+                "caching assumes one cart per dataset"
+            )
+        self.env = env
+        self.spec = spec
+        self.catalog = catalog
+        self.systems: list[DhlSystem] = []
+        self.apis: list[DhlApi] = []
+        for _ in range(spec.n_tracks):
+            system = DhlSystem(
+                env,
+                params=spec.params,
+                n_racks=spec.racks_per_track,
+                stations_per_rack=spec.stations_per_rack,
+                library_slots=spec.library_slots,
+                tracer=tracer,
+            )
+            self.systems.append(system)
+            self.apis.append(DhlApi(system))
+        # One token per physical cart, shared by every rail.
+        self.cart_pool = Resource(env, capacity=spec.cart_pool)
+        self.homes: dict[str, DatasetHome] = {}
+        # Track-fastest order so consecutive (hot) datasets land on
+        # distinct rails before doubling up on a rail's second rack.
+        slots = [
+            (track_index, rack)
+            for rack in range(1, spec.racks_per_track + 1)
+            for track_index in range(spec.n_tracks)
+        ]
+        for index, name in enumerate(catalog.names):
+            track_index, endpoint_id = slots[index % len(slots)]
+            self.systems[track_index].load_dataset(
+                synthetic_dataset(catalog.dataset_bytes, name=name)
+            )
+            self.homes[name] = DatasetHome(
+                dataset=name,
+                track_index=track_index,
+                endpoint_id=endpoint_id,
+                size_bytes=catalog.dataset_bytes,
+            )
+
+    def home(self, dataset: str) -> DatasetHome:
+        try:
+            return self.homes[dataset]
+        except KeyError:
+            raise ConfigurationError(f"unknown dataset {dataset!r}") from None
+
+    def api_for(self, dataset: str) -> DhlApi:
+        return self.apis[self.home(dataset).track_index]
+
+    @property
+    def lanes(self) -> tuple[tuple[int, int], ...]:
+        """All (track_index, endpoint_id) service lanes in fixed order."""
+        return tuple(
+            (track_index, rack)
+            for track_index in range(self.spec.n_tracks)
+            for rack in range(1, self.spec.racks_per_track + 1)
+        )
+
+    @property
+    def total_launches(self) -> int:
+        return sum(system.total_launches for system in self.systems)
+
+    @property
+    def total_launch_energy_j(self) -> float:
+        return sum(system.total_launch_energy for system in self.systems)

@@ -9,6 +9,7 @@ realistic offered load.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -113,6 +114,37 @@ class WorkloadGenerator:
 
     def stream(self, horizon_s: float) -> Iterator[TransferJob]:
         return iter(self.generate(horizon_s))
+
+
+def stream_fingerprint(
+    seed: int,
+    horizon_s: float,
+    classes: tuple[TrafficClass, ...] = DEFAULT_MIX,
+) -> bytes:
+    """A byte-exact encoding of the seeded job stream.
+
+    Every job's fields are packed with their exact float bit patterns,
+    so two streams compare equal iff they are identical to the last bit.
+    This is the determinism contract the fleet capacity planner relies
+    on when process-pool workers re-generate offered load from a seed:
+    the stream a worker sees must be *the* stream, not a statistically
+    similar one.  Module-level and argument-only, so it is picklable
+    into :func:`repro.core.sweep.map_chunks` workers.
+    """
+    generator = WorkloadGenerator(classes=classes, seed=seed)
+    parts: list[bytes] = []
+    for job in generator.generate(horizon_s):
+        kind = job.kind.encode("utf-8")
+        parts.append(
+            struct.pack("<qddq", job.job_id, job.arrival_s, job.size_bytes, len(kind))
+        )
+        parts.append(kind)
+    return b"".join(parts)
+
+
+def _fingerprint_chunk(chunk: tuple[tuple[int, float], ...]) -> tuple[bytes, ...]:
+    """``map_chunks`` worker: fingerprint each ``(seed, horizon_s)`` item."""
+    return tuple(stream_fingerprint(seed, horizon_s) for seed, horizon_s in chunk)
 
 
 def total_offered_bytes(jobs: list[TransferJob]) -> float:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..core.model import plan_campaign
 from ..core.params import DhlParams
+from ..core.percentiles import percentile, percentiles_by_class
 from ..errors import ConfigurationError
 from ..network.routes import ROUTE_B, Route
 from ..network.transfer import DEFAULT_LINK_GBPS
@@ -127,6 +128,22 @@ class PolicyReport:
         total = sum(outcome.job.size_bytes for outcome in self.outcomes)
         dhl = sum(outcome.job.size_bytes for outcome in self._subset("dhl"))
         return dhl / total
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile over all jobs (shared interpolation rule)."""
+        return percentile([o.latency_s for o in self.outcomes], q)
+
+    def latency_percentiles_by_class(self) -> dict[str, dict[float, float]]:
+        """Per-traffic-class p50/p95/p99 via :mod:`repro.core.percentiles`.
+
+        The fleet SLA tracker (:mod:`repro.fleet.sla`) computes its
+        percentiles through the same helper, so the service study and a
+        fleet run quote identical tail definitions.
+        """
+        samples: dict[str, list[float]] = {}
+        for outcome in self.outcomes:
+            samples.setdefault(outcome.job.kind, []).append(outcome.latency_s)
+        return percentiles_by_class(samples)
 
 
 def evaluate_policy(

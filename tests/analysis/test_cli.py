@@ -19,6 +19,16 @@ class TestParser:
         args = build_parser().parse_args(["fig6", "--max-tracks", "2"])
         assert args.max_tracks == 2
 
+    def test_fleet_options(self):
+        args = build_parser().parse_args(
+            ["fleet", "--horizon", "900", "--fleet-out", "out.json",
+             "--capacity"]
+        )
+        assert args.artefact == "fleet"
+        assert args.horizon == 900.0
+        assert args.fleet_out == "out.json"
+        assert args.capacity is True
+
 
 class TestMain:
     def test_table6_output(self, capsys):
@@ -50,3 +60,13 @@ class TestMain:
         out = capsys.readouterr().out
         assert "DHL-200-500-256" in out
         assert "time/iter" in out
+
+    def test_fleet_output(self, capsys, tmp_path):
+        out_path = str(tmp_path / "fleet.json")
+        assert main(["fleet", "--horizon", "900",
+                     "--fleet-out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet policy comparison" in out
+        assert "Per-class SLA (edf+lru)" in out
+        assert "interactive" in out
+        assert f"wrote fleet KPI baseline to {out_path}" in out

@@ -1,0 +1,97 @@
+"""The shared percentile rule: one p95 definition for the whole repo."""
+
+import numpy as np
+import pytest
+
+from repro.core.percentiles import (
+    STANDARD_POINTS,
+    percentile,
+    percentiles,
+    percentiles_by_class,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPercentile:
+    def test_matches_numpy_default_method(self):
+        rng = np.random.default_rng(7)
+        values = list(rng.lognormal(mean=2.0, sigma=1.0, size=251))
+        for q in (0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_single_sample(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_interpolates_between_ranks(self):
+        # rank = (4-1) * 0.5 = 1.5 -> halfway between 2nd and 3rd values.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes_are_min_and_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -1)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+
+class TestPercentiles:
+    def test_standard_points(self):
+        values = list(range(1, 101))
+        points = percentiles(values)
+        assert set(points) == set(STANDARD_POINTS)
+        assert points[50.0] == pytest.approx(np.percentile(values, 50))
+        assert points[99.0] == pytest.approx(np.percentile(values, 99))
+
+    def test_by_class_omits_empty_classes(self):
+        result = percentiles_by_class({"a": [1.0, 2.0, 3.0], "b": []})
+        assert "b" not in result
+        assert result["a"][50.0] == 2.0
+
+
+class TestSharedRuleIsUsedEverywhere:
+    """The service study and fleet SLA must quote identical percentiles."""
+
+    def test_service_report_uses_shared_rule(self):
+        from repro.workloads.generator import WorkloadGenerator
+        from repro.workloads.policy import SizeThresholdPolicy
+        from repro.workloads.service import evaluate_policy
+
+        jobs = WorkloadGenerator(seed=3).generate(6 * 3600.0)
+        report = evaluate_policy(jobs, SizeThresholdPolicy(10 * 1e12))
+        latencies = [outcome.latency_s for outcome in report.outcomes]
+        assert report.latency_percentile(95) == pytest.approx(
+            float(np.percentile(latencies, 95)), rel=1e-12
+        )
+        by_class = report.latency_percentiles_by_class()
+        for kind, points in by_class.items():
+            subset = [
+                o.latency_s for o in report.outcomes if o.job.kind == kind
+            ]
+            assert points[95.0] == pytest.approx(
+                float(np.percentile(subset, 95)), rel=1e-12
+            )
+
+    def test_fleet_sla_uses_shared_rule(self):
+        from repro.fleet.controlplane import default_scenario, run_fleet
+
+        report = run_fleet(
+            default_scenario(policy="fcfs", cache=None, seed=0,
+                             horizon_s=900.0)
+        )
+        latencies = [
+            r.latency_s for r in report.records if r.completed_s is not None
+        ]
+        assert report.sla.overall.p95_s == pytest.approx(
+            float(np.percentile(latencies, 95)), rel=1e-12
+        )
+        assert report.sla.overall.p99_s == pytest.approx(
+            float(np.percentile(latencies, 99)), rel=1e-12
+        )

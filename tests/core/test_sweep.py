@@ -8,6 +8,7 @@ from repro.core.sweep import (
     clear_report_cache,
     evaluate_reports,
     grid_sweep,
+    map_chunks,
     pareto_front,
     report_cache_stats,
     run_sweep,
@@ -197,3 +198,44 @@ class TestParetoFront:
         front = pareto_front(run_sweep(table_vi_design_points()))
         speeds = {report.metrics.params.max_speed for report in front}
         assert len(speeds) >= 2
+
+
+def _square_chunk(chunk):
+    # Module-level so the process engine can pickle it.
+    return tuple(value * value for value in chunk)
+
+
+class TestMapChunks:
+    def test_serial_preserves_order(self):
+        items = tuple(range(17))
+        assert map_chunks(_square_chunk, items) == _square_chunk(items)
+
+    def test_process_matches_serial(self):
+        items = tuple(range(23))
+        serial = map_chunks(_square_chunk, items, engine="serial")
+        process = map_chunks(_square_chunk, items, engine="process", workers=2)
+        assert process == serial
+
+    def test_auto_engine_selection(self):
+        items = (1, 2, 3)
+        assert map_chunks(_square_chunk, items, engine="auto") == (1, 4, 9)
+        assert map_chunks(
+            _square_chunk, items, engine="auto", workers=2
+        ) == (1, 4, 9)
+
+    def test_empty_items(self):
+        assert map_chunks(_square_chunk, ()) == ()
+
+    def test_explicit_chunk_size(self):
+        items = tuple(range(10))
+        assert map_chunks(
+            _square_chunk, items, engine="process", workers=2, chunk_size=3
+        ) == _square_chunk(items)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            map_chunks(_square_chunk, (1,), engine="vector")
+
+    def test_rejects_wrong_result_count(self):
+        with pytest.raises(ConfigurationError):
+            map_chunks(lambda chunk: chunk[:-1], (1, 2, 3))

@@ -1,0 +1,53 @@
+"""Lint gate: the deprecated ``Telemetry`` facade must not spread.
+
+Every ``dhlsim`` module now writes to the
+:class:`~repro.obs.metrics.MetricsRegistry` directly; the facade class
+lives only in ``dhlsim/metrics.py`` for external readers (analysis
+tables, older tests) via :func:`repro.dhlsim.metrics.telemetry_view`.
+This test fails the build if a new call site sneaks back in.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+DHLSIM = Path(__file__).resolve().parents[2] / "src" / "repro" / "dhlsim"
+
+#: The one module allowed to define and name the facade.
+ALLOWED = {"metrics.py"}
+
+#: Exact lines ``__init__.py`` may keep for backwards-compatible re-export.
+REEXPORT_LINES = {
+    "from .metrics import EnergySample, Telemetry, telemetry_view",
+    '"Telemetry",',
+}
+
+FORBIDDEN = re.compile(r"\bTelemetry\b|\.telemetry\.")
+
+
+class TestTelemetryGate:
+    def test_facade_confined_to_metrics_module(self):
+        offenders: list[str] = []
+        for path in sorted(DHLSIM.glob("*.py")):
+            if path.name in ALLOWED:
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if not FORBIDDEN.search(line):
+                    continue
+                if path.name == "__init__.py" and line.strip() in REEXPORT_LINES:
+                    continue
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "new Telemetry facade usage outside dhlsim/metrics.py — write to "
+            "DhlSystem.metrics (MetricsRegistry) directly:\n"
+            + "\n".join(offenders)
+        )
+
+    def test_gate_pattern_catches_usage(self):
+        assert FORBIDDEN.search("self.telemetry.increment('launches')")
+        assert FORBIDDEN.search("from .metrics import Telemetry")
+        assert not FORBIDDEN.search("self.metrics.counter('count.launches')")
+        assert not FORBIDDEN.search("telemetry_view(self.env, self.metrics)")

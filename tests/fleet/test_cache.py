@@ -1,0 +1,134 @@
+"""Unit tests for the passive cart-residency cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.cache import (
+    CacheConfig,
+    FETCHING,
+    RackCache,
+    RESIDENT,
+)
+from repro.sim import Environment
+
+
+def make_cache(policy="lru", ttl_s=100.0):
+    env = Environment()
+    return env, RackCache(env, CacheConfig(policy=policy, ttl_s=ttl_s))
+
+
+def make_resident(cache, dataset):
+    entry = cache.begin_fetch(dataset)
+    cache.finish_fetch(entry, station=object(), token=None, lock=None)
+    return entry
+
+
+class TestCacheConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(policy="mru")
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(ttl_s=0.0)
+
+
+class TestLifecycle:
+    def test_fetch_to_resident(self):
+        _, cache = make_cache()
+        entry = cache.begin_fetch("ds-000")
+        assert entry.state == FETCHING
+        assert not entry.idle
+        cache.finish_fetch(entry, station=object(), token=None, lock=None)
+        assert entry.state == RESIDENT
+        assert entry.idle
+        assert entry.ready.triggered
+        assert cache.lookup("ds-000") is entry
+
+    def test_double_fetch_rejected(self):
+        _, cache = make_cache()
+        cache.begin_fetch("ds-000")
+        with pytest.raises(ConfigurationError):
+            cache.begin_fetch("ds-000")
+
+    def test_failed_fetch_removes_entry_and_wakes_waiters(self):
+        _, cache = make_cache()
+        entry = cache.begin_fetch("ds-000")
+        cache.fail_fetch(entry)
+        assert cache.lookup("ds-000") is None
+        assert entry.ready.triggered
+        assert cache.failed_fetches == 1
+
+    def test_readers_block_eviction(self):
+        _, cache = make_cache()
+        entry = make_resident(cache, "ds-000")
+        cache.acquire(entry)
+        assert not entry.idle
+        with pytest.raises(ConfigurationError):
+            cache.evict(entry)
+        cache.release(entry)
+        cache.evict(entry)
+        assert cache.lookup("ds-000") is None
+        assert cache.evictions == 1
+
+    def test_release_without_acquire_rejected(self):
+        _, cache = make_cache()
+        entry = make_resident(cache, "ds-000")
+        with pytest.raises(ConfigurationError):
+            cache.release(entry)
+
+    def test_hit_and_miss_counters(self):
+        _, cache = make_cache()
+        cache.record_miss()
+        entry = make_resident(cache, "ds-000")
+        cache.record_hit(entry)
+        cache.record_hit(entry)
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert entry.accesses == 3  # begin_fetch counts the first access
+
+
+class TestVictimSelection:
+    def _resident_at(self, env, cache, dataset, access_time):
+        entry = make_resident(cache, dataset)
+        entry.last_access_s = access_time
+        return entry
+
+    def test_lru_picks_least_recent(self):
+        env, cache = make_cache("lru")
+        self._resident_at(env, cache, "a", 10.0)
+        self._resident_at(env, cache, "b", 5.0)
+        self._resident_at(env, cache, "c", 20.0)
+        assert cache.evictable().dataset == "b"
+
+    def test_lfu_picks_least_frequent(self):
+        env, cache = make_cache("lfu")
+        frequent = make_resident(cache, "a")
+        for _ in range(5):
+            cache.record_hit(frequent)
+        make_resident(cache, "b")
+        assert cache.evictable().dataset == "b"
+
+    def test_ttl_prefers_expired_entries(self):
+        env, cache = make_cache("ttl", ttl_s=50.0)
+        old = make_resident(cache, "a")
+        old.created_s = -100.0  # resident for 100 s
+        old.last_access_s = 40.0  # recently touched, LRU would keep it
+        fresh = make_resident(cache, "b")
+        fresh.created_s = 0.0
+        fresh.last_access_s = 1.0
+        assert cache.evictable().dataset == "a"
+
+    def test_ttl_falls_back_to_lru(self):
+        env, cache = make_cache("ttl", ttl_s=1e9)
+        self._resident_at(env, cache, "a", 3.0)
+        self._resident_at(env, cache, "b", 9.0)
+        assert cache.evictable().dataset == "a"
+
+    def test_busy_entries_are_never_victims(self):
+        env, cache = make_cache("lru")
+        entry = make_resident(cache, "a")
+        cache.acquire(entry)
+        cache.begin_fetch("b")  # FETCHING, not idle either
+        assert cache.evictable() is None

@@ -1,0 +1,88 @@
+"""Tests for the capacity planner, including engine parity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.capacity import (
+    SlaRequirement,
+    candidate_scenarios,
+    plan_capacity,
+)
+from repro.fleet.controlplane import default_scenario
+
+HORIZON = 900.0
+
+
+def base_scenario(seed=0):
+    return default_scenario(policy="fcfs", cache="lru", seed=seed,
+                            horizon_s=HORIZON)
+
+
+class TestSlaRequirement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlaRequirement(max_p99_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SlaRequirement(max_p99_s=10.0, max_miss_rate=2.0)
+
+
+class TestCandidateGrid:
+    def test_cost_ordering(self):
+        scenarios = candidate_scenarios(base_scenario())
+        shapes = [(s.spec.n_tracks, s.spec.cart_pool) for s in scenarios]
+        assert shapes == sorted(shapes)
+
+    def test_skips_starved_pools(self):
+        scenarios = candidate_scenarios(
+            base_scenario(), n_tracks_options=(2,), cart_pool_options=(1, 4),
+            policies=("fcfs",),
+        )
+        assert all(s.spec.cart_pool >= s.spec.n_tracks for s in scenarios)
+        assert len(scenarios) == 1
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigurationError):
+            candidate_scenarios(base_scenario(), n_tracks_options=())
+        with pytest.raises(ConfigurationError):
+            candidate_scenarios(base_scenario(), policies=("lifo",))
+        with pytest.raises(ConfigurationError):
+            candidate_scenarios(
+                base_scenario(), n_tracks_options=(4,),
+                cart_pool_options=(2,),
+            )
+
+
+class TestPlanCapacity:
+    GRID = dict(n_tracks_options=(1, 2), cart_pool_options=(4, 6),
+                policies=("fcfs", "edf"))
+
+    def test_picks_cheapest_feasible_candidate(self):
+        requirement = SlaRequirement(max_p99_s=300.0, max_miss_rate=0.05)
+        plan = plan_capacity(requirement, base_scenario(), **self.GRID)
+        assert plan.best is not None
+        assert plan.best.feasible
+        # Nothing cheaper in the evaluation order is feasible.
+        index = plan.evaluations.index(plan.best)
+        assert not any(e.feasible for e in plan.evaluations[:index])
+
+    def test_infeasible_requirement_returns_no_plan(self):
+        requirement = SlaRequirement(max_p99_s=0.001, max_miss_rate=0.0)
+        plan = plan_capacity(requirement, base_scenario(), **self.GRID)
+        assert plan.best is None
+        assert plan.feasible == ()
+
+    def test_serial_and_process_engines_agree(self):
+        """The acceptance invariant: identical plans under both engines."""
+        requirement = SlaRequirement(max_p99_s=300.0, max_miss_rate=0.05)
+        serial = plan_capacity(requirement, base_scenario(), engine="serial",
+                               **self.GRID)
+        process = plan_capacity(requirement, base_scenario(),
+                                engine="process", workers=2, **self.GRID)
+        assert serial == process
+        assert serial.best == process.best
+
+    def test_plan_is_deterministic_across_runs(self):
+        requirement = SlaRequirement(max_p99_s=300.0, max_miss_rate=0.05)
+        first = plan_capacity(requirement, base_scenario(), **self.GRID)
+        second = plan_capacity(requirement, base_scenario(), **self.GRID)
+        assert first == second

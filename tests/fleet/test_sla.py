@@ -1,0 +1,139 @@
+"""Tests for SLA tracking: records, percentiles, goodput, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.sla import (
+    DEFAULT_TARGET,
+    ClassTarget,
+    JobRecord,
+    SERVED,
+    SHED,
+    SlaTracker,
+)
+from repro.obs import MetricsRegistry
+from repro.sim import Environment
+
+
+def make_tracker():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    targets = {"interactive": ClassTarget(deadline_s=60.0, priority=0)}
+    return registry, SlaTracker(registry, targets)
+
+
+def served(job_id, kind, arrival, completed, deadline=60.0, size=1e12):
+    return JobRecord(
+        job_id=job_id,
+        kind=kind,
+        dataset="ds-000",
+        arrival_s=arrival,
+        deadline_s=arrival + deadline,
+        read_bytes=size,
+        outcome=SERVED,
+        completed_s=completed,
+    )
+
+
+class TestJobRecord:
+    def test_latency_and_deadline(self):
+        record = served(0, "interactive", 10.0, 40.0)
+        assert record.latency_s == 30.0
+        assert record.met_deadline
+
+    def test_late_completion_misses(self):
+        record = served(0, "interactive", 10.0, 200.0)
+        assert not record.met_deadline
+
+    def test_shed_jobs_miss_and_have_no_latency(self):
+        record = JobRecord(
+            job_id=0, kind="batch", dataset="ds-000", arrival_s=0.0,
+            deadline_s=60.0, read_bytes=1e12, outcome=SHED,
+        )
+        assert not record.met_deadline
+        with pytest.raises(ConfigurationError):
+            _ = record.latency_s
+
+
+class TestClassTarget:
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            ClassTarget(deadline_s=0.0)
+
+    def test_unknown_kind_gets_default(self):
+        _, tracker = make_tracker()
+        assert tracker.target_for("mystery") == DEFAULT_TARGET
+        assert tracker.target_for("interactive").deadline_s == 60.0
+
+
+class TestSlaTrackerMetrics:
+    def test_observation_lands_in_registry(self):
+        registry, tracker = make_tracker()
+        tracker.observe(served(0, "interactive", 0.0, 30.0))
+        tracker.observe(served(1, "interactive", 0.0, 500.0))  # late
+        assert registry.value("count.fleet.served") == 2
+        assert registry.value("count.fleet.deadline_missed") == 1
+
+    def test_latency_histogram_per_class(self):
+        registry, tracker = make_tracker()
+        tracker.observe(served(0, "interactive", 0.0, 30.0))
+        tracker.observe(served(1, "batch", 0.0, 30.0))
+        snapshot = registry.snapshot()
+        assert "fleet.latency_s.interactive" in snapshot
+        assert "fleet.latency_s.batch" in snapshot
+
+
+class TestSlaReport:
+    def test_percentiles_match_numpy(self):
+        _, tracker = make_tracker()
+        rng = np.random.default_rng(1)
+        latencies = rng.uniform(1.0, 100.0, size=73)
+        for index, latency in enumerate(latencies):
+            tracker.observe(served(index, "interactive", 0.0, float(latency)))
+        report = tracker.report(horizon_s=3600.0)
+        sla = report.for_kind("interactive")
+        assert sla.p95_s == pytest.approx(float(np.percentile(latencies, 95)))
+        assert sla.p50_s == pytest.approx(float(np.percentile(latencies, 50)))
+
+    def test_miss_rate_counts_sheds(self):
+        _, tracker = make_tracker()
+        tracker.observe(served(0, "interactive", 0.0, 30.0))
+        tracker.observe(JobRecord(
+            job_id=1, kind="interactive", dataset="ds-000", arrival_s=0.0,
+            deadline_s=60.0, read_bytes=1e12, outcome=SHED,
+        ))
+        report = tracker.report(horizon_s=3600.0)
+        assert report.for_kind("interactive").deadline_miss_rate == 0.5
+
+    def test_goodput_counts_only_in_deadline_bytes(self):
+        _, tracker = make_tracker()
+        tracker.observe(served(0, "interactive", 0.0, 30.0, size=2e12))
+        tracker.observe(served(1, "interactive", 0.0, 500.0, size=7e12))
+        report = tracker.report(horizon_s=1000.0)
+        assert report.for_kind("interactive").goodput_bytes_per_s == (
+            pytest.approx(2e12 / 1000.0)
+        )
+
+    def test_empty_class_has_infinite_tail(self):
+        _, tracker = make_tracker()
+        tracker.observe(JobRecord(
+            job_id=0, kind="batch", dataset="ds-000", arrival_s=0.0,
+            deadline_s=60.0, read_bytes=1e12, outcome=SHED,
+        ))
+        report = tracker.report(horizon_s=100.0)
+        assert report.for_kind("batch").p99_s == float("inf")
+
+    def test_overall_aggregates_all_classes(self):
+        _, tracker = make_tracker()
+        tracker.observe(served(0, "interactive", 0.0, 30.0))
+        tracker.observe(served(1, "batch", 0.0, 40.0))
+        report = tracker.report(horizon_s=100.0)
+        assert report.overall.n_jobs == 2
+        assert {c.kind for c in report.classes} == {"interactive", "batch"}
+
+    def test_unknown_kind_lookup_rejected(self):
+        _, tracker = make_tracker()
+        tracker.observe(served(0, "interactive", 0.0, 30.0))
+        with pytest.raises(ConfigurationError):
+            tracker.report(horizon_s=100.0).for_kind("archive")

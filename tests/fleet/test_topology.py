@@ -1,0 +1,106 @@
+"""Tests for fleet topology: specs, catalogs, homing and staging."""
+
+import pytest
+
+from repro.core.params import DhlParams
+from repro.errors import ConfigurationError
+from repro.fleet.topology import (
+    DatasetCatalog,
+    FleetSpec,
+    FleetTopology,
+)
+from repro.sim import Environment
+from repro.units import PB, TB
+
+
+class TestFleetSpec:
+    def test_defaults_are_consistent(self):
+        spec = FleetSpec()
+        assert spec.n_racks == spec.n_tracks * spec.racks_per_track
+        assert spec.total_stations == spec.n_racks * spec.stations_per_rack
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(n_tracks=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(racks_per_track=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(stations_per_rack=0)
+
+    def test_rejects_starved_cart_pool(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(n_tracks=3, cart_pool=2)
+
+
+class TestDatasetCatalog:
+    def test_names_are_stable_and_partitioned(self):
+        catalog = DatasetCatalog(n_datasets=5, hot_count=2)
+        assert catalog.names == ("ds-000", "ds-001", "ds-002", "ds-003",
+                                 "ds-004")
+        assert catalog.hot_names == ("ds-000", "ds-001")
+        assert catalog.cold_names == ("ds-002", "ds-003", "ds-004")
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            DatasetCatalog(n_datasets=0)
+        with pytest.raises(ConfigurationError):
+            DatasetCatalog(n_datasets=3, hot_count=4)
+        with pytest.raises(ConfigurationError):
+            DatasetCatalog(hot_fraction=1.5)
+
+
+class TestFleetTopology:
+    def test_builds_one_system_per_track(self):
+        env = Environment()
+        spec = FleetSpec(n_tracks=3, cart_pool=6)
+        topology = FleetTopology(env, spec, DatasetCatalog(n_datasets=6))
+        assert len(topology.systems) == 3
+        assert len(topology.apis) == 3
+        assert topology.cart_pool.capacity == 6
+        assert all(system.env is env for system in topology.systems)
+
+    def test_homes_round_robin_across_tracks(self):
+        env = Environment()
+        spec = FleetSpec(n_tracks=2, racks_per_track=2, cart_pool=4)
+        catalog = DatasetCatalog(n_datasets=8, hot_count=2)
+        topology = FleetTopology(env, spec, catalog)
+        tracks = [topology.home(name).track_index for name in catalog.names]
+        # Round-robin over (track, rack) slots: hot datasets ds-000 and
+        # ds-001 land on distinct rails.
+        assert tracks[0] != topology.home("ds-001").track_index or (
+            spec.n_tracks == 1
+        )
+        for track_index in range(spec.n_tracks):
+            assert tracks.count(track_index) == 4
+
+    def test_every_dataset_is_staged_at_its_home(self):
+        env = Environment()
+        catalog = DatasetCatalog(n_datasets=4)
+        topology = FleetTopology(env, FleetSpec(), catalog)
+        for name in catalog.names:
+            home = topology.home(name)
+            system = topology.systems[home.track_index]
+            cart = system.library.cart_holding(name, 0)
+            assert cart is not None
+
+    def test_unknown_dataset_rejected(self):
+        env = Environment()
+        topology = FleetTopology(env, FleetSpec(), DatasetCatalog())
+        with pytest.raises(ConfigurationError):
+            topology.home("nope")
+
+    def test_oversized_dataset_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            FleetTopology(
+                env,
+                FleetSpec(params=DhlParams(ssds_per_cart=16)),
+                DatasetCatalog(dataset_bytes=1 * PB),
+            )
+
+    def test_fleet_counters_start_at_zero(self):
+        env = Environment()
+        topology = FleetTopology(env, FleetSpec(),
+                                 DatasetCatalog(dataset_bytes=8 * TB))
+        assert topology.total_launches == 0
+        assert topology.total_launch_energy_j == 0.0
