@@ -103,6 +103,8 @@ class BenchReport:
     workers: int
     timings: tuple[EngineTiming, ...]
     identical_results: bool
+    skipped: tuple[tuple[str, str], ...] = ()
+    """(engine, reason) pairs for engines that were not timed."""
 
     def timing(self, engine: str) -> EngineTiming:
         for entry in self.timings:
@@ -151,6 +153,13 @@ def run_bench(
         raise ConfigurationError("the 'serial' reference engine is required")
     points = bench_points(n_points, base=base)
     n_workers = workers or os.cpu_count() or 1
+    skipped: tuple[tuple[str, str], ...] = ()
+    if "process" in engines and (os.cpu_count() or 1) == 1 and workers is None:
+        # A process pool on one core times scheduler noise plus pickling
+        # overhead, not parallel speedup; record the skip instead of
+        # committing a junk comparison.  Explicit --workers overrides.
+        engines = tuple(engine for engine in engines if engine != "process")
+        skipped = (("process", "cpu_count == 1"),)
 
     timings: list[EngineTiming] = []
     first_results: dict[str, tuple] = {}
@@ -180,6 +189,7 @@ def run_bench(
         workers=n_workers,
         timings=tuple(timings),
         identical_results=identical,
+        skipped=skipped,
     )
 
 
@@ -219,6 +229,7 @@ def report_payload(report: BenchReport) -> dict[str, object]:
                 if entry.engine != "serial"
             },
         },
+        "skipped": dict(report.skipped),
         "environment": environment_info(),
     }
 

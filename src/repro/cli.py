@@ -74,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench",
-                               "fleet", "all"]
+                               "fleet", "replicate", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -124,10 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="export: output directory for CSV/JSON artefacts",
     )
     parser.add_argument(
+        "--mode",
+        choices=("sweep", "engine"),
+        default="sweep",
+        help="bench: 'sweep' times the design-space engines, 'engine' the "
+             "DES core against the frozen reference",
+    )
+    parser.add_argument(
         "--points",
         type=int,
         default=None,
         help="bench: minimum number of design points in the sweep grid",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="bench engine mode: workload iteration-count multiplier",
     )
     parser.add_argument(
         "--repeats",
@@ -143,8 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--bench-out",
-        default="BENCH_sweep.json",
-        help="bench: output path for the perf baseline JSON",
+        default=None,
+        help="bench: output path for the perf baseline JSON "
+             "(default BENCH_sweep.json, or BENCH_engine.json in engine mode)",
     )
     parser.add_argument(
         "--check",
@@ -172,6 +186,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity",
         action="store_true",
         help="fleet: also run the capacity planner over the candidate grid",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=8,
+        help="replicate: number of consecutive seeds, starting at --seed",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("serial", "process", "both"),
+        default="both",
+        help="replicate: evaluation engine; 'both' also verifies the "
+             "serial and process reports are byte-identical",
+    )
+    parser.add_argument(
+        "--policy",
+        default="edf",
+        help="replicate: fleet scheduling policy (fcfs, sjf, edf)",
+    )
+    parser.add_argument(
+        "--cache",
+        default="lru",
+        help="replicate: rack cache policy (lru, lfu, size, none)",
+    )
+    parser.add_argument(
+        "--replicate-out",
+        default="REPLICATE_fleet.json",
+        help="replicate: output path for the deterministic report JSON",
     )
     return parser
 
@@ -235,6 +277,49 @@ def main(argv: Sequence[str] | None = None) -> int:
             if name.startswith("count."):
                 print(f"  {name} = {snapshot[name]['value']:g}")
         return 0
+    if args.artefact == "bench" and args.mode == "engine":
+        # Lazy: the engine bench imports both DES engines and dhlsim.
+        from .sim import bench as engine_bench
+
+        report = engine_bench.run_engine_bench(
+            repeats=args.repeats or engine_bench.DEFAULT_REPEATS,
+            scale=args.scale,
+            workers=args.workers,
+        )
+        headers, rows = engine_bench.bench_table(report)
+        print(render_table(headers, rows,
+                           title="DES engine bench (optimised vs reference)"))
+        scenario = dict(report.scenario)
+        if "events_per_sec" in scenario:
+            print(f"\ndhlsim scenario {scenario['name']}: "
+                  f"{scenario['events_per_sec']:,.0f} events/s "
+                  f"({scenario['events']} events, informational)")
+        replicate_info = dict(report.replicate)
+        if "skipped" in replicate_info:
+            print(f"replicate comparison skipped: {replicate_info['skipped']}")
+        else:
+            print(f"replicate: process {replicate_info['speedup']}x over "
+                  f"serial across {replicate_info['seeds']} seeds, "
+                  f"identical payloads: {replicate_info['identical_payloads']}")
+        out_path = args.bench_out or "BENCH_engine.json"
+        path = engine_bench.write_report(report, out_path)
+        print(f"\nwrote engine perf baseline to {path}")
+        if not report.gate_passed:
+            print(f"FAIL: {engine_bench.GATE_WORKLOAD} speedup "
+                  f"{report.gate_speedup:.2f}x is below the "
+                  f"{engine_bench.GATE_FLOOR:.1f}x gate")
+            return 1
+        if args.check:
+            problems = engine_bench.compare_to_baseline(
+                engine_bench.report_payload(report),
+                engine_bench.load_baseline(args.check),
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
     if args.artefact == "bench":
         # Lazy: the bench sweeps hundreds of design points.
         from .analysis import perf
@@ -247,7 +332,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         headers, rows = perf.bench_table(report)
         print(render_table(headers, rows,
                            title=f"Sweep-engine bench ({report.n_points} points)"))
-        path = perf.write_report(report, args.bench_out)
+        path = perf.write_report(report, args.bench_out or "BENCH_sweep.json")
         print(f"\nwrote perf baseline to {path}")
         if not report.identical_results:
             print("FAIL: engines disagree on sweep results")
@@ -317,6 +402,45 @@ def main(argv: Sequence[str] | None = None) -> int:
                     print(f"REGRESSION: {problem}")
                 return 1
             print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "replicate":
+        # Lazy: replication drives the full fleet simulator per seed.
+        from .fleet.controlplane import default_scenario
+        from .fleet.montecarlo import montecarlo_payload, replicate_fleet
+        from .sim.replicate import render_payload, replicate_table
+
+        cache = None if args.cache == "none" else args.cache
+        scenario = default_scenario(policy=args.policy, cache=cache,
+                                    seed=args.seed, horizon_s=args.horizon)
+        seeds = range(args.seed, args.seed + args.replications)
+        engines = (("serial", "process") if args.engine == "both"
+                   else (args.engine,))
+        rendered: dict[str, str] = {}
+        result = None
+        for engine in engines:
+            result = replicate_fleet(scenario, seeds=seeds, engine=engine,
+                                     workers=args.workers)
+            rendered[engine] = render_payload(
+                montecarlo_payload(scenario, result)
+            )
+            print(f"{engine}: {len(result.seeds)} replications in "
+                  f"{result.wall_s:.2f} s wall")
+        headers, rows = replicate_table(result)
+        print()
+        print(render_table(
+            headers, rows,
+            title=f"Fleet Monte-Carlo ({args.policy}+{scenario.cache_label}, "
+                  f"seeds {seeds.start}..{seeds.stop - 1}, "
+                  f"{scenario.horizon_s:.0f} s horizon)",
+        ))
+        if len(rendered) == 2 and rendered["serial"] != rendered["process"]:
+            print("FAIL: serial and process reports are not byte-identical")
+            return 1
+        if len(rendered) == 2:
+            print("\nserial and process reports are byte-identical")
+        with open(args.replicate_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered[engines[0]])
+        print(f"wrote replication report to {args.replicate_out}")
         return 0
     if args.artefact == "all":
         for name, (title, generator) in _TABLES.items():

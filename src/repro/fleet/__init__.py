@@ -5,10 +5,12 @@ this package operates a *deployment*: several tracks fanning out from a
 shared library, a bounded pool of SSD carts, an admission + dispatch
 control plane consuming a :mod:`repro.workloads` job stream under
 pluggable scheduling policies, rack-side cart-residency caching so hot
-datasets skip the launch entirely, per-traffic-class SLA tracking, and
-a capacity planner that sweeps fleet shapes through the
+datasets skip the launch entirely, per-traffic-class SLA tracking, a
+capacity planner that sweeps fleet shapes through the
 :mod:`repro.core.sweep` engines to find the minimal deployment meeting
-an SLA.
+an SLA, and a seeded Monte-Carlo replication layer
+(:mod:`repro.fleet.montecarlo`) that turns single-seed KPIs into
+mean/CI distributions.
 
 The layer the ROADMAP's production-scale north star calls for: the
 paper evaluates one rail (Sections III-V) and sketches multi-stop
@@ -34,6 +36,12 @@ from .controlplane import (
     default_scenario,
     run_fleet,
 )
+from .montecarlo import (
+    DEFAULT_REPLICATIONS,
+    montecarlo_payload,
+    replicate_fleet,
+    run_seeded,
+)
 from .sla import (
     DEFAULT_TARGET,
     ClassSla,
@@ -52,6 +60,7 @@ __all__ = [
     "CapacityPlan",
     "ClassSla",
     "ClassTarget",
+    "DEFAULT_REPLICATIONS",
     "DEFAULT_TARGET",
     "DatasetCatalog",
     "DatasetHome",
@@ -69,6 +78,9 @@ __all__ = [
     "SlaRequirement",
     "SlaTracker",
     "default_scenario",
+    "montecarlo_payload",
     "plan_capacity",
+    "replicate_fleet",
     "run_fleet",
+    "run_seeded",
 ]

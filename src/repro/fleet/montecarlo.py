@@ -1,0 +1,84 @@
+"""Monte-Carlo fleet replication: confidence-intervalled fleet KPIs.
+
+``BENCH_fleet.json`` pins single-seed fleet numbers; this module runs
+the same :class:`~repro.fleet.controlplane.FleetScenario` under many
+seeds through :func:`repro.sim.replicate.replicate` and merges the
+per-seed KPI dicts (the exact KPIs the fleet bench gates on, from
+:func:`repro.fleet.bench._kpis` — SLA percentiles, miss rates, cache
+and energy counters) into mean / CI95 / tail tables.  A p99 quoted
+with an error bar instead of a point estimate is the difference
+between "seed 0 met the SLA" and "the deployment meets the SLA".
+
+Scenarios are frozen, picklable dataclasses and ``run_fleet`` is
+module-level, so the fan-out works identically on the serial and
+process engines; the payload is deterministic and byte-identical
+across both (the ``repro replicate`` acceptance invariant).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import replace
+from typing import Iterable
+
+from ..sim.replicate import ReplicationResult, replicate, result_payload
+from .bench import _kpis
+from .controlplane import FleetScenario, default_scenario, run_fleet
+
+DEFAULT_REPLICATIONS = 8
+"""Seeds per replication when the caller does not pick a seed list."""
+
+
+def run_seeded(scenario: FleetScenario, seed: int) -> dict[str, float]:
+    """One fleet run with the scenario's seed swapped: KPI name -> value.
+
+    Module-level and pure-by-value so ``functools.partial(run_seeded,
+    scenario)`` pickles into process-pool workers.
+    """
+    report = run_fleet(replace(scenario, seed=seed))
+    return {name: float(value) for name, value in _kpis(report).items()}
+
+
+def replicate_fleet(
+    scenario: FleetScenario | None = None,
+    seeds: Iterable[int] | None = None,
+    engine: str = "serial",
+    workers: int | None = None,
+) -> ReplicationResult:
+    """Replicate one fleet scenario across seeds and merge the KPIs.
+
+    ``seeds`` defaults to ``DEFAULT_REPLICATIONS`` consecutive seeds
+    starting at the scenario's own — so the scenario's single-seed
+    bench row is always one of the replications.
+    """
+    if scenario is None:
+        scenario = default_scenario()
+    if seeds is None:
+        seeds = range(scenario.seed, scenario.seed + DEFAULT_REPLICATIONS)
+    return replicate(
+        functools.partial(run_seeded, scenario),
+        seeds,
+        engine=engine,
+        workers=workers,
+    )
+
+
+def montecarlo_payload(
+    scenario: FleetScenario, result: ReplicationResult
+) -> dict[str, object]:
+    """The deterministic report payload, tagged with the scenario shape.
+
+    Extends :func:`repro.sim.replicate.result_payload` (which excludes
+    engine/wall-time so serial and process runs serialise identically)
+    with the scenario descriptor the numbers belong to.
+    """
+    payload = result_payload(result)
+    payload["scenario"] = {
+        "policy": scenario.policy,
+        "cache": scenario.cache_label,
+        "horizon_s": scenario.horizon_s,
+        "n_tracks": scenario.spec.n_tracks,
+        "cart_pool": scenario.spec.cart_pool,
+        "base_seed": scenario.seed,
+    }
+    return payload

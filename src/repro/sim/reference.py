@@ -1,0 +1,506 @@
+"""The pre-optimisation discrete-event engine, frozen as a reference.
+
+This module is a verbatim snapshot of :mod:`repro.sim.engine` (plus the
+``Resource``/``Store`` primitives the engine benches exercise) as it
+stood *before* the fast-path work: no ``__slots__``, a fresh
+intermediate ``Event`` per already-processed yield, tracer ``None``
+checks inside ``step()``, and an unconditional cancelled-head purge on
+every step.  It exists for two jobs:
+
+* **Correctness reference.**  The property tests in
+  ``tests/sim/test_engine_parity.py`` run randomised process graphs on
+  both engines and require event-for-event identical execution order —
+  the optimised engine must be observationally indistinguishable.
+* **Performance reference.**  ``repro bench --mode engine``
+  (:mod:`repro.sim.bench`) times the same workloads on both engines on
+  the same machine, which makes the committed ≥2× events/sec speedup
+  gate in ``BENCH_engine.json`` machine-portable: the ratio moves with
+  the engine, not with the hardware.
+
+Do not "fix" or optimise this module — any change here silently moves
+the goalposts for both gates.  It is not part of the public API.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import SimulationError
+
+PENDING = object()
+"""Sentinel for an event value that has not been decided yet."""
+
+
+class Event:
+    """A one-shot event that processes may wait on (reference copy)."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = PENDING
+        self._ok: bool | None = None
+        self._defused = False
+        self._cancelled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def cancel(self) -> None:
+        """Discard a scheduled event (lazy delete, as in the seed engine)."""
+        if self.processed:
+            return
+        self._cancelled = True
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running process: drives a generator, firing when it returns."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off the process at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, priority=0)
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # e.g. an interrupt landing after the process finished
+        # Detach from the event that woke us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        if self.env._tracer is not None:
+            self.env._tracer._engine_resume()
+        try:
+            if trigger._ok:
+                next_event = self._generator.send(trigger._value)
+            else:
+                trigger._defused = True
+                next_event = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as error:
+            self._ok = False
+            self._value = error
+            self.env._schedule(self)
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}; processes must yield Events"
+            )
+        if next_event.env is not self.env:
+            raise SimulationError("cannot wait on an event from another environment")
+        if next_event.processed:
+            # Already fired: resume via a fresh intermediate event (the
+            # allocation the optimised engine's reusable shim removes).
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+            resume.callbacks.append(self._resume)
+            self.env._schedule(resume)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf: fires when enough child events have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need_all: bool):
+        super().__init__(env)
+        self._events = list(events)
+        self._need_all = need_all
+        self._remaining = len(self._events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        if not self._events:
+            self._ok = True
+            self._value = {}
+            env._schedule(self)
+            return
+        for event in self._events:
+            if event.processed:
+                self._count(event)
+            else:
+                event.callbacks.append(self._count)
+
+    def _count(self, event: Event) -> None:
+        if not event._ok:
+            event._defused = True
+        if self.triggered:
+            return
+        if not event._ok:
+            self._ok = False
+            self._value = event._value
+            self.env._schedule(self)
+            return
+        self._remaining -= 1
+        done = self._remaining == 0 if self._need_all else True
+        if done:
+            self._ok = True
+            self._value = {
+                child: child._value for child in self._events if child.triggered and child._ok
+            }
+            self.env._schedule(self)
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value maps event -> value."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need_all=True)
+
+
+class AnyOf(Condition):
+    """Fires when the first child event fires."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need_all=False)
+
+
+class Environment:
+    """The simulation clock and event queue (reference copy)."""
+
+    def __init__(self, initial_time: float = 0.0, tracer: Any = None):
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._tracer: Any = None
+        if tracer is not None:
+            self.set_tracer(tracer)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def tracer(self) -> Any:
+        return self._tracer
+
+    def set_tracer(self, tracer: Any) -> None:
+        """Attach a tracer; the reference engine re-checks it per event."""
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.attach_clock(self)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Schedule an already-decided event at an absolute time."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
+        self._eid += 1
+        heapq.heappush(self._queue, (when, 1, self._eid, event))
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        proc = Process(self, generator)
+        if self._tracer is not None:
+            self._tracer._engine_spawn()
+        return proc
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -----------------------------------------------------------
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled events from the head of the queue (lazy delete)."""
+        while self._queue and self._queue[0][3]._cancelled:
+            heapq.heappop(self._queue)
+            if self._tracer is not None:
+                self._tracer._engine_cancel()
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        self._purge_cancelled()
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        if self._tracer is not None:
+            self._tracer._engine_fire(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            value = event._value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"unhandled event failure: {value!r}")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires."""
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                self._purge_cancelled()
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue is empty but the awaited event never fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"deadline {deadline} is in the past (now={self._now})")
+            while True:
+                self._purge_cancelled()
+                if not (self._queue and self._queue[0][0] <= deadline):
+                    break
+                self.step()
+            self._now = deadline
+            return None
+        while True:
+            self._purge_cancelled()
+            if not self._queue:
+                break
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        self._purge_cancelled()
+        return self._queue[0][0] if self._queue else float("inf")
+
+
+# -- reference resource primitives (for the engine bench workloads) ----------
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue (reference copy)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of grants currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires once granted."""
+        request = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self.queue.append(request)
+        return request
+
+    def _release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise SimulationError("release of a request this resource never saw") from None
+            return
+        while self.queue and len(self.users) < self.capacity:
+            waiter = self.queue.popleft()
+            self.users.append(waiter)
+            waiter.succeed(waiter)
+
+
+class Store:
+    """A FIFO buffer of items with blocking put/get (reference copy)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; fires immediately unless the store is full."""
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; fires when one is available."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed()
+            self._serve_getters()
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable
 
 from ..errors import SimulationError
-from .engine import Environment, Event
+from .engine import PENDING, _PRIORITY_BAND, Environment, Event
 
 
 class Request(Event):
@@ -26,8 +27,17 @@ class Request(Event):
     releases automatically.
     """
 
+    __slots__ = ("resource", "_released")
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Flat init (no super() chain): requests are allocated on every
+        # resource claim, squarely on the engine's hot path.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self._cancelled = False
         self.resource = resource
         self._released = False
 
@@ -60,12 +70,29 @@ class Resource:
         return len(self.users)
 
     def request(self) -> Request:
-        """Claim one unit; the returned event fires once granted."""
-        request = Request(self)
+        """Claim one unit; the returned event fires once granted.
+
+        Construction and the immediate-grant succeed are inlined (no
+        constructor or ``succeed`` frame): requests are the engine's
+        hottest allocation after timeouts.
+        """
+        env = self.env
+        request = Request.__new__(Request)
+        request.env = env
+        request.callbacks = []
+        request._defused = False
+        request._cancelled = False
+        request.resource = self
+        request._released = False
         if len(self.users) < self.capacity:
             self.users.append(request)
-            request.succeed(request)
+            request._ok = True
+            request._value = request
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _PRIORITY_BAND + eid, request))
         else:
+            request._ok = None
+            request._value = PENDING
             self.queue.append(request)
         return request
 
@@ -79,14 +106,21 @@ class Resource:
             except ValueError:
                 raise SimulationError("release of a request this resource never saw") from None
             return
+        env = self.env
         while self.queue and len(self.users) < self.capacity:
             waiter = self.queue.popleft()
             self.users.append(waiter)
-            waiter.succeed(waiter)
+            # Inline succeed(waiter): queued waiters are never triggered.
+            waiter._ok = True
+            waiter._value = waiter
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _PRIORITY_BAND + eid, waiter))
 
 
 class PriorityRequest(Request):
     """A resource request with a priority (lower value = served earlier)."""
+
+    __slots__ = ("priority",)
 
     def __init__(self, resource: "PriorityResource", priority: int):
         self.priority = priority
@@ -141,23 +175,47 @@ class Store:
         self._putters: deque[tuple[Event, Any]] = deque()
 
     def put(self, item: Any) -> Event:
-        """Deposit ``item``; fires immediately unless the store is full."""
-        event = Event(self.env)
+        """Deposit ``item``; fires immediately unless the store is full.
+
+        The event construction and immediate succeed are inlined, as in
+        :meth:`Resource.request`.
+        """
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
+        event._defused = False
+        event._cancelled = False
         if len(self.items) < self.capacity:
             self.items.append(item)
-            event.succeed()
+            event._ok = True
+            event._value = None
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _PRIORITY_BAND + eid, event))
             self._serve_getters()
         else:
+            event._ok = None
+            event._value = PENDING
             self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
         """Take the oldest item; fires when one is available."""
-        event = Event(self.env)
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
+        event._defused = False
+        event._cancelled = False
         if self.items:
-            event.succeed(self.items.popleft())
+            event._ok = True
+            event._value = self.items.popleft()
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _PRIORITY_BAND + eid, event))
             self._serve_putters()
         else:
+            event._ok = None
+            event._value = PENDING
             self._getters.append(event)
         return event
 
@@ -179,15 +237,24 @@ class Store:
         return event
 
     def _serve_getters(self) -> None:
+        env = self.env
         while self._getters and self.items:
             getter = self._getters.popleft()
-            getter.succeed(self.items.popleft())
+            # Inline succeed: queued getters are never triggered.
+            getter._ok = True
+            getter._value = self.items.popleft()
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _PRIORITY_BAND + eid, getter))
 
     def _serve_putters(self) -> None:
+        env = self.env
         while self._putters and len(self.items) < self.capacity:
             putter, item = self._putters.popleft()
             self.items.append(item)
-            putter.succeed()
+            putter._ok = True
+            putter._value = None
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (env._now, _PRIORITY_BAND + eid, putter))
             self._serve_getters()
 
     def __len__(self) -> int:

@@ -70,3 +70,64 @@ class TestMain:
         assert "Per-class SLA (edf+lru)" in out
         assert "interactive" in out
         assert f"wrote fleet KPI baseline to {out_path}" in out
+
+
+class TestEngineBenchCli:
+    def test_mode_and_scale_options(self):
+        args = build_parser().parse_args(
+            ["bench", "--mode", "engine", "--scale", "0.5",
+             "--bench-out", "out.json", "--check", "BENCH_engine.json"]
+        )
+        assert args.mode == "engine"
+        assert args.scale == 0.5
+        assert args.bench_out == "out.json"
+        assert args.check == "BENCH_engine.json"
+
+    def test_mode_defaults_to_sweep(self):
+        assert build_parser().parse_args(["bench"]).mode == "sweep"
+
+    def test_engine_bench_output(self, capsys, tmp_path):
+        out_path = str(tmp_path / "engine.json")
+        assert main(["bench", "--mode", "engine", "--repeats", "1",
+                     "--scale", "0.5", "--bench-out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "DES engine bench" in out
+        assert "microbench (gate)" in out
+        assert "dhlsim scenario" in out
+        assert f"wrote engine perf baseline to {out_path}" in out
+
+
+class TestReplicateCli:
+    def test_replicate_options(self):
+        args = build_parser().parse_args(
+            ["replicate", "--replications", "4", "--engine", "serial",
+             "--policy", "fcfs", "--cache", "none",
+             "--replicate-out", "rep.json"]
+        )
+        assert args.artefact == "replicate"
+        assert args.replications == 4
+        assert args.engine == "serial"
+        assert args.policy == "fcfs"
+        assert args.cache == "none"
+        assert args.replicate_out == "rep.json"
+
+    def test_replicate_defaults_to_both_engines(self):
+        args = build_parser().parse_args(["replicate"])
+        assert args.engine == "both"
+        assert args.replications == 8
+
+    def test_replicate_output_serial(self, capsys, tmp_path):
+        out_path = str(tmp_path / "rep.json")
+        assert main(["replicate", "--horizon", "600", "--replications", "2",
+                     "--engine", "serial", "--replicate-out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet Monte-Carlo" in out
+        assert "p99_s" in out
+        assert f"wrote replication report to {out_path}" in out
+
+    def test_replicate_both_engines_byte_identical(self, capsys, tmp_path):
+        out_path = str(tmp_path / "rep.json")
+        assert main(["replicate", "--horizon", "600", "--replications", "2",
+                     "--replicate-out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "serial and process reports are byte-identical" in out

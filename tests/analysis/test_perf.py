@@ -171,4 +171,28 @@ class TestBenchCli:
         assert args.repeats == 2
         assert args.workers == 4
         assert args.check == "BENCH_sweep.json"
-        assert args.bench_out == "BENCH_sweep.json"
+        # Default resolves per --mode (BENCH_sweep.json / BENCH_engine.json).
+        assert args.bench_out is None
+
+
+class TestSingleCoreSkip:
+    def test_process_engine_skipped_on_one_core(self, monkeypatch):
+        from repro.analysis import perf
+
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 1)
+        report = perf.run_bench(n_points=24, repeats=1)
+        # A process pool on one core measures noise, not speedup: the
+        # engine is skipped and the skip is recorded in the payload.
+        assert "process" not in {entry.engine for entry in report.timings}
+        assert dict(report.skipped) == {"process": "cpu_count == 1"}
+        assert perf.report_payload(report)["skipped"] == {
+            "process": "cpu_count == 1"
+        }
+
+    def test_explicit_workers_overrides_the_skip(self, monkeypatch):
+        from repro.analysis import perf
+
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 1)
+        report = perf.run_bench(n_points=24, repeats=1, workers=2)
+        assert "process" in {entry.engine for entry in report.timings}
+        assert report.skipped == ()

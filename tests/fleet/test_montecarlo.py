@@ -1,0 +1,86 @@
+"""Tests for the fleet Monte-Carlo replication layer."""
+
+import pytest
+
+from repro.fleet.bench import _kpis
+from repro.fleet.controlplane import default_scenario, run_fleet
+from repro.fleet.montecarlo import (
+    DEFAULT_REPLICATIONS,
+    montecarlo_payload,
+    replicate_fleet,
+    run_seeded,
+)
+from repro.sim.replicate import render_payload
+
+HORIZON = 600.0
+
+
+def short_scenario(**overrides):
+    defaults = dict(policy="edf", cache="lru", seed=0, horizon_s=HORIZON)
+    defaults.update(overrides)
+    return default_scenario(**defaults)
+
+
+class TestRunSeeded:
+    def test_matches_a_direct_fleet_run(self):
+        scenario = short_scenario()
+        kpis = run_seeded(scenario, seed=0)
+        direct = {name: float(value)
+                  for name, value in _kpis(run_fleet(scenario)).items()}
+        assert kpis == direct
+
+    def test_different_seeds_differ(self):
+        scenario = short_scenario()
+        assert run_seeded(scenario, 0) != run_seeded(scenario, 1)
+
+
+class TestReplicateFleet:
+    def test_merges_kpis_across_seeds(self):
+        scenario = short_scenario()
+        result = replicate_fleet(scenario, seeds=range(3))
+        assert result.seeds == (0, 1, 2)
+        names = {entry.name for entry in result.stats}
+        # The replicated metrics are exactly the fleet bench KPIs.
+        assert names == set(_kpis(run_fleet(scenario)))
+        p99 = result.stat("p99_s")
+        assert p99.n == 3
+        assert p99.minimum <= p99.mean <= p99.maximum
+
+    def test_default_seed_window_starts_at_scenario_seed(self):
+        scenario = short_scenario(seed=7)
+        result = replicate_fleet(scenario, seeds=range(7, 9))
+        assert result.seeds == (7, 8)
+        # The scenario's own seed is one of the replications, so the
+        # single-seed bench row is always covered.
+        single = run_seeded(scenario, 7)
+        assert result.per_seed[0] == single
+
+    def test_default_replication_count(self):
+        assert DEFAULT_REPLICATIONS >= 2
+
+
+class TestPayload:
+    def test_payload_carries_the_scenario_shape(self):
+        scenario = short_scenario()
+        result = replicate_fleet(scenario, seeds=range(2))
+        payload = montecarlo_payload(scenario, result)
+        assert payload["scenario"] == {
+            "policy": "edf",
+            "cache": "lru",
+            "horizon_s": HORIZON,
+            "n_tracks": scenario.spec.n_tracks,
+            "cart_pool": scenario.spec.cart_pool,
+            "base_seed": 0,
+        }
+        assert payload["n_replications"] == 2
+
+    @pytest.mark.slow
+    def test_serial_and_process_reports_byte_identical(self):
+        scenario = short_scenario()
+        seeds = range(4)
+        serial = replicate_fleet(scenario, seeds=seeds, engine="serial")
+        process = replicate_fleet(scenario, seeds=seeds, engine="process",
+                                  workers=2)
+        assert render_payload(
+            montecarlo_payload(scenario, serial)
+        ) == render_payload(montecarlo_payload(scenario, process))

@@ -561,3 +561,146 @@ class TestQueueDrainEdgeCases:
 
         env.process(worker())
         assert env.run(until=finish) == "done"
+
+
+class TestConditionValueAccumulation:
+    """The incremental ``Condition._values`` dict (O(1) per child)."""
+
+    def test_all_of_accumulates_every_child(self):
+        env = Environment()
+
+        def waiter():
+            timeouts = [env.timeout(t, value=f"v{t}") for t in (3, 1, 2)]
+            results = yield env.all_of(timeouts)
+            return [results[timeout] for timeout in timeouts]
+
+        # Keyed by child event, ordered by completion, looked up by
+        # construction order: the full mapping survives the accumulation.
+        assert env.run(until=env.process(waiter())) == ["v3", "v1", "v2"]
+
+    def test_any_of_value_holds_the_winner(self):
+        env = Environment()
+
+        def waiter():
+            winner = env.timeout(1, value="first")
+            results = yield env.any_of([env.timeout(5), winner, env.timeout(3)])
+            return results[winner]
+
+        assert env.run(until=env.process(waiter())) == "first"
+
+    def test_pre_fired_children_are_counted_at_construction(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        env.run()  # process `done` so it is already fired, not just triggered
+        assert done.processed
+
+        def waiter():
+            late = env.timeout(2, value="late")
+            results = yield env.all_of([done, late])
+            return (results[done], results[late])
+
+        assert env.run(until=env.process(waiter())) == ("early", "late")
+
+    def test_wide_any_of_counts_only_consumed_children(self):
+        # The dict accumulates as children are counted, so at fire time
+        # it holds exactly the children the condition consumed — the
+        # winner — not siblings that were merely scheduled for later.
+        env = Environment()
+
+        def waiter():
+            winner = env.timeout(1, value="won")
+            losers = [env.timeout(10 + t) for t in range(50)]
+            results = yield env.any_of([winner] + losers)
+            return dict(results)
+
+        values = env.run(until=env.process(waiter()))
+        assert list(values.values()) == ["won"]
+
+
+class TestCancelledDeadlines:
+    """run(until=<float>) with cancelled events around the deadline."""
+
+    def test_cancelled_head_does_not_advance_now_past_deadline(self):
+        env = Environment()
+        # A cancelled event *beyond* the deadline must not drag `now`
+        # there when the purge drops it, and the run must end exactly
+        # on the deadline.
+        env.timeout(7).cancel()
+        live = []
+
+        def worker():
+            yield env.timeout(1)
+            live.append(env.now)
+
+        env.process(worker())
+        env.run(until=3.0)
+        assert live == [1.0]
+        assert env.now == 3.0
+
+    def test_all_cancelled_queue_still_reaches_deadline(self):
+        env = Environment()
+        for delay in (1, 2, 3):
+            env.timeout(delay).cancel()
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_cancelled_event_exactly_at_deadline(self):
+        env = Environment()
+        env.timeout(2).cancel()
+        fired = []
+        keeper = env.timeout(2)
+        keeper.callbacks.append(lambda event: fired.append(env.now))
+        env.run(until=2.0)
+        assert fired == [2.0]
+        assert env.now == 2.0
+
+
+class TestAmortisedCancellation:
+    """Mass cancellation compacts the queue instead of popping N heads."""
+
+    def test_mass_cancellation_compacts_in_place(self):
+        env = Environment()
+        keepers = [env.timeout(float(t)) for t in range(1, 11)]
+        losers = [env.timeout(1000.0) for _ in range(200)]
+        queued_before = len(env._queue)
+        for loser in losers:
+            loser.cancel()
+        # Compaction ran inside cancel(): entries left the queue without
+        # a single pop, and the residual stays below the live count.
+        assert len(env._queue) < queued_before - len(losers) // 2
+        assert env.peek() == 1.0
+        fired = []
+        for keeper in keepers:
+            keeper.callbacks.append(lambda event: fired.append(env.now))
+        env.run()
+        assert fired == [float(t) for t in range(1, 11)]
+        assert env.now == 10.0
+
+    def test_compaction_preserves_fifo_within_timestamp(self):
+        env = Environment()
+        order = []
+
+        def worker(name):
+            yield env.timeout(5)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            env.process(worker(name))
+        for _ in range(150):
+            env.timeout(2.0).cancel()
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_small_cancel_counts_stay_lazy(self):
+        env = Environment()
+        keeper = env.timeout(3)
+        for _ in range(10):
+            env.timeout(1.0).cancel()
+        # Below the compaction threshold nothing is eagerly removed...
+        assert env._cancelled_pending == 10
+        # ...but the head purge still hides them from peek and the run.
+        assert env.peek() == 3.0
+        env.run()
+        assert env.now == 3.0
+        assert keeper.processed
