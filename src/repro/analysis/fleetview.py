@@ -1,16 +1,22 @@
-"""CLI tables for fleet runs: policy comparison and per-class SLA.
+"""CLI tables for fleet runs: policy comparison, SLA, chaos degradation.
 
 Rendered through the same :func:`repro.analysis.formatting.render_table`
-pipeline as the paper tables, so ``repro fleet`` output sits next to
-``repro table6`` output with identical formatting conventions.
+pipeline as the paper tables, so ``repro fleet`` and ``repro chaos``
+output sits next to ``repro table6`` output with identical formatting
+conventions.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..fleet.bench import FleetBenchReport
 from ..fleet.capacity import CapacityPlan
 from ..fleet.controlplane import FleetReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..chaos.bench import ChaosBenchReport
 
 
 def fleet_policy_table(
@@ -68,6 +74,69 @@ def fleet_sla_table(report: FleetReport) -> tuple[list[str], list[list[object]]]
             f"{class_sla.p99_s:.1f}",
             f"{class_sla.deadline_miss_rate:.1%}",
             f"{class_sla.goodput_bytes_per_s / 1e9:.1f}",
+        ])
+    return headers, rows
+
+
+def chaos_mode_table(
+    bench: "ChaosBenchReport",
+) -> tuple[list[str], list[list[object]]]:
+    """One row per chaos bench mode: the graceful-degradation headline."""
+    headers = [
+        "Mode",
+        "Jobs",
+        "Served",
+        "Failed",
+        "Failover",
+        "Shed",
+        "Diverted",
+        "Trips",
+        "p99 (s)",
+        "Miss rate",
+    ]
+    rows: list[list[object]] = []
+    for mode, report in bench.reports:
+        rows.append([
+            mode,
+            report.n_jobs,
+            report.served,
+            report.failed,
+            report.failovers,
+            report.shed,
+            report.diverted,
+            report.breaker_trips,
+            f"{report.p99_s:.1f}",
+            f"{report.deadline_miss_rate:.1%}",
+        ])
+    return headers, rows
+
+
+def lane_health_table(
+    report: FleetReport,
+) -> tuple[list[str], list[list[object]]]:
+    """Per-lane degradation report: breaker state and fault history."""
+    if not report.lane_health:
+        raise ConfigurationError(
+            "the fleet run had no degradation policy, so no lane health "
+            "was recorded"
+        )
+    headers = [
+        "Lane",
+        "Breaker",
+        "Trips",
+        "Fault windows",
+        "Serve failures",
+        "Diverted",
+    ]
+    rows: list[list[object]] = []
+    for summary in report.lane_health:
+        rows.append([
+            summary["lane"],
+            summary["state"],
+            summary["trips"],
+            summary["fault_windows"],
+            summary["serve_failures"],
+            summary["diverted"],
         ])
     return headers, rows
 

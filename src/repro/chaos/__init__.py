@@ -1,0 +1,79 @@
+"""Chaos engineering for the DHL fleet: declarative, replayable fault
+campaigns and the machinery that proves the fleet degrades gracefully
+under them.
+
+The paper's §III-D failure story ("RAID and backups can ameliorate the
+issue") stops at a single in-flight SSD; a datacentre-scale DHL also
+loses whole tracks, saturates its repair crews, browns out LIM power
+and drops rack-side cache nodes — often *together*, because failures in
+one pod are correlated.  This package turns those scenarios into data:
+
+* :mod:`repro.chaos.campaigns` — a :class:`ChaosCampaign` is a frozen,
+  picklable set of timed :class:`CampaignEvent`\\ s (pod-wide track
+  outages, brownout windows, correlated cart-batch failures, cache-node
+  loss) plus an optional background MTTF/MTTR cocktail and a bounded
+  repair-crew pool, all derived from one seed;
+* :mod:`repro.chaos.crew` — the :class:`RepairCrewPool` that serialises
+  repairs behind a finite maintenance workforce, FIFO;
+* :mod:`repro.chaos.runner` — schedules a campaign's events on the DES
+  clock against a fleet's per-track simulators, composing the existing
+  :mod:`repro.dhlsim.reliability` / :mod:`repro.dhlsim.faults`
+  injectors rather than reimplementing them;
+* :mod:`repro.chaos.bench` — the ``repro chaos`` artefact: the same
+  seeded campaign run fault-free, naively (no degradation) and
+  chaos-hardened (circuit breakers + cache rehoming), with the p99 and
+  deadline-miss gates committed to ``BENCH_chaos.json``.
+"""
+
+from .campaigns import (
+    BROWNOUT,
+    CACHE_NODE_LOSS,
+    CART_BATCH_FAILURE,
+    CHAOS_SHUTTLE_POLICY,
+    CampaignEvent,
+    ChaosCampaign,
+    EVENT_KINDS,
+    TRACK_OUTAGE,
+    default_campaign,
+)
+from .crew import RepairCrewPool
+from .runner import CampaignLog, CampaignRunner, install_campaign
+
+#: Bench re-exports resolve lazily: :mod:`repro.chaos.bench` imports the
+#: fleet control plane, which itself imports this package's campaign
+#: vocabulary, so an eager import here would be circular.
+_BENCH_EXPORTS = (
+    "ChaosBenchReport",
+    "P99_DEGRADATION_BOUND",
+    "chaos_scenario",
+    "run_chaos_bench",
+)
+
+
+def __getattr__(name: str):
+    if name in _BENCH_EXPORTS:
+        from . import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BROWNOUT",
+    "CACHE_NODE_LOSS",
+    "CART_BATCH_FAILURE",
+    "CHAOS_SHUTTLE_POLICY",
+    "CampaignEvent",
+    "CampaignLog",
+    "CampaignRunner",
+    "ChaosBenchReport",
+    "ChaosCampaign",
+    "EVENT_KINDS",
+    "P99_DEGRADATION_BOUND",
+    "RepairCrewPool",
+    "TRACK_OUTAGE",
+    "chaos_scenario",
+    "default_campaign",
+    "install_campaign",
+    "run_chaos_bench",
+]

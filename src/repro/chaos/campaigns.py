@@ -1,0 +1,203 @@
+"""Declarative fault campaigns: timed, correlated, seeded, replayable.
+
+A :class:`ChaosCampaign` is pure data — a tuple of
+:class:`CampaignEvent`\\ s plus an optional background MTTF/MTTR
+cocktail (:class:`~repro.dhlsim.reliability.ChaosSpec`) and a repair
+crew budget.  Because it is frozen and picklable it travels through the
+same process-pool sweeps as :class:`~repro.fleet.controlplane.
+FleetScenario`, and one ``(campaign, seed)`` pair always replays the
+identical fault schedule, bit for bit.
+
+Event kinds map one-to-one onto the paper's §III-D failure classes (see
+``docs/failure_modes.md`` for the cookbook):
+
+``track_outage``
+    vacuum breach / physical blockage: the tube rejects entries for
+    ``duration_s``.  ``track=None`` means *pod-wide* — every track in
+    the fleet fails together, the correlated case RAID-style redundancy
+    across tracks cannot hide.
+``brownout``
+    a power-limited window: LIM launches degrade by ``intensity``
+    (a slowdown factor >= 1) for ``duration_s``.
+``cart_batch_failure``
+    a correlated batch of in-flight SSD failures (shared vibration
+    spectrum, one bad firmware lot): every cart homed on the target
+    track rolls per-drive failures at probability ``intensity`` at
+    ``at_s``.
+``cache_node_loss``
+    the rack-side residency tracker dies: every docked cart on the
+    target lane(s) is flushed home and its pool capacity rehomed, the
+    cache restarts cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..dhlsim.policy import ShuttlePolicy
+from ..dhlsim.reliability import ChaosSpec
+
+#: The patient shuttle policy chaos runs hand to their rails.  The
+#: fail-fast default (:data:`~repro.dhlsim.policy.NO_RETRY`) surfaces
+#: raw track faults, which is right for unit studies but wrong under a
+#: campaign: transient stalls should be retried, and an outage past
+#: ``give_up_outage_s`` should degrade cleanly
+#: (:class:`~repro.errors.DegradedServiceError`) so Closes can park,
+#: wait and re-attempt instead of stranding carts.
+CHAOS_SHUTTLE_POLICY = ShuttlePolicy(
+    max_attempts=4,
+    base_backoff_s=5.0,
+    backoff_factor=2.0,
+    max_backoff_s=30.0,
+    give_up_outage_s=60.0,
+)
+
+TRACK_OUTAGE = "track_outage"
+BROWNOUT = "brownout"
+CART_BATCH_FAILURE = "cart_batch_failure"
+CACHE_NODE_LOSS = "cache_node_loss"
+
+EVENT_KINDS = (TRACK_OUTAGE, BROWNOUT, CART_BATCH_FAILURE, CACHE_NODE_LOSS)
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One scheduled fault: what breaks, when, for how long, how hard."""
+
+    kind: str
+    at_s: float
+    duration_s: float = 0.0
+    track: int | None = None
+    """Target track index; ``None`` targets every track (pod-wide)."""
+    endpoint_id: int | None = None
+    """For ``cache_node_loss``: target rack; ``None`` hits every rack
+    of the target track(s)."""
+    intensity: float = 0.0
+    """Kind-specific: LIM slowdown factor for ``brownout`` (>= 1),
+    per-drive failure probability for ``cart_batch_failure``."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown campaign event kind {self.kind!r}; "
+                f"expected one of {EVENT_KINDS}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError(f"at_s must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ConfigurationError(
+                f"duration_s must be >= 0, got {self.duration_s}"
+            )
+        if self.kind in (TRACK_OUTAGE, BROWNOUT) and self.duration_s <= 0:
+            raise ConfigurationError(
+                f"{self.kind} events need duration_s > 0"
+            )
+        if self.kind == BROWNOUT and self.intensity < 1.0:
+            raise ConfigurationError(
+                f"brownout intensity is a slowdown factor >= 1, "
+                f"got {self.intensity}"
+            )
+        if self.kind == CART_BATCH_FAILURE and not 0.0 < self.intensity <= 1.0:
+            raise ConfigurationError(
+                f"cart_batch_failure intensity is a per-drive probability "
+                f"in (0, 1], got {self.intensity}"
+            )
+
+    @property
+    def scope(self) -> str:
+        """Human-readable target for the campaign table."""
+        track = "pod" if self.track is None else f"t{self.track}"
+        if self.kind == CACHE_NODE_LOSS and self.endpoint_id is not None:
+            return f"{track}:r{self.endpoint_id}"
+        return track
+
+
+@dataclass(frozen=True)
+class ChaosCampaign:
+    """A complete fault schedule for one fleet run."""
+
+    name: str = "campaign"
+    events: tuple[CampaignEvent, ...] = ()
+    background: ChaosSpec | None = None
+    """Optional MTTF/MTTR cocktail installed on *every* track's
+    simulator (per-track seeds derived from ``seed``), composing the
+    PR-1 injectors with the scheduled events above."""
+    crews: int | None = None
+    """Repair crews shared by all MTTF/MTTR repairs; ``None`` keeps a
+    dedicated crew per fault class (the historical behaviour)."""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crews is not None and self.crews < 1:
+            raise ConfigurationError(f"crews must be >= 1, got {self.crews}")
+        if not self.events and self.background is None:
+            raise ConfigurationError(
+                "a campaign needs at least one event or a background spec"
+            )
+
+    @property
+    def ordered_events(self) -> tuple[CampaignEvent, ...]:
+        """Events in schedule order (stable for equal timestamps)."""
+        return tuple(sorted(self.events, key=lambda e: e.at_s))
+
+    def table(self) -> tuple[list[str], list[list[object]]]:
+        """The campaign schedule as a renderable table."""
+        headers = ["t (s)", "Event", "Target", "Duration (s)", "Intensity"]
+        rows: list[list[object]] = []
+        for event in self.ordered_events:
+            rows.append([
+                f"{event.at_s:.0f}",
+                event.kind,
+                event.scope,
+                f"{event.duration_s:.0f}" if event.duration_s else "-",
+                f"{event.intensity:g}" if event.intensity else "-",
+            ])
+        if self.background is not None:
+            spec = self.background
+            parts = []
+            if spec.track_mttf_s is not None:
+                parts.append(f"track mttf={spec.track_mttf_s:g}s")
+            if spec.stall_prob > 0:
+                parts.append(f"stalls p={spec.stall_prob:g}")
+            if spec.drive_failure_prob > 0:
+                parts.append(f"drives p={spec.drive_failure_prob:g}")
+            rows.append(["-", "background", "pod", "-", ", ".join(parts) or "-"])
+        if self.crews is not None:
+            rows.append(["-", "repair_crews", "pod", "-", str(self.crews)])
+        return headers, rows
+
+
+#: Events of the headline bench campaign (factored out so tests can
+#: build variants without re-deriving the schedule).
+def default_campaign(seed: int = 0) -> ChaosCampaign:
+    """The headline chaos campaign the ``repro chaos`` gate runs.
+
+    Designed against the default two-track fleet and one-hour horizon:
+
+    * a 900 s outage on track 0 starting at t=600 — long enough that a
+      naive fleet queues interactive traffic behind a dead tube for
+      minutes, while a breaker diverts it within a few failures;
+    * a cache-node loss on track 1's rack at t=1500, forcing residency
+      rehoming mid-storm;
+    * a pod-wide 300 s brownout (2x LIM slowdown) at t=2200;
+    * a correlated cart-batch failure (1 % per drive) on track 0 at
+      t=2700, exercising the RAID/integrity path of §III-D;
+    * background in-tube stalls plus a single shared repair crew.
+    """
+    return ChaosCampaign(
+        name="pod-storm",
+        events=(
+            CampaignEvent(TRACK_OUTAGE, at_s=600.0, duration_s=900.0, track=0),
+            CampaignEvent(CACHE_NODE_LOSS, at_s=1500.0, track=1),
+            CampaignEvent(BROWNOUT, at_s=2200.0, duration_s=300.0,
+                          intensity=2.0),
+            CampaignEvent(CART_BATCH_FAILURE, at_s=2700.0, track=0,
+                          intensity=0.01),
+        ),
+        background=ChaosSpec(stall_prob=0.02, stall_time_s=4.0,
+                             seed=seed + 100),
+        crews=1,
+        seed=seed,
+    )
+

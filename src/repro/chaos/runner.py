@@ -1,0 +1,232 @@
+"""Schedules a :class:`~repro.chaos.campaigns.ChaosCampaign` on the DES clock.
+
+The runner owns no fault physics of its own: scheduled outages flip the
+same :class:`~repro.dhlsim.track.TrackHealth` flags the PR-1 injectors
+use, brownouts call ``degrade_lim``/``restore_lim``, and correlated
+cart-batch failures roll drives through a context-managed
+:class:`~repro.dhlsim.faults.FaultInjector`.  Background MTTF/MTTR
+cocktails are installed verbatim via
+:func:`~repro.dhlsim.reliability.install_chaos`, sharing one
+:class:`~repro.chaos.crew.RepairCrewPool` with the scheduled repairs
+when the campaign bounds its crews.
+
+The runner is fleet-agnostic: it takes a list of per-track
+:class:`~repro.dhlsim.scheduler.DhlSystem`\\ s (what
+:class:`~repro.fleet.topology.FleetTopology` holds as ``systems``) and
+never imports the fleet layer, so a single-system chaos study and a
+datacentre-scale campaign use identical machinery.  Cache-node loss is
+delivered through :attr:`cache_loss_hooks` because residency lives in
+the control plane, not the physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..dhlsim.faults import FaultInjector
+from ..dhlsim.metrics import COUNT_PREFIX
+from ..dhlsim.reliability import ChaosInjectors, install_chaos
+from ..dhlsim.scheduler import DhlSystem
+from ..errors import ConfigurationError
+from ..sim import Environment, Interrupt
+from .campaigns import (
+    BROWNOUT,
+    CACHE_NODE_LOSS,
+    CART_BATCH_FAILURE,
+    CampaignEvent,
+    ChaosCampaign,
+    TRACK_OUTAGE,
+)
+from .crew import RepairCrewPool
+
+#: Signature of a cache-node-loss subscriber: ``(track_index, endpoint_id)``.
+CacheLossHook = Callable[[int, "int | None"], None]
+
+
+@dataclass
+class CampaignLog:
+    """What a campaign actually did, in virtual time."""
+
+    entries: list[tuple[float, str, str, str]] = field(default_factory=list)
+    """(time, kind, target, detail) rows in application order."""
+    outages_applied: int = 0
+    outages_absorbed: int = 0
+    """Scheduled outages that found their track already down."""
+    brownouts_applied: int = 0
+    drive_failures: int = 0
+    carts_lost: int = 0
+    cache_nodes_lost: int = 0
+
+    def record(self, now: float, kind: str, target: str, detail: str) -> None:
+        self.entries.append((now, kind, target, detail))
+
+    def table(self) -> tuple[list[str], list[list[object]]]:
+        headers = ["t (s)", "Event", "Target", "Detail"]
+        rows = [
+            [f"{now:.0f}", kind, target, detail]
+            for now, kind, target, detail in self.entries
+        ]
+        return headers, rows
+
+
+class CampaignRunner:
+    """Live campaign state: one process per scheduled fault."""
+
+    def __init__(
+        self,
+        env: Environment,
+        systems: Sequence[DhlSystem],
+        campaign: ChaosCampaign,
+    ):
+        if not systems:
+            raise ConfigurationError("a campaign needs at least one system")
+        self.env = env
+        self.systems = list(systems)
+        self.campaign = campaign
+        self.log = CampaignLog()
+        self.cache_loss_hooks: list[CacheLossHook] = []
+        self.crew = (
+            RepairCrewPool(env, crews=campaign.crews)
+            if campaign.crews is not None
+            else None
+        )
+        self.background: list[ChaosInjectors] = []
+        if campaign.background is not None:
+            for track_index, system in enumerate(self.systems):
+                spec = replace(
+                    campaign.background,
+                    seed=campaign.background.seed + 1000 * track_index,
+                )
+                self.background.append(install_chaos(system, spec, crew=self.crew))
+        self._stopped = False
+        self.processes = []
+        for event_index, event in enumerate(campaign.ordered_events):
+            for track_index in self._targets(event):
+                self.processes.append(
+                    env.process(self._drive(event, event_index, track_index))
+                )
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _targets(self, event: CampaignEvent) -> Sequence[int]:
+        if event.track is None:
+            return range(len(self.systems))
+        if not 0 <= event.track < len(self.systems):
+            raise ConfigurationError(
+                f"event targets track {event.track} but the fleet has "
+                f"{len(self.systems)} tracks"
+            )
+        return (event.track,)
+
+    def stop(self) -> None:
+        """Halt everything: scheduled events and background injectors."""
+        self._stopped = True
+        for process in self.processes:
+            # A process that never had its first resume cannot catch an
+            # Interrupt (it would raise at the generator header); those
+            # drivers notice ``_stopped`` when they do start and no-op.
+            if process.is_alive and process.started:
+                process.interrupt("campaign stopped")
+        for handles in self.background:
+            handles.stop()
+
+    # -- event drivers -----------------------------------------------------------
+
+    def _drive(self, event: CampaignEvent, event_index: int, track_index: int):
+        try:
+            yield self.env.timeout(event.at_s)
+            if self._stopped:
+                return
+            if event.kind == TRACK_OUTAGE:
+                yield from self._track_outage(event, track_index)
+            elif event.kind == BROWNOUT:
+                yield from self._brownout(event, track_index)
+            elif event.kind == CART_BATCH_FAILURE:
+                self._cart_batch_failure(event, event_index, track_index)
+            elif event.kind == CACHE_NODE_LOSS:
+                self._cache_node_loss(event, track_index)
+        except Interrupt:
+            pass  # stop() during a window; injected state was restored by stop
+
+    def _track_outage(self, event: CampaignEvent, track_index: int):
+        env = self.env
+        system = self.systems[track_index]
+        health = system.tracks[0].health
+        target = f"t{track_index}"
+        if not health.tube_available:
+            # A background breach beat us to it: the correlated fault is
+            # absorbed into the existing outage rather than double-failing.
+            self.log.outages_absorbed += 1
+            self.log.record(env.now, event.kind, target, "absorbed")
+            return
+        health.mark_down(env.now)
+        system.metrics.counter(COUNT_PREFIX + "track_outages").inc()
+        self.log.outages_applied += 1
+        self.log.record(env.now, event.kind, target, "tube down")
+        claim = None
+        try:
+            if self.crew is not None:
+                claim = self.crew.request(f"campaign:{target}")
+                yield claim
+            yield env.timeout(event.duration_s)
+        finally:
+            health.mark_up(env.now)
+            if claim is not None:
+                claim.release()
+            self.log.record(env.now, event.kind, target, "repaired")
+
+    def _brownout(self, event: CampaignEvent, track_index: int):
+        env = self.env
+        health = self.systems[track_index].tracks[0].health
+        target = f"t{track_index}"
+        if health.lim_slowdown != 1.0:
+            self.log.record(env.now, event.kind, target, "absorbed")
+            return
+        health.degrade_lim(event.intensity)
+        self.log.brownouts_applied += 1
+        self.log.record(env.now, event.kind, target,
+                        f"lim {event.intensity:g}x slower")
+        try:
+            yield env.timeout(event.duration_s)
+        finally:
+            health.restore_lim()
+            self.log.record(env.now, event.kind, target, "power restored")
+
+    def _cart_batch_failure(self, event: CampaignEvent, event_index: int,
+                            track_index: int) -> None:
+        system = self.systems[track_index]
+        target = f"t{track_index}"
+        seed = self.campaign.seed + 7919 * (event_index + 1) + track_index
+        with FaultInjector(
+            system,
+            per_drive_trip_failure_prob=event.intensity,
+            seed=seed,
+        ) as injector:
+            for cart in system.library.carts.values():
+                injector.inject(cart)
+        self.log.drive_failures += injector.injected_failures
+        self.log.carts_lost += injector.lost_carts
+        self.log.record(
+            self.env.now, event.kind, target,
+            f"{injector.injected_failures} drives failed, "
+            f"{injector.lost_carts} carts lost",
+        )
+
+    def _cache_node_loss(self, event: CampaignEvent, track_index: int) -> None:
+        target = f"t{track_index}" + (
+            f":r{event.endpoint_id}" if event.endpoint_id is not None else ""
+        )
+        self.log.cache_nodes_lost += 1
+        for hook in list(self.cache_loss_hooks):
+            hook(track_index, event.endpoint_id)
+        self.log.record(self.env.now, event.kind, target, "residency flushed")
+
+
+def install_campaign(
+    env: Environment,
+    systems: Sequence[DhlSystem],
+    campaign: ChaosCampaign,
+) -> CampaignRunner:
+    """Arm ``campaign`` against per-track ``systems``; returns the runner."""
+    return CampaignRunner(env, systems, campaign)

@@ -74,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench",
-                               "fleet", "replicate", "all"]
+                               "fleet", "chaos", "replicate", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -125,10 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("sweep", "engine"),
+        choices=("sweep", "engine", "chaos"),
         default="sweep",
         help="bench: 'sweep' times the design-space engines, 'engine' the "
-             "DES core against the frozen reference",
+             "DES core against the frozen reference, 'chaos' the "
+             "graceful-degradation gate (same as the chaos artefact)",
     )
     parser.add_argument(
         "--points",
@@ -186,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity",
         action="store_true",
         help="fleet: also run the capacity planner over the candidate grid",
+    )
+    parser.add_argument(
+        "--chaos-out",
+        default="BENCH_chaos.json",
+        help="chaos: output path for the chaos KPI baseline JSON",
     )
     parser.add_argument(
         "--replications",
@@ -320,7 +326,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 1
             print(f"no regression against {args.check}")
         return 0
-    if args.artefact == "bench":
+    if args.artefact == "bench" and args.mode == "sweep":
         # Lazy: the bench sweeps hundreds of design points.
         from .analysis import perf
 
@@ -340,6 +346,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             problems = perf.compare_to_baseline(
                 perf.report_payload(report), perf.load_baseline(args.check)
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "chaos" or (
+        args.artefact == "bench" and args.mode == "chaos"
+    ):
+        # Lazy: chaos runs drive the full fleet simulator three times.
+        from .analysis.fleetview import chaos_mode_table, lane_health_table
+        from .chaos import bench as chaos_bench
+
+        bench = chaos_bench.run_chaos_bench(
+            seed=args.seed, horizon_s=args.horizon
+        )
+        campaign = chaos_bench.default_campaign(seed=args.seed)
+        headers, rows = campaign.table()
+        print(render_table(
+            headers, rows,
+            title=f"Chaos campaign '{campaign.name}' (seed {args.seed})",
+        ))
+        print()
+        headers, rows = chaos_mode_table(bench)
+        print(render_table(
+            headers, rows,
+            title=f"Graceful degradation (seed {bench.seed}, "
+                  f"{bench.horizon_s:.0f} s horizon)",
+        ))
+        print()
+        headers, rows = lane_health_table(bench.report("hardened"))
+        print(render_table(headers, rows,
+                           title="Lane health after the storm (hardened)"))
+        path = chaos_bench.write_report(bench, args.chaos_out)
+        print(f"\nwrote chaos KPI baseline to {path}")
+        failed = [name for name, ok in bench.invariants.items() if not ok]
+        if failed:
+            print(f"FAIL: degradation invariants violated: {', '.join(failed)}")
+            return 1
+        if args.check:
+            problems = chaos_bench.compare_to_baseline(
+                chaos_bench.report_payload(bench),
+                chaos_bench.load_baseline(args.check),
             )
             if problems:
                 for problem in problems:

@@ -52,10 +52,30 @@ class FaultInjector:
         self._attached = True
 
     def detach(self) -> None:
-        """Stop injecting; idempotent, leaves other hooks untouched."""
+        """Stop injecting; idempotent, leaves other hooks untouched.
+
+        Safe even when the hook was already removed externally (a fuzzer
+        clearing ``pre_shuttle_hooks`` wholesale, a test tearing the
+        system down): a missing hook is treated as already detached
+        rather than surfacing ``ValueError`` from ``list.remove``.
+        """
         if self._attached:
-            self.system.pre_shuttle_hooks.remove(self._on_shuttle)
+            try:
+                self.system.pre_shuttle_hooks.remove(self._on_shuttle)
+            except ValueError:
+                pass  # removed behind our back; detaching is still done
             self._attached = False
+
+    def __enter__(self) -> "FaultInjector":
+        """Context-manager form: ``with FaultInjector(...) as inj``.
+
+        Guarantees the hook is detached on exit, so state machines and
+        fuzzers cannot leak attached injectors across examples.
+        """
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
 
     @property
     def attached(self) -> bool:

@@ -62,6 +62,12 @@ class RepairableInjector:
     distribution: str = "exponential"
     outages: int = 0
     downtime_s: float = 0.0
+    crew: object | None = None
+    """Optional :class:`repro.chaos.crew.RepairCrewPool`: when set, the
+    repair cannot start until a crew is free, so concurrent faults queue
+    FIFO behind a bounded maintenance workforce."""
+    crew_wait_s: float = 0.0
+    """Seconds this injector's faults spent waiting for a free crew."""
 
     #: Metrics duration category charged per repair (subclass class attr).
     _duration_category = None
@@ -80,11 +86,16 @@ class RepairableInjector:
                 f"expected one of {DISTRIBUTIONS}"
             )
         self._rng = np.random.default_rng(self.seed)
+        self._stopped = False
         self.process = self.system.env.process(self._run())
 
     def stop(self) -> None:
         """Halt the fault loop, repairing any outstanding fault first."""
-        if self.process.is_alive:
+        self._stopped = True
+        # A never-started generator cannot catch an Interrupt (the throw
+        # raises at the function header); such a loop instead notices
+        # ``_stopped`` at its first resume and exits cleanly.
+        if self.process.is_alive and self.process.started:
             self.process.interrupt("stop")
 
     def component(self, name: str) -> RepairableComponent:
@@ -101,17 +112,28 @@ class RepairableInjector:
         env = self.system.env
         tracer = self.system.tracer
         window = None
+        claim = None
         try:
-            while True:
+            while not self._stopped:
                 yield env.timeout(_sample(self._rng, self.mttf_s, self.distribution))
+                if self._stopped:
+                    return
                 if not self._can_fail():
                     continue  # another injector holds this component down
                 self._fail()
                 window = tracer.span(self._fault_span, track=self._fault_track())
                 self.outages += 1
+                if self.crew is not None:
+                    waiting_since = env.now
+                    claim = self.crew.request(self._fault_track())
+                    yield claim
+                    self.crew_wait_s += env.now - waiting_since
                 repair = _sample(self._rng, self.mttr_s, self.distribution)
                 yield env.timeout(repair)
                 self._repair()
+                if claim is not None:
+                    claim.release()
+                    claim = None
                 window.end()
                 window = None
                 self.downtime_s += repair
@@ -120,6 +142,8 @@ class RepairableInjector:
                         DURATION_PREFIX + self._duration_category
                     ).inc(repair)
         except Interrupt:
+            if claim is not None:
+                claim.release()
             if window is not None:
                 self._repair()
                 window.end(interrupted=True)
@@ -227,11 +251,19 @@ class DockOutageInjector(RepairableInjector):
         env = self.system.env
         tracer = self.system.tracer
         claim = None
+        crew_claim = None
         station = None
         window = None
         try:
-            while True:
+            while not self._stopped:
                 yield env.timeout(_sample(self._rng, self.mttf_s, self.distribution))
+                if self._stopped:
+                    return
+                if self.crew is not None:
+                    waiting_since = env.now
+                    crew_claim = self.crew.request(self._fault_track())
+                    yield crew_claim
+                    self.crew_wait_s += env.now - waiting_since
                 claim = self.rack.slots.request()
                 yield claim
                 station = next(
@@ -245,6 +277,9 @@ class DockOutageInjector(RepairableInjector):
                 if station is None:  # defensive: nothing sensible to break
                     claim.release()
                     claim = None
+                    if crew_claim is not None:
+                        crew_claim.release()
+                        crew_claim = None
                     continue
                 station.out_of_service = True
                 window = tracer.span(
@@ -258,6 +293,9 @@ class DockOutageInjector(RepairableInjector):
                 yield env.timeout(repair)
                 station.out_of_service = False
                 claim.release()
+                if crew_claim is not None:
+                    crew_claim.release()
+                    crew_claim = None
                 window.end()
                 claim = None
                 station = None
@@ -271,6 +309,8 @@ class DockOutageInjector(RepairableInjector):
                 station.out_of_service = False
             if claim is not None:
                 claim.release()
+            if crew_claim is not None:
+                crew_claim.release()
             if window is not None:
                 window.end(interrupted=True)
 
@@ -310,9 +350,19 @@ class CartStallInjector:
         self._attached = True
 
     def detach(self) -> None:
+        """Stop injecting; idempotent even if the hook was removed externally."""
         if self._attached:
-            self.system.pre_shuttle_hooks.remove(self._on_shuttle)
+            try:
+                self.system.pre_shuttle_hooks.remove(self._on_shuttle)
+            except ValueError:
+                pass  # removed behind our back; detaching is still done
             self._attached = False
+
+    def __enter__(self) -> "CartStallInjector":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
 
     def _on_shuttle(self, attempt: ShuttleAttempt) -> None:
         if float(self._rng.random()) < self.stall_prob:
@@ -393,8 +443,14 @@ class ChaosInjectors:
         return AvailabilityModel(components=tuple(components), overhead=overhead)
 
 
-def install_chaos(system: DhlSystem, spec: ChaosSpec) -> ChaosInjectors:
-    """Install a full fault cocktail on ``system``; returns the handles."""
+def install_chaos(system: DhlSystem, spec: ChaosSpec,
+                  crew: object | None = None) -> ChaosInjectors:
+    """Install a full fault cocktail on ``system``; returns the handles.
+
+    ``crew`` (a :class:`repro.chaos.crew.RepairCrewPool`) serialises the
+    MTTF/MTTR injectors' repairs behind a bounded workforce; ``None``
+    keeps the historical one-crew-per-fault-class behaviour.
+    """
     from .faults import FaultInjector
 
     handles = ChaosInjectors(spec=spec, system=system)
@@ -405,6 +461,7 @@ def install_chaos(system: DhlSystem, spec: ChaosSpec) -> ChaosInjectors:
             mttr_s=spec.track_mttr_s,
             seed=spec.seed,
             distribution=spec.distribution,
+            crew=crew,
         )
     if spec.lim_mttf_s is not None:
         handles.lim = LimDegradationInjector(
@@ -414,6 +471,7 @@ def install_chaos(system: DhlSystem, spec: ChaosSpec) -> ChaosInjectors:
             seed=spec.seed + 1,
             distribution=spec.distribution,
             slowdown=spec.lim_slowdown,
+            crew=crew,
         )
     if spec.dock_mttf_s is not None:
         handles.dock = DockOutageInjector(
@@ -422,6 +480,7 @@ def install_chaos(system: DhlSystem, spec: ChaosSpec) -> ChaosInjectors:
             mttr_s=spec.dock_mttr_s,
             seed=spec.seed + 2,
             distribution=spec.distribution,
+            crew=crew,
         )
     if spec.stall_prob > 0.0:
         handles.stall = CartStallInjector(

@@ -67,6 +67,10 @@ class TrackHealth:
     lim_slowdown: float = 1.0
     outages: int = 0
     downtime_s: float = 0.0
+    listeners: list = field(default_factory=list)
+    """Callbacks ``(available: bool, now: float)`` fired on every
+    down/up transition — how the fleet's lane health monitors observe
+    fault-to-repair windows without polling the DES clock."""
 
     def mark_down(self, now: float) -> None:
         if not self.tube_available:
@@ -74,12 +78,16 @@ class TrackHealth:
         self.tube_available = False
         self.down_since = now
         self.outages += 1
+        for listener in list(self.listeners):
+            listener(False, now)
 
     def mark_up(self, now: float) -> None:
         if self.tube_available:
             raise SchedulingError("track is not down")
         self.tube_available = True
         self.downtime_s += now - self.down_since
+        for listener in list(self.listeners):
+            listener(True, now)
 
     def outage_age(self, now: float) -> float:
         """Seconds the current outage has lasted (0 when the track is up)."""

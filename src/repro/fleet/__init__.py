@@ -36,6 +36,13 @@ from .controlplane import (
     default_scenario,
     run_fleet,
 )
+from .health import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    DegradationPolicy,
+    LaneHealthMonitor,
+    illegal_transitions,
+)
 from .montecarlo import (
     DEFAULT_REPLICATIONS,
     montecarlo_payload,
@@ -47,6 +54,7 @@ from .sla import (
     ClassSla,
     ClassTarget,
     JobRecord,
+    Outcome,
     SlaReport,
     SlaTracker,
 )
@@ -54,16 +62,19 @@ from .topology import DatasetCatalog, DatasetHome, FleetSpec, FleetTopology
 
 __all__ = [
     "AdmissionControl",
+    "BREAKER_STATES",
     "CacheConfig",
     "CacheEntry",
     "CandidateEvaluation",
     "CapacityPlan",
+    "CircuitBreaker",
     "ClassSla",
     "ClassTarget",
     "DEFAULT_REPLICATIONS",
     "DEFAULT_TARGET",
     "DatasetCatalog",
     "DatasetHome",
+    "DegradationPolicy",
     "EVICTION_POLICIES",
     "FLEET_MIX",
     "FLEET_TARGETS",
@@ -72,12 +83,15 @@ __all__ = [
     "FleetSpec",
     "FleetTopology",
     "JobRecord",
+    "LaneHealthMonitor",
+    "Outcome",
     "POLICIES",
     "RackCache",
     "SlaReport",
     "SlaRequirement",
     "SlaTracker",
     "default_scenario",
+    "illegal_transitions",
     "montecarlo_payload",
     "plan_capacity",
     "replicate_fleet",

@@ -95,6 +95,7 @@ class RackCache:
         self.misses = 0
         self.evictions = 0
         self.failed_fetches = 0
+        self.rehomed = 0
 
     # -- queries -----------------------------------------------------------------
 
@@ -174,6 +175,22 @@ class RackCache:
             )
         self.evictions += 1
         del self.entries[entry.dataset]
+
+    def rehome(self) -> list[CacheEntry]:
+        """Idle residents to migrate off this lane after a cache-node loss.
+
+        When the rack-side residency tracker dies, every idle docked
+        cart must shuttle home so its pool token and dataset lock return
+        to the fleet — otherwise the dead node silently leaks pool
+        capacity.  Returns the victims (counted as ``rehomed``); the
+        control plane drives the actual evictions, keeping this module
+        side-effect-free.  Busy entries (readers in flight) and
+        FETCHING entries stay: their owning workers already hold the
+        resources and will release them through the normal lifecycle.
+        """
+        victims = [entry for entry in self.entries.values() if entry.idle]
+        self.rehomed += len(victims)
+        return victims
 
     # -- victim selection --------------------------------------------------------
 

@@ -33,7 +33,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConfigurationError, DegradedServiceError, SchedulingError
+from ..chaos.campaigns import ChaosCampaign
+from ..chaos.runner import CampaignRunner, install_campaign
+from ..errors import ConfigurationError, DataIntegrityError, SchedulingError
 from ..network.routes import ROUTE_B
 from ..network.transfer import DEFAULT_LINK_GBPS, OpticalLink
 from ..obs import MetricsRegistry, Tracer
@@ -43,18 +45,21 @@ from ..units import TB, gbps
 from ..dhlsim.policy import FailoverPolicy
 from ..workloads.generator import TrafficClass, TransferJob, WorkloadGenerator
 from .cache import CacheConfig, FETCHING, RackCache, RESIDENT
+from .health import DegradationPolicy, LaneHealthMonitor
 from .sla import (
     DEFAULT_TARGET,
-    FAILED,
-    FAILOVER,
     ClassTarget,
     JobRecord,
-    SERVED,
-    SHED,
+    Outcome,
     SlaReport,
     SlaTracker,
 )
 from .topology import DatasetCatalog, FleetSpec, FleetTopology
+
+#: Seconds between retries of a Close that keeps failing: the cart has
+#: exactly one way home, so eviction and post-serve returns park at the
+#: rack and re-attempt until the repair crew restores the track.
+CLOSE_RETRY_S = 30.0
 
 POLICIES = ("fcfs", "sjf", "edf")
 
@@ -105,6 +110,12 @@ class FleetScenario:
     admission: AdmissionControl = field(default_factory=AdmissionControl)
     seed: int = 0
     horizon_s: float = 3600.0
+    chaos: ChaosCampaign | None = None
+    """Fault campaign armed against the fleet's rails; ``None`` keeps
+    the historical fault-free run, bit for bit."""
+    degradation: DegradationPolicy | None = None
+    """Graceful-degradation machinery (lane health monitors + circuit
+    breakers); ``None`` serves naively even under chaos."""
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -131,6 +142,8 @@ def default_scenario(
     spec: FleetSpec | None = None,
     catalog: DatasetCatalog | None = None,
     admission: AdmissionControl | None = None,
+    chaos: ChaosCampaign | None = None,
+    degradation: DegradationPolicy | None = None,
 ) -> FleetScenario:
     """The headline fleet scenario with a few common knobs exposed."""
     cache_config = CacheConfig(policy=cache) if isinstance(cache, str) else cache
@@ -142,6 +155,8 @@ def default_scenario(
         admission=admission if admission is not None else AdmissionControl(),
         seed=seed,
         horizon_s=horizon_s,
+        chaos=chaos,
+        degradation=degradation,
     )
 
 
@@ -229,6 +244,16 @@ class FleetReport:
     launch_energy_j: float
     failover_energy_j: float
     makespan_s: float
+    diverted: int = 0
+    """Jobs a tripped circuit breaker routed off their home lane."""
+    breaker_trips: int = 0
+    rehomed: int = 0
+    """Cache residents migrated home after cache-node losses."""
+    lane_health: tuple[dict, ...] = ()
+    """Per-lane :meth:`~repro.fleet.health.LaneHealthMonitor.summary`
+    rows (empty when the scenario had no degradation policy)."""
+    chaos_entries: tuple[tuple[float, str, str, str], ...] = ()
+    """The campaign log: (time, kind, target, detail) rows."""
 
     @property
     def hit_rate(self) -> float:
@@ -298,6 +323,39 @@ class ControlPlane:
         self._expected = 0
         self._evictions_in_flight = 0
         self.failover_energy_j = 0.0
+        # Degradation machinery: one health monitor + breaker per lane,
+        # fed by the track's fault-to-repair windows and serve outcomes.
+        # Absent a policy nothing is created, so the fault-free fleet is
+        # bit-identical to the pre-chaos control plane.
+        self.degradation = scenario.degradation
+        self.monitors: dict[tuple[int, int], LaneHealthMonitor] = {}
+        if self.degradation is not None:
+            for (track_index, endpoint_id), lane in self.lanes.items():
+                self.monitors[(track_index, endpoint_id)] = LaneHealthMonitor(
+                    lane.name,
+                    self.degradation,
+                    topology.systems[track_index].tracks[0].health,
+                    env,
+                )
+        self._campaign: CampaignRunner | None = None
+
+    # -- chaos wiring ------------------------------------------------------------
+
+    def attach_campaign(self, runner: CampaignRunner) -> None:
+        """Subscribe to a campaign: cache-node losses rehome residency."""
+        self._campaign = runner
+        runner.cache_loss_hooks.append(self._on_cache_node_loss)
+
+    def _on_cache_node_loss(self, track_index: int,
+                            endpoint_id: int | None) -> None:
+        for (lane_track, lane_endpoint), lane in self.lanes.items():
+            if lane_track != track_index or lane.cache is None:
+                continue
+            if endpoint_id is not None and lane_endpoint != endpoint_id:
+                continue
+            self.registry.counter("count.fleet.cache_node_losses").inc()
+            for entry in lane.cache.rehome():
+                self._start_eviction(lane, entry)
 
     # -- lane lookup -------------------------------------------------------------
 
@@ -307,28 +365,48 @@ class ControlPlane:
 
     # -- job intake --------------------------------------------------------------
 
-    def _arrivals(self, fjobs: list[_FleetJob]):
+    def submit(self, fjob: _FleetJob) -> None:
+        """Admit one job right now: queue it, shed it, or fail it over.
+
+        Factored out of the arrival process so the stateful fuzzer can
+        dispatch jobs at arbitrary virtual times through the exact
+        admission path production traffic takes.
+        """
         admission = self.scenario.admission
+        lane = self.lane_for(fjob.dataset)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "job.admit",
+                track=f"fleet:{lane.name}",
+                job=fjob.job.job_id,
+                kind=fjob.job.kind,
+                dataset=fjob.dataset,
+            )
+        if lane.queue.depth >= admission.max_queue_depth:
+            self.registry.counter("count.fleet.admission_rejections").inc()
+            if self._failover_streams is not None:
+                self.env.process(self._failover_job(fjob))
+            else:
+                self._finish(self._record(fjob, Outcome.SHED, completed_s=None))
+        else:
+            lane.queue.push(fjob)
+
+    def _arrivals(self, fjobs: list[_FleetJob]):
         for fjob in fjobs:
             if fjob.job.arrival_s > self.env.now:
                 yield self.env.timeout(fjob.job.arrival_s - self.env.now)
-            lane = self.lane_for(fjob.dataset)
-            if self.tracer is not None:
-                self.tracer.instant(
-                    "job.admit",
-                    track=f"fleet:{lane.name}",
-                    job=fjob.job.job_id,
-                    kind=fjob.job.kind,
-                    dataset=fjob.dataset,
-                )
-            if lane.queue.depth >= admission.max_queue_depth:
-                self.registry.counter("count.fleet.admission_rejections").inc()
-                if self._failover_streams is not None:
-                    self.env.process(self._failover_job(fjob))
-                else:
-                    self._finish(self._record(fjob, SHED, completed_s=None))
-            else:
-                lane.queue.push(fjob)
+            self.submit(fjob)
+
+    def _divert(self, fjob: _FleetJob) -> None:
+        """Route a job off a degraded lane per its SLA class."""
+        self.registry.counter("count.fleet.diverted").inc()
+        if (
+            self._failover_streams is None
+            or fjob.job.kind in self.degradation.shed_classes
+        ):
+            self._finish(self._record(fjob, Outcome.SHED, completed_s=None))
+        else:
+            self.env.process(self._failover_job(fjob))
 
     def _failover_job(self, fjob: _FleetJob):
         stream = self._failover_streams.request()
@@ -342,18 +420,33 @@ class ControlPlane:
             )
         finally:
             stream.release()
-        self._finish(self._record(fjob, FAILOVER, completed_s=self.env.now))
+        self._finish(self._record(fjob, Outcome.FAILOVER,
+                                  completed_s=self.env.now))
 
     # -- lane workers ------------------------------------------------------------
 
     def _worker(self, lane: _Lane):
+        monitor = self.monitors.get((lane.track_index, lane.endpoint_id))
         while True:
             fjob = yield from lane.queue.get()
+            if (
+                monitor is not None
+                and self.degradation.divert_queued
+                and not monitor.allow()
+            ):
+                monitor.record_diverted()
+                self._divert(fjob)
+                continue
             started = self.env.now
             if lane.cache is not None:
                 ok = yield from self._serve_cached(lane, fjob)
             else:
                 ok = yield from self._serve_plain(lane, fjob)
+            if monitor is not None:
+                if ok:
+                    monitor.record_success()
+                else:
+                    monitor.record_failure()
             completed = self.env.now
             if self.tracer is not None and ok:
                 self.tracer.span_at(
@@ -370,10 +463,27 @@ class ControlPlane:
             self._finish(
                 self._record(
                     fjob,
-                    SERVED if ok else FAILED,
+                    Outcome.SERVED if ok else Outcome.FAILED,
                     completed_s=completed if ok else None,
                 )
             )
+
+    def _close_robust(self, lane: _Lane, cart):
+        """Close with unbounded patience: the cart has one way home.
+
+        A failed Close leaves the cart parked at the rack (re-docked or
+        in the recovery bay); abandoning it would strand physical
+        capacity forever, so we re-attempt after a fixed beat until the
+        repair crew restores the track.  Fault-free this is a single
+        first-try Close, event for event.
+        """
+        while True:
+            try:
+                yield lane.api.close(cart, lane.endpoint_id)
+                return
+            except SchedulingError:
+                self.registry.counter("count.fleet.close_deferrals").inc()
+                yield self.env.timeout(CLOSE_RETRY_S)
 
     def _serve_plain(self, lane: _Lane, fjob: _FleetJob):
         """No cache: lock, borrow a cart, launch, read, return, repay."""
@@ -384,12 +494,18 @@ class ControlPlane:
         try:
             try:
                 station = yield lane.api.open(fjob.dataset, 0, lane.endpoint_id)
-            except (SchedulingError, DegradedServiceError):
+            except SchedulingError:
                 return False
-            yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
-                                n_bytes=fjob.read_bytes)
-            yield lane.api.close(station.cart, lane.endpoint_id)
-            return True
+            try:
+                yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
+                                    n_bytes=fjob.read_bytes)
+                ok = True
+            except (SchedulingError, DataIntegrityError):
+                # The read is lost (dead drives, degraded dock) but the
+                # cart is docked and must still go home.
+                ok = False
+            yield from self._close_robust(lane, station.cart)
+            return ok
         finally:
             token.release()
             lock.release()
@@ -412,12 +528,16 @@ class ControlPlane:
                         continue  # the fetch failed under us; retry
                 cache.acquire(entry)
                 try:
-                    yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
-                                        n_bytes=fjob.read_bytes)
+                    try:
+                        yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
+                                            n_bytes=fjob.read_bytes)
+                        ok = True
+                    except (SchedulingError, DataIntegrityError):
+                        ok = False
                 finally:
                     cache.release(entry)
                     self._balance_pool()
-                return True
+                return ok
             cache.record_miss()
             entry = cache.begin_fetch(fjob.dataset)
             if cache.residency > lane.stations:
@@ -436,7 +556,7 @@ class ControlPlane:
             yield token
             try:
                 station = yield lane.api.open(fjob.dataset, 0, lane.endpoint_id)
-            except (SchedulingError, DegradedServiceError):
+            except SchedulingError:
                 cache.fail_fetch(entry)
                 token.release()
                 lock.release()
@@ -444,12 +564,16 @@ class ControlPlane:
             cache.finish_fetch(entry, station, token, lock)
             cache.acquire(entry)
             try:
-                yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
-                                    n_bytes=fjob.read_bytes)
+                try:
+                    yield lane.api.read(lane.endpoint_id, fjob.dataset, 0,
+                                        n_bytes=fjob.read_bytes)
+                    ok = True
+                except (SchedulingError, DataIntegrityError):
+                    ok = False
             finally:
                 cache.release(entry)
                 self._balance_pool()
-            return True
+            return ok
         return False
 
     # -- cart-pool balancing -----------------------------------------------------
@@ -461,7 +585,7 @@ class ControlPlane:
 
     def _evict(self, lane: _Lane, entry):
         try:
-            yield lane.api.close(entry.station.cart, lane.endpoint_id)
+            yield from self._close_robust(lane, entry.station.cart)
         finally:
             self._evictions_in_flight -= 1
             entry.token.release()
@@ -529,15 +653,16 @@ class ControlPlane:
             lane.cache for lane in self.lanes.values() if lane.cache is not None
         ]
         completed = [r.completed_s for r in records if r.completed_s is not None]
+        monitors = tuple(self.monitors.values())
         return FleetReport(
             scenario=self.scenario,
             sla=self.sla.report(self.scenario.horizon_s),
             records=records,
             n_jobs=len(records),
-            served=sum(1 for r in records if r.outcome == SERVED),
-            shed=sum(1 for r in records if r.outcome == SHED),
-            failovers=sum(1 for r in records if r.outcome == FAILOVER),
-            failed=sum(1 for r in records if r.outcome == FAILED),
+            served=sum(1 for r in records if r.outcome == Outcome.SERVED),
+            shed=sum(1 for r in records if r.outcome == Outcome.SHED),
+            failovers=sum(1 for r in records if r.outcome == Outcome.FAILOVER),
+            failed=sum(1 for r in records if r.outcome == Outcome.FAILED),
             cache_hits=sum(cache.hits for cache in caches),
             cache_misses=sum(cache.misses for cache in caches),
             cache_evictions=sum(cache.evictions for cache in caches),
@@ -545,6 +670,15 @@ class ControlPlane:
             launch_energy_j=self.topology.total_launch_energy_j,
             failover_energy_j=self.failover_energy_j,
             makespan_s=max(completed) if completed else 0.0,
+            diverted=sum(monitor.diverted for monitor in monitors),
+            breaker_trips=sum(monitor.breaker.trips for monitor in monitors),
+            rehomed=sum(cache.rehomed for cache in caches),
+            lane_health=tuple(monitor.summary() for monitor in monitors),
+            chaos_entries=(
+                tuple(self._campaign.log.entries)
+                if self._campaign is not None
+                else ()
+            ),
         )
 
 
@@ -596,4 +730,8 @@ def run_fleet(scenario: FleetScenario,
     topology = FleetTopology(env, scenario.spec, scenario.catalog,
                              tracer=tracer)
     plane = ControlPlane(env, topology, scenario, tracer=tracer)
+    if scenario.chaos is not None:
+        plane.attach_campaign(
+            install_campaign(env, topology.systems, scenario.chaos)
+        )
     return plane.run(_bind_jobs(scenario, topology))

@@ -1,0 +1,287 @@
+"""Lane health monitoring and circuit breaking for the fleet control plane.
+
+The paper's reliability argument (§III-D) is that in-flight failures
+are survivable because the DHL API surfaces them and the rest of the
+datacentre routes around them.  This module is the fleet-side half of
+that story:
+
+* :class:`LaneHealthMonitor` — one per (track, rack) lane, fed by the
+  track's fault-to-repair windows (via
+  :attr:`~repro.dhlsim.track.TrackHealth.listeners`) and by serve
+  outcomes, so both *infrastructure* faults and *observed* failures
+  move the lane's health;
+* :class:`CircuitBreaker` — the classic three-state machine.  CLOSED
+  lanes serve normally; ``failure_threshold`` consecutive failures (or
+  a track-down window) trip the lane OPEN, diverting traffic to the
+  optical failover or shedding it per SLA class; after
+  ``reset_timeout_s`` the breaker goes HALF_OPEN and admits a bounded
+  number of probe jobs — success re-closes the lane, failure re-opens
+  it.
+
+Every transition is recorded with its virtual timestamp, and
+:func:`illegal_transitions` checks a transition log against the legal
+edge set — the invariant the stateful fuzzer asserts after every rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: The legal edges of the breaker state machine.
+LEGAL_TRANSITIONS = frozenset(
+    {
+        (CLOSED, OPEN),        # consecutive failures / track down: trip
+        (OPEN, HALF_OPEN),     # reset timeout elapsed: start probing
+        (HALF_OPEN, OPEN),     # probe failed: re-trip
+        (HALF_OPEN, CLOSED),   # probes succeeded: repaired
+    }
+)
+
+
+def illegal_transitions(
+    log: list[tuple[float, str, str]],
+) -> list[tuple[float, str, str]]:
+    """Entries of a breaker transition log outside the legal edge set.
+
+    Also flags non-monotone timestamps (a transition recorded earlier
+    than its predecessor), encoded as ``(time, "time", "backwards")``.
+    """
+    problems = []
+    last_time = float("-inf")
+    for when, src, dst in log:
+        if (src, dst) not in LEGAL_TRANSITIONS:
+            problems.append((when, src, dst))
+        if when < last_time:
+            problems.append((when, "time", "backwards"))
+        last_time = when
+    return problems
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """How a fleet degrades when a lane's circuit breaker trips.
+
+    Jobs arriving for (or queued at) an OPEN lane are *diverted*: sent
+    over the optical failover if the deployment has links and the job's
+    class is not listed in ``shed_classes``, shed otherwise.  Shedding
+    the cheapest SLA class first keeps failover streams free for the
+    traffic whose deadline actually needs them — the per-class
+    degradation ladder the paper's Fig. 6 energy/latency trade implies.
+    """
+
+    failure_threshold: int = 3
+    """Consecutive serve failures that trip a CLOSED breaker OPEN."""
+    reset_timeout_s: float = 180.0
+    """Seconds an OPEN breaker waits before admitting HALF_OPEN probes."""
+    half_open_probes: int = 1
+    """Probe jobs admitted while HALF_OPEN; successes re-close the lane."""
+    shed_classes: tuple[str, ...] = ("archive",)
+    """Traffic classes shed (not failed over) while a lane is degraded."""
+    divert_queued: bool = True
+    """Divert jobs already queued at a lane when its breaker trips."""
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.reset_timeout_s <= 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be > 0, got {self.reset_timeout_s}"
+            )
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+@dataclass
+class CircuitBreaker:
+    """Three-state breaker with an auditable transition log."""
+
+    policy: DegradationPolicy
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probes_in_flight: int = 0
+    probe_successes: int = 0
+    trips: int = 0
+    transitions: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def _move(self, now: float, dst: str) -> None:
+        self.transitions.append((now, self.state, dst))
+        self.state = dst
+
+    # -- inputs ------------------------------------------------------------------
+
+    def trip(self, now: float) -> None:
+        """Force the breaker OPEN (track-down window, cache-node loss)."""
+        if self.state == OPEN:
+            return
+        self._move(now, OPEN)
+        self.opened_at = now
+        self.trips += 1
+        self.probes_in_flight = 0
+        self.probe_successes = 0
+
+    def record_failure(self, now: float) -> None:
+        """One serve failure on this lane."""
+        self.consecutive_failures += 1
+        if self.state == CLOSED:
+            if self.consecutive_failures >= self.policy.failure_threshold:
+                self.trip(now)
+        elif self.state == HALF_OPEN:
+            # The probe failed: straight back to OPEN, timer restarted.
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self._move(now, OPEN)
+            self.opened_at = now
+            self.trips += 1
+            self.probe_successes = 0
+
+    def record_success(self, now: float) -> None:
+        """One successful serve on this lane."""
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self.probe_successes += 1
+            if self.probe_successes >= self.policy.half_open_probes:
+                self._move(now, CLOSED)
+                self.probe_successes = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a job be served on this lane right now?
+
+        OPEN breakers start probing once the reset timeout has elapsed;
+        the HALF_OPEN state admits at most ``half_open_probes`` jobs at
+        a time, each accounted as a probe until its outcome lands.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at >= self.policy.reset_timeout_s:
+                self._move(now, HALF_OPEN)
+                self.probes_in_flight = 1
+                return True
+            return False
+        # HALF_OPEN: bounded concurrent probes.
+        if self.probes_in_flight < self.policy.half_open_probes:
+            self.probes_in_flight += 1
+            return True
+        return False
+
+
+@dataclass
+class FaultWindow:
+    """One fault-to-repair window observed on a lane's track."""
+
+    started_s: float
+    ended_s: float | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.ended_s is None
+
+    def duration_s(self, now: float) -> float:
+        return (now if self.ended_s is None else self.ended_s) - self.started_s
+
+
+class LaneHealthMonitor:
+    """Health of one (track, rack) lane, fed by faults and outcomes.
+
+    Subscribes to the lane's :class:`~repro.dhlsim.track.TrackHealth`
+    transition listeners: a tube-down event opens a
+    :class:`FaultWindow` and trips the breaker immediately (no need to
+    burn ``failure_threshold`` jobs discovering a fault the
+    infrastructure already reported); the matching repair closes the
+    window and leaves the breaker to re-close through half-open
+    probing, exactly as a production mesh would.
+    """
+
+    def __init__(self, name: str, policy: DegradationPolicy, track_health,
+                 clock) -> None:
+        self.name = name
+        self.policy = policy
+        self.breaker = CircuitBreaker(policy)
+        self.windows: list[FaultWindow] = []
+        self.serve_failures = 0
+        self.serve_successes = 0
+        self.diverted = 0
+        self._clock = clock
+        self._track_health = track_health
+        track_health.listeners.append(self._on_track_transition)
+
+    # -- track-side feed ---------------------------------------------------------
+
+    def _on_track_transition(self, available: bool, now: float) -> None:
+        if not available:
+            self.windows.append(FaultWindow(started_s=now))
+            self.breaker.trip(now)
+        elif self.windows and self.windows[-1].open:
+            self.windows[-1].ended_s = now
+
+    def detach(self) -> None:
+        """Unsubscribe from the track (idempotent)."""
+        try:
+            self._track_health.listeners.remove(self._on_track_transition)
+        except ValueError:
+            pass
+
+    # -- serve-side feed ---------------------------------------------------------
+
+    def record_success(self) -> None:
+        self.serve_successes += 1
+        self.breaker.record_success(self._clock.now)
+
+    def record_failure(self) -> None:
+        self.serve_failures += 1
+        self.breaker.record_failure(self._clock.now)
+
+    def record_diverted(self) -> None:
+        self.diverted += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def track_up(self) -> bool:
+        return self._track_health.tube_available
+
+    def allow(self) -> bool:
+        """Should a job be served on (rather than diverted off) this lane?
+
+        A down tube never admits traffic — probing a lane whose track
+        is breached would just burn the probe budget on guaranteed
+        failures — so the breaker only starts half-open probing once
+        the repair crew has actually restored the track.
+        """
+        if not self.track_up:
+            return False
+        return self.breaker.allow(self._clock.now)
+
+    @property
+    def mttr_observed_s(self) -> float:
+        """Mean fault-to-repair window length seen so far (0 if none)."""
+        closed = [w for w in self.windows if not w.open]
+        if not closed:
+            return 0.0
+        return sum(w.duration_s(0.0) for w in closed) / len(closed)
+
+    def summary(self) -> dict[str, object]:
+        """One row of the degradation report."""
+        return {
+            "lane": self.name,
+            "state": self.breaker.state,
+            "trips": self.breaker.trips,
+            "fault_windows": len(self.windows),
+            "serve_failures": self.serve_failures,
+            "diverted": self.diverted,
+        }

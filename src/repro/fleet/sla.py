@@ -22,11 +22,38 @@ from ..errors import ConfigurationError
 from ..obs import MetricsRegistry
 from ..units import assert_positive
 
-#: Outcomes a job can end with.
-SERVED = "served"
-FAILOVER = "failover"
-SHED = "shed"
-FAILED = "failed"
+try:
+    from enum import StrEnum as _StrEnum
+except ImportError:  # pragma: no cover - Python 3.10 fallback
+    from enum import Enum
+
+    class _StrEnum(str, Enum):
+        __str__ = str.__str__
+        __format__ = str.__format__
+
+
+class Outcome(_StrEnum):
+    """Every way a fleet job can end.
+
+    A ``StrEnum`` rather than loose strings so the control plane, the
+    chaos degradation reports and the SLA accounting all spell outcomes
+    identically — a typo'd outcome is an ``AttributeError`` at the call
+    site, not a silently miscounted category.  Members compare and
+    serialise as their lowercase string values, so existing reports and
+    committed bench baselines are unaffected.
+    """
+
+    SERVED = "served"
+    FAILOVER = "failover"
+    SHED = "shed"
+    FAILED = "failed"
+
+
+#: Backwards-compatible aliases: module constants predate :class:`Outcome`.
+SERVED = Outcome.SERVED
+FAILOVER = Outcome.FAILOVER
+SHED = Outcome.SHED
+FAILED = Outcome.FAILED
 
 #: Histogram bounds for per-class latency (seconds).
 LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,

@@ -29,6 +29,7 @@ from ..sim.resources import Resource
 from ..storage.datasets import synthetic_dataset
 from ..units import TB, assert_positive
 from ..dhlsim.api import DhlApi
+from ..dhlsim.policy import NO_RETRY, ShuttlePolicy
 from ..dhlsim.scheduler import DhlSystem
 
 
@@ -45,6 +46,11 @@ class FleetSpec:
     progress on every rail at once."""
     library_slots: int = 128
     params: DhlParams = field(default_factory=DhlParams)
+    shuttle_policy: ShuttlePolicy = NO_RETRY
+    """Retry/timeout policy for every rail's shuttles.  The fail-fast
+    default reproduces the historical fleet exactly; chaos studies hand
+    in a patient policy with ``give_up_outage_s`` set so opens degrade
+    cleanly instead of surfacing raw track faults."""
 
     def __post_init__(self) -> None:
         if self.n_tracks <= 0 or self.racks_per_track <= 0:
@@ -158,6 +164,7 @@ class FleetTopology:
                 n_racks=spec.racks_per_track,
                 stations_per_rack=spec.stations_per_rack,
                 library_slots=spec.library_slots,
+                shuttle_policy=spec.shuttle_policy,
                 tracer=tracer,
             )
             self.systems.append(system)

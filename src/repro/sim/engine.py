@@ -47,6 +47,7 @@ parity tests and ``BENCH_engine.json`` gate compare against):
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
+from inspect import GEN_CREATED, getgeneratorstate
 from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable
 
@@ -248,6 +249,23 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         return self._value is PENDING
+
+    @property
+    def started(self) -> bool:
+        """Whether the generator has had its first resume.
+
+        Interrupting a process that never started throws into a fresh
+        generator, which (by Python generator semantics) raises at the
+        function header — *before* any ``try`` in the body — so the
+        Interrupt is unhandleable and crashes the run.  Callers tearing
+        down fleets of processes check this and leave unstarted ones to
+        a cooperative flag instead.
+        """
+        if self._value is not PENDING:
+            return True
+        if type(self._generator) is not GeneratorType:
+            return True  # delegating objects manage their own lifecycle
+        return getgeneratorstate(self._generator) != GEN_CREATED
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""

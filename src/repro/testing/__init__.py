@@ -1,0 +1,66 @@
+"""Reusable property-based testing machinery for the DHL repro.
+
+Everything here requires `hypothesis <https://hypothesis.works>`_ (an
+optional ``test`` extra); importing :mod:`repro.testing` without it
+raises a clear error instead of an obscure one mid-suite.
+
+* :mod:`repro.testing.strategies` — hypothesis strategies for the
+  repro's value types: physics parameters, dataset sizes, chaos specs,
+  fault campaigns, degradation policies and whole fleet scenarios.
+  Promoted out of the test tree so every suite (and downstream users)
+  draw from one vocabulary of "valid configuration".
+* :mod:`repro.testing.statemachine` — stateful fuzzing: a DHL API
+  machine issuing random Open/Close/Read/Write sequences and a fleet
+  machine issuing dispatch sequences, both optionally under an active
+  chaos campaign, with conservation/leak/ordering invariants checked
+  after every rule.  Each machine doubles as a plain object with
+  ``do_*`` methods plus a deterministic seeded :func:`random_walk`
+  driver, so CI can pin an exact >= 500-rule replay independent of
+  hypothesis' example scheduling.
+"""
+
+try:
+    import hypothesis  # noqa: F401
+except ImportError as exc:  # pragma: no cover - exercised only sans extra
+    raise ImportError(
+        "repro.testing requires the 'hypothesis' package; install the "
+        "project's [test] extra"
+    ) from exc
+
+from .statemachine import (
+    DhlApiMachine,
+    DhlApiStateMachine,
+    FleetDispatchMachine,
+    FleetStateMachine,
+    random_walk,
+)
+from .strategies import (
+    campaign_events,
+    chaos_campaigns,
+    chaos_specs,
+    degradation_policies,
+    dhl_params,
+    fleet_scenarios,
+    valid_lengths,
+    valid_sizes_pb,
+    valid_speeds,
+    valid_ssds,
+)
+
+__all__ = [
+    "DhlApiMachine",
+    "DhlApiStateMachine",
+    "FleetDispatchMachine",
+    "FleetStateMachine",
+    "campaign_events",
+    "chaos_campaigns",
+    "chaos_specs",
+    "degradation_policies",
+    "dhl_params",
+    "fleet_scenarios",
+    "random_walk",
+    "valid_lengths",
+    "valid_sizes_pb",
+    "valid_speeds",
+    "valid_ssds",
+]

@@ -1,0 +1,472 @@
+"""Stateful fuzzing of the DHL API and fleet control plane.
+
+Two machines, each usable three ways:
+
+* directly — ``do_*`` methods drive one operation to completion on the
+  DES clock and ``check()`` asserts the invariants;
+* through :func:`random_walk` — a seeded, deterministic driver that
+  issues a pinned number of random rules (CI's >= 500-rule gate replays
+  bit-identically);
+* through hypothesis — :class:`DhlApiStateMachine` and
+  :class:`FleetStateMachine` wrap them as
+  :class:`~hypothesis.stateful.RuleBasedStateMachine`\\ s, so shrinking
+  finds minimal failing operation sequences.
+
+Invariants checked after **every** rule:
+
+* virtual time is monotone;
+* no leaked resources: the scheduler's own audit
+  (:meth:`~repro.dhlsim.scheduler.DhlSystem.leaked_resources`) and the
+  trace-derived audit (:func:`~repro.obs.probe.trace_leaked_resources`)
+  both read zero on the quiescent system, and they agree;
+* cart conservation: every cart is in the library, docked, or in a
+  recovery bay — chaos never makes hardware vanish;
+* byte conservation: a Read returns exactly
+  ``min(requested, shard size)`` bytes;
+* span nesting: the trace's span tree never interleaves illegally;
+* breaker legality: every circuit-breaker transition is on the legal
+  edge set and timestamps never run backwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from ..chaos.campaigns import (
+    BROWNOUT,
+    CART_BATCH_FAILURE,
+    CHAOS_SHUTTLE_POLICY,
+    CampaignEvent,
+    ChaosCampaign,
+    TRACK_OUTAGE,
+    default_campaign,
+)
+from ..chaos.runner import CampaignRunner, install_campaign
+from ..dhlsim.api import DhlApi
+from ..dhlsim.reliability import ChaosSpec
+from ..dhlsim.scheduler import DhlSystem
+from ..errors import ReproError, SchedulingError
+from ..fleet.controlplane import ControlPlane, FleetScenario, _FleetJob, default_scenario
+from ..fleet.health import BREAKER_STATES, DegradationPolicy, illegal_transitions
+from ..fleet.sla import DEFAULT_TARGET, Outcome
+from ..fleet.topology import FleetSpec, FleetTopology
+from ..obs import TraceLevel, Tracer
+from ..obs.probe import trace_leaked_resources
+from ..obs.tracer import span_nesting_violations
+from ..sim import Environment
+from ..storage.datasets import synthetic_dataset
+from ..units import TB
+from ..workloads.generator import TransferJob
+
+
+def api_fuzz_campaign(seed: int = 0) -> ChaosCampaign:
+    """The default single-track campaign the API fuzzer runs under."""
+    return ChaosCampaign(
+        name="api-fuzz",
+        events=(
+            CampaignEvent(TRACK_OUTAGE, at_s=300.0, duration_s=60.0, track=0),
+            CampaignEvent(BROWNOUT, at_s=700.0, duration_s=120.0, intensity=2.0),
+            CampaignEvent(CART_BATCH_FAILURE, at_s=1100.0, track=0,
+                          intensity=0.003),
+        ),
+        background=ChaosSpec(
+            track_mttf_s=900.0,
+            track_mttr_s=45.0,
+            stall_prob=0.05,
+            stall_time_s=3.0,
+            stall_abort_prob=0.1,
+            drive_failure_prob=0.0005,
+            seed=seed + 7,
+        ),
+        crews=1,
+        seed=seed,
+    )
+
+
+class DhlApiMachine:
+    """Open/Close/Read/Write fuzzing against one chaos-ridden system.
+
+    Every ``do_*`` call drives its operation to completion (the DES
+    runs until the op's process fires), so the system is quiescent at
+    every ``check()`` — which is what makes the leak audits exact.
+    Operations are allowed to *fail* under chaos (that is the point);
+    they are never allowed to corrupt accounting.
+    """
+
+    def __init__(self, seed: int = 0,
+                 campaign: ChaosCampaign | None = None,
+                 n_datasets: int = 3):
+        self.env = Environment()
+        self.tracer = Tracer(level=TraceLevel.FULL)
+        # The patient policy matters: fail-fast NO_RETRY surfaces raw
+        # TrackFaultErrors that _persistent_close cannot wait out.
+        self.system = DhlSystem(self.env, n_racks=1, stations_per_rack=2,
+                                shuttle_policy=CHAOS_SHUTTLE_POLICY,
+                                tracer=self.tracer)
+        self.api = DhlApi(self.system)
+        self.datasets = [f"fuzz-{index}" for index in range(n_datasets)]
+        for name in self.datasets:
+            self.system.load_dataset(synthetic_dataset(2 * TB, name=name))
+        self.total_carts = len(self.system.library.carts)
+        self.campaign = campaign if campaign is not None else api_fuzz_campaign(seed)
+        self.runner: CampaignRunner = install_campaign(
+            self.env, [self.system], self.campaign
+        )
+        self.endpoint_id = next(iter(self.system.racks))
+        self.docked: dict[str, object] = {}
+        self.failures = 0
+        self.rules = 0
+        self.bytes_read = 0.0
+        self._last_now = self.env.now
+
+    # -- op helpers --------------------------------------------------------------
+
+    def _complete(self, event):
+        """Run the DES until ``event`` fires; a chaos failure is legal."""
+        try:
+            return True, self.env.run(until=event)
+        except ReproError:
+            self.failures += 1
+            return False, None
+
+    # -- rules -------------------------------------------------------------------
+
+    def do_open(self, index: int) -> None:
+        self.rules += 1
+        dataset = self.datasets[index % len(self.datasets)]
+        if dataset in self.docked:
+            return  # already at the rack; Open would double-dispatch
+        if len(self.docked) >= self.system.stations_per_rack:
+            # Every dock slot is held by a dataset we keep docked; a
+            # further Open would block on the slot until a Close this
+            # single-threaded machine will never issue concurrently.
+            return
+        ok, station = self._complete(
+            self.api.open(dataset, 0, self.endpoint_id)
+        )
+        if ok:
+            self.docked[dataset] = station
+
+    def do_read(self, index: int, fraction: float) -> None:
+        self.rules += 1
+        if not self.docked:
+            return
+        dataset = sorted(self.docked)[index % len(self.docked)]
+        station = self.docked[dataset]
+        shard = station.cart.shards[(dataset, 0)]
+        requested = max(1.0, fraction * 2.0 * shard.size_bytes)
+        ok, done = self._complete(
+            self.api.read(self.endpoint_id, dataset, 0, n_bytes=requested)
+        )
+        if ok:
+            expected = min(requested, shard.size_bytes)
+            assert done == expected, (
+                f"byte conservation: read returned {done}, "
+                f"expected {expected}"
+            )
+            self.bytes_read += done
+
+    def do_write(self, index: int, fraction: float) -> None:
+        self.rules += 1
+        if not self.docked:
+            return
+        dataset = sorted(self.docked)[index % len(self.docked)]
+        station = self.docked[dataset]
+        try:
+            event = self.api.write(station, max(1.0, fraction * TB))
+        except SchedulingError:  # Write validates the dock synchronously
+            self.failures += 1
+            return
+        self._complete(event)
+
+    def do_close(self, index: int) -> None:
+        self.rules += 1
+        if not self.docked:
+            return
+        dataset = sorted(self.docked)[index % len(self.docked)]
+        station = self.docked.pop(dataset)
+        # Persistent form: a cart mid-outage parks at the rack and
+        # re-attempts, so a Close always ends with the cart home.
+        ok, _ = self._complete(
+            self.env.process(
+                self.api._persistent_close(station.cart, self.endpoint_id)
+            )
+        )
+        assert ok, "persistent close must always land"
+
+    def do_advance(self, dt: float) -> None:
+        self.rules += 1
+        self.env.run(until=self.env.now + max(0.1, dt))
+
+    def step(self, rng: np.random.Generator) -> None:
+        """One random rule — the deterministic-walk driver's unit."""
+        choice = int(rng.integers(0, 5))
+        index = int(rng.integers(0, 8))
+        fraction = float(rng.random())
+        if choice == 0:
+            self.do_open(index)
+        elif choice == 1:
+            self.do_read(index, fraction)
+        elif choice == 2:
+            self.do_write(index, fraction)
+        elif choice == 3:
+            self.do_close(index)
+        else:
+            self.do_advance(fraction * 120.0)
+
+    # -- invariants --------------------------------------------------------------
+
+    def check(self) -> None:
+        now = self.env.now
+        assert now >= self._last_now, (
+            f"virtual time ran backwards: {now} < {self._last_now}"
+        )
+        self._last_now = now
+        violations = span_nesting_violations(self.tracer.spans)
+        assert not violations, f"span nesting violations: {violations[:3]}"
+        audit = self.system.leaked_resources()
+        assert all(count == 0 for count in audit.values()), (
+            f"scheduler leak audit: {audit}"
+        )
+        traced = trace_leaked_resources(self.tracer, self.system)
+        assert traced == audit, (
+            f"trace audit {traced} disagrees with scheduler audit {audit}"
+        )
+        in_library = len(self.system.library.carts)
+        docked = sum(
+            len(rack.docked_carts) for rack in self.system.racks.values()
+        )
+        stranded = sum(
+            len(rack.stranded) for rack in self.system.racks.values()
+        )
+        assert in_library + docked + stranded == self.total_carts, (
+            f"cart conservation: {in_library} in library + {docked} docked "
+            f"+ {stranded} stranded != {self.total_carts}"
+        )
+
+    def finish(self) -> None:
+        """Drain: close everything, stop the campaign, final check."""
+        for dataset in sorted(self.docked):
+            self.do_close(0)
+        self.runner.stop()
+        self.env.run(until=self.env.now + 1.0)
+        self.check()
+
+
+class FleetDispatchMachine:
+    """Fleet dispatch fuzzing: random jobs through the real admission,
+    queueing, breaker and failover paths, under an active campaign."""
+
+    KINDS = ("interactive", "batch", "archive")
+
+    def __init__(self, seed: int = 0, scenario: FleetScenario | None = None):
+        if scenario is None:
+            scenario = default_scenario(
+                policy="edf",
+                cache="lru",
+                seed=seed,
+                spec=FleetSpec(shuttle_policy=CHAOS_SHUTTLE_POLICY),
+                chaos=default_campaign(seed=seed),
+                degradation=DegradationPolicy(),
+            )
+        self.scenario = scenario
+        self.env = Environment()
+        self.topology = FleetTopology(self.env, scenario.spec, scenario.catalog)
+        self.plane = ControlPlane(self.env, self.topology, scenario)
+        if scenario.chaos is not None:
+            self.plane.attach_campaign(
+                install_campaign(self.env, self.topology.systems, scenario.chaos)
+            )
+        for lane in self.plane.lanes.values():
+            for _ in range(lane.stations):
+                self.env.process(self.plane._worker(lane))
+        self.targets = dict(scenario.targets)
+        self.datasets = list(self.topology.homes)
+        self.submitted = 0
+        self.rules = 0
+        self._next_job_id = 0
+        self._last_now = self.env.now
+
+    # -- rules -------------------------------------------------------------------
+
+    def do_dispatch(self, kind_index: int, dataset_index: int,
+                    size_fraction: float) -> None:
+        self.rules += 1
+        kind = self.KINDS[kind_index % len(self.KINDS)]
+        dataset = self.datasets[dataset_index % len(self.datasets)]
+        home = self.topology.home(dataset)
+        target = self.targets.get(kind, DEFAULT_TARGET)
+        size = max(1.0, size_fraction * 8 * TB)
+        job = TransferJob(self._next_job_id, self.env.now, size, kind)
+        self._next_job_id += 1
+        self.plane.submit(
+            _FleetJob(
+                job=job,
+                dataset=dataset,
+                read_bytes=min(size, home.size_bytes),
+                deadline_at=self.env.now + target.deadline_s,
+                priority=target.priority,
+            )
+        )
+        self.submitted += 1
+
+    def do_advance(self, dt: float) -> None:
+        self.rules += 1
+        self.env.run(until=self.env.now + max(0.1, dt))
+
+    def step(self, rng: np.random.Generator) -> None:
+        if rng.random() < 0.6:
+            self.do_dispatch(
+                int(rng.integers(0, 3)),
+                int(rng.integers(0, len(self.datasets))),
+                float(rng.random()),
+            )
+        else:
+            self.do_advance(float(rng.random()) * 90.0)
+
+    # -- invariants --------------------------------------------------------------
+
+    def check(self) -> None:
+        now = self.env.now
+        assert now >= self._last_now, (
+            f"virtual time ran backwards: {now} < {self._last_now}"
+        )
+        self._last_now = now
+        for monitor in self.plane.monitors.values():
+            bad = illegal_transitions(monitor.breaker.transitions)
+            assert not bad, f"illegal breaker transitions on {monitor.name}: {bad}"
+            assert monitor.breaker.state in BREAKER_STATES
+            assert (
+                0
+                <= monitor.breaker.probes_in_flight
+                <= monitor.policy.half_open_probes
+            ), (
+                f"probe accounting on {monitor.name}: "
+                f"{monitor.breaker.probes_in_flight} probes in flight"
+            )
+        outcomes = self.plane._outcomes
+        assert len(outcomes) <= self.submitted, (
+            f"{len(outcomes)} outcomes for {self.submitted} submitted jobs"
+        )
+        legal = {Outcome.SERVED, Outcome.FAILOVER, Outcome.SHED, Outcome.FAILED}
+        for record in outcomes:
+            assert record.outcome in legal, f"unknown outcome {record.outcome!r}"
+
+    def finish(self, drain_step_s: float = 300.0, max_steps: int = 400) -> None:
+        """Drain every submitted job, then audit conservation end-to-end."""
+        steps = 0
+        while len(self.plane._outcomes) < self.submitted:
+            self.env.run(until=self.env.now + drain_step_s)
+            self.check()
+            steps += 1
+            assert steps < max_steps, (
+                f"fleet failed to drain: {len(self.plane._outcomes)} of "
+                f"{self.submitted} jobs resolved after {steps} steps"
+            )
+        if self.plane._campaign is not None:
+            self.plane._campaign.stop()
+        # Let in-flight evictions land so pool accounting is exact.
+        self.env.run(until=self.env.now + 3600.0)
+        self.check()
+        seen = [record.job_id for record in self.plane._outcomes]
+        assert len(seen) == len(set(seen)) == self.submitted, (
+            "every submitted job must resolve exactly once"
+        )
+        # Cart-pool conservation: each held token is a resident (or
+        # still-fetching) cache entry; nothing else may hold one.
+        resident = sum(
+            len(lane.cache.entries)
+            for lane in self.plane.lanes.values()
+            if lane.cache is not None
+        )
+        held = self.topology.cart_pool.count
+        assert held == resident, (
+            f"cart-pool tokens held ({held}) != cache residency ({resident})"
+        )
+        for system in self.topology.systems:
+            audit = system.leaked_resources()
+            # Docked cache residents legitimately hold their dock slots;
+            # the audit already nets docked carts out, so zero it is.
+            assert all(count == 0 for count in audit.values()), (
+                f"fleet leak audit: {audit}"
+            )
+
+
+def random_walk(machine, n_rules: int = 500, seed: int = 0):
+    """Drive ``machine`` through ``n_rules`` seeded random rules.
+
+    Deterministic: the same (machine config, n_rules, seed) triple
+    replays the identical rule sequence and virtual-time trajectory.
+    Invariants are checked after every rule; ``finish()`` runs the
+    drain-and-audit teardown.  Returns the machine for inspection.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(n_rules):
+        machine.step(rng)
+        machine.check()
+    machine.finish()
+    return machine
+
+
+class DhlApiStateMachine(RuleBasedStateMachine):
+    """Hypothesis wrapper: shrinkable Open/Close/Read/Write sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = DhlApiMachine(seed=0)
+
+    @rule(index=st.integers(min_value=0, max_value=7))
+    def open(self, index):
+        self.machine.do_open(index)
+
+    @rule(index=st.integers(min_value=0, max_value=7),
+          fraction=st.floats(min_value=0.0, max_value=1.0))
+    def read(self, index, fraction):
+        self.machine.do_read(index, fraction)
+
+    @rule(index=st.integers(min_value=0, max_value=7),
+          fraction=st.floats(min_value=0.0, max_value=1.0))
+    def write(self, index, fraction):
+        self.machine.do_write(index, fraction)
+
+    @rule(index=st.integers(min_value=0, max_value=7))
+    def close(self, index):
+        self.machine.do_close(index)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=120.0))
+    def advance(self, dt):
+        self.machine.do_advance(dt)
+
+    @invariant()
+    def invariants_hold(self):
+        self.machine.check()
+
+    def teardown(self):
+        self.machine.finish()
+
+
+class FleetStateMachine(RuleBasedStateMachine):
+    """Hypothesis wrapper: shrinkable fleet dispatch sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = FleetDispatchMachine(seed=0)
+
+    @rule(kind=st.integers(min_value=0, max_value=2),
+          dataset=st.integers(min_value=0, max_value=11),
+          size=st.floats(min_value=0.0, max_value=1.0))
+    def dispatch(self, kind, dataset, size):
+        self.machine.do_dispatch(kind, dataset, size)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=90.0))
+    def advance(self, dt):
+        self.machine.do_advance(dt)
+
+    @invariant()
+    def invariants_hold(self):
+        self.machine.check()
+
+    def teardown(self):
+        self.machine.finish()

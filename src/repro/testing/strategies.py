@@ -1,0 +1,167 @@
+"""Hypothesis strategies for the repro's value types.
+
+One vocabulary of "valid configuration", shared by the property suites
+and the stateful fuzzer.  Ranges mirror the validation bounds of the
+underlying dataclasses: everything drawn here constructs without a
+:class:`~repro.errors.ConfigurationError`, so shrinking explores the
+behaviour space rather than the input-validation space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from ..chaos.campaigns import (
+    BROWNOUT,
+    CACHE_NODE_LOSS,
+    CART_BATCH_FAILURE,
+    CampaignEvent,
+    ChaosCampaign,
+    TRACK_OUTAGE,
+)
+from ..core.params import DhlParams
+from ..dhlsim.reliability import ChaosSpec
+from ..fleet.cache import CacheConfig
+from ..fleet.controlplane import POLICIES, FleetScenario
+from ..fleet.health import DegradationPolicy
+
+#: Physically sensible operating ranges (paper Figs. 3-5 sweep inside them).
+valid_speeds = st.floats(min_value=5.0, max_value=400.0)
+valid_lengths = st.floats(min_value=5.0, max_value=5000.0)
+valid_ssds = st.integers(min_value=1, max_value=128)
+valid_sizes_pb = st.floats(min_value=0.01, max_value=200.0)
+
+
+@st.composite
+def dhl_params(draw) -> DhlParams:
+    """A valid :class:`~repro.core.params.DhlParams` design point."""
+    return DhlParams(
+        max_speed=draw(valid_speeds),
+        track_length=draw(valid_lengths),
+        ssds_per_cart=draw(valid_ssds),
+    )
+
+
+@st.composite
+def chaos_specs(draw) -> ChaosSpec:
+    """A background fault cocktail with bounded, always-repairable faults.
+
+    MTTFs are kept comfortably above MTTRs so a fuzzed system spends
+    most of its time healthy — the interesting interleavings come from
+    faults landing *during* operations, not from a permanently dead rig.
+    """
+    maybe_mttf = st.one_of(st.none(), st.floats(min_value=200.0, max_value=5000.0))
+    return ChaosSpec(
+        track_mttf_s=draw(maybe_mttf),
+        track_mttr_s=draw(st.floats(min_value=1.0, max_value=120.0)),
+        lim_mttf_s=draw(maybe_mttf),
+        lim_mttr_s=draw(st.floats(min_value=1.0, max_value=120.0)),
+        lim_slowdown=draw(st.floats(min_value=1.0, max_value=8.0)),
+        dock_mttf_s=draw(maybe_mttf),
+        dock_mttr_s=draw(st.floats(min_value=1.0, max_value=120.0)),
+        stall_prob=draw(st.floats(min_value=0.0, max_value=0.3)),
+        stall_time_s=draw(st.floats(min_value=0.0, max_value=30.0)),
+        stall_abort_prob=draw(st.floats(min_value=0.0, max_value=0.3)),
+        drive_failure_prob=draw(st.floats(min_value=0.0, max_value=0.01)),
+        distribution=draw(st.sampled_from(("exponential", "fixed"))),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+@st.composite
+def campaign_events(draw, n_tracks: int = 2, horizon_s: float = 3600.0) -> CampaignEvent:
+    """One valid scheduled fault within ``horizon_s``."""
+    kind = draw(
+        st.sampled_from(
+            (TRACK_OUTAGE, BROWNOUT, CART_BATCH_FAILURE, CACHE_NODE_LOSS)
+        )
+    )
+    track = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=n_tracks - 1))
+    )
+    at_s = draw(st.floats(min_value=0.0, max_value=horizon_s * 0.8))
+    if kind in (TRACK_OUTAGE, BROWNOUT):
+        duration_s = draw(st.floats(min_value=10.0, max_value=horizon_s / 4))
+    else:
+        duration_s = 0.0
+    if kind == BROWNOUT:
+        intensity = draw(st.floats(min_value=1.0, max_value=8.0))
+    elif kind == CART_BATCH_FAILURE:
+        intensity = draw(st.floats(min_value=1e-4, max_value=0.05))
+    else:
+        intensity = 0.0
+    return CampaignEvent(
+        kind=kind,
+        at_s=at_s,
+        duration_s=duration_s,
+        track=track,
+        intensity=intensity,
+    )
+
+
+@st.composite
+def chaos_campaigns(draw, n_tracks: int = 2, horizon_s: float = 3600.0) -> ChaosCampaign:
+    """A valid campaign: 1-5 scheduled events, optional background, crews."""
+    events = tuple(
+        draw(
+            st.lists(
+                campaign_events(n_tracks=n_tracks, horizon_s=horizon_s),
+                min_size=1,
+                max_size=5,
+            )
+        )
+    )
+    background = draw(st.one_of(st.none(), chaos_specs()))
+    return ChaosCampaign(
+        name="fuzzed",
+        events=events,
+        background=background,
+        crews=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=3))),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+@st.composite
+def degradation_policies(draw) -> DegradationPolicy:
+    """A valid breaker/shedding configuration."""
+    return DegradationPolicy(
+        failure_threshold=draw(st.integers(min_value=1, max_value=10)),
+        reset_timeout_s=draw(st.floats(min_value=10.0, max_value=600.0)),
+        half_open_probes=draw(st.integers(min_value=1, max_value=4)),
+        shed_classes=draw(
+            st.sampled_from(((), ("archive",), ("archive", "batch")))
+        ),
+        divert_queued=draw(st.booleans()),
+    )
+
+
+@st.composite
+def fleet_scenarios(draw, with_chaos: bool = False) -> FleetScenario:
+    """A valid (small-horizon) fleet scenario for end-to-end properties."""
+    cache = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                CacheConfig,
+                policy=st.sampled_from(("lru", "lfu", "ttl")),
+                ttl_s=st.floats(min_value=60.0, max_value=1200.0),
+            ),
+        )
+    )
+    horizon_s = draw(st.floats(min_value=600.0, max_value=1800.0))
+    chaos = (
+        draw(st.one_of(st.none(), chaos_campaigns(horizon_s=horizon_s)))
+        if with_chaos
+        else None
+    )
+    degradation = (
+        draw(st.one_of(st.none(), degradation_policies())) if with_chaos else None
+    )
+    return FleetScenario(
+        policy=draw(st.sampled_from(POLICIES)),
+        cache=cache,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        horizon_s=horizon_s,
+        chaos=chaos,
+        degradation=degradation,
+    )

@@ -1,0 +1,131 @@
+"""Tests for the declarative campaign vocabulary (pure data, no DES)."""
+
+import pickle
+
+import pytest
+
+from repro.chaos.campaigns import (
+    BROWNOUT,
+    CACHE_NODE_LOSS,
+    CART_BATCH_FAILURE,
+    CHAOS_SHUTTLE_POLICY,
+    CampaignEvent,
+    ChaosCampaign,
+    EVENT_KINDS,
+    TRACK_OUTAGE,
+    default_campaign,
+)
+from repro.dhlsim.policy import NO_RETRY
+from repro.dhlsim.reliability import ChaosSpec
+from repro.errors import ConfigurationError
+
+
+class TestCampaignEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown campaign event"):
+            CampaignEvent("meteor_strike", at_s=0.0)
+
+    def test_rejects_negative_schedule(self):
+        with pytest.raises(ConfigurationError, match="at_s"):
+            CampaignEvent(TRACK_OUTAGE, at_s=-1.0, duration_s=10.0)
+        with pytest.raises(ConfigurationError, match="duration_s"):
+            CampaignEvent(TRACK_OUTAGE, at_s=0.0, duration_s=-1.0)
+
+    def test_windowed_kinds_need_a_duration(self):
+        for kind in (TRACK_OUTAGE, BROWNOUT):
+            with pytest.raises(ConfigurationError, match="duration_s > 0"):
+                CampaignEvent(
+                    kind, at_s=0.0, duration_s=0.0,
+                    intensity=2.0 if kind == BROWNOUT else 0.0,
+                )
+
+    def test_brownout_intensity_is_a_slowdown(self):
+        with pytest.raises(ConfigurationError, match="slowdown factor"):
+            CampaignEvent(BROWNOUT, at_s=0.0, duration_s=10.0, intensity=0.5)
+
+    def test_cart_batch_intensity_is_a_probability(self):
+        for bad in (0.0, 1.5):
+            with pytest.raises(ConfigurationError, match="probability"):
+                CampaignEvent(CART_BATCH_FAILURE, at_s=0.0, intensity=bad)
+
+    def test_scope_labels(self):
+        assert CampaignEvent(
+            TRACK_OUTAGE, at_s=0.0, duration_s=1.0
+        ).scope == "pod"
+        assert CampaignEvent(
+            TRACK_OUTAGE, at_s=0.0, duration_s=1.0, track=2
+        ).scope == "t2"
+        assert CampaignEvent(
+            CACHE_NODE_LOSS, at_s=0.0, track=1, endpoint_id=3
+        ).scope == "t1:r3"
+
+    def test_every_kind_is_constructible(self):
+        assert set(EVENT_KINDS) == {
+            TRACK_OUTAGE, BROWNOUT, CART_BATCH_FAILURE, CACHE_NODE_LOSS,
+        }
+
+
+class TestChaosCampaign:
+    def test_rejects_empty_campaign(self):
+        with pytest.raises(ConfigurationError, match="at least one event"):
+            ChaosCampaign(name="nothing")
+
+    def test_background_only_is_a_valid_campaign(self):
+        campaign = ChaosCampaign(background=ChaosSpec(stall_prob=0.1))
+        assert campaign.events == ()
+
+    def test_rejects_crewless_pool(self):
+        with pytest.raises(ConfigurationError, match="crews"):
+            ChaosCampaign(
+                events=(CampaignEvent(CACHE_NODE_LOSS, at_s=0.0),), crews=0
+            )
+
+    def test_ordered_events_sorts_by_schedule(self):
+        late = CampaignEvent(TRACK_OUTAGE, at_s=50.0, duration_s=1.0)
+        early = CampaignEvent(BROWNOUT, at_s=10.0, duration_s=1.0,
+                              intensity=2.0)
+        campaign = ChaosCampaign(events=(late, early))
+        assert campaign.ordered_events == (early, late)
+
+    def test_ordering_is_stable_for_simultaneous_events(self):
+        first = CampaignEvent(TRACK_OUTAGE, at_s=10.0, duration_s=1.0, track=0)
+        second = CampaignEvent(TRACK_OUTAGE, at_s=10.0, duration_s=1.0, track=1)
+        campaign = ChaosCampaign(events=(first, second))
+        assert campaign.ordered_events == (first, second)
+
+    def test_table_includes_background_and_crews(self):
+        campaign = default_campaign(seed=3)
+        headers, rows = campaign.table()
+        assert headers[0] == "t (s)"
+        kinds = [row[1] for row in rows]
+        assert kinds[: len(campaign.events)] == [
+            event.kind for event in campaign.ordered_events
+        ]
+        assert "background" in kinds
+        assert "repair_crews" in kinds
+
+    def test_campaign_is_picklable(self):
+        campaign = default_campaign(seed=9)
+        assert pickle.loads(pickle.dumps(campaign)) == campaign
+
+    def test_default_campaign_shape(self):
+        campaign = default_campaign(seed=0)
+        assert campaign.name == "pod-storm"
+        assert campaign.crews == 1
+        assert campaign.background is not None
+        assert {event.kind for event in campaign.events} == {
+            TRACK_OUTAGE, CACHE_NODE_LOSS, BROWNOUT, CART_BATCH_FAILURE,
+        }
+
+    def test_seed_threads_into_background(self):
+        assert (
+            default_campaign(seed=1).background.seed
+            != default_campaign(seed=2).background.seed
+        )
+
+
+class TestChaosShuttlePolicy:
+    def test_patient_policy_differs_from_fail_fast_default(self):
+        assert NO_RETRY.max_attempts == 1
+        assert CHAOS_SHUTTLE_POLICY.max_attempts > 1
+        assert CHAOS_SHUTTLE_POLICY.give_up_outage_s is not None

@@ -1,0 +1,206 @@
+"""Tests for the campaign runner: scheduled faults on the DES clock."""
+
+import pytest
+
+from repro.chaos.campaigns import (
+    BROWNOUT,
+    CACHE_NODE_LOSS,
+    CART_BATCH_FAILURE,
+    CampaignEvent,
+    ChaosCampaign,
+    TRACK_OUTAGE,
+    default_campaign,
+)
+from repro.chaos.runner import install_campaign
+from repro.dhlsim.scheduler import DhlSystem
+from repro.errors import ConfigurationError
+from repro.sim import Environment
+from repro.storage.datasets import synthetic_dataset
+from repro.units import TB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_systems(env, n=1):
+    return [DhlSystem(env) for _ in range(n)]
+
+
+def one_event_campaign(event):
+    return ChaosCampaign(events=(event,))
+
+
+class TestTrackOutage:
+    def test_outage_window_applies_and_repairs(self, env):
+        systems = make_systems(env)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(TRACK_OUTAGE, at_s=10.0, duration_s=20.0, track=0)
+        ))
+        env.run(until=5.0)
+        assert systems[0].tracks[0].health.tube_available
+        env.run(until=15.0)
+        assert not systems[0].tracks[0].health.tube_available
+        env.run(until=35.0)
+        assert systems[0].tracks[0].health.tube_available
+        assert runner.log.outages_applied == 1
+        details = [detail for _, _, _, detail in runner.log.entries]
+        assert details == ["tube down", "repaired"]
+
+    def test_pod_wide_outage_hits_every_track(self, env):
+        systems = make_systems(env, n=3)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(TRACK_OUTAGE, at_s=10.0, duration_s=20.0)
+        ))
+        env.run(until=15.0)
+        assert all(not s.tracks[0].health.tube_available for s in systems)
+        env.run(until=40.0)
+        assert all(s.tracks[0].health.tube_available for s in systems)
+        assert runner.log.outages_applied == 3
+
+    def test_outage_absorbed_when_track_already_down(self, env):
+        systems = make_systems(env)
+        systems[0].tracks[0].health.mark_down(env.now)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(TRACK_OUTAGE, at_s=10.0, duration_s=20.0, track=0)
+        ))
+        env.run(until=40.0)
+        assert runner.log.outages_applied == 0
+        assert runner.log.outages_absorbed == 1
+        # The pre-existing breach is untouched: still down, no double-repair.
+        assert not systems[0].tracks[0].health.tube_available
+
+    def test_rejects_out_of_range_target(self, env):
+        with pytest.raises(ConfigurationError, match="targets track 5"):
+            install_campaign(env, make_systems(env, n=2), one_event_campaign(
+                CampaignEvent(TRACK_OUTAGE, at_s=0.0, duration_s=1.0, track=5)
+            ))
+
+    def test_needs_at_least_one_system(self, env):
+        with pytest.raises(ConfigurationError, match="at least one system"):
+            install_campaign(env, [], default_campaign())
+
+
+class TestBrownout:
+    def test_brownout_degrades_lim_then_restores(self, env):
+        systems = make_systems(env)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(BROWNOUT, at_s=10.0, duration_s=30.0, track=0,
+                          intensity=2.5)
+        ))
+        env.run(until=20.0)
+        assert systems[0].tracks[0].health.lim_slowdown == 2.5
+        env.run(until=45.0)
+        assert systems[0].tracks[0].health.lim_slowdown == 1.0
+        assert runner.log.brownouts_applied == 1
+
+    def test_brownout_absorbed_into_existing_degradation(self, env):
+        systems = make_systems(env)
+        systems[0].tracks[0].health.degrade_lim(4.0)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(BROWNOUT, at_s=10.0, duration_s=30.0, track=0,
+                          intensity=2.0)
+        ))
+        env.run(until=45.0)
+        assert runner.log.brownouts_applied == 0
+        assert systems[0].tracks[0].health.lim_slowdown == 4.0
+
+
+class TestCartBatchFailure:
+    def test_batch_failure_rolls_every_homed_cart(self, env):
+        systems = make_systems(env)
+        systems[0].load_dataset(synthetic_dataset(4 * 200 * TB, name="victims"))
+        runner = install_campaign(env, systems, ChaosCampaign(
+            events=(
+                CampaignEvent(CART_BATCH_FAILURE, at_s=10.0, track=0,
+                              intensity=1.0),
+            ),
+            seed=3,
+        ))
+        env.run(until=20.0)
+        # intensity=1.0: every drive of every library cart fails.
+        assert runner.log.drive_failures > 0
+        assert runner.log.carts_lost == 4
+        assert runner.log.entries[0][1] == CART_BATCH_FAILURE
+
+    def test_injector_detaches_after_the_batch(self, env):
+        systems = make_systems(env)
+        systems[0].load_dataset(synthetic_dataset(200 * TB, name="one"))
+        install_campaign(env, systems, ChaosCampaign(
+            events=(
+                CampaignEvent(CART_BATCH_FAILURE, at_s=10.0, track=0,
+                              intensity=0.5),
+            ),
+        ))
+        env.run(until=20.0)
+        # Context-managed FaultInjector: no hook may outlive the event.
+        assert not systems[0].pre_shuttle_hooks
+
+
+class TestCacheNodeLoss:
+    def test_loss_invokes_subscribed_hooks(self, env):
+        systems = make_systems(env, n=2)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(CACHE_NODE_LOSS, at_s=10.0, track=1, endpoint_id=2)
+        ))
+        seen = []
+        runner.cache_loss_hooks.append(
+            lambda track, endpoint: seen.append((track, endpoint))
+        )
+        env.run(until=20.0)
+        assert seen == [(1, 2)]
+        assert runner.log.cache_nodes_lost == 1
+
+
+class TestRunnerLifecycle:
+    def test_stop_before_first_resume_is_safe(self, env):
+        # Regression: stop() used to interrupt processes whose generator
+        # had never had its first resume; the Interrupt then raised at
+        # the generator header — before any try — and crashed the run.
+        systems = make_systems(env, n=2)
+        runner = install_campaign(env, systems, default_campaign())
+        assert all(not p.started for p in runner.processes)
+        runner.stop()
+        env.run(until=4000.0)  # drivers wake, notice _stopped, exit cleanly
+        assert runner.log.outages_applied == 0
+        assert systems[0].tracks[0].health.tube_available
+
+    def test_stop_mid_window_restores_injected_state(self, env):
+        systems = make_systems(env)
+        runner = install_campaign(env, systems, one_event_campaign(
+            CampaignEvent(TRACK_OUTAGE, at_s=10.0, duration_s=1000.0, track=0)
+        ))
+        env.run(until=20.0)
+        assert not systems[0].tracks[0].health.tube_available
+        runner.stop()
+        env.run(until=21.0)
+        assert systems[0].tracks[0].health.tube_available
+
+    def test_background_injectors_get_per_track_seeds(self, env):
+        from repro.dhlsim.reliability import ChaosSpec
+
+        systems = make_systems(env, n=2)
+        runner = install_campaign(env, systems, ChaosCampaign(
+            background=ChaosSpec(track_mttf_s=500.0, seed=40),
+        ))
+        seeds = [handles.track.seed for handles in runner.background]
+        assert len(set(seeds)) == 2
+
+    def test_campaign_replay_is_deterministic(self):
+        def run_once():
+            env = Environment()
+            systems = [DhlSystem(env), DhlSystem(env)]
+            systems[0].load_dataset(
+                synthetic_dataset(2 * 200 * TB, name="replay")
+            )
+            runner = install_campaign(env, systems, default_campaign(seed=5))
+            env.run(until=3600.0)
+            runner.stop()
+            return (
+                tuple(runner.log.entries),
+                systems[0].tracks[0].health.outages,
+                systems[0].tracks[0].health.downtime_s,
+            )
+
+        assert run_once() == run_once()

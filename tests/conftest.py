@@ -1,0 +1,34 @@
+"""Suite-wide pytest/hypothesis configuration.
+
+Two hypothesis profiles keep the stateful fuzzers honest without
+blowing up CI wall time:
+
+``ci`` (default)
+    derandomized and bounded — every run replays the same example
+    schedule, so a red fuzz job is reproducible from the log alone;
+``long``
+    the nightly soak: more examples and longer rule sequences, opted
+    into with ``HYPOTHESIS_PROFILE=long`` (the ``long_fuzz``-marked
+    tests additionally gate on ``REPRO_LONG_FUZZ=1``).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    stateful_step_count=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "long",
+    max_examples=200,
+    stateful_step_count=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

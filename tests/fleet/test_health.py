@@ -1,0 +1,197 @@
+"""Unit tests for lane health monitors and circuit breakers."""
+
+import pytest
+
+from repro.dhlsim.track import TrackHealth
+from repro.errors import ConfigurationError
+from repro.fleet.health import (
+    BREAKER_STATES,
+    CLOSED,
+    CircuitBreaker,
+    DegradationPolicy,
+    HALF_OPEN,
+    LaneHealthMonitor,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    illegal_transitions,
+)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestDegradationPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError, match="failure_threshold"):
+            DegradationPolicy(failure_threshold=0)
+        with pytest.raises(ConfigurationError, match="reset_timeout_s"):
+            DegradationPolicy(reset_timeout_s=0.0)
+        with pytest.raises(ConfigurationError, match="half_open_probes"):
+            DegradationPolicy(half_open_probes=0)
+
+    def test_defaults_shed_the_cheapest_class(self):
+        assert DegradationPolicy().shed_classes == ("archive",)
+
+
+class TestIllegalTransitions:
+    def test_legal_log_is_clean(self):
+        log = [(1.0, CLOSED, OPEN), (181.0, OPEN, HALF_OPEN),
+               (182.0, HALF_OPEN, CLOSED)]
+        assert illegal_transitions(log) == []
+
+    def test_flags_illegal_edge(self):
+        assert illegal_transitions([(1.0, CLOSED, HALF_OPEN)]) == [
+            (1.0, CLOSED, HALF_OPEN)
+        ]
+        assert illegal_transitions([(1.0, OPEN, CLOSED)]) == [
+            (1.0, OPEN, CLOSED)
+        ]
+
+    def test_flags_backwards_time(self):
+        log = [(10.0, CLOSED, OPEN), (5.0, OPEN, HALF_OPEN)]
+        assert (5.0, "time", "backwards") in illegal_transitions(log)
+
+    def test_legal_edge_set_is_the_documented_machine(self):
+        assert LEGAL_TRANSITIONS == {
+            (CLOSED, OPEN), (OPEN, HALF_OPEN),
+            (HALF_OPEN, OPEN), (HALF_OPEN, CLOSED),
+        }
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        return CircuitBreaker(DegradationPolicy(**kwargs))
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = self.make(failure_threshold=3)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = self.make(failure_threshold=2)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == CLOSED
+
+    def test_trip_is_idempotent_while_open(self):
+        breaker = self.make()
+        breaker.trip(1.0)
+        breaker.trip(2.0)
+        assert breaker.trips == 1
+        assert illegal_transitions(breaker.transitions) == []
+
+    def test_open_blocks_until_reset_timeout(self):
+        breaker = self.make(reset_timeout_s=180.0)
+        breaker.trip(100.0)
+        assert not breaker.allow(150.0)
+        assert breaker.state == OPEN
+        assert breaker.allow(280.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.probes_in_flight == 1
+
+    def test_half_open_bounds_concurrent_probes(self):
+        breaker = self.make(half_open_probes=2)
+        breaker.trip(0.0)
+        assert breaker.allow(200.0)
+        assert breaker.allow(200.0)
+        assert not breaker.allow(200.0)
+        assert breaker.probes_in_flight == 2
+
+    def test_probe_successes_reclose(self):
+        breaker = self.make(half_open_probes=2)
+        breaker.trip(0.0)
+        assert breaker.allow(200.0)
+        assert breaker.allow(200.0)
+        breaker.record_success(210.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success(220.0)
+        assert breaker.state == CLOSED
+        assert breaker.probes_in_flight == 0
+
+    def test_probe_failure_reopens_and_restarts_timer(self):
+        breaker = self.make(reset_timeout_s=100.0)
+        breaker.trip(0.0)
+        assert breaker.allow(100.0)
+        breaker.record_failure(110.0)
+        assert breaker.state == OPEN
+        assert breaker.opened_at == 110.0
+        assert breaker.trips == 2
+        assert not breaker.allow(150.0)
+        assert illegal_transitions(breaker.transitions) == []
+
+    def test_full_lifecycle_log_is_legal(self):
+        breaker = self.make(failure_threshold=1, reset_timeout_s=10.0)
+        for round_start in (0.0, 100.0, 200.0):
+            breaker.record_failure(round_start)
+            assert breaker.allow(round_start + 20.0)
+            breaker.record_success(round_start + 21.0)
+        assert breaker.state in BREAKER_STATES
+        assert illegal_transitions(breaker.transitions) == []
+
+
+class TestLaneHealthMonitor:
+    def make(self, **kwargs):
+        clock = _Clock()
+        health = TrackHealth()
+        monitor = LaneHealthMonitor(
+            "t0:r1", DegradationPolicy(**kwargs), health, clock
+        )
+        return monitor, health, clock
+
+    def test_track_down_trips_breaker_and_opens_window(self):
+        monitor, health, _clock = self.make()
+        health.mark_down(50.0)
+        assert monitor.breaker.state == OPEN
+        assert len(monitor.windows) == 1 and monitor.windows[0].open
+        health.mark_up(110.0)
+        assert not monitor.windows[0].open
+        assert monitor.mttr_observed_s == pytest.approx(60.0)
+
+    def test_down_track_never_admits_even_after_timeout(self):
+        monitor, health, clock = self.make(reset_timeout_s=10.0)
+        health.mark_down(0.0)
+        clock.now = 500.0  # far past the breaker's reset timeout
+        assert not monitor.allow()
+        assert monitor.breaker.state == OPEN  # no probe was burned
+        health.mark_up(510.0)
+        clock.now = 520.0
+        assert monitor.allow()
+        assert monitor.breaker.state == HALF_OPEN
+
+    def test_serve_outcomes_feed_the_breaker(self):
+        monitor, _health, clock = self.make(failure_threshold=2)
+        clock.now = 10.0
+        monitor.record_failure()
+        monitor.record_failure()
+        assert monitor.breaker.state == OPEN
+        assert monitor.serve_failures == 2
+        assert illegal_transitions(monitor.breaker.transitions) == []
+
+    def test_detach_is_idempotent(self):
+        monitor, health, _clock = self.make()
+        monitor.detach()
+        monitor.detach()
+        assert health.listeners == []
+        health.mark_down(10.0)  # no longer observed
+        assert monitor.breaker.state == CLOSED
+
+    def test_summary_row(self):
+        monitor, health, _clock = self.make()
+        health.mark_down(5.0)
+        monitor.record_diverted()
+        summary = monitor.summary()
+        assert summary == {
+            "lane": "t0:r1",
+            "state": OPEN,
+            "trips": 1,
+            "fault_windows": 1,
+            "serve_failures": 0,
+            "diverted": 1,
+        }
