@@ -1,4 +1,4 @@
-"""CLI tables for fleet runs: policy comparison, SLA, chaos degradation.
+"""CLI tables for fleet and traffic runs: policies, SLA, chaos, tenants.
 
 Rendered through the same :func:`repro.analysis.formatting.render_table`
 pipeline as the paper tables, so ``repro fleet`` and ``repro chaos``
@@ -17,6 +17,8 @@ from ..fleet.controlplane import FleetReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..chaos.bench import ChaosBenchReport
+    from ..traffic.bench import TrafficBenchReport
+    from ..traffic.replay import ReplayResult
 
 
 def fleet_policy_table(
@@ -137,6 +139,57 @@ def lane_health_table(
             summary["fault_windows"],
             summary["serve_failures"],
             summary["diverted"],
+        ])
+    return headers, rows
+
+
+def traffic_synthesis_table(
+    bench: "TrafficBenchReport",
+) -> tuple[list[str], list[list[object]]]:
+    """What the synthesised trace offered: per-tenant demand shares."""
+    headers = ["Tenant", "Records", "Share", "Peak req/s", "Zipf alpha"]
+    total = max(bench.n_records, 1)
+    profiles = {profile.name: profile for profile in bench.spec.tenants}
+    rows: list[list[object]] = []
+    for name, count in bench.tenant_counts:
+        profile = profiles[name]
+        rows.append([
+            name,
+            count,
+            f"{count / total:.1%}",
+            f"{profile.peak_rate_per_s:.2f}",
+            f"{profile.zipf_alpha:.2f}",
+        ])
+    rows.append([
+        "total", bench.n_records, "100.0%", "-", "-",
+    ])
+    return headers, rows
+
+
+def traffic_tenant_table(
+    result: "ReplayResult",
+) -> tuple[list[str], list[list[object]]]:
+    """Per-tenant SLA attainment of one trace replay."""
+    tenant_sla = result.tenant_sla
+    headers = [
+        "Tenant",
+        "Jobs",
+        "p50 (s)",
+        "p95 (s)",
+        "p99 (s)",
+        "Miss rate",
+        "Goodput (GB/s)",
+    ]
+    rows: list[list[object]] = []
+    for class_sla in (*tenant_sla.classes, tenant_sla.overall):
+        rows.append([
+            class_sla.kind,
+            class_sla.n_jobs,
+            f"{class_sla.p50_s:.1f}",
+            f"{class_sla.p95_s:.1f}",
+            f"{class_sla.p99_s:.1f}",
+            f"{class_sla.deadline_miss_rate:.1%}",
+            f"{class_sla.goodput_bytes_per_s / 1e9:.1f}",
         ])
     return headers, rows
 

@@ -74,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench",
-                               "fleet", "chaos", "replicate", "all"]
+                               "fleet", "chaos", "replicate", "traffic", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -125,11 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("sweep", "engine", "chaos"),
+        choices=("sweep", "engine", "chaos", "traffic"),
         default="sweep",
         help="bench: 'sweep' times the design-space engines, 'engine' the "
              "DES core against the frozen reference, 'chaos' the "
-             "graceful-degradation gate (same as the chaos artefact)",
+             "graceful-degradation gate (same as the chaos artefact), "
+             "'traffic' the trace synthesis + replay gate (same as the "
+             "traffic artefact)",
     )
     parser.add_argument(
         "--points",
@@ -220,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicate-out",
         default="REPLICATE_fleet.json",
         help="replicate: output path for the deterministic report JSON",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="traffic: approximate request count the synthesised trace "
+             "targets over the horizon",
+    )
+    parser.add_argument(
+        "--traffic-out",
+        default="BENCH_traffic.json",
+        help="traffic: output path for the traffic KPI baseline JSON",
     )
     return parser
 
@@ -446,6 +460,60 @@ def main(argv: Sequence[str] | None = None) -> int:
             problems = fleet_bench.compare_to_baseline(
                 fleet_bench.report_payload(bench),
                 fleet_bench.load_baseline(args.check),
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "traffic" or (
+        args.artefact == "bench" and args.mode == "traffic"
+    ):
+        # Lazy: a traffic bench synthesises and replays a whole trace.
+        from .analysis.fleetview import (
+            traffic_synthesis_table,
+            traffic_tenant_table,
+        )
+        from .traffic import bench as traffic_bench
+
+        bench = traffic_bench.run_traffic_bench(
+            seed=args.seed,
+            horizon_s=args.horizon,
+            requests=args.requests or traffic_bench.DEFAULT_REQUESTS,
+        )
+        headers, rows = traffic_synthesis_table(bench)
+        print(render_table(
+            headers, rows,
+            title=f"Synthesised demand (seed {bench.seed}, "
+                  f"{bench.horizon_s:.0f} s horizon, "
+                  f"{bench.trace_bytes / 1e6:.1f} MB binary trace)",
+        ))
+        print()
+        headers, rows = traffic_tenant_table(bench.result)
+        print(render_table(headers, rows, title="Per-tenant SLA (replay)"))
+        print(f"\nsynthesis: {bench.n_records} records in "
+              f"{bench.synth_wall_s:.2f} s "
+              f"({bench.n_records / max(bench.synth_wall_s, 1e-9):,.0f} "
+              "events/s)")
+        print(f"replay: {bench.result.n_records} records in "
+              f"{bench.result.wall_s:.2f} s "
+              f"({bench.result.n_records / max(bench.result.wall_s, 1e-9):,.0f}"
+              " events/s), peak "
+              f"{bench.result.fleet.peak_in_system} live jobs "
+              f"(bound {bench.in_system_bound}), "
+              f"{bench.result.peak_pending} decoded ahead "
+              f"(cap {bench.result.config.max_pending})")
+        path = traffic_bench.write_report(bench, args.traffic_out)
+        print(f"wrote traffic KPI baseline to {path}")
+        failed = [name for name, ok in bench.invariants.items() if not ok]
+        if failed:
+            print(f"FAIL: traffic invariants violated: {', '.join(failed)}")
+            return 1
+        if args.check:
+            problems = traffic_bench.compare_to_baseline(
+                traffic_bench.report_payload(bench),
+                traffic_bench.load_baseline(args.check),
             )
             if problems:
                 for problem in problems:

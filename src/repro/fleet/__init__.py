@@ -50,10 +50,12 @@ from .montecarlo import (
     run_seeded,
 )
 from .sla import (
+    DEFAULT_SAMPLE_CAP,
     DEFAULT_TARGET,
     ClassSla,
     ClassTarget,
     JobRecord,
+    LatencyReservoir,
     Outcome,
     SlaReport,
     SlaTracker,
@@ -71,6 +73,7 @@ __all__ = [
     "ClassSla",
     "ClassTarget",
     "DEFAULT_REPLICATIONS",
+    "DEFAULT_SAMPLE_CAP",
     "DEFAULT_TARGET",
     "DatasetCatalog",
     "DatasetHome",
@@ -84,6 +87,7 @@ __all__ = [
     "FleetTopology",
     "JobRecord",
     "LaneHealthMonitor",
+    "LatencyReservoir",
     "Outcome",
     "POLICIES",
     "RackCache",

@@ -28,8 +28,10 @@ scenarios out across processes and still merge comparable results.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -116,6 +118,12 @@ class FleetScenario:
     degradation: DegradationPolicy | None = None
     """Graceful-degradation machinery (lane health monitors + circuit
     breakers); ``None`` serves naively even under chaos."""
+    retain_records: bool = True
+    """Keep every :class:`~repro.fleet.sla.JobRecord` for the report.
+    Trace replays over millions of requests set this ``False`` so the
+    run holds only streaming SLA accumulators — ``FleetReport.records``
+    then comes back empty while every aggregate KPI stays exact (and
+    percentiles stay exact up to the SLA tracker's reservoir cap)."""
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -169,6 +177,7 @@ class _FleetJob:
     read_bytes: float
     deadline_at: float
     priority: int
+    tenant: str = ""
 
 
 def _policy_key(policy: str):
@@ -254,6 +263,13 @@ class FleetReport:
     rows (empty when the scenario had no degradation policy)."""
     chaos_entries: tuple[tuple[float, str, str, str], ...] = ()
     """The campaign log: (time, kind, target, detail) rows."""
+    peak_in_system: int = 0
+    """Most jobs simultaneously live in the plane (admitted but not yet
+    resolved) — the memory proxy trace replay bounds via admission
+    control plus its lookahead window."""
+    tenant_sla: SlaReport | None = None
+    """Per-tenant SLA breakdown (``None`` when no job carried a
+    tenant, i.e. for every pre-traffic synthetic scenario)."""
 
     @property
     def hit_rate(self) -> float:
@@ -289,7 +305,8 @@ class ControlPlane:
         self.tracer = tracer
         self.registry = MetricsRegistry(env)
         self.targets = dict(scenario.targets)
-        self.sla = SlaTracker(self.registry, self.targets)
+        self.sla = SlaTracker(self.registry, self.targets,
+                              retain_records=scenario.retain_records)
         key = _policy_key(scenario.policy)
         self.lanes: dict[tuple[int, int], _Lane] = {}
         for track_index, endpoint_id in topology.lanes:
@@ -320,7 +337,17 @@ class ControlPlane:
             self._failover_streams = None
         self._outcomes: list[JobRecord] = []
         self._done = Event(env)
-        self._expected = 0
+        # Streaming intake/outcome accounting: the plane never needs
+        # the whole job list, only how many came in and how many
+        # resolved — which is what lets a lazy iterator drive it.
+        self._submitted = 0
+        self._resolved = 0
+        self._intake_closed = False
+        self._in_system = 0
+        self.peak_in_system = 0
+        self._counts: dict[str, int] = {outcome: 0 for outcome in Outcome}
+        self._max_completed_s = 0.0
+        self._tenants_seen = False
         self._evictions_in_flight = 0
         self.failover_energy_j = 0.0
         # Degradation machinery: one health monitor + breaker per lane,
@@ -372,6 +399,12 @@ class ControlPlane:
         dispatch jobs at arbitrary virtual times through the exact
         admission path production traffic takes.
         """
+        self._submitted += 1
+        self._in_system += 1
+        if self._in_system > self.peak_in_system:
+            self.peak_in_system = self._in_system
+        if fjob.tenant:
+            self._tenants_seen = True
         admission = self.scenario.admission
         lane = self.lane_for(fjob.dataset)
         if self.tracer is not None:
@@ -391,11 +424,20 @@ class ControlPlane:
         else:
             lane.queue.push(fjob)
 
-    def _arrivals(self, fjobs: list[_FleetJob]):
+    def _arrivals(self, fjobs: Iterator[_FleetJob]):
+        """Consume the job stream lazily, one arrival at a time.
+
+        The iterator is only advanced after the previous job has been
+        submitted, so at most one bound job is ever materialised ahead
+        of the DES clock — a trace-driven day streams through without
+        the job list ever existing in memory.
+        """
         for fjob in fjobs:
             if fjob.job.arrival_s > self.env.now:
                 yield self.env.timeout(fjob.job.arrival_s - self.env.now)
             self.submit(fjob)
+        self._intake_closed = True
+        self._maybe_done()
 
     def _divert(self, fjob: _FleetJob) -> None:
         """Route a job off a degraded lane per its SLA class."""
@@ -626,24 +668,46 @@ class ControlPlane:
             read_bytes=fjob.read_bytes,
             outcome=outcome,
             completed_s=completed_s,
+            tenant=fjob.tenant,
         )
 
     def _finish(self, record: JobRecord) -> None:
         self.sla.observe(record)
-        self._outcomes.append(record)
-        if len(self._outcomes) >= self._expected and not self._done.triggered:
+        if self.scenario.retain_records:
+            self._outcomes.append(record)
+        self._counts[record.outcome] += 1
+        if (
+            record.completed_s is not None
+            and record.completed_s > self._max_completed_s
+        ):
+            self._max_completed_s = record.completed_s
+        self._resolved += 1
+        self._in_system -= 1
+        self._maybe_done()
+
+    def _maybe_done(self) -> None:
+        if (
+            self._intake_closed
+            and self._resolved >= self._submitted
+            and not self._done.triggered
+        ):
             self._done.succeed(None)
 
     # -- orchestration -----------------------------------------------------------
 
-    def run(self, fjobs: list[_FleetJob]) -> FleetReport:
-        if not fjobs:
-            raise ConfigurationError("no jobs arrived within the horizon")
-        self._expected = len(fjobs)
+    def run(self, fjobs: Iterable[_FleetJob]) -> FleetReport:
+        """Drive the fleet over any job stream — list or lazy iterator."""
+        iterator = iter(fjobs)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ConfigurationError(
+                "no jobs arrived within the horizon"
+            ) from None
         for lane in self.lanes.values():
             for _ in range(lane.stations):
                 self.env.process(self._worker(lane))
-        self.env.process(self._arrivals(fjobs))
+        self.env.process(self._arrivals(itertools.chain((first,), iterator)))
         self.env.run(until=self._done)
         return self._build_report()
 
@@ -652,24 +716,23 @@ class ControlPlane:
         caches = [
             lane.cache for lane in self.lanes.values() if lane.cache is not None
         ]
-        completed = [r.completed_s for r in records if r.completed_s is not None]
         monitors = tuple(self.monitors.values())
         return FleetReport(
             scenario=self.scenario,
             sla=self.sla.report(self.scenario.horizon_s),
             records=records,
-            n_jobs=len(records),
-            served=sum(1 for r in records if r.outcome == Outcome.SERVED),
-            shed=sum(1 for r in records if r.outcome == Outcome.SHED),
-            failovers=sum(1 for r in records if r.outcome == Outcome.FAILOVER),
-            failed=sum(1 for r in records if r.outcome == Outcome.FAILED),
+            n_jobs=self._resolved,
+            served=self._counts[Outcome.SERVED],
+            shed=self._counts[Outcome.SHED],
+            failovers=self._counts[Outcome.FAILOVER],
+            failed=self._counts[Outcome.FAILED],
             cache_hits=sum(cache.hits for cache in caches),
             cache_misses=sum(cache.misses for cache in caches),
             cache_evictions=sum(cache.evictions for cache in caches),
             launches=self.topology.total_launches,
             launch_energy_j=self.topology.total_launch_energy_j,
             failover_energy_j=self.failover_energy_j,
-            makespan_s=max(completed) if completed else 0.0,
+            makespan_s=self._max_completed_s,
             diverted=sum(monitor.diverted for monitor in monitors),
             breaker_trips=sum(monitor.breaker.trips for monitor in monitors),
             rehomed=sum(cache.rehomed for cache in caches),
@@ -679,50 +742,72 @@ class ControlPlane:
                 if self._campaign is not None
                 else ()
             ),
+            peak_in_system=self.peak_in_system,
+            tenant_sla=(
+                self.sla.tenant_report(self.scenario.horizon_s)
+                if self._tenants_seen
+                else None
+            ),
         )
 
 
-def _bind_jobs(scenario: FleetScenario,
-               topology: FleetTopology) -> list[_FleetJob]:
-    """Generate the seeded stream and bind datasets + SLAs to each job.
+def _bind_jobs(
+    scenario: FleetScenario,
+    topology: FleetTopology,
+    jobs: Iterable[TransferJob] | None = None,
+) -> Iterator[_FleetJob]:
+    """Lazily bind datasets + SLAs to each job of a stream.
 
-    Dataset draws use their own substream (``seed + 1``) so adding a
-    traffic class never reshuffles which datasets existing jobs touch.
+    ``jobs`` defaults to the scenario's seeded synthetic stream; any
+    other :class:`~repro.workloads.generator.TransferJob` iterable (a
+    trace replay, a fuzzer) binds identically.  Dataset draws use their
+    own substream (``seed + 1``) so adding a traffic class never
+    reshuffles which datasets existing jobs touch, and binding happens
+    one job at a time as the control plane consumes the stream.
     """
-    generator = WorkloadGenerator(classes=scenario.classes, seed=scenario.seed)
-    jobs = generator.generate(scenario.horizon_s)
+    if jobs is None:
+        generator = WorkloadGenerator(classes=scenario.classes,
+                                      seed=scenario.seed)
+        jobs = generator.generate(scenario.horizon_s)
     rng = np.random.default_rng(scenario.seed + 1)
     catalog = scenario.catalog
     hot = catalog.hot_names
     cold = catalog.cold_names
     targets = dict(scenario.targets)
-    fjobs = []
     for job in jobs:
+        if isinstance(job, _FleetJob):
+            # Pre-bound jobs (trace replay) pass through untouched: the
+            # trace already names each job's dataset, deadline and
+            # tenant, so no random binding draw is consumed.
+            yield job
+            continue
         if hot and (not cold or float(rng.random()) < catalog.hot_fraction):
             dataset = hot[int(rng.integers(len(hot)))]
         else:
             dataset = cold[int(rng.integers(len(cold)))]
         target = targets.get(job.kind, DEFAULT_TARGET)
         home = topology.home(dataset)
-        fjobs.append(
-            _FleetJob(
-                job=job,
-                dataset=dataset,
-                read_bytes=min(job.size_bytes, home.size_bytes),
-                deadline_at=job.arrival_s + target.deadline_s,
-                priority=target.priority,
-            )
+        yield _FleetJob(
+            job=job,
+            dataset=dataset,
+            read_bytes=min(job.size_bytes, home.size_bytes),
+            deadline_at=job.arrival_s + target.deadline_s,
+            priority=target.priority,
         )
-    return fjobs
 
 
 def run_fleet(scenario: FleetScenario,
-              tracer: Tracer | None = None) -> FleetReport:
+              tracer: Tracer | None = None,
+              jobs: Iterable[TransferJob] | None = None) -> FleetReport:
     """Simulate one fleet scenario end to end.
 
     Module-level and driven entirely by the scenario value, so it is
     picklable into :func:`repro.core.sweep.map_chunks` process workers
-    and returns bit-identical reports under any engine.
+    and returns bit-identical reports under any engine.  ``jobs``
+    optionally replaces the scenario's synthetic stream with any lazy
+    :class:`~repro.workloads.generator.TransferJob` iterator — the
+    control plane consumes it incrementally on the DES clock, so the
+    full job list never needs to exist in memory.
     """
     env = Environment()
     if tracer is not None:
@@ -734,4 +819,4 @@ def run_fleet(scenario: FleetScenario,
         plane.attach_campaign(
             install_campaign(env, topology.systems, scenario.chaos)
         )
-    return plane.run(_bind_jobs(scenario, topology))
+    return plane.run(_bind_jobs(scenario, topology, jobs=jobs))

@@ -10,12 +10,27 @@ Percentiles come from :mod:`repro.core.percentiles`, the same
 linear-interpolation rule the service study uses, so "p95" means one
 thing across the whole repo.  The registry histograms remain available
 for live/streaming views at bucket resolution.
+
+Two retention modes serve two scales.  The default
+(``retain_records=True``) keeps every :class:`JobRecord` so the final
+report quotes exact percentiles — right for hour-long fleet studies.
+For trace-driven days with millions of requests
+(:mod:`repro.traffic`), ``retain_records=False`` switches the tracker
+to constant-memory streaming accumulators: counts, goodput bytes and
+deadline misses are exact, and latency percentiles come from a
+deterministic bounded reservoir that is *also* exact until a class
+exceeds ``sample_cap`` completions.  Both modes additionally account
+per **tenant** (the multi-tenant dimension trace replay introduces),
+surfaced through :meth:`SlaTracker.tenant_report`.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Mapping
+
+import numpy as np
 
 from ..core.percentiles import percentiles
 from ..errors import ConfigurationError
@@ -89,6 +104,10 @@ class JobRecord:
     read_bytes: float
     outcome: str
     completed_s: float | None = None
+    tenant: str = ""
+    """Owning tenant for multi-tenant traces; empty for the synthetic
+    single-tenant workloads, which keeps their records byte-identical
+    to the pre-traffic fleet."""
 
     @property
     def latency_s(self) -> float:
@@ -139,25 +158,135 @@ class SlaReport:
         raise ConfigurationError(f"no SLA data for class {kind!r}")
 
 
+#: Latency samples retained per class/tenant in streaming mode; the
+#: reservoir is exact up to this many completions, sampled beyond.
+DEFAULT_SAMPLE_CAP = 8192
+
+
+class LatencyReservoir:
+    """Deterministic bounded reservoir of latency samples (Algorithm R).
+
+    Exact — insertion order preserved, nothing dropped — while ``n``
+    stays within ``cap``, so small runs report the same percentiles the
+    retained-records path would.  Past the cap each further sample
+    replaces a uniformly random slot via a seeded generator, keeping
+    the estimate unbiased and the whole thing bit-reproducible for a
+    fixed observation order.
+    """
+
+    __slots__ = ("cap", "n", "samples", "_rng")
+
+    def __init__(self, cap: int = DEFAULT_SAMPLE_CAP, seed: int = 0):
+        if cap <= 0:
+            raise ConfigurationError(f"reservoir cap must be >= 1, got {cap}")
+        self.cap = cap
+        self.n = 0
+        self.samples: list[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, value: float) -> None:
+        """Admit one sample, evicting a random one once full."""
+        self.n += 1
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+            return
+        slot = int(self._rng.integers(0, self.n))
+        if slot < self.cap:
+            self.samples[slot] = value
+
+    @property
+    def exact(self) -> bool:
+        """Whether the reservoir still holds every observed sample."""
+        return self.n <= self.cap
+
+
+class _StreamStats:
+    """Constant-memory accumulator for one class (or tenant, or overall)."""
+
+    __slots__ = ("n_jobs", "n_completed", "misses", "good_bytes", "reservoir")
+
+    def __init__(self, sample_cap: int, seed: int):
+        self.n_jobs = 0
+        self.n_completed = 0
+        self.misses = 0
+        self.good_bytes = 0.0
+        self.reservoir = LatencyReservoir(sample_cap, seed)
+
+    def observe(self, record: JobRecord) -> None:
+        self.n_jobs += 1
+        if record.completed_s is not None:
+            self.n_completed += 1
+            self.reservoir.observe(record.latency_s)
+        if not record.met_deadline:
+            self.misses += 1
+        else:
+            self.good_bytes += record.read_bytes
+
+    def summarise(self, kind: str, horizon_s: float) -> ClassSla:
+        if self.reservoir.samples:
+            points = percentiles(self.reservoir.samples)
+            p50, p95, p99 = points[50.0], points[95.0], points[99.0]
+        else:
+            p50 = p95 = p99 = float("inf")
+        return ClassSla(
+            kind=kind,
+            n_jobs=self.n_jobs,
+            n_completed=self.n_completed,
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
+            deadline_miss_rate=self.misses / self.n_jobs if self.n_jobs else 0.0,
+            goodput_bytes_per_s=self.good_bytes / horizon_s,
+        )
+
+
+def _stream_seed(key: str) -> int:
+    """Stable per-key reservoir seed (``hash()`` is salted per process)."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
 class SlaTracker:
-    """Streams job records into metrics and builds the final report."""
+    """Streams job records into metrics and builds the final report.
+
+    ``retain_records=True`` (the default) keeps every record and quotes
+    exact percentiles; ``retain_records=False`` holds only streaming
+    accumulators plus bounded reservoirs, so memory stays constant no
+    matter how many jobs flow through — the contract trace replay
+    relies on.  Per-tenant accumulators are maintained in both modes
+    for any record carrying a non-empty ``tenant``.
+    """
 
     def __init__(
         self,
         registry: MetricsRegistry,
         targets: Mapping[str, ClassTarget],
         default: ClassTarget = DEFAULT_TARGET,
+        retain_records: bool = True,
+        sample_cap: int = DEFAULT_SAMPLE_CAP,
     ):
         self.registry = registry
         self.targets = dict(targets)
         self.default = default
+        self.retain_records = retain_records
+        self.sample_cap = sample_cap
         self.records: list[JobRecord] = []
+        self._by_kind: dict[str, _StreamStats] = {}
+        self._by_tenant: dict[str, _StreamStats] = {}
+        self._overall = _StreamStats(sample_cap, _stream_seed("overall"))
 
     def target_for(self, kind: str) -> ClassTarget:
         return self.targets.get(kind, self.default)
 
+    def _stats(self, table: dict[str, _StreamStats], key: str) -> _StreamStats:
+        stats = table.get(key)
+        if stats is None:
+            stats = _StreamStats(self.sample_cap, _stream_seed(key))
+            table[key] = stats
+        return stats
+
     def observe(self, record: JobRecord) -> None:
-        self.records.append(record)
+        if self.retain_records:
+            self.records.append(record)
         self.registry.counter(f"count.fleet.{record.outcome}").inc()
         if record.completed_s is not None:
             self.registry.histogram(
@@ -165,6 +294,10 @@ class SlaTracker:
             ).observe(record.latency_s)
         if not record.met_deadline:
             self.registry.counter("count.fleet.deadline_missed").inc()
+        self._overall.observe(record)
+        self._stats(self._by_kind, record.kind).observe(record)
+        if record.tenant:
+            self._stats(self._by_tenant, record.tenant).observe(record)
 
     # -- reporting ---------------------------------------------------------------
 
@@ -193,12 +326,45 @@ class SlaTracker:
 
     def report(self, horizon_s: float) -> SlaReport:
         assert_positive("horizon_s", horizon_s)
-        by_kind: dict[str, list[JobRecord]] = {}
-        for record in self.records:
-            by_kind.setdefault(record.kind, []).append(record)
-        classes = tuple(
-            self._summarise(kind, records, horizon_s)
-            for kind, records in sorted(by_kind.items())
-        )
-        overall = self._summarise("overall", list(self.records), horizon_s)
+        if self.retain_records:
+            by_kind: dict[str, list[JobRecord]] = {}
+            for record in self.records:
+                by_kind.setdefault(record.kind, []).append(record)
+            classes = tuple(
+                self._summarise(kind, records, horizon_s)
+                for kind, records in sorted(by_kind.items())
+            )
+            overall = self._summarise("overall", list(self.records), horizon_s)
+        else:
+            classes = tuple(
+                stats.summarise(kind, horizon_s)
+                for kind, stats in sorted(self._by_kind.items())
+            )
+            overall = self._overall.summarise("overall", horizon_s)
+        return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)
+
+    def tenant_report(self, horizon_s: float) -> SlaReport:
+        """Per-tenant SLA attainment: one :class:`ClassSla` per tenant.
+
+        ``ClassSla.kind`` carries the tenant name; records without a
+        tenant are excluded from the per-tenant rows but still count in
+        ``overall``, so the two reports reconcile.
+        """
+        assert_positive("horizon_s", horizon_s)
+        if self.retain_records:
+            by_tenant: dict[str, list[JobRecord]] = {}
+            for record in self.records:
+                if record.tenant:
+                    by_tenant.setdefault(record.tenant, []).append(record)
+            classes = tuple(
+                self._summarise(tenant, records, horizon_s)
+                for tenant, records in sorted(by_tenant.items())
+            )
+            overall = self._summarise("overall", list(self.records), horizon_s)
+        else:
+            classes = tuple(
+                stats.summarise(tenant, horizon_s)
+                for tenant, stats in sorted(self._by_tenant.items())
+            )
+            overall = self._overall.summarise("overall", horizon_s)
         return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)

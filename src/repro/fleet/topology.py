@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.params import DhlParams
 from ..errors import ConfigurationError
 from ..obs import Tracer
@@ -117,6 +119,21 @@ class DatasetCatalog:
         return tuple(
             self.name(index) for index in range(self.hot_count, self.n_datasets)
         )
+
+    def zipf_weights(self, alpha: float = 1.1) -> tuple[float, ...]:
+        """Normalised Zipf popularity over the catalog, hottest first.
+
+        Dataset ``ds-000`` is rank 1: the trace synthesiser draws
+        datasets from this distribution so replayed demand concentrates
+        on the same low-index datasets the round-robin homing spreads
+        across rails first.
+        """
+        if alpha <= 0:
+            raise ConfigurationError(f"zipf alpha must be positive, got {alpha}")
+        ranks = np.arange(1, self.n_datasets + 1, dtype=float)
+        weights = ranks ** -alpha
+        weights /= weights.sum()
+        return tuple(float(weight) for weight in weights)
 
 
 @dataclass(frozen=True)

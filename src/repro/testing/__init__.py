@@ -17,6 +17,12 @@ raises a clear error instead of an obscure one mid-suite.
   ``do_*`` methods plus a deterministic seeded :func:`random_walk`
   driver, so CI can pin an exact >= 500-rule replay independent of
   hypothesis' example scheduling.
+* :mod:`repro.testing.traffic` — the demand layer's vocabulary and
+  fuzz target: strategies for trace records, tenant profiles and whole
+  synthesis specs, plus :class:`TraceReplayMachine`, which emits
+  monotone records, encodes them live through both codecs, and
+  open-loop injects them into a chaos-ridden control plane while
+  checking round-trip identity and cart conservation.
 """
 
 try:
@@ -46,19 +52,33 @@ from .strategies import (
     valid_speeds,
     valid_ssds,
 )
+from .traffic import (
+    TraceReplayMachine,
+    TraceReplayStateMachine,
+    fuzz_header,
+    tenant_profiles,
+    trace_records,
+    trace_specs,
+)
 
 __all__ = [
     "DhlApiMachine",
     "DhlApiStateMachine",
     "FleetDispatchMachine",
     "FleetStateMachine",
+    "TraceReplayMachine",
+    "TraceReplayStateMachine",
     "campaign_events",
     "chaos_campaigns",
     "chaos_specs",
     "degradation_policies",
     "dhl_params",
     "fleet_scenarios",
+    "fuzz_header",
     "random_walk",
+    "tenant_profiles",
+    "trace_records",
+    "trace_specs",
     "valid_lengths",
     "valid_sizes_pb",
     "valid_speeds",

@@ -1,0 +1,116 @@
+"""Trace-driven internet-scale demand for the DHL fleet.
+
+The north star asks for "heavy traffic from millions of users"; this
+package is that demand layer.  It has four parts, each usable alone:
+
+* :mod:`~repro.traffic.schema` — a compact, versioned trace record
+  (arrival, tenant, dataset, bytes, class, deadline) with a
+  self-describing header;
+* :mod:`~repro.traffic.codec` — JSONL and packed-binary codecs with
+  constant-memory streaming readers and writers, so a 10M-request day
+  never lives in RAM;
+* :mod:`~repro.traffic.synth` — seeded synthesis: diurnal
+  non-homogeneous Poisson arrivals via thinning, superimposed
+  flash-crowd bursts, Zipf popularity over the fleet's dataset
+  catalog, multi-tenant class mixes — byte-identical serially or
+  across :func:`repro.core.sweep.map_chunks` process pools;
+* :mod:`~repro.traffic.replay` — an open-loop adapter that feeds a
+  trace into :func:`repro.fleet.controlplane.run_fleet` incrementally
+  on the DES clock behind a bounded lookahead cursor, with per-tenant
+  SLA accounting surfaced through the fleet report.
+
+``repro traffic`` (see :mod:`repro.cli`) runs the benchmark pipeline
+end to end and gates it against the committed ``BENCH_traffic.json``.
+"""
+
+from .schema import (
+    JSONL_SCHEMA,
+    TRACE_MAGIC,
+    TRACE_SCHEMA_VERSION,
+    TraceHeader,
+    TraceRecord,
+    monotone,
+)
+from .codec import (
+    BinaryTraceWriter,
+    FORMATS,
+    JsonlTraceWriter,
+    RECORD_STRUCT,
+    read_binary_header,
+    read_binary_records,
+    read_jsonl_header,
+    read_jsonl_records,
+    read_trace,
+    write_trace,
+)
+from .synth import (
+    DAY_S,
+    DEFAULT_WINDOW_S,
+    DemandClass,
+    FlashCrowd,
+    TenantProfile,
+    TraceSpec,
+    default_spec,
+    expected_records,
+    expected_window_counts,
+    synthesise,
+    synthesise_pooled,
+    synthesise_window,
+    trace_header,
+)
+from .replay import (
+    LookaheadCursor,
+    ReplayConfig,
+    ReplayResult,
+    bound_jobs,
+    check_compatible,
+    replay_fleet,
+)
+from .bench import (
+    TrafficBenchReport,
+    bench_scenario,
+    in_system_bound,
+    run_traffic_bench,
+)
+
+__all__ = [
+    "BinaryTraceWriter",
+    "DAY_S",
+    "DEFAULT_WINDOW_S",
+    "DemandClass",
+    "FORMATS",
+    "FlashCrowd",
+    "JSONL_SCHEMA",
+    "JsonlTraceWriter",
+    "LookaheadCursor",
+    "RECORD_STRUCT",
+    "ReplayConfig",
+    "ReplayResult",
+    "TRACE_MAGIC",
+    "TRACE_SCHEMA_VERSION",
+    "TenantProfile",
+    "TraceHeader",
+    "TraceRecord",
+    "TraceSpec",
+    "TrafficBenchReport",
+    "bench_scenario",
+    "bound_jobs",
+    "check_compatible",
+    "default_spec",
+    "expected_records",
+    "expected_window_counts",
+    "in_system_bound",
+    "monotone",
+    "read_binary_header",
+    "read_binary_records",
+    "read_jsonl_header",
+    "read_jsonl_records",
+    "read_trace",
+    "replay_fleet",
+    "run_traffic_bench",
+    "synthesise",
+    "synthesise_pooled",
+    "synthesise_window",
+    "trace_header",
+    "write_trace",
+]

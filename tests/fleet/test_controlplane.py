@@ -145,6 +145,50 @@ class TestDeterminism:
         assert run(seed=1).records != run(seed=2).records
 
 
+class TestLazyIntake:
+    """The lazy-intake refactor pin: `run_fleet` consumes jobs as an
+    iterator and the report stays byte-identical to eager submission."""
+
+    def test_explicit_job_sources_are_byte_identical(self):
+        scenario = default_scenario(policy="edf", cache="lru", seed=7,
+                                    horizon_s=HORIZON)
+        generator = WorkloadGenerator(classes=scenario.classes,
+                                      seed=scenario.seed)
+        jobs = generator.generate(scenario.horizon_s)
+
+        def lazily(source):
+            yield from source
+
+        as_list = run_fleet(scenario, jobs=list(jobs))
+        as_iterator = run_fleet(scenario, jobs=iter(list(jobs)))
+        as_generator = run_fleet(scenario, jobs=lazily(list(jobs)))
+        assert as_list == as_iterator == as_generator
+
+    def test_internal_generation_matches_explicit_jobs(self):
+        scenario = default_scenario(policy="edf", cache="lru", seed=7,
+                                    horizon_s=HORIZON)
+        generator = WorkloadGenerator(classes=scenario.classes,
+                                      seed=scenario.seed)
+        jobs = generator.generate(scenario.horizon_s)
+        assert run_fleet(scenario) == run_fleet(scenario, jobs=jobs)
+
+    def test_peak_in_system_is_tracked_and_bounded(self):
+        report = run(policy="edf", cache="lru")
+        assert report.peak_in_system >= 1
+        spec = FleetSpec()
+        bound = (
+            spec.n_racks * AdmissionControl().max_queue_depth
+            + spec.n_racks * spec.stations_per_rack
+            + 1
+        )
+        assert report.peak_in_system <= bound
+
+    def test_empty_job_stream_is_a_configuration_error(self):
+        scenario = default_scenario(seed=0, horizon_s=HORIZON)
+        with pytest.raises(ConfigurationError):
+            run_fleet(scenario, jobs=iter(()))
+
+
 class TestAcceptanceScenario:
     """Cache-enabled EDF vs cache-less FCFS on the hot-dataset mix."""
 

@@ -8,6 +8,7 @@ from repro.fleet.sla import (
     DEFAULT_TARGET,
     ClassTarget,
     JobRecord,
+    LatencyReservoir,
     SERVED,
     SHED,
     SlaTracker,
@@ -16,11 +17,11 @@ from repro.obs import MetricsRegistry
 from repro.sim import Environment
 
 
-def make_tracker():
+def make_tracker(**kwargs):
     env = Environment()
     registry = MetricsRegistry(env)
     targets = {"interactive": ClassTarget(deadline_s=60.0, priority=0)}
-    return registry, SlaTracker(registry, targets)
+    return registry, SlaTracker(registry, targets, **kwargs)
 
 
 def served(job_id, kind, arrival, completed, deadline=60.0, size=1e12):
@@ -137,3 +138,115 @@ class TestSlaReport:
         tracker.observe(served(0, "interactive", 0.0, 30.0))
         with pytest.raises(ConfigurationError):
             tracker.report(horizon_s=100.0).for_kind("archive")
+
+
+class TestLatencyReservoir:
+    def test_exact_until_cap(self):
+        reservoir = LatencyReservoir(cap=16)
+        for value in range(16):
+            reservoir.observe(float(value))
+        assert reservoir.exact
+        assert reservoir.samples == [float(value) for value in range(16)]
+
+    def test_bounded_and_unbiased_past_cap(self):
+        reservoir = LatencyReservoir(cap=64, seed=1)
+        for value in range(10_000):
+            reservoir.observe(float(value))
+        assert not reservoir.exact
+        assert len(reservoir.samples) == 64
+        # A uniform reservoir over 0..9999 should not be dominated by
+        # either extreme of the stream.
+        assert 2000.0 < float(np.mean(reservoir.samples)) < 8000.0
+
+    def test_deterministic_for_fixed_order(self):
+        def fill():
+            reservoir = LatencyReservoir(cap=32, seed=7)
+            for value in range(500):
+                reservoir.observe(float(value))
+            return reservoir.samples
+
+        assert fill() == fill()
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ConfigurationError):
+            LatencyReservoir(cap=0)
+
+
+class TestStreamingMode:
+    def test_streaming_matches_retained_within_cap(self):
+        _, retained = make_tracker()
+        _, streaming = make_tracker(retain_records=False)
+        rng = np.random.default_rng(3)
+        for index, latency in enumerate(rng.uniform(1.0, 200.0, size=211)):
+            record = served(index, "interactive", 0.0, float(latency))
+            retained.observe(record)
+            streaming.observe(record)
+        assert streaming.records == []
+        exact = retained.report(horizon_s=3600.0)
+        approx = streaming.report(horizon_s=3600.0)
+        assert approx == exact
+
+    def test_streaming_counts_exact_past_cap(self):
+        _, tracker = make_tracker(retain_records=False, sample_cap=32)
+        for index in range(500):
+            tracker.observe(served(index, "interactive", 0.0, 30.0))
+        sla = tracker.report(horizon_s=100.0).for_kind("interactive")
+        assert sla.n_jobs == sla.n_completed == 500
+        assert sla.deadline_miss_rate == 0.0
+        assert sla.goodput_bytes_per_s == pytest.approx(500 * 1e12 / 100.0)
+
+
+def tenant_served(job_id, tenant, arrival, completed):
+    return JobRecord(
+        job_id=job_id,
+        kind="interactive",
+        dataset="ds-000",
+        arrival_s=arrival,
+        deadline_s=arrival + 60.0,
+        read_bytes=1e12,
+        outcome=SERVED,
+        completed_s=completed,
+        tenant=tenant,
+    )
+
+
+class TestTenantReport:
+    @pytest.mark.parametrize("retain", [True, False])
+    def test_one_row_per_tenant(self, retain):
+        _, tracker = make_tracker(retain_records=retain)
+        tracker.observe(tenant_served(0, "search", 0.0, 30.0))
+        tracker.observe(tenant_served(1, "search", 0.0, 500.0))  # late
+        tracker.observe(tenant_served(2, "backup", 0.0, 10.0))
+        report = tracker.tenant_report(horizon_s=100.0)
+        assert [c.kind for c in report.classes] == ["backup", "search"]
+        assert report.for_kind("search").deadline_miss_rate == 0.5
+        assert report.for_kind("backup").deadline_miss_rate == 0.0
+        assert report.overall.n_jobs == 3
+
+    @pytest.mark.parametrize("retain", [True, False])
+    def test_untenanted_records_stay_out_of_rows(self, retain):
+        _, tracker = make_tracker(retain_records=retain)
+        tracker.observe(served(0, "interactive", 0.0, 30.0))
+        tracker.observe(tenant_served(1, "search", 0.0, 30.0))
+        report = tracker.tenant_report(horizon_s=100.0)
+        assert [c.kind for c in report.classes] == ["search"]
+        # ...but they still reconcile through the overall row.
+        assert report.overall.n_jobs == 2
+
+    def test_modes_agree_on_tenant_rows(self):
+        _, retained = make_tracker()
+        _, streaming = make_tracker(retain_records=False)
+        rng = np.random.default_rng(5)
+        for index in range(150):
+            record = tenant_served(
+                index,
+                ("search", "analytics", "backup")[index % 3],
+                float(index),
+                float(index) + float(rng.uniform(1.0, 120.0)),
+            )
+            retained.observe(record)
+            streaming.observe(record)
+        assert (
+            streaming.tenant_report(horizon_s=3600.0)
+            == retained.tenant_report(horizon_s=3600.0)
+        )

@@ -20,6 +20,8 @@ from repro.testing import (
     DhlApiStateMachine,
     FleetDispatchMachine,
     FleetStateMachine,
+    TraceReplayMachine,
+    TraceReplayStateMachine,
     random_walk,
 )
 
@@ -114,6 +116,34 @@ class TestDeterministicWalks:
 
         assert run_once() == run_once()
 
+    def test_trace_replay_machine_survives_500_rules_under_chaos(self):
+        machine = random_walk(TraceReplayMachine(seed=0), n_rules=500, seed=0)
+        assert machine.rules >= 500
+        assert machine.emitted
+        # Everything emitted was injected and resolved; arrivals stayed
+        # monotone and both codecs round-tripped (check() enforced both
+        # after every rule).
+        assert machine.injected == len(machine.emitted)
+        assert machine.plane._resolved == machine.injected
+        assert machine.plane._campaign.log.outages_applied >= 1
+
+    def test_trace_replay_walk_replays_bit_identically(self):
+        def run_once():
+            machine = random_walk(
+                TraceReplayMachine(seed=5), n_rules=120, seed=17
+            )
+            return (
+                machine.env.now,
+                machine.injected,
+                machine._binary.getvalue(),
+                tuple(
+                    (record.job_id, str(record.outcome), record.tenant)
+                    for record in machine.plane._outcomes
+                ),
+            )
+
+        assert run_once() == run_once()
+
     def test_different_walk_seeds_diverge(self):
         first = random_walk(DhlApiMachine(seed=0), n_rules=60, seed=0)
         second = random_walk(DhlApiMachine(seed=0), n_rules=60, seed=1)
@@ -128,6 +158,11 @@ class TestHypothesisMachines:
 
     def test_fleet_state_machine(self):
         run_state_machine_as_test(FleetStateMachine, settings=FUZZ_SETTINGS)
+
+    def test_trace_replay_state_machine(self):
+        run_state_machine_as_test(
+            TraceReplayStateMachine, settings=FUZZ_SETTINGS
+        )
 
 
 @pytest.mark.long_fuzz
@@ -152,3 +187,12 @@ class TestLongFuzz:
             FleetDispatchMachine(seed=seed), n_rules=1500, seed=seed
         )
         assert len(machine.plane._outcomes) == machine.submitted
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_trace_replay_machine_long_walk(self, seed):
+        machine = random_walk(
+            TraceReplayMachine(seed=seed), n_rules=1500, seed=seed
+        )
+        assert machine.plane._resolved == machine.injected == len(
+            machine.emitted
+        )

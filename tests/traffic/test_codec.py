@@ -1,0 +1,165 @@
+"""Tests for the JSONL and packed-binary trace codecs."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import ConfigurationError, DataIntegrityError
+from repro.traffic.codec import (
+    DECODE_BATCH,
+    RECORD_STRUCT,
+    BinaryTraceWriter,
+    JsonlTraceWriter,
+    read_binary_header,
+    read_binary_records,
+    read_jsonl_header,
+    read_jsonl_records,
+    read_trace,
+    write_trace,
+)
+from repro.traffic.schema import TRACE_MAGIC, TraceHeader, TraceRecord
+from repro.traffic.synth import default_spec, synthesise, trace_header
+
+HEADER = TraceHeader(
+    seed=3,
+    horizon_s=600.0,
+    tenants=("search", "backup"),
+    datasets=("ds-000", "ds-001", "ds-002"),
+    kinds=("interactive", "batch"),
+    extra=(("rate_scale", 0.25),),
+)
+
+
+def sample_records(n=10):
+    return [
+        TraceRecord(
+            arrival_s=float(index) * 1.5,
+            tenant=HEADER.tenants[index % 2],
+            dataset=HEADER.datasets[index % 3],
+            size_bytes=1e12 + index * 0.1,
+            kind=HEADER.kinds[index % 2],
+            deadline_s=float(index) * 1.5 + 60.0,
+        )
+        for index in range(n)
+    ]
+
+
+def encode_binary(records, header=HEADER):
+    stream = io.BytesIO()
+    writer = BinaryTraceWriter(stream, header)
+    for record in records:
+        writer.write(record)
+    stream.seek(0)
+    return stream
+
+
+def encode_jsonl(records, header=HEADER):
+    stream = io.StringIO()
+    writer = JsonlTraceWriter(stream, header)
+    for record in records:
+        writer.write(record)
+    stream.seek(0)
+    return stream
+
+
+class TestBinaryCodec:
+    def test_round_trip_is_bit_exact(self):
+        records = sample_records(2 * DECODE_BATCH + 17)
+        stream = encode_binary(records)
+        header = read_binary_header(stream)
+        assert header == HEADER
+        assert list(read_binary_records(stream, header)) == records
+
+    def test_records_are_fixed_size(self):
+        records = sample_records(5)
+        body = encode_binary(records).getvalue()
+        header_len = len(TRACE_MAGIC) + 4 + struct.unpack(
+            "<I", body[len(TRACE_MAGIC):len(TRACE_MAGIC) + 4]
+        )[0]
+        assert len(body) - header_len == 5 * RECORD_STRUCT.size
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(DataIntegrityError):
+            read_binary_header(io.BytesIO(b"NOPE" + b"\x00" * 16))
+
+    def test_rejects_truncated_record(self):
+        stream = encode_binary(sample_records(3))
+        clipped = io.BytesIO(stream.getvalue()[:-7])
+        header = read_binary_header(clipped)
+        with pytest.raises(DataIntegrityError):
+            list(read_binary_records(clipped, header))
+
+    def test_write_rejects_undeclared_names(self):
+        writer = BinaryTraceWriter(io.BytesIO(), HEADER)
+        rogue = TraceRecord(0.0, "mystery", "ds-000", 1e12,
+                            "interactive", 60.0)
+        with pytest.raises(ConfigurationError):
+            writer.write(rogue)
+
+    def test_write_rejects_backwards_arrivals(self):
+        writer = BinaryTraceWriter(io.BytesIO(), HEADER)
+        records = sample_records(2)
+        writer.write(records[1])
+        with pytest.raises(DataIntegrityError):
+            writer.write(records[0])
+
+
+class TestJsonlCodec:
+    def test_round_trip_is_bit_exact(self):
+        records = sample_records(41)
+        stream = encode_jsonl(records)
+        header = read_jsonl_header(stream)
+        assert header == HEADER
+        assert list(read_jsonl_records(stream, header)) == records
+
+    def test_one_object_per_line(self):
+        text = encode_jsonl(sample_records(4)).getvalue()
+        assert len(text.strip().splitlines()) == 1 + 4
+
+    def test_rejects_non_trace_stream(self):
+        with pytest.raises(DataIntegrityError):
+            read_jsonl_header(io.StringIO('{"schema": "something-else"}\n'))
+
+    def test_rejects_corrupt_record_line(self):
+        stream = encode_jsonl(sample_records(2))
+        corrupted = io.StringIO(
+            stream.getvalue().rsplit("\n", 2)[0] + "\n{not json}\n"
+        )
+        header = read_jsonl_header(corrupted)
+        with pytest.raises(DataIntegrityError):
+            list(read_jsonl_records(corrupted, header))
+
+    def test_write_rejects_backwards_arrivals(self):
+        writer = JsonlTraceWriter(io.StringIO(), HEADER)
+        records = sample_records(2)
+        writer.write(records[1])
+        with pytest.raises(DataIntegrityError):
+            writer.write(records[0])
+
+
+class TestTraceFiles:
+    @pytest.mark.parametrize("fmt", ["bin", "jsonl"])
+    def test_write_read_round_trip_autodetects(self, tmp_path, fmt):
+        records = sample_records(23)
+        path = str(tmp_path / f"trace.{fmt}")
+        count = write_trace(path, HEADER, iter(records), fmt=fmt)
+        assert count == 23
+        header, decoded = read_trace(path)
+        assert header == HEADER
+        assert list(decoded) == records
+
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_trace(str(tmp_path / "t"), HEADER, [], fmt="csv")
+
+    def test_formats_agree_on_synthesised_trace(self, tmp_path):
+        spec = default_spec(seed=5, horizon_s=900.0, rate_scale=0.05)
+        header = trace_header(spec)
+        bin_path = str(tmp_path / "trace.bin")
+        jsonl_path = str(tmp_path / "trace.jsonl")
+        write_trace(bin_path, header, synthesise(spec), fmt="bin")
+        write_trace(jsonl_path, header, synthesise(spec), fmt="jsonl")
+        _, from_bin = read_trace(bin_path)
+        _, from_jsonl = read_trace(jsonl_path)
+        assert list(from_bin) == list(from_jsonl)

@@ -1,0 +1,125 @@
+"""Tests for the traffic bench artefact and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.bench import (
+    SCHEMA,
+    bench_scenario,
+    compare_to_baseline,
+    in_system_bound,
+    load_baseline,
+    report_payload,
+    run_traffic_bench,
+    write_report,
+)
+from repro.traffic.synth import default_spec
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return run_traffic_bench(requests=2000)
+
+
+class TestBenchRun:
+    def test_rejects_trivial_request_counts(self):
+        with pytest.raises(ConfigurationError):
+            run_traffic_bench(requests=10)
+
+    def test_invariants_all_hold(self, bench):
+        assert all(bench.invariants.values()), bench.invariants
+
+    def test_request_target_is_roughly_hit(self, bench):
+        assert 0.9 * 2000 < bench.n_records < 1.1 * 2000
+
+    def test_scenario_sheds_instead_of_queueing_unboundedly(self, bench):
+        assert bench.scenario.admission.failover_links == 0
+        assert not bench.scenario.retain_records
+        assert bench.result.peak_in_system <= in_system_bound(bench.scenario)
+
+    def test_bench_is_deterministic_in_virtual_time(self, bench):
+        again = run_traffic_bench(requests=2000)
+        assert again.result.fleet == bench.result.fleet
+        assert again.n_records == bench.n_records
+        assert again.tenant_counts == bench.tenant_counts
+
+
+class TestPayload:
+    def test_payload_sections(self, bench):
+        payload = report_payload(bench)
+        assert payload["schema"] == SCHEMA
+        assert set(payload["tenants"]) == {"search", "analytics", "backup"}
+        assert payload["replay"]["n_jobs"] == bench.n_records
+        assert payload["replay"]["peak_in_system"] <= (
+            payload["replay"]["in_system_bound"]
+        )
+        for kpis in payload["tenants"].values():
+            assert {"n_jobs", "p99_s", "deadline_miss_rate",
+                    "goodput_gb_per_s"} <= set(kpis)
+
+    def test_write_and_load_round_trip(self, bench, tmp_path):
+        path = str(tmp_path / "BENCH_traffic.json")
+        write_report(bench, path)
+        assert load_baseline(path) == json.loads(
+            json.dumps(report_payload(bench))
+        )
+
+
+class TestRegressionGate:
+    def test_identical_payloads_pass(self, bench):
+        payload = report_payload(bench)
+        assert compare_to_baseline(payload, payload) == []
+
+    def test_informational_drift_is_exempt(self, bench):
+        payload = report_payload(bench)
+        baseline = json.loads(json.dumps(payload))
+        baseline["replay"]["events_per_s_informational"] = 1.0
+        assert compare_to_baseline(payload, baseline) == []
+
+    def test_kpi_drift_is_flagged(self, bench):
+        payload = report_payload(bench)
+        baseline = json.loads(json.dumps(payload))
+        baseline["replay"]["served"] += 1
+        baseline["tenants"]["search"]["p99_s"] *= 1.5
+        problems = compare_to_baseline(payload, baseline)
+        assert any("replay.served" in problem for problem in problems)
+        assert any("tenants.search.p99_s" in problem for problem in problems)
+
+    def test_failed_invariants_are_flagged_on_both_sides(self, bench):
+        payload = report_payload(bench)
+        broken = json.loads(json.dumps(payload))
+        broken["invariants"]["codec_roundtrip_identical"] = False
+        assert any(
+            "invariant failed in baseline" in problem
+            for problem in compare_to_baseline(payload, broken)
+        )
+        assert any(
+            "invariant failed in fresh run" in problem
+            for problem in compare_to_baseline(broken, payload)
+        )
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_matches_fresh_run(self):
+        """The CI gate itself: BENCH_traffic.json reproduces exactly."""
+        baseline = load_baseline("BENCH_traffic.json")
+        bench = run_traffic_bench(
+            seed=int(baseline["seed"]),
+            horizon_s=float(baseline["horizon_s"]),
+            requests=int(baseline["requests_target"]),
+        )
+        problems = compare_to_baseline(report_payload(bench), baseline)
+        assert problems == [], "\n".join(problems)
+
+
+def test_in_system_bound_formula():
+    spec = default_spec(seed=0, horizon_s=600.0, rate_scale=0.1)
+    scenario = bench_scenario(spec, 600.0)
+    bound = in_system_bound(scenario)
+    assert bound == (
+        scenario.spec.n_racks * scenario.admission.max_queue_depth
+        + scenario.spec.total_stations
+        + 1
+    )
