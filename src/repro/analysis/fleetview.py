@@ -16,7 +16,10 @@ from ..fleet.capacity import CapacityPlan
 from ..fleet.controlplane import FleetReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from typing import Mapping
+
     from ..chaos.bench import ChaosBenchReport
+    from ..fleet.shard import ShardReport
     from ..traffic.bench import TrafficBenchReport
     from ..traffic.replay import ReplayResult
 
@@ -191,6 +194,75 @@ def traffic_tenant_table(
             f"{class_sla.deadline_miss_rate:.1%}",
             f"{class_sla.goodput_bytes_per_s / 1e9:.1f}",
         ])
+    return headers, rows
+
+
+def shard_pod_table(
+    report: "ShardReport",
+) -> tuple[list[str], list[list[object]]]:
+    """Per-pod accounting of one sharded run, with the merged total."""
+    headers = [
+        "Pod",
+        "Tracks",
+        "Carts",
+        "Jobs",
+        "Served",
+        "Shed",
+        "Failover",
+        "Failed",
+        "Makespan (s)",
+    ]
+    rows: list[list[object]] = []
+    for row in report.pod_rows:
+        rows.append([
+            row["pod"],
+            row["tracks"],
+            row["carts"],
+            row["n_jobs"],
+            row["served"],
+            row["shed"],
+            row["failovers"],
+            row["failed"],
+            f"{row['makespan_s']:.1f}",
+        ])
+    fleet = report.fleet
+    rows.append([
+        "total",
+        report.plan.scenario.spec.n_tracks,
+        report.plan.scenario.spec.cart_pool,
+        fleet.n_jobs,
+        fleet.served,
+        fleet.shed,
+        fleet.failovers,
+        fleet.failed,
+        f"{fleet.makespan_s:.1f}",
+    ])
+    return headers, rows
+
+
+def shard_timing_table(
+    payload: "Mapping[str, object]",
+) -> tuple[list[str], list[list[object]]]:
+    """Executor wall-clock comparison from a ``BENCH_shard.json`` payload.
+
+    Wall times are machine-dependent (informational); the byte-identity
+    of the two executors is the part every machine must reproduce.
+    """
+    timings = dict(payload.get("timings_informational", {}))
+    if not timings:
+        raise ConfigurationError(
+            "the shard payload carries no timings_informational block"
+        )
+    headers = ["Executor", "Workers", "Wall (s)", "Speedup"]
+    rows: list[list[object]] = [
+        ["serial", 1, f"{timings['serial_wall_s']:.2f}", "1.00x"],
+        [
+            "process",
+            timings["process_workers"],
+            f"{timings['process_wall_s']:.2f}",
+            f"{timings['speedup']:.2f}x",
+        ],
+    ]
     return headers, rows
 
 

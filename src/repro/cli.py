@@ -88,8 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shards",
         type=int,
-        default=4,
-        help="trace: dataset shards (one cart each) in the campaign",
+        default=None,
+        help="trace: dataset shards (one cart each) in the campaign "
+             "(default 4); fleet: run the scenario sharded into N pods "
+             "via the multi-process co-simulator",
+    )
+    parser.add_argument(
+        "--interpod-latency",
+        type=float,
+        default=5.0,
+        help="fleet --shards: boundary latency between pods in simulated "
+             "seconds (also the conservative epoch window)",
+    )
+    parser.add_argument(
+        "--shard-engine",
+        choices=("serial", "process"),
+        default="process",
+        help="fleet --shards: epoch executor (results are byte-identical "
+             "either way)",
+    )
+    parser.add_argument(
+        "--shard-out",
+        default="BENCH_shard.json",
+        help="bench shard mode: output path for the shard baseline JSON",
     )
     parser.add_argument(
         "--seed",
@@ -125,13 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("sweep", "engine", "chaos", "traffic"),
+        choices=("sweep", "engine", "chaos", "traffic", "shard"),
         default="sweep",
         help="bench: 'sweep' times the design-space engines, 'engine' the "
              "DES core against the frozen reference, 'chaos' the "
              "graceful-degradation gate (same as the chaos artefact), "
              "'traffic' the trace synthesis + replay gate (same as the "
-             "traffic artefact)",
+             "traffic artefact), 'shard' the sharded co-simulation "
+             "identity + speedup gate",
     )
     parser.add_argument(
         "--points",
@@ -275,7 +297,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .obs.export import event_log, to_chrome_trace, validate_chrome_trace
         from .obs.scenarios import run_scenario
 
-        result = run_scenario(args.scenario, shards=args.shards, seed=args.seed)
+        result = run_scenario(
+            args.scenario,
+            shards=args.shards if args.shards is not None else 4,
+            seed=args.seed,
+        )
         payload = to_chrome_trace(result.tracer)
         validate_chrome_trace(payload)
         with open(args.trace_out, "w", encoding="utf-8") as handle:
@@ -410,6 +436,78 @@ def main(argv: Sequence[str] | None = None) -> int:
                     print(f"REGRESSION: {problem}")
                 return 1
             print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "bench" and args.mode == "shard":
+        # Lazy: the shard bench runs the 10x fleet on both executors.
+        from .analysis.fleetview import shard_pod_table, shard_timing_table
+        from .fleet import shardbench
+
+        bench = shardbench.run_shard_bench(
+            seed=args.seed, horizon_s=args.horizon, workers=args.workers
+        )
+        payload = shardbench.report_payload(bench)
+        headers, rows = shard_pod_table(bench.serial)
+        print(render_table(
+            headers, rows,
+            title=f"Shard bench ({bench.plan.n_pods} pods over "
+                  f"{bench.plan.scenario.spec.n_tracks} tracks, "
+                  f"W={bench.plan.window_s:g} s, {bench.serial.epochs} epochs)",
+        ))
+        print()
+        headers, rows = shard_timing_table(payload)
+        print(render_table(headers, rows,
+                           title="Executor timings (informational)"))
+        print(f"\nserial sha256 {bench.serial_digest[:16]}.., process "
+              f"sha256 {bench.process_digest[:16]}.., identical: "
+              f"{bench.identical}")
+        for name, reason in dict(payload["skipped"]).items():
+            print(f"{name} invariant skipped: {reason}")
+        path = shardbench.write_report(bench, args.shard_out)
+        print(f"wrote shard baseline to {path}")
+        failed = [
+            name for name, ok in dict(payload["invariants"]).items() if not ok
+        ]
+        if failed:
+            print(f"FAIL: shard invariants violated: {', '.join(failed)}")
+            return 1
+        if args.check:
+            problems = shardbench.compare_to_baseline(
+                payload, shardbench.load_baseline(args.check)
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "fleet" and args.shards:
+        # Lazy: a sharded run builds one control plane per pod.
+        from .analysis.fleetview import fleet_sla_table, shard_pod_table
+        from .fleet.controlplane import default_scenario
+        from .fleet.shard import ShardPlan, run_sharded, signature_digest
+
+        plan = ShardPlan(
+            scenario=default_scenario(seed=args.seed, horizon_s=args.horizon),
+            n_pods=args.shards,
+            interpod_latency_s=args.interpod_latency,
+        )
+        report = run_sharded(
+            plan, engine=args.shard_engine, workers=args.workers
+        )
+        headers, rows = shard_pod_table(report)
+        print(render_table(
+            headers, rows,
+            title=f"Sharded fleet ({plan.n_pods} pods, "
+                  f"W={plan.window_s:g} s, engine {report.engine} x "
+                  f"{report.workers} workers)",
+        ))
+        print()
+        headers, rows = fleet_sla_table(report.fleet)
+        print(render_table(headers, rows, title="Merged per-class SLA"))
+        print(f"\n{report.epochs} epochs, {report.forwarded} cross-pod "
+              f"forwards, {sum(report.remote_outcomes.values())} outcome "
+              f"notes, signature {signature_digest(report.fleet)[:16]}.., "
+              f"{report.wall_s:.2f} s wall")
         return 0
     if args.artefact == "fleet":
         # Lazy: the fleet scenarios drive the full simulator stack.

@@ -89,16 +89,27 @@ def map_chunks(
 ) -> tuple:
     """Map ``chunk_fn`` over ``items`` in chunks, preserving input order.
 
-    The generic engine-dispatch core shared by :func:`evaluate_reports`
-    and the fleet capacity planner: ``chunk_fn`` receives a tuple of
-    items and must return one result per item, in order.  ``"serial"``
-    calls it once in-process over the whole tuple; ``"process"`` fans
-    chunks out to a :class:`~concurrent.futures.ProcessPoolExecutor`
-    (``chunk_fn`` and the items must be picklable — use a module-level
-    function or :func:`functools.partial` over one); ``"auto"`` picks
-    ``"process"`` only when ``workers`` is explicitly above 1.  Both
-    paths concatenate chunk results in submission order, so the output
-    is identical whichever engine ran it.
+    The generic engine-dispatch core behind every embarrassingly
+    parallel sweep in the repro: the design-point sweep
+    (:func:`evaluate_reports`), the fleet capacity planner
+    (:mod:`repro.fleet.capacity`), the Monte-Carlo replication harness
+    (:mod:`repro.sim.replicate`), windowed trace synthesis
+    (:mod:`repro.traffic.synth`) and workload fingerprinting.
+    ``chunk_fn`` receives a tuple of items and must return one result
+    per item, in order.  ``"serial"`` calls it once in-process over the
+    whole tuple; ``"process"`` fans chunks out to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``chunk_fn`` and
+    the items must be picklable — use a module-level function or
+    :func:`functools.partial` over one); ``"auto"`` picks ``"process"``
+    only when ``workers`` is explicitly above 1.  Both paths
+    concatenate chunk results in submission order, so the output is
+    identical whichever engine ran it.
+
+    This helper parallelises across *independent* items.  To
+    parallelise one large fleet simulation from the inside — where the
+    pods hold live, unpicklable DES state and must exchange messages —
+    use :func:`repro.fleet.shard.run_sharded`, which runs its own
+    persistent-worker executor instead of a chunk pool.
     """
     item_list = tuple(items)
     if not item_list:

@@ -49,6 +49,16 @@ from .montecarlo import (
     replicate_fleet,
     run_seeded,
 )
+from .shard import (
+    DEFAULT_INTERPOD_LATENCY_S,
+    SHARD_ENGINES,
+    ShardPlan,
+    ShardReport,
+    render_signature,
+    report_signature,
+    run_sharded,
+    signature_digest,
+)
 from .sla import (
     DEFAULT_SAMPLE_CAP,
     DEFAULT_TARGET,
@@ -72,6 +82,7 @@ __all__ = [
     "CircuitBreaker",
     "ClassSla",
     "ClassTarget",
+    "DEFAULT_INTERPOD_LATENCY_S",
     "DEFAULT_REPLICATIONS",
     "DEFAULT_SAMPLE_CAP",
     "DEFAULT_TARGET",
@@ -91,6 +102,9 @@ __all__ = [
     "Outcome",
     "POLICIES",
     "RackCache",
+    "SHARD_ENGINES",
+    "ShardPlan",
+    "ShardReport",
     "SlaReport",
     "SlaRequirement",
     "SlaTracker",
@@ -98,7 +112,11 @@ __all__ = [
     "illegal_transitions",
     "montecarlo_payload",
     "plan_capacity",
+    "render_signature",
     "replicate_fleet",
+    "report_signature",
     "run_fleet",
     "run_seeded",
+    "run_sharded",
+    "signature_digest",
 ]

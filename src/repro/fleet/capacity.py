@@ -7,6 +7,10 @@ requirement.  Candidates are evaluated through
 :func:`repro.core.sweep.map_chunks`, so a plan can fan out across a
 process pool; virtual-time determinism guarantees the serial and
 parallel engines return the *same* plan, which the test suite pins.
+The parallelism here is *across* candidate fleets (each one a small
+independent run); to put every core on a single large fleet instead,
+shard that run with :func:`repro.fleet.shard.run_sharded` — see
+``docs/scaling.md`` for when each axis applies.
 
 "Cheapest" is lexicographic in capital cost: fewest tracks first (a
 tube is civil engineering), then fewest carts (each cart is a full SSD

@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -354,6 +354,9 @@ class ControlPlane:
         # fed by the track's fault-to-repair windows and serve outcomes.
         # Absent a policy nothing is created, so the fault-free fleet is
         # bit-identical to the pre-chaos control plane.
+        # Sharded runs subscribe here to learn each resolution as it
+        # lands (remote-outcome notifications); ``None`` costs nothing.
+        self.outcome_hook: Callable[[JobRecord], None] | None = None
         self.degradation = scenario.degradation
         self.monitors: dict[tuple[int, int], LaneHealthMonitor] = {}
         if self.degradation is not None:
@@ -683,6 +686,8 @@ class ControlPlane:
             self._max_completed_s = record.completed_s
         self._resolved += 1
         self._in_system -= 1
+        if self.outcome_hook is not None:
+            self.outcome_hook(record)
         self._maybe_done()
 
     def _maybe_done(self) -> None:
@@ -692,6 +697,43 @@ class ControlPlane:
             and not self._done.triggered
         ):
             self._done.succeed(None)
+
+    # -- sharded intake ----------------------------------------------------------
+    #
+    # The sharded runner (:mod:`repro.fleet.shard`) cannot hand the
+    # plane a lazy job stream: arrivals and forwarded jobs come in
+    # per-epoch batches at conservative time barriers.  These three
+    # hooks expose the exact intake path ``run`` drives, one event at a
+    # time, with ``_maybe_done`` semantics unchanged.
+
+    def start_workers(self) -> None:
+        """Spawn every lane's per-station worker processes."""
+        for lane in self.lanes.values():
+            for _ in range(lane.stations):
+                self.env.process(self._worker(lane))
+
+    def inject(self, fjob: _FleetJob, at: float) -> None:
+        """Schedule ``submit(fjob)`` at absolute virtual time ``at``.
+
+        Injection order is creation order for equal timestamps (the
+        engine breaks ties FIFO by event id), which is what makes a
+        fixed canonical injection order reproduce bit-identically under
+        any epoch executor.
+        """
+        event = self.env.event()
+
+        def _deliver(_event, fjob=fjob):
+            self.submit(fjob)
+
+        event.callbacks.append(_deliver)
+        event._ok = True
+        event._value = None
+        self.env.schedule_at(event, at)
+
+    def close_intake(self) -> None:
+        """No further jobs will arrive; the run may quiesce."""
+        self._intake_closed = True
+        self._maybe_done()
 
     # -- orchestration -----------------------------------------------------------
 
@@ -704,9 +746,7 @@ class ControlPlane:
             raise ConfigurationError(
                 "no jobs arrived within the horizon"
             ) from None
-        for lane in self.lanes.values():
-            for _ in range(lane.stations):
-                self.env.process(self._worker(lane))
+        self.start_workers()
         self.env.process(self._arrivals(itertools.chain((first,), iterator)))
         self.env.run(until=self._done)
         return self._build_report()

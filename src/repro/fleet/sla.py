@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -343,6 +343,32 @@ class SlaTracker:
             overall = self._overall.summarise("overall", horizon_s)
         return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)
 
+    # -- sharded state export ----------------------------------------------------
+
+    def export_state(self) -> SlaState:
+        """Snapshot the tracker as a picklable :class:`SlaState`.
+
+        The sharded fleet runner (:mod:`repro.fleet.shard`) exports one
+        state per pod, ships them across process boundaries, and folds
+        them with :func:`merge_sla_states` — the registry reference is
+        deliberately left behind (metrics travel separately as
+        snapshots).
+        """
+        return SlaState(
+            retain_records=self.retain_records,
+            sample_cap=self.sample_cap,
+            records=tuple(self.records),
+            by_kind={
+                kind: _export_stream(stats)
+                for kind, stats in sorted(self._by_kind.items())
+            },
+            by_tenant={
+                tenant: _export_stream(stats)
+                for tenant, stats in sorted(self._by_tenant.items())
+            },
+            overall=_export_stream(self._overall),
+        )
+
     def tenant_report(self, horizon_s: float) -> SlaReport:
         """Per-tenant SLA attainment: one :class:`ClassSla` per tenant.
 
@@ -368,3 +394,191 @@ class SlaTracker:
             )
             overall = self._overall.summarise("overall", horizon_s)
         return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)
+
+
+# -- picklable state for sharded merging -----------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamStatsState:
+    """Frozen snapshot of one :class:`_StreamStats` accumulator.
+
+    ``samples`` carries the reservoir contents in observation order and
+    ``n_observed`` the total completions the reservoir has seen, so a
+    merge can tell an exact reservoir (``n_observed == len(samples)``)
+    from a subsampled one.
+    """
+
+    n_jobs: int
+    n_completed: int
+    misses: int
+    good_bytes: float
+    samples: tuple[float, ...]
+    n_observed: int
+
+
+@dataclass(frozen=True)
+class SlaState:
+    """Everything a :class:`SlaTracker` knows, in picklable form.
+
+    One per pod in sharded runs; :func:`merge_sla_states` folds any
+    number of them (in pod order) into one fleet-wide state that
+    :func:`report_from_state` / :func:`tenant_report_from_state` turn
+    into the same :class:`SlaReport` a monolithic tracker would emit.
+    """
+
+    retain_records: bool
+    sample_cap: int
+    records: tuple[JobRecord, ...]
+    by_kind: Mapping[str, StreamStatsState]
+    by_tenant: Mapping[str, StreamStatsState]
+    overall: StreamStatsState
+
+
+def _export_stream(stats: _StreamStats) -> StreamStatsState:
+    return StreamStatsState(
+        n_jobs=stats.n_jobs,
+        n_completed=stats.n_completed,
+        misses=stats.misses,
+        good_bytes=stats.good_bytes,
+        samples=tuple(stats.reservoir.samples),
+        n_observed=stats.reservoir.n,
+    )
+
+
+def _merge_streams(
+    key: str, parts: Sequence[StreamStatsState], cap: int
+) -> StreamStatsState:
+    """Fold per-pod accumulators for one key, deterministically.
+
+    Counters and byte totals add exactly.  Reservoirs concatenate in
+    pod order; while the union fits ``cap`` samples the merge is exact
+    (same multiset a monolithic reservoir under cap would hold), beyond
+    that a generator seeded from the key — the same
+    :func:`_stream_seed` rule per-pod reservoirs use — picks a uniform
+    ``cap``-subset, keeping the estimate unbiased and bit-reproducible
+    for a fixed pod order.
+    """
+    samples: list[float] = []
+    for part in parts:
+        samples.extend(part.samples)
+    if len(samples) > cap:
+        rng = np.random.default_rng(_stream_seed(key))
+        keep = sorted(rng.choice(len(samples), size=cap, replace=False).tolist())
+        samples = [samples[index] for index in keep]
+    return StreamStatsState(
+        n_jobs=sum(part.n_jobs for part in parts),
+        n_completed=sum(part.n_completed for part in parts),
+        misses=sum(part.misses for part in parts),
+        good_bytes=sum(part.good_bytes for part in parts),
+        samples=tuple(samples),
+        n_observed=sum(part.n_observed for part in parts),
+    )
+
+
+def merge_sla_states(states: Sequence[SlaState]) -> SlaState:
+    """Merge per-pod SLA states (in pod order) into one fleet state."""
+    if not states:
+        raise ConfigurationError("merge_sla_states needs >= 1 state")
+    first = states[0]
+    for state in states[1:]:
+        if state.retain_records != first.retain_records:
+            raise ConfigurationError(
+                "cannot merge SLA states with mixed retain_records modes"
+            )
+        if state.sample_cap != first.sample_cap:
+            raise ConfigurationError(
+                f"cannot merge SLA states with different sample caps "
+                f"({first.sample_cap} vs {state.sample_cap})"
+            )
+    records = tuple(
+        sorted(
+            (record for state in states for record in state.records),
+            key=lambda record: record.job_id,
+        )
+    )
+    cap = first.sample_cap
+
+    def merge_tables(
+        tables: Sequence[Mapping[str, StreamStatsState]],
+    ) -> dict[str, StreamStatsState]:
+        keys = sorted({key for table in tables for key in table})
+        return {
+            key: _merge_streams(
+                key, [table[key] for table in tables if key in table], cap
+            )
+            for key in keys
+        }
+
+    return SlaState(
+        retain_records=first.retain_records,
+        sample_cap=cap,
+        records=records,
+        by_kind=merge_tables([state.by_kind for state in states]),
+        by_tenant=merge_tables([state.by_tenant for state in states]),
+        overall=_merge_streams(
+            "overall", [state.overall for state in states], cap
+        ),
+    )
+
+
+def _summarise_stream(kind: str, state: StreamStatsState,
+                      horizon_s: float) -> ClassSla:
+    if state.samples:
+        points = percentiles(list(state.samples))
+        p50, p95, p99 = points[50.0], points[95.0], points[99.0]
+    else:
+        p50 = p95 = p99 = float("inf")
+    return ClassSla(
+        kind=kind,
+        n_jobs=state.n_jobs,
+        n_completed=state.n_completed,
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
+        deadline_miss_rate=state.misses / state.n_jobs if state.n_jobs else 0.0,
+        goodput_bytes_per_s=state.good_bytes / horizon_s,
+    )
+
+
+def report_from_state(state: SlaState, horizon_s: float) -> SlaReport:
+    """Build the per-class :class:`SlaReport` a tracker with this state would."""
+    assert_positive("horizon_s", horizon_s)
+    if state.retain_records:
+        by_kind: dict[str, list[JobRecord]] = {}
+        for record in state.records:
+            by_kind.setdefault(record.kind, []).append(record)
+        classes = tuple(
+            SlaTracker._summarise(kind, records, horizon_s)
+            for kind, records in sorted(by_kind.items())
+        )
+        overall = SlaTracker._summarise("overall", list(state.records), horizon_s)
+    else:
+        classes = tuple(
+            _summarise_stream(kind, stats, horizon_s)
+            for kind, stats in sorted(state.by_kind.items())
+        )
+        overall = _summarise_stream("overall", state.overall, horizon_s)
+    return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)
+
+
+def tenant_report_from_state(state: SlaState, horizon_s: float) -> SlaReport:
+    """Build the per-tenant :class:`SlaReport` a tracker with this state would."""
+    assert_positive("horizon_s", horizon_s)
+    if state.retain_records:
+        by_tenant: dict[str, list[JobRecord]] = {}
+        for record in state.records:
+            if record.tenant:
+                by_tenant.setdefault(record.tenant, []).append(record)
+        classes = tuple(
+            SlaTracker._summarise(tenant, records, horizon_s)
+            for tenant, records in sorted(by_tenant.items())
+        )
+        overall = SlaTracker._summarise("overall", list(state.records), horizon_s)
+    else:
+        classes = tuple(
+            _summarise_stream(tenant, stats, horizon_s)
+            for tenant, stats in sorted(state.by_tenant.items())
+        )
+        overall = _summarise_stream("overall", state.overall, horizon_s)
+    return SlaReport(horizon_s=horizon_s, classes=classes, overall=overall)

@@ -20,6 +20,7 @@ ordering is a single deterministic virtual clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -146,6 +147,34 @@ class DatasetHome:
     size_bytes: float
 
 
+def assign_homes(spec: FleetSpec,
+                 catalog: DatasetCatalog) -> dict[str, DatasetHome]:
+    """The deterministic round-robin homing of a catalog over a fleet.
+
+    Datasets land on (track, rack) slots in track-fastest order, so
+    consecutive (hot) datasets hit distinct rails before doubling up on
+    a rail's second rack.  Module-level so the sharded runner
+    (:mod:`repro.fleet.shard`) can compute the *global* homing once,
+    carve it into per-pod subsets, and still agree byte-for-byte with
+    what an unsharded :class:`FleetTopology` would have staged.
+    """
+    slots = [
+        (track_index, rack)
+        for rack in range(1, spec.racks_per_track + 1)
+        for track_index in range(spec.n_tracks)
+    ]
+    homes: dict[str, DatasetHome] = {}
+    for index, name in enumerate(catalog.names):
+        track_index, endpoint_id = slots[index % len(slots)]
+        homes[name] = DatasetHome(
+            dataset=name,
+            track_index=track_index,
+            endpoint_id=endpoint_id,
+            size_bytes=catalog.dataset_bytes,
+        )
+    return homes
+
+
 class FleetTopology:
     """Runtime deployment: N per-rail simulators plus shared fleet state.
 
@@ -162,6 +191,7 @@ class FleetTopology:
         spec: FleetSpec,
         catalog: DatasetCatalog,
         tracer: Tracer | None = None,
+        homes: Mapping[str, DatasetHome] | None = None,
     ):
         if spec.params.storage_per_cart < catalog.dataset_bytes:
             raise ConfigurationError(
@@ -188,25 +218,25 @@ class FleetTopology:
             self.apis.append(DhlApi(system))
         # One token per physical cart, shared by every rail.
         self.cart_pool = Resource(env, capacity=spec.cart_pool)
+        # ``homes`` lets a shard stage only the datasets it owns, with
+        # track indices local to its own rails; the default is the full
+        # round-robin homing of the catalog.
+        if homes is None:
+            homes = assign_homes(spec, catalog)
         self.homes: dict[str, DatasetHome] = {}
-        # Track-fastest order so consecutive (hot) datasets land on
-        # distinct rails before doubling up on a rail's second rack.
-        slots = [
-            (track_index, rack)
-            for rack in range(1, spec.racks_per_track + 1)
-            for track_index in range(spec.n_tracks)
-        ]
-        for index, name in enumerate(catalog.names):
-            track_index, endpoint_id = slots[index % len(slots)]
-            self.systems[track_index].load_dataset(
-                synthetic_dataset(catalog.dataset_bytes, name=name)
+        for name in catalog.names:
+            home = homes.get(name)
+            if home is None:
+                continue
+            if not 0 <= home.track_index < spec.n_tracks:
+                raise ConfigurationError(
+                    f"dataset {name!r} is homed on track {home.track_index} "
+                    f"but this deployment has {spec.n_tracks} tracks"
+                )
+            self.systems[home.track_index].load_dataset(
+                synthetic_dataset(home.size_bytes, name=name)
             )
-            self.homes[name] = DatasetHome(
-                dataset=name,
-                track_index=track_index,
-                endpoint_id=endpoint_id,
-                size_bytes=catalog.dataset_bytes,
-            )
+            self.homes[name] = home
 
     def home(self, dataset: str) -> DatasetHome:
         try:

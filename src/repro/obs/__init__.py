@@ -31,6 +31,7 @@ from .metrics import (
     TimeWeightedValue,
     UtilisationMonitor,
     merge_snapshots,
+    merge_snapshots_additive,
 )
 from .probe import (
     CLAIM_SPAN,
@@ -66,6 +67,7 @@ __all__ = [
     "UtilisationMonitor",
     "event_log",
     "merge_snapshots",
+    "merge_snapshots_additive",
     "open_claim_counts",
     "span_nesting_violations",
     "to_chrome_trace",

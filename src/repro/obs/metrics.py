@@ -377,3 +377,70 @@ def merge_snapshots(snapshots: Iterable[dict[str, dict[str, Any]]]) -> dict[str,
     for snapshot in snapshots:
         merged.update(snapshot)
     return merged
+
+
+def _merge_entry_additive(name: str, into: dict[str, Any],
+                          entry: dict[str, Any]) -> None:
+    kind = entry.get("type")
+    if into.get("type") != kind:
+        raise ConfigurationError(
+            f"metric {name!r} has mixed types across snapshots "
+            f"({into.get('type')!r} vs {kind!r})"
+        )
+    if kind == "counter":
+        into["value"] += entry["value"]
+    elif kind == "gauge":
+        # Summing both fields makes the merged gauge an upper bound on
+        # the fleet-wide level: per-pod peaks need not coincide in time.
+        into["value"] += entry["value"]
+        into["peak"] += entry["peak"]
+    elif kind == "histogram":
+        if tuple(into["buckets"]) != tuple(entry["buckets"]):
+            raise ConfigurationError(
+                f"histogram {name!r} has mismatched bucket bounds "
+                "across snapshots"
+            )
+        into["count"] += entry["count"]
+        into["sum"] += entry["sum"]
+        for bound, count in entry["buckets"].items():
+            into["buckets"][bound] += count
+        for field_name, pick in (("min", min), ("max", max)):
+            ours, theirs = into[field_name], entry[field_name]
+            if ours is None:
+                into[field_name] = theirs
+            elif theirs is not None:
+                into[field_name] = pick(ours, theirs)
+        into["mean"] = into["sum"] / into["count"] if into["count"] else None
+    else:
+        raise ConfigurationError(
+            f"metric {name!r}: cannot additively merge type {kind!r} "
+            "(only counter/gauge/histogram snapshots are summable)"
+        )
+
+
+def merge_snapshots_additive(
+    snapshots: Iterable[dict[str, dict[str, Any]]],
+) -> dict[str, dict[str, Any]]:
+    """Sum several registry snapshots into one fleet-wide snapshot.
+
+    The sharded fleet runner exports one snapshot per pod and folds
+    them here: counters add exactly; gauges sum ``value`` and ``peak``
+    (an upper bound, since per-pod peaks need not be simultaneous);
+    histograms add bucket counts, totals and counts pointwise and merge
+    extrema.  A name bound to different metric types — or histograms
+    with different bucket bounds — raises
+    :class:`~repro.errors.ConfigurationError` rather than silently
+    forking the series.  Non-summable kinds (time-weighted values)
+    raise for the same reason.  Input snapshots are not mutated.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            if name not in merged:
+                copied = dict(entry)
+                if isinstance(copied.get("buckets"), dict):
+                    copied["buckets"] = dict(copied["buckets"])
+                merged[name] = copied
+            else:
+                _merge_entry_additive(name, merged[name], entry)
+    return {name: merged[name] for name in sorted(merged)}

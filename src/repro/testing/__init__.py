@@ -38,6 +38,8 @@ from .statemachine import (
     DhlApiStateMachine,
     FleetDispatchMachine,
     FleetStateMachine,
+    ShardCosimMachine,
+    ShardCosimStateMachine,
     random_walk,
 )
 from .strategies import (
@@ -66,6 +68,8 @@ __all__ = [
     "DhlApiStateMachine",
     "FleetDispatchMachine",
     "FleetStateMachine",
+    "ShardCosimMachine",
+    "ShardCosimStateMachine",
     "TraceReplayMachine",
     "TraceReplayStateMachine",
     "campaign_events",

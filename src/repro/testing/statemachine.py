@@ -1,16 +1,23 @@
-"""Stateful fuzzing of the DHL API and fleet control plane.
+"""Stateful fuzzing of the DHL API, fleet control plane and shard runner.
 
-Two machines, each usable three ways:
+Each machine here is usable three ways:
 
 * directly — ``do_*`` methods drive one operation to completion on the
   DES clock and ``check()`` asserts the invariants;
 * through :func:`random_walk` — a seeded, deterministic driver that
   issues a pinned number of random rules (CI's >= 500-rule gate replays
   bit-identically);
-* through hypothesis — :class:`DhlApiStateMachine` and
-  :class:`FleetStateMachine` wrap them as
-  :class:`~hypothesis.stateful.RuleBasedStateMachine`\\ s, so shrinking
-  finds minimal failing operation sequences.
+* through hypothesis — :class:`DhlApiStateMachine`,
+  :class:`FleetStateMachine` and :class:`ShardCosimStateMachine` wrap
+  them as :class:`~hypothesis.stateful.RuleBasedStateMachine`\\ s, so
+  shrinking finds minimal failing operation sequences.
+
+:class:`ShardCosimMachine` fuzzes the sharded co-simulator itself:
+rules reshard the fleet (pod count, boundary latency, chaos on/off)
+between short campaigns and every run re-checks the co-simulation
+contract — no job lost or duplicated across shard boundaries, the
+forwarded/outcome-note counters balanced, and previously seen
+configurations reproduced byte for byte.
 
 Invariants checked after **every** rule:
 
@@ -50,6 +57,12 @@ from ..dhlsim.scheduler import DhlSystem
 from ..errors import ReproError, SchedulingError
 from ..fleet.controlplane import ControlPlane, FleetScenario, _FleetJob, default_scenario
 from ..fleet.health import BREAKER_STATES, DegradationPolicy, illegal_transitions
+from ..fleet.shard import (
+    ShardPlan,
+    render_signature,
+    report_signature,
+    run_sharded,
+)
 from ..fleet.sla import DEFAULT_TARGET, Outcome
 from ..fleet.topology import FleetSpec, FleetTopology
 from ..obs import TraceLevel, Tracer
@@ -394,6 +407,152 @@ class FleetDispatchMachine:
             )
 
 
+class ShardCosimMachine:
+    """Resharding fuzz: mutate the shard plan between short campaigns.
+
+    Rules either *reshard* the fleet (change the pod count or the
+    inter-pod latency), toggle the chaos campaign, reseed the workload,
+    or *run* the current plan through the serial epoch executor.  After
+    every run:
+
+    * every bound job resolved exactly once — the merged record ids
+      are exactly ``0..n-1`` no matter how the fleet was cut;
+    * cross-pod conservation held — every forwarded job's outcome note
+      is accounted for (``forwarded == sum(remote_outcomes)``);
+    * the resolved-job total matches every other sharding of the same
+      workload — pods change the model's boundary latencies, never the
+      offered load;
+    * re-running a previously seen configuration reproduces the merged
+      fleet report byte for byte.
+    """
+
+    N_TRACKS = 4
+
+    def __init__(self, seed: int = 0, horizon_s: float = 450.0):
+        self.seed = seed
+        self.horizon_s = horizon_s
+        self.n_pods = 2
+        self.interpod_latency_s = 5.0
+        self.with_chaos = False
+        self.rules = 0
+        self.runs = 0
+        self.chaos_runs = 0
+        self.forwarded_total = 0
+        self._signatures: dict[tuple, str] = {}
+        self._workload_jobs: dict[tuple, int] = {}
+
+    def _scenario(self) -> FleetScenario:
+        if self.with_chaos:
+            return default_scenario(
+                policy="edf",
+                cache="lru",
+                seed=self.seed,
+                horizon_s=self.horizon_s,
+                spec=FleetSpec(
+                    n_tracks=self.N_TRACKS,
+                    cart_pool=3 * self.N_TRACKS,
+                    shuttle_policy=CHAOS_SHUTTLE_POLICY,
+                ),
+                chaos=default_campaign(seed=self.seed),
+                degradation=DegradationPolicy(),
+            )
+        return default_scenario(
+            policy="edf",
+            cache="lru",
+            seed=self.seed,
+            horizon_s=self.horizon_s,
+            spec=FleetSpec(n_tracks=self.N_TRACKS, cart_pool=3 * self.N_TRACKS),
+        )
+
+    # -- rules -------------------------------------------------------------------
+
+    def do_reshard(self, n_pods: int, latency_s: float) -> None:
+        self.rules += 1
+        self.n_pods = 1 + (n_pods - 1) % self.N_TRACKS
+        self.interpod_latency_s = min(120.0, max(1.0, latency_s))
+
+    def do_toggle_chaos(self) -> None:
+        self.rules += 1
+        self.with_chaos = not self.with_chaos
+
+    def do_reseed(self, seed: int) -> None:
+        self.rules += 1
+        self.seed = seed % 3
+
+    def do_run(self) -> None:
+        self.rules += 1
+        plan = ShardPlan(
+            scenario=self._scenario(),
+            n_pods=self.n_pods,
+            interpod_latency_s=self.interpod_latency_s,
+        )
+        report = run_sharded(plan, engine="serial")
+        fleet = report.fleet
+        assert fleet.n_jobs == sum(report.pod_jobs), (
+            f"pod rows account for {sum(report.pod_jobs)} jobs but the "
+            f"merged report has {fleet.n_jobs}"
+        )
+        ids = sorted(record.job_id for record in fleet.records)
+        assert ids == list(range(fleet.n_jobs)), (
+            "jobs lost or duplicated across shard boundaries: "
+            f"{fleet.n_jobs} jobs but ids {ids[:5]}..{ids[-5:]}"
+        )
+        assert report.forwarded == sum(report.remote_outcomes.values()), (
+            f"{report.forwarded} forwarded jobs but "
+            f"{sum(report.remote_outcomes.values())} outcome notes"
+        )
+        if plan.n_pods == 1:
+            assert report.forwarded == 0
+            assert report.epochs == 0
+        workload = (self.seed, self.horizon_s, self.with_chaos)
+        expected = self._workload_jobs.setdefault(workload, fleet.n_jobs)
+        assert expected == fleet.n_jobs, (
+            f"sharding into {plan.n_pods} pods changed the offered load: "
+            f"{fleet.n_jobs} jobs resolved, other cuts saw {expected}"
+        )
+        config = (*workload, self.n_pods, self.interpod_latency_s)
+        signature = render_signature(report_signature(fleet))
+        assert self._signatures.setdefault(config, signature) == signature, (
+            f"re-running configuration {config} was not byte-identical"
+        )
+        self.forwarded_total += report.forwarded
+        self.runs += 1
+        if self.with_chaos:
+            self.chaos_runs += 1
+
+    def step(self, rng: np.random.Generator) -> None:
+        choice = int(rng.integers(0, 8))
+        if choice <= 2:
+            self.do_reshard(
+                int(rng.integers(1, self.N_TRACKS + 1)),
+                float(rng.random()) * 90.0,
+            )
+        elif choice == 3:
+            self.do_toggle_chaos()
+        elif choice == 4:
+            self.do_reseed(int(rng.integers(0, 3)))
+        else:
+            self.do_run()
+
+    # -- invariants --------------------------------------------------------------
+
+    def check(self) -> None:
+        assert 1 <= self.n_pods <= self.N_TRACKS
+        assert self.interpod_latency_s > 0
+        assert all(count > 0 for count in self._workload_jobs.values()), (
+            "a sharded run resolved zero jobs"
+        )
+
+    def finish(self) -> None:
+        """Run the current cut once more, then its monolithic twin."""
+        self.do_run()
+        sharded_pods = self.n_pods
+        self.n_pods = 1
+        self.do_run()
+        self.n_pods = sharded_pods
+        self.check()
+
+
 def random_walk(machine, n_rules: int = 500, seed: int = 0):
     """Drive ``machine`` through ``n_rules`` seeded random rules.
 
@@ -438,6 +597,38 @@ class DhlApiStateMachine(RuleBasedStateMachine):
     @rule(dt=st.floats(min_value=0.1, max_value=120.0))
     def advance(self, dt):
         self.machine.do_advance(dt)
+
+    @invariant()
+    def invariants_hold(self):
+        self.machine.check()
+
+    def teardown(self):
+        self.machine.finish()
+
+
+class ShardCosimStateMachine(RuleBasedStateMachine):
+    """Hypothesis wrapper: shrinkable reshard/run sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = ShardCosimMachine(seed=0)
+
+    @rule(n_pods=st.integers(min_value=1, max_value=4),
+          latency=st.floats(min_value=1.0, max_value=90.0))
+    def reshard(self, n_pods, latency):
+        self.machine.do_reshard(n_pods, latency)
+
+    @rule()
+    def toggle_chaos(self):
+        self.machine.do_toggle_chaos()
+
+    @rule(seed=st.integers(min_value=0, max_value=2))
+    def reseed(self, seed):
+        self.machine.do_reseed(seed)
+
+    @rule()
+    def run(self):
+        self.machine.do_run()
 
     @invariant()
     def invariants_hold(self):

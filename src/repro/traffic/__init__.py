@@ -65,6 +65,7 @@ from .replay import (
     bound_jobs,
     check_compatible,
     replay_fleet,
+    replay_fleet_sharded,
 )
 from .bench import (
     TrafficBenchReport,
@@ -107,6 +108,7 @@ __all__ = [
     "read_jsonl_records",
     "read_trace",
     "replay_fleet",
+    "replay_fleet_sharded",
     "run_traffic_bench",
     "synthesise",
     "synthesise_pooled",

@@ -25,7 +25,10 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.shard import ShardPlan, ShardReport
 
 from ..errors import ConfigurationError
 from ..obs import Tracer
@@ -229,3 +232,48 @@ def replay_fleet(
         wall_s=time.perf_counter() - started,
         header=header,
     )
+
+
+def replay_fleet_sharded(
+    plan: "ShardPlan",
+    records: Iterable[TraceRecord],
+    config: ReplayConfig | None = None,
+    header: TraceHeader | None = None,
+    engine: str = "process",
+    workers: int | None = None,
+) -> tuple[ReplayResult, "ShardReport"]:
+    """Stream a trace through the sharded multi-process fleet runner.
+
+    The same bounded-lookahead cursor feeds the parent's epoch pump, so
+    the memory contract is unchanged: at most ``max_pending`` decoded
+    records plus one epoch window of bound jobs exist at any moment.
+    Returns the familiar :class:`ReplayResult` (built from the merged
+    fleet report) alongside the full
+    :class:`~repro.fleet.shard.ShardReport`.  This is how a 1M-request
+    day finally uses every core — see ``docs/scaling.md``.
+    """
+    from ..fleet.shard import run_sharded
+
+    config = config if config is not None else ReplayConfig()
+    scenario = plan.scenario
+    if header is not None:
+        check_compatible(header, scenario)
+    cursor = LookaheadCursor(records, config)
+    started = time.perf_counter()
+    shard_report = run_sharded(
+        plan,
+        engine=engine,
+        workers=workers,
+        jobs=bound_jobs(
+            cursor, dict(scenario.targets), scenario.catalog.dataset_bytes
+        ),
+    )
+    result = ReplayResult(
+        fleet=shard_report.fleet,
+        n_records=cursor.n_records,
+        peak_pending=cursor.peak_pending,
+        config=config,
+        wall_s=time.perf_counter() - started,
+        header=header,
+    )
+    return result, shard_report

@@ -1,18 +1,23 @@
 """Documentation health: examples must run, prose must not go stale.
 
-Three gates over every markdown document in the repo:
+Four gates over every markdown document in the repo:
 
 * every fenced ``python`` block must at least compile — a renamed
   symbol or syntax rot fails the build, not a reader;
 * every fenced ``pycon`` block (and any python block containing
   ``>>>``) runs under doctest with its printed output checked;
 * references to retired modules must be labelled as such — a line
-  mentioning ``sim.stats`` has to say it is a compatibility shim.
+  mentioning ``sim.stats`` has to say it is a compatibility shim;
+* numbers quoted from committed bench baselines must still match the
+  baseline — ``docs/scaling.md``'s marker-delimited table is parsed
+  and compared against ``BENCH_shard.json``.
 """
 
 from __future__ import annotations
 
 import doctest
+import json
+import math
 import re
 from pathlib import Path
 
@@ -103,6 +108,86 @@ def test_no_stale_sim_stats_references(path):
             f"{path.name} line {number} references sim.stats without "
             f"noting it is a compatibility shim: {line.strip()}"
         )
+
+
+class TestScalingDocNumbers:
+    """``docs/scaling.md``'s baseline table must match ``BENCH_shard.json``.
+
+    The doc quotes virtual-time-deterministic quantities from the
+    committed shard bench inside ``<!-- shard-bench:begin/end -->``
+    markers; regenerating the baseline without refreshing the doc (or
+    vice versa) fails here, not in a reader's terminal.
+    """
+
+    _MARKED = re.compile(
+        r"<!-- shard-bench:begin -->\n(?P<table>.*?)<!-- shard-bench:end -->",
+        re.DOTALL,
+    )
+
+    @pytest.fixture(scope="class")
+    def doc_rows(self):
+        text = (REPO_ROOT / "docs" / "scaling.md").read_text(
+            encoding="utf-8"
+        )
+        match = self._MARKED.search(text)
+        assert match, "docs/scaling.md lost its shard-bench marker block"
+        rows = {}
+        for line in match.group("table").splitlines():
+            cells = [cell.strip(" `") for cell in line.strip("| ").split("|")]
+            if len(cells) == 2 and not set(cells[1]) <= {"-", ""}:
+                rows[cells[0]] = cells[1]
+        return rows
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return json.loads(
+            (REPO_ROOT / "BENCH_shard.json").read_text(encoding="utf-8")
+        )
+
+    @staticmethod
+    def _ints(cell: str) -> list[int]:
+        return [int(n) for n in re.findall(r"\d+", cell)]
+
+    def test_table_matches_committed_baseline(self, doc_rows, baseline):
+        expected = {
+            "Pods": [baseline["n_pods"]],
+            "Tracks": [baseline["n_tracks"]],
+            "Synchronisation epochs": [baseline["epochs"]],
+            "Jobs ingested": [baseline["kpis"]["n_jobs"]],
+            "Jobs per pod": list(baseline["shards"]["pod_jobs"]),
+            "Boundary forwards": [baseline["shards"]["forwarded"]],
+            "Remote outcome notes": [
+                sum(baseline["shards"]["remote_outcomes"].values())
+            ],
+        }
+        problems = []
+        for label, want in expected.items():
+            row = next(
+                (cell for key, cell in doc_rows.items() if label in key),
+                None,
+            )
+            if row is None:
+                problems.append(f"missing table row for {label!r}")
+            elif self._ints(row) != want:
+                problems.append(
+                    f"{label}: doc says {self._ints(row)}, "
+                    f"baseline says {want}"
+                )
+        assert problems == [], "; ".join(problems)
+
+    def test_window_matches_interpod_latency(self, doc_rows, baseline):
+        row = next(
+            cell for key, cell in doc_rows.items() if "window" in key.lower()
+        )
+        (window,) = [float(n) for n in re.findall(r"[\d.]+", row)]
+        assert math.isclose(
+            window, baseline["interpod_latency_s"], rel_tol=1e-6
+        )
+
+    def test_baseline_invariants_all_hold(self, baseline):
+        """The doc leans on the gate; the committed gate must be green."""
+        assert baseline["schema"] == "repro-bench-shard/1"
+        assert all(baseline["invariants"].values()), baseline["invariants"]
 
 
 def test_committed_grid_sweep_docstring_doctest():

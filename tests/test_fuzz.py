@@ -20,6 +20,8 @@ from repro.testing import (
     DhlApiStateMachine,
     FleetDispatchMachine,
     FleetStateMachine,
+    ShardCosimMachine,
+    ShardCosimStateMachine,
     TraceReplayMachine,
     TraceReplayStateMachine,
     random_walk,
@@ -144,6 +146,30 @@ class TestDeterministicWalks:
 
         assert run_once() == run_once()
 
+    def test_shard_machine_survives_reshard_walk(self):
+        machine = random_walk(ShardCosimMachine(seed=0), n_rules=150, seed=0)
+        assert machine.rules >= 150
+        assert machine.runs >= 10
+        # The walk genuinely resharded (several plan configurations ran)
+        # and crossed pod boundaries under at least one chaos campaign.
+        assert len(machine._signatures) >= 3
+        assert machine.forwarded_total > 0
+        assert machine.chaos_runs >= 1
+
+    def test_shard_walk_replays_bit_identically(self):
+        def run_once():
+            machine = random_walk(
+                ShardCosimMachine(seed=2), n_rules=60, seed=19
+            )
+            return (
+                machine.runs,
+                machine.forwarded_total,
+                tuple(sorted(machine._signatures)),
+                tuple(sorted(machine._workload_jobs.items())),
+            )
+
+        assert run_once() == run_once()
+
     def test_different_walk_seeds_diverge(self):
         first = random_walk(DhlApiMachine(seed=0), n_rules=60, seed=0)
         second = random_walk(DhlApiMachine(seed=0), n_rules=60, seed=1)
@@ -162,6 +188,11 @@ class TestHypothesisMachines:
     def test_trace_replay_state_machine(self):
         run_state_machine_as_test(
             TraceReplayStateMachine, settings=FUZZ_SETTINGS
+        )
+
+    def test_shard_cosim_state_machine(self):
+        run_state_machine_as_test(
+            ShardCosimStateMachine, settings=FUZZ_SETTINGS
         )
 
 
@@ -187,6 +218,14 @@ class TestLongFuzz:
             FleetDispatchMachine(seed=seed), n_rules=1500, seed=seed
         )
         assert len(machine.plane._outcomes) == machine.submitted
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_shard_machine_long_walk(self, seed):
+        machine = random_walk(
+            ShardCosimMachine(seed=seed), n_rules=400, seed=seed
+        )
+        assert machine.runs >= 50
+        assert machine.forwarded_total > 0
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_trace_replay_machine_long_walk(self, seed):
