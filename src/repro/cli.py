@@ -74,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench",
-                               "fleet", "chaos", "replicate", "traffic", "all"]
+                               "fleet", "chaos", "replicate", "traffic",
+                               "learn", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -146,14 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("sweep", "engine", "chaos", "traffic", "shard"),
+        choices=("sweep", "engine", "chaos", "traffic", "shard", "learn"),
         default="sweep",
         help="bench: 'sweep' times the design-space engines, 'engine' the "
              "DES core against the frozen reference, 'chaos' the "
              "graceful-degradation gate (same as the chaos artefact), "
              "'traffic' the trace synthesis + replay gate (same as the "
              "traffic artefact), 'shard' the sharded co-simulation "
-             "identity + speedup gate",
+             "identity + speedup gate, 'learn' the learned-control gate "
+             "(same as the learn artefact)",
     )
     parser.add_argument(
         "--points",
@@ -256,6 +258,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--traffic-out",
         default="BENCH_traffic.json",
         help="traffic: output path for the traffic KPI baseline JSON",
+    )
+    parser.add_argument(
+        "--learn-out",
+        default="BENCH_learn.json",
+        help="learn: output path for the learned-control baseline JSON",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="learn: training rounds (default the committed-gate shape)",
+    )
+    parser.add_argument(
+        "--episodes-per-round",
+        type=int,
+        default=None,
+        help="learn: episodes fanned out per training round",
+    )
+    parser.add_argument(
+        "--no-parity-probe",
+        action="store_true",
+        help="learn: skip the serial/process training parity probe "
+             "(marks the invariant false; quick local iterations only)",
     )
     return parser
 
@@ -612,6 +637,52 @@ def main(argv: Sequence[str] | None = None) -> int:
             problems = traffic_bench.compare_to_baseline(
                 traffic_bench.report_payload(bench),
                 traffic_bench.load_baseline(args.check),
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "learn" or (
+        args.artefact == "bench" and args.mode == "learn"
+    ):
+        # Lazy: a learn bench trains hundreds of fleet episodes.
+        from .analysis.fleetview import learn_comparison_table
+        from .learn import bench as learn_bench
+
+        bench = learn_bench.run_learn_bench(
+            seed=args.seed,
+            rounds=args.rounds or learn_bench.DEFAULT_ROUNDS,
+            episodes_per_round=(
+                args.episodes_per_round
+                or learn_bench.DEFAULT_EPISODES_PER_ROUND
+            ),
+            check_process_parity=not args.no_parity_probe,
+        )
+        payload = learn_bench.report_payload(bench)
+        headers, rows = learn_comparison_table(payload)
+        print(render_table(
+            headers, rows,
+            title=f"Learned vs fixed control (eval seed "
+                  f"{bench.report.eval_seed}, {bench.rounds}x"
+                  f"{bench.episodes_per_round} training episodes)",
+        ))
+        margins = dict(payload["margins"])
+        print(f"\npolicy fingerprint {bench.report.fingerprint[:16]}.., "
+              f"trained in {bench.train_wall_s:.1f} s wall")
+        print(f"margins over best fixed ({payload['best_fixed']}): "
+              f"p99 {margins['p99_s']:+.1f} s, "
+              f"launch energy {margins['launch_energy_mj']:+.3f} MJ")
+        path = learn_bench.write_report(bench, args.learn_out)
+        print(f"wrote learn baseline to {path}")
+        failed = [name for name, ok in bench.invariants.items() if not ok]
+        if failed:
+            print(f"FAIL: learn invariants violated: {', '.join(failed)}")
+            return 1
+        if args.check:
+            problems = learn_bench.compare_to_baseline(
+                payload, learn_bench.load_baseline(args.check)
             )
             if problems:
                 for problem in problems:

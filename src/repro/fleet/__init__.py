@@ -19,7 +19,13 @@ how many carts and which scheduling policy serve a tenant mix within
 tail-latency targets.
 """
 
-from .cache import CacheConfig, CacheEntry, EVICTION_POLICIES, RackCache
+from .cache import (
+    CacheConfig,
+    CacheEntry,
+    EVICTION_POLICIES,
+    RackCache,
+    select_victim,
+)
 from .capacity import (
     CandidateEvaluation,
     CapacityPlan,
@@ -31,6 +37,7 @@ from .controlplane import (
     FLEET_TARGETS,
     POLICIES,
     AdmissionControl,
+    ControlHooks,
     FleetReport,
     FleetScenario,
     default_scenario,
@@ -82,6 +89,7 @@ __all__ = [
     "CircuitBreaker",
     "ClassSla",
     "ClassTarget",
+    "ControlHooks",
     "DEFAULT_INTERPOD_LATENCY_S",
     "DEFAULT_REPLICATIONS",
     "DEFAULT_SAMPLE_CAP",
@@ -118,5 +126,6 @@ __all__ = [
     "run_fleet",
     "run_seeded",
     "run_sharded",
+    "select_victim",
     "signature_digest",
 ]

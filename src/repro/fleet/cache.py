@@ -41,6 +41,33 @@ FETCHING = "fetching"
 RESIDENT = "resident"
 
 
+def select_victim(idle, policy: str, ttl_s: float, now: float):
+    """The entry ``policy`` would evict next among ``idle`` entries.
+
+    The single source of truth for victim selection: both the passive
+    :meth:`RackCache.evictable` query and the learned eviction hook
+    (:mod:`repro.learn.env`) rank candidates through this function, so
+    an adaptive policy that picks ``"lru"`` is the LRU cache, decision
+    for decision.  Returns ``None`` when ``idle`` is empty.
+    """
+    if policy not in EVICTION_POLICIES:
+        raise ConfigurationError(
+            f"victim policy must be one of {EVICTION_POLICIES}, got {policy!r}"
+        )
+    idle = list(idle)
+    if not idle:
+        return None
+    if policy == "lru":
+        return min(idle, key=lambda e: (e.last_access_s, e.dataset))
+    if policy == "lfu":
+        return min(idle, key=lambda e: (e.accesses, e.last_access_s, e.dataset))
+    # ttl: expired entries first (oldest residency), else LRU.
+    expired = [e for e in idle if now - e.created_s >= ttl_s]
+    if expired:
+        return min(expired, key=lambda e: (e.created_s, e.dataset))
+    return min(idle, key=lambda e: (e.last_access_s, e.dataset))
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Eviction behaviour of the rack-side cart cache."""
@@ -196,17 +223,13 @@ class RackCache:
 
     def evictable(self) -> Optional[CacheEntry]:
         """The entry this lane would evict next, or None if all are busy."""
-        idle = [entry for entry in self.entries.values() if entry.idle]
-        if not idle:
-            return None
-        policy = self.config.policy
-        if policy == "lru":
-            return min(idle, key=lambda e: (e.last_access_s, e.dataset))
-        if policy == "lfu":
-            return min(idle, key=lambda e: (e.accesses, e.last_access_s, e.dataset))
-        # ttl: expired entries first (oldest residency), else LRU.
-        now = self.env.now
-        expired = [e for e in idle if now - e.created_s >= self.config.ttl_s]
-        if expired:
-            return min(expired, key=lambda e: (e.created_s, e.dataset))
-        return min(idle, key=lambda e: (e.last_access_s, e.dataset))
+        return select_victim(
+            self.idle_entries(),
+            self.config.policy,
+            self.config.ttl_s,
+            self.env.now,
+        )
+
+    def idle_entries(self) -> list[CacheEntry]:
+        """Resident entries with no readers — the eviction candidates."""
+        return [entry for entry in self.entries.values() if entry.idle]

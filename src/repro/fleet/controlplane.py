@@ -189,12 +189,75 @@ def _policy_key(policy: str):
     return lambda f: (f.priority, f.deadline_at, f.job.job_id)
 
 
+class ControlHooks:
+    """Pluggable control-plane decision points.
+
+    The control loop owns *when* a decision happens — a worker freeing
+    up, residency exceeding the stations, a queue overflowing — and
+    hooks own *which way it goes*: which pending job to dispatch next,
+    which idle cache entry to evict, whether an overflowing job fails
+    over to the optical network or is shed.  The base class *is* the
+    default implementation and reproduces the historical behaviour
+    decision for decision (the committed ``BENCH_fleet.json`` gate
+    pins this bit-identically); :mod:`repro.learn` subclasses it to
+    put an online learner behind the same three choices without
+    copying any of the control loop.
+
+    Hooks are bound to exactly one :class:`ControlPlane` via
+    :meth:`bind` before the run starts.  They must be deterministic
+    functions of bound state + arguments: the fleet's reproducibility
+    guarantee extends through them.
+    """
+
+    plane: "ControlPlane | None" = None
+
+    def bind(self, plane: "ControlPlane") -> None:
+        """Attach to the plane whose decisions this instance makes."""
+        if self.plane is not None and self.plane is not plane:
+            raise ConfigurationError(
+                "ControlHooks instances bind to exactly one ControlPlane"
+            )
+        self.plane = plane
+        self._dispatch_key = _policy_key(plane.scenario.policy)
+
+    def pick_dispatch(self, lane: "_Lane",
+                      pending: list["_FleetJob"]) -> "_FleetJob":
+        """The next job a freed worker on ``lane`` should serve.
+
+        ``pending`` is non-empty; the returned job must be one of its
+        elements (the queue removes it).  Default: the scenario
+        policy's min-key order (fcfs/sjf/edf).
+        """
+        return min(pending, key=self._dispatch_key)
+
+    def pick_eviction(self, lane: "_Lane"):
+        """The cache entry ``lane`` should evict next, or ``None``.
+
+        Called when residency exceeds the docking stations and when the
+        cart pool runs dry.  The returned entry must be idle (resident,
+        no readers) and belong to ``lane.cache``.  Default: the lane
+        cache's configured policy via :meth:`RackCache.evictable`.
+        """
+        return lane.cache.evictable()
+
+    def pick_overflow(self, fjob: "_FleetJob", lane: "_Lane",
+                      can_failover: bool) -> str:
+        """``Outcome.FAILOVER`` or ``Outcome.SHED`` past admission depth.
+
+        ``can_failover`` is False when the scenario reserved no optical
+        links — ``Outcome.FAILOVER`` is then ignored and the job sheds.
+        Default: always fail over when links exist.
+        """
+        return Outcome.FAILOVER if can_failover else Outcome.SHED
+
+
 class _LaneQueue:
     """Policy-ordered job queue with blocking get for lane workers."""
 
-    def __init__(self, env: Environment, key):
+    def __init__(self, env: Environment, lane: "_Lane", hooks: ControlHooks):
         self.env = env
-        self.key = key
+        self.lane = lane
+        self.hooks = hooks
         self.pending: list[_FleetJob] = []
         self.waiters: deque[Event] = deque()
 
@@ -213,7 +276,7 @@ class _LaneQueue:
             waiter = Event(self.env)
             self.waiters.append(waiter)
             yield waiter
-        best = min(self.pending, key=self.key)
+        best = self.hooks.pick_dispatch(self.lane, self.pending)
         self.pending.remove(best)
         return best
 
@@ -221,13 +284,13 @@ class _LaneQueue:
 class _Lane:
     """One (track, rack) service point: queue, workers, optional cache."""
 
-    def __init__(self, env, track_index, endpoint_id, api, stations, key,
+    def __init__(self, env, track_index, endpoint_id, api, stations, hooks,
                  cache_config):
         self.track_index = track_index
         self.endpoint_id = endpoint_id
         self.api = api
         self.stations = stations
-        self.queue = _LaneQueue(env, key)
+        self.queue = _LaneQueue(env, self, hooks)
         self.cache = (
             RackCache(env, cache_config) if cache_config is not None else None
         )
@@ -298,6 +361,7 @@ class ControlPlane:
         topology: FleetTopology,
         scenario: FleetScenario,
         tracer: Tracer | None = None,
+        hooks: ControlHooks | None = None,
     ):
         self.env = env
         self.topology = topology
@@ -307,7 +371,8 @@ class ControlPlane:
         self.targets = dict(scenario.targets)
         self.sla = SlaTracker(self.registry, self.targets,
                               retain_records=scenario.retain_records)
-        key = _policy_key(scenario.policy)
+        self.hooks = hooks if hooks is not None else ControlHooks()
+        self.hooks.bind(self)
         self.lanes: dict[tuple[int, int], _Lane] = {}
         for track_index, endpoint_id in topology.lanes:
             self.lanes[(track_index, endpoint_id)] = _Lane(
@@ -316,7 +381,7 @@ class ControlPlane:
                 endpoint_id,
                 topology.apis[track_index],
                 scenario.spec.stations_per_rack,
-                key,
+                self.hooks,
                 scenario.cache,
             )
         # One lock per dataset serialises fetch / evict / exclusive use,
@@ -420,7 +485,10 @@ class ControlPlane:
             )
         if lane.queue.depth >= admission.max_queue_depth:
             self.registry.counter("count.fleet.admission_rejections").inc()
-            if self._failover_streams is not None:
+            choice = self.hooks.pick_overflow(
+                fjob, lane, self._failover_streams is not None
+            )
+            if choice == Outcome.FAILOVER and self._failover_streams is not None:
                 self.env.process(self._failover_job(fjob))
             else:
                 self._finish(self._record(fjob, Outcome.SHED, completed_s=None))
@@ -590,7 +658,7 @@ class ControlPlane:
                 # whenever residency exceeds the stations (at most one
                 # entry per worker can be busy, and this worker's is
                 # the new one).
-                victim = cache.evictable()
+                victim = self.hooks.pick_eviction(lane)
                 if victim is not None:
                     self._start_eviction(lane, victim)
             lock = self._locks[fjob.dataset].request()
@@ -648,7 +716,7 @@ class ControlPlane:
             best = None
             best_lane = None
             for lane in self.lanes.values():
-                candidate = lane.cache.evictable()
+                candidate = self.hooks.pick_eviction(lane)
                 if candidate is not None and (
                     best is None or candidate.last_access_s < best.last_access_s
                 ):
@@ -689,6 +757,15 @@ class ControlPlane:
         if self.outcome_hook is not None:
             self.outcome_hook(record)
         self._maybe_done()
+
+    @property
+    def drained(self) -> bool:
+        """True once intake is closed and every submitted job resolved.
+
+        The epoch-stepping learned-control environment polls this
+        between decision epochs instead of racing the ``_done`` event.
+        """
+        return self._done.triggered
 
     def _maybe_done(self) -> None:
         if (
@@ -838,7 +915,8 @@ def _bind_jobs(
 
 def run_fleet(scenario: FleetScenario,
               tracer: Tracer | None = None,
-              jobs: Iterable[TransferJob] | None = None) -> FleetReport:
+              jobs: Iterable[TransferJob] | None = None,
+              hooks: ControlHooks | None = None) -> FleetReport:
     """Simulate one fleet scenario end to end.
 
     Module-level and driven entirely by the scenario value, so it is
@@ -847,14 +925,16 @@ def run_fleet(scenario: FleetScenario,
     optionally replaces the scenario's synthetic stream with any lazy
     :class:`~repro.workloads.generator.TransferJob` iterator — the
     control plane consumes it incrementally on the DES clock, so the
-    full job list never needs to exist in memory.
+    full job list never needs to exist in memory.  ``hooks`` swaps the
+    control plane's decision points (:class:`ControlHooks`); ``None``
+    keeps the historical behaviour, bit for bit.
     """
     env = Environment()
     if tracer is not None:
         tracer.attach_clock(env)
     topology = FleetTopology(env, scenario.spec, scenario.catalog,
                              tracer=tracer)
-    plane = ControlPlane(env, topology, scenario, tracer=tracer)
+    plane = ControlPlane(env, topology, scenario, tracer=tracer, hooks=hooks)
     if scenario.chaos is not None:
         plane.attach_campaign(
             install_campaign(env, topology.systems, scenario.chaos)

@@ -273,6 +273,7 @@ class SlaTracker:
         self._by_kind: dict[str, _StreamStats] = {}
         self._by_tenant: dict[str, _StreamStats] = {}
         self._overall = _StreamStats(sample_cap, _stream_seed("overall"))
+        self._window = _StreamStats(sample_cap, _stream_seed("window"))
 
     def target_for(self, kind: str) -> ClassTarget:
         return self.targets.get(kind, self.default)
@@ -295,9 +296,43 @@ class SlaTracker:
         if not record.met_deadline:
             self.registry.counter("count.fleet.deadline_missed").inc()
         self._overall.observe(record)
+        self._window.observe(record)
         self._stats(self._by_kind, record.kind).observe(record)
         if record.tenant:
             self._stats(self._by_tenant, record.tenant).observe(record)
+
+    # -- mid-run snapshots -------------------------------------------------------
+    #
+    # The streaming accumulators are maintained in *both* retention
+    # modes, so these reads are O(reservoir) regardless of how many
+    # records have flowed through — the contract the learned control
+    # layer's per-epoch reward signal relies on.
+
+    def live_overall(self, horizon_s: float) -> ClassSla:
+        """Overall SLA over everything observed so far, mid-run.
+
+        Built from the always-on streaming accumulator, never from the
+        retained record list, so it costs the same at job 10 and job
+        10 million.  For completed jobs the percentiles agree with the
+        end-of-run :meth:`report` up to the reservoir cap (exactly,
+        while within it).
+        """
+        assert_positive("horizon_s", horizon_s)
+        return self._overall.summarise("overall", horizon_s)
+
+    def take_window(self, horizon_s: float) -> ClassSla:
+        """Summarise and reset the rolling window accumulator.
+
+        The window collects every record observed since the previous
+        ``take_window`` call (or construction) — the per-decision-epoch
+        view a reward signal needs.  Resetting re-seeds the window
+        reservoir identically, so epoch boundaries never perturb the
+        run's determinism.
+        """
+        assert_positive("horizon_s", horizon_s)
+        snapshot = self._window.summarise("window", horizon_s)
+        self._window = _StreamStats(self.sample_cap, _stream_seed("window"))
+        return snapshot
 
     # -- reporting ---------------------------------------------------------------
 

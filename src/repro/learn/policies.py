@@ -1,0 +1,370 @@
+"""Online policies over the fleet's joint action space — no heavy deps.
+
+Four families, all seeded, picklable and cheap enough to run inside
+the DES loop:
+
+* :class:`FixedPolicy` — adapters pinning one joint action forever;
+  every fixed (dispatch, eviction) combo from the fleet bench becomes
+  a baseline the learners are scored against.
+* :class:`EpsilonGreedyBandit` — context-free bandit over running
+  action means; the simplest learner that can exploit a stationary
+  best arm.
+* :class:`LinUCB` — contextual bandit with per-action ridge-regression
+  payoff models and optimistic exploration (uses numpy's ``solve``;
+  its float reductions may differ across BLAS builds, so committed
+  bench gates pin the pure-Python learners and LinUCB is exercised by
+  relative regret tests instead).
+* :class:`TabularQ` — epsilon-greedy tabular Q-learning over the
+  discretised observation vector.  Pure-Python float arithmetic
+  end-to-end, which is what makes its fingerprints byte-identical
+  across machines *and* across serial/process training fan-out.
+
+Determinism contract: every policy's behaviour is a function of its
+constructor arguments, the episode seed installed by
+:meth:`Policy.seed_episode`, and the exact sequence of ``act`` /
+``update`` calls.  :meth:`Policy.fingerprint` hashes the learned
+parameters canonically, so "same training" is checkable as a string
+equality.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import random
+import struct
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .env import ACTIONS, Action, N_ACTIONS, action_index
+
+#: Bins per observation component for discretised (tabular) learners.
+DEFAULT_BINS = 4
+
+
+def discretise(obs: tuple[float, ...], bins: int = DEFAULT_BINS) -> tuple[int, ...]:
+    """Map a normalised observation to a tuple of integer bins.
+
+    Components are expected in ``[0, 1]`` (the :class:`FleetEnv`
+    contract); values outside clamp to the edge bins, so a slightly
+    out-of-range float can never invent a new state.
+    """
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    return tuple(
+        min(bins - 1, max(0, int(value * bins))) for value in obs
+    )
+
+
+def _canonical_bytes(value) -> bytes:
+    """Deterministic byte encoding of nested params for fingerprints."""
+    if isinstance(value, float):
+        return b"f" + struct.pack("<d", value)
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        return b"i" + str(value).encode()
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"s" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(value, (tuple, list)):
+        return (
+            b"t" + str(len(value)).encode() + b"["
+            + b"".join(_canonical_bytes(item) for item in value) + b"]"
+        )
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        return (
+            b"d" + str(len(items)).encode() + b"{"
+            + b"".join(
+                _canonical_bytes(key) + b"=" + _canonical_bytes(item)
+                for key, item in items
+            )
+            + b"}"
+        )
+    if isinstance(value, np.ndarray):
+        return (
+            b"a" + str(value.shape).encode() + b":"
+            + np.ascontiguousarray(value, dtype=np.float64).tobytes()
+        )
+    raise ConfigurationError(
+        f"cannot canonically encode {type(value).__name__} for fingerprinting"
+    )
+
+
+def _mix_seed(seed: int, episode: int) -> int:
+    """Distinct, stable per-episode stream id (no salted hashing)."""
+    return (seed * 1_000_003 + episode * 7_919 + 12_345) % (2**63)
+
+
+class Policy:
+    """Base contract every learner and baseline adapter satisfies.
+
+    Subclasses override :meth:`act` (and usually :meth:`update` and
+    :meth:`params`).  Policies are plain picklable objects: training
+    snapshots them with ``pickle`` to fan episodes out and the bench
+    freezes them with :meth:`greedy` for evaluation.
+    """
+
+    n_actions: int = N_ACTIONS
+
+    def seed_episode(self, episode_seed: int) -> None:
+        """Re-seed the exploration stream for one episode."""
+        self._rng = random.Random(_mix_seed(self.seed, episode_seed))
+
+    def act(self, obs: tuple[float, ...]) -> int:
+        raise NotImplementedError
+
+    def update(self, obs, action: int, reward: float, next_obs, done: bool) -> None:
+        """Absorb one transition; baselines ignore it."""
+
+    def params(self):
+        """The learned parameters in canonically encodable form."""
+        return ()
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical parameter encoding."""
+        digest = hashlib.sha256()
+        digest.update(type(self).__name__.encode())
+        digest.update(_canonical_bytes(self.params()))
+        return digest.hexdigest()
+
+    def greedy(self) -> "Policy":
+        """A frozen copy for evaluation: no exploration, no learning."""
+        frozen = copy.deepcopy(self)
+        frozen.freeze()
+        return frozen
+
+    def freeze(self) -> None:
+        """Disable exploration and learning in place."""
+
+    def _argmax(self, values) -> int:
+        """Deterministic argmax: ties break to the lowest action index."""
+        best, best_value = 0, values[0]
+        for index in range(1, len(values)):
+            if values[index] > best_value:
+                best, best_value = index, values[index]
+        return best
+
+
+class FixedPolicy(Policy):
+    """Always the same joint action — the baseline adapter.
+
+    ``FixedPolicy(Action("edf", "lru", "failover"))`` is the fleet
+    bench's headline combo expressed as a policy, which is exactly how
+    the learn bench scores learned against fixed control.
+    """
+
+    def __init__(self, action: Action | int):
+        self.seed = 0
+        self.action = (
+            action_index(action) if isinstance(action, Action) else int(action)
+        )
+        if not 0 <= self.action < N_ACTIONS:
+            raise ConfigurationError(
+                f"action index {self.action} outside [0, {N_ACTIONS})"
+            )
+
+    def seed_episode(self, episode_seed: int) -> None:  # no RNG needed
+        pass
+
+    def act(self, obs) -> int:
+        return self.action
+
+    def params(self):
+        return (self.action,)
+
+    @property
+    def label(self) -> str:
+        return ACTIONS[self.action].label
+
+
+def fixed_policy(dispatch: str, eviction: str,
+                 overflow: str | None = None) -> FixedPolicy:
+    """The baseline adapter for one fixed (dispatch, eviction) combo."""
+    action = Action(
+        dispatch=dispatch,
+        eviction=eviction,
+        overflow=overflow if overflow is not None else Action().overflow,
+    )
+    return FixedPolicy(action)
+
+
+class EpsilonGreedyBandit(Policy):
+    """Context-free epsilon-greedy over running per-action means."""
+
+    def __init__(self, epsilon: float = 0.1, seed: int = 0,
+                 n_actions: int = N_ACTIONS):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(
+                f"epsilon must be within [0, 1], got {epsilon}"
+            )
+        self.epsilon = epsilon
+        self.seed = seed
+        self.n_actions = n_actions
+        self.counts = [0] * n_actions
+        self.means = [0.0] * n_actions
+        self.frozen = False
+        self.seed_episode(0)
+
+    def act(self, obs) -> int:
+        if not self.frozen and self._rng.random() < self.epsilon:
+            return self._rng.randrange(self.n_actions)
+        return self._argmax(self.means)
+
+    def update(self, obs, action, reward, next_obs, done) -> None:
+        if self.frozen:
+            return
+        self.counts[action] += 1
+        self.means[action] += (reward - self.means[action]) / self.counts[action]
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def params(self):
+        return (tuple(self.counts), tuple(self.means))
+
+
+class LinUCB(Policy):
+    """Disjoint-arms LinUCB: ridge payoff model + optimism per action.
+
+    Maintains ``A_a = lambda I + sum x x^T`` and ``b_a = sum r x`` per
+    action; acts by ``argmax theta_a . x + alpha sqrt(x^T A_a^-1 x)``.
+    Numpy-based — fine for learning quality studies and the regret
+    tests, but committed cross-machine gates should prefer the
+    pure-Python learners (BLAS reduction order is not part of any
+    standard).
+    """
+
+    def __init__(self, dim: int, alpha: float = 1.0, ridge: float = 1.0,
+                 seed: int = 0, n_actions: int = N_ACTIONS):
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        if ridge <= 0:
+            raise ConfigurationError(f"ridge must be > 0, got {ridge}")
+        self.dim = dim
+        self.alpha = alpha
+        self.seed = seed
+        self.n_actions = n_actions
+        self.A = [np.eye(dim) * ridge for _ in range(n_actions)]
+        self.b = [np.zeros(dim) for _ in range(n_actions)]
+        self.frozen = False
+        self.seed_episode(0)
+
+    def _features(self, obs) -> np.ndarray:
+        x = np.asarray(obs, dtype=float)
+        if x.shape != (self.dim,):
+            raise ConfigurationError(
+                f"observation has dim {x.shape}, policy expects ({self.dim},)"
+            )
+        return x
+
+    def act(self, obs) -> int:
+        x = self._features(obs)
+        scores = []
+        for action in range(self.n_actions):
+            theta = np.linalg.solve(self.A[action], self.b[action])
+            spread = float(x @ np.linalg.solve(self.A[action], x))
+            bonus = 0.0 if self.frozen else self.alpha * (max(spread, 0.0) ** 0.5)
+            scores.append(float(theta @ x) + bonus)
+        return self._argmax(scores)
+
+    def update(self, obs, action, reward, next_obs, done) -> None:
+        if self.frozen:
+            return
+        x = self._features(obs)
+        self.A[action] += np.outer(x, x)
+        self.b[action] += reward * x
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def params(self):
+        return (tuple(self.A), tuple(self.b))
+
+
+class TabularQ(Policy):
+    """Epsilon-greedy tabular Q-learning over discretised observations.
+
+    The committed-gate learner: state keys are integer bin tuples, the
+    table is a plain dict, and every arithmetic step is pure-Python
+    IEEE-754 — so two trainings that see the same transitions in the
+    same order produce byte-identical fingerprints on any platform.
+    """
+
+    def __init__(self, epsilon: float = 0.15, alpha: float = 0.3,
+                 gamma: float = 0.9, bins: int = DEFAULT_BINS,
+                 seed: int = 0, n_actions: int = N_ACTIONS):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(
+                f"epsilon must be within [0, 1], got {epsilon}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be within (0, 1], got {alpha}"
+            )
+        if not 0.0 <= gamma < 1.0:
+            raise ConfigurationError(
+                f"gamma must be within [0, 1), got {gamma}"
+            )
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.gamma = gamma
+        self.bins = bins
+        self.seed = seed
+        self.n_actions = n_actions
+        self.q: dict[tuple[int, ...], list[float]] = {}
+        self.frozen = False
+        self.seed_episode(0)
+
+    def _row(self, state: tuple[int, ...]) -> list[float]:
+        row = self.q.get(state)
+        if row is None:
+            row = [0.0] * self.n_actions
+            self.q[state] = row
+        return row
+
+    def act(self, obs) -> int:
+        if not self.frozen and self._rng.random() < self.epsilon:
+            return self._rng.randrange(self.n_actions)
+        state = discretise(obs, self.bins)
+        row = self.q.get(state)
+        if row is None:
+            return 0
+        return self._argmax(row)
+
+    def update(self, obs, action, reward, next_obs, done) -> None:
+        if self.frozen:
+            return
+        state = discretise(obs, self.bins)
+        row = self._row(state)
+        if done:
+            target = reward
+        else:
+            next_row = self.q.get(discretise(next_obs, self.bins))
+            best_next = max(next_row) if next_row is not None else 0.0
+            target = reward + self.gamma * best_next
+        row[action] += self.alpha * (target - row[action])
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def params(self):
+        return {
+            state: tuple(row) for state, row in self.q.items()
+        }
+
+
+__all__ = [
+    "DEFAULT_BINS",
+    "EpsilonGreedyBandit",
+    "FixedPolicy",
+    "LinUCB",
+    "Policy",
+    "TabularQ",
+    "discretise",
+    "fixed_policy",
+]

@@ -1,0 +1,308 @@
+"""Episode runner and synchronous batched training over the fleet env.
+
+Training is organised in *rounds* so serial and process fan-out are
+byte-identical:
+
+1. the current policy is snapshotted with ``pickle``;
+2. every episode in the round clones the snapshot, re-seeds it with
+   its own episode seed, and runs to completion **learning online on
+   its private clone** (the clone's updates shape its own exploration,
+   nothing else);
+3. the episodes' transition streams come back in canonical episode
+   order and are replayed into the master policy centrally.
+
+Because each episode's behaviour depends only on (snapshot bytes,
+episode seed, env config) and the central replay order is fixed, the
+master policy after any round — and hence its
+:meth:`~repro.learn.policies.Policy.fingerprint` — is the same whether
+episodes ran in one process or across a pool
+(:func:`repro.core.sweep.map_chunks` preserves input order either
+way).  The learn bench pins exactly this as a gate invariant.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from ..core.sweep import map_chunks
+from ..errors import ConfigurationError
+from ..fleet.controlplane import FleetReport
+from .env import Action, EnvConfig, FleetEnv
+from .policies import Policy
+
+#: Stride separating per-episode seed streams within a training run.
+SEED_STRIDE = 10_000
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) step of one episode."""
+
+    obs: tuple[float, ...]
+    action: int
+    reward: float
+    next_obs: tuple[float, ...]
+    done: bool
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Everything one episode produced, in step order."""
+
+    episode_seed: int
+    transitions: tuple[Transition, ...]
+    total_reward: float
+    kpis: dict[str, float]
+
+    @property
+    def observations(self) -> tuple[tuple[float, ...], ...]:
+        return tuple(t.obs for t in self.transitions)
+
+    @property
+    def actions(self) -> tuple[int, ...]:
+        return tuple(t.action for t in self.transitions)
+
+    @property
+    def rewards(self) -> tuple[float, ...]:
+        return tuple(t.reward for t in self.transitions)
+
+
+def report_kpis(report: FleetReport) -> dict[str, float]:
+    """The bench-comparable KPI slice of one episode's fleet report."""
+    return {
+        "n_jobs": float(report.n_jobs),
+        "served": float(report.served),
+        "shed": float(report.shed),
+        "failovers": float(report.failovers),
+        "p99_s": report.p99_s,
+        "deadline_miss_rate": report.deadline_miss_rate,
+        "cache_hit_rate": report.hit_rate,
+        "cache_evictions": float(report.cache_evictions),
+        "launches": float(report.launches),
+        "launch_energy_mj": report.launch_energy_j / 1e6,
+        "failover_energy_mj": report.failover_energy_j / 1e6,
+        "makespan_s": report.makespan_s,
+    }
+
+
+def run_episode(
+    config: EnvConfig,
+    policy: Policy,
+    episode_seed: int,
+    learn: bool = True,
+) -> EpisodeResult:
+    """Drive one full episode; mutates ``policy`` only when ``learn``.
+
+    With ``learn=False`` the policy's ``update`` is never called —
+    evaluation of a frozen greedy policy is exactly this with a
+    :meth:`~repro.learn.policies.Policy.greedy` copy.
+    """
+    env = FleetEnv(config, seed=episode_seed)
+    policy.seed_episode(episode_seed)
+    obs = env.reset()
+    transitions: list[Transition] = []
+    total = 0.0
+    done = False
+    while not done:
+        action = policy.act(obs)
+        next_obs, reward, done, _ = env.step(action)
+        transitions.append(
+            Transition(obs, action, reward, next_obs, done)
+        )
+        if learn:
+            policy.update(obs, action, reward, next_obs, done)
+        total += reward
+        obs = next_obs
+    return EpisodeResult(
+        episode_seed=episode_seed,
+        transitions=tuple(transitions),
+        total_reward=total,
+        kpis=report_kpis(env.report()),
+    )
+
+
+def _episode_chunk(chunk: tuple) -> list[EpisodeResult]:
+    """Process-pool unit: each item is ``(config, policy_blob, seed)``.
+
+    The snapshot is re-hydrated per episode even under the serial
+    engine, so an in-process run can never leak state between episodes
+    that a process run would isolate — the root of the serial ==
+    process byte-identity guarantee.
+    """
+    results = []
+    for config, blob, seed in chunk:
+        policy = pickle.loads(blob)
+        results.append(run_episode(config, policy, seed, learn=True))
+    return results
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Shape of one training run."""
+
+    rounds: int = 4
+    episodes_per_round: int = 4
+    seed: int = 0
+    engine: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        if self.episodes_per_round < 1:
+            raise ConfigurationError("episodes_per_round must be >= 1")
+
+    def episode_seeds(self, round_index: int) -> tuple[int, ...]:
+        base = self.seed * SEED_STRIDE + round_index * self.episodes_per_round
+        return tuple(
+            base + offset + 1 for offset in range(self.episodes_per_round)
+        )
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """A trained policy plus its per-round learning history."""
+
+    policy: Policy
+    fingerprint: str
+    episodes: tuple[EpisodeResult, ...]
+    round_rewards: tuple[float, ...]
+    """Mean episode reward per round, in round order."""
+
+
+def train(policy: Policy, env_config: EnvConfig,
+          train_config: TrainConfig | None = None) -> TrainResult:
+    """Synchronous batched training; see the module docstring.
+
+    ``policy`` is mutated in place (and also returned inside the
+    result).  The returned fingerprint is engine-independent: training
+    with ``engine="process"`` yields the same string as ``"serial"``.
+    """
+    train_config = train_config if train_config is not None else TrainConfig()
+    episodes: list[EpisodeResult] = []
+    round_rewards: list[float] = []
+    for round_index in range(train_config.rounds):
+        blob = pickle.dumps(policy)
+        items = [
+            (env_config, blob, seed)
+            for seed in train_config.episode_seeds(round_index)
+        ]
+        results = map_chunks(
+            _episode_chunk,
+            items,
+            engine=train_config.engine,
+            workers=train_config.workers,
+        )
+        for result in results:
+            for transition in result.transitions:
+                policy.update(
+                    transition.obs,
+                    transition.action,
+                    transition.reward,
+                    transition.next_obs,
+                    transition.done,
+                )
+        episodes.extend(results)
+        round_rewards.append(
+            sum(r.total_reward for r in results) / len(results)
+        )
+    return TrainResult(
+        policy=policy,
+        fingerprint=policy.fingerprint(),
+        episodes=tuple(episodes),
+        round_rewards=tuple(round_rewards),
+    )
+
+
+@dataclass(frozen=True)
+class ComboEval:
+    """One fixed (dispatch, eviction, overflow) baseline's episode."""
+
+    label: str
+    kpis: dict[str, float]
+
+
+@dataclass(frozen=True)
+class LearnReport:
+    """Learned-vs-fixed comparison on one held-out evaluation episode.
+
+    ``best_fixed`` minimises p99 among the fixed combos (energy breaks
+    ties); the headline claim is the pair of strict inequalities the
+    learn bench gates: learned p99 *and* learned launch energy below
+    the best fixed combo's.
+    """
+
+    eval_seed: int
+    learned_kpis: dict[str, float]
+    fixed: tuple[ComboEval, ...]
+    fingerprint: str
+    round_rewards: tuple[float, ...]
+
+    @property
+    def best_fixed(self) -> ComboEval:
+        return min(
+            self.fixed,
+            key=lambda combo: (
+                combo.kpis["p99_s"], combo.kpis["launch_energy_mj"]
+            ),
+        )
+
+    @property
+    def beats_best_fixed_p99(self) -> bool:
+        return self.learned_kpis["p99_s"] < self.best_fixed.kpis["p99_s"]
+
+    @property
+    def beats_best_fixed_energy(self) -> bool:
+        return (
+            self.learned_kpis["launch_energy_mj"]
+            < self.best_fixed.kpis["launch_energy_mj"]
+        )
+
+
+def evaluate(
+    policy: Policy,
+    env_config: EnvConfig,
+    eval_seed: int,
+    fixed_actions: tuple[Action, ...] = (),
+    fingerprint: str = "",
+    round_rewards: tuple[float, ...] = (),
+) -> LearnReport:
+    """Score a frozen greedy copy of ``policy`` against fixed combos.
+
+    Every baseline runs through the *same* environment, demand and
+    epoch structure — only the decisions differ — so the comparison
+    isolates control quality from workload.
+    """
+    frozen = policy.greedy()
+    learned = run_episode(env_config, frozen, eval_seed, learn=False)
+    fixed = []
+    for action in fixed_actions:
+        from .policies import FixedPolicy
+
+        baseline = run_episode(
+            env_config, FixedPolicy(action), eval_seed, learn=False
+        )
+        fixed.append(ComboEval(label=action.label, kpis=baseline.kpis))
+    return LearnReport(
+        eval_seed=eval_seed,
+        learned_kpis=learned.kpis,
+        fixed=tuple(fixed),
+        fingerprint=fingerprint or policy.fingerprint(),
+        round_rewards=round_rewards,
+    )
+
+
+__all__ = [
+    "ComboEval",
+    "EpisodeResult",
+    "LearnReport",
+    "SEED_STRIDE",
+    "TrainConfig",
+    "TrainResult",
+    "Transition",
+    "evaluate",
+    "report_kpis",
+    "run_episode",
+    "train",
+]

@@ -250,3 +250,82 @@ class TestTenantReport:
             streaming.tenant_report(horizon_s=3600.0)
             == retained.tenant_report(horizon_s=3600.0)
         )
+
+
+class TestLiveSnapshots:
+    """Mid-run reads from the always-on streaming accumulators."""
+
+    @pytest.mark.parametrize("retain", [True, False])
+    def test_mid_run_snapshot_equals_end_of_run(self, retain):
+        """For the jobs completed so far, live == final, both modes."""
+        _, tracker = make_tracker(retain_records=retain)
+        rng = np.random.default_rng(3)
+        records = [
+            served(i, "interactive", float(i), float(i) + float(rng.uniform(1.0, 90.0)))
+            for i in range(120)
+        ]
+        for record in records:
+            tracker.observe(record)
+        live = tracker.live_overall(horizon_s=3600.0)
+
+        _, fresh = make_tracker(retain_records=retain)
+        for record in records:
+            fresh.observe(record)
+        final = fresh.report(horizon_s=3600.0).overall
+        if retain:
+            # Retained mode quotes exact percentiles from records; the
+            # live view's reservoir is also exact under the cap.
+            assert live == final
+        else:
+            assert live == fresh.live_overall(horizon_s=3600.0)
+        # Observing more jobs afterwards must not have been required:
+        # the snapshot above was taken mid-stream relative to nothing.
+        assert live.n_jobs == 120
+
+    def test_live_does_not_materialise_records(self):
+        _, tracker = make_tracker(retain_records=False)
+        for i in range(50):
+            tracker.observe(served(i, "interactive", float(i), float(i) + 10.0))
+        assert tracker.records == []
+        live = tracker.live_overall(horizon_s=100.0)
+        assert live.n_completed == 50
+        assert live.p99_s == pytest.approx(10.0)
+
+    def test_take_window_resets_between_epochs(self):
+        _, tracker = make_tracker()
+        for i in range(10):
+            tracker.observe(served(i, "interactive", float(i), float(i) + 5.0))
+        first = tracker.take_window(horizon_s=100.0)
+        assert first.n_jobs == 10
+        assert first.p99_s == pytest.approx(5.0)
+        # Nothing new: the window is empty after the take.
+        empty = tracker.take_window(horizon_s=100.0)
+        assert empty.n_jobs == 0
+        assert empty.p99_s == float("inf")
+        for i in range(10, 14):
+            tracker.observe(served(i, "interactive", float(i), float(i) + 7.0))
+        second = tracker.take_window(horizon_s=100.0)
+        assert second.n_jobs == 4
+        assert second.p99_s == pytest.approx(7.0)
+        # The overall accumulator is unaffected by window takes.
+        assert tracker.live_overall(horizon_s=100.0).n_jobs == 14
+
+    def test_window_reset_is_deterministic(self):
+        """Epoch boundaries never perturb the window's reservoir seeding."""
+        _, chunked = make_tracker()
+        _, straight = make_tracker()
+        rng = np.random.default_rng(11)
+        records = [
+            served(i, "interactive", float(i), float(i) + float(rng.uniform(1.0, 60.0)))
+            for i in range(40)
+        ]
+        for i, record in enumerate(records):
+            chunked.observe(record)
+            if i == 19:
+                chunked.take_window(horizon_s=100.0)
+        for record in records[20:]:
+            straight.observe(record)
+        assert (
+            chunked.take_window(horizon_s=100.0)
+            == straight.take_window(horizon_s=100.0)
+        )

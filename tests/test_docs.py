@@ -10,7 +10,8 @@ Four gates over every markdown document in the repo:
   mentioning ``sim.stats`` has to say it is a compatibility shim;
 * numbers quoted from committed bench baselines must still match the
   baseline — ``docs/scaling.md``'s marker-delimited table is parsed
-  and compared against ``BENCH_shard.json``.
+  and compared against ``BENCH_shard.json``, and ``docs/learning.md``'s
+  against ``BENCH_learn.json``.
 """
 
 from __future__ import annotations
@@ -187,6 +188,89 @@ class TestScalingDocNumbers:
     def test_baseline_invariants_all_hold(self, baseline):
         """The doc leans on the gate; the committed gate must be green."""
         assert baseline["schema"] == "repro-bench-shard/1"
+        assert all(baseline["invariants"].values()), baseline["invariants"]
+
+
+class TestLearningDocNumbers:
+    """``docs/learning.md``'s baseline table must match ``BENCH_learn.json``.
+
+    Same contract as the scaling gate: the doc quotes the committed
+    learn bench inside ``<!-- learn-bench:begin/end -->`` markers, so
+    regenerating the baseline without refreshing the doc (or vice
+    versa) fails here, not in a reader's terminal.
+    """
+
+    _MARKED = re.compile(
+        r"<!-- learn-bench:begin -->\n(?P<table>.*?)<!-- learn-bench:end -->",
+        re.DOTALL,
+    )
+
+    @pytest.fixture(scope="class")
+    def doc_rows(self):
+        text = (REPO_ROOT / "docs" / "learning.md").read_text(
+            encoding="utf-8"
+        )
+        match = self._MARKED.search(text)
+        assert match, "docs/learning.md lost its learn-bench marker block"
+        rows = {}
+        for line in match.group("table").splitlines():
+            cells = [cell.strip(" `") for cell in line.strip("| ").split("|")]
+            if len(cells) == 2 and not set(cells[1]) <= {"-", ""}:
+                rows[cells[0]] = cells[1]
+        return rows
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return json.loads(
+            (REPO_ROOT / "BENCH_learn.json").read_text(encoding="utf-8")
+        )
+
+    @staticmethod
+    def _floats(cell: str) -> list[float]:
+        return [float(n) for n in re.findall(r"[\d.]+", cell)]
+
+    def _row(self, doc_rows, label):
+        row = next(
+            (cell for key, cell in doc_rows.items() if label in key), None
+        )
+        assert row is not None, f"missing table row for {label!r}"
+        return row
+
+    def test_eval_seed_and_training_shape(self, doc_rows, baseline):
+        assert self._floats(self._row(doc_rows, "Evaluation seed")) == [
+            baseline["eval_seed"]
+        ]
+        assert self._floats(self._row(doc_rows, "Training shape")) == [
+            baseline["rounds"], baseline["episodes_per_round"],
+        ]
+
+    def test_kpis_and_margins_match_committed_baseline(
+        self, doc_rows, baseline
+    ):
+        best = baseline["fixed"][baseline["best_fixed"]]
+        expected = {
+            "Learned p99": baseline["learned"]["p99_s"],
+            "Learned launch energy": baseline["learned"]["launch_energy_mj"],
+            "Best fixed p99": best["p99_s"],
+            "Best fixed launch energy": best["launch_energy_mj"],
+            "Margin, p99": baseline["margins"]["p99_s"],
+            "Margin, launch energy": baseline["margins"]["launch_energy_mj"],
+        }
+        problems = []
+        for label, want in expected.items():
+            (got,) = self._floats(self._row(doc_rows, label))
+            if not math.isclose(got, want, rel_tol=1e-9):
+                problems.append(f"{label}: doc says {got}, baseline {want}")
+        assert problems == [], "; ".join(problems)
+
+    def test_best_fixed_combo_label(self, doc_rows, baseline):
+        assert self._row(doc_rows, "Best fixed combo") == (
+            baseline["best_fixed"]
+        )
+
+    def test_baseline_invariants_all_hold(self, baseline):
+        """The doc leans on the gate; the committed gate must be green."""
+        assert baseline["schema"] == "repro-bench-learn/1"
         assert all(baseline["invariants"].values()), baseline["invariants"]
 
 
