@@ -1,0 +1,117 @@
+"""Benchmarks of the surrogate fast-path for capacity planning.
+
+Times the pieces the tentpole claims are cheap — fitting the quantile
+bank, scoring a planning grid, and the surrogate-pruned planner — and
+asserts the acceptance invariants through the benchmark harness: the
+pruned plan equals the exhaustive plan, the fit is byte-deterministic
+(same rows, same fingerprint), and predictions are monotone in
+capacity.  Measured reductions land in ``extra_info`` so the saved
+JSON doubles as a reproduction log; ``repro surrogate`` writes the
+committed ``BENCH_surrogate.json`` baseline from the full pinned grid.
+"""
+
+import pytest
+
+from repro.fleet.capacity import SlaRequirement, plan_capacity
+from repro.fleet.controlplane import default_scenario
+from repro.surrogate import (
+    FitConfig,
+    PruningMargin,
+    build_training_set,
+    candidate_points,
+    fit,
+    plan_capacity_surrogate,
+    training_points,
+    training_set_fingerprint,
+)
+from repro.testing.surrogate import synthetic_row
+
+HORIZON_S = 900.0
+
+#: Small planning space so each DES confirmation run stays sub-second.
+GRID = dict(
+    n_tracks_options=(1, 2),
+    cart_pool_options=(4,),
+    policies=("fcfs", "edf"),
+    cache_policies=("none", "lru"),
+)
+REQUIREMENT = SlaRequirement(max_p99_s=150.0, max_miss_rate=0.05)
+QUICK = FitConfig(quantiles=(0.5, 0.9), iterations=60, learning_rate=0.2,
+                  smoothing=0.02)
+
+
+def base_scenario():
+    return default_scenario(seed=0, horizon_s=HORIZON_S)
+
+
+def synthetic_rows():
+    return [
+        synthetic_row(point, seed)
+        for point in training_points()
+        for seed in range(4)
+    ]
+
+
+def test_fit_throughput(benchmark):
+    """Pinball-bank fit wall time over the default 432-row grid."""
+    rows = synthetic_rows()
+    model = benchmark(fit, rows, config=QUICK)
+    assert model.fingerprint() == fit(rows, config=QUICK).fingerprint()
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["fingerprint"] = model.fingerprint()[:16]
+
+
+def test_grid_scoring_throughput(benchmark):
+    """Scoring a planning grid must be microseconds per candidate."""
+    model = fit(synthetic_rows(), config=QUICK)
+    points = candidate_points(**GRID)
+
+    def score():
+        return [model.predict(point)["p99_s"] for point in points]
+
+    predictions = benchmark(score)
+    assert len(predictions) == len(points)
+    assert all(p >= 0.0 for p in predictions)
+
+
+def test_surrogate_planner_matches_exhaustive(benchmark):
+    """The tentpole invariant through the harness: identical best."""
+    model = fit(synthetic_rows(), config=QUICK)
+    exhaustive = plan_capacity(
+        REQUIREMENT, base_scenario(),
+        n_tracks_options=GRID["n_tracks_options"],
+        cart_pool_options=GRID["cart_pool_options"],
+        policies=GRID["policies"],
+        cache_options=GRID["cache_policies"],
+    )
+    plan = benchmark(
+        plan_capacity_surrogate, REQUIREMENT, base_scenario(), model,
+        margin=PruningMargin(p99_rel=1e9, miss_abs=1.0), **GRID,
+    )
+    assert plan.best == exhaustive.best
+    assert plan.best is not None
+    benchmark.extra_info["des_evaluations"] = {
+        "exhaustive": len(exhaustive.evaluations),
+        "surrogate": plan.des_evaluations,
+    }
+    benchmark.extra_info["reduction"] = round(plan.reduction, 2)
+
+
+@pytest.mark.slow
+def test_training_set_build_parity(benchmark):
+    """Serial training-set build; process fan-out must match bytes."""
+    grid = dict(n_tracks_options=(1, 2), cart_pool_options=(4,),
+                policies=("fcfs",), cache_policies=("none", "lru"),
+                loads=(1.0,))
+    seeds = (11, 12)
+    points = training_points(**grid)
+    serial = benchmark(
+        build_training_set, base_scenario(), points, seeds, engine="serial"
+    )
+    process = build_training_set(
+        base_scenario(), points, seeds, engine="process", workers=2
+    )
+    assert training_set_fingerprint(serial) == training_set_fingerprint(
+        process
+    )
+    benchmark.extra_info["rows"] = len(serial)

@@ -24,7 +24,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.params import DhlParams
-from ..core.sweep import clear_report_cache, evaluate_reports
+from ..core.sweep import clear_report_cache, evaluate_reports, report_cache_stats
 from ..errors import ConfigurationError
 from ..storage.datasets import META_ML_LARGE, Dataset
 
@@ -105,6 +105,10 @@ class BenchReport:
     identical_results: bool
     skipped: tuple[tuple[str, str], ...] = ()
     """(engine, reason) pairs for engines that were not timed."""
+    cache_stats: tuple[tuple[str, int], ...] = ()
+    """Memo-cache counters from the cache-effectiveness probe, as
+    (name, value) pairs: size/hits/misses after a cold pass plus a
+    fully warm re-evaluation of the same grid."""
 
     def timing(self, engine: str) -> EngineTiming:
         for entry in self.timings:
@@ -182,6 +186,17 @@ def run_bench(
 
     reference = first_results["serial"]
     identical = all(result == reference for result in first_results.values())
+
+    # Cache-effectiveness probe (after the timings, which disable the
+    # memo): one cold pass populates the cache, a second pass over the
+    # same grid must then be all hits.  The counters land in the bench
+    # payload and the fleetview timing table.
+    clear_report_cache()
+    evaluate_reports(points, dataset=dataset, engine="vector", cache=True)
+    evaluate_reports(points, dataset=dataset, engine="vector", cache=True)
+    stats = report_cache_stats()
+    clear_report_cache()
+
     return BenchReport(
         n_points=len(points),
         dataset=dataset.name,
@@ -190,6 +205,7 @@ def run_bench(
         timings=tuple(timings),
         identical_results=identical,
         skipped=skipped,
+        cache_stats=tuple(sorted(stats.items())),
     )
 
 
@@ -230,6 +246,7 @@ def report_payload(report: BenchReport) -> dict[str, object]:
             },
         },
         "skipped": dict(report.skipped),
+        "report_cache_informational": dict(report.cache_stats),
         "environment": environment_info(),
     }
 
@@ -293,4 +310,15 @@ def bench_table(report: BenchReport) -> tuple[list[str], list[list[object]]]:
             " ".join(f"{run * 1e3:.2f}" for run in entry.runs_s),
             f"{report.speedup(entry.engine):.2f}x",
         ])
+    return headers, rows
+
+
+def cache_stats_table(
+    report: BenchReport,
+) -> tuple[list[str], list[list[object]]]:
+    """Headers and rows for the memo-cache probe counters."""
+    headers = ["Cache counter", "Value"]
+    rows: list[list[object]] = [
+        [name, value] for name, value in report.cache_stats
+    ]
     return headers, rows

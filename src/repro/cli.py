@@ -75,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     choices = list(_TABLES) + ["fig6", "validate", "export", "trace", "bench",
                                "fleet", "chaos", "replicate", "traffic",
-                               "learn", "all"]
+                               "learn", "surrogate", "all"]
     parser.add_argument(
         "artefact",
         choices=choices,
@@ -147,7 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("sweep", "engine", "chaos", "traffic", "shard", "learn"),
+        choices=("sweep", "engine", "chaos", "traffic", "shard", "learn",
+                 "surrogate"),
         default="sweep",
         help="bench: 'sweep' times the design-space engines, 'engine' the "
              "DES core against the frozen reference, 'chaos' the "
@@ -155,7 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
              "'traffic' the trace synthesis + replay gate (same as the "
              "traffic artefact), 'shard' the sharded co-simulation "
              "identity + speedup gate, 'learn' the learned-control gate "
-             "(same as the learn artefact)",
+             "(same as the learn artefact), 'surrogate' the "
+             "surrogate-planner gate (same as the surrogate artefact)",
     )
     parser.add_argument(
         "--points",
@@ -279,8 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-parity-probe",
         action="store_true",
-        help="learn: skip the serial/process training parity probe "
-             "(marks the invariant false; quick local iterations only)",
+        help="learn/surrogate: skip the serial/process training parity "
+             "probe (marks the invariant false; quick local iterations "
+             "only)",
+    )
+    parser.add_argument(
+        "--surrogate-out",
+        default="BENCH_surrogate.json",
+        help="surrogate: output path for the surrogate-planner baseline JSON",
     )
     return parser
 
@@ -403,6 +411,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         headers, rows = perf.bench_table(report)
         print(render_table(headers, rows,
                            title=f"Sweep-engine bench ({report.n_points} points)"))
+        print()
+        headers, rows = perf.cache_stats_table(report)
+        print(render_table(
+            headers, rows,
+            title="Report memo-cache probe (cold pass + warm re-evaluation)",
+        ))
         path = perf.write_report(report, args.bench_out or "BENCH_sweep.json")
         print(f"\nwrote perf baseline to {path}")
         if not report.identical_results:
@@ -683,6 +697,64 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             problems = learn_bench.compare_to_baseline(
                 payload, learn_bench.load_baseline(args.check)
+            )
+            if problems:
+                for problem in problems:
+                    print(f"REGRESSION: {problem}")
+                return 1
+            print(f"no regression against {args.check}")
+        return 0
+    if args.artefact == "surrogate" or (
+        args.artefact == "bench" and args.mode == "surrogate"
+    ):
+        # Lazy: a surrogate bench fans out hundreds of training runs.
+        from .analysis.fleetview import (
+            surrogate_planner_table,
+            surrogate_validation_table,
+        )
+        from .surrogate import bench as surrogate_bench
+
+        bench = surrogate_bench.run_surrogate_bench(
+            seed=args.seed,
+            check_process_parity=not args.no_parity_probe,
+        )
+        payload = surrogate_bench.report_payload(bench)
+        headers, rows = surrogate_validation_table(payload)
+        print(render_table(
+            headers, rows,
+            title=f"Surrogate validation (seeds "
+                  f"{surrogate_bench.VALIDATION_SEEDS[0]}.."
+                  f"{surrogate_bench.VALIDATION_SEEDS[-1]}, "
+                  f"seed-median DES truth)",
+        ))
+        print()
+        headers, rows = surrogate_planner_table(payload)
+        print(render_table(
+            headers, rows,
+            title=f"Capacity planners (p99 <= "
+                  f"{surrogate_bench.GATE_REQUIREMENT.max_p99_s:g} s, "
+                  f"miss <= "
+                  f"{surrogate_bench.GATE_REQUIREMENT.max_miss_rate:.0%})",
+        ))
+        print(f"\ntraining: {bench.training_rows} rows over "
+              f"{len(surrogate_bench.TRAIN_SEEDS)} seeds in "
+              f"{bench.train_wall_s:.1f} s wall, fit in "
+              f"{bench.fit_wall_s:.1f} s")
+        print(f"model fingerprint {bench.model_fingerprint_serial[:16]}.., "
+              f"training set {bench.train_fingerprint_serial[:16]}..")
+        wall = dict(payload["wall_informational"])
+        print(f"plan wall: exhaustive {wall['exhaustive_plan_s']:.3f} s, "
+              f"surrogate {wall['surrogate_plan_s']:.3f} s "
+              f"({wall['plan_speedup']:.1f}x, informational)")
+        path = surrogate_bench.write_report(bench, args.surrogate_out)
+        print(f"wrote surrogate baseline to {path}")
+        failed = [name for name, ok in bench.invariants.items() if not ok]
+        if failed:
+            print(f"FAIL: surrogate invariants violated: {', '.join(failed)}")
+            return 1
+        if args.check:
+            problems = surrogate_bench.compare_to_baseline(
+                payload, surrogate_bench.load_baseline(args.check)
             )
             if problems:
                 for problem in problems:

@@ -54,22 +54,30 @@ REPORT_CACHE_SIZE: int = 4096
 _report_cache: OrderedDict[tuple, DesignPointReport] = OrderedDict()
 _cache_hits: int = 0
 _cache_misses: int = 0
+_cache_evictions: int = 0
 
 
 def clear_report_cache() -> None:
     """Drop all memoised design-point reports and reset the hit counters."""
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     _report_cache.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _cache_evictions = 0
 
 
 def report_cache_stats() -> dict[str, int]:
-    """Cache occupancy and hit/miss counters (for benches and tests)."""
+    """Cache occupancy and hit/miss/eviction counters.
+
+    Surfaced by ``repro bench`` payloads and the fleetview timing
+    tables so cache effectiveness is observable, and asserted on by
+    the sweep tests.
+    """
     return {
         "size": len(_report_cache),
         "hits": _cache_hits,
         "misses": _cache_misses,
+        "evictions": _cache_evictions,
     }
 
 
@@ -198,7 +206,7 @@ def evaluate_reports(
     ``cache=True`` results also persist across calls in a bounded
     memo keyed on ``(params, dataset, link_gbps)``.
     """
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
@@ -240,6 +248,7 @@ def evaluate_reports(
                 _report_cache[key] = report
                 while len(_report_cache) > REPORT_CACHE_SIZE:
                     _report_cache.popitem(last=False)
+                    _cache_evictions += 1
 
     return tuple(resolved[key] for key in keys)
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 from ..core.sweep import map_chunks
 from ..errors import ConfigurationError
 from ..units import assert_positive
+from .cache import CacheConfig
 from .controlplane import FleetScenario, POLICIES, run_fleet
 
 
@@ -102,15 +103,33 @@ def _candidate_chunk(
     return tuple(_evaluate(scenario, requirement) for scenario in chunk)
 
 
+def _cache_for_label(base: FleetScenario, label: str) -> CacheConfig | None:
+    """The cache config a candidate-grid label denotes."""
+    if label == "none":
+        return None
+    if label == base.cache_label:
+        return base.cache  # preserve base sizing, not just the policy
+    return CacheConfig(policy=label)
+
+
 def candidate_scenarios(
     base: FleetScenario,
     n_tracks_options: tuple[int, ...] = (1, 2, 3),
     cart_pool_options: tuple[int, ...] = (4, 6, 8),
     policies: tuple[str, ...] = ("fcfs", "edf"),
+    cache_options: tuple[str, ...] | None = None,
 ) -> tuple[FleetScenario, ...]:
-    """The candidate grid in increasing-cost order."""
+    """The candidate grid in increasing-cost order.
+
+    ``cache_options`` optionally adds a rack-cache axis: a tuple of
+    cache-policy labels (``"none"`` for no cache, else an eviction
+    policy name).  ``None`` — the default — keeps the base scenario's
+    cache on every candidate, which is the pre-existing behaviour.
+    """
     if not n_tracks_options or not cart_pool_options or not policies:
         raise ConfigurationError("the candidate grid must not be empty")
+    if cache_options is not None and not cache_options:
+        raise ConfigurationError("cache_options must be None or non-empty")
     for policy in policies:
         if policy not in POLICIES:
             raise ConfigurationError(
@@ -122,14 +141,19 @@ def candidate_scenarios(
             if cart_pool < n_tracks:
                 continue  # FleetSpec requires a cart per rail
             for policy in policies:
-                scenarios.append(
-                    replace(
+                for cache_label in cache_options or (None,):
+                    candidate = replace(
                         base,
                         spec=replace(base.spec, n_tracks=n_tracks,
                                      cart_pool=cart_pool),
                         policy=policy,
                     )
-                )
+                    if cache_label is not None:
+                        candidate = replace(
+                            candidate,
+                            cache=_cache_for_label(base, cache_label),
+                        )
+                    scenarios.append(candidate)
     if not scenarios:
         raise ConfigurationError(
             "no viable candidates: every cart_pool option is smaller than "
@@ -138,26 +162,69 @@ def candidate_scenarios(
     return tuple(scenarios)
 
 
+def evaluate_candidate(
+    scenario: FleetScenario, requirement: SlaRequirement
+) -> CandidateEvaluation:
+    """Run one candidate through the DES and judge it against the SLA.
+
+    The single-candidate unit both the exhaustive sweep and the
+    surrogate-guided planner (:mod:`repro.surrogate.planner`) build on,
+    so "confirmed in the real DES" means the same thing everywhere.
+    """
+    return _evaluate(scenario, requirement)
+
+
 def plan_capacity(
     requirement: SlaRequirement,
     base: FleetScenario,
     n_tracks_options: tuple[int, ...] = (1, 2, 3),
     cart_pool_options: tuple[int, ...] = (4, 6, 8),
     policies: tuple[str, ...] = ("fcfs", "edf"),
+    cache_options: tuple[str, ...] | None = None,
     engine: str = "serial",
     workers: int | None = None,
     chunk_size: int | None = None,
+    early_exit: bool = False,
 ) -> CapacityPlan:
-    """Sweep the candidate grid and pick the minimal feasible fleet."""
+    """Sweep the candidate grid and pick the minimal feasible fleet.
+
+    With ``early_exit`` the sweep stops at the first (cheapest)
+    feasible candidate instead of evaluating the full grid: the
+    returned plan's ``best`` is pinned identical to the exhaustive
+    sweep's — candidates are confirmed in increasing-cost order, so
+    the first feasible one *is* the minimum — but ``evaluations`` only
+    covers the prefix actually simulated.  Exhaustive remains the
+    default because the full frontier is what capacity studies plot.
+    """
     scenarios = candidate_scenarios(base, n_tracks_options,
-                                    cart_pool_options, policies)
-    evaluations = map_chunks(
-        functools.partial(_candidate_chunk, requirement=requirement),
-        scenarios,
-        engine=engine,
-        workers=workers,
-        chunk_size=chunk_size,
-    )
+                                    cart_pool_options, policies,
+                                    cache_options)
+    chunk_fn = functools.partial(_candidate_chunk, requirement=requirement)
+    if early_exit:
+        evaluations: list[CandidateEvaluation] = []
+        step = chunk_size or max(2, (workers or 1))
+        for start in range(0, len(scenarios), step):
+            batch = map_chunks(
+                chunk_fn,
+                scenarios[start:start + step],
+                engine=engine,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            for evaluation in batch:
+                evaluations.append(evaluation)
+                if evaluation.feasible:
+                    break
+            if evaluations and evaluations[-1].feasible:
+                break
+    else:
+        evaluations = list(map_chunks(
+            chunk_fn,
+            scenarios,
+            engine=engine,
+            workers=workers,
+            chunk_size=chunk_size,
+        ))
     best = next((e for e in evaluations if e.feasible), None)
     return CapacityPlan(
         requirement=requirement,

@@ -1,0 +1,43 @@
+"""Learned fast-path for the fleet simulator (paper §V/§VI sweeps).
+
+``repro.surrogate`` fits a dependency-light quantile-regression model
+of the fleet DES — configuration in, KPI quantiles out — and uses it
+to prune capacity sweeps: score every candidate deployment with the
+model, simulate only the ones that might be feasible.  Training sets
+are seeded DES fan-outs with byte-identical serial==process rows, and
+models carry sha256 fingerprints, so "same data, same model" is a
+string comparison.  See ``docs/surrogates.md`` for the fit and the
+pruning-margin maths.
+"""
+
+from .data import (
+    build_training_set,
+    training_points,
+    training_set_fingerprint,
+)
+from .features import FEATURE_NAMES, ScenarioPoint, encode, scenario_for_point
+from .model import TARGETS, FitConfig, QuantileModel, fit
+from .planner import (
+    PruningMargin,
+    SurrogatePlan,
+    candidate_points,
+    plan_capacity_surrogate,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FitConfig",
+    "PruningMargin",
+    "QuantileModel",
+    "ScenarioPoint",
+    "SurrogatePlan",
+    "TARGETS",
+    "build_training_set",
+    "candidate_points",
+    "encode",
+    "fit",
+    "plan_capacity_surrogate",
+    "scenario_for_point",
+    "training_points",
+    "training_set_fingerprint",
+]

@@ -1,0 +1,556 @@
+"""Surrogate benchmarking: the ``repro bench --mode surrogate`` gate.
+
+Builds the pinned training set (serial *and* process, byte-compared),
+fits the quantile surrogate, validates its median predictions against
+held-out seeds the training never saw, and races the surrogate-guided
+planner against the exhaustive sweep on the pinned gate space.  The
+payload lands in ``BENCH_surrogate.json`` with the gate's invariants
+as booleans:
+
+* ``plan_matches_exhaustive`` — the headline correctness claim: the
+  pruned planner returns the *same* ``best`` deployment as simulating
+  all 36 candidates;
+* ``des_evaluations_reduced_5x`` — the headline performance claim:
+  the pruned planner needs at most a fifth of the DES runs (the gate
+  measures the actual ratio; wall-clock is reported informationally
+  because it is machine-dependent, DES counts are not);
+* ``train_serial_process_identical`` / ``fit_fingerprint_stable`` —
+  training rows are byte-identical across engines and the model fitted
+  from either set fingerprints identically;
+* ``validation_p99_within_bound`` / ``validation_energy_within_bound``
+  — median predictions stay within the pinned relative-error bounds
+  against seed-median DES truth on the held-out validation seeds;
+* ``margin_covers_validation_error`` — the planner's pruning band is
+  at least as wide as the worst validated p99 error, the premise of
+  the plan-identity argument in :mod:`repro.surrogate.planner`;
+* ``monotone_p99_predictions`` — more tracks or more carts never
+  predicts a worse p99 anywhere on the gate grid;
+* ``validation_seeds_disjoint`` — the held-out seeds really are
+  held out.
+
+Every gated number is virtual-time output of a seeded deterministic
+pipeline (the fit is elementwise numpy + ``np.sum`` only), so fresh
+runs must match the committed baseline to float tolerance on any
+machine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..fleet.capacity import CandidateEvaluation, CapacityPlan, SlaRequirement, plan_capacity
+from ..fleet.controlplane import FleetScenario, default_scenario, run_fleet
+from .data import (
+    build_training_set,
+    training_points,
+    training_set_fingerprint,
+)
+from .features import ScenarioPoint, scenario_for_point
+from .model import FitConfig, QuantileModel, fit
+from .planner import (
+    PruningMargin,
+    SurrogatePlan,
+    candidate_points,
+    plan_capacity_surrogate,
+)
+
+SCHEMA = "repro-bench-surrogate/1"
+
+DEFAULT_SEED = 0
+DEFAULT_HORIZON_S = 900.0
+
+#: Seeds the training fan-out replicates each grid point over.  Eight
+#: replications matter: per-seed KPIs at this horizon swing by up to
+#: ~2x (the Poisson job count itself varies), so the seed-median the
+#: quantile fit estimates needs this many samples to be stable.
+TRAIN_SEEDS: tuple[int, ...] = (11, 12, 13, 14, 15, 16, 17, 18)
+
+#: Held-out seeds for validation truth; disjoint from TRAIN_SEEDS by
+#: construction and asserted by the gate.
+VALIDATION_SEEDS: tuple[int, ...] = (101, 102, 103, 104, 105, 106, 107, 108)
+
+#: The SLA the gate space is planned against.  150 s p99 puts the
+#: feasibility frontier strictly inside the grid: every single-track
+#: candidate misses it, two tracks with an LRU cache meet it.
+GATE_REQUIREMENT = SlaRequirement(max_p99_s=150.0, max_miss_rate=0.05)
+
+#: Pinned error bounds for median predictions vs seed-median DES truth
+#: on the validation seeds, with ~50% headroom over the observed
+#: errors (p99 mean 0.17 / max 0.36; energy aggregate 0.16 / mean
+#: 0.31) so float noise cannot flip the gate, yet tight enough that a
+#: regressed fit or a broken feature encoding fails.  p99 is gated
+#: per-point; launch energy is gated on the demand-weighted aggregate
+#: (sum of absolute errors over sum of truths) plus the per-point
+#: mean, because cached deployments launch so rarely that a couple of
+#: discrete cart launches double the denominator of a per-point
+#: relative error.
+P99_MAX_REL_ERROR_BOUND = 0.55
+P99_MEAN_REL_ERROR_BOUND = 0.30
+ENERGY_AGG_REL_ERROR_BOUND = 0.30
+ENERGY_MEAN_REL_ERROR_BOUND = 0.45
+
+#: The planner's pruning band for the gate: wider than the pinned p99
+#: error bound, so ``margin_covers_validation_error`` holds by design.
+GATE_MARGIN = PruningMargin(p99_rel=0.60, miss_abs=0.10)
+
+#: The reduction factor the gate demands.
+MIN_DES_REDUCTION = 5.0
+
+
+def bench_base_scenario(seed: int = DEFAULT_SEED,
+                        horizon_s: float = DEFAULT_HORIZON_S) -> FleetScenario:
+    """The base fleet the training grid and the planners both sweep."""
+    return default_scenario(seed=seed, horizon_s=horizon_s)
+
+
+@dataclass(frozen=True)
+class ValidationError:
+    """Prediction-vs-truth errors of one target over the gate grid.
+
+    ``aggregate_rel_error`` is demand-weighted: the sum of absolute
+    errors over the sum of truths, which a few near-zero denominators
+    cannot dominate the way a per-point relative error can.
+    """
+
+    mean_rel_error: float
+    max_rel_error: float
+    aggregate_rel_error: float
+
+
+@dataclass(frozen=True)
+class SurrogateBenchReport:
+    """One full train + validate + plan pass with its gate evidence."""
+
+    seed: int
+    horizon_s: float
+    training_rows: int
+    train_fingerprint_serial: str
+    train_fingerprint_process: str
+    model_fingerprint_serial: str
+    model_fingerprint_process: str
+    model: QuantileModel
+    p99_error: ValidationError
+    energy_error: ValidationError
+    miss_abs_error_max: float
+    monotone_p99: bool
+    exhaustive: CapacityPlan
+    surrogate: SurrogatePlan
+    train_wall_s: float
+    fit_wall_s: float
+    exhaustive_wall_s: float
+    surrogate_wall_s: float
+
+    @property
+    def invariants(self) -> dict[str, bool]:
+        best_exhaustive = self.exhaustive.best
+        best_surrogate = self.surrogate.best
+        return {
+            "plan_matches_exhaustive": (
+                best_exhaustive is not None
+                and best_surrogate == best_exhaustive
+            ),
+            "des_evaluations_reduced_5x": (
+                self.surrogate.reduction >= MIN_DES_REDUCTION
+            ),
+            "train_serial_process_identical": (
+                bool(self.train_fingerprint_serial)
+                and self.train_fingerprint_serial
+                == self.train_fingerprint_process
+            ),
+            "fit_fingerprint_stable": (
+                bool(self.model_fingerprint_serial)
+                and self.model_fingerprint_serial
+                == self.model_fingerprint_process
+            ),
+            "validation_p99_within_bound": (
+                self.p99_error.max_rel_error <= P99_MAX_REL_ERROR_BOUND
+                and self.p99_error.mean_rel_error <= P99_MEAN_REL_ERROR_BOUND
+            ),
+            "validation_energy_within_bound": (
+                self.energy_error.aggregate_rel_error
+                <= ENERGY_AGG_REL_ERROR_BOUND
+                and self.energy_error.mean_rel_error
+                <= ENERGY_MEAN_REL_ERROR_BOUND
+            ),
+            "margin_covers_validation_error": (
+                GATE_MARGIN.p99_rel >= self.p99_error.max_rel_error
+            ),
+            "monotone_p99_predictions": self.monotone_p99,
+            "validation_seeds_disjoint": not (
+                set(TRAIN_SEEDS) & set(VALIDATION_SEEDS)
+            ),
+        }
+
+
+def _seed_median(values: list[float]) -> float:
+    return float(np.median(np.asarray(values, dtype=np.float64)))
+
+
+def validation_errors(
+    model: QuantileModel,
+    base: FleetScenario,
+    points: tuple[ScenarioPoint, ...],
+    seeds: tuple[int, ...] = VALIDATION_SEEDS,
+) -> tuple[ValidationError, ValidationError, float]:
+    """(p99 error, energy error, max miss abs error) on held-out seeds.
+
+    Truth for each grid point is the *seed-median* KPI over the
+    validation replications — the stable quantity a median-quantile
+    surrogate estimates; single runs at this horizon carry up to ~2x
+    of pure seed noise, which would measure the simulator's variance,
+    not the model's accuracy.
+    """
+    p99_abs, p99_true = [], []
+    energy_abs, energy_true = [], []
+    miss_errors = []
+    for point in points:
+        reports = [
+            run_fleet(scenario_for_point(base, point, seed=seed))
+            for seed in seeds
+        ]
+        true_p99 = _seed_median([r.p99_s for r in reports])
+        true_energy = _seed_median(
+            [r.launch_energy_j / 1e6 for r in reports]
+        )
+        true_miss = _seed_median([r.deadline_miss_rate for r in reports])
+        predicted = model.predict(point)
+        p99_abs.append(abs(predicted["p99_s"] - true_p99))
+        p99_true.append(true_p99)
+        energy_abs.append(abs(predicted["launch_energy_mj"] - true_energy))
+        energy_true.append(true_energy)
+        miss_errors.append(
+            abs(predicted["deadline_miss_rate"] - true_miss)
+        )
+
+    def _error(abs_errors: list[float], truths: list[float]) -> ValidationError:
+        rel = np.asarray(abs_errors) / np.asarray(truths)
+        return ValidationError(
+            mean_rel_error=float(np.mean(rel)),
+            max_rel_error=float(np.max(rel)),
+            aggregate_rel_error=float(
+                np.sum(np.asarray(abs_errors)) / np.sum(np.asarray(truths))
+            ),
+        )
+
+    return (
+        _error(p99_abs, p99_true),
+        _error(energy_abs, energy_true),
+        float(np.max(np.asarray(miss_errors))),
+    )
+
+
+def monotone_p99_on_grid(
+    model: QuantileModel,
+    points: tuple[ScenarioPoint, ...],
+) -> bool:
+    """More tracks or more carts never predicts a worse p99.
+
+    Checks every pair of grid points that differ only in ``n_tracks``
+    or only in ``cart_pool``: the larger deployment's predicted p99
+    must not exceed the smaller one's (tiny float slack for the
+    exp/log round-trip).
+    """
+    predictions = {
+        point: model.predict(point)["p99_s"] for point in points
+    }
+    for a in points:
+        for b in points:
+            same_axis_tracks = (
+                a.cart_pool == b.cart_pool
+                and a.policy == b.policy
+                and a.cache_policy == b.cache_policy
+                and a.offered_load == b.offered_load
+                and a.n_tracks < b.n_tracks
+            )
+            same_axis_carts = (
+                a.n_tracks == b.n_tracks
+                and a.policy == b.policy
+                and a.cache_policy == b.cache_policy
+                and a.offered_load == b.offered_load
+                and a.cart_pool < b.cart_pool
+            )
+            if same_axis_tracks or same_axis_carts:
+                if predictions[b] > predictions[a] * (1.0 + 1e-9):
+                    return False
+    return True
+
+
+def run_surrogate_bench(
+    seed: int = DEFAULT_SEED,
+    horizon_s: float = DEFAULT_HORIZON_S,
+    engine: str = "serial",
+    check_process_parity: bool = True,
+    fit_config: FitConfig | None = None,
+) -> SurrogateBenchReport:
+    """Train, validate, and race the planners on the pinned gate space.
+
+    ``engine`` picks the fan-out for the *main* training build; the
+    parity probe always builds the training set with both engines and
+    fits a model from each (skippable with
+    ``check_process_parity=False`` for quick local iterations, which
+    marks the parity invariants false rather than silently passing).
+    """
+    base = bench_base_scenario(seed=seed, horizon_s=horizon_s)
+    points = training_points()
+    started = time.perf_counter()
+    rows = build_training_set(base, points, TRAIN_SEEDS, engine=engine)
+    train_wall_s = time.perf_counter() - started
+    fingerprint_serial = training_set_fingerprint(rows)
+    started = time.perf_counter()
+    model = fit(rows, config=fit_config,
+                training_fingerprint=fingerprint_serial)
+    fit_wall_s = time.perf_counter() - started
+    if check_process_parity:
+        process_rows = build_training_set(
+            base, points, TRAIN_SEEDS, engine="process", workers=2
+        )
+        fingerprint_process = training_set_fingerprint(process_rows)
+        model_process = fit(process_rows, config=fit_config,
+                            training_fingerprint=fingerprint_process)
+        model_fingerprint_process = model_process.fingerprint()
+    else:
+        fingerprint_process = ""
+        model_fingerprint_process = ""
+    gate_points = candidate_points()
+    p99_error, energy_error, miss_abs_max = validation_errors(
+        model, base, gate_points
+    )
+    started = time.perf_counter()
+    exhaustive = plan_capacity(
+        GATE_REQUIREMENT, base, cache_options=("none", "lru")
+    )
+    exhaustive_wall_s = time.perf_counter() - started
+    started = time.perf_counter()
+    surrogate = plan_capacity_surrogate(
+        GATE_REQUIREMENT, base, model, margin=GATE_MARGIN
+    )
+    surrogate_wall_s = time.perf_counter() - started
+    return SurrogateBenchReport(
+        seed=seed,
+        horizon_s=horizon_s,
+        training_rows=len(rows),
+        train_fingerprint_serial=fingerprint_serial,
+        train_fingerprint_process=fingerprint_process,
+        model_fingerprint_serial=model.fingerprint(),
+        model_fingerprint_process=model_fingerprint_process,
+        model=model,
+        p99_error=p99_error,
+        energy_error=energy_error,
+        miss_abs_error_max=miss_abs_max,
+        monotone_p99=monotone_p99_on_grid(model, gate_points),
+        exhaustive=exhaustive,
+        surrogate=surrogate,
+        train_wall_s=train_wall_s,
+        fit_wall_s=fit_wall_s,
+        exhaustive_wall_s=exhaustive_wall_s,
+        surrogate_wall_s=surrogate_wall_s,
+    )
+
+
+def _evaluation_payload(evaluation: CandidateEvaluation) -> dict[str, object]:
+    return {
+        "n_tracks": evaluation.n_tracks,
+        "cart_pool": evaluation.cart_pool,
+        "policy": evaluation.policy,
+        "cache_policy": evaluation.cache_policy,
+        "p99_s": round(evaluation.p99_s, 6),
+        "deadline_miss_rate": round(evaluation.deadline_miss_rate, 6),
+        "launch_energy_mj": round(evaluation.launch_energy_j / 1e6, 6),
+        "feasible": evaluation.feasible,
+    }
+
+
+def report_payload(bench: SurrogateBenchReport) -> dict[str, object]:
+    """The JSON-serialisable form (``BENCH_surrogate.json``)."""
+    from ..analysis.perf import environment_info
+
+    surrogate = bench.surrogate
+    exhaustive = bench.exhaustive
+    return {
+        "schema": SCHEMA,
+        "seed": bench.seed,
+        "horizon_s": bench.horizon_s,
+        "requirement": {
+            "max_p99_s": GATE_REQUIREMENT.max_p99_s,
+            "max_miss_rate": GATE_REQUIREMENT.max_miss_rate,
+        },
+        "training": {
+            "rows": bench.training_rows,
+            "seeds": list(TRAIN_SEEDS),
+            "grid_points": bench.training_rows // len(TRAIN_SEEDS),
+        },
+        "validation": {
+            "seeds": list(VALIDATION_SEEDS),
+            "p99_mean_rel_error": round(bench.p99_error.mean_rel_error, 6),
+            "p99_max_rel_error": round(bench.p99_error.max_rel_error, 6),
+            "p99_aggregate_rel_error": round(
+                bench.p99_error.aggregate_rel_error, 6
+            ),
+            "energy_mean_rel_error": round(
+                bench.energy_error.mean_rel_error, 6
+            ),
+            "energy_max_rel_error": round(
+                bench.energy_error.max_rel_error, 6
+            ),
+            "energy_aggregate_rel_error": round(
+                bench.energy_error.aggregate_rel_error, 6
+            ),
+            "miss_max_abs_error": round(bench.miss_abs_error_max, 6),
+            "bounds": {
+                "p99_mean": P99_MEAN_REL_ERROR_BOUND,
+                "p99_max": P99_MAX_REL_ERROR_BOUND,
+                "energy_aggregate": ENERGY_AGG_REL_ERROR_BOUND,
+                "energy_mean": ENERGY_MEAN_REL_ERROR_BOUND,
+            },
+        },
+        "margin": {
+            "p99_rel": GATE_MARGIN.p99_rel,
+            "miss_abs": GATE_MARGIN.miss_abs,
+        },
+        "fingerprints": {
+            "training_serial": bench.train_fingerprint_serial,
+            "training_process": bench.train_fingerprint_process,
+            "model_serial": bench.model_fingerprint_serial,
+            "model_process": bench.model_fingerprint_process,
+        },
+        "exhaustive": {
+            "des_evaluations": len(exhaustive.evaluations),
+            "best": _evaluation_payload(exhaustive.best)
+            if exhaustive.best
+            else None,
+        },
+        "surrogate": {
+            "grid_size": surrogate.grid_size,
+            "des_evaluations": surrogate.des_evaluations,
+            "pruned": surrogate.pruned,
+            "reduction": round(surrogate.reduction, 6),
+            "best": _evaluation_payload(surrogate.best)
+            if surrogate.best
+            else None,
+        },
+        "invariants": bench.invariants,
+        "wall_informational": {
+            "train_s": round(bench.train_wall_s, 3),
+            "fit_s": round(bench.fit_wall_s, 3),
+            "exhaustive_plan_s": round(bench.exhaustive_wall_s, 3),
+            "surrogate_plan_s": round(bench.surrogate_wall_s, 3),
+            "plan_speedup": round(
+                bench.exhaustive_wall_s
+                / max(1e-9, bench.surrogate_wall_s),
+                3,
+            ),
+        },
+        "environment": environment_info(),
+    }
+
+
+def write_report(bench: SurrogateBenchReport, path: str) -> str:
+    """Write ``BENCH_surrogate.json`` and return the path."""
+    payload = report_payload(bench)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> dict[str, object]:
+    """Read a previously committed surrogate baseline."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _compare_section(
+    label: str,
+    fresh: Mapping[str, object],
+    base: Mapping[str, object],
+    rel_tol: float,
+    problems: list[str],
+) -> None:
+    for key, base_value in base.items():
+        if key.endswith("_informational") or key == "wall_informational":
+            continue
+        fresh_value = fresh.get(key)
+        if isinstance(base_value, Mapping):
+            _compare_section(
+                f"{label}.{key}", dict(fresh_value or {}), base_value,
+                rel_tol, problems,
+            )
+        elif isinstance(base_value, bool) or not isinstance(
+            base_value, (int, float)
+        ):
+            if fresh_value != base_value:
+                problems.append(
+                    f"{label}.{key}: {fresh_value!r} != baseline "
+                    f"{base_value!r}"
+                )
+        elif fresh_value is None or not math.isclose(
+            float(fresh_value), float(base_value), rel_tol=rel_tol,
+            abs_tol=rel_tol,
+        ):
+            problems.append(
+                f"{label}.{key}: {fresh_value} drifted from baseline "
+                f"{base_value}"
+            )
+
+
+def compare_to_baseline(
+    payload: Mapping[str, object],
+    baseline: Mapping[str, object],
+    rel_tol: float = 1e-6,
+) -> list[str]:
+    """Regression messages from comparing a fresh bench to a baseline.
+
+    Training rows, fits and plans are all seeded deterministic
+    virtual-time computations, so every gated number — including the
+    sha256 fingerprint strings — must match the committed baseline to
+    float-noise tolerance on any machine.  Invariants must hold in
+    both payloads; wall-clock timings are informational only.
+    """
+    problems: list[str] = []
+    for source, values in (("fresh run", payload.get("invariants", {})),
+                           ("baseline", baseline.get("invariants", {}))):
+        for name, value in dict(values).items():
+            if not value:
+                problems.append(f"invariant failed in {source}: {name}")
+    for section in ("requirement", "training", "validation", "margin",
+                    "fingerprints", "exhaustive", "surrogate"):
+        _compare_section(
+            section,
+            dict(payload.get(section, {})),
+            dict(baseline.get(section, {})),
+            rel_tol,
+            problems,
+        )
+    return problems
+
+
+__all__ = [
+    "DEFAULT_HORIZON_S",
+    "DEFAULT_SEED",
+    "ENERGY_AGG_REL_ERROR_BOUND",
+    "ENERGY_MEAN_REL_ERROR_BOUND",
+    "GATE_MARGIN",
+    "GATE_REQUIREMENT",
+    "MIN_DES_REDUCTION",
+    "P99_MAX_REL_ERROR_BOUND",
+    "P99_MEAN_REL_ERROR_BOUND",
+    "SCHEMA",
+    "SurrogateBenchReport",
+    "TRAIN_SEEDS",
+    "VALIDATION_SEEDS",
+    "ValidationError",
+    "bench_base_scenario",
+    "compare_to_baseline",
+    "load_baseline",
+    "monotone_p99_on_grid",
+    "report_payload",
+    "run_surrogate_bench",
+    "validation_errors",
+    "write_report",
+]

@@ -1,0 +1,165 @@
+"""Seeded training sets for the surrogate: DES fan-out, canonical bytes.
+
+A training set is the cartesian product of scenario points and
+workload seeds, each run through the real fleet DES.  The runs fan out
+over :func:`repro.core.sweep.map_chunks`, and because every KPI is a
+function of virtual time and the seed alone, the serial and process
+engines produce byte-identical row lists — the property
+:func:`training_set_fingerprint` turns into a checkable string and the
+test suite pins.
+
+Rows are plain dicts (picklable, JSON-able) carrying the encoded
+features plus every :data:`repro.surrogate.model.TARGETS` KPI.
+``launch_energy_mj`` follows the learn bench's unit convention
+(megajoules) so surrogate tables read alongside the existing ones.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+
+from ..core.sweep import map_chunks
+from ..errors import ConfigurationError
+from ..fleet.controlplane import FleetScenario, run_fleet
+from .features import ScenarioPoint, encode, scenario_for_point
+
+#: Default offered-load axis for training grids: below, at and above
+#: the base scenario's demand, so load coefficients are identified.
+DEFAULT_LOADS: tuple[float, ...] = (0.6, 1.0, 1.4)
+
+#: Rounding applied to payload floats; 6 significant digits is the
+#: repo-wide convention for committed virtual-time quantities.
+_PAYLOAD_DIGITS = 6
+
+
+def training_points(
+    n_tracks_options: tuple[int, ...] = (1, 2, 3),
+    cart_pool_options: tuple[int, ...] = (4, 6, 8),
+    policies: tuple[str, ...] = ("fcfs", "edf"),
+    cache_policies: tuple[str, ...] = ("none", "lru"),
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+) -> tuple[ScenarioPoint, ...]:
+    """The training grid, cheapest-first like the planner's candidates.
+
+    Infeasible combinations (cart pool smaller than track count) are
+    skipped, mirroring :func:`repro.fleet.capacity.candidate_scenarios`.
+    """
+    points = []
+    for n_tracks in sorted(set(n_tracks_options)):
+        for cart_pool in sorted(set(cart_pool_options)):
+            if cart_pool < n_tracks:
+                continue
+            for policy in policies:
+                for cache_policy in cache_policies:
+                    for load in loads:
+                        points.append(
+                            ScenarioPoint(
+                                n_tracks=n_tracks,
+                                cart_pool=cart_pool,
+                                policy=policy,
+                                cache_policy=cache_policy,
+                                offered_load=load,
+                            )
+                        )
+    if not points:
+        raise ConfigurationError("the training grid must not be empty")
+    return tuple(points)
+
+
+def _row_chunk(
+    chunk: tuple[tuple[ScenarioPoint, int], ...],
+    base: FleetScenario,
+) -> tuple[dict, ...]:
+    """``map_chunks`` worker: simulate a slice of (point, seed) pairs."""
+    rows = []
+    for point, seed in chunk:
+        report = run_fleet(scenario_for_point(base, point, seed=seed))
+        rows.append(
+            {
+                "point": point.label,
+                "seed": seed,
+                "features": encode(point),
+                "p50_s": report.sla.overall.p50_s,
+                "p95_s": report.sla.overall.p95_s,
+                "p99_s": report.p99_s,
+                "launch_energy_mj": report.launch_energy_j / 1e6,
+                "deadline_miss_rate": report.deadline_miss_rate,
+            }
+        )
+    return tuple(rows)
+
+
+def build_training_set(
+    base: FleetScenario,
+    points: tuple[ScenarioPoint, ...],
+    seeds: tuple[int, ...],
+    engine: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[dict]:
+    """Simulate every (point, seed) pair; rows in grid-major order.
+
+    The (point, seed) product is laid out point-major, so replicates of
+    one configuration are adjacent; order is part of the byte-identity
+    contract, not a convenience.
+    """
+    if not seeds:
+        raise ConfigurationError("seeds must be non-empty")
+    pairs = tuple((point, seed) for point in points for seed in seeds)
+    rows = map_chunks(
+        functools.partial(_row_chunk, base=base),
+        pairs,
+        engine=engine,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    return list(rows)
+
+
+def _rounded(value: float) -> float:
+    return round(float(value), _PAYLOAD_DIGITS)
+
+
+def training_set_payload(rows: list[dict]) -> list[dict]:
+    """Canonical JSON-able view of the rows (floats rounded, keys sorted)."""
+    payload = []
+    for row in rows:
+        payload.append(
+            {
+                "point": row["point"],
+                "seed": row["seed"],
+                "features": [_rounded(f) for f in row["features"]],
+                "p50_s": _rounded(row["p50_s"]),
+                "p95_s": _rounded(row["p95_s"]),
+                "p99_s": _rounded(row["p99_s"]),
+                "launch_energy_mj": _rounded(row["launch_energy_mj"]),
+                "deadline_miss_rate": _rounded(row["deadline_miss_rate"]),
+            }
+        )
+    return payload
+
+
+def render_training_set(rows: list[dict]) -> str:
+    """The canonical byte form: sorted keys, two-space indent, newline."""
+    return json.dumps(
+        training_set_payload(rows), indent=2, sort_keys=True
+    ) + "\n"
+
+
+def training_set_fingerprint(rows: list[dict]) -> str:
+    """sha256 of the canonical byte form; equal iff the bytes are equal."""
+    return hashlib.sha256(
+        render_training_set(rows).encode("utf-8")
+    ).hexdigest()
+
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "build_training_set",
+    "render_training_set",
+    "training_points",
+    "training_set_fingerprint",
+    "training_set_payload",
+]

@@ -1,0 +1,200 @@
+"""Scenario encoding: one fleet deployment point, one feature vector.
+
+The surrogate predicts simulator KPIs from *configuration*, so the
+configuration needs a fixed, order-stable numeric encoding.  A
+:class:`ScenarioPoint` names the five swept axes — track count, cart
+pool, dispatch policy, cache policy and offered load — and
+:func:`encode` maps it to the feature vector the quantile-regression
+model consumes.
+
+The capacity features are deliberately *inverse*: ``1/tracks``,
+``1/carts`` and the utilisation ratios ``load/tracks`` (with its
+square and cube — queueing delay grows superlinearly near saturation)
+and ``load/carts`` all shrink as the deployment grows, and the fit
+constrains their latency/miss-rate coefficients to be non-negative
+(see :func:`repro.surrogate.model.fit`).  Together that makes every
+latency prediction monotone — adding a track or a cart can never
+*raise* the predicted p99 — which the test suite pins on the planner's
+grid.  Policies and cache policies are categorical and enter as
+drop-first one-hots (``fcfs`` and ``none`` are the baselines absorbed
+by the intercept); positive KPIs are fitted in log space, where the
+measured cache/policy effects are close to constant offsets
+(multiplicative ratios), so one-hot intercept shifts capture them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..fleet.cache import CacheConfig
+from ..fleet.controlplane import POLICIES, FleetScenario
+from ..units import assert_positive
+from ..workloads.generator import TrafficClass
+
+#: Cache policies the encoder recognises; ``"none"`` means no rack cache.
+CACHE_LABELS: tuple[str, ...] = ("none", "lru", "lfu", "ttl")
+
+#: Feature names, in encoding order (the model's coefficient order).
+FEATURE_NAMES: tuple[str, ...] = (
+    "inv_tracks",
+    "inv_carts",
+    "load",
+    "rho_track",
+    "rho_track_sq",
+    "rho_track_cube",
+    "rho_cart",
+    "policy_sjf",
+    "policy_edf",
+    "cache_lru",
+    "cache_lfu",
+    "cache_ttl",
+)
+
+#: Indices of the capacity-inverse features whose latency/miss-rate
+#: coefficients the fit constrains to be >= 0 (monotonicity guarantee).
+MONOTONE_FEATURE_INDICES: tuple[int, ...] = tuple(
+    FEATURE_NAMES.index(name)
+    for name in (
+        "inv_tracks",
+        "inv_carts",
+        "rho_track",
+        "rho_track_sq",
+        "rho_track_cube",
+        "rho_cart",
+    )
+)
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One point of the surrogate's five-axis configuration space."""
+
+    n_tracks: int
+    cart_pool: int
+    policy: str
+    cache_policy: str
+    offered_load: float = 1.0
+    """Multiplier on every traffic class's arrival rate; 1.0 is the
+    base scenario's demand."""
+
+    def __post_init__(self) -> None:
+        if self.n_tracks < 1:
+            raise ConfigurationError(
+                f"n_tracks must be >= 1, got {self.n_tracks}"
+            )
+        if self.cart_pool < self.n_tracks:
+            raise ConfigurationError(
+                f"cart_pool ({self.cart_pool}) must be >= n_tracks "
+                f"({self.n_tracks})"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if self.cache_policy not in CACHE_LABELS:
+            raise ConfigurationError(
+                f"cache_policy must be one of {CACHE_LABELS}, "
+                f"got {self.cache_policy!r}"
+            )
+        assert_positive("offered_load", self.offered_load)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"t{self.n_tracks}c{self.cart_pool}:{self.policy}"
+            f"+{self.cache_policy}@{self.offered_load:g}"
+        )
+
+
+def point_from_scenario(
+    scenario: FleetScenario, offered_load: float = 1.0
+) -> ScenarioPoint:
+    """The :class:`ScenarioPoint` a concrete fleet scenario occupies."""
+    return ScenarioPoint(
+        n_tracks=scenario.spec.n_tracks,
+        cart_pool=scenario.spec.cart_pool,
+        policy=scenario.policy,
+        cache_policy=scenario.cache_label,
+        offered_load=offered_load,
+    )
+
+
+def scaled_classes(
+    classes: tuple[TrafficClass, ...], offered_load: float
+) -> tuple[TrafficClass, ...]:
+    """The traffic mix with every arrival rate scaled by ``offered_load``."""
+    if offered_load == 1.0:
+        return classes
+    return tuple(
+        replace(entry, rate_per_hour=entry.rate_per_hour * offered_load)
+        for entry in classes
+    )
+
+
+def scenario_for_point(
+    base: FleetScenario, point: ScenarioPoint, seed: int | None = None
+) -> FleetScenario:
+    """Instantiate ``point`` over ``base``'s catalog, mix and horizon.
+
+    Everything not named by the point — dataset catalog, SLA targets,
+    admission control, horizon — comes from ``base`` unchanged, so a
+    training set and the planner's candidate grid agree on what one
+    configuration *means*.  ``seed`` optionally replaces the base
+    scenario's workload seed (training replicates over seeds).
+    """
+    cache = (
+        None
+        if point.cache_policy == "none"
+        else CacheConfig(policy=point.cache_policy)
+    )
+    return replace(
+        base,
+        spec=replace(
+            base.spec, n_tracks=point.n_tracks, cart_pool=point.cart_pool
+        ),
+        policy=point.policy,
+        cache=cache,
+        classes=scaled_classes(base.classes, point.offered_load),
+        seed=base.seed if seed is None else seed,
+    )
+
+
+def encode(point: ScenarioPoint) -> tuple[float, ...]:
+    """The feature vector of one point, in :data:`FEATURE_NAMES` order."""
+    tracks = float(point.n_tracks)
+    carts = float(point.cart_pool)
+    load = float(point.offered_load)
+    rho_track = load / tracks
+    return (
+        1.0 / tracks,
+        1.0 / carts,
+        load,
+        rho_track,
+        rho_track * rho_track,
+        rho_track * rho_track * rho_track,
+        load / carts,
+        1.0 if point.policy == "sjf" else 0.0,
+        1.0 if point.policy == "edf" else 0.0,
+        1.0 if point.cache_policy == "lru" else 0.0,
+        1.0 if point.cache_policy == "lfu" else 0.0,
+        1.0 if point.cache_policy == "ttl" else 0.0,
+    )
+
+
+def encode_many(points: tuple[ScenarioPoint, ...]) -> list[tuple[float, ...]]:
+    """Feature vectors for a tuple of points, in input order."""
+    return [encode(point) for point in points]
+
+
+__all__ = [
+    "CACHE_LABELS",
+    "FEATURE_NAMES",
+    "MONOTONE_FEATURE_INDICES",
+    "ScenarioPoint",
+    "encode",
+    "encode_many",
+    "point_from_scenario",
+    "scaled_classes",
+    "scenario_for_point",
+]

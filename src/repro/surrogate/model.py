@@ -1,0 +1,357 @@
+"""Numpy-only quantile regression over scenario features.
+
+The surrogate is a bank of linear pinball-loss (quantile) regressors —
+one per ``(target, quantile)`` pair — fitted with projected subgradient
+descent.  Three deliberate constraints shape the implementation:
+
+* **Byte-stable floats.**  Gates compare sha256 fingerprints of the
+  learned coefficients across machines and across serial vs process
+  training fan-out, so the fit uses only elementwise numpy arithmetic
+  and :func:`numpy.sum` (pairwise, deterministic) — never ``np.dot`` /
+  ``@``, whose BLAS reductions vary across builds (the same rule the
+  learn module follows for its committed gates).
+* **Monotone capacity response.**  Latency and miss-rate targets clamp
+  the coefficients of the capacity-inverse features (``1/tracks``,
+  ``1/carts``, ``load/tracks``, ``load/carts``) to be non-negative on
+  every descent step.  Since those features shrink when a deployment
+  grows, predicted p99/miss can never get *worse* when tracks or carts
+  are added — the sanity property the planner's pruning rests on.
+* **Multiplicative error for positive KPIs.**  Latencies and energy
+  are fitted in log space.  Quantiles commute with monotone transforms,
+  so the log-space quantile *is* the quantile of the log, and a pinned
+  absolute log-space error bound translates to a multiplicative bound
+  on the KPI itself.  Miss rate (which can be exactly zero) stays in
+  linear space.
+
+Pessimistic prediction takes ``max(upper-quantile fit, median fit)``
+per target, which both sidesteps quantile crossing (independently
+fitted quantile lines may cross) and is the conservative side the
+pruning margin needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .features import FEATURE_NAMES, MONOTONE_FEATURE_INDICES, ScenarioPoint, encode
+
+#: KPI targets the surrogate predicts, in canonical order.
+TARGETS: tuple[str, ...] = (
+    "p50_s",
+    "p95_s",
+    "p99_s",
+    "launch_energy_mj",
+    "deadline_miss_rate",
+)
+
+#: Targets fitted in log space (strictly positive KPIs).
+LOG_TARGETS: tuple[str, ...] = ("p50_s", "p95_s", "p99_s", "launch_energy_mj")
+
+#: Targets whose capacity-inverse coefficients are clamped >= 0.
+MONOTONE_TARGETS: tuple[str, ...] = (
+    "p50_s",
+    "p95_s",
+    "p99_s",
+    "deadline_miss_rate",
+)
+
+#: Floor applied before taking logs, so a degenerate zero KPI cannot
+#: produce -inf; well below any latency/energy the fleet DES emits.
+LOG_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class FitConfig:
+    """Hyperparameters of the projected subgradient pinball fit.
+
+    ``smoothing`` is the half-width of the quadratic zone that rounds
+    the pinball kink (convolution smoothing); it buys a usable
+    gradient near the optimum without materially moving the fitted
+    quantile at the scales the KPIs live on.
+    """
+
+    quantiles: tuple[float, ...] = (0.5, 0.9)
+    iterations: int = 1500
+    learning_rate: float = 0.15
+    smoothing: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.quantiles:
+            raise ConfigurationError("quantiles must be non-empty")
+        for tau in self.quantiles:
+            if not 0.0 < tau < 1.0:
+                raise ConfigurationError(
+                    f"quantiles must lie in (0, 1), got {tau}"
+                )
+        if 0.5 not in self.quantiles:
+            raise ConfigurationError(
+                "quantiles must include the median (0.5); pessimistic "
+                "prediction is max(upper quantile, median)"
+            )
+        if self.iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.smoothing <= 0:
+            raise ConfigurationError(
+                f"smoothing must be > 0, got {self.smoothing}"
+            )
+
+    @property
+    def upper_quantile(self) -> float:
+        return max(self.quantiles)
+
+
+def pinball_loss(residuals: np.ndarray, tau: float) -> float:
+    """Mean pinball loss rho_tau(u) = u * (tau - 1[u < 0]) of residuals."""
+    u = np.asarray(residuals, dtype=np.float64)
+    return float(
+        np.sum(u * (tau - (u < 0.0).astype(np.float64))) / max(1, u.size)
+    )
+
+
+def _affine_predict(coefs: np.ndarray, intercept: float, x: np.ndarray) -> np.ndarray:
+    """Row-wise affine map without BLAS: elementwise multiply + np.sum."""
+    return np.sum(x * coefs, axis=1) + intercept
+
+
+def _empirical_quantile(y: np.ndarray, tau: float) -> float:
+    """Linear-interpolation quantile (the repo's percentile rule)."""
+    ordered = np.sort(y)
+    if ordered.size == 1:
+        return float(ordered[0])
+    position = tau * (ordered.size - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, ordered.size - 1)
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def _fit_quantile(
+    x: np.ndarray,
+    y: np.ndarray,
+    tau: float,
+    config: FitConfig,
+    clamp: tuple[int, ...],
+) -> tuple[np.ndarray, float]:
+    """Projected gradient descent on the smoothed pinball loss.
+
+    ``x`` arrives standardised (zero mean, unit scale per column), so a
+    single learning rate serves every feature.  ``clamp`` names
+    coefficient indices projected onto [0, inf) after every step.  The
+    intercept starts at the empirical ``tau``-quantile of ``y`` — the
+    optimum of the featureless model — the step size decays as
+    1/sqrt(t), and iterates are averaged over the final quarter.
+    """
+    n, k = x.shape
+    coefs = np.zeros(k, dtype=np.float64)
+    intercept = _empirical_quantile(y, tau)
+    eps = config.smoothing
+    tail_start = (3 * config.iterations) // 4
+    tail_coefs = np.zeros(k, dtype=np.float64)
+    tail_intercept = 0.0
+    tail_count = 0
+    for step in range(config.iterations):
+        residual = y - _affine_predict(coefs, intercept, x)
+        # Smoothed indicator of residual < 0; exact outside +/- eps.
+        below = np.clip(0.5 - residual / (2.0 * eps), 0.0, 1.0)
+        # d rho / d pred = (1 - tau) where pred > y, else -tau.
+        grad_pred = (below - tau) / n
+        grad_coefs = np.sum(x * grad_pred[:, None], axis=0)
+        grad_intercept = float(np.sum(grad_pred))
+        rate = config.learning_rate / math.sqrt(1.0 + step)
+        coefs = coefs - rate * grad_coefs
+        intercept -= rate * grad_intercept
+        if clamp:
+            clamped = coefs[list(clamp)]
+            coefs[list(clamp)] = np.maximum(clamped, 0.0)
+        if step >= tail_start:
+            tail_coefs = tail_coefs + coefs
+            tail_intercept += intercept
+            tail_count += 1
+    if tail_count:
+        coefs = tail_coefs / tail_count
+        intercept = tail_intercept / tail_count
+        if clamp:
+            coefs[list(clamp)] = np.maximum(coefs[list(clamp)], 0.0)
+    return coefs, intercept
+
+
+@dataclass(frozen=True)
+class QuantileModel:
+    """A fitted surrogate: per-(target, quantile) affine predictors.
+
+    ``coefficients[target][tau]`` is the tuple of feature coefficients
+    (in :data:`FEATURE_NAMES` order) and ``intercepts[target][tau]``
+    the matching intercept, both in fit space (log space for
+    :data:`LOG_TARGETS`).  Frozen and built from plain tuples/floats so
+    models pickle cleanly and fingerprint canonically.
+    """
+
+    config: FitConfig
+    coefficients: dict[str, dict[float, tuple[float, ...]]]
+    intercepts: dict[str, dict[float, float]]
+    feature_means: tuple[float, ...]
+    feature_scales: tuple[float, ...]
+    training_fingerprint: str = ""
+    training_rows: int = 0
+    feature_names: tuple[str, ...] = field(default=FEATURE_NAMES)
+
+    def _standardise(self, features: np.ndarray) -> np.ndarray:
+        means = np.asarray(self.feature_means, dtype=np.float64)
+        scales = np.asarray(self.feature_scales, dtype=np.float64)
+        return (features - means) / scales
+
+    def _predict_fit_space(
+        self, target: str, tau: float, features: np.ndarray
+    ) -> np.ndarray:
+        coefs = np.asarray(self.coefficients[target][tau], dtype=np.float64)
+        intercept = self.intercepts[target][tau]
+        return _affine_predict(coefs, intercept, self._standardise(features))
+
+    def predict(
+        self, point: ScenarioPoint, tau: float | None = None
+    ) -> dict[str, float]:
+        """KPI predictions for one point at quantile ``tau`` (default median)."""
+        tau = 0.5 if tau is None else tau
+        if tau not in self.config.quantiles:
+            raise ConfigurationError(
+                f"tau {tau} was not fitted; available: {self.config.quantiles}"
+            )
+        features = np.asarray([encode(point)], dtype=np.float64)
+        out = {}
+        for target in TARGETS:
+            raw = float(self._predict_fit_space(target, tau, features)[0])
+            out[target] = self._from_fit_space(target, raw)
+        return out
+
+    def predict_pessimistic(self, point: ScenarioPoint) -> dict[str, float]:
+        """Conservative predictions: max(upper quantile, median) per target.
+
+        Independently fitted quantile lines can cross; taking the max
+        restores ordering and errs on the side the planner's pruning
+        needs (never under-predict latency or miss rate).
+        """
+        features = np.asarray([encode(point)], dtype=np.float64)
+        upper = self.config.upper_quantile
+        out = {}
+        for target in TARGETS:
+            raw = max(
+                float(self._predict_fit_space(target, upper, features)[0]),
+                float(self._predict_fit_space(target, 0.5, features)[0]),
+            )
+            out[target] = self._from_fit_space(target, raw)
+        return out
+
+    @staticmethod
+    def _from_fit_space(target: str, value: float) -> float:
+        if target in LOG_TARGETS:
+            return math.exp(value)
+        return max(0.0, value)
+
+    def fingerprint(self) -> str:
+        """sha256 over a canonical byte encoding of the fitted parameters."""
+        digest = hashlib.sha256()
+        digest.update(b"repro-surrogate/1")
+        digest.update(self.training_fingerprint.encode("utf-8"))
+        digest.update(str(self.training_rows).encode("utf-8"))
+        for name in self.feature_names:
+            digest.update(name.encode("utf-8"))
+        for value in (*self.feature_means, *self.feature_scales):
+            digest.update(struct.pack("<d", value))
+        for tau in self.config.quantiles:
+            digest.update(struct.pack("<d", tau))
+        digest.update(struct.pack("<idd", self.config.iterations,
+                                  self.config.learning_rate,
+                                  self.config.smoothing))
+        for target in TARGETS:
+            digest.update(target.encode("utf-8"))
+            for tau in self.config.quantiles:
+                digest.update(struct.pack("<d", tau))
+                for coef in self.coefficients[target][tau]:
+                    digest.update(struct.pack("<d", coef))
+                digest.update(struct.pack("<d", self.intercepts[target][tau]))
+        return digest.hexdigest()
+
+
+def _to_fit_space(target: str, values: np.ndarray) -> np.ndarray:
+    if target in LOG_TARGETS:
+        return np.log(np.maximum(values, LOG_FLOOR))
+    return values
+
+
+def fit(
+    rows: list[dict],
+    config: FitConfig | None = None,
+    training_fingerprint: str = "",
+) -> QuantileModel:
+    """Fit the quantile bank on training rows from ``data.build_training_set``.
+
+    Each row carries ``features`` (tuple, :data:`FEATURE_NAMES` order)
+    and one value per :data:`TARGETS` entry.  Rows are consumed in
+    input order and the descent is deterministic, so the same training
+    set always yields the same fingerprint.
+    """
+    if not rows:
+        raise ConfigurationError("cannot fit a surrogate on zero rows")
+    config = config or FitConfig()
+    x = np.asarray([row["features"] for row in rows], dtype=np.float64)
+    if x.shape[1] != len(FEATURE_NAMES):
+        raise ConfigurationError(
+            f"expected {len(FEATURE_NAMES)} features per row, "
+            f"got {x.shape[1]}"
+        )
+    n = x.shape[0]
+    means = np.sum(x, axis=0) / n
+    centred = x - means
+    scales = np.sqrt(np.sum(centred * centred, axis=0) / n)
+    scales = np.where(scales > 0.0, scales, 1.0)  # constant columns
+    standardised = centred / scales
+    coefficients: dict[str, dict[float, tuple[float, ...]]] = {}
+    intercepts: dict[str, dict[float, float]] = {}
+    for target in TARGETS:
+        y = _to_fit_space(
+            target,
+            np.asarray([row[target] for row in rows], dtype=np.float64),
+        )
+        clamp = (
+            MONOTONE_FEATURE_INDICES if target in MONOTONE_TARGETS else ()
+        )
+        coefficients[target] = {}
+        intercepts[target] = {}
+        for tau in config.quantiles:
+            coefs, intercept = _fit_quantile(
+                standardised, y, tau, config, clamp
+            )
+            coefficients[target][tau] = tuple(float(c) for c in coefs)
+            intercepts[target][tau] = float(intercept)
+    return QuantileModel(
+        config=config,
+        coefficients=coefficients,
+        intercepts=intercepts,
+        feature_means=tuple(float(m) for m in means),
+        feature_scales=tuple(float(s) for s in scales),
+        training_fingerprint=training_fingerprint,
+        training_rows=len(rows),
+    )
+
+
+__all__ = [
+    "FitConfig",
+    "LOG_TARGETS",
+    "MONOTONE_TARGETS",
+    "QuantileModel",
+    "TARGETS",
+    "fit",
+    "pinball_loss",
+]

@@ -1,0 +1,239 @@
+"""Surrogate-guided capacity planning: predict everything, simulate little.
+
+The exhaustive planner (:func:`repro.fleet.capacity.plan_capacity`)
+runs the full DES for every candidate deployment.  This module scores
+every candidate with the fitted surrogate first and sends only the
+survivors to the simulator:
+
+1. every candidate gets a *median* prediction for the SLA KPIs (and a
+   pessimistic ``max(upper-quantile, median)`` one for reporting);
+2. a candidate is **pruned** — never simulated — only when its median
+   prediction misses the SLA by more than the pessimism margin band:
+   ``pred_p99 > max_p99 * (1 + p99_rel)`` or
+   ``pred_miss > max_miss + miss_abs``;
+3. the unpruned candidates are confirmed in the real DES in
+   increasing-cost order, stopping at the first feasible one.
+
+Why this returns the *same* plan as the exhaustive sweep: the
+exhaustive best is the first feasible candidate in cost order.  Every
+cheaper candidate is DES-infeasible, so pruning it cannot change the
+answer; and as long as the band is at least as wide as the surrogate's
+validated relative error, a truly feasible candidate's median
+prediction cannot overshoot the SLA by more than the band — so the
+best is never pruned, gets confirmed, and wins in the same position.
+Pruning on the *median* (not the pessimistic upper quantile) is
+deliberate: pruning is the one decision that must never fire on a
+feasible candidate, so it uses the central estimate plus an explicit
+band, while the conservative upper-quantile estimate serves frontier
+reports where over-estimating latency is the safe direction.  The
+committed ``BENCH_surrogate.json`` gate pins exactly this identity,
+together with the >= 5x reduction in DES evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..fleet.capacity import (
+    CandidateEvaluation,
+    CapacityPlan,
+    SlaRequirement,
+    evaluate_candidate,
+)
+from ..fleet.controlplane import FleetScenario
+from .features import ScenarioPoint, scenario_for_point
+from .model import QuantileModel
+
+
+@dataclass(frozen=True)
+class PruningMargin:
+    """How far a prediction must miss the SLA before we skip the DES.
+
+    ``p99_rel`` is a relative band on the p99 bound (0.5 means "only
+    prune when predicted p99 exceeds the SLA by more than 50%");
+    ``miss_abs`` is an absolute band on the miss-rate bound.  Set the
+    bands at or above the surrogate's validated error and pruning is
+    provably safe; wider bands trade DES evaluations for safety
+    margin.
+    """
+
+    p99_rel: float = 0.5
+    miss_abs: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.p99_rel < 0.0:
+            raise ConfigurationError(
+                f"p99_rel must be >= 0, got {self.p99_rel}"
+            )
+        if self.miss_abs < 0.0:
+            raise ConfigurationError(
+                f"miss_abs must be >= 0, got {self.miss_abs}"
+            )
+
+
+@dataclass(frozen=True)
+class CandidatePrediction:
+    """One candidate's surrogate verdict, before any simulation.
+
+    ``predicted_*`` are the median estimates the pruning rule judges;
+    ``pessimistic_p99_s`` is the conservative ``max(upper-quantile,
+    median)`` estimate for frontier reports.
+    """
+
+    point: ScenarioPoint
+    predicted_p99_s: float
+    predicted_miss_rate: float
+    predicted_launch_energy_mj: float
+    pessimistic_p99_s: float
+    pruned: bool
+
+
+@dataclass(frozen=True)
+class SurrogatePlan:
+    """Outcome of a surrogate-guided capacity sweep."""
+
+    requirement: SlaRequirement
+    margin: PruningMargin
+    predictions: tuple[CandidatePrediction, ...]
+    evaluations: tuple[CandidateEvaluation, ...]
+    """DES-confirmed candidates, in the order they were simulated."""
+    best: CandidateEvaluation | None
+    grid_size: int
+    des_evaluations: int
+    pruned: int
+
+    @property
+    def reduction(self) -> float:
+        """Grid size over DES evaluations — the speed-up the gate pins."""
+        return self.grid_size / max(1, self.des_evaluations)
+
+    def as_capacity_plan(self) -> CapacityPlan:
+        """The confirmed subset viewed as an ordinary capacity plan."""
+        return CapacityPlan(
+            requirement=self.requirement,
+            evaluations=self.evaluations,
+            best=self.best,
+        )
+
+
+def candidate_points(
+    n_tracks_options: tuple[int, ...] = (1, 2, 3),
+    cart_pool_options: tuple[int, ...] = (4, 6, 8),
+    policies: tuple[str, ...] = ("fcfs", "edf"),
+    cache_policies: tuple[str, ...] = ("none", "lru"),
+    offered_load: float = 1.0,
+) -> tuple[ScenarioPoint, ...]:
+    """The candidate grid as scenario points, in increasing-cost order.
+
+    Mirrors :func:`repro.fleet.capacity.candidate_scenarios` exactly —
+    tracks, then carts, then policy, then cache — so "first feasible"
+    means the same candidate in both planners.
+    """
+    points = []
+    for n_tracks in sorted(set(n_tracks_options)):
+        for cart_pool in sorted(set(cart_pool_options)):
+            if cart_pool < n_tracks:
+                continue
+            for policy in policies:
+                for cache_policy in cache_policies:
+                    points.append(
+                        ScenarioPoint(
+                            n_tracks=n_tracks,
+                            cart_pool=cart_pool,
+                            policy=policy,
+                            cache_policy=cache_policy,
+                            offered_load=offered_load,
+                        )
+                    )
+    if not points:
+        raise ConfigurationError("the candidate grid must not be empty")
+    return tuple(points)
+
+
+def _prune(
+    prediction: dict[str, float],
+    requirement: SlaRequirement,
+    margin: PruningMargin,
+) -> bool:
+    """True when the prediction misses the SLA by more than the band."""
+    return (
+        prediction["p99_s"]
+        > requirement.max_p99_s * (1.0 + margin.p99_rel)
+        or prediction["deadline_miss_rate"]
+        > requirement.max_miss_rate + margin.miss_abs
+    )
+
+
+def plan_capacity_surrogate(
+    requirement: SlaRequirement,
+    base: FleetScenario,
+    model: QuantileModel,
+    n_tracks_options: tuple[int, ...] = (1, 2, 3),
+    cart_pool_options: tuple[int, ...] = (4, 6, 8),
+    policies: tuple[str, ...] = ("fcfs", "edf"),
+    cache_policies: tuple[str, ...] = ("none", "lru"),
+    offered_load: float = 1.0,
+    margin: PruningMargin | None = None,
+    stop_at_first_feasible: bool = True,
+) -> SurrogatePlan:
+    """Score the grid with the surrogate, confirm survivors in the DES.
+
+    With ``stop_at_first_feasible`` (the default) confirmation stops at
+    the cheapest DES-feasible candidate — the exhaustive planner's
+    ``best`` — so DES cost is the unpruned prefix, not the grid.  Turn
+    it off to confirm the whole unpruned frontier (for frontier plots).
+    """
+    margin = margin or PruningMargin()
+    points = candidate_points(
+        n_tracks_options, cart_pool_options, policies, cache_policies,
+        offered_load,
+    )
+    predictions = []
+    survivors = []
+    for point in points:
+        predicted = model.predict(point)
+        pessimistic = model.predict_pessimistic(point)
+        pruned = _prune(predicted, requirement, margin)
+        predictions.append(
+            CandidatePrediction(
+                point=point,
+                predicted_p99_s=predicted["p99_s"],
+                predicted_miss_rate=predicted["deadline_miss_rate"],
+                predicted_launch_energy_mj=predicted["launch_energy_mj"],
+                pessimistic_p99_s=pessimistic["p99_s"],
+                pruned=pruned,
+            )
+        )
+        if not pruned:
+            survivors.append(point)
+    evaluations = []
+    best = None
+    for point in survivors:
+        evaluation = evaluate_candidate(
+            scenario_for_point(base, point), requirement
+        )
+        evaluations.append(evaluation)
+        if evaluation.feasible and best is None:
+            best = evaluation
+            if stop_at_first_feasible:
+                break
+    return SurrogatePlan(
+        requirement=requirement,
+        margin=margin,
+        predictions=tuple(predictions),
+        evaluations=tuple(evaluations),
+        best=best,
+        grid_size=len(points),
+        des_evaluations=len(evaluations),
+        pruned=len(points) - len(survivors),
+    )
+
+
+__all__ = [
+    "CandidatePrediction",
+    "PruningMargin",
+    "SurrogatePlan",
+    "candidate_points",
+    "plan_capacity_surrogate",
+]

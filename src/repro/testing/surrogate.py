@@ -1,0 +1,338 @@
+"""Strategies and stateful fuzzing for the surrogate layer.
+
+The strategies give property suites one vocabulary of "valid surrogate
+input": scenario points whose construction never raises, fit
+configurations the descent accepts, and synthetic training rows whose
+KPIs come from a seeded analytic generator — so shrinking explores the
+fit and the planner, not the (expensive) fleet DES.
+
+:class:`SurrogateFitMachine` fuzzes the train/predict/refit lifecycle
+the way the bench uses it, plus the misuse paths: random row batches
+from the synthetic generator, repeated fits (same rows must fingerprint
+identically), prediction probes (finite, non-negative, pessimistic
+>= median, capacity-monotone), and illegal-usage rules (invalid
+configurations and unfitted quantiles must raise
+:class:`~repro.errors.ConfigurationError` without corrupting the
+machine's state).  Like the other machines it is usable directly,
+through :func:`~repro.testing.statemachine.random_walk`, or as the
+hypothesis :class:`SurrogateFitStateMachine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from ..errors import ConfigurationError
+from ..surrogate.features import CACHE_LABELS, ScenarioPoint, encode
+from ..surrogate.model import TARGETS, FitConfig, QuantileModel, fit
+
+#: Policies the fuzz vocabulary draws from (the control plane's set).
+_POLICIES: tuple[str, ...] = ("fcfs", "sjf", "edf")
+
+
+@st.composite
+def scenario_points(draw) -> ScenarioPoint:
+    """Any valid point of the five-axis configuration space."""
+    n_tracks = draw(st.integers(min_value=1, max_value=4))
+    return ScenarioPoint(
+        n_tracks=n_tracks,
+        cart_pool=draw(st.integers(min_value=n_tracks, max_value=12)),
+        policy=draw(st.sampled_from(_POLICIES)),
+        cache_policy=draw(st.sampled_from(CACHE_LABELS)),
+        offered_load=draw(
+            st.floats(min_value=0.2, max_value=2.0,
+                      allow_nan=False, allow_infinity=False)
+        ),
+    )
+
+
+@st.composite
+def fit_configs(draw) -> FitConfig:
+    """A valid fit configuration, small enough to converge in tests."""
+    upper = draw(st.sampled_from((0.75, 0.8, 0.9, 0.95)))
+    return FitConfig(
+        quantiles=(0.5, upper),
+        iterations=draw(st.integers(min_value=5, max_value=80)),
+        learning_rate=draw(st.floats(min_value=0.01, max_value=0.5)),
+        smoothing=draw(st.floats(min_value=0.005, max_value=0.1)),
+    )
+
+
+def synthetic_row(point: ScenarioPoint, seed: int) -> dict:
+    """One deterministic pseudo-DES training row for ``point``.
+
+    An analytic stand-in for :func:`repro.fleet.controlplane.run_fleet`
+    with the same qualitative shape — latency grows with utilisation,
+    caches and extra capacity help, seeds perturb multiplicatively — at
+    ~10^6x the speed, so fuzz walks can afford hundreds of fits.
+    """
+    digest = hashlib.sha256(f"{point.label}|{seed}".encode("utf-8"))
+    rng = np.random.default_rng(int.from_bytes(digest.digest()[:8], "little"))
+    rho = point.offered_load / point.n_tracks
+    cache_factor = 1.0 if point.cache_policy == "none" else 0.55
+    policy_factor = {"fcfs": 1.0, "sjf": 0.92, "edf": 0.88}[point.policy]
+    base = 20.0 + 90.0 * rho * (1.0 + rho * rho) * cache_factor
+    noise = float(np.exp(rng.normal(0.0, 0.25)))
+    p50 = base * policy_factor * noise
+    p95 = p50 * (1.6 + 0.4 * rho)
+    p99 = p95 * (1.3 + 0.2 * rho)
+    energy = (
+        2.0 * point.offered_load * cache_factor
+        * float(np.exp(rng.normal(0.0, 0.2)))
+    )
+    miss = min(1.0, max(0.0, 0.05 * rho * cache_factor
+                        + float(rng.normal(0.0, 0.01))))
+    return {
+        "point": point.label,
+        "seed": seed,
+        "features": encode(point),
+        "p50_s": p50,
+        "p95_s": p95,
+        "p99_s": p99,
+        "launch_energy_mj": energy,
+        "deadline_miss_rate": miss,
+    }
+
+
+@st.composite
+def training_rows(draw, min_rows: int = 8, max_rows: int = 40) -> list[dict]:
+    """A synthetic training set: valid rows from the analytic generator."""
+    points = draw(
+        st.lists(scenario_points(), min_size=min_rows, max_size=max_rows)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return [
+        synthetic_row(point, seed + index)
+        for index, point in enumerate(points)
+    ]
+
+
+#: Fixed grid the machine's probes walk: a capacity ladder at one load,
+#: every adjacent pair differing in exactly one capacity axis.
+_PROBE_POINTS: tuple[ScenarioPoint, ...] = tuple(
+    ScenarioPoint(n_tracks=tracks, cart_pool=carts, policy="fcfs",
+                  cache_policy="lru")
+    for tracks, carts in ((1, 4), (2, 4), (3, 4), (3, 8), (3, 12))
+)
+
+#: Quick descent settings for the fuzz fits (speed over accuracy; the
+#: machine checks structural invariants, not error bounds).
+_FUZZ_FIT = FitConfig(quantiles=(0.5, 0.9), iterations=40,
+                      learning_rate=0.2, smoothing=0.02)
+
+
+class SurrogateFitMachine:
+    """Train/predict/refit lifecycle fuzzing of the quantile surrogate.
+
+    ``do_add_rows`` grows the synthetic training pool, ``do_fit``
+    refits (and spot-checks that an immediate second fit of the same
+    rows fingerprints identically), ``do_predict`` and
+    ``do_monotone_probe`` assert the prediction contract, and the
+    ``do_illegal_*`` rules assert misuse raises
+    :class:`~repro.errors.ConfigurationError` and leaves the fitted
+    model untouched.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rows: list[dict] = [
+            synthetic_row(point, seed + index)
+            for index, point in enumerate(_PROBE_POINTS)
+        ]
+        self.model: QuantileModel | None = None
+        self.rules = 0
+        self.fits = 0
+        self.predictions = 0
+        self.rejected = 0
+        self._next_batch = 0
+
+    # -- rules -------------------------------------------------------------------
+
+    def do_add_rows(self, count: int) -> None:
+        """Grow the pool with fresh deterministic synthetic rows."""
+        self.rules += 1
+        count = 1 + (count % 8)
+        for _ in range(count):
+            point = _PROBE_POINTS[self._next_batch % len(_PROBE_POINTS)]
+            self.rows.append(
+                synthetic_row(point, self.seed + 1000 + self._next_batch)
+            )
+            self._next_batch += 1
+
+    def do_fit(self, check_refit: bool = False) -> None:
+        """Refit on the current pool; optionally verify determinism."""
+        self.rules += 1
+        self.model = fit(list(self.rows), config=_FUZZ_FIT)
+        self.fits += 1
+        if check_refit:
+            again = fit(list(self.rows), config=_FUZZ_FIT)
+            assert again.fingerprint() == self.model.fingerprint(), (
+                "refitting identical rows changed the model fingerprint"
+            )
+
+    def do_predict(self, index: int) -> None:
+        """Median and pessimistic predictions obey the value contract."""
+        self.rules += 1
+        if self.model is None:
+            self.do_fit()
+        point = _PROBE_POINTS[index % len(_PROBE_POINTS)]
+        median = self.model.predict(point)
+        pessimistic = self.model.predict_pessimistic(point)
+        self.predictions += 1
+        for target in TARGETS:
+            assert math.isfinite(median[target]), (
+                f"median {target} prediction is not finite"
+            )
+            assert median[target] >= 0.0, (
+                f"median {target} prediction is negative"
+            )
+            assert pessimistic[target] >= median[target] * (1.0 - 1e-12), (
+                f"pessimistic {target} below the median: "
+                f"{pessimistic[target]} < {median[target]}"
+            )
+        assert median["deadline_miss_rate"] <= 1.0 + 1e-9
+
+    def do_monotone_probe(self, index: int) -> None:
+        """Adding a track or a cart never predicts a worse p99."""
+        self.rules += 1
+        if self.model is None:
+            self.do_fit()
+        small = _PROBE_POINTS[index % (len(_PROBE_POINTS) - 1)]
+        for grown in (
+            ScenarioPoint(small.n_tracks + 1, max(small.cart_pool,
+                                                  small.n_tracks + 1),
+                          small.policy, small.cache_policy,
+                          small.offered_load),
+            ScenarioPoint(small.n_tracks, small.cart_pool + 2,
+                          small.policy, small.cache_policy,
+                          small.offered_load),
+        ):
+            before = self.model.predict(small)["p99_s"]
+            after = self.model.predict(grown)["p99_s"]
+            assert after <= before * (1.0 + 1e-9), (
+                f"monotonicity violated: {grown.label} predicts p99 "
+                f"{after} > {small.label}'s {before}"
+            )
+
+    def do_illegal_config(self, which: int) -> None:
+        """Invalid configurations raise without touching the model."""
+        self.rules += 1
+        before = self.model.fingerprint() if self.model else None
+        attempts = (
+            lambda: FitConfig(quantiles=()),
+            lambda: FitConfig(quantiles=(0.9,)),  # median missing
+            lambda: FitConfig(iterations=0),
+            lambda: FitConfig(learning_rate=0.0),
+            lambda: FitConfig(smoothing=-1.0),
+            lambda: ScenarioPoint(0, 4, "fcfs", "lru"),
+            lambda: ScenarioPoint(2, 1, "fcfs", "lru"),
+            lambda: ScenarioPoint(1, 4, "lifo", "lru"),
+            lambda: ScenarioPoint(1, 4, "fcfs", "arc"),
+            lambda: fit([]),
+        )
+        try:
+            attempts[which % len(attempts)]()
+        except ConfigurationError:
+            self.rejected += 1
+        else:  # pragma: no cover - the failure the fuzz exists to catch
+            raise AssertionError(
+                f"illegal construction {which % len(attempts)} was accepted"
+            )
+        after = self.model.fingerprint() if self.model else None
+        assert before == after, "a rejected construction mutated the model"
+
+    def do_illegal_tau(self) -> None:
+        """Predicting at an unfitted quantile is a usage error."""
+        self.rules += 1
+        if self.model is None:
+            self.do_fit()
+        try:
+            self.model.predict(_PROBE_POINTS[0], tau=0.123)
+        except ConfigurationError:
+            self.rejected += 1
+        else:  # pragma: no cover
+            raise AssertionError("an unfitted tau was accepted")
+
+    def step(self, rng: np.random.Generator) -> None:
+        """One random rule — the deterministic-walk driver's unit."""
+        roll = rng.random()
+        if roll < 0.25:
+            self.do_add_rows(int(rng.integers(0, 8)))
+        elif roll < 0.45:
+            self.do_fit(check_refit=bool(rng.random() < 0.2))
+        elif roll < 0.70:
+            self.do_predict(int(rng.integers(0, len(_PROBE_POINTS))))
+        elif roll < 0.85:
+            self.do_monotone_probe(int(rng.integers(0, 100)))
+        elif roll < 0.95:
+            self.do_illegal_config(int(rng.integers(0, 100)))
+        else:
+            self.do_illegal_tau()
+
+    # -- invariants --------------------------------------------------------------
+
+    def check(self) -> None:
+        assert len(self.rows) >= len(_PROBE_POINTS), "the row pool shrank"
+        if self.model is not None:
+            assert self.model.training_rows >= len(_PROBE_POINTS)
+            for values in self.model.coefficients.values():
+                for coefs in values.values():
+                    assert all(math.isfinite(c) for c in coefs), (
+                        "fit produced non-finite coefficients"
+                    )
+
+    def finish(self) -> None:
+        """A final fit must be deterministic end to end."""
+        self.do_fit(check_refit=True)
+        self.do_predict(0)
+        self.do_monotone_probe(0)
+
+
+class SurrogateFitStateMachine(RuleBasedStateMachine):
+    """Hypothesis wrapper: shrinkable train/predict/refit sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = SurrogateFitMachine(seed=0)
+
+    @rule(count=st.integers(min_value=0, max_value=7))
+    def add_rows(self, count):
+        self.machine.do_add_rows(count)
+
+    @rule(check_refit=st.booleans())
+    def refit(self, check_refit):
+        self.machine.do_fit(check_refit=check_refit)
+
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def predict(self, index):
+        self.machine.do_predict(index)
+
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def monotone_probe(self, index):
+        self.machine.do_monotone_probe(index)
+
+    @rule(which=st.integers(min_value=0, max_value=99))
+    def illegal_config(self, which):
+        self.machine.do_illegal_config(which)
+
+    @invariant()
+    def invariants_hold(self):
+        self.machine.check()
+
+    def teardown(self):
+        self.machine.finish()
+
+
+__all__ = [
+    "SurrogateFitMachine",
+    "SurrogateFitStateMachine",
+    "fit_configs",
+    "scenario_points",
+    "synthetic_row",
+    "training_rows",
+]

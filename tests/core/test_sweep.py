@@ -112,7 +112,9 @@ class TestEvaluationEngines:
         assert after["hits"] == before["hits"] + len(points)
         assert after["misses"] == before["misses"]
         clear_report_cache()
-        assert report_cache_stats() == {"size": 0, "hits": 0, "misses": 0}
+        assert report_cache_stats() == {
+            "size": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
 
     def test_cache_disabled_recomputes(self):
         clear_report_cache()

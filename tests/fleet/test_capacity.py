@@ -50,6 +50,30 @@ class TestCandidateGrid:
                 base_scenario(), n_tracks_options=(4,),
                 cart_pool_options=(2,),
             )
+        with pytest.raises(ConfigurationError):
+            candidate_scenarios(base_scenario(), cache_options=())
+
+    def test_default_keeps_base_cache_on_every_candidate(self):
+        base = base_scenario()
+        scenarios = candidate_scenarios(base)
+        assert all(s.cache == base.cache for s in scenarios)
+
+    def test_cache_axis_doubles_the_grid(self):
+        base = base_scenario()
+        plain = candidate_scenarios(base)
+        with_axis = candidate_scenarios(base, cache_options=("none", "lru"))
+        assert len(with_axis) == 2 * len(plain)
+        # The cache axis is innermost: labels alternate none/lru.
+        labels = [s.cache_label for s in with_axis[:4]]
+        assert labels == ["none", "lru", "none", "lru"]
+
+    def test_cache_axis_preserves_base_sizing_for_matching_label(self):
+        base = base_scenario()  # lru cache
+        scenarios = candidate_scenarios(base, cache_options=("none", "lru"))
+        cached = [s for s in scenarios if s.cache_label == "lru"]
+        assert all(s.cache == base.cache for s in cached)
+        uncached = [s for s in scenarios if s.cache_label == "none"]
+        assert all(s.cache is None for s in uncached)
 
 
 class TestPlanCapacity:
@@ -86,3 +110,46 @@ class TestPlanCapacity:
         first = plan_capacity(requirement, base_scenario(), **self.GRID)
         second = plan_capacity(requirement, base_scenario(), **self.GRID)
         assert first == second
+
+
+class TestEarlyExit:
+    GRID = dict(n_tracks_options=(1, 2), cart_pool_options=(4, 6),
+                policies=("fcfs", "edf"))
+    REQUIREMENT = SlaRequirement(max_p99_s=300.0, max_miss_rate=0.05)
+
+    def test_best_pinned_equal_to_exhaustive(self):
+        """The satellite gate: early exit changes cost, never the plan."""
+        exhaustive = plan_capacity(self.REQUIREMENT, base_scenario(),
+                                   **self.GRID)
+        early = plan_capacity(self.REQUIREMENT, base_scenario(),
+                              early_exit=True, **self.GRID)
+        assert early.best == exhaustive.best
+        assert early.best is not None
+
+    def test_evaluations_are_a_prefix_ending_at_best(self):
+        exhaustive = plan_capacity(self.REQUIREMENT, base_scenario(),
+                                   **self.GRID)
+        early = plan_capacity(self.REQUIREMENT, base_scenario(),
+                              early_exit=True, **self.GRID)
+        n = len(early.evaluations)
+        assert early.evaluations == exhaustive.evaluations[:n]
+        assert early.evaluations[-1] == early.best
+        assert n <= len(exhaustive.evaluations)
+
+    def test_prefix_is_engine_and_batch_independent(self):
+        serial = plan_capacity(self.REQUIREMENT, base_scenario(),
+                               early_exit=True, **self.GRID)
+        process = plan_capacity(self.REQUIREMENT, base_scenario(),
+                                early_exit=True, engine="process",
+                                workers=2, **self.GRID)
+        chunked = plan_capacity(self.REQUIREMENT, base_scenario(),
+                                early_exit=True, chunk_size=3, **self.GRID)
+        assert serial == process == chunked
+
+    def test_infeasible_requirement_sweeps_everything(self):
+        requirement = SlaRequirement(max_p99_s=0.001, max_miss_rate=0.0)
+        exhaustive = plan_capacity(requirement, base_scenario(), **self.GRID)
+        early = plan_capacity(requirement, base_scenario(),
+                              early_exit=True, **self.GRID)
+        assert early.best is None
+        assert early.evaluations == exhaustive.evaluations

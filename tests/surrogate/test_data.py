@@ -1,0 +1,110 @@
+"""Tests for training-set construction: grid shape and byte identity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.controlplane import default_scenario
+from repro.surrogate.data import (
+    build_training_set,
+    render_training_set,
+    training_points,
+    training_set_fingerprint,
+)
+from repro.surrogate.model import TARGETS, fit
+from repro.surrogate.features import FEATURE_NAMES
+
+#: Small grid + seeds so the parity build stays test-suite cheap
+#: (8 DES runs per engine); the full pinned grid is the bench's job.
+SMALL_GRID = dict(
+    n_tracks_options=(1, 2),
+    cart_pool_options=(4,),
+    policies=("fcfs",),
+    cache_policies=("none", "lru"),
+    loads=(1.0,),
+)
+SEEDS = (11, 12)
+
+
+def base_scenario():
+    return default_scenario(seed=0, horizon_s=900.0)
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return build_training_set(
+        base_scenario(), training_points(**SMALL_GRID), SEEDS,
+        engine="serial",
+    )
+
+
+class TestTrainingPoints:
+    def test_default_grid_shape(self):
+        points = training_points()
+        # 3 tracks x 3 pools x 2 policies x 2 caches x 3 loads, minus
+        # nothing (every pool option covers every track option).
+        assert len(points) == 108
+        assert len(set(points)) == len(points)
+
+    def test_skips_starved_pools(self):
+        points = training_points(n_tracks_options=(2,),
+                                 cart_pool_options=(1, 4))
+        assert all(p.cart_pool >= p.n_tracks for p in points)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            training_points(n_tracks_options=(4,), cart_pool_options=(2,))
+
+    def test_cheapest_first_ordering(self):
+        shapes = [(p.n_tracks, p.cart_pool) for p in training_points()]
+        assert shapes == sorted(shapes)
+
+
+class TestBuildTrainingSet:
+    def test_rows_carry_every_target(self, serial_rows):
+        assert len(serial_rows) == 4 * len(SEEDS)
+        for row in serial_rows:
+            assert len(row["features"]) == len(FEATURE_NAMES)
+            for target in TARGETS:
+                assert target in row
+
+    def test_point_major_layout(self, serial_rows):
+        seeds = [row["seed"] for row in serial_rows[: len(SEEDS)]]
+        assert seeds == list(SEEDS)
+        assert serial_rows[0]["point"] == serial_rows[1]["point"]
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ConfigurationError):
+            build_training_set(
+                base_scenario(), training_points(**SMALL_GRID), ()
+            )
+
+    def test_serial_process_byte_identity(self, serial_rows):
+        """The tentpole determinism claim at unit scale: the process
+        fan-out renders to the identical canonical bytes."""
+        process_rows = build_training_set(
+            base_scenario(), training_points(**SMALL_GRID), SEEDS,
+            engine="process", workers=2,
+        )
+        assert render_training_set(process_rows) == render_training_set(
+            serial_rows
+        )
+        assert training_set_fingerprint(
+            process_rows
+        ) == training_set_fingerprint(serial_rows)
+
+    def test_fit_fingerprint_stable_across_engines(self, serial_rows):
+        process_rows = build_training_set(
+            base_scenario(), training_points(**SMALL_GRID), SEEDS,
+            engine="process", workers=2, chunk_size=1,
+        )
+        fingerprint = training_set_fingerprint(serial_rows)
+        serial_model = fit(serial_rows, training_fingerprint=fingerprint)
+        process_model = fit(process_rows, training_fingerprint=fingerprint)
+        assert serial_model.fingerprint() == process_model.fingerprint()
+
+    def test_fingerprint_tracks_content(self, serial_rows):
+        mutated = [dict(row) for row in serial_rows]
+        mutated[0]["p99_s"] += 1.0
+        assert training_set_fingerprint(mutated) != training_set_fingerprint(
+            serial_rows
+        )

@@ -1,0 +1,119 @@
+"""Tests for the scenario-point encoding and scenario instantiation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.controlplane import default_scenario
+from repro.surrogate.features import (
+    FEATURE_NAMES,
+    MONOTONE_FEATURE_INDICES,
+    ScenarioPoint,
+    encode,
+    encode_many,
+    point_from_scenario,
+    scaled_classes,
+    scenario_for_point,
+)
+
+
+class TestScenarioPoint:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioPoint(0, 4, "fcfs", "lru")
+        with pytest.raises(ConfigurationError):
+            ScenarioPoint(3, 2, "fcfs", "lru")  # fewer carts than tracks
+        with pytest.raises(ConfigurationError):
+            ScenarioPoint(1, 4, "lifo", "lru")
+        with pytest.raises(ConfigurationError):
+            ScenarioPoint(1, 4, "fcfs", "arc")
+        with pytest.raises(ValueError):
+            ScenarioPoint(1, 4, "fcfs", "lru", offered_load=0.0)
+
+    def test_label_is_stable(self):
+        point = ScenarioPoint(2, 6, "edf", "lru", offered_load=1.2)
+        assert point.label == "t2c6:edf+lru@1.2"
+
+
+class TestEncode:
+    def test_feature_order_and_values(self):
+        point = ScenarioPoint(2, 8, "edf", "lru", offered_load=1.0)
+        features = encode(point)
+        assert len(features) == len(FEATURE_NAMES)
+        named = dict(zip(FEATURE_NAMES, features))
+        assert named["inv_tracks"] == 0.5
+        assert named["inv_carts"] == 0.125
+        assert named["load"] == 1.0
+        assert named["rho_track"] == 0.5
+        assert named["rho_track_sq"] == 0.25
+        assert named["rho_track_cube"] == 0.125
+        assert named["rho_cart"] == 0.125
+        assert named["policy_sjf"] == 0.0
+        assert named["policy_edf"] == 1.0
+        assert named["cache_lru"] == 1.0
+        assert named["cache_lfu"] == 0.0
+        assert named["cache_ttl"] == 0.0
+
+    def test_baselines_are_all_zero_one_hots(self):
+        features = dict(
+            zip(FEATURE_NAMES, encode(ScenarioPoint(1, 4, "fcfs", "none")))
+        )
+        assert all(
+            features[name] == 0.0
+            for name in ("policy_sjf", "policy_edf", "cache_lru",
+                         "cache_lfu", "cache_ttl")
+        )
+
+    def test_monotone_indices_shrink_with_capacity(self):
+        small = encode(ScenarioPoint(1, 4, "fcfs", "none"))
+        large = encode(ScenarioPoint(3, 8, "fcfs", "none"))
+        for index in MONOTONE_FEATURE_INDICES:
+            assert large[index] < small[index]
+
+    def test_encode_many_preserves_order(self):
+        points = (
+            ScenarioPoint(1, 4, "fcfs", "none"),
+            ScenarioPoint(2, 4, "fcfs", "none"),
+        )
+        assert encode_many(points) == [encode(p) for p in points]
+
+
+class TestScenarioForPoint:
+    def test_instantiates_every_axis(self):
+        base = default_scenario(policy="fcfs", cache="lru", seed=0,
+                                horizon_s=900.0)
+        point = ScenarioPoint(3, 8, "edf", "lfu", offered_load=1.5)
+        scenario = scenario_for_point(base, point)
+        assert scenario.spec.n_tracks == 3
+        assert scenario.spec.cart_pool == 8
+        assert scenario.policy == "edf"
+        assert scenario.cache_label == "lfu"
+        assert scenario.seed == base.seed
+        for scaled, original in zip(scenario.classes, base.classes):
+            assert scaled.rate_per_hour == pytest.approx(
+                original.rate_per_hour * 1.5
+            )
+
+    def test_none_cache_strips_the_cache(self):
+        base = default_scenario(policy="fcfs", cache="lru", seed=0,
+                                horizon_s=900.0)
+        scenario = scenario_for_point(
+            base, ScenarioPoint(1, 4, "fcfs", "none")
+        )
+        assert scenario.cache is None
+
+    def test_seed_override(self):
+        base = default_scenario(seed=0, horizon_s=900.0)
+        scenario = scenario_for_point(
+            base, ScenarioPoint(1, 4, "fcfs", "none"), seed=42
+        )
+        assert scenario.seed == 42
+
+    def test_round_trips_through_point_from_scenario(self):
+        base = default_scenario(policy="fcfs", cache="lru", seed=0,
+                                horizon_s=900.0)
+        point = ScenarioPoint(2, 6, "edf", "lru")
+        assert point_from_scenario(scenario_for_point(base, point)) == point
+
+    def test_unit_load_keeps_classes_identical(self):
+        base = default_scenario(seed=0, horizon_s=900.0)
+        assert scaled_classes(base.classes, 1.0) is base.classes

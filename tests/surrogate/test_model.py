@@ -1,0 +1,142 @@
+"""Tests for the quantile-regression model: determinism, monotonicity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.surrogate.features import ScenarioPoint
+from repro.surrogate.model import (
+    LOG_TARGETS,
+    TARGETS,
+    FitConfig,
+    fit,
+    pinball_loss,
+)
+from repro.surrogate.planner import candidate_points
+from repro.testing.surrogate import synthetic_row
+
+QUICK = FitConfig(quantiles=(0.5, 0.9), iterations=60, learning_rate=0.2,
+                  smoothing=0.02)
+
+
+def synthetic_rows(seeds=range(4)):
+    """A deterministic synthetic training set over the gate grid."""
+    return [
+        synthetic_row(point, seed)
+        for point in candidate_points()
+        for seed in seeds
+    ]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit(synthetic_rows(), config=QUICK, training_fingerprint="test")
+
+
+class TestFitConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FitConfig(quantiles=())
+        with pytest.raises(ConfigurationError):
+            FitConfig(quantiles=(0.9,))  # the median is mandatory
+        with pytest.raises(ConfigurationError):
+            FitConfig(quantiles=(0.5, 1.5))
+        with pytest.raises(ConfigurationError):
+            FitConfig(iterations=0)
+        with pytest.raises(ConfigurationError):
+            FitConfig(learning_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FitConfig(smoothing=0.0)
+
+    def test_upper_quantile(self):
+        assert FitConfig(quantiles=(0.5, 0.9)).upper_quantile == 0.9
+
+
+class TestPinballLoss:
+    def test_asymmetry(self):
+        import numpy as np
+
+        over = pinball_loss(np.array([-1.0]), tau=0.9)   # over-prediction
+        under = pinball_loss(np.array([1.0]), tau=0.9)   # under-prediction
+        assert under == pytest.approx(0.9)
+        assert over == pytest.approx(0.1)
+
+    def test_zero_residuals(self):
+        import numpy as np
+
+        assert pinball_loss(np.zeros(5), tau=0.5) == 0.0
+
+
+class TestFit:
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ConfigurationError):
+            fit([])
+
+    def test_rejects_wrong_feature_width(self):
+        row = synthetic_row(ScenarioPoint(1, 4, "fcfs", "none"), 0)
+        row = dict(row, features=row["features"][:3])
+        with pytest.raises(ConfigurationError):
+            fit([row])
+
+    def test_same_rows_same_fingerprint(self):
+        rows = synthetic_rows()
+        first = fit(rows, config=QUICK, training_fingerprint="x")
+        second = fit(rows, config=QUICK, training_fingerprint="x")
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_rows_different_fingerprint(self, model):
+        other = fit(synthetic_rows(seeds=range(1, 5)), config=QUICK,
+                    training_fingerprint="test")
+        assert other.fingerprint() != model.fingerprint()
+
+    def test_different_config_different_fingerprint(self, model):
+        other = fit(
+            synthetic_rows(),
+            config=FitConfig(quantiles=(0.5, 0.9), iterations=61,
+                             learning_rate=0.2, smoothing=0.02),
+            training_fingerprint="test",
+        )
+        assert other.fingerprint() != model.fingerprint()
+
+
+class TestPredict:
+    def test_all_targets_present_and_nonnegative(self, model):
+        predicted = model.predict(ScenarioPoint(2, 6, "edf", "lru"))
+        assert set(predicted) == set(TARGETS)
+        for target, value in predicted.items():
+            assert value >= 0.0, target
+
+    def test_log_targets_strictly_positive(self, model):
+        predicted = model.predict(ScenarioPoint(1, 4, "fcfs", "none"))
+        for target in LOG_TARGETS:
+            assert predicted[target] > 0.0
+
+    def test_pessimistic_dominates_median(self, model):
+        for point in candidate_points():
+            median = model.predict(point)
+            pessimistic = model.predict_pessimistic(point)
+            for target in TARGETS:
+                assert pessimistic[target] >= median[target] * (1 - 1e-12)
+
+    def test_unfitted_tau_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.predict(ScenarioPoint(1, 4, "fcfs", "none"), tau=0.25)
+
+    def test_monotone_in_tracks_and_carts(self, model):
+        """The clamp guarantee: growing the deployment never predicts a
+        worse p99 or miss rate, anywhere in the configuration space."""
+        for target in ("p99_s", "deadline_miss_rate"):
+            for load in (0.6, 1.0, 1.4):
+                fewer = model.predict(
+                    ScenarioPoint(1, 6, "fcfs", "lru", load)
+                )[target]
+                more = model.predict(
+                    ScenarioPoint(3, 6, "fcfs", "lru", load)
+                )[target]
+                assert more <= fewer * (1 + 1e-9), (target, load)
+                small_pool = model.predict(
+                    ScenarioPoint(2, 4, "fcfs", "lru", load)
+                )[target]
+                big_pool = model.predict(
+                    ScenarioPoint(2, 12, "fcfs", "lru", load)
+                )[target]
+                assert big_pool <= small_pool * (1 + 1e-9), (target, load)

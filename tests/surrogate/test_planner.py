@@ -1,0 +1,148 @@
+"""Tests for the surrogate-guided planner: identity, pruning, margins."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.capacity import SlaRequirement, candidate_scenarios, plan_capacity
+from repro.fleet.controlplane import default_scenario
+from repro.surrogate.model import FitConfig, fit
+from repro.surrogate.planner import (
+    PruningMargin,
+    candidate_points,
+    plan_capacity_surrogate,
+)
+from repro.testing.surrogate import synthetic_row
+
+#: Small planning space: 8 candidates, each a sub-second DES run.
+GRID = dict(
+    n_tracks_options=(1, 2),
+    cart_pool_options=(4,),
+    policies=("fcfs", "edf"),
+    cache_policies=("none", "lru"),
+)
+REQUIREMENT = SlaRequirement(max_p99_s=150.0, max_miss_rate=0.05)
+QUICK = FitConfig(quantiles=(0.5, 0.9), iterations=60, learning_rate=0.2,
+                  smoothing=0.02)
+
+
+def base_scenario():
+    return default_scenario(seed=0, horizon_s=900.0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    rows = [
+        synthetic_row(point, seed)
+        for point in candidate_points(**GRID)
+        for seed in range(4)
+    ]
+    return fit(rows, config=QUICK)
+
+
+class TestPruningMargin:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PruningMargin(p99_rel=-0.1)
+        with pytest.raises(ConfigurationError):
+            PruningMargin(miss_abs=-0.01)
+
+    def test_defaults_are_bands(self):
+        margin = PruningMargin()
+        assert margin.p99_rel > 0.0
+        assert margin.miss_abs > 0.0
+
+
+class TestCandidatePoints:
+    def test_mirrors_capacity_grid_order(self):
+        points = candidate_points(
+            GRID["n_tracks_options"], GRID["cart_pool_options"],
+            GRID["policies"], GRID["cache_policies"],
+        )
+        scenarios = candidate_scenarios(
+            base_scenario(),
+            n_tracks_options=GRID["n_tracks_options"],
+            cart_pool_options=GRID["cart_pool_options"],
+            policies=GRID["policies"],
+            cache_options=GRID["cache_policies"],
+        )
+        assert len(points) == len(scenarios)
+        for point, scenario in zip(points, scenarios):
+            assert point.n_tracks == scenario.spec.n_tracks
+            assert point.cart_pool == scenario.spec.cart_pool
+            assert point.policy == scenario.policy
+            assert point.cache_policy == scenario.cache_label
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            candidate_points(n_tracks_options=(4,), cart_pool_options=(2,))
+
+
+class TestPlanCapacitySurrogate:
+    def test_wide_margin_matches_exhaustive_best(self, model):
+        """With a prune-nothing margin the surrogate plan *must* equal
+        the exhaustive sweep's — no model accuracy required."""
+        exhaustive = plan_capacity(
+            REQUIREMENT, base_scenario(),
+            n_tracks_options=GRID["n_tracks_options"],
+            cart_pool_options=GRID["cart_pool_options"],
+            policies=GRID["policies"],
+            cache_options=GRID["cache_policies"],
+        )
+        plan = plan_capacity_surrogate(
+            REQUIREMENT, base_scenario(), model, **GRID,
+            margin=PruningMargin(p99_rel=1e9, miss_abs=1.0),
+        )
+        assert plan.pruned == 0
+        assert plan.best == exhaustive.best
+        # Confirmation stopped at the winner: the evaluated prefix of
+        # the grid matches the exhaustive evaluations row for row.
+        assert plan.evaluations == exhaustive.evaluations[
+            : plan.des_evaluations
+        ]
+
+    def test_everything_pruned_yields_no_plan(self, model):
+        """An unmeetable SLA prunes the whole grid: zero DES runs."""
+        plan = plan_capacity_surrogate(
+            SlaRequirement(max_p99_s=1e-3, max_miss_rate=0.0),
+            base_scenario(), model, **GRID,
+            margin=PruningMargin(p99_rel=0.0, miss_abs=0.0),
+        )
+        assert plan.best is None
+        assert plan.des_evaluations == 0
+        assert plan.pruned == plan.grid_size
+        assert plan.reduction == plan.grid_size
+
+    def test_stop_at_first_feasible_off_confirms_frontier(self, model):
+        full = plan_capacity_surrogate(
+            REQUIREMENT, base_scenario(), model, **GRID,
+            margin=PruningMargin(p99_rel=1e9, miss_abs=1.0),
+            stop_at_first_feasible=False,
+        )
+        assert full.des_evaluations == full.grid_size
+        truncated = plan_capacity_surrogate(
+            REQUIREMENT, base_scenario(), model, **GRID,
+            margin=PruningMargin(p99_rel=1e9, miss_abs=1.0),
+        )
+        assert truncated.best == full.best
+        assert truncated.des_evaluations <= full.des_evaluations
+
+    def test_predictions_cover_the_grid(self, model):
+        plan = plan_capacity_surrogate(
+            REQUIREMENT, base_scenario(), model, **GRID,
+        )
+        assert len(plan.predictions) == plan.grid_size
+        assert plan.pruned == sum(p.pruned for p in plan.predictions)
+        for prediction in plan.predictions:
+            assert prediction.pessimistic_p99_s >= (
+                prediction.predicted_p99_s * (1 - 1e-12)
+            )
+
+    def test_as_capacity_plan_view(self, model):
+        plan = plan_capacity_surrogate(
+            REQUIREMENT, base_scenario(), model, **GRID,
+            margin=PruningMargin(p99_rel=1e9, miss_abs=1.0),
+        )
+        view = plan.as_capacity_plan()
+        assert view.best == plan.best
+        assert view.evaluations == plan.evaluations
+        assert view.requirement == plan.requirement
